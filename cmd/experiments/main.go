@@ -1,0 +1,54 @@
+// Command experiments regenerates the thesis's tables and figures.
+//
+//	experiments               # run everything
+//	experiments -run fig5.1   # one experiment
+//	experiments -list         # list experiment identifiers
+//	experiments -scale 3      # larger benchmark traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids")
+	scale := flag.Int("scale", 2, "benchmark trace scale")
+	seeds := flag.Int("seeds", 30, "seeds for multi-seed studies")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	r := experiments.NewRunner(experiments.Config{Scale: *scale, Seeds: *seeds})
+	var toRun []experiments.Experiment
+	if *run == "" {
+		toRun = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			toRun = append(toRun, e)
+		}
+	}
+	for _, e := range toRun {
+		rep, err := e.Run(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n%s\n", rep.Title, rep.Text)
+	}
+}

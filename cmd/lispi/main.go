@@ -1,0 +1,168 @@
+// Command lispi runs the Lisp interpreter: on files, on -e expressions,
+// or as a REPL. With -trace it writes the s-expression-level list access
+// trace (§3.3.1) to the named file. With -small the program executes
+// directly on a SMALL machine and the LPT statistics are reported.
+//
+//	lispi prog.lisp
+//	lispi -e "(cons 1 '(2 3))"
+//	lispi -trace out.trace -env shallow prog.lisp
+//	lispi -small -table 2048 prog.lisp
+//	lispi            # REPL
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/lisp"
+	"repro/internal/sexpr"
+	"repro/internal/smalllisp"
+	"repro/internal/trace"
+)
+
+func main() {
+	expr := flag.String("e", "", "evaluate this expression and exit")
+	traceFile := flag.String("trace", "", "write the list access trace to this file")
+	envKind := flag.String("env", "deep", "environment: deep, shallow, or cached")
+	cacheSize := flag.Int("value-cache", 16, "value cache entries for -env cached")
+	steps := flag.Int64("steps", 50_000_000, "evaluation step limit")
+	small := flag.Bool("small", false, "execute directly on a SMALL machine")
+	table := flag.Int("table", 4096, "LPT entries for -small")
+	flag.Parse()
+
+	if *small {
+		runOnSmall(*expr, *table, *steps, flag.Args())
+		return
+	}
+
+	var env lisp.Env
+	switch *envKind {
+	case "deep":
+		env = lisp.NewDeepEnv()
+	case "shallow":
+		env = lisp.NewShallowEnv()
+	case "cached":
+		env = lisp.NewCachedDeepEnv(*cacheSize)
+	default:
+		fmt.Fprintf(os.Stderr, "lispi: unknown env %q\n", *envKind)
+		os.Exit(2)
+	}
+
+	opts := []lisp.Option{
+		lisp.WithEnv(env),
+		lisp.WithOutput(os.Stdout),
+		lisp.WithStepLimit(*steps),
+	}
+	var col *lisp.Collector
+	if *traceFile != "" {
+		col = lisp.NewCollector("lispi")
+		opts = append(opts, lisp.WithTrace(col))
+	}
+	in := lisp.New(opts...)
+
+	exit := func(code int) {
+		if col != nil {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lispi: %v\n", err)
+				os.Exit(1)
+			}
+			if err := trace.Write(f, &col.T); err != nil {
+				fmt.Fprintf(os.Stderr, "lispi: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "lispi: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		os.Exit(code)
+	}
+
+	if *expr != "" {
+		v, err := in.Run(*expr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lispi: %v\n", err)
+			exit(1)
+		}
+		fmt.Println(sexpr.String(v))
+		exit(0)
+	}
+
+	if flag.NArg() > 0 {
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lispi: %v\n", err)
+				exit(1)
+			}
+			if _, err := in.Run(string(src)); err != nil {
+				fmt.Fprintf(os.Stderr, "lispi: %s: %v\n", path, err)
+				exit(1)
+			}
+		}
+		exit(0)
+	}
+
+	// REPL
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("lispi> ")
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "(exit)" || line == ":q" {
+			break
+		}
+		if line != "" {
+			v, err := in.Run(line)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			} else {
+				fmt.Println(sexpr.String(v))
+			}
+		}
+		fmt.Print("lispi> ")
+	}
+	exit(0)
+}
+
+// runOnSmall executes sources on a SMALL machine and reports LPT stats.
+func runOnSmall(expr string, table int, steps int64, files []string) {
+	m := core.NewMachine(core.Config{LPTSize: table})
+	in := smalllisp.New(
+		smalllisp.WithMachine(m),
+		smalllisp.WithOutput(os.Stdout),
+		smalllisp.WithStepLimit(steps),
+	)
+	srcs := []string{}
+	if expr != "" {
+		srcs = append(srcs, expr)
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lispi: %v\n", err)
+			os.Exit(1)
+		}
+		srcs = append(srcs, string(data))
+	}
+	if len(srcs) == 0 {
+		fmt.Fprintln(os.Stderr, "lispi: -small needs -e or files")
+		os.Exit(2)
+	}
+	var last sexpr.Value
+	for _, src := range srcs {
+		v, err := in.Run(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lispi: %v\n", err)
+			os.Exit(1)
+		}
+		last = v
+	}
+	fmt.Println(sexpr.String(last))
+	st := m.Stats()
+	fmt.Fprintf(os.Stderr, "LPT: peak %d/%d, hits %d, misses %d, refops %d, heap splits %d\n",
+		m.PeakInUse(), table, st.LPT.Hits, st.LPT.Misses, st.LPT.Refops, st.HeapSplits)
+}

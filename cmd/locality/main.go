@@ -1,0 +1,62 @@
+// Command locality runs the Chapter 3 structural-locality analyses on a
+// trace file produced by cmd/tracegen or cmd/lispi -trace.
+//
+//	locality -sep 0.10 traces/slang.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/locality"
+	"repro/internal/trace"
+)
+
+func main() {
+	sep := flag.Float64("sep", 0.10, "separation constraint as a fraction of trace length")
+	window := flag.Int("window", 0, "absolute separation window in events (overrides -sep)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: locality [-sep 0.10] <trace file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locality: %v\n", err)
+		os.Exit(1)
+	}
+	t, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locality: %v\n", err)
+		os.Exit(1)
+	}
+	st := trace.Preprocess(t)
+
+	var p *locality.Partition
+	if *window > 0 {
+		p = locality.PartitionStreamWindow(st, *window)
+	} else {
+		p = locality.PartitionStream(st, *sep)
+	}
+
+	s := trace.Summarize(t)
+	fmt.Printf("trace %s: %d primitives, %d function calls, %d distinct lists\n",
+		t.Name, s.Primitives, s.Functions, st.MaxID)
+	fmt.Printf("list sets: %d over %d references\n", len(p.Sets), p.Refs)
+	fmt.Printf("sets covering 80%% of references: %d\n", p.SetsForRefPct(80))
+	fmt.Printf("references in sets living >=60%% of trace: %.1f%%\n",
+		p.PctRefsInSetsLivingAtLeast(60))
+
+	prof := locality.LRUStackDistances(p.AccessSeq)
+	fmt.Printf("list-set LRU hit rates: d1=%.1f%% d2=%.1f%% d4=%.1f%% d8=%.1f%%\n",
+		prof.HitRate(1), prof.HitRate(2), prof.HitRate(4), prof.HitRate(8))
+
+	cs := trace.Chaining(st)
+	fmt.Printf("primitive chaining: car %.1f%%, cdr %.1f%%\n", cs.CarPct, cs.CdrPct)
+
+	np := trace.MeasureNP(t)
+	fmt.Printf("list complexity: avg n=%.2f avg p=%.2f over %d lists\n",
+		np.AvgN, np.AvgP, np.Lists)
+}

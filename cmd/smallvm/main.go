@@ -1,0 +1,67 @@
+// Command smallvm compiles mini-Lisp to the SMALL stack machine and runs
+// it on a simulated SMALL node (§4.3.4).
+//
+//	smallvm prog.lisp            # compile + run
+//	smallvm -S prog.lisp         # print the instruction listing
+//	smallvm -e "(fact 5)" -S     # listing for an expression
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sexpr"
+	"repro/internal/vm"
+)
+
+func main() {
+	asm := flag.Bool("S", false, "print the compiled listing instead of stats")
+	expr := flag.String("e", "", "compile this source text instead of files")
+	lptSize := flag.Int("table", 2048, "LPT entries")
+	input := flag.String("input", "", "s-expressions for (read ...), space separated")
+	flag.Parse()
+
+	src := *expr
+	if src == "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: smallvm [-S] <file.lisp> | -e <src>")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smallvm: %v\n", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	}
+	prog, err := vm.Compile(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smallvm: %v\n", err)
+		os.Exit(1)
+	}
+	if *asm {
+		fmt.Print(prog.Listing())
+	}
+	m := core.NewMachine(core.Config{LPTSize: *lptSize})
+	opts := []vm.Option{vm.WithMachine(m), vm.WithOutput(os.Stdout)}
+	if *input != "" {
+		vals, err := sexpr.ParseAll(*input)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smallvm: bad -input: %v\n", err)
+			os.Exit(1)
+		}
+		opts = append(opts, vm.WithInput(vals))
+	}
+	v, err := vm.New(prog, opts...).Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smallvm: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("value: %s\n", sexpr.String(v))
+	st := m.Stats()
+	fmt.Printf("LPT: peak %d, hits %d, misses %d, refops %d, gets %d\n",
+		m.PeakInUse(), st.LPT.Hits, st.LPT.Misses, st.LPT.Refops, st.LPT.Gets)
+	fmt.Printf("heap: splits %d, merges %d\n", st.HeapSplits, st.HeapMerges)
+}

@@ -1,0 +1,64 @@
+// Command tracegen runs the benchmark suite under the tracing interpreter
+// and writes the list access trace files consumed by cmd/locality and
+// cmd/smallsim.
+//
+//	tracegen -out traces/          # all five benchmarks at scale 2
+//	tracegen -bench lyra -scale 4 -out traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/benchprogs"
+	"repro/internal/trace"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	bench := flag.String("bench", "", "benchmark name (default: all)")
+	scale := flag.Int("scale", 2, "workload scale")
+	flag.Parse()
+
+	var list []benchprogs.Benchmark
+	if *bench == "" {
+		list = benchprogs.All()
+	} else {
+		b, ok := benchprogs.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown benchmark %q\n", *bench)
+			os.Exit(2)
+		}
+		list = []benchprogs.Benchmark{b}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	for _, b := range list {
+		t, err := benchprogs.Trace(b, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %s: %v\n", b.Name, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, b.Name+".trace")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.Write(f, t); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		s := trace.Summarize(t)
+		fmt.Printf("%s: %d primitives, %d function calls, max depth %d -> %s\n",
+			b.Name, s.Primitives, s.Functions, s.MaxDepth, path)
+	}
+}

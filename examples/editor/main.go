@@ -1,0 +1,101 @@
+// Editor: the structure-editor workload (big, deeply structured lists —
+// Table 3.1's outlier) used to compare list representation schemes.
+// It stores the same document under all four §2.3.3 encodings and
+// measures space and traversal cost, then runs the editing trace through
+// the Chapter 5 simulator with the two compression policies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/benchprogs"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/sexpr"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	// A nested "function definition" document like the editor operates on.
+	doc, err := sexpr.Parse(`
+	  (defun layout (cell grid)
+	    (cond ((null grid) (report cell))
+	          ((overlap (bbox cell) (bbox (first grid)))
+	           (shift cell (spacing (first grid)) (rest grid)))
+	          (t (layout cell (rest grid)))))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	met := sexpr.Measure(doc)
+	fmt.Printf("document: n=%d symbols, p=%d internal parenthesis pairs\n\n", met.N, met.P)
+
+	// Store under each representation; compare space and traversal touches.
+	reps := []heap.Representation{
+		heap.NewTwoPtr(4096),
+		heap.NewCdr2(8192),
+		heap.NewLinkedVec(8192, 8),
+		heap.NewCdar(),
+		heap.NewOffsetCode(8192),
+	}
+	fmt.Printf("%-10s %8s %16s\n", "scheme", "words", "traversal reads")
+	for _, r := range reps {
+		w, err := r.Build(doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := r.Touches()
+		if err := traverse(r, w); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %8d %16d\n", r.Name(), r.Words(), r.Touches()-base)
+	}
+	fmt.Printf("(two-pointer cells = n+p = %d x2 words; structure-coded = n = %d tuples)\n\n",
+		met.N+met.P, met.N)
+
+	// Run the editor benchmark trace through the SMALL simulator under
+	// both pseudo-overflow policies.
+	b, _ := benchprogs.ByName("editor")
+	t, err := benchprogs.Trace(b, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := trace.Preprocess(t)
+	free, err := sim.Run(st, sim.Params{TableSize: 1 << 15, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	size := free.PeakLPT * 2 / 3
+	for _, pol := range []struct {
+		name string
+		p    core.CompressionPolicy
+	}{{"Compress-One", core.CompressOne}, {"Compress-All", core.CompressAll}} {
+		res, err := sim.Run(st, sim.Params{TableSize: size, Seed: 2, Policy: pol.p})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s table=%d: avg occupancy %.1f, pseudo overflows %d, hit rate %.2f%%\n",
+			pol.name, size, res.AvgLPT, res.Machine.LPT.PseudoOverflow, res.LPTHitRate())
+	}
+}
+
+// traverse walks every cell of the stored structure through the
+// representation's own car/cdr operations.
+func traverse(r heap.Representation, w heap.Word) error {
+	if w.Tag != heap.TagCell {
+		return nil
+	}
+	car, err := r.Car(w)
+	if err != nil {
+		return err
+	}
+	if err := traverse(r, car); err != nil {
+		return err
+	}
+	cdr, err := r.Cdr(w)
+	if err != nil {
+		return err
+	}
+	return traverse(r, cdr)
+}

@@ -1,0 +1,122 @@
+// Package cache implements the fully associative LRU data cache the
+// thesis compares the LPT against (§5.2.5, Table 5.4, Figs 5.4–5.5). The
+// cachable unit is one two-pointer list cell; a cache line holds LineSize
+// consecutive cells, so larger lines prefetch neighbouring cells and
+// reward spatial locality.
+package cache
+
+// Cache is a fully associative LRU cache over a cell address space.
+type Cache struct {
+	lines    int
+	lineSize int64
+	// LRU list of resident line tags; index 0 is most recently used.
+	slot map[int64]*node
+	head *node // most recently used
+	tail *node // least recently used
+	n    int
+
+	hits   int64
+	misses int64
+}
+
+type node struct {
+	tag        int64
+	prev, next *node
+}
+
+// New returns a cache with the given number of lines, each holding
+// lineSize cells.
+func New(lines, lineSize int) *Cache {
+	if lines < 1 {
+		lines = 1
+	}
+	if lineSize < 1 {
+		lineSize = 1
+	}
+	return &Cache{
+		lines:    lines,
+		lineSize: int64(lineSize),
+		slot:     make(map[int64]*node, lines),
+	}
+}
+
+// Lines returns the line count.
+func (c *Cache) Lines() int { return c.lines }
+
+// LineSize returns the cells per line.
+func (c *Cache) LineSize() int { return int(c.lineSize) }
+
+// Hits and Misses report accumulated access outcomes.
+func (c *Cache) Hits() int64   { return c.hits }
+func (c *Cache) Misses() int64 { return c.misses }
+
+// HitRate returns hits/(hits+misses) as a percentage.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(c.hits) / float64(total)
+}
+
+// Access references the cell at addr, returning whether it hit. On a miss
+// the containing line is fetched, evicting the least recently used line
+// if the cache is full.
+func (c *Cache) Access(addr int64) bool {
+	tag := addr
+	if addr < 0 {
+		// floor division for negative addresses
+		tag = addr - (c.lineSize - 1)
+	}
+	tag /= c.lineSize
+	if n, ok := c.slot[tag]; ok {
+		c.hits++
+		c.touch(n)
+		return true
+	}
+	c.misses++
+	n := &node{tag: tag}
+	c.slot[tag] = n
+	c.pushFront(n)
+	c.n++
+	if c.n > c.lines {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.slot, evict.tag)
+		c.n--
+	}
+	return false
+}
+
+func (c *Cache) pushFront(n *node) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *Cache) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+func (c *Cache) touch(n *node) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

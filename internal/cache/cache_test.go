@@ -1,0 +1,119 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New(2, 1)
+	if c.Access(10) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(10) {
+		t.Error("second access should hit")
+	}
+	c.Access(20) // fills cache
+	c.Access(30) // evicts LRU (10)
+	if c.Access(10) {
+		t.Error("evicted line should miss")
+	}
+	if !c.Access(30) {
+		t.Error("resident line should hit")
+	}
+	if c.Hits() != 2 || c.Misses() != 4 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c := New(3, 1)
+	c.Access(1)
+	c.Access(2)
+	c.Access(3)
+	c.Access(1) // 1 becomes MRU; LRU is 2
+	c.Access(4) // evicts 2
+	if c.Access(2) {
+		t.Error("2 should have been evicted")
+	}
+	// That miss reinserted 2, evicting the then-LRU line 3.
+	if !c.Access(1) || !c.Access(4) || !c.Access(2) {
+		t.Error("1, 4, 2 should be resident")
+	}
+	if c.Access(3) {
+		t.Error("3 should have been evicted by 2's reinsertion")
+	}
+}
+
+func TestLineSizePrefetch(t *testing.T) {
+	c := New(4, 4)
+	c.Access(0) // miss, fetches cells 0-3
+	for a := int64(1); a < 4; a++ {
+		if !c.Access(a) {
+			t.Errorf("cell %d should be in the fetched line", a)
+		}
+	}
+	if c.Access(4) {
+		t.Error("cell 4 is in the next line")
+	}
+}
+
+func TestNegativeAddresses(t *testing.T) {
+	c := New(8, 4)
+	c.Access(-1) // line containing -4..-1
+	if !c.Access(-2) {
+		t.Error("-2 shares the line with -1")
+	}
+	if c.Access(0) {
+		t.Error("0 is in a different line from -1")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := New(4, 1)
+	for i := 0; i < 10; i++ {
+		c.Access(1)
+	}
+	if got := c.HitRate(); got != 90 {
+		t.Errorf("HitRate = %v, want 90", got)
+	}
+	empty := New(4, 1)
+	if empty.HitRate() != 0 {
+		t.Error("empty cache hit rate should be 0")
+	}
+}
+
+// TestCapacityNeverExceeded: resident line count stays bounded under
+// random access.
+func TestCapacityNeverExceeded(t *testing.T) {
+	c := New(16, 2)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		c.Access(int64(r.Intn(500) - 250))
+		if c.n > c.lines {
+			t.Fatalf("resident lines %d > capacity %d", c.n, c.lines)
+		}
+		if len(c.slot) != c.n {
+			t.Fatalf("slot map size %d != n %d", len(c.slot), c.n)
+		}
+	}
+}
+
+// TestInclusionProperty: a bigger LRU cache hits whenever a smaller one
+// does (stack property of LRU).
+func TestInclusionProperty(t *testing.T) {
+	small := New(8, 1)
+	big := New(32, 1)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		addr := int64(r.Intn(64))
+		sh := small.Access(addr)
+		bh := big.Access(addr)
+		if sh && !bh {
+			t.Fatal("small cache hit where big cache missed: LRU inclusion violated")
+		}
+	}
+	if big.Hits() < small.Hits() {
+		t.Error("bigger cache should hit at least as often")
+	}
+}

@@ -1,0 +1,161 @@
+// Package clark provides the empirical sampling distributions the Chapter
+// 5 simulator draws from: the list complexity metrics (n, p) measured in
+// §3.3.1 (Table 3.1 / Figs 3.3a-b), and the list-cell pointer distance
+// distributions from Clark's static studies (§3.2.1), which the thesis
+// used to assign heap addresses when splitting objects (§5.2.5).
+//
+// The original numbers are qualitative in the thesis text: pointer
+// distances are "either one or small", cdr pointers are mostly linearized,
+// n averages about 10 and p below 3 for most benchmarks. The samplers
+// reproduce those shapes with geometric tails.
+package clark
+
+import (
+	"math/rand"
+
+	"repro/internal/sexpr"
+)
+
+// Model is a seeded sampler.
+type Model struct {
+	rng *rand.Rand
+	// MeanN and MeanP tune the list complexity distributions; defaults
+	// follow Table 3.1's typical benchmark (n≈10, p≈2).
+	MeanN float64
+	MeanP float64
+	// syms numbers generated atoms so distinct objects stay distinct.
+	syms int64
+}
+
+// New returns a model seeded deterministically.
+func New(seed int64) *Model {
+	return &Model{rng: rand.New(rand.NewSource(seed)), MeanN: 10, MeanP: 2}
+}
+
+// geometric samples a geometric variate with the given mean, at least 1.
+func (m *Model) geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for m.rng.Float64() > p && n < 400 {
+		n++
+	}
+	return n
+}
+
+// SampleNP draws a list complexity pair following the Fig 3.3 shapes:
+// most lists are short and nearly flat, with long geometric tails.
+func (m *Model) SampleNP() sexpr.Metrics {
+	n := m.geometric(m.MeanN)
+	pMax := n - 1
+	p := m.geometric(m.MeanP+1) - 1
+	if p > pMax {
+		p = pMax
+	}
+	if p < 0 {
+		p = 0
+	}
+	return sexpr.Metrics{N: n, P: p}
+}
+
+// ObjectCells returns the two-pointer cell footprint of a freshly sampled
+// list object: n+p cells (Fig 3.2).
+func (m *Model) ObjectCells() int {
+	met := m.SampleNP()
+	return met.N + met.P
+}
+
+// CdrDistance samples a cdr pointer distance. Clark: once linearized,
+// lists stay linearized; cdr pointers overwhelmingly point at the next
+// cell.
+func (m *Model) CdrDistance() int64 {
+	r := m.rng.Float64()
+	switch {
+	case r < 0.70:
+		return 1
+	case r < 0.90:
+		return int64(1 + m.rng.Intn(8))
+	default:
+		return int64(1 + m.rng.Intn(64))
+	}
+}
+
+// CarDistance samples a car pointer distance: small but more dispersed
+// than cdr, occasionally far.
+func (m *Model) CarDistance() int64 {
+	r := m.rng.Float64()
+	var d int64
+	switch {
+	case r < 0.35:
+		d = 1
+	case r < 0.80:
+		d = int64(1 + m.rng.Intn(16))
+	default:
+		d = int64(1 + m.rng.Intn(256))
+	}
+	if m.rng.Intn(2) == 0 {
+		return -d
+	}
+	return d
+}
+
+// GenList builds a random s-expression with exactly the given metrics:
+// n fresh symbols and p nested sublists, shaped randomly. Used by the
+// simulator to materialise read-in objects.
+func (m *Model) GenList(met sexpr.Metrics) sexpr.Value {
+	n, p := met.N, met.P
+	if n < 1 {
+		n = 1
+	}
+	// Start with a flat list of n atoms, then fold random consecutive
+	// runs into sublists p times.
+	items := make([]sexpr.Value, n)
+	for i := range items {
+		m.syms++
+		items[i] = sexpr.Symbol(symName(m.syms))
+	}
+	for i := 0; i < p && len(items) > 1; i++ {
+		// Choose a run [a, a+l) to wrap. Never wrap the entire list, so
+		// each fold adds exactly one internal parenthesis pair.
+		a := m.rng.Intn(len(items) - 1)
+		maxLen := len(items) - a
+		if a == 0 {
+			maxLen--
+		}
+		l := 1 + m.rng.Intn(maxLen)
+		sub := sexpr.List(items[a : a+l]...)
+		rest := append([]sexpr.Value{}, items[:a]...)
+		rest = append(rest, sub)
+		rest = append(rest, items[a+l:]...)
+		items = rest
+	}
+	return sexpr.List(items...)
+}
+
+// Sample generates a fresh random list drawn from the (n, p) model.
+func (m *Model) Sample() sexpr.Value {
+	return m.GenList(m.SampleNP())
+}
+
+// Float64 exposes the model's RNG for auxiliary decisions.
+func (m *Model) Float64() float64 { return m.rng.Float64() }
+
+// Intn exposes the model's RNG.
+func (m *Model) Intn(n int) int { return m.rng.Intn(n) }
+
+func symName(i int64) string {
+	// compact base-26 names: a, b, ..., z, aa, ab, ...
+	var buf [8]byte
+	pos := len(buf)
+	for i >= 0 {
+		pos--
+		buf[pos] = byte('a' + i%26)
+		i = i/26 - 1
+		if pos == 0 {
+			break
+		}
+	}
+	return "s" + string(buf[pos:])
+}

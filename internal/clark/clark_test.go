@@ -1,0 +1,99 @@
+package clark
+
+import (
+	"testing"
+
+	"repro/internal/sexpr"
+)
+
+func TestSampleNPShape(t *testing.T) {
+	m := New(1)
+	var sumN, sumP float64
+	const k = 5000
+	for i := 0; i < k; i++ {
+		met := m.SampleNP()
+		if met.N < 1 {
+			t.Fatalf("n = %d", met.N)
+		}
+		if met.P < 0 || met.P > met.N-1 {
+			t.Fatalf("p = %d out of range for n = %d", met.P, met.N)
+		}
+		sumN += float64(met.N)
+		sumP += float64(met.P)
+	}
+	avgN, avgP := sumN/k, sumP/k
+	// Table 3.1 shapes: n around 10, p small.
+	if avgN < 6 || avgN > 15 {
+		t.Errorf("avg n = %.1f, want ≈10", avgN)
+	}
+	if avgP < 0.5 || avgP > 4 {
+		t.Errorf("avg p = %.1f, want ≈2", avgP)
+	}
+}
+
+func TestDistancesShape(t *testing.T) {
+	m := New(2)
+	ones := 0
+	const k = 5000
+	for i := 0; i < k; i++ {
+		d := m.CdrDistance()
+		if d < 1 {
+			t.Fatalf("cdr distance %d", d)
+		}
+		if d == 1 {
+			ones++
+		}
+	}
+	// Most cdr pointers point at the adjacent cell (§3.2.1).
+	if pct := float64(ones) / k; pct < 0.5 {
+		t.Errorf("cdr distance=1 fraction %.2f, want > 0.5", pct)
+	}
+	neg := 0
+	for i := 0; i < k; i++ {
+		d := m.CarDistance()
+		if d == 0 {
+			t.Fatal("car distance 0")
+		}
+		if d < 0 {
+			neg++
+		}
+	}
+	if neg == 0 || neg == k {
+		t.Error("car distances should have both signs")
+	}
+}
+
+func TestGenListExactMetrics(t *testing.T) {
+	m := New(3)
+	for i := 0; i < 300; i++ {
+		want := m.SampleNP()
+		v := m.GenList(want)
+		got := sexpr.Measure(v)
+		if got.N != want.N || got.P != want.P {
+			t.Fatalf("GenList(%+v) produced n=%d p=%d: %s",
+				want, got.N, got.P, sexpr.String(v))
+		}
+	}
+}
+
+func TestGenListDistinctSymbols(t *testing.T) {
+	m := New(4)
+	a := m.Sample()
+	b := m.Sample()
+	if sexpr.Equal(a, b) {
+		t.Error("successive samples should be distinct objects")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	for i := 0; i < 100; i++ {
+		if a.CdrDistance() != b.CdrDistance() || a.CarDistance() != b.CarDistance() {
+			t.Fatal("same seed must give same streams")
+		}
+	}
+	if !sexpr.Equal(New(5).Sample(), New(5).Sample()) {
+		t.Error("same seed must give same sampled lists")
+	}
+}

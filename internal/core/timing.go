@@ -1,0 +1,152 @@
+package core
+
+// TimingParams are the implementation-dependent interval lengths of the
+// Fig 4.10–4.13 timing diagrams, in abstract cycles. The thesis does not
+// fix values ("the relative sizes of intervals ... are dependent on the
+// specifics of the SMALL implementation"); the defaults below assume a
+// single-cycle LPT and a 10-cycle heap, which preserves the diagrams'
+// qualitative shape: quick LP responses, post-return LPT update work, and
+// EP stalls only on heap splits and I/O.
+type TimingParams struct {
+	EnvLookup  int64 // EP: interrogate the environment for bindings
+	Send       int64 // EP→LP request transfer
+	Return     int64 // LP→EP value transfer
+	LPTIndex   int64 // LP: index the LPT and read an entry field
+	LPTUpdate  int64 // LP: update an entry field
+	RefUpdate  int64 // LP: one reference count adjustment
+	AllocEntry int64 // LP: pop the free stack and initialise an entry
+	HeapSplit  int64 // heap controller: split (or merge) one object
+	IO         int64 // read in one list object
+}
+
+// DefaultTiming returns the default parameter set.
+func DefaultTiming() TimingParams {
+	return TimingParams{
+		EnvLookup: 2, Send: 1, Return: 1,
+		LPTIndex: 1, LPTUpdate: 1, RefUpdate: 1, AllocEntry: 1,
+		HeapSplit: 10, IO: 50,
+	}
+}
+
+// TimingStats summarises the simulated two-processor timeline.
+type TimingStats struct {
+	// EPClock is the EP's finish time — the makespan seen by the program.
+	EPClock int64
+	// LPBusy is the total LP service time.
+	LPBusy int64
+	// EPIdle is time the EP spent waiting for LP responses.
+	EPIdle int64
+	// Serial is the makespan had every operation been executed on one
+	// processor with no overlap — the baseline for the concurrency claim
+	// of §4.3.2.5.
+	Serial int64
+	// Ops counts timed LP operations.
+	Ops int64
+}
+
+// Speedup returns Serial/EPClock, the gain from EP/LP overlap.
+func (t TimingStats) Speedup() float64 {
+	if t.EPClock == 0 {
+		return 1
+	}
+	return float64(t.Serial) / float64(t.EPClock)
+}
+
+// timeline simulates the two time lines of the Fig 4.10–4.13 diagrams.
+type timeline struct {
+	p       TimingParams
+	epClock int64
+	lpFree  int64 // time at which the LP can accept the next request
+	st      TimingStats
+}
+
+func newTimeline(p TimingParams) *timeline { return &timeline{p: p} }
+
+// op advances the model by one LP request. epWork precedes the request;
+// preReturn is LP work before the value goes back; postReturn is LP work
+// overlapped with subsequent EP activity. waitsForValue is false for
+// requests (rplaca, refcount updates) that return nothing.
+func (tl *timeline) op(epWork, preReturn, postReturn int64, waitsForValue bool) {
+	tl.epClock += epWork
+	issued := tl.epClock + tl.p.Send
+	start := issued
+	if tl.lpFree > start {
+		// LP still busy with post-return work from an earlier request:
+		// the EP waits (the §4.3.2.5 chaining concern).
+		tl.st.EPIdle += tl.lpFree - start
+		start = tl.lpFree
+	}
+	returnAt := start + preReturn
+	tl.lpFree = returnAt + postReturn
+	tl.st.LPBusy += preReturn + postReturn
+	if waitsForValue {
+		resume := returnAt + tl.p.Return
+		tl.st.EPIdle += resume - issued
+		tl.epClock = resume
+	} else {
+		tl.epClock = issued
+	}
+	tl.st.Serial += epWork + tl.p.Send + preReturn + postReturn
+	if waitsForValue {
+		tl.st.Serial += tl.p.Return
+	}
+	tl.st.Ops++
+}
+
+// Timing returns the accumulated timeline statistics (zero value if the
+// machine was built without timing).
+func (m *Machine) Timing() TimingStats {
+	if m.tl == nil {
+		return TimingStats{}
+	}
+	st := m.tl.st
+	st.EPClock = m.tl.epClock
+	return st
+}
+
+// timeReadList models Fig 4.10: the EP must idle until I/O completes and
+// the new entry's identifier (with its type tag) comes back.
+func (m *Machine) timeReadList() {
+	if m.tl == nil {
+		return
+	}
+	p := m.tl.p
+	m.tl.op(p.EnvLookup, p.IO+p.AllocEntry, p.LPTUpdate, true)
+}
+
+// timeAccess models Fig 4.11 (hit) and Fig 4.5's split path (miss): on a
+// miss the LP must wait out the heap split before answering, because the
+// result might be an atom whose type tag comes from the heap controller.
+func (m *Machine) timeAccess(hit bool) {
+	if m.tl == nil {
+		return
+	}
+	p := m.tl.p
+	if hit {
+		m.tl.op(p.EnvLookup, p.LPTIndex, p.RefUpdate, true)
+	} else {
+		m.tl.op(p.EnvLookup,
+			p.LPTIndex+p.HeapSplit+2*p.AllocEntry,
+			2*p.LPTUpdate+p.RefUpdate, true)
+	}
+}
+
+// timeCons models Fig 4.13: the identifier returns as soon as the entry
+// is allocated; field setting and reference updates overlap the EP.
+func (m *Machine) timeCons() {
+	if m.tl == nil {
+		return
+	}
+	p := m.tl.p
+	m.tl.op(p.EnvLookup, p.AllocEntry, 2*p.LPTUpdate+2*p.RefUpdate, true)
+}
+
+// timeRplac models Fig 4.12: control passes straight back to the EP while
+// the LP performs the modification.
+func (m *Machine) timeRplac() {
+	if m.tl == nil {
+		return
+	}
+	p := m.tl.p
+	m.tl.op(p.EnvLookup, 0, p.LPTIndex+2*p.RefUpdate+p.LPTUpdate, false)
+}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/locality"
+	"repro/internal/trace"
+)
+
+// Fig3_1 regenerates the execution frequency histogram of primitive Lisp
+// functions: the percentage of all traced calls that are car, cdr, and
+// cons per benchmark.
+func Fig3_1(r *Runner) (*Report, error) {
+	rows := make([][]string, 0, len(benchOrderCh3))
+	for _, name := range benchOrderCh3 {
+		t, err := r.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		s := trace.Summarize(t)
+		other := 100 - s.Pct("car") - s.Pct("cdr") - s.Pct("cons")
+		if other < 0 {
+			other = 0
+		}
+		rows = append(rows, []string{
+			name, f1(s.Pct("car")), f1(s.Pct("cdr")), f1(s.Pct("cons")), f1(other),
+		})
+	}
+	return &Report{
+		ID:    "fig3.1",
+		Title: "Fig 3.1: Execution Frequencies of Primitive Lisp Functions (%)",
+		Text:  table([]string{"benchmark", "car", "cdr", "cons", "other"}, rows),
+	}, nil
+}
+
+// Table3_1 regenerates the average n and p per benchmark.
+func Table3_1(r *Runner) (*Report, error) {
+	rows := make([][]string, 0, len(benchOrderCh3))
+	for _, name := range benchOrderCh3 {
+		t, err := r.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		np := trace.MeasureNP(t)
+		rows = append(rows, []string{name, f2(np.AvgN), f2(np.AvgP)})
+	}
+	return &Report{
+		ID:    "table3.1",
+		Title: "Table 3.1: Average Values of n and p",
+		Text:  table([]string{"benchmark", "n", "p"}, rows),
+	}, nil
+}
+
+// Fig3_3 regenerates the distributions of n and p over lists.
+func Fig3_3(r *Runner) (*Report, error) {
+	var b strings.Builder
+	for _, name := range benchOrderCh3 {
+		t, err := r.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		np := trace.MeasureNP(t)
+		fmt.Fprintf(&b, "%s (%d distinct lists):\n", name, np.Lists)
+		// bucket n into ranges for compactness
+		buckets := []struct {
+			label  string
+			lo, hi int
+		}{
+			{"1-2", 1, 2}, {"3-5", 3, 5}, {"6-10", 6, 10},
+			{"11-20", 11, 20}, {"21-50", 21, 50}, {">50", 51, 1 << 30},
+		}
+		rows := make([][]string, 0, len(buckets))
+		for _, bk := range buckets {
+			nc, pc := 0, 0
+			for _, v := range sortedKeys(np.NDist) {
+				if v >= bk.lo && v <= bk.hi {
+					nc += np.NDist[v]
+				}
+			}
+			for _, v := range sortedKeys(np.PDist) {
+				if v >= bk.lo && v <= bk.hi {
+					pc += np.PDist[v]
+				}
+			}
+			rows = append(rows, []string{bk.label, fmt.Sprint(nc), fmt.Sprint(pc)})
+		}
+		p0 := np.PDist[0]
+		rows = append(rows, []string{"p=0", "-", fmt.Sprint(p0)})
+		b.WriteString(table([]string{"bucket", "lists by n", "lists by p"}, rows))
+		b.WriteByte('\n')
+	}
+	return &Report{
+		ID:    "fig3.3",
+		Title: "Figs 3.3a/3.3b: Distribution of n and p over Lists",
+		Text:  b.String(),
+	}, nil
+}
+
+// partition computes the default (10% separation) list-set partition.
+func (r *Runner) partition(name string) (*locality.Partition, error) {
+	st, err := r.Stream(name)
+	if err != nil {
+		return nil, err
+	}
+	return locality.PartitionStream(st, 0.10), nil
+}
+
+// Fig3_4 regenerates the distribution of lists over list sets: cumulative
+// % of references vs number of (largest-first) list sets.
+func Fig3_4(r *Runner) (*Report, error) {
+	var b strings.Builder
+	for _, name := range benchOrderCh3 {
+		p, err := r.partition(name)
+		if err != nil {
+			return nil, err
+		}
+		curve := p.SizeCurve()
+		fmt.Fprintf(&b, "%s: %d list sets, %d references; %d sets cover 80%% of references\n",
+			name, len(p.Sets), p.Refs, p.SetsForRefPct(80))
+		b.WriteString(table([]string{"sets", "cum refs"}, curveRows(curve, "sets")))
+		b.WriteByte('\n')
+	}
+	return &Report{
+		ID:    "fig3.4",
+		Title: "Fig 3.4: Distribution of Lists over List Sets (10% separation)",
+		Text:  b.String(),
+	}, nil
+}
+
+// Fig3_5 regenerates the list-set lifetime distribution over sets.
+func Fig3_5(r *Runner) (*Report, error) {
+	var b strings.Builder
+	for _, name := range benchOrderCh3 {
+		p, err := r.partition(name)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%s:\n", name)
+		b.WriteString(table([]string{"lifetime %", "cum sets"},
+			curveRows(p.LifetimeCDFBySets(), "lifetime")))
+		b.WriteByte('\n')
+	}
+	return &Report{
+		ID:    "fig3.5",
+		Title: "Fig 3.5: Distribution of List Set Lifetimes over List Sets",
+		Text:  b.String(),
+	}, nil
+}
+
+// Fig3_6 regenerates the lifetime distribution weighted by references.
+func Fig3_6(r *Runner) (*Report, error) {
+	var b strings.Builder
+	for _, name := range benchOrderCh3 {
+		p, err := r.partition(name)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%s: %.1f%% of references live in sets lasting ≥60%% of the trace\n",
+			name, p.PctRefsInSetsLivingAtLeast(60))
+		b.WriteString(table([]string{"lifetime %", "cum refs"},
+			curveRows(p.LifetimeCDFByRefs(), "lifetime")))
+		b.WriteByte('\n')
+	}
+	return &Report{
+		ID:    "fig3.6",
+		Title: "Fig 3.6: Distribution of List Set Lifetimes over Lists",
+		Text:  b.String(),
+	}, nil
+}
+
+// Fig3_7 regenerates the LRU stack distance profile over list sets.
+func Fig3_7(r *Runner) (*Report, error) {
+	var b strings.Builder
+	rows := make([][]string, 0, len(benchOrderCh3))
+	for _, name := range benchOrderCh3 {
+		p, err := r.partition(name)
+		if err != nil {
+			return nil, err
+		}
+		prof := locality.LRUStackDistances(p.AccessSeq)
+		rows = append(rows, []string{
+			name,
+			f1(prof.HitRate(1)), f1(prof.HitRate(2)), f1(prof.HitRate(4)),
+			f1(prof.HitRate(8)), f1(prof.HitRate(16)),
+		})
+	}
+	b.WriteString(table([]string{"benchmark", "d=1", "d=2", "d=4", "d=8", "d=16"}, rows))
+	b.WriteString("\n(thesis: a stack depth of 4 list sets captures 70-90% of accesses)\n")
+	return &Report{
+		ID:    "fig3.7",
+		Title: "Fig 3.7: List Set LRU Stack Hit Rates (%) by Depth",
+		Text:  b.String(),
+	}, nil
+}
+
+// Table3_2 regenerates the primitive chaining percentages.
+func Table3_2(r *Runner) (*Report, error) {
+	rows := make([][]string, 0, len(benchOrderCh3))
+	for _, name := range benchOrderCh3 {
+		st, err := r.Stream(name)
+		if err != nil {
+			return nil, err
+		}
+		cs := trace.Chaining(st)
+		rows = append(rows, []string{name, f2(cs.CarPct), f2(cs.CdrPct)})
+	}
+	return &Report{
+		ID:    "table3.2",
+		Title: "Table 3.2: Percentage of CxR Calls inside a Function Chain",
+		Text:  table([]string{"benchmark", "CAR", "CDR"}, rows),
+	}, nil
+}
+
+// Fig3_8to10 regenerates the varying-separation-constraint sensitivity
+// study on SLANG (Figs 3.8, 3.9, 3.10).
+func Fig3_8to10(r *Runner) (*Report, error) {
+	st, err := r.Stream("slang")
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	rows := [][]string{}
+	for _, sep := range []float64{0.05, 0.10, 0.25, 0.50, 1.00} {
+		p := locality.PartitionStream(st, sep)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", 100*sep),
+			fmt.Sprint(len(p.Sets)),
+			fmt.Sprint(p.SetsForRefPct(80)),
+			f1(p.PctRefsInSetsLivingAtLeast(60)),
+		})
+	}
+	b.WriteString(table([]string{"separation", "list sets", "sets for 80% refs", "refs in ≥60%-life sets"}, rows))
+	b.WriteString("\n(thesis: the 50% and 100% curves coincide; smaller windows split large sets)\n")
+	return &Report{
+		ID:    "fig3.8",
+		Title: "Figs 3.8-3.10: Varying Separation Constraint (SLANG)",
+		Text:  b.String(),
+	}, nil
+}
+
+// Fig3_11to13 regenerates the fixed-absolute-window study: the same
+// window (10% of the shortest trace) applied to every trace.
+func Fig3_11to13(r *Runner) (*Report, error) {
+	// Find the shortest trace among the four Chapter 5 benchmarks.
+	shortest := -1
+	for _, name := range benchOrder {
+		st, err := r.Stream(name)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for i := range st.Refs {
+			if st.Refs[i].Kind == trace.RefPrim {
+				n++
+			}
+		}
+		if shortest < 0 || n < shortest {
+			shortest = n
+		}
+	}
+	window := shortest / 10
+	if window < 1 {
+		window = 1
+	}
+	rows := [][]string{}
+	for _, name := range benchOrder {
+		st, err := r.Stream(name)
+		if err != nil {
+			return nil, err
+		}
+		p := locality.PartitionStreamWindow(st, window)
+		p10 := locality.PartitionStream(st, 0.10)
+		rows = append(rows, []string{
+			name,
+			fmt.Sprint(len(p10.Sets)), fmt.Sprint(len(p.Sets)),
+			f1(p10.PctRefsInSetsLivingAtLeast(50)), f1(p.PctRefsInSetsLivingAtLeast(50)),
+		})
+	}
+	text := table([]string{"benchmark", "sets@10%", "sets@fixed", "refs≥50%life@10%", "@fixed"}, rows) +
+		fmt.Sprintf("\n(fixed window = %d events = 10%% of the shortest trace)\n", window)
+	return &Report{
+		ID:    "fig3.11",
+		Title: "Figs 3.11-3.13: Fixed Separation Constraint",
+		Text:  text,
+	}, nil
+}

@@ -1,0 +1,425 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Table5_1 regenerates the content summary of the four simulation traces.
+func Table5_1(r *Runner) (*Report, error) {
+	rows := make([][]string, 0, len(benchOrder))
+	for _, name := range benchOrder {
+		t, err := r.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		s := trace.Summarize(t)
+		rows = append(rows, []string{
+			name, fmt.Sprint(s.Functions), fmt.Sprint(s.Primitives), fmt.Sprint(s.MaxDepth),
+		})
+	}
+	return &Report{
+		ID:    "table5.1",
+		Title: "Table 5.1: Content of the 4 Traces",
+		Text:  table([]string{"trace", "functions", "primitives", "max depth"}, rows),
+	}, nil
+}
+
+// knee finds the minimum LPT size at which no overflow of any kind occurs:
+// the peak occupancy with an effectively unbounded table.
+func (r *Runner) knee(name string, seed int64) (int, error) {
+	st, err := r.Stream(name)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(st, sim.Params{TableSize: 1 << 16, Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	return res.PeakLPT, nil
+}
+
+// Fig5_1 regenerates the peak LPT usage curves: peak occupancy against
+// table size, showing the slope-1 segment and the knee.
+func Fig5_1(r *Runner) (*Report, error) {
+	var b strings.Builder
+	for _, name := range benchOrder {
+		st, err := r.Stream(name)
+		if err != nil {
+			return nil, err
+		}
+		knee, err := r.knee(name, 1)
+		if err != nil {
+			return nil, err
+		}
+		sizes := []int{knee / 4, knee / 2, 3 * knee / 4, knee, 2 * knee}
+		rows := [][]string{}
+		for _, size := range sizes {
+			if size < 4 {
+				continue
+			}
+			res, err := sim.Run(st, sim.Params{TableSize: size, Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			over := "-"
+			if res.TrueOverflowed {
+				over = "true"
+			} else if res.Machine.LPT.PseudoOverflow > 0 {
+				over = "pseudo"
+			}
+			rows = append(rows, []string{
+				fmt.Sprint(size), fmt.Sprint(res.PeakLPT), over,
+			})
+		}
+		fmt.Fprintf(&b, "%s (knee = %d entries):\n", name, knee)
+		b.WriteString(table([]string{"table size", "peak usage", "overflow"}, rows))
+		b.WriteByte('\n')
+	}
+	b.WriteString("(thesis shape: peak == size up to the knee, then flat)\n")
+	return &Report{
+		ID:    "fig5.1",
+		Title: "Fig 5.1: Peak LPT Usage Behaviour",
+		Text:  b.String(),
+	}, nil
+}
+
+// Fig5_2 regenerates the maximum-occupancy intervals over many seeds.
+func Fig5_2(r *Runner) (*Report, error) {
+	rows := make([][]string, 0, len(benchOrder))
+	for _, name := range benchOrder {
+		var knees []float64
+		for seed := 0; seed < r.cfg.Seeds; seed++ {
+			k, err := r.knee(name, int64(seed))
+			if err != nil {
+				return nil, err
+			}
+			knees = append(knees, float64(k))
+		}
+		s := stats.Summarize(knees)
+		rows = append(rows, []string{
+			name, fmt.Sprintf("%.0f", s.Min), fmt.Sprintf("%.0f", s.Max),
+			f1(s.Mean), f1(s.ConfidenceInterval95()),
+		})
+	}
+	text := table([]string{"trace", "min knee", "max knee", "mean", "95% CI ±"}, rows) +
+		fmt.Sprintf("\n(%d seeds per trace; thesis used 60-90 and concluded 2K-4K entries suffice)\n", r.cfg.Seeds)
+	return &Report{
+		ID:    "fig5.2",
+		Title: "Fig 5.2: Maximum LPT Occupancy Levels over Seeds",
+		Text:  text,
+	}, nil
+}
+
+// Fig5_3 regenerates the average-occupancy comparison of the two pseudo
+// overflow compression policies.
+func Fig5_3(r *Runner) (*Report, error) {
+	var b strings.Builder
+	for _, name := range []string{"slang", "editor"} { // the two the thesis plots
+		st, err := r.Stream(name)
+		if err != nil {
+			return nil, err
+		}
+		knee, err := r.knee(name, 2)
+		if err != nil {
+			return nil, err
+		}
+		rows := [][]string{}
+		for _, frac := range []float64{0.4, 0.6, 0.8, 1.0, 1.2} {
+			size := int(frac * float64(knee))
+			if size < 4 {
+				continue
+			}
+			one, err := sim.Run(st, sim.Params{TableSize: size, Seed: 2, Policy: core.CompressOne})
+			if err != nil {
+				return nil, err
+			}
+			all, err := sim.Run(st, sim.Params{TableSize: size, Seed: 2, Policy: core.CompressAll})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, []string{
+				fmt.Sprint(size), f1(one.AvgLPT), f1(all.AvgLPT),
+				d(one.Machine.LPT.PseudoOverflow), d(all.Machine.LPT.PseudoOverflow),
+			})
+		}
+		fmt.Fprintf(&b, "%s (knee %d):\n", name, knee)
+		b.WriteString(table([]string{"table size", "avg occ (One)", "avg occ (All)", "pseudo (One)", "pseudo (All)"}, rows))
+		b.WriteByte('\n')
+	}
+	b.WriteString("(thesis: Compress-One keeps average occupancy higher; the difference is small)\n")
+	return &Report{
+		ID:    "fig5.3",
+		Title: "Fig 5.3: LPT Behaviour and Pseudo Overflow Policies",
+		Text:  b.String(),
+	}, nil
+}
+
+// Table5_2 regenerates the LPT activity counters, including the RecRefops
+// column measured under the recursive decrement policy.
+func Table5_2(r *Runner) (*Report, error) {
+	rows := make([][]string, 0, len(benchOrder))
+	for _, name := range benchOrder {
+		st, err := r.Stream(name)
+		if err != nil {
+			return nil, err
+		}
+		lazy, err := sim.Run(st, sim.Params{TableSize: 4096, Seed: 3, Decrement: core.LazyDecrement})
+		if err != nil {
+			return nil, err
+		}
+		rec, err := sim.Run(st, sim.Params{TableSize: 4096, Seed: 3, Decrement: core.RecursiveDecrement})
+		if err != nil {
+			return nil, err
+		}
+		l := lazy.Machine.LPT
+		rows = append(rows, []string{
+			name, d(l.Refops), d(l.Gets), d(l.Frees), d(rec.Machine.LPT.Refops),
+		})
+	}
+	return &Report{
+		ID:    "table5.2",
+		Title: "Table 5.2: LPT Activity (Refops under lazy vs RecRefops under recursive decrement)",
+		Text:  table([]string{"trace", "Refops", "Gets", "Frees", "RecRefops"}, rows),
+	}, nil
+}
+
+// Table5_3 regenerates the split reference count evaluation: EP–LP count
+// traffic before (Then) and after (Now) moving stack counts into the EP.
+func Table5_3(r *Runner) (*Report, error) {
+	rows := make([][]string, 0, len(benchOrder))
+	for _, name := range benchOrder {
+		st, err := r.Stream(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(st, sim.Params{TableSize: 4096, Seed: 4, SplitStackCounts: true})
+		if err != nil {
+			return nil, err
+		}
+		m := res.Machine
+		then := m.LPT.Refops + m.StackRefEvents
+		now := m.LPT.Refops + m.EPLPMessages
+		rows = append(rows, []string{
+			name, d(then), d(now),
+			fmt.Sprint(m.MaxRef), fmt.Sprint(m.MaxEPCount),
+		})
+	}
+	text := table([]string{"trace", "Refops (Then)", "Refops (Now)", "MaxCount LPT", "MaxCount EP"}, rows) +
+		"\n(thesis: near order-of-magnitude reduction in EP-LP count traffic)\n"
+	return &Report{
+		ID:    "table5.3",
+		Title: "Table 5.3: Evaluation of Split Reference Counts",
+		Text:  text,
+	}, nil
+}
+
+// Table5_4 regenerates the LPT versus data cache comparison at three
+// sizes per trace, unit cache lines, equal entry counts.
+func Table5_4(r *Runner) (*Report, error) {
+	rows := [][]string{}
+	for _, name := range benchOrder {
+		st, err := r.Stream(name)
+		if err != nil {
+			return nil, err
+		}
+		knee, err := r.knee(name, 5)
+		if err != nil {
+			return nil, err
+		}
+		for _, frac := range []float64{0.6, 0.8, 1.1} {
+			size := int(frac * float64(knee))
+			if size < 8 {
+				size = 8
+			}
+			res, err := sim.Run(st, sim.Params{
+				TableSize: size, Seed: 5,
+				CacheEntries: size, CacheLineSize: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, []string{
+				name, fmt.Sprint(size),
+				d(res.LPTMisses), f2(res.LPTHitRate()),
+				d(res.CacheMisses), f2(res.CacheHitRate()),
+			})
+		}
+	}
+	text := table([]string{"trace", "size", "LPT misses", "hit %", "cache misses", "hit %"}, rows) +
+		"\n(thesis: cache misses outnumber LPT misses, typically by ≥2x)\n"
+	return &Report{
+		ID:    "table5.4",
+		Title: "Table 5.4: Comparison with Data Cache",
+		Text:  text,
+	}, nil
+}
+
+// Fig5_4 regenerates the SLANG hit-rate-versus-size curves.
+func Fig5_4(r *Runner) (*Report, error) {
+	st, err := r.Stream("slang")
+	if err != nil {
+		return nil, err
+	}
+	knee, err := r.knee("slang", 6)
+	if err != nil {
+		return nil, err
+	}
+	rows := [][]string{}
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.5} {
+		size := int(frac * float64(knee))
+		if size < 8 {
+			continue
+		}
+		res, err := sim.Run(st, sim.Params{
+			TableSize: size, Seed: 6,
+			CacheEntries: size, CacheLineSize: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(size), f2(res.LPTHitRate()), f2(res.CacheHitRate()),
+		})
+	}
+	return &Report{
+		ID:    "fig5.4",
+		Title: "Fig 5.4: Hit Rates for LPT and Data Cache (SLANG)",
+		Text:  table([]string{"size", "LPT hit %", "cache hit %"}, rows),
+	}, nil
+}
+
+// Fig5_5 regenerates the cache-miss/LPT-miss ratio versus cache line
+// size, with half-size cache entries (twice as many entries as the LPT).
+func Fig5_5(r *Runner) (*Report, error) {
+	var b strings.Builder
+	for _, name := range []string{"lyra", "slang", "editor"} {
+		st, err := r.Stream(name)
+		if err != nil {
+			return nil, err
+		}
+		knee, err := r.knee(name, 7)
+		if err != nil {
+			return nil, err
+		}
+		rows := [][]string{}
+		for _, frac := range []float64{0.5, 1.0} {
+			lptSize := int(frac * float64(knee))
+			if lptSize < 8 {
+				lptSize = 8
+			}
+			row := []string{fmt.Sprint(lptSize)}
+			for _, line := range []int{1, 2, 4, 8, 16} {
+				res, err := sim.Run(st, sim.Params{
+					TableSize: lptSize, Seed: 7,
+					CacheEntries: 2 * lptSize, CacheLineSize: line,
+				})
+				if err != nil {
+					return nil, err
+				}
+				ratio := 0.0
+				if res.LPTMisses > 0 {
+					ratio = float64(res.CacheMisses) / float64(res.LPTMisses)
+				}
+				row = append(row, f2(ratio))
+			}
+			rows = append(rows, row)
+		}
+		fmt.Fprintf(&b, "%s:\n", name)
+		b.WriteString(table([]string{"LPT size", "line=1", "line=2", "line=4", "line=8", "line=16"}, rows))
+		b.WriteByte('\n')
+	}
+	b.WriteString("(thesis: ratios 0.7-2.8, falling with wider lines as prefetching pays off)\n")
+	return &Report{
+		ID:    "fig5.5",
+		Title: "Fig 5.5: Ratio of Cache Misses to LPT Misses vs Line Size",
+		Text:  b.String(),
+	}, nil
+}
+
+// Table5_5 regenerates the probability-parameter sensitivity study on
+// SLANG: control plus the four perturbed settings.
+func Table5_5(r *Runner) (*Report, error) {
+	st, err := r.Stream("slang")
+	if err != nil {
+		return nil, err
+	}
+	type setting struct {
+		name string
+		p    sim.Params
+	}
+	base := sim.Params{TableSize: 64, Seed: 8,
+		ArgProb: 0.60, LocProb: 0.30, BindProb: 0.01, ReadProb: 0.01,
+		CacheEntries: 64}
+	settings := []setting{
+		{"Control", base},
+		{"HiArg", func() sim.Params { p := base; p.ArgProb, p.LocProb = 0.85, 0.125; return p }()},
+		{"HiLoc", func() sim.Params { p := base; p.ArgProb, p.LocProb = 0.30, 0.60; return p }()},
+		{"HiRead", func() sim.Params { p := base; p.ReadProb = 0.03; return p }()},
+		{"HiBind", func() sim.Params { p := base; p.BindProb = 0.03; return p }()},
+	}
+	header := []string{"statistic"}
+	results := make([]*sim.Result, len(settings))
+	for i, s := range settings {
+		header = append(header, s.name)
+		res, err := sim.Run(st, s.p)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	row := func(label string, get func(*sim.Result) string) []string {
+		out := []string{label}
+		for _, res := range results {
+			out = append(out, get(res))
+		}
+		return out
+	}
+	rows := [][]string{
+		row("Ave LPT Count", func(r *sim.Result) string { return f1(r.AvgLPT) }),
+		row("Max LPT Count", func(r *sim.Result) string { return fmt.Sprint(r.PeakLPT) }),
+		row("LPT Hits", func(r *sim.Result) string { return d(r.LPTHits) }),
+		row("Cache Hits", func(r *sim.Result) string { return d(r.CacheHits) }),
+		row("Max Refcount", func(r *sim.Result) string { return fmt.Sprint(r.Machine.MaxRef) }),
+		row("Refops", func(r *sim.Result) string { return d(r.Machine.LPT.Refops) }),
+	}
+	return &Report{
+		ID:    "table5.5",
+		Title: "Table 5.5: Sensitivity of Simulation to Probability Parameters (SLANG)",
+		Text:  table(header, rows),
+	}, nil
+}
+
+// TimingStudy quantifies the §4.3.2.5 EP/LP concurrency claim with the
+// Fig 4.10-4.13 timing model over each trace.
+func TimingStudy(r *Runner) (*Report, error) {
+	rows := make([][]string, 0, len(benchOrder))
+	for _, name := range benchOrder {
+		st, err := r.Stream(name)
+		if err != nil {
+			return nil, err
+		}
+		p := core.DefaultTiming()
+		res, err := sim.Run(st, sim.Params{TableSize: 4096, Seed: 9, Timing: &p})
+		if err != nil {
+			return nil, err
+		}
+		t := res.Timing
+		rows = append(rows, []string{
+			name, d(t.EPClock), d(t.LPBusy), d(t.EPIdle), d(t.Serial),
+			f2(t.Speedup()),
+		})
+	}
+	text := table([]string{"trace", "EP clock", "LP busy", "EP idle", "serial", "speedup"}, rows) +
+		"\n(speedup = serialized time / overlapped EP finish time)\n"
+	return &Report{
+		ID:    "timing",
+		Title: "EP/LP Overlap (Figs 4.10-4.13 timing model)",
+		Text:  text,
+	}, nil
+}

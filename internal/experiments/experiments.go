@@ -1,0 +1,231 @@
+// Package experiments regenerates every measured table and figure of the
+// thesis's evaluation chapters. Each experiment is a function returning a
+// Report (an identifier, a title, and a formatted text rendition of the
+// table or figure data); cmd/experiments prints them and the repository's
+// bench harness times them.
+//
+// Scale: the original traces ran to 160,933 primitives (Table 5.1). The
+// default scale here regenerates the same *shapes* on proportionally
+// smaller traces; pass a larger scale to close the gap at the cost of run
+// time.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/benchprogs"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+// Config parameterises a run of the suite.
+type Config struct {
+	// Scale of the benchmark traces (default 2).
+	Scale int
+	// Seeds for the multi-seed studies (Fig 5.2; thesis used 60–90).
+	Seeds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 2
+	}
+	if c.Seeds <= 0 {
+		c.Seeds = 30
+	}
+	return c
+}
+
+// Runner caches traces across experiments.
+type Runner struct {
+	cfg     Config
+	mu      sync.Mutex
+	traces  map[string]*trace.Trace
+	streams map[string]*trace.Stream
+}
+
+// NewRunner builds a runner.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{
+		cfg:     cfg.withDefaults(),
+		traces:  make(map[string]*trace.Trace),
+		streams: make(map[string]*trace.Stream),
+	}
+}
+
+// benchOrder is the reporting order used throughout Chapter 5.
+var benchOrder = []string{"lyra", "plagen", "slang", "editor"}
+
+// benchOrderCh3 includes PEARL, reported in Chapter 3 only.
+var benchOrderCh3 = []string{"slang", "plagen", "lyra", "editor", "pearl"}
+
+// Trace returns (and caches) the named benchmark trace.
+func (r *Runner) Trace(name string) (*trace.Trace, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.traces[name]; ok {
+		return t, nil
+	}
+	b, ok := benchprogs.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+	}
+	t, err := benchprogs.Trace(b, r.cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	r.traces[name] = t
+	return t, nil
+}
+
+// Stream returns the preprocessed reference stream for a benchmark.
+func (r *Runner) Stream(name string) (*trace.Stream, error) {
+	r.mu.Lock()
+	if st, ok := r.streams[name]; ok {
+		r.mu.Unlock()
+		return st, nil
+	}
+	r.mu.Unlock()
+	t, err := r.Trace(name)
+	if err != nil {
+		return nil, err
+	}
+	st := trace.Preprocess(t)
+	r.mu.Lock()
+	r.streams[name] = st
+	r.mu.Unlock()
+	return st, nil
+}
+
+// Experiment names one regenerable artifact.
+type Experiment struct {
+	ID  string
+	Run func(r *Runner) (*Report, error)
+}
+
+// All lists every experiment in thesis order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig3.1", Fig3_1},
+		{"table3.1", Table3_1},
+		{"fig3.3", Fig3_3},
+		{"fig3.4", Fig3_4},
+		{"fig3.5", Fig3_5},
+		{"fig3.6", Fig3_6},
+		{"fig3.7", Fig3_7},
+		{"table3.2", Table3_2},
+		{"fig3.8", Fig3_8to10},
+		{"fig3.11", Fig3_11to13},
+		{"table5.1", Table5_1},
+		{"fig5.1", Fig5_1},
+		{"fig5.2", Fig5_2},
+		{"fig5.3", Fig5_3},
+		{"table5.2", Table5_2},
+		{"table5.3", Table5_3},
+		{"table5.4", Table5_4},
+		{"fig5.4", Fig5_4},
+		{"fig5.5", Fig5_5},
+		{"table5.5", Table5_5},
+		{"timing", TimingStudy},
+		{"multilisp", MultilispStudy},
+		{"parallelism", ParallelismStudy},
+		{"clark", ClarkStudy},
+		{"gc", GCStudy},
+		{"direct", DirectStudy},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// table renders rows with a header, padding columns.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// curveRows samples a CDF-style curve at round percentages for compact
+// textual rendering.
+func curveRows(points []stats.CDFPoint, xLabel string) [][]string {
+	if len(points) == 0 {
+		return nil
+	}
+	var rows [][]string
+	// Sample at most 12 points, spread over the curve.
+	step := len(points) / 12
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(points); i += step {
+		p := points[i]
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", p.X), fmt.Sprintf("%.1f%%", p.CumPct),
+		})
+	}
+	last := points[len(points)-1]
+	rows = append(rows, []string{fmt.Sprintf("%.0f", last.X), fmt.Sprintf("%.1f%%", last.CumPct)})
+	_ = xLabel
+	return rows
+}
+
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func d(x int64) string    { return fmt.Sprintf("%d", x) }
+
+// sortedKeys returns map keys ascending (for deterministic dist output).
+func sortedKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func testRunner(t *testing.T) *Runner {
+	t.Helper()
+	return NewRunner(Config{Scale: 1, Seeds: 5})
+}
+
+// TestAllExperimentsRun executes every experiment at small scale and
+// checks each produces a non-trivial report.
+func TestAllExperimentsRun(t *testing.T) {
+	r := testRunner(t)
+	for _, e := range All() {
+		rep, err := e.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if rep.ID != e.ID {
+			t.Errorf("%s: report id %q", e.ID, rep.ID)
+		}
+		if rep.Title == "" || len(rep.Text) < 40 {
+			t.Errorf("%s: report too thin: %q / %q", e.ID, rep.Title, rep.Text)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig5.1"); !ok {
+		t.Error("fig5.1 should exist")
+	}
+	if _, ok := ByID("nonsense"); ok {
+		t.Error("nonsense should not exist")
+	}
+}
+
+func TestRunnerCachesTraces(t *testing.T) {
+	r := testRunner(t)
+	a, err := r.Trace("slang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Trace("slang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("trace not cached")
+	}
+	sa, err := r.Stream("slang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := r.Stream("slang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Error("stream not cached")
+	}
+}
+
+// TestFig51Shape asserts the knee property in the rendered data: every
+// benchmark section contains a row where peak == size with overflow and a
+// final row where peak < size without overflow.
+func TestFig51Shape(t *testing.T) {
+	r := testRunner(t)
+	rep, err := Fig5_1(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "pseudo") && !strings.Contains(rep.Text, "true") {
+		t.Error("expected overflow markers below the knee")
+	}
+	if !strings.Contains(rep.Text, "knee") {
+		t.Error("expected knee annotations")
+	}
+}
+
+// TestTable54Shape asserts the headline Table 5.4 relationship inside the
+// regenerated data: LPT misses below cache misses on every row.
+func TestTable54Shape(t *testing.T) {
+	r := testRunner(t)
+	rep, err := Table5_4(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(rep.Text, "\n")
+	rows := 0
+	for _, ln := range lines {
+		fields := strings.Fields(ln)
+		if len(fields) != 6 {
+			continue
+		}
+		lptMiss, err1 := strconv.ParseInt(fields[2], 10, 64)
+		cacheMiss, err2 := strconv.ParseInt(fields[4], 10, 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		rows++
+		if lptMiss >= cacheMiss {
+			t.Errorf("row %q: LPT misses %d not < cache misses %d", ln, lptMiss, cacheMiss)
+		}
+	}
+	if rows < 8 {
+		t.Errorf("only %d data rows parsed", rows)
+	}
+}

@@ -1,0 +1,219 @@
+package gc
+
+import (
+	"errors"
+
+	"repro/internal/heap"
+	"repro/internal/sexpr"
+)
+
+// Semispace is a copying collector heap in the style of Fenichel/Yochelson
+// and Baker (§2.3.4): memory is divided into two semispaces; allocation
+// bumps a pointer in the active space, and collection relocates live cells
+// into the other space with Cheney's breadth-first scan, then flips.
+type Semispace struct {
+	space    [2][]scell
+	active   int
+	alloc    int32
+	atoms    *heap.Atoms
+	Flips    int   // collections performed
+	Copied   int64 // cells relocated over all collections
+	capacity int32
+}
+
+type scell struct {
+	car, cdr heap.Word
+	// forward is the to-space address + 1 when relocated this cycle, 0
+	// otherwise.
+	forward int32
+}
+
+// ErrSemispaceFull is returned when allocation fails even after a collection.
+var ErrSemispaceFull = errors.New("gc: semispace full even after collection")
+
+// NewSemispace returns a copying heap whose each semispace holds the given
+// number of cells.
+func NewSemispace(cellsPerSpace int) *Semispace {
+	s := &Semispace{atoms: heap.NewAtoms(), capacity: int32(cellsPerSpace)}
+	s.space[0] = make([]scell, cellsPerSpace)
+	s.space[1] = make([]scell, cellsPerSpace)
+	return s
+}
+
+// Atoms exposes the atom table.
+func (s *Semispace) Atoms() *heap.Atoms { return s.atoms }
+
+// Live returns the number of cells allocated in the active space.
+func (s *Semispace) Live() int { return int(s.alloc) }
+
+// Cons allocates a cell; the caller is responsible for calling Collect
+// with its roots when ErrSemispaceFull would otherwise occur (see
+// ConsRooted for the automatic variant).
+func (s *Semispace) Cons(car, cdr heap.Word) (heap.Word, error) {
+	if s.alloc >= s.capacity {
+		return heap.NilWord, ErrSemispaceFull
+	}
+	addr := s.alloc
+	s.alloc++
+	s.space[s.active][addr] = scell{car: car, cdr: cdr}
+	return heap.Word{Tag: heap.TagCell, Val: addr}, nil
+}
+
+func (s *Semispace) cell(w heap.Word) (*scell, error) {
+	if w.Tag != heap.TagCell {
+		return nil, heap.ErrNotList
+	}
+	if w.Val < 0 || w.Val >= s.alloc {
+		return nil, heap.ErrBadAddress
+	}
+	return &s.space[s.active][w.Val], nil
+}
+
+// Car returns the car of w.
+func (s *Semispace) Car(w heap.Word) (heap.Word, error) {
+	c, err := s.cell(w)
+	if err != nil {
+		return heap.NilWord, err
+	}
+	return c.car, nil
+}
+
+// Cdr returns the cdr of w.
+func (s *Semispace) Cdr(w heap.Word) (heap.Word, error) {
+	c, err := s.cell(w)
+	if err != nil {
+		return heap.NilWord, err
+	}
+	return c.cdr, nil
+}
+
+// Rplaca overwrites the car of w.
+func (s *Semispace) Rplaca(w, v heap.Word) error {
+	c, err := s.cell(w)
+	if err != nil {
+		return err
+	}
+	c.car = v
+	return nil
+}
+
+// Rplacd overwrites the cdr of w.
+func (s *Semispace) Rplacd(w, v heap.Word) error {
+	c, err := s.cell(w)
+	if err != nil {
+		return err
+	}
+	c.cdr = v
+	return nil
+}
+
+// Collect relocates everything reachable from roots into the other
+// semispace using Cheney's algorithm and flips spaces. It returns the
+// updated root words; all old words are invalidated.
+func (s *Semispace) Collect(roots []heap.Word) ([]heap.Word, error) {
+	from := s.space[s.active]
+	toIdx := 1 - s.active
+	to := s.space[toIdx]
+	var next int32
+
+	// relocate copies one cell to to-space, leaving a forwarding address.
+	relocate := func(w heap.Word) (heap.Word, error) {
+		if w.Tag != heap.TagCell {
+			return w, nil
+		}
+		if w.Val < 0 || w.Val >= s.alloc {
+			return heap.NilWord, heap.ErrBadAddress
+		}
+		if f := from[w.Val].forward; f != 0 {
+			return heap.Word{Tag: heap.TagCell, Val: f - 1}, nil
+		}
+		addr := next
+		next++
+		to[addr] = scell{car: from[w.Val].car, cdr: from[w.Val].cdr}
+		from[w.Val].forward = addr + 1
+		s.Copied++
+		return heap.Word{Tag: heap.TagCell, Val: addr}, nil
+	}
+
+	newRoots := make([]heap.Word, len(roots))
+	for i, r := range roots {
+		nr, err := relocate(r)
+		if err != nil {
+			return nil, err
+		}
+		newRoots[i] = nr
+	}
+	// Cheney scan: the to-space between scan and next is the queue.
+	for scan := int32(0); scan < next; scan++ {
+		car, err := relocate(to[scan].car)
+		if err != nil {
+			return nil, err
+		}
+		cdr, err := relocate(to[scan].cdr)
+		if err != nil {
+			return nil, err
+		}
+		to[scan].car = car
+		to[scan].cdr = cdr
+	}
+	// Flip.
+	for i := range from {
+		from[i] = scell{}
+	}
+	s.active = toIdx
+	s.alloc = next
+	s.Flips++
+	return newRoots, nil
+}
+
+// Build stores an s-expression (convenience for tests).
+func (s *Semispace) Build(v sexpr.Value) (heap.Word, error) {
+	switch t := v.(type) {
+	case nil:
+		return heap.NilWord, nil
+	case *sexpr.Cell:
+		car, err := s.Build(t.Car)
+		if err != nil {
+			return heap.NilWord, err
+		}
+		cdr, err := s.Build(t.Cdr)
+		if err != nil {
+			return heap.NilWord, err
+		}
+		return s.Cons(car, cdr)
+	default:
+		return s.atoms.Intern(t), nil
+	}
+}
+
+// Decode reconstructs the s-expression behind w. Cyclic structure is
+// rejected by depth limiting.
+func (s *Semispace) Decode(w heap.Word) (sexpr.Value, error) {
+	var dec func(w heap.Word, depth int) (sexpr.Value, error)
+	dec = func(w heap.Word, depth int) (sexpr.Value, error) {
+		if depth > 10000 {
+			return nil, errors.New("gc: decode too deep (cycle?)")
+		}
+		if w.Tag != heap.TagCell {
+			return s.atoms.Value(w)
+		}
+		car, err := s.Car(w)
+		if err != nil {
+			return nil, err
+		}
+		cdr, err := s.Cdr(w)
+		if err != nil {
+			return nil, err
+		}
+		carV, err := dec(car, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		cdrV, err := dec(cdr, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return sexpr.Cons(carV, cdrV), nil
+	}
+	return dec(w, 0)
+}

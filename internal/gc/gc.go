@@ -1,0 +1,60 @@
+// Package gc implements the garbage detection and reclamation schemes
+// surveyed in §2.3.4 over two-pointer cell heaps: mark/sweep [Scho67a],
+// reference counting [Coll60a] with its circular-structure blind spot, and
+// a semispace copying collector in the style of [Feni69a, Bake78a].
+//
+// These collectors are the baseline against which SMALL's LPT-based
+// garbage detection (§5.3.2) is contrasted: SMALL detects garbage the
+// moment an LPT reference count reaches zero, while these schemes either
+// pay a stop-the-world traversal (mark/sweep, copying) or per-operation
+// count maintenance on every heap cell (reference counting).
+package gc
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+)
+
+// MarkSweepStats reports one collection.
+type MarkSweepStats struct {
+	Marked int // live cells found
+	Freed  int // garbage cells reclaimed
+}
+
+// MarkSweep collects the heap: every cell not reachable from roots is
+// returned to the free list. The mark phase uses an explicit stack.
+func MarkSweep(h *heap.TwoPtr, roots []heap.Word) (MarkSweepStats, error) {
+	marked := make(map[int32]bool)
+	var stack []heap.Word
+	stack = append(stack, roots...)
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if w.Tag != heap.TagCell || marked[w.Val] {
+			continue
+		}
+		marked[w.Val] = true
+		car, err := h.Car(w)
+		if err != nil {
+			return MarkSweepStats{}, fmt.Errorf("gc: mark: %w", err)
+		}
+		cdr, err := h.Cdr(w)
+		if err != nil {
+			return MarkSweepStats{}, fmt.Errorf("gc: mark: %w", err)
+		}
+		stack = append(stack, car, cdr)
+	}
+	var garbage []int32
+	h.ForEachUsed(func(addr int32) {
+		if !marked[addr] {
+			garbage = append(garbage, addr)
+		}
+	})
+	for _, addr := range garbage {
+		if err := h.FreeCell(addr); err != nil {
+			return MarkSweepStats{}, err
+		}
+	}
+	return MarkSweepStats{Marked: len(marked), Freed: len(garbage)}, nil
+}

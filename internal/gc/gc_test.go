@@ -1,0 +1,359 @@
+package gc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/sexpr"
+)
+
+func mustParse(t *testing.T, src string) sexpr.Value {
+	t.Helper()
+	v, err := sexpr.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestMarkSweepReclaimsGarbage(t *testing.T) {
+	h := heap.NewTwoPtr(128)
+	if _, err := h.Build(mustParse(t, "(garbage list one)")); err != nil {
+		t.Fatal(err)
+	}
+	live, err := h.Build(mustParse(t, "(live (data) here)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := MarkSweep(h, []heap.Word{live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Marked != 4 { // (live (data) here): 3 spine + 1 sublist cell
+		t.Errorf("Marked = %d, want 4", st.Marked)
+	}
+	if st.Freed != 3 {
+		t.Errorf("Freed = %d, want 3", st.Freed)
+	}
+	// Live data survives intact.
+	if v, _ := h.Decode(live); sexpr.String(v) != "(live (data) here)" {
+		t.Errorf("live data damaged: %s", sexpr.String(v))
+	}
+}
+
+func TestMarkSweepHandlesCycles(t *testing.T) {
+	h := heap.NewTwoPtr(64)
+	a, err := h.Build(mustParse(t, "(a)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make it circular: (a . itself)
+	if err := h.Rplacd(a, a); err != nil {
+		t.Fatal(err)
+	}
+	// Rooted cycle survives.
+	st, err := MarkSweep(h, []heap.Word{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Freed != 0 || st.Marked != 1 {
+		t.Errorf("rooted cycle: %+v", st)
+	}
+	// Unrooted cycle is reclaimed — mark/sweep's advantage over refcounts.
+	st, err = MarkSweep(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Freed != 1 {
+		t.Errorf("unrooted cycle not freed: %+v", st)
+	}
+}
+
+func TestMarkSweepEmptyRoots(t *testing.T) {
+	h := heap.NewTwoPtr(16)
+	if _, err := h.Build(mustParse(t, "(x y z)")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := MarkSweep(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Freed != 3 || h.FreeCells() != 16 {
+		t.Errorf("sweep-all: %+v, free=%d", st, h.FreeCells())
+	}
+}
+
+func TestRefCountBasic(t *testing.T) {
+	h := heap.NewTwoPtr(64)
+	r := NewRefHeap(h)
+	a := h.Atoms().Intern(sexpr.Symbol("a"))
+	w, err := r.Cons(a, heap.NilWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count(w) != 1 {
+		t.Errorf("count = %d", r.Count(w))
+	}
+	r.Retain(w)
+	if r.Count(w) != 2 {
+		t.Errorf("count after retain = %d", r.Count(w))
+	}
+	if err := r.Release(w); err != nil {
+		t.Fatal(err)
+	}
+	if r.Count(w) != 1 {
+		t.Errorf("count after release = %d", r.Count(w))
+	}
+	if err := r.Release(w); err != nil {
+		t.Fatal(err)
+	}
+	if r.LiveCells() != 0 || r.Reclaimed != 1 {
+		t.Errorf("live=%d reclaimed=%d", r.LiveCells(), r.Reclaimed)
+	}
+}
+
+func TestRefCountCascade(t *testing.T) {
+	h := heap.NewTwoPtr(64)
+	r := NewRefHeap(h)
+	a := h.Atoms().Intern(sexpr.Symbol("a"))
+	// Build (a a a) via nested conses.
+	w1, _ := r.Cons(a, heap.NilWord)
+	w2, _ := r.Cons(a, w1)
+	w3, _ := r.Cons(a, w2)
+	// The externally held w1 reference was transferred into w2 during the
+	// cons, so drop our copy.
+	if err := r.Release(w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Release(w2); err != nil {
+		t.Fatal(err)
+	}
+	if r.LiveCells() != 3 {
+		t.Fatalf("live = %d, want 3 (all reachable from w3)", r.LiveCells())
+	}
+	// Releasing the head reclaims the whole spine in one cascade.
+	if err := r.Release(w3); err != nil {
+		t.Fatal(err)
+	}
+	if r.LiveCells() != 0 {
+		t.Errorf("live = %d after cascade, want 0", r.LiveCells())
+	}
+	if r.Reclaimed != 3 {
+		t.Errorf("reclaimed = %d, want 3", r.Reclaimed)
+	}
+}
+
+// TestRefCountCycleLeak documents the classic reference counting drawback
+// (§2.3.4): circular lists are never reclaimed.
+func TestRefCountCycleLeak(t *testing.T) {
+	h := heap.NewTwoPtr(64)
+	r := NewRefHeap(h)
+	a := h.Atoms().Intern(sexpr.Symbol("a"))
+	w, _ := r.Cons(a, heap.NilWord)
+	if err := r.Rplacd(w, w); err != nil { // w now points at itself
+		t.Fatal(err)
+	}
+	if err := r.Release(w); err != nil { // drop the external reference
+		t.Fatal(err)
+	}
+	if r.LiveCells() != 1 {
+		t.Errorf("cycle was reclaimed; refcounting should leak it")
+	}
+	// Mark/sweep from empty roots reclaims what refcounting could not.
+	st, err := MarkSweep(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Freed != 1 {
+		t.Errorf("mark/sweep freed %d, want 1", st.Freed)
+	}
+}
+
+func TestRefCountRplacaMaintainsCounts(t *testing.T) {
+	h := heap.NewTwoPtr(64)
+	r := NewRefHeap(h)
+	inner, _ := r.Cons(h.Atoms().Intern(sexpr.Symbol("x")), heap.NilWord)
+	outer, _ := r.Cons(inner, heap.NilWord)
+	if err := r.Release(inner); err != nil { // ownership moved into outer
+		t.Fatal(err)
+	}
+	if r.Count(inner) != 1 {
+		t.Fatalf("inner count = %d", r.Count(inner))
+	}
+	// Replacing outer's car drops the last reference to inner.
+	if err := r.Rplaca(outer, heap.NilWord); err != nil {
+		t.Fatal(err)
+	}
+	if r.LiveCells() != 1 {
+		t.Errorf("live = %d, want 1 (inner reclaimed)", r.LiveCells())
+	}
+}
+
+func TestSemispaceCollect(t *testing.T) {
+	s := NewSemispace(64)
+	if _, err := s.Build(mustParse(t, "(dead dead dead)")); err != nil {
+		t.Fatal(err)
+	}
+	live, err := s.Build(mustParse(t, "(keep (this) safe)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Live()
+	roots, err := s.Collect([]heap.Word{live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Live() >= before {
+		t.Errorf("live cells did not shrink: %d -> %d", before, s.Live())
+	}
+	if s.Live() != 4 {
+		t.Errorf("live = %d, want 4", s.Live())
+	}
+	v, err := s.Decode(roots[0])
+	if err != nil || sexpr.String(v) != "(keep (this) safe)" {
+		t.Errorf("after collect: %s, %v", sexpr.String(v), err)
+	}
+}
+
+func TestSemispacePreservesSharing(t *testing.T) {
+	s := NewSemispace(64)
+	shared, _ := s.Build(mustParse(t, "(s)"))
+	top, err := s.Cons(shared, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots, err := s.Collect([]heap.Word{top})
+	if err != nil {
+		t.Fatal(err)
+	}
+	car, _ := s.Car(roots[0])
+	cdr, _ := s.Cdr(roots[0])
+	if car != cdr {
+		t.Error("sharing lost during copy")
+	}
+	if s.Live() != 2 {
+		t.Errorf("live = %d, want 2 (shared copied once)", s.Live())
+	}
+}
+
+func TestSemispacePreservesCycles(t *testing.T) {
+	s := NewSemispace(64)
+	a := s.Atoms().Intern(sexpr.Symbol("a"))
+	w, _ := s.Cons(a, heap.NilWord)
+	if err := s.Rplacd(w, w); err != nil {
+		t.Fatal(err)
+	}
+	roots, err := s.Collect([]heap.Word{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Live() != 1 {
+		t.Errorf("live = %d, want 1", s.Live())
+	}
+	cdr, _ := s.Cdr(roots[0])
+	if cdr != roots[0] {
+		t.Error("cycle broken during copy")
+	}
+}
+
+func TestSemispaceFull(t *testing.T) {
+	s := NewSemispace(2)
+	a := s.Atoms().Intern(sexpr.Symbol("a"))
+	var last heap.Word
+	var err error
+	for i := 0; i < 2; i++ {
+		last, err = s.Cons(a, last)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Cons(a, last); err != ErrSemispaceFull {
+		t.Errorf("expected ErrSemispaceFull, got %v", err)
+	}
+	// Collect with no roots empties the space entirely.
+	if _, err := s.Collect(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Live() != 0 {
+		t.Errorf("live = %d after root-less collect", s.Live())
+	}
+	if _, err := s.Cons(a, heap.NilWord); err != nil {
+		t.Errorf("allocation after collect failed: %v", err)
+	}
+}
+
+// TestCollectorsAgree drives random mutation workloads and checks that
+// mark/sweep and the copying collector agree on the live structure.
+func TestCollectorsAgree(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		h := heap.NewTwoPtr(1024)
+		s := NewSemispace(1024)
+		var hRoots []heap.Word
+		var sRoots []heap.Word
+		syms := []sexpr.Value{sexpr.Symbol("a"), sexpr.Symbol("b"), sexpr.Int(1)}
+		for op := 0; op < 200; op++ {
+			switch r.Intn(4) {
+			case 0, 1: // cons an atom onto a random root (or nil)
+				atom := syms[r.Intn(len(syms))]
+				var hTail, sTail heap.Word
+				if len(hRoots) > 0 {
+					i := r.Intn(len(hRoots))
+					hTail, sTail = hRoots[i], sRoots[i]
+				}
+				ha, err := h.Alloc(h.Atoms().Intern(atom), hTail)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sw, err := s.Cons(s.Atoms().Intern(atom), sTail)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hRoots = append(hRoots, heap.Word{Tag: heap.TagCell, Val: ha})
+				sRoots = append(sRoots, sw)
+			case 2: // drop a root
+				if len(hRoots) > 0 {
+					i := r.Intn(len(hRoots))
+					hRoots = append(hRoots[:i], hRoots[i+1:]...)
+					sRoots = append(sRoots[:i], sRoots[i+1:]...)
+				}
+			case 3: // rplaca a root
+				if len(hRoots) > 0 {
+					i := r.Intn(len(hRoots))
+					atom := syms[r.Intn(len(syms))]
+					if err := h.Rplaca(hRoots[i], h.Atoms().Intern(atom)); err != nil {
+						t.Fatal(err)
+					}
+					if err := s.Rplaca(sRoots[i], s.Atoms().Intern(atom)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		st, err := MarkSweep(h, hRoots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRoots, err := s.Collect(sRoots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Marked != s.Live() {
+			t.Fatalf("seed %d: marksweep live %d != copying live %d", seed, st.Marked, s.Live())
+		}
+		for i := range hRoots {
+			hv, err := h.Decode(hRoots[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			sv, err := s.Decode(newRoots[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sexpr.Equal(hv, sv) {
+				t.Fatalf("seed %d root %d: %s != %s", seed, i, sexpr.String(hv), sexpr.String(sv))
+			}
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package gc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/sexpr"
+)
+
+// Incremental is Baker's real-time copying collector [Bake78a] as used by
+// the MIT Lisp Machine (§2.3.4): the two semispaces are simultaneously
+// active; every allocation performs a bounded number of relocations (K)
+// so collection interleaves with computation, and a read barrier relocates
+// any from-space object the mutator touches. No operation ever does more
+// than O(K) collection work — the real-time property the thesis contrasts
+// with unbounded reference-count cascades.
+//
+// Cell addresses encode their semispace in bit 30 of the word value, so a
+// flip instantly retargets the barrier without rewriting the mutator's
+// words.
+type Incremental struct {
+	space      [2][]scell
+	atoms      *heap.Atoms
+	toIdx      int   // the space new objects are allocated in
+	alloc      int32 // allocation pointer (top, descending) in to-space
+	scan       int32 // Cheney scan pointer (bottom, ascending)
+	next       int32 // relocation frontier (bottom, ascending)
+	collecting bool
+	// wedged is set when a relocation had to be skipped for lack of room:
+	// the collection may then never complete (from-space must stay valid).
+	wedged bool
+	k      int
+	// roots is the managed root table; the mutator holds indexes into it.
+	roots []heap.Word
+	// Flips and Relocations count collector activity.
+	Flips       int
+	Relocations int64
+	capacity    int32
+}
+
+const spaceBit = int32(1) << 30
+
+// ErrIncrementalFull means the mutator outran the collector: to-space
+// filled before the scan completed. Choose a larger K or heap.
+var ErrIncrementalFull = errors.New("gc: incremental collector outran (raise K or capacity)")
+
+// NewIncremental returns an incremental heap with the given cells per
+// semispace, performing k relocations per allocation during collection.
+func NewIncremental(cellsPerSpace, k int) *Incremental {
+	if k < 1 {
+		k = 1
+	}
+	g := &Incremental{atoms: heap.NewAtoms(), k: k, capacity: int32(cellsPerSpace)}
+	g.space[0] = make([]scell, cellsPerSpace)
+	g.space[1] = make([]scell, cellsPerSpace)
+	g.alloc = g.capacity
+	return g
+}
+
+// Atoms exposes the atom table.
+func (g *Incremental) Atoms() *heap.Atoms { return g.atoms }
+
+// Collecting reports whether a collection cycle is in progress.
+func (g *Incremental) Collecting() bool { return g.collecting }
+
+func (g *Incremental) addrWord(space int, idx int32) heap.Word {
+	v := idx
+	if space == 1 {
+		v |= spaceBit
+	}
+	return heap.Word{Tag: heap.TagCell, Val: v}
+}
+
+func (g *Incremental) split(w heap.Word) (space int, idx int32) {
+	if w.Val&spaceBit != 0 {
+		return 1, w.Val &^ spaceBit
+	}
+	return 0, w.Val
+}
+
+// AddRoot registers a root and returns its index.
+func (g *Incremental) AddRoot(w heap.Word) int {
+	g.roots = append(g.roots, w)
+	return len(g.roots) - 1
+}
+
+// Root reads a root (through the barrier, so the caller always sees a
+// to-space word during collection).
+func (g *Incremental) Root(i int) heap.Word {
+	g.roots[i] = g.forward(g.roots[i])
+	return g.roots[i]
+}
+
+// SetRoot overwrites a root.
+func (g *Incremental) SetRoot(i int, w heap.Word) { g.roots[i] = w }
+
+// DropRoot clears a root (the object becomes collectable on the next
+// cycle unless otherwise reachable).
+func (g *Incremental) DropRoot(i int) { g.roots[i] = heap.NilWord }
+
+// forward implements the read barrier: a from-space cell word is
+// relocated (or its forwarding address followed) before use.
+func (g *Incremental) forward(w heap.Word) heap.Word {
+	if !g.collecting || w.Tag != heap.TagCell {
+		return w
+	}
+	space, idx := g.split(w)
+	if space == g.toIdx {
+		return w
+	}
+	from := g.space[1-g.toIdx]
+	if f := from[idx].forward; f != 0 {
+		return g.addrWord(g.toIdx, f-1)
+	}
+	// Relocate to the bottom of to-space.
+	if g.next >= g.alloc {
+		// Out of room mid-collection: leave the word pointing into
+		// from-space. From-space stays intact while the (now wedged)
+		// collection is open, so reads remain correct; only allocation
+		// fails, via the Cons path.
+		g.wedged = true
+		return w
+	}
+	to := g.space[g.toIdx]
+	to[g.next] = scell{car: from[idx].car, cdr: from[idx].cdr}
+	from[idx].forward = g.next + 1
+	g.Relocations++
+	out := g.addrWord(g.toIdx, g.next)
+	g.next++
+	return out
+}
+
+// step performs up to n scan steps of the Cheney queue, finishing the
+// collection when the queue drains and all roots are relocated.
+func (g *Incremental) step(n int) {
+	if !g.collecting {
+		return
+	}
+	to := g.space[g.toIdx]
+	for i := 0; i < n && g.scan < g.next; i++ {
+		to[g.scan].car = g.forward(to[g.scan].car)
+		to[g.scan].cdr = g.forward(to[g.scan].cdr)
+		g.scan++
+	}
+	if g.scan >= g.next && !g.wedged {
+		// Queue drained: collection complete; from-space is now free.
+		g.collecting = false
+		from := g.space[1-g.toIdx]
+		for i := range from {
+			from[i] = scell{}
+		}
+	}
+}
+
+// startCollection flips spaces and relocates the roots.
+func (g *Incremental) startCollection() {
+	g.toIdx = 1 - g.toIdx
+	g.scan, g.next = 0, 0
+	g.alloc = g.capacity
+	g.collecting = true
+	g.wedged = false
+	g.Flips++
+	for i, r := range g.roots {
+		g.roots[i] = g.forward(r)
+	}
+}
+
+// Live returns the number of cells in use in to-space.
+func (g *Incremental) Live() int { return int(g.next + (g.capacity - g.alloc)) }
+
+// Cons allocates a cell, doing K relocation steps of collector work first
+// (the incremental schedule). New cells are allocated from the top of
+// to-space, "black": the collector never needs to scan them. When the
+// mutator outruns the collector the allocation fails with
+// ErrIncrementalFull instead of corrupting the heap.
+func (g *Incremental) Cons(car, cdr heap.Word) (heap.Word, error) {
+	if g.collecting {
+		g.step(g.k)
+	}
+	car = g.forward(car)
+	cdr = g.forward(cdr)
+	if g.alloc <= g.next {
+		if g.collecting {
+			return heap.NilWord, ErrIncrementalFull
+		}
+		g.startCollection()
+		car = g.forward(car)
+		cdr = g.forward(cdr)
+		if g.alloc <= g.next {
+			return heap.NilWord, ErrIncrementalFull
+		}
+	}
+	g.alloc--
+	g.space[g.toIdx][g.alloc] = scell{car: car, cdr: cdr}
+	return g.addrWord(g.toIdx, g.alloc), nil
+}
+
+func (g *Incremental) cell(w heap.Word) (*scell, error) {
+	if w.Tag != heap.TagCell {
+		return nil, heap.ErrNotList
+	}
+	space, idx := g.split(w)
+	if idx < 0 || idx >= g.capacity {
+		return nil, fmt.Errorf("%w: %d", heap.ErrBadAddress, idx)
+	}
+	return &g.space[space][idx], nil
+}
+
+// Car reads through the barrier; the field is snapped to to-space.
+func (g *Incremental) Car(w heap.Word) (heap.Word, error) {
+	w = g.forward(w)
+	c, err := g.cell(w)
+	if err != nil {
+		return heap.NilWord, err
+	}
+	c.car = g.forward(c.car)
+	return c.car, nil
+}
+
+// Cdr reads through the barrier.
+func (g *Incremental) Cdr(w heap.Word) (heap.Word, error) {
+	w = g.forward(w)
+	c, err := g.cell(w)
+	if err != nil {
+		return heap.NilWord, err
+	}
+	c.cdr = g.forward(c.cdr)
+	return c.cdr, nil
+}
+
+// Rplaca overwrites through the barrier.
+func (g *Incremental) Rplaca(w, v heap.Word) error {
+	w = g.forward(w)
+	c, err := g.cell(w)
+	if err != nil {
+		return err
+	}
+	c.car = g.forward(v)
+	return nil
+}
+
+// Rplacd overwrites through the barrier.
+func (g *Incremental) Rplacd(w, v heap.Word) error {
+	w = g.forward(w)
+	c, err := g.cell(w)
+	if err != nil {
+		return err
+	}
+	c.cdr = g.forward(v)
+	return nil
+}
+
+// Build stores an s-expression.
+func (g *Incremental) Build(v sexpr.Value) (heap.Word, error) {
+	switch t := v.(type) {
+	case nil:
+		return heap.NilWord, nil
+	case *sexpr.Cell:
+		car, err := g.Build(t.Car)
+		if err != nil {
+			return heap.NilWord, err
+		}
+		// Hold car as a temporary root across the cdr build: the latter
+		// may trigger a flip that would otherwise strand the car word.
+		ri := g.AddRoot(car)
+		cdr, err := g.Build(t.Cdr)
+		if err != nil {
+			return heap.NilWord, err
+		}
+		car = g.Root(ri)
+		g.roots = g.roots[:len(g.roots)-1]
+		return g.Cons(car, cdr)
+	default:
+		return g.atoms.Intern(t), nil
+	}
+}
+
+// Decode reconstructs the s-expression behind w.
+func (g *Incremental) Decode(w heap.Word) (sexpr.Value, error) {
+	if w.Tag != heap.TagCell {
+		return g.atoms.Value(w)
+	}
+	car, err := g.Car(w)
+	if err != nil {
+		return nil, err
+	}
+	carV, err := g.Decode(car)
+	if err != nil {
+		return nil, err
+	}
+	cdr, err := g.Cdr(w)
+	if err != nil {
+		return nil, err
+	}
+	cdrV, err := g.Decode(cdr)
+	if err != nil {
+		return nil, err
+	}
+	return sexpr.Cons(carV, cdrV), nil
+}

@@ -1,0 +1,204 @@
+package gc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/sexpr"
+)
+
+func TestIncrementalBuildDecode(t *testing.T) {
+	g := NewIncremental(256, 2)
+	v := mustParse(t, "(a (b c) (d (e)) f)")
+	w, err := g.Build(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := g.Decode(w)
+	if err != nil || !sexpr.Equal(v, back) {
+		t.Fatalf("decode = %s, %v", sexpr.String(back), err)
+	}
+}
+
+func TestIncrementalCollectsGarbage(t *testing.T) {
+	// Tiny heap: continuous allocation with one live root forces several
+	// flips; the live structure must survive each.
+	g := NewIncremental(64, 4)
+	keep, err := g.Build(mustParse(t, "(keep me around)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := g.AddRoot(keep)
+	a := g.Atoms().Intern(sexpr.Symbol("junk"))
+	for i := 0; i < 1000; i++ {
+		if _, err := g.Cons(a, heap.NilWord); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		// The garbage cons is dropped immediately.
+	}
+	if g.Flips < 2 {
+		t.Errorf("expected multiple flips, got %d", g.Flips)
+	}
+	back, err := g.Decode(g.Root(ri))
+	if err != nil || sexpr.String(back) != "(keep me around)" {
+		t.Fatalf("live data lost: %s, %v", sexpr.String(back), err)
+	}
+}
+
+func TestIncrementalBoundedWorkPerAlloc(t *testing.T) {
+	// The real-time property: relocations per allocation never exceed K
+	// plus the object's own children being snapped (≤ 2 via forward of
+	// car/cdr arguments and root snapping at flip).
+	g := NewIncremental(128, 3)
+	root, err := g.Build(mustParse(t, "(a b c d e f g h i j)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := g.AddRoot(root)
+	a := g.Atoms().Intern(sexpr.Symbol("x"))
+	prev := g.Relocations
+	maxPerAlloc := int64(0)
+	for i := 0; i < 600; i++ {
+		if _, err := g.Cons(a, heap.NilWord); err != nil {
+			t.Fatal(err)
+		}
+		d := g.Relocations - prev
+		prev = g.Relocations
+		if d > maxPerAlloc {
+			maxPerAlloc = d
+		}
+	}
+	// Flip allocations also relocate the root table (1 root here).
+	if maxPerAlloc > int64(3+2+1) {
+		t.Errorf("a single allocation did %d relocations; bound is K+3", maxPerAlloc)
+	}
+	_ = ri
+}
+
+func TestIncrementalMutationDuringCollection(t *testing.T) {
+	g := NewIncremental(64, 1) // K=1: collections stay in progress a while
+	root, err := g.Build(mustParse(t, "(p q r)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := g.AddRoot(root)
+	a := g.Atoms().Intern(sexpr.Symbol("pad"))
+	z := g.Atoms().Intern(sexpr.Symbol("z"))
+	mutated := false
+	for i := 0; i < 400; i++ {
+		if _, err := g.Cons(a, heap.NilWord); err != nil {
+			t.Fatal(err)
+		}
+		if g.Collecting() && !mutated {
+			// Mutate the live list mid-collection through the barrier.
+			if err := g.Rplaca(g.Root(ri), z); err != nil {
+				t.Fatal(err)
+			}
+			mutated = true
+		}
+	}
+	if !mutated {
+		t.Skip("collection never observed in progress")
+	}
+	back, err := g.Decode(g.Root(ri))
+	if err != nil || sexpr.String(back) != "(z q r)" {
+		t.Fatalf("mutation lost across collection: %s, %v", sexpr.String(back), err)
+	}
+}
+
+func TestIncrementalSharingPreserved(t *testing.T) {
+	g := NewIncremental(64, 2)
+	shared, err := g.Build(mustParse(t, "(s)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := g.Cons(shared, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := g.AddRoot(top)
+	a := g.Atoms().Intern(sexpr.Symbol("x"))
+	for i := 0; i < 500; i++ {
+		if _, err := g.Cons(a, heap.NilWord); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := g.Root(ri)
+	car, err := g.Car(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdr, err := g.Cdr(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if car != cdr {
+		t.Error("sharing lost across incremental collections")
+	}
+}
+
+func TestIncrementalOutrun(t *testing.T) {
+	// A heap with almost everything live cannot flip its way out: the
+	// allocator must report ErrIncrementalFull rather than corrupt data.
+	g := NewIncremental(32, 1)
+	a := g.Atoms().Intern(sexpr.Symbol("x"))
+	var last heap.Word = heap.NilWord
+	ri := g.AddRoot(heap.NilWord)
+	sawErr := false
+	for i := 0; i < 200; i++ {
+		w, err := g.Cons(a, last)
+		if err != nil {
+			sawErr = true
+			break
+		}
+		last = w
+		g.SetRoot(ri, last)
+	}
+	if !sawErr {
+		t.Fatal("expected ErrIncrementalFull on a fully live heap")
+	}
+	// The live chain is still intact.
+	n := 0
+	for w := g.Root(ri); w.Tag == heap.TagCell; n++ {
+		var err error
+		w, err = g.Cdr(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n < 20 {
+		t.Errorf("live chain truncated to %d cells", n)
+	}
+}
+
+func TestIncrementalManyRootsChurn(t *testing.T) {
+	g := NewIncremental(512, 4)
+	var roots []int
+	for i := 0; i < 16; i++ {
+		w, err := g.Build(mustParse(t, fmt.Sprintf("(list %d of stuff)", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots = append(roots, g.AddRoot(w))
+	}
+	a := g.Atoms().Intern(sexpr.Symbol("churn"))
+	for i := 0; i < 3000; i++ {
+		if _, err := g.Cons(a, heap.NilWord); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, ri := range roots {
+		back, err := g.Decode(g.Root(ri))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("(list %d of stuff)", i)
+		if sexpr.String(back) != want {
+			t.Errorf("root %d = %s, want %s", i, sexpr.String(back), want)
+		}
+	}
+	if g.Flips == 0 {
+		t.Error("expected flips during churn")
+	}
+}

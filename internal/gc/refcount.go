@@ -1,0 +1,150 @@
+package gc
+
+import (
+	"repro/internal/heap"
+)
+
+// RefHeap wraps a two-pointer heap with per-cell reference counting
+// (§2.3.4). Cells are reclaimed the instant their count reaches zero;
+// reclamation cascades iteratively, illustrating the unbounded-work
+// objection the thesis raises (and that the LPT's lazy child decrement
+// avoids). Circular structure is never reclaimed — TestRefCountCycleLeak
+// documents the classic drawback.
+type RefHeap struct {
+	H      *heap.TwoPtr
+	counts map[int32]int32
+	// Max bounds the counts, as in the M3L project's 3-bit fields
+	// (§2.3.4): a count that reaches Max becomes *sticky* and its cell is
+	// never reclaimed by counting. 0 means unbounded.
+	Max int32
+	// Refops counts reference count updates, comparable to the Refops
+	// column of Table 5.2.
+	Refops int64
+	// Reclaimed counts cells freed by zero-count cascades; Stuck counts
+	// cells whose counts saturated (reclaimable only by a backup marker).
+	Reclaimed int64
+	Stuck     int64
+}
+
+// NewRefHeap wraps h; the heap must be used exclusively through the
+// wrapper for the counts to stay consistent.
+func NewRefHeap(h *heap.TwoPtr) *RefHeap {
+	return &RefHeap{H: h, counts: make(map[int32]int32)}
+}
+
+// NewBoundedRefHeap wraps h with counts saturating at max, the M3L
+// configuration (max = 7 for its 3-bit fields).
+func NewBoundedRefHeap(h *heap.TwoPtr, max int32) *RefHeap {
+	r := NewRefHeap(h)
+	r.Max = max
+	return r
+}
+
+// Count returns the current reference count of a cell word (0 for atoms).
+func (r *RefHeap) Count(w heap.Word) int32 {
+	if w.Tag != heap.TagCell {
+		return 0
+	}
+	return r.counts[w.Val]
+}
+
+func (r *RefHeap) inc(w heap.Word) {
+	if w.Tag != heap.TagCell {
+		return
+	}
+	r.Refops++
+	if r.Max > 0 && r.counts[w.Val] >= r.Max {
+		return // sticky: saturated counts stop moving
+	}
+	c := r.counts[w.Val] + 1
+	r.counts[w.Val] = c
+	if r.Max > 0 && c == r.Max {
+		r.Stuck++
+	}
+}
+
+// Cons allocates a cell holding (car . cdr) with an initial external
+// count of 1; the children's counts are incremented.
+func (r *RefHeap) Cons(car, cdr heap.Word) (heap.Word, error) {
+	addr, err := r.H.Alloc(car, cdr)
+	if err != nil {
+		return heap.NilWord, err
+	}
+	w := heap.Word{Tag: heap.TagCell, Val: addr}
+	r.counts[addr] = 1
+	r.Refops++
+	r.inc(car)
+	r.inc(cdr)
+	return w, nil
+}
+
+// Retain adds an external reference to w.
+func (r *RefHeap) Retain(w heap.Word) { r.inc(w) }
+
+// Release removes a reference from w, reclaiming it (and cascading into
+// its children) when the count reaches zero.
+func (r *RefHeap) Release(w heap.Word) error {
+	var stack []heap.Word
+	stack = append(stack, w)
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if w.Tag != heap.TagCell {
+			continue
+		}
+		r.Refops++
+		if r.Max > 0 && r.counts[w.Val] >= r.Max {
+			continue // sticky: a saturated cell is never counted down
+		}
+		r.counts[w.Val]--
+		if r.counts[w.Val] > 0 {
+			continue
+		}
+		// Reclaim: push children for decrement, then free.
+		car, err := r.H.Car(w)
+		if err != nil {
+			return err
+		}
+		cdr, err := r.H.Cdr(w)
+		if err != nil {
+			return err
+		}
+		stack = append(stack, car, cdr)
+		delete(r.counts, w.Val)
+		if err := r.H.FreeCell(w.Val); err != nil {
+			return err
+		}
+		r.Reclaimed++
+	}
+	return nil
+}
+
+// Rplaca replaces the car of w, maintaining counts on both the old and
+// new targets.
+func (r *RefHeap) Rplaca(w, v heap.Word) error {
+	old, err := r.H.Car(w)
+	if err != nil {
+		return err
+	}
+	r.inc(v)
+	if err := r.H.Rplaca(w, v); err != nil {
+		return err
+	}
+	return r.Release(old)
+}
+
+// Rplacd replaces the cdr of w, maintaining counts.
+func (r *RefHeap) Rplacd(w, v heap.Word) error {
+	old, err := r.H.Cdr(w)
+	if err != nil {
+		return err
+	}
+	r.inc(v)
+	if err := r.H.Rplacd(w, v); err != nil {
+		return err
+	}
+	return r.Release(old)
+}
+
+// LiveCells returns the number of cells with nonzero counts.
+func (r *RefHeap) LiveCells() int { return len(r.counts) }

@@ -1,0 +1,267 @@
+package gc
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/sexpr"
+)
+
+// SubspaceHeap implements the FACOM Alpha heap organisation of §2.3.4:
+// memory is divided into sub-spaces and reference counts are kept per
+// sub-space, not per cell. A sub-space's count covers only pointers that
+// originate *outside* it (plus registered roots), so a whole sub-space —
+// including any circular lists wholly contained in it — is reclaimed the
+// moment its external count reaches zero. Circular structure spanning
+// sub-spaces is not reclaimable by the counts alone (the Alpha fell back
+// to marking for that; see TestSubspaceCrossSpaceCycleLimitation).
+type SubspaceHeap struct {
+	cells     []sscell
+	spaceSize int32
+	free      [][]int32 // per-sub-space free lists
+	external  []int64   // per-sub-space inbound count
+	atoms     *heap.Atoms
+	// SubspacesFreed and CellsReclaimed count reclamation activity;
+	// Refops counts external-count arithmetic (one count per sub-space is
+	// the scheme's selling point versus one per cell).
+	SubspacesFreed int64
+	CellsReclaimed int64
+	Refops         int64
+}
+
+type sscell struct {
+	car, cdr heap.Word
+	used     bool
+}
+
+// NewSubspaceHeap builds nSpaces sub-spaces of cellsPerSpace cells each.
+func NewSubspaceHeap(nSpaces, cellsPerSpace int) *SubspaceHeap {
+	if nSpaces < 1 {
+		nSpaces = 1
+	}
+	h := &SubspaceHeap{
+		cells:     make([]sscell, nSpaces*cellsPerSpace),
+		spaceSize: int32(cellsPerSpace),
+		free:      make([][]int32, nSpaces),
+		external:  make([]int64, nSpaces),
+		atoms:     heap.NewAtoms(),
+	}
+	for s := 0; s < nSpaces; s++ {
+		for i := cellsPerSpace - 1; i >= 0; i-- {
+			h.free[s] = append(h.free[s], int32(s*cellsPerSpace+i))
+		}
+	}
+	return h
+}
+
+// Atoms exposes the atom table.
+func (h *SubspaceHeap) Atoms() *heap.Atoms { return h.atoms }
+
+// Spaces returns the number of sub-spaces.
+func (h *SubspaceHeap) Spaces() int { return len(h.free) }
+
+// SpaceOf returns the sub-space index of a cell word.
+func (h *SubspaceHeap) SpaceOf(w heap.Word) int { return int(w.Val / h.spaceSize) }
+
+// External returns a sub-space's inbound reference count.
+func (h *SubspaceHeap) External(space int) int64 { return h.external[space] }
+
+// LiveCells counts used cells across all sub-spaces.
+func (h *SubspaceHeap) LiveCells() int {
+	n := 0
+	for i := range h.cells {
+		if h.cells[i].used {
+			n++
+		}
+	}
+	return n
+}
+
+// noteRef adjusts counts for a reference from fromSpace (or -1 for a
+// root) to the cell w.
+func (h *SubspaceHeap) noteRef(fromSpace int, w heap.Word, delta int64) {
+	if w.Tag != heap.TagCell {
+		return
+	}
+	to := h.SpaceOf(w)
+	if to == fromSpace {
+		return // intra-sub-space pointers are not counted — the trick
+	}
+	h.external[to] += delta
+	h.Refops++
+}
+
+// Cons allocates a cell in the given sub-space.
+func (h *SubspaceHeap) Cons(space int, car, cdr heap.Word) (heap.Word, error) {
+	if space < 0 || space >= len(h.free) {
+		return heap.NilWord, fmt.Errorf("gc: bad sub-space %d", space)
+	}
+	fl := h.free[space]
+	if len(fl) == 0 {
+		return heap.NilWord, heap.ErrNoSpace
+	}
+	addr := fl[len(fl)-1]
+	h.free[space] = fl[:len(fl)-1]
+	h.cells[addr] = sscell{car: car, cdr: cdr, used: true}
+	h.noteRef(space, car, +1)
+	h.noteRef(space, cdr, +1)
+	return heap.Word{Tag: heap.TagCell, Val: addr}, nil
+}
+
+func (h *SubspaceHeap) cell(w heap.Word) (*sscell, error) {
+	if w.Tag != heap.TagCell {
+		return nil, heap.ErrNotList
+	}
+	if w.Val < 0 || int(w.Val) >= len(h.cells) || !h.cells[w.Val].used {
+		return nil, heap.ErrBadAddress
+	}
+	return &h.cells[w.Val], nil
+}
+
+// Car returns the car of w.
+func (h *SubspaceHeap) Car(w heap.Word) (heap.Word, error) {
+	c, err := h.cell(w)
+	if err != nil {
+		return heap.NilWord, err
+	}
+	return c.car, nil
+}
+
+// Cdr returns the cdr of w.
+func (h *SubspaceHeap) Cdr(w heap.Word) (heap.Word, error) {
+	c, err := h.cell(w)
+	if err != nil {
+		return heap.NilWord, err
+	}
+	return c.cdr, nil
+}
+
+// Rplaca replaces the car of w, maintaining sub-space counts.
+func (h *SubspaceHeap) Rplaca(w, v heap.Word) error {
+	c, err := h.cell(w)
+	if err != nil {
+		return err
+	}
+	from := h.SpaceOf(w)
+	h.noteRef(from, v, +1)
+	h.noteRef(from, c.car, -1)
+	c.car = v
+	return nil
+}
+
+// Rplacd replaces the cdr of w, maintaining sub-space counts.
+func (h *SubspaceHeap) Rplacd(w, v heap.Word) error {
+	c, err := h.cell(w)
+	if err != nil {
+		return err
+	}
+	from := h.SpaceOf(w)
+	h.noteRef(from, v, +1)
+	h.noteRef(from, c.cdr, -1)
+	c.cdr = v
+	return nil
+}
+
+// Retain registers a root reference to w (from the stack or registers —
+// the references the Alpha counted from outside all sub-spaces).
+func (h *SubspaceHeap) Retain(w heap.Word) { h.noteRef(-1, w, +1) }
+
+// Release drops a root reference and reclaims any sub-spaces whose
+// external counts reach zero.
+func (h *SubspaceHeap) Release(w heap.Word) {
+	h.noteRef(-1, w, -1)
+	h.ReclaimDead()
+}
+
+// ReclaimDead frees every sub-space whose external count is zero,
+// cascading: freeing one sub-space drops its outbound references, which
+// may free further sub-spaces. Intra-sub-space cycles die with their
+// sub-space — the scheme's advantage over per-cell counting.
+func (h *SubspaceHeap) ReclaimDead() int {
+	freedSpaces := 0
+	for {
+		victim := -1
+		for s := range h.external {
+			if h.external[s] == 0 && h.spaceHasCells(s) {
+				victim = s
+				break
+			}
+		}
+		if victim < 0 {
+			return freedSpaces
+		}
+		freedSpaces++
+		h.SubspacesFreed++
+		base := int32(victim) * h.spaceSize
+		for i := base; i < base+h.spaceSize; i++ {
+			if !h.cells[i].used {
+				continue
+			}
+			c := h.cells[i]
+			h.cells[i] = sscell{}
+			h.free[victim] = append(h.free[victim], i)
+			h.CellsReclaimed++
+			// Outbound cross-space references die with the cell.
+			h.noteRef(victim, c.car, -1)
+			h.noteRef(victim, c.cdr, -1)
+		}
+	}
+}
+
+func (h *SubspaceHeap) spaceHasCells(s int) bool {
+	base := int32(s) * h.spaceSize
+	for i := base; i < base+h.spaceSize; i++ {
+		if h.cells[i].used {
+			return true
+		}
+	}
+	return false
+}
+
+// Build stores an s-expression entirely within the given sub-space.
+// Keeping related cells together is the point of the organisation:
+// scattering one structure across sub-spaces would create space-level
+// reference cycles that the counts could never clear.
+func (h *SubspaceHeap) Build(space int, v sexpr.Value) (heap.Word, error) {
+	var build func(v sexpr.Value) (heap.Word, error)
+	build = func(v sexpr.Value) (heap.Word, error) {
+		c, ok := v.(*sexpr.Cell)
+		if !ok {
+			return h.atoms.Intern(v), nil
+		}
+		car, err := build(c.Car)
+		if err != nil {
+			return heap.NilWord, err
+		}
+		cdr, err := build(c.Cdr)
+		if err != nil {
+			return heap.NilWord, err
+		}
+		return h.Cons(space, car, cdr)
+	}
+	return build(v)
+}
+
+// Decode reconstructs the s-expression behind w (acyclic structures).
+func (h *SubspaceHeap) Decode(w heap.Word) (sexpr.Value, error) {
+	if w.Tag != heap.TagCell {
+		return h.atoms.Value(w)
+	}
+	car, err := h.Car(w)
+	if err != nil {
+		return nil, err
+	}
+	cdr, err := h.Cdr(w)
+	if err != nil {
+		return nil, err
+	}
+	carV, err := h.Decode(car)
+	if err != nil {
+		return nil, err
+	}
+	cdrV, err := h.Decode(cdr)
+	if err != nil {
+		return nil, err
+	}
+	return sexpr.Cons(carV, cdrV), nil
+}

@@ -1,0 +1,244 @@
+package gc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/sexpr"
+)
+
+func TestSubspaceBuildDecode(t *testing.T) {
+	h := NewSubspaceHeap(4, 64)
+	v := mustParse(t, "(a (b c) d)")
+	w, err := h.Build(0, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Retain(w)
+	back, err := h.Decode(w)
+	if err != nil || !sexpr.Equal(v, back) {
+		t.Fatalf("decode = %s, %v", sexpr.String(back), err)
+	}
+}
+
+func TestSubspaceReclaimsOnRelease(t *testing.T) {
+	h := NewSubspaceHeap(4, 64)
+	w, err := h.Build(0, mustParse(t, "(a b c d e)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Retain(w)
+	if h.LiveCells() != 5 {
+		t.Fatalf("live = %d", h.LiveCells())
+	}
+	h.Release(w)
+	if h.LiveCells() != 0 {
+		t.Errorf("live = %d after release, want 0 (cascade across sub-spaces)", h.LiveCells())
+	}
+	if h.SubspacesFreed == 0 {
+		t.Error("no sub-spaces freed")
+	}
+}
+
+// TestSubspaceIntraSpaceCycleReclaimed verifies the FACOM claim: a
+// circular list wholly inside one sub-space dies with it, something
+// per-cell reference counting cannot do.
+func TestSubspaceIntraSpaceCycleReclaimed(t *testing.T) {
+	h := NewSubspaceHeap(4, 64)
+	a := h.Atoms().Intern(sexpr.Symbol("a"))
+	w1, err := h.Cons(2, a, heap.NilWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := h.Cons(2, a, w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Rplacd(w1, w2); err != nil { // cycle inside sub-space 2
+		t.Fatal(err)
+	}
+	h.Retain(w1)
+	h.ReclaimDead()
+	if h.LiveCells() != 2 {
+		t.Fatalf("rooted cycle reclaimed early: live = %d", h.LiveCells())
+	}
+	h.Release(w1)
+	if h.LiveCells() != 0 {
+		t.Errorf("intra-sub-space cycle not reclaimed: live = %d", h.LiveCells())
+	}
+}
+
+// TestSubspaceCrossSpaceCycleLimitation documents the scheme's limit: a
+// cycle spanning sub-spaces keeps both external counts nonzero forever.
+func TestSubspaceCrossSpaceCycleLimitation(t *testing.T) {
+	h := NewSubspaceHeap(4, 64)
+	a := h.Atoms().Intern(sexpr.Symbol("a"))
+	w1, err := h.Cons(0, a, heap.NilWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := h.Cons(1, a, w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Rplacd(w1, w2); err != nil { // cycle spanning spaces 0 and 1
+		t.Fatal(err)
+	}
+	h.Retain(w1)
+	h.Release(w1)
+	if h.LiveCells() != 2 {
+		t.Errorf("cross-sub-space cycle should leak under counts alone: live = %d", h.LiveCells())
+	}
+}
+
+func TestSubspaceRefopEconomy(t *testing.T) {
+	// Per-sub-space counting only pays for cross-space references: a list
+	// built entirely within one sub-space costs zero count updates.
+	h := NewSubspaceHeap(2, 256)
+	a := h.Atoms().Intern(sexpr.Symbol("x"))
+	w := heap.NilWord
+	var err error
+	for i := 0; i < 50; i++ {
+		w, err = h.Cons(0, a, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Refops != 0 {
+		t.Errorf("intra-sub-space building cost %d refops, want 0", h.Refops)
+	}
+	h.Retain(w)
+	if h.Refops != 1 {
+		t.Errorf("root retain cost %d refops, want 1", h.Refops)
+	}
+}
+
+func TestSubspaceRplacMaintainsCounts(t *testing.T) {
+	h := NewSubspaceHeap(3, 64)
+	w0, _ := h.Cons(0, heap.NilWord, heap.NilWord)
+	w1, _ := h.Cons(1, heap.NilWord, heap.NilWord)
+	h.Retain(w0)
+	h.Retain(w1)
+	if err := h.Rplaca(w0, w1); err != nil { // space 1 gains an inbound ref
+		t.Fatal(err)
+	}
+	if h.External(1) != 2 { // root + w0's field
+		t.Fatalf("external(1) = %d, want 2", h.External(1))
+	}
+	if err := h.Rplaca(w0, heap.NilWord); err != nil {
+		t.Fatal(err)
+	}
+	if h.External(1) != 1 {
+		t.Errorf("external(1) = %d after displacement, want 1", h.External(1))
+	}
+	// Dropping the roots reclaims everything.
+	h.Release(w0)
+	h.Release(w1)
+	if h.LiveCells() != 0 {
+		t.Errorf("live = %d", h.LiveCells())
+	}
+}
+
+func TestBoundedRefCountsM3L(t *testing.T) {
+	// The M3L observation: small sticky counts reclaim almost everything;
+	// only heavily shared cells stick.
+	h := heap.NewTwoPtr(4096)
+	r := NewBoundedRefHeap(h, 7)
+	a := h.Atoms().Intern(sexpr.Symbol("x"))
+	rng := rand.New(rand.NewSource(5))
+	popular, err := r.Cons(a, heap.NilWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make `popular` heavily shared: its count saturates.
+	var holders []heap.Word
+	for i := 0; i < 20; i++ {
+		w, err := r.Cons(popular, heap.NilWord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		holders = append(holders, w)
+	}
+	if r.Stuck == 0 {
+		t.Fatal("popular cell should have saturated")
+	}
+	// Plenty of transient cells with small counts.
+	transients := 0
+	for i := 0; i < 500; i++ {
+		w, err := r.Cons(a, heap.NilWord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(4) > 0 {
+			if err := r.Release(w); err != nil {
+				t.Fatal(err)
+			}
+			transients++
+		}
+	}
+	if int(r.Reclaimed) != transients {
+		t.Errorf("reclaimed %d of %d transients", r.Reclaimed, transients)
+	}
+	// Dropping every holder leaves the saturated cell stuck: the ~2%
+	// the M3L paper left to its backup collector.
+	for _, w := range holders {
+		if err := r.Release(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Count(popular) != 7 {
+		t.Errorf("saturated count = %d, want sticky 7", r.Count(popular))
+	}
+	// Backup mark/sweep reclaims it.
+	st, err := MarkSweep(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Freed == 0 {
+		t.Error("backup collector found nothing")
+	}
+}
+
+func TestBoundedReclaimRateHigh(t *testing.T) {
+	// Workload-level check of the "98% reclaimed" flavour: random list
+	// building and dropping with a 3-bit bound reclaims the vast majority
+	// of dead cells.
+	h := heap.NewTwoPtr(1 << 15)
+	r := NewBoundedRefHeap(h, 7)
+	rng := rand.New(rand.NewSource(11))
+	a := h.Atoms().Intern(sexpr.Symbol("v"))
+	var live []heap.Word
+	allocated := int64(0)
+	for i := 0; i < 4000; i++ {
+		var tail heap.Word
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			tail = live[rng.Intn(len(live))]
+			r.Retain(tail)
+			// the cons takes its own reference; drop ours after
+		}
+		w, err := r.Cons(a, tail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tail.Tag == heap.TagCell {
+			if err := r.Release(tail); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocated++
+		live = append(live, w)
+		if len(live) > 32 {
+			j := rng.Intn(len(live))
+			if err := r.Release(live[j]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:j], live[j+1:]...)
+		}
+	}
+	dead := allocated - int64(len(live))
+	rate := float64(r.Reclaimed) / float64(dead)
+	if rate < 0.90 {
+		t.Errorf("bounded counts reclaimed only %.1f%% of dead cells", 100*rate)
+	}
+}

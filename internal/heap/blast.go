@@ -1,0 +1,248 @@
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/sexpr"
+)
+
+// Blast stores CDAR-coded exception tables in fixed-size blocks of
+// contiguous memory, the allocation discipline §4.3.3.1 attributes to the
+// BLAST architecture: "list objects ... represented using fixed sized
+// blocks of contiguous memory cells". Fixed blocks make free-space
+// management trivial (one free list) and object freeing O(blocks), at the
+// price of internal fragmentation — the block tail beyond the table's
+// tuples is wasted, and the package reports exactly how much. Objects
+// larger than one block chain through a continuation slot.
+type Blast struct {
+	blockTuples int // tuples per block (excluding the continuation slot)
+	blocks      []blastBlock
+	free        []int32
+	atoms       *Atoms
+	objects     []int32 // object id -> first block index, -1 when freed
+	touches     int64
+	// FragTuples counts allocated-but-unused tuple slots (internal
+	// fragmentation); Chains counts continuation hops taken on access.
+	FragTuples int64
+	Chains     int64
+}
+
+type blastBlock struct {
+	tuples []CdarTuple // length <= blockTuples
+	next   int32       // continuation block, -1 = none
+	used   bool
+}
+
+// NewBlast returns a fixed-block exception-table heap with the given
+// number of blocks, each holding tuplesPerBlock tuples.
+func NewBlast(nBlocks, tuplesPerBlock int) *Blast {
+	if tuplesPerBlock < 1 {
+		tuplesPerBlock = 1
+	}
+	h := &Blast{
+		blockTuples: tuplesPerBlock,
+		blocks:      make([]blastBlock, nBlocks),
+		atoms:       NewAtoms(),
+	}
+	for i := nBlocks - 1; i >= 0; i-- {
+		h.free = append(h.free, int32(i))
+	}
+	return h
+}
+
+// Name implements Representation.
+func (h *Blast) Name() string { return "blast" }
+
+// Atoms exposes the atom table.
+func (h *Blast) Atoms() *Atoms { return h.atoms }
+
+// Touches implements Representation.
+func (h *Blast) Touches() int64 { return h.touches }
+
+// Words implements Representation: every allocated block costs its full
+// fixed size (2 words per tuple slot plus the continuation word),
+// regardless of how many tuples it actually holds.
+func (h *Blast) Words() int {
+	n := 0
+	for i := range h.blocks {
+		if h.blocks[i].used {
+			n += 2*h.blockTuples + 1
+		}
+	}
+	return n
+}
+
+// BlocksInUse returns the allocated block count.
+func (h *Blast) BlocksInUse() int {
+	n := 0
+	for i := range h.blocks {
+		if h.blocks[i].used {
+			n++
+		}
+	}
+	return n
+}
+
+func (h *Blast) allocBlock() (int32, error) {
+	if len(h.free) == 0 {
+		return -1, ErrNoSpace
+	}
+	b := h.free[len(h.free)-1]
+	h.free = h.free[:len(h.free)-1]
+	h.blocks[b] = blastBlock{next: -1, used: true}
+	return b, nil
+}
+
+// storeTuples lays a tuple table into a chain of fixed blocks and
+// registers it as an object.
+func (h *Blast) storeTuples(tuples []CdarTuple) (Word, error) {
+	first, err := h.allocBlock()
+	if err != nil {
+		return NilWord, err
+	}
+	cur := first
+	rest := tuples
+	for {
+		n := len(rest)
+		if n > h.blockTuples {
+			n = h.blockTuples
+		}
+		h.blocks[cur].tuples = append([]CdarTuple(nil), rest[:n]...)
+		h.touches += int64(n)
+		h.FragTuples += int64(h.blockTuples - n)
+		rest = rest[n:]
+		if len(rest) == 0 {
+			break
+		}
+		next, err := h.allocBlock()
+		if err != nil {
+			h.freeChain(first)
+			return NilWord, err
+		}
+		h.blocks[cur].next = next
+		cur = next
+	}
+	id := int32(len(h.objects))
+	h.objects = append(h.objects, first)
+	return Word{Tag: TagCell, Val: id}, nil
+}
+
+// freeChain returns a block chain to the free list — the O(blocks)
+// object-freeing operation fixed blocks buy (§4.3.3.1: "The traversal
+// would be simpler if list objects were represented using fixed sized
+// blocks").
+func (h *Blast) freeChain(b int32) int {
+	freed := 0
+	for b >= 0 {
+		next := h.blocks[b].next
+		used := h.blocks[b].used
+		h.blocks[b] = blastBlock{next: -1}
+		if used {
+			h.free = append(h.free, b)
+			freed++
+		}
+		b = next
+	}
+	return freed
+}
+
+// Free releases the object behind w, returning blocks freed.
+func (h *Blast) Free(w Word) (int, error) {
+	if w.Tag != TagCell || int(w.Val) >= len(h.objects) || h.objects[w.Val] < 0 {
+		return 0, ErrBadAddress
+	}
+	first := h.objects[w.Val]
+	h.objects[w.Val] = -1
+	return h.freeChain(first), nil
+}
+
+// tuplesOf collects the object's tuples across its block chain.
+func (h *Blast) tuplesOf(w Word) ([]CdarTuple, error) {
+	if w.Tag != TagCell {
+		return nil, ErrNotList
+	}
+	if int(w.Val) >= len(h.objects) || h.objects[w.Val] < 0 {
+		return nil, fmt.Errorf("%w: object %d", ErrBadAddress, w.Val)
+	}
+	var out []CdarTuple
+	for b := h.objects[w.Val]; b >= 0; b = h.blocks[b].next {
+		out = append(out, h.blocks[b].tuples...)
+		h.touches += int64(len(h.blocks[b].tuples))
+		if h.blocks[b].next >= 0 {
+			h.Chains++
+		}
+	}
+	return out, nil
+}
+
+// Build implements Representation via CDAR encoding into fixed blocks.
+func (h *Blast) Build(v sexpr.Value) (Word, error) {
+	if sexpr.IsAtom(v) {
+		return h.atoms.Intern(v), nil
+	}
+	// Reuse the Cdar encoder by walking the same paths.
+	enc := NewCdar()
+	cw, err := enc.Build(v)
+	if err != nil {
+		return NilWord, err
+	}
+	tuples, err := enc.Tuples(cw)
+	if err != nil {
+		return NilWord, err
+	}
+	// Intern leaves into OUR atom table (the encoder used its own).
+	out := make([]CdarTuple, len(tuples))
+	for i, t := range tuples {
+		leaf, err := enc.Atoms().Value(t.Leaf)
+		if err != nil {
+			return NilWord, err
+		}
+		out[i] = CdarTuple{Path: t.Path, Len: t.Len, Leaf: h.atoms.Intern(leaf)}
+	}
+	return h.storeTuples(out)
+}
+
+// step filters by the leading path bit — the split, copying the surviving
+// tuples into a fresh block chain (the §4.3.3.2 cost of compact schemes).
+func (h *Blast) step(w Word, bit uint64) (Word, error) {
+	tuples, err := h.tuplesOf(w)
+	if err != nil {
+		return NilWord, err
+	}
+	var out []CdarTuple
+	for _, t := range tuples {
+		if t.Len == 0 {
+			continue
+		}
+		if t.Path&1 == bit {
+			out = append(out, CdarTuple{Path: t.Path >> 1, Len: t.Len - 1, Leaf: t.Leaf})
+		}
+	}
+	if len(out) == 0 {
+		return NilWord, nil
+	}
+	if len(out) == 1 && out[0].Len == 0 {
+		return out[0].Leaf, nil
+	}
+	return h.storeTuples(out)
+}
+
+// Car implements Representation.
+func (h *Blast) Car(w Word) (Word, error) { return h.step(w, 0) }
+
+// Cdr implements Representation.
+func (h *Blast) Cdr(w Word) (Word, error) { return h.step(w, 1) }
+
+// Decode implements Representation.
+func (h *Blast) Decode(w Word) (sexpr.Value, error) {
+	if w.Tag != TagCell {
+		return h.atoms.Value(w)
+	}
+	tuples, err := h.tuplesOf(w)
+	if err != nil {
+		return nil, err
+	}
+	// Reuse the Cdar decoder on a scratch instance sharing our atoms.
+	scratch := &Cdar{atoms: h.atoms}
+	return scratch.decodeTuples(tuples)
+}

@@ -1,0 +1,138 @@
+package heap
+
+import (
+	"testing"
+
+	"repro/internal/sexpr"
+)
+
+func TestBlastRoundTrip(t *testing.T) {
+	for _, src := range roundTripCases {
+		h := NewBlast(256, 4)
+		v := mustParse(t, src)
+		w, err := h.Build(v)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		back, err := h.Decode(w)
+		if err != nil || !sexpr.Equal(v, back) {
+			t.Errorf("%s round-tripped to %s (%v)", src, sexpr.String(back), err)
+		}
+	}
+}
+
+func TestBlastChaining(t *testing.T) {
+	h := NewBlast(64, 2) // tiny blocks force chains
+	v := mustParse(t, "(a b c d e f g h)")
+	w, err := h.Build(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.BlocksInUse() != 4 { // 8 tuples / 2 per block
+		t.Errorf("BlocksInUse = %d, want 4", h.BlocksInUse())
+	}
+	if _, err := h.tuplesOf(w); err != nil {
+		t.Fatal(err)
+	}
+	if h.Chains == 0 {
+		t.Error("expected continuation hops")
+	}
+}
+
+func TestBlastFragmentation(t *testing.T) {
+	h := NewBlast(64, 8)
+	// A 3-symbol list wastes 5 tuple slots in its single block.
+	if _, err := h.Build(mustParse(t, "(a b c)")); err != nil {
+		t.Fatal(err)
+	}
+	if h.FragTuples != 5 {
+		t.Errorf("FragTuples = %d, want 5", h.FragTuples)
+	}
+	// Words charges the full fixed block regardless of fill.
+	if h.Words() != 2*8+1 {
+		t.Errorf("Words = %d, want %d", h.Words(), 2*8+1)
+	}
+}
+
+func TestBlastSplitCopies(t *testing.T) {
+	h := NewBlast(256, 4)
+	w, err := h.Build(mustParse(t, "(a (b c) d)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdr, err := h.Cdr(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.Decode(cdr)
+	if err != nil || sexpr.String(v) != "((b c) d)" {
+		t.Errorf("cdr = %s, %v", sexpr.String(v), err)
+	}
+	car, err := h.Car(w)
+	if err != nil || car.Tag != TagAtom {
+		t.Errorf("car = %+v, %v", car, err)
+	}
+	// The original object is untouched by the splits.
+	if back, _ := h.Decode(w); sexpr.String(back) != "(a (b c) d)" {
+		t.Errorf("original damaged: %s", sexpr.String(back))
+	}
+}
+
+func TestBlastFreeChain(t *testing.T) {
+	h := NewBlast(16, 2)
+	w, err := h.Build(mustParse(t, "(a b c d e f)")) // 3 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	inUse := h.BlocksInUse()
+	freed, err := h.Free(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed != inUse {
+		t.Errorf("freed %d blocks, want %d", freed, inUse)
+	}
+	if h.BlocksInUse() != 0 {
+		t.Errorf("BlocksInUse = %d after free", h.BlocksInUse())
+	}
+	if _, err := h.Decode(w); err == nil {
+		t.Error("decode of freed object should fail")
+	}
+	// Space is reusable.
+	if _, err := h.Build(mustParse(t, "(x y z q r s)")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlastExhaustion(t *testing.T) {
+	h := NewBlast(2, 2)
+	if _, err := h.Build(mustParse(t, "(a b c d e f)")); err != ErrNoSpace {
+		t.Errorf("expected ErrNoSpace, got %v", err)
+	}
+	// The failed build must have rolled its blocks back.
+	if h.BlocksInUse() != 0 {
+		t.Errorf("leaked %d blocks after failed build", h.BlocksInUse())
+	}
+}
+
+// TestBlastBlockSizeTradeoff quantifies the §4.3.3.1 trade-off: small
+// blocks chain more, large blocks fragment more.
+func TestBlastBlockSizeTradeoff(t *testing.T) {
+	v := mustParse(t, "(a b c (d e) f g h (i) j)")
+	small := NewBlast(256, 2)
+	large := NewBlast(256, 16)
+	if _, err := small.Build(v); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := large.Build(v); err != nil {
+		t.Fatal(err)
+	}
+	if small.FragTuples >= large.FragTuples {
+		t.Errorf("small-block fragmentation %d should be < large-block %d",
+			small.FragTuples, large.FragTuples)
+	}
+	if small.BlocksInUse() <= large.BlocksInUse() {
+		t.Errorf("small blocks should use more blocks: %d vs %d",
+			small.BlocksInUse(), large.BlocksInUse())
+	}
+}

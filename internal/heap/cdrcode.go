@@ -1,0 +1,250 @@
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/sexpr"
+)
+
+// CdrCode values are the MIT Lisp Machine 2-bit cdr codes (Fig 2.8).
+type CdrCode uint8
+
+const (
+	// CodeNext: this cell's cdr is the next memory word.
+	CodeNext CdrCode = iota
+	// CodeNil: this cell's cdr is nil (last element of a vector run).
+	CodeNil
+	// CodeNormal: this cell's cdr pointer is stored in the next word.
+	CodeNormal
+	// CodeError: this word holds a cdr pointer for its cdr-normal
+	// neighbour and is not itself a cell.
+	CodeError
+)
+
+type cword struct {
+	Car  Word
+	Code CdrCode
+}
+
+// Cdr2 is the MIT Lisp Machine cdr-coded heap: each word holds a full car
+// pointer and a 2-bit cdr code. Linear lists occupy one word per element
+// (cdr-next runs ending in cdr-nil); irregular structure falls back to
+// cdr-normal/cdr-error pairs; rplacd on a compact cell converts it to an
+// invisible pointer to a freshly allocated normal pair, exactly the
+// mechanism described in §2.3.3.1.
+type Cdr2 struct {
+	words   []cword
+	next    int32 // bump allocation pointer
+	atoms   *Atoms
+	touches int64
+	// Forwards counts invisible-pointer dereferences performed, the
+	// "extra memory activity" cost of destructive modification.
+	Forwards int64
+}
+
+// NewCdr2 returns a cdr-coded heap with the given word capacity.
+func NewCdr2(capacity int) *Cdr2 {
+	return &Cdr2{words: make([]cword, capacity), atoms: NewAtoms()}
+}
+
+// Name implements Representation.
+func (h *Cdr2) Name() string { return "cdrcode" }
+
+// Atoms exposes the atom table.
+func (h *Cdr2) Atoms() *Atoms { return h.atoms }
+
+// Words implements Representation.
+func (h *Cdr2) Words() int { return int(h.next) }
+
+// Touches implements Representation.
+func (h *Cdr2) Touches() int64 { return h.touches }
+
+func (h *Cdr2) alloc(n int32) (int32, error) {
+	if int(h.next+n) > len(h.words) {
+		return 0, ErrNoSpace
+	}
+	addr := h.next
+	h.next += n
+	return addr, nil
+}
+
+// resolve follows invisible pointers to the real cell address.
+func (h *Cdr2) resolve(w Word) (int32, error) {
+	if w.Tag != TagCell {
+		return 0, ErrNotList
+	}
+	addr := w.Val
+	for {
+		if addr < 0 || addr >= h.next {
+			return 0, fmt.Errorf("%w: %d", ErrBadAddress, addr)
+		}
+		h.touches++
+		cw := h.words[addr]
+		if cw.Code == CodeError {
+			return 0, fmt.Errorf("%w: %d is a cdr-error word", ErrBadAddress, addr)
+		}
+		if cw.Car.Tag == TagInvisible {
+			h.Forwards++
+			addr = cw.Car.Val
+			continue
+		}
+		return addr, nil
+	}
+}
+
+// Car implements Representation.
+func (h *Cdr2) Car(w Word) (Word, error) {
+	addr, err := h.resolve(w)
+	if err != nil {
+		return NilWord, err
+	}
+	return h.words[addr].Car, nil
+}
+
+// Cdr implements Representation.
+func (h *Cdr2) Cdr(w Word) (Word, error) {
+	addr, err := h.resolve(w)
+	if err != nil {
+		return NilWord, err
+	}
+	switch h.words[addr].Code {
+	case CodeNext:
+		return Word{Tag: TagCell, Val: addr + 1}, nil
+	case CodeNil:
+		return NilWord, nil
+	case CodeNormal:
+		h.touches++
+		return h.words[addr+1].Car, nil
+	default:
+		return NilWord, fmt.Errorf("%w: cdr of error word", ErrBadAddress)
+	}
+}
+
+// Rplaca overwrites the car field.
+func (h *Cdr2) Rplaca(w, v Word) error {
+	addr, err := h.resolve(w)
+	if err != nil {
+		return err
+	}
+	h.touches++
+	h.words[addr].Car = v
+	return nil
+}
+
+// Rplacd replaces the cdr. On a cdr-normal cell this is a simple store;
+// on a compact (cdr-next / cdr-nil) cell the cell is converted to an
+// invisible pointer to a fresh normal pair elsewhere.
+func (h *Cdr2) Rplacd(w, v Word) error {
+	addr, err := h.resolve(w)
+	if err != nil {
+		return err
+	}
+	if h.words[addr].Code == CodeNormal {
+		h.touches++
+		h.words[addr+1].Car = v
+		return nil
+	}
+	pair, err := h.alloc(2)
+	if err != nil {
+		return err
+	}
+	h.touches += 3
+	h.words[pair] = cword{Car: h.words[addr].Car, Code: CodeNormal}
+	h.words[pair+1] = cword{Car: v, Code: CodeError}
+	h.words[addr].Car = Word{Tag: TagInvisible, Val: pair}
+	return nil
+}
+
+// Cons allocates a normal pair.
+func (h *Cdr2) Cons(car, cdr Word) (Word, error) {
+	if cdr.Tag == TagNil {
+		addr, err := h.alloc(1)
+		if err != nil {
+			return NilWord, err
+		}
+		h.touches++
+		h.words[addr] = cword{Car: car, Code: CodeNil}
+		return Word{Tag: TagCell, Val: addr}, nil
+	}
+	addr, err := h.alloc(2)
+	if err != nil {
+		return NilWord, err
+	}
+	h.touches += 2
+	h.words[addr] = cword{Car: car, Code: CodeNormal}
+	h.words[addr+1] = cword{Car: cdr, Code: CodeError}
+	return Word{Tag: TagCell, Val: addr}, nil
+}
+
+// Build implements Representation: each list level becomes one contiguous
+// cdr-next run ending in cdr-nil (or a cdr-normal pair for a dotted tail).
+func (h *Cdr2) Build(v sexpr.Value) (Word, error) {
+	c, ok := v.(*sexpr.Cell)
+	if !ok {
+		return h.atoms.Intern(v), nil
+	}
+	var elems []sexpr.Value
+	var tail sexpr.Value
+	for {
+		elems = append(elems, c.Car)
+		switch next := c.Cdr.(type) {
+		case *sexpr.Cell:
+			c = next
+		case nil:
+			tail = nil
+			goto done
+		default:
+			tail = next
+			goto done
+		}
+	}
+done:
+	n := int32(len(elems))
+	size := n
+	if tail != nil {
+		size++ // trailing cdr-normal/cdr-error pair shares the last element
+	}
+	// Build element cars first (sublists allocate their own runs), then
+	// lay out this level contiguously.
+	cars := make([]Word, len(elems))
+	for i, e := range elems {
+		cw, err := h.Build(e)
+		if err != nil {
+			return NilWord, err
+		}
+		cars[i] = cw
+	}
+	var tailWord Word
+	if tail != nil {
+		tw, err := h.Build(tail)
+		if err != nil {
+			return NilWord, err
+		}
+		tailWord = tw
+	}
+	addr, err := h.alloc(size)
+	if err != nil {
+		return NilWord, err
+	}
+	h.touches += int64(size)
+	for i := range cars {
+		code := CodeNext
+		if int32(i) == n-1 {
+			if tail == nil {
+				code = CodeNil
+			} else {
+				code = CodeNormal
+			}
+		}
+		h.words[addr+int32(i)] = cword{Car: cars[i], Code: code}
+	}
+	if tail != nil {
+		h.words[addr+n] = cword{Car: tailWord, Code: CodeError}
+	}
+	return Word{Tag: TagCell, Val: addr}, nil
+}
+
+// Decode implements Representation.
+func (h *Cdr2) Decode(w Word) (sexpr.Value, error) {
+	return decodeVia(h, h.atoms, w)
+}

@@ -1,0 +1,621 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sexpr"
+)
+
+func mustParse(t *testing.T, src string) sexpr.Value {
+	t.Helper()
+	v, err := sexpr.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// reps builds one fresh instance of every representation.
+func reps() []Representation {
+	return []Representation{
+		NewTwoPtr(4096),
+		NewCdr2(8192),
+		NewLinkedVec(8192, 8),
+		NewCdar(),
+		NewOffsetCode(8192),
+		NewBlast(2048, 8),
+	}
+}
+
+var roundTripCases = []string{
+	"(a b c)",
+	"(a)",
+	"(a b c (d e) f g)",
+	"(a (b (c (d e f) g)))",
+	"((x y) (z))",
+	"(1 2 3)",
+	"(((deep)))",
+	"(a b c d e f g h i j k l m n o p)",
+}
+
+func TestBuildDecodeRoundTrip(t *testing.T) {
+	for _, r := range reps() {
+		for _, src := range roundTripCases {
+			v := mustParse(t, src)
+			w, err := r.Build(v)
+			if err != nil {
+				t.Errorf("%s: Build(%s): %v", r.Name(), src, err)
+				continue
+			}
+			back, err := r.Decode(w)
+			if err != nil {
+				t.Errorf("%s: Decode(%s): %v", r.Name(), src, err)
+				continue
+			}
+			if !sexpr.Equal(v, back) {
+				t.Errorf("%s: %s round-tripped to %s", r.Name(), src, sexpr.String(back))
+			}
+		}
+	}
+}
+
+func TestAtomsAndNil(t *testing.T) {
+	for _, r := range reps() {
+		w, err := r.Build(sexpr.Symbol("x"))
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		v, err := r.Decode(w)
+		if err != nil || v != sexpr.Symbol("x") {
+			t.Errorf("%s: atom decode = %v, %v", r.Name(), v, err)
+		}
+		w, err = r.Build(nil)
+		if err != nil || w != NilWord {
+			t.Errorf("%s: nil build = %v, %v", r.Name(), w, err)
+		}
+		if _, err := r.Car(w); err == nil {
+			t.Errorf("%s: car of nil word should error", r.Name())
+		}
+	}
+}
+
+func TestCarCdrTraversal(t *testing.T) {
+	for _, r := range reps() {
+		v := mustParse(t, "(a b (c d) e)")
+		w, err := r.Build(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// car -> a
+		car, err := r.Car(w)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		got, err := r.Decode(car)
+		if err != nil || got != sexpr.Symbol("a") {
+			t.Errorf("%s: car = %v", r.Name(), got)
+		}
+		// cddr -> ((c d) e); caddr... car(cdr(cdr)) -> (c d)
+		cur := w
+		for i := 0; i < 2; i++ {
+			cur, err = r.Cdr(cur)
+			if err != nil {
+				t.Fatalf("%s: cdr %d: %v", r.Name(), i, err)
+			}
+		}
+		sub, err := r.Car(cur)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		subV, err := r.Decode(sub)
+		if err != nil || sexpr.String(subV) != "(c d)" {
+			t.Errorf("%s: nested = %s, %v", r.Name(), sexpr.String(subV), err)
+		}
+		// cdddr -> (e), cddddr -> nil
+		cur, err = r.Cdr(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		end, err := r.Cdr(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if end != NilWord {
+			t.Errorf("%s: list should end in nil, got %v", r.Name(), end)
+		}
+	}
+}
+
+// TestSpaceEfficiency verifies the Fig 3.2 space identity: a list with n
+// symbols and p internal parenthesis pairs takes 2*(n+p) words of
+// two-pointer cells but only 2*n words of CDAR tuples.
+func TestSpaceEfficiency(t *testing.T) {
+	v := mustParse(t, "(A (B (C (D E F) G)))") // n=7, p=3
+	tp := NewTwoPtr(1024)
+	if _, err := tp.Build(v); err != nil {
+		t.Fatal(err)
+	}
+	if got := tp.Words(); got != 2*(7+3) {
+		t.Errorf("twoptr words = %d, want 20", got)
+	}
+	cd := NewCdar()
+	if _, err := cd.Build(v); err != nil {
+		t.Fatal(err)
+	}
+	if got := cd.Words(); got != 2*7 {
+		t.Errorf("cdar words = %d, want 14", got)
+	}
+	// cdr-coding of the same list: one word per element per level = n+p.
+	c2 := NewCdr2(1024)
+	if _, err := c2.Build(v); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Words(); got != 7+3 {
+		t.Errorf("cdrcode words = %d, want 10", got)
+	}
+}
+
+func TestTwoPtrAllocFree(t *testing.T) {
+	h := NewTwoPtr(4)
+	addrs := make([]int32, 0, 4)
+	for i := 0; i < 4; i++ {
+		a, err := h.Alloc(NilWord, NilWord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	if _, err := h.Alloc(NilWord, NilWord); err != ErrNoSpace {
+		t.Errorf("expected ErrNoSpace, got %v", err)
+	}
+	if err := h.FreeCell(addrs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if h.FreeCells() != 1 {
+		t.Errorf("FreeCells = %d", h.FreeCells())
+	}
+	a, err := h.Alloc(NilWord, NilWord)
+	if err != nil || a != addrs[1] {
+		t.Errorf("realloc = %d, %v; want %d", a, err, addrs[1])
+	}
+}
+
+func TestTwoPtrFreeTree(t *testing.T) {
+	h := NewTwoPtr(64)
+	w, err := h.Build(mustParse(t, "(a (b c) d)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := h.Capacity() - h.FreeCells()
+	freed := h.FreeTree(w)
+	if freed != used {
+		t.Errorf("freed %d cells, want %d", freed, used)
+	}
+	if h.FreeCells() != h.Capacity() {
+		t.Errorf("heap not fully free after FreeTree")
+	}
+}
+
+func TestTwoPtrFreeTreeShared(t *testing.T) {
+	h := NewTwoPtr(64)
+	shared, err := h.Build(mustParse(t, "(x)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := h.Merge(shared, NilWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top2, err := h.Merge(shared, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freed := h.FreeTree(top2)
+	if freed != 3 { // shared cell once + 2 merge cells
+		t.Errorf("freed %d, want 3", freed)
+	}
+}
+
+func TestTwoPtrSplitMerge(t *testing.T) {
+	h := NewTwoPtr(64)
+	w, err := h.Build(mustParse(t, "(a b)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	car, cdr, err := h.Split(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.Decode(car); v != sexpr.Symbol("a") {
+		t.Errorf("split car = %v", v)
+	}
+	if v, _ := h.Decode(cdr); sexpr.String(v) != "(b)" {
+		t.Errorf("split cdr = %v", sexpr.String(v))
+	}
+	// Split frees the cell.
+	if _, err := h.Car(w); err == nil {
+		t.Error("accessing split cell should fail")
+	}
+	// Merge is the inverse.
+	back, err := h.Merge(car, cdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.Decode(back); sexpr.String(v) != "(a b)" {
+		t.Errorf("merge = %s", sexpr.String(v))
+	}
+}
+
+func TestTwoPtrRplac(t *testing.T) {
+	h := NewTwoPtr(64)
+	w, _ := h.Build(mustParse(t, "(a b)"))
+	z := h.Atoms().Intern(sexpr.Symbol("z"))
+	if err := h.Rplaca(w, z); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.Decode(w); sexpr.String(v) != "(z b)" {
+		t.Errorf("after rplaca: %s", sexpr.String(v))
+	}
+	if err := h.Rplacd(w, NilWord); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.Decode(w); sexpr.String(v) != "(z)" {
+		t.Errorf("after rplacd: %s", sexpr.String(v))
+	}
+	if err := h.Rplaca(z, z); err == nil {
+		t.Error("rplaca of atom should fail")
+	}
+}
+
+func TestTwoPtrLinearize(t *testing.T) {
+	h := NewTwoPtr(256)
+	// Build garbage interleaved with a live list to scramble addresses.
+	if _, err := h.Build(mustParse(t, "(g1 g2 g3)")); err != nil {
+		t.Fatal(err)
+	}
+	live, err := h.Build(mustParse(t, "(a b c d e f)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots, err := h.Linearize([]Word{live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.Decode(roots[0])
+	if err != nil || sexpr.String(v) != "(a b c d e f)" {
+		t.Fatalf("after linearize: %s, %v", sexpr.String(v), err)
+	}
+	// Garbage dropped.
+	if h.Capacity()-h.FreeCells() != 6 {
+		t.Errorf("live cells = %d, want 6", h.Capacity()-h.FreeCells())
+	}
+	// cdr distances should all be 1 after cdr-direction linearization.
+	_, cdrDist := h.PointerDistances()
+	if cdrDist.Max() != 1 {
+		t.Errorf("max cdr distance after linearize = %d, want 1", cdrDist.Max())
+	}
+}
+
+func TestCdr2CompactRuns(t *testing.T) {
+	h := NewCdr2(256)
+	w, err := h.Build(mustParse(t, "(a b c)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 elements should take exactly 3 words.
+	if h.Words() != 3 {
+		t.Errorf("Words = %d, want 3", h.Words())
+	}
+	// cdr of first element is literally the next address.
+	cdr, err := h.Cdr(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdr.Tag != TagCell || cdr.Val != w.Val+1 {
+		t.Errorf("cdr = %+v, want address %d", cdr, w.Val+1)
+	}
+}
+
+func TestCdr2RplacdInvisible(t *testing.T) {
+	h := NewCdr2(256)
+	w, err := h.Build(mustParse(t, "(a b c)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := h.Build(mustParse(t, "(x y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Rplacd(w, tail); err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.Decode(w)
+	if err != nil || sexpr.String(v) != "(a x y)" {
+		t.Fatalf("after rplacd: %s, %v", sexpr.String(v), err)
+	}
+	if h.Forwards == 0 {
+		t.Error("expected invisible pointer dereferences after rplacd")
+	}
+	// rplacd again now hits the cdr-normal pair without a new conversion.
+	words := h.Words()
+	if err := h.Rplacd(w, NilWord); err != nil {
+		t.Fatal(err)
+	}
+	if h.Words() != words {
+		t.Error("second rplacd should not allocate")
+	}
+	if v, _ := h.Decode(w); sexpr.String(v) != "(a)" {
+		t.Errorf("after second rplacd: %s", sexpr.String(v))
+	}
+}
+
+func TestCdr2DottedPairs(t *testing.T) {
+	h := NewCdr2(64)
+	w, err := h.Build(mustParse(t, "(a . b)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.Decode(w); sexpr.String(v) != "(a . b)" {
+		t.Errorf("dotted = %s", sexpr.String(v))
+	}
+	w2, err := h.Build(mustParse(t, "(a b . c)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.Decode(w2); sexpr.String(v) != "(a b . c)" {
+		t.Errorf("dotted2 = %s", sexpr.String(v))
+	}
+}
+
+func TestCdr2Cons(t *testing.T) {
+	h := NewCdr2(64)
+	a := h.Atoms().Intern(sexpr.Symbol("a"))
+	w, err := h.Cons(a, NilWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Words() != 1 {
+		t.Errorf("cons onto nil should take 1 word, took %d", h.Words())
+	}
+	w2, err := h.Cons(a, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.Decode(w2); sexpr.String(v) != "(a a)" {
+		t.Errorf("cons = %s", sexpr.String(v))
+	}
+}
+
+func TestLinkedVecSpill(t *testing.T) {
+	h := NewLinkedVec(1024, 4)
+	v := mustParse(t, "(a b c d e f g h i j)")
+	w, err := h.Build(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := h.Decode(w)
+	if err != nil || !sexpr.Equal(v, back) {
+		t.Fatalf("spilled list decodes to %s", sexpr.String(back))
+	}
+	if h.Indirections == 0 {
+		t.Error("expected indirection hops for a list longer than one vector")
+	}
+}
+
+func TestLinkedVecExactFit(t *testing.T) {
+	h := NewLinkedVec(1024, 4)
+	v := mustParse(t, "(a b c d)") // exactly one vector
+	w, err := h.Build(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Words() != 4 {
+		t.Errorf("Words = %d, want 4 (one vector)", h.Words())
+	}
+	back, _ := h.Decode(w)
+	if !sexpr.Equal(v, back) {
+		t.Errorf("decode = %s", sexpr.String(back))
+	}
+}
+
+func TestLinkedVecRplaca(t *testing.T) {
+	h := NewLinkedVec(256, 4)
+	w, _ := h.Build(mustParse(t, "(a b)"))
+	if err := h.Rplaca(w, h.Atoms().Intern(sexpr.Symbol("z"))); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.Decode(w); sexpr.String(v) != "(z b)" {
+		t.Errorf("after rplaca: %s", sexpr.String(v))
+	}
+}
+
+func TestCdarCodes(t *testing.T) {
+	h := NewCdar()
+	w, err := h.Build(mustParse(t, "(A B)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := h.Tuples(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := map[string]string{}
+	for _, tp := range tuples {
+		v, _ := h.Atoms().Value(tp.Leaf)
+		codes[sexpr.String(v)] = tp.Code()
+	}
+	// A = car -> "0"; B = cdr then car -> "10".
+	if codes["A"] != "0" {
+		t.Errorf("code(A) = %q, want 0", codes["A"])
+	}
+	if codes["B"] != "10" {
+		t.Errorf("code(B) = %q, want 10", codes["B"])
+	}
+}
+
+func TestCdarCarCdrAreSplits(t *testing.T) {
+	h := NewCdar()
+	w, err := h.Build(mustParse(t, "(a (b c) d)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	car, err := h.Car(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// car is the atom a, directly.
+	if car.Tag != TagAtom {
+		t.Fatalf("car tag = %v", car.Tag)
+	}
+	cdr, err := h.Cdr(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.Decode(cdr)
+	if err != nil || sexpr.String(v) != "((b c) d)" {
+		t.Errorf("cdr = %s, %v", sexpr.String(v), err)
+	}
+	// cadr -> (b c), a fresh object.
+	sub, err := h.Car(cdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ = h.Decode(sub)
+	if sexpr.String(v) != "(b c)" {
+		t.Errorf("cadr = %s", sexpr.String(v))
+	}
+	// cdr past the end -> nil.
+	end := cdr
+	for i := 0; i < 2; i++ {
+		end, err = h.Cdr(end)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if end != NilWord {
+		t.Errorf("end = %v, want nil", end)
+	}
+}
+
+func TestEPSFig210(t *testing.T) {
+	// The worked example of Fig 2.10: (A B C (D E) F G).
+	v := mustParse(t, "(A B C (D E) F G)")
+	tuples, err := EPSEncode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []EPSTuple{
+		{1, 0, 1, sexpr.Symbol("A")},
+		{1, 0, 2, sexpr.Symbol("B")},
+		{1, 0, 3, sexpr.Symbol("C")},
+		{2, 0, 4, sexpr.Symbol("D")},
+		{2, 1, 5, sexpr.Symbol("E")},
+		{2, 1, 6, sexpr.Symbol("F")},
+		{2, 2, 7, sexpr.Symbol("G")},
+	}
+	if len(tuples) != len(want) {
+		t.Fatalf("got %d tuples, want %d", len(tuples), len(want))
+	}
+	for i, w := range want {
+		g := tuples[i]
+		if g.Left != w.Left || g.Right != w.Right || g.Position != w.Position || g.Symbol != w.Symbol {
+			t.Errorf("tuple %d = %+v, want %+v", i, g, w)
+		}
+	}
+	back, err := EPSDecode(tuples)
+	if err != nil || !sexpr.Equal(v, back) {
+		t.Errorf("EPS round trip = %s, %v", sexpr.String(back), err)
+	}
+}
+
+func TestEPSRoundTrips(t *testing.T) {
+	for _, src := range []string{
+		"(a)", "(a b c)", "(a (b) c)", "(a (b (c d) e) f)", "((a b) (c d))",
+		"(x (y (z)))",
+	} {
+		v := mustParse(t, src)
+		tuples, err := EPSEncode(v)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		back, err := EPSDecode(tuples)
+		if err != nil || !sexpr.Equal(v, back) {
+			t.Errorf("%s round-tripped to %s (%v)", src, sexpr.String(back), err)
+		}
+	}
+}
+
+// randomList builds a random nil-free proper list for property tests.
+func randomList(r *rand.Rand, depth int) sexpr.Value {
+	n := 1 + r.Intn(4)
+	items := make([]sexpr.Value, n)
+	for i := range items {
+		if depth > 0 && r.Intn(3) == 0 {
+			items[i] = randomList(r, depth-1)
+		} else {
+			items[i] = sexpr.Symbol([]string{"a", "b", "c", "d"}[r.Intn(4)])
+		}
+	}
+	return sexpr.List(items...)
+}
+
+func TestPropertyAllRepsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomList(r, 4)
+		for _, rep := range reps() {
+			w, err := rep.Build(v)
+			if err != nil {
+				t.Logf("%s: build: %v", rep.Name(), err)
+				return false
+			}
+			back, err := rep.Decode(w)
+			if err != nil || !sexpr.Equal(v, back) {
+				t.Logf("%s: %s != %s", rep.Name(), sexpr.String(v), sexpr.String(back))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEPSRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomList(r, 4)
+		tuples, err := EPSEncode(v)
+		if err != nil {
+			return false
+		}
+		back, err := EPSDecode(tuples)
+		return err == nil && sexpr.Equal(v, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStructureCodedSize: structure-coded objects always take at
+// most as many tuples as the list has symbols, and exactly n of them.
+func TestPropertyStructureCodedSize(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomList(r, 4)
+		m := sexpr.Measure(v)
+		h := NewCdar()
+		w, err := h.Build(v)
+		if err != nil {
+			return false
+		}
+		tuples, err := h.Tuples(w)
+		return err == nil && len(tuples) == m.N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/sexpr"
+)
+
+// vtag is the 2-bit element tag of the linked vector representation
+// (Fig 2.7): default (cdr is the next element), cdr-nil, indirection
+// (element holds a pointer to an element in another vector), or unused.
+type vtag uint8
+
+const (
+	vNext vtag = iota
+	vNil
+	vIndirect
+	vUnused
+)
+
+type velem struct {
+	Car Word
+	Tag vtag
+}
+
+// LinkedVec is the linked vector representation of [Li85a]: lists are
+// stored in fixed-size vectors of tagged elements; a list that outgrows
+// its vector continues through an indirection element pointing into a
+// fresh vector. Element addresses are global indices (vector*K + slot).
+//
+// The representation is access-oriented: Rplaca is supported, Rplacd is
+// not (the thesis surveys it as a compact encoding for lists that "do not
+// get modified much").
+type LinkedVec struct {
+	k       int // elements per vector
+	elems   []velem
+	nextVec int32
+	atoms   *Atoms
+	touches int64
+	// Indirections counts indirection-element hops taken during access.
+	Indirections int64
+}
+
+// NewLinkedVec returns a linked-vector heap of the given total element
+// capacity, with k elements per vector.
+func NewLinkedVec(capacity, k int) *LinkedVec {
+	if k < 2 {
+		k = 2
+	}
+	nvec := capacity / k
+	return &LinkedVec{
+		k:     k,
+		elems: make([]velem, nvec*k),
+		atoms: NewAtoms(),
+	}
+}
+
+// Name implements Representation.
+func (h *LinkedVec) Name() string { return "linkedvec" }
+
+// Atoms exposes the atom table.
+func (h *LinkedVec) Atoms() *Atoms { return h.atoms }
+
+// Words implements Representation: allocated vectors × elements each.
+func (h *LinkedVec) Words() int { return int(h.nextVec) * h.k }
+
+// Touches implements Representation.
+func (h *LinkedVec) Touches() int64 { return h.touches }
+
+// allocVector claims a whole fresh vector and returns its base element
+// address, with every slot initially unused.
+func (h *LinkedVec) allocVector() (int32, error) {
+	base := h.nextVec * int32(h.k)
+	if int(base)+h.k > len(h.elems) {
+		return 0, ErrNoSpace
+	}
+	h.nextVec++
+	for i := 0; i < h.k; i++ {
+		h.elems[base+int32(i)] = velem{Tag: vUnused}
+	}
+	return base, nil
+}
+
+func (h *LinkedVec) resolve(w Word) (int32, error) {
+	if w.Tag != TagCell {
+		return 0, ErrNotList
+	}
+	addr := w.Val
+	for {
+		if addr < 0 || int(addr) >= len(h.elems) {
+			return 0, fmt.Errorf("%w: %d", ErrBadAddress, addr)
+		}
+		h.touches++
+		e := h.elems[addr]
+		if e.Tag == vUnused {
+			return 0, fmt.Errorf("%w: %d unused", ErrBadAddress, addr)
+		}
+		if e.Tag == vIndirect {
+			h.Indirections++
+			addr = e.Car.Val
+			continue
+		}
+		return addr, nil
+	}
+}
+
+// Car implements Representation.
+func (h *LinkedVec) Car(w Word) (Word, error) {
+	addr, err := h.resolve(w)
+	if err != nil {
+		return NilWord, err
+	}
+	return h.elems[addr].Car, nil
+}
+
+// Cdr implements Representation.
+func (h *LinkedVec) Cdr(w Word) (Word, error) {
+	addr, err := h.resolve(w)
+	if err != nil {
+		return NilWord, err
+	}
+	switch h.elems[addr].Tag {
+	case vNil:
+		return NilWord, nil
+	case vNext:
+		return Word{Tag: TagCell, Val: addr + 1}, nil
+	default:
+		return NilWord, fmt.Errorf("%w: cdr of tag %d", ErrBadAddress, h.elems[addr].Tag)
+	}
+}
+
+// Rplaca overwrites an element's car.
+func (h *LinkedVec) Rplaca(w, v Word) error {
+	addr, err := h.resolve(w)
+	if err != nil {
+		return err
+	}
+	h.touches++
+	h.elems[addr].Car = v
+	return nil
+}
+
+// Build implements Representation: elements fill vectors sequentially;
+// when the next slot is the last of a vector and elements remain, that
+// slot becomes an indirection into a fresh vector.
+func (h *LinkedVec) Build(v sexpr.Value) (Word, error) {
+	c, ok := v.(*sexpr.Cell)
+	if !ok {
+		return h.atoms.Intern(v), nil
+	}
+	var elems []sexpr.Value
+	for {
+		elems = append(elems, c.Car)
+		next, ok := c.Cdr.(*sexpr.Cell)
+		if !ok {
+			if c.Cdr != nil {
+				return NilWord, fmt.Errorf("heap: linkedvec cannot store dotted list %s", sexpr.String(v))
+			}
+			break
+		}
+		c = next
+	}
+	// Build element cars first (sublists claim their own vectors).
+	cars := make([]Word, len(elems))
+	for i, e := range elems {
+		cw, err := h.Build(e)
+		if err != nil {
+			return NilWord, err
+		}
+		cars[i] = cw
+	}
+	base, err := h.allocVector()
+	if err != nil {
+		return NilWord, err
+	}
+	head := base
+	slot := base
+	for i, cw := range cars {
+		// If this is the last slot of the vector and more elements would
+		// follow it, spill through an indirection element. A final element
+		// may occupy the last slot directly (its tag is cdr-nil).
+		if int(slot)%h.k == h.k-1 && i < len(cars)-1 {
+			nb, err := h.allocVector()
+			if err != nil {
+				return NilWord, err
+			}
+			h.touches++
+			h.elems[slot] = velem{Car: Word{Tag: TagCell, Val: nb}, Tag: vIndirect}
+			slot = nb
+		}
+		tag := vNext
+		if i == len(cars)-1 {
+			tag = vNil
+		}
+		h.touches++
+		h.elems[slot] = velem{Car: cw, Tag: tag}
+		slot++
+	}
+	return Word{Tag: TagCell, Val: head}, nil
+}
+
+// Decode implements Representation.
+func (h *LinkedVec) Decode(w Word) (sexpr.Value, error) {
+	return decodeVia(h, h.atoms, w)
+}

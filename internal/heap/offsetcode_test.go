@@ -1,0 +1,209 @@
+package heap
+
+import (
+	"testing"
+
+	"repro/internal/sexpr"
+)
+
+func TestOffsetCodeRoundTrip(t *testing.T) {
+	for _, src := range append(roundTripCases, "(a . b)", "(a b . c)") {
+		h := NewOffsetCode(4096)
+		v := mustParse(t, src)
+		w, err := h.Build(v)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		back, err := h.Decode(w)
+		if err != nil || !sexpr.Equal(v, back) {
+			t.Errorf("%s round-tripped to %s (%v)", src, sexpr.String(back), err)
+		}
+	}
+}
+
+func TestOffsetCodeCompactRuns(t *testing.T) {
+	h := NewOffsetCode(256)
+	w, err := h.Build(mustParse(t, "(a b c d e)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Words() != 5 {
+		t.Errorf("Words = %d, want 5 (one word per element)", h.Words())
+	}
+	cdr, err := h.Cdr(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdr.Val != w.Val+1 {
+		t.Errorf("cdr offset 1 expected, got %d", cdr.Val-w.Val)
+	}
+}
+
+func TestOffsetCodeConsShortAndSpill(t *testing.T) {
+	h := NewOffsetCode(1024)
+	// cons onto nil: single word, code 0.
+	a := h.Atoms().Intern(sexpr.Symbol("a"))
+	w1, err := h.Cons(a, NilWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Words() != 1 {
+		t.Fatalf("cons-nil took %d words", h.Words())
+	}
+	// cons whose cdr is BEHIND the new cell (backward): must spill.
+	w2, err := h.Cons(a, w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Spills != 1 {
+		t.Errorf("Spills = %d, want 1 (backward cdr)", h.Spills)
+	}
+	if v, _ := h.Decode(w2); sexpr.String(v) != "(a a)" {
+		t.Errorf("decode = %s", sexpr.String(v))
+	}
+}
+
+func TestOffsetCodeLongForwardOffset(t *testing.T) {
+	h := NewOffsetCode(1024)
+	// Build a target list first, then pad the gap beyond 127 words so a
+	// later cons to it cannot use a short code.
+	target, err := h.Build(mustParse(t, "(far)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := mustParse(t, "(p)")
+	for i := 0; i < 130; i++ {
+		if _, err := h.Build(pad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := h.Atoms().Intern(sexpr.Symbol("head"))
+	// target is now far behind the allocation frontier: backward -> spill.
+	w, err := h.Cons(a, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Spills == 0 {
+		t.Error("expected a spill for an unencodable cdr")
+	}
+	if v, _ := h.Decode(w); sexpr.String(v) != "(head far)" {
+		t.Errorf("decode = %s", sexpr.String(v))
+	}
+}
+
+func TestOffsetCodeRplaca(t *testing.T) {
+	h := NewOffsetCode(256)
+	w, _ := h.Build(mustParse(t, "(a b)"))
+	if err := h.Rplaca(w, h.Atoms().Intern(sexpr.Symbol("z"))); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.Decode(w); sexpr.String(v) != "(z b)" {
+		t.Errorf("after rplaca: %s", sexpr.String(v))
+	}
+}
+
+func TestOffsetCodeRplacdInPlace(t *testing.T) {
+	h := NewOffsetCode(256)
+	w, _ := h.Build(mustParse(t, "(a b c)"))
+	words := h.Words()
+	// New cdr is the cell at +2 (c's cell): offset encodable in place.
+	cddr, err := h.Cdr(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cddr, err = h.Cdr(cddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Rplacd(w, cddr); err != nil {
+		t.Fatal(err)
+	}
+	if h.Words() != words {
+		t.Error("in-place rplacd should not allocate")
+	}
+	if v, _ := h.Decode(w); sexpr.String(v) != "(a c)" {
+		t.Errorf("after rplacd: %s", sexpr.String(v))
+	}
+}
+
+func TestOffsetCodeRplacdInvisibleConversion(t *testing.T) {
+	h := NewOffsetCode(256)
+	w, _ := h.Build(mustParse(t, "(a b)"))
+	tail, _ := h.Build(mustParse(t, "(x y)"))
+	// tail is behind w? tail was built after w, so forward — force a
+	// backward case by replacing tail's cdr with w.
+	if err := h.Rplacd(tail, w); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.Decode(tail); sexpr.String(v) != "(x a b)" {
+		t.Errorf("after backward rplacd: %s", sexpr.String(v))
+	}
+	if h.Spills == 0 {
+		t.Error("backward rplacd should have spilled")
+	}
+	// The converted cell remains usable through its old handle.
+	if err := h.Rplaca(tail, h.Atoms().Intern(sexpr.Symbol("q"))); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.Decode(tail); sexpr.String(v) != "(q a b)" {
+		t.Errorf("after rplaca through invisible: %s", sexpr.String(v))
+	}
+}
+
+// TestOffsetCodeMatchesTwoPtr drives the same access sequences through
+// OffsetCode and TwoPtr and compares results — a differential check
+// between the compact and uniform representations.
+func TestOffsetCodeMatchesTwoPtr(t *testing.T) {
+	srcs := []string{"(a (b c) d)", "(1 2 3 4 5 6)", "((x))"}
+	for _, src := range srcs {
+		oc := NewOffsetCode(1024)
+		tp := NewTwoPtr(1024)
+		v := mustParse(t, src)
+		ow, err := oc.Build(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw, err := tp.Build(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Walk both with the same cadence.
+		var walk func(a, b Word) error
+		walk = func(a, b Word) error {
+			if (a.Tag == TagCell) != (b.Tag == TagCell) {
+				t.Fatalf("%s: tag divergence %v vs %v", src, a.Tag, b.Tag)
+			}
+			if a.Tag != TagCell {
+				av, _ := oc.Atoms().Value(a)
+				bv, _ := tp.Atoms().Value(b)
+				if !sexpr.Equal(av, bv) {
+					t.Fatalf("%s: atom divergence %s vs %s", src, sexpr.String(av), sexpr.String(bv))
+				}
+				return nil
+			}
+			ac, err := oc.Car(a)
+			if err != nil {
+				return err
+			}
+			bc, err := tp.Car(b)
+			if err != nil {
+				return err
+			}
+			if err := walk(ac, bc); err != nil {
+				return err
+			}
+			ad, err := oc.Cdr(a)
+			if err != nil {
+				return err
+			}
+			bd, err := tp.Cdr(b)
+			if err != nil {
+				return err
+			}
+			return walk(ad, bd)
+		}
+		if err := walk(ow, tw); err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package heap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sexpr"
+)
+
+// CdarTuple is one (CDAR code, symbol) entry of a structure-coded list
+// (Fig 2.10): Path records the sequence of car (0) and cdr (1) steps from
+// the list root that reaches the symbol, applied left to right; bit i of
+// Path (from bit 0) is step i.
+type CdarTuple struct {
+	Path uint64
+	Len  uint8
+	Leaf Word
+}
+
+// Code renders the tuple's path as a 0/1 string ("" for the root).
+func (t CdarTuple) Code() string {
+	var b strings.Builder
+	for i := uint8(0); i < t.Len; i++ {
+		if t.Path&(1<<i) != 0 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Cdar is the CDAR-coded heap: every list object is an exception table of
+// (path, symbol) tuples, as proposed in [Pott83a] and used in the BLAST
+// exception tables. Structure-coded objects take only n tuples for a list
+// with n symbols (versus n+p two-pointer cells), and every element is
+// addressable without touching other elements; the price is that car and
+// cdr are *split* operations that scan and copy the whole table (§4.3.3.2:
+// "The more compact a representation scheme is the more difficult it
+// becomes to split list objects").
+type Cdar struct {
+	objects [][]CdarTuple
+	atoms   *Atoms
+	touches int64
+	words   int
+}
+
+// NewCdar returns an empty CDAR-coded heap.
+func NewCdar() *Cdar {
+	return &Cdar{atoms: NewAtoms()}
+}
+
+// Name implements Representation.
+func (h *Cdar) Name() string { return "cdar" }
+
+// Atoms exposes the atom table.
+func (h *Cdar) Atoms() *Atoms { return h.atoms }
+
+// Words implements Representation: one tuple per word-pair (path+symbol
+// packed into two words).
+func (h *Cdar) Words() int { return h.words }
+
+// Touches implements Representation.
+func (h *Cdar) Touches() int64 { return h.touches }
+
+// Tuples returns the exception table behind a handle, for inspection.
+func (h *Cdar) Tuples(w Word) ([]CdarTuple, error) {
+	if w.Tag != TagCell || int(w.Val) >= len(h.objects) {
+		return nil, ErrBadAddress
+	}
+	return h.objects[w.Val], nil
+}
+
+const maxCdarDepth = 60
+
+// Build implements Representation. Nil elements inside lists cannot be
+// represented (they have no symbol to tag) and are rejected; the thesis's
+// structure-coded schemes share this restriction, encoding only symbols.
+func (h *Cdar) Build(v sexpr.Value) (Word, error) {
+	if sexpr.IsAtom(v) {
+		return h.atoms.Intern(v), nil
+	}
+	var tuples []CdarTuple
+	var walk func(v sexpr.Value, path uint64, depth uint8) error
+	walk = func(v sexpr.Value, path uint64, depth uint8) error {
+		if depth >= maxCdarDepth {
+			return fmt.Errorf("heap: cdar list deeper than %d", maxCdarDepth)
+		}
+		switch t := v.(type) {
+		case nil:
+			return nil // nil terminators are implicit
+		case *sexpr.Cell:
+			if err := walk(t.Car, path, depth+1); err != nil { // car step: 0 bit
+				return err
+			}
+			return walk(t.Cdr, path|1<<depth, depth+1) // cdr step: 1 bit
+		default:
+			tuples = append(tuples, CdarTuple{Path: path, Len: depth, Leaf: h.atoms.Intern(t)})
+			return nil
+		}
+	}
+	if err := walk(v, 0, 0); err != nil {
+		return NilWord, err
+	}
+	return h.store(tuples), nil
+}
+
+func (h *Cdar) store(tuples []CdarTuple) Word {
+	id := int32(len(h.objects))
+	h.objects = append(h.objects, tuples)
+	h.words += 2 * len(tuples)
+	h.touches += int64(len(tuples))
+	return Word{Tag: TagCell, Val: id}
+}
+
+// step filters the table by the first path bit and strips it — the split
+// operation. A resulting single tuple with an empty path is an atom.
+func (h *Cdar) step(w Word, bit uint64) (Word, error) {
+	tuples, err := h.Tuples(w)
+	if err != nil {
+		if w.Tag != TagCell {
+			return NilWord, ErrNotList
+		}
+		return NilWord, err
+	}
+	h.touches += int64(len(tuples))
+	var out []CdarTuple
+	for _, t := range tuples {
+		if t.Len == 0 {
+			continue // the object was already atomic
+		}
+		if t.Path&1 == bit {
+			out = append(out, CdarTuple{Path: t.Path >> 1, Len: t.Len - 1, Leaf: t.Leaf})
+		}
+	}
+	if len(out) == 0 {
+		return NilWord, nil
+	}
+	if len(out) == 1 && out[0].Len == 0 {
+		return out[0].Leaf, nil
+	}
+	return h.store(out), nil
+}
+
+// Car implements Representation.
+func (h *Cdar) Car(w Word) (Word, error) { return h.step(w, 0) }
+
+// Cdr implements Representation.
+func (h *Cdar) Cdr(w Word) (Word, error) { return h.step(w, 1) }
+
+// Decode implements Representation, reconstructing structure from paths.
+func (h *Cdar) Decode(w Word) (sexpr.Value, error) {
+	if w.Tag != TagCell {
+		return h.atoms.Value(w)
+	}
+	tuples, err := h.Tuples(w)
+	if err != nil {
+		return nil, err
+	}
+	return h.decodeTuples(tuples)
+}
+
+func (h *Cdar) decodeTuples(tuples []CdarTuple) (sexpr.Value, error) {
+	if len(tuples) == 0 {
+		return nil, nil
+	}
+	if len(tuples) == 1 && tuples[0].Len == 0 {
+		return h.atoms.Value(tuples[0].Leaf)
+	}
+	var carSide, cdrSide []CdarTuple
+	for _, t := range tuples {
+		if t.Len == 0 {
+			return nil, fmt.Errorf("heap: cdar table mixes atom and structure")
+		}
+		next := CdarTuple{Path: t.Path >> 1, Len: t.Len - 1, Leaf: t.Leaf}
+		if t.Path&1 == 0 {
+			carSide = append(carSide, next)
+		} else {
+			cdrSide = append(cdrSide, next)
+		}
+	}
+	car, err := h.decodeTuples(carSide)
+	if err != nil {
+		return nil, err
+	}
+	cdr, err := h.decodeTuples(cdrSide)
+	if err != nil {
+		return nil, err
+	}
+	return sexpr.Cons(car, cdr), nil
+}
+
+// EPSTuple is one entry of the explicit parenthesis storage representation
+// (Fig 2.10): the number of left parentheses preceding the symbol, the
+// number of right parentheses preceding or immediately following it, and
+// the symbol's 1-based position.
+type EPSTuple struct {
+	Left     int
+	Right    int
+	Position int
+	Symbol   sexpr.Value
+}
+
+// EPSEncode converts a list to its EPS tuple table. Only symbol content is
+// represented, as in the original scheme.
+func EPSEncode(v sexpr.Value) ([]EPSTuple, error) {
+	var out []EPSTuple
+	left, right, pos := 0, 0, 0
+	var walk func(v sexpr.Value) error
+	walk = func(v sexpr.Value) error {
+		c, ok := v.(*sexpr.Cell)
+		if !ok {
+			if v == nil {
+				return nil
+			}
+			return fmt.Errorf("heap: eps cannot encode dotted structure")
+		}
+		left++
+		for {
+			if sub, ok := c.Car.(*sexpr.Cell); ok {
+				if err := walk(sub); err != nil {
+					return err
+				}
+			} else if c.Car != nil {
+				pos++
+				out = append(out, EPSTuple{Left: left, Right: right, Position: pos, Symbol: c.Car})
+			}
+			next, ok := c.Cdr.(*sexpr.Cell)
+			if !ok {
+				if c.Cdr != nil {
+					return fmt.Errorf("heap: eps cannot encode dotted structure")
+				}
+				right++
+				// Credit the closing paren to the most recent symbol.
+				if len(out) > 0 {
+					out[len(out)-1].Right = right
+				}
+				return nil
+			}
+			c = next
+		}
+	}
+	if err := walk(v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EPSDecode reconstructs the s-expression from an EPS table.
+func EPSDecode(tuples []EPSTuple) (sexpr.Value, error) {
+	sorted := append([]EPSTuple(nil), tuples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Position < sorted[j].Position })
+	// Rebuild by replaying parenthesis deltas as a stack of part-lists.
+	var stack [][]sexpr.Value
+	openTo := func(depth int) {
+		for len(stack) < depth {
+			stack = append(stack, nil)
+		}
+	}
+	closeTo := func(depth int) error {
+		for len(stack) > depth {
+			if len(stack) < 2 {
+				return fmt.Errorf("heap: eps underflow")
+			}
+			done := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = append(stack[len(stack)-1], sexpr.List(done...))
+		}
+		return nil
+	}
+	prevLeft, prevRight := 0, 0
+	for _, t := range sorted {
+		// Between the previous symbol and this one the text closes
+		// (prevRight - rights already accounted) parens and then opens
+		// (t.Left - prevLeft) parens. In depth terms: close down to
+		// prevLeft - prevRight, then open up to t.Left - prevRight.
+		depth := t.Left - prevRight
+		if depth < 1 {
+			return nil, fmt.Errorf("heap: eps malformed at position %d", t.Position)
+		}
+		if len(stack) > 0 {
+			if err := closeTo(prevLeft - prevRight); err != nil {
+				return nil, err
+			}
+		}
+		openTo(depth)
+		stack[len(stack)-1] = append(stack[len(stack)-1], t.Symbol)
+		prevLeft, prevRight = t.Left, t.Right
+	}
+	if err := closeTo(1); err != nil {
+		return nil, err
+	}
+	if len(stack) == 0 {
+		return nil, nil
+	}
+	return sexpr.List(stack[0]...), nil
+}

@@ -1,0 +1,336 @@
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/sexpr"
+	"repro/internal/stats"
+)
+
+// TwoPtr is the classical two-pointer list cell heap of Fig 2.6: every
+// cell holds a full car word and a full cdr word. It is the uniform
+// representation (§3.1) — no exception cases — and the substrate below
+// the SMALL heap controller's split/merge operations and the collectors
+// in internal/gc.
+type TwoPtr struct {
+	cells   []cell
+	free    int32 // head of the free list, threaded through Cdr.Val; -1 = none
+	nFree   int
+	atoms   *Atoms
+	touches int64
+	allocs  int64
+}
+
+type cell struct {
+	Car, Cdr Word
+	used     bool
+}
+
+const freeEnd = int32(-1)
+
+// NewTwoPtr returns a two-pointer heap with the given number of cells.
+func NewTwoPtr(capacity int) *TwoPtr {
+	h := &TwoPtr{
+		cells: make([]cell, capacity),
+		atoms: NewAtoms(),
+		free:  freeEnd,
+		nFree: capacity,
+	}
+	// Thread the free list through the cells in address order, so fresh
+	// allocation walks memory sequentially (this is what makes naive cons
+	// linearize lists well, per Clark's observation in §3.2.1).
+	for i := capacity - 1; i >= 0; i-- {
+		h.cells[i].Cdr.Val = h.free
+		h.free = int32(i)
+	}
+	return h
+}
+
+// Atoms exposes the heap's atom table.
+func (h *TwoPtr) Atoms() *Atoms { return h.atoms }
+
+// Name implements Representation.
+func (h *TwoPtr) Name() string { return "twoptr" }
+
+// Capacity returns the total cell count.
+func (h *TwoPtr) Capacity() int { return len(h.cells) }
+
+// FreeCells returns the number of cells on the free list.
+func (h *TwoPtr) FreeCells() int { return h.nFree }
+
+// Allocs returns the cumulative number of cell allocations.
+func (h *TwoPtr) Allocs() int64 { return h.allocs }
+
+// Touches implements Representation.
+func (h *TwoPtr) Touches() int64 { return h.touches }
+
+// Words implements Representation: two words per live cell.
+func (h *TwoPtr) Words() int { return 2 * (len(h.cells) - h.nFree) }
+
+// Alloc takes a cell from the free list and initialises it.
+func (h *TwoPtr) Alloc(car, cdr Word) (int32, error) {
+	if h.free == freeEnd {
+		return 0, ErrNoSpace
+	}
+	addr := h.free
+	h.free = h.cells[addr].Cdr.Val
+	h.nFree--
+	h.allocs++
+	h.touches += 2
+	h.cells[addr] = cell{Car: car, Cdr: cdr, used: true}
+	return addr, nil
+}
+
+// FreeCell returns one cell to the free list.
+func (h *TwoPtr) FreeCell(addr int32) error {
+	if err := h.check(addr); err != nil {
+		return err
+	}
+	h.cells[addr] = cell{Cdr: Word{Val: h.free}}
+	h.free = addr
+	h.nFree++
+	return nil
+}
+
+// FreeTree returns the cell at addr and every cell reachable from it to
+// the free list — the heap controller's unbounded "free" operation of
+// §4.3.3.1, performed with an explicit stack. Shared or cyclic structure
+// is freed once.
+func (h *TwoPtr) FreeTree(w Word) int {
+	freed := 0
+	var stack []Word
+	stack = append(stack, w)
+	seen := make(map[int32]bool)
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if w.Tag != TagCell || seen[w.Val] {
+			continue
+		}
+		if h.check(w.Val) != nil || !h.cells[w.Val].used {
+			continue
+		}
+		seen[w.Val] = true
+		c := h.cells[w.Val]
+		stack = append(stack, c.Car, c.Cdr)
+		if h.FreeCell(w.Val) == nil {
+			freed++
+		}
+	}
+	return freed
+}
+
+func (h *TwoPtr) check(addr int32) error {
+	if addr < 0 || int(addr) >= len(h.cells) {
+		return fmt.Errorf("%w: %d", ErrBadAddress, addr)
+	}
+	return nil
+}
+
+// deref resolves an address for access.
+func (h *TwoPtr) deref(w Word) (int32, error) {
+	if w.Tag != TagCell {
+		return 0, ErrNotList
+	}
+	if err := h.check(w.Val); err != nil {
+		return 0, err
+	}
+	if !h.cells[w.Val].used {
+		return 0, fmt.Errorf("%w: %d is free", ErrBadAddress, w.Val)
+	}
+	return w.Val, nil
+}
+
+// Car implements Representation.
+func (h *TwoPtr) Car(w Word) (Word, error) {
+	addr, err := h.deref(w)
+	if err != nil {
+		return NilWord, err
+	}
+	h.touches++
+	return h.cells[addr].Car, nil
+}
+
+// Cdr implements Representation.
+func (h *TwoPtr) Cdr(w Word) (Word, error) {
+	addr, err := h.deref(w)
+	if err != nil {
+		return NilWord, err
+	}
+	h.touches++
+	return h.cells[addr].Cdr, nil
+}
+
+// Rplaca overwrites the car of the cell at w.
+func (h *TwoPtr) Rplaca(w, v Word) error {
+	addr, err := h.deref(w)
+	if err != nil {
+		return err
+	}
+	h.touches++
+	h.cells[addr].Car = v
+	return nil
+}
+
+// Rplacd overwrites the cdr of the cell at w.
+func (h *TwoPtr) Rplacd(w, v Word) error {
+	addr, err := h.deref(w)
+	if err != nil {
+		return err
+	}
+	h.touches++
+	h.cells[addr].Cdr = v
+	return nil
+}
+
+// Build implements Representation.
+func (h *TwoPtr) Build(v sexpr.Value) (Word, error) {
+	switch t := v.(type) {
+	case nil:
+		return NilWord, nil
+	case *sexpr.Cell:
+		car, err := h.Build(t.Car)
+		if err != nil {
+			return NilWord, err
+		}
+		cdr, err := h.Build(t.Cdr)
+		if err != nil {
+			return NilWord, err
+		}
+		addr, err := h.Alloc(car, cdr)
+		if err != nil {
+			return NilWord, err
+		}
+		return Word{Tag: TagCell, Val: addr}, nil
+	default:
+		return h.atoms.Intern(v), nil
+	}
+}
+
+// Decode implements Representation.
+func (h *TwoPtr) Decode(w Word) (sexpr.Value, error) {
+	return decodeVia(h, h.atoms, w)
+}
+
+// Split implements the heap controller's split of §4.3.3.2 for two-pointer
+// cells: the object at w is split into its car and cdr, and the cell is
+// freed. "Splitting objects represented using two pointer list cells is
+// simple."
+func (h *TwoPtr) Split(w Word) (car, cdr Word, err error) {
+	addr, err := h.deref(w)
+	if err != nil {
+		return NilWord, NilWord, err
+	}
+	h.touches += 2
+	c := h.cells[addr]
+	if err := h.FreeCell(addr); err != nil {
+		return NilWord, NilWord, err
+	}
+	return c.Car, c.Cdr, nil
+}
+
+// Merge implements the heap controller's merge (the inverse of Split): a
+// fresh cell pointing at the two pieces.
+func (h *TwoPtr) Merge(car, cdr Word) (Word, error) {
+	addr, err := h.Alloc(car, cdr)
+	if err != nil {
+		return NilWord, err
+	}
+	return Word{Tag: TagCell, Val: addr}, nil
+}
+
+// ForEachUsed calls fn with the address of every live cell, in address
+// order. Used by the sweep phase of external collectors.
+func (h *TwoPtr) ForEachUsed(fn func(addr int32)) {
+	for addr := range h.cells {
+		if h.cells[addr].used {
+			fn(int32(addr))
+		}
+	}
+}
+
+// PointerDistances computes the |pointer - cell address| histogram over
+// live cells, separately for car and cdr pointers — Clark's static pointer
+// distance measurement (§3.2.1).
+func (h *TwoPtr) PointerDistances() (car, cdr *stats.Histogram) {
+	car, cdr = stats.NewHistogram(), stats.NewHistogram()
+	for addr := range h.cells {
+		c := &h.cells[addr]
+		if !c.used {
+			continue
+		}
+		if c.Car.Tag == TagCell {
+			car.Add(absInt(int(c.Car.Val) - addr))
+		}
+		if c.Cdr.Tag == TagCell {
+			cdr.Add(absInt(int(c.Cdr.Val) - addr))
+		}
+	}
+	return car, cdr
+}
+
+// Linearize relocates the structure reachable from roots so that cdr
+// pointers preferentially point at the next address (cdr-direction
+// linearization, §3.2.1), returning new root words. Only structure
+// reachable from roots survives; everything else is freed.
+func (h *TwoPtr) Linearize(roots []Word) ([]Word, error) {
+	type oldCell struct{ car, cdr Word }
+	old := make(map[int32]oldCell)
+	for addr := range h.cells {
+		if h.cells[addr].used {
+			old[int32(addr)] = oldCell{h.cells[addr].Car, h.cells[addr].Cdr}
+		}
+	}
+	// Reset the heap.
+	fresh := NewTwoPtr(len(h.cells))
+	fresh.atoms = h.atoms
+	forward := make(map[int32]int32)
+	var relocate func(w Word) (Word, error)
+	relocate = func(w Word) (Word, error) {
+		if w.Tag != TagCell {
+			return w, nil
+		}
+		if to, ok := forward[w.Val]; ok {
+			return Word{Tag: TagCell, Val: to}, nil
+		}
+		oc, ok := old[w.Val]
+		if !ok {
+			return NilWord, fmt.Errorf("%w: %d", ErrBadAddress, w.Val)
+		}
+		addr, err := fresh.Alloc(NilWord, NilWord)
+		if err != nil {
+			return NilWord, err
+		}
+		forward[w.Val] = addr
+		// cdr first: allocating down the cdr chain immediately after the
+		// cell places each cdr at address+1.
+		cdr, err := relocate(oc.cdr)
+		if err != nil {
+			return NilWord, err
+		}
+		car, err := relocate(oc.car)
+		if err != nil {
+			return NilWord, err
+		}
+		fresh.cells[addr].Car = car
+		fresh.cells[addr].Cdr = cdr
+		return Word{Tag: TagCell, Val: addr}, nil
+	}
+	newRoots := make([]Word, len(roots))
+	for i, r := range roots {
+		nr, err := relocate(r)
+		if err != nil {
+			return nil, err
+		}
+		newRoots[i] = nr
+	}
+	*h = *fresh
+	return newRoots, nil
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,60 @@
+package lisp
+
+import (
+	"repro/internal/sexpr"
+	"repro/internal/trace"
+)
+
+// Collector is a TraceSink that accumulates a trace.Trace, rendering each
+// argument and result to its s-expression text at event time (the values
+// are mutable, so deferring the rendering would mis-record rplaca/rplacd
+// histories).
+type Collector struct {
+	T trace.Trace
+	// MaxEvents stops collection beyond a bound; 0 means unlimited.
+	MaxEvents int
+}
+
+// NewCollector returns a Collector with the given trace name.
+func NewCollector(name string) *Collector {
+	return &Collector{T: trace.Trace{Name: name}}
+}
+
+func (c *Collector) full() bool {
+	return c.MaxEvents > 0 && len(c.T.Events) >= c.MaxEvents
+}
+
+// Prim records a list primitive call.
+func (c *Collector) Prim(op string, args []sexpr.Value, result sexpr.Value, depth int) {
+	if c.full() {
+		return
+	}
+	texts := make([]string, len(args))
+	for i, a := range args {
+		texts[i] = sexpr.String(a)
+	}
+	c.T.Events = append(c.T.Events, trace.Event{
+		Kind: trace.KindPrim, Op: op, Args: texts,
+		Result: sexpr.String(result), Depth: depth,
+	})
+}
+
+// Enter records a user function entry.
+func (c *Collector) Enter(name string, nargs, depth int) {
+	if c.full() {
+		return
+	}
+	c.T.Events = append(c.T.Events, trace.Event{
+		Kind: trace.KindEnter, Op: name, NArgs: nargs, Depth: depth,
+	})
+}
+
+// Exit records a user function exit.
+func (c *Collector) Exit(name string, depth int) {
+	if c.full() {
+		return
+	}
+	c.T.Events = append(c.T.Events, trace.Event{
+		Kind: trace.KindExit, Op: name, Depth: depth,
+	})
+}

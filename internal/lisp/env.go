@@ -1,0 +1,296 @@
+// Package lisp implements a dynamically scoped Lisp interpreter sufficient
+// to run the thesis's benchmark programs and produce the s-expression-level
+// list access traces of Chapter 3. It supports the three environment
+// implementations surveyed in §2.3.2 — deep binding (association list),
+// shallow binding (oblist plus shadow stack), and deep binding with a FACOM
+// Alpha style value cache (Fig 2.5) — and the expr/lexpr/fexpr function
+// calling conventions of §2.2.1.
+package lisp
+
+import (
+	"repro/internal/sexpr"
+)
+
+// EnvStats counts environment activity, used by the binding-discipline
+// ablation bench (§2.3.2: deep binding trades lookup speed for call speed).
+type EnvStats struct {
+	Lookups    int64 // name interrogations
+	Probes     int64 // bindings examined during lookups (a-list scan length)
+	Binds      int64 // bindings added on function calls
+	CacheHits  int64 // value cache hits (cached deep binding only)
+	CacheMiss  int64 // value cache misses
+	Invalidate int64 // value cache invalidations
+}
+
+// Env is a dynamic binding environment. Frames correspond to function
+// calls: Push opens a referencing context, Bind adds name-value pairs to
+// it, Pop removes the context restoring the caller's view.
+type Env interface {
+	// Lookup returns the current binding of name.
+	Lookup(name sexpr.Symbol) (sexpr.Value, bool)
+	// Set mutates the most recent binding of name, or creates a global
+	// binding if name is unbound (the setq convention).
+	Set(name sexpr.Symbol, v sexpr.Value)
+	// Bind adds a binding to the current frame.
+	Bind(name sexpr.Symbol, v sexpr.Value)
+	// Push opens a new frame; Pop discards the newest frame.
+	Push()
+	Pop()
+	// Depth returns the number of open frames (excluding globals).
+	Depth() int
+	// Stats returns accumulated counters.
+	Stats() EnvStats
+}
+
+type binding struct {
+	name sexpr.Symbol
+	val  sexpr.Value
+}
+
+// DeepEnv is the association-list environment of Fig 2.3: a stack of
+// name-value pairs searched from the head on every lookup. Function calls
+// and returns are cheap; lookup cost is proportional to scan depth.
+type DeepEnv struct {
+	alist  []binding // the association list; top of stack at the end
+	frames []int     // alist length at each frame entry
+	global map[sexpr.Symbol]sexpr.Value
+	stats  EnvStats
+}
+
+// NewDeepEnv returns an empty deep-bound environment.
+func NewDeepEnv() *DeepEnv {
+	return &DeepEnv{global: make(map[sexpr.Symbol]sexpr.Value)}
+}
+
+// Lookup scans the association list from its head (most recent binding
+// first), falling back to the global oblist.
+func (e *DeepEnv) Lookup(name sexpr.Symbol) (sexpr.Value, bool) {
+	e.stats.Lookups++
+	for i := len(e.alist) - 1; i >= 0; i-- {
+		e.stats.Probes++
+		if e.alist[i].name == name {
+			return e.alist[i].val, true
+		}
+	}
+	v, ok := e.global[name]
+	return v, ok
+}
+
+// lookupSlot returns the index in the alist of the latest binding, or -1.
+func (e *DeepEnv) lookupSlot(name sexpr.Symbol) int {
+	for i := len(e.alist) - 1; i >= 0; i-- {
+		if e.alist[i].name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Set mutates the latest binding of name, or defines a global.
+func (e *DeepEnv) Set(name sexpr.Symbol, v sexpr.Value) {
+	if i := e.lookupSlot(name); i >= 0 {
+		e.alist[i].val = v
+		return
+	}
+	e.global[name] = v
+}
+
+// Bind appends a binding to the head of the association list.
+func (e *DeepEnv) Bind(name sexpr.Symbol, v sexpr.Value) {
+	e.stats.Binds++
+	e.alist = append(e.alist, binding{name, v})
+}
+
+// Push opens a frame by recording the current association list length.
+func (e *DeepEnv) Push() { e.frames = append(e.frames, len(e.alist)) }
+
+// Pop truncates the association list to its length at frame entry.
+func (e *DeepEnv) Pop() {
+	n := len(e.frames) - 1
+	e.alist = e.alist[:e.frames[n]]
+	e.frames = e.frames[:n]
+}
+
+// Depth returns the number of open frames.
+func (e *DeepEnv) Depth() int { return len(e.frames) }
+
+// Stats returns accumulated counters.
+func (e *DeepEnv) Stats() EnvStats { return e.stats }
+
+// ShallowEnv is the oblist environment of Fig 2.4: each name has a value
+// cell consulted directly on lookup; old bindings are saved on a shadow
+// stack and restored on function return.
+type ShallowEnv struct {
+	oblist map[sexpr.Symbol]sexpr.Value
+	// shadow records, per frame, the displaced bindings to restore on Pop.
+	shadow []shadowEntry
+	frames []int
+	stats  EnvStats
+}
+
+type shadowEntry struct {
+	name     sexpr.Symbol
+	old      sexpr.Value
+	wasBound bool
+}
+
+// NewShallowEnv returns an empty shallow-bound environment.
+func NewShallowEnv() *ShallowEnv {
+	return &ShallowEnv{oblist: make(map[sexpr.Symbol]sexpr.Value)}
+}
+
+// Lookup reads the value cell directly — one probe, always.
+func (e *ShallowEnv) Lookup(name sexpr.Symbol) (sexpr.Value, bool) {
+	e.stats.Lookups++
+	e.stats.Probes++
+	v, ok := e.oblist[name]
+	return v, ok
+}
+
+// Set overwrites the value cell.
+func (e *ShallowEnv) Set(name sexpr.Symbol, v sexpr.Value) {
+	e.oblist[name] = v
+}
+
+// Bind saves the displaced binding on the shadow stack and updates the
+// value cell.
+func (e *ShallowEnv) Bind(name sexpr.Symbol, v sexpr.Value) {
+	e.stats.Binds++
+	old, was := e.oblist[name]
+	e.shadow = append(e.shadow, shadowEntry{name, old, was})
+	e.oblist[name] = v
+}
+
+// Push opens a frame.
+func (e *ShallowEnv) Push() { e.frames = append(e.frames, len(e.shadow)) }
+
+// Pop restores the displaced bindings of the newest frame in reverse order.
+func (e *ShallowEnv) Pop() {
+	n := len(e.frames) - 1
+	base := e.frames[n]
+	for i := len(e.shadow) - 1; i >= base; i-- {
+		s := e.shadow[i]
+		if s.wasBound {
+			e.oblist[s.name] = s.old
+		} else {
+			delete(e.oblist, s.name)
+		}
+	}
+	e.shadow = e.shadow[:base]
+	e.frames = e.frames[:n]
+}
+
+// Depth returns the number of open frames.
+func (e *ShallowEnv) Depth() int { return len(e.frames) }
+
+// Stats returns accumulated counters.
+func (e *ShallowEnv) Stats() EnvStats { return e.stats }
+
+// cacheEntry is one line of the FACOM Alpha value cache (Fig 2.5).
+type cacheEntry struct {
+	name  sexpr.Symbol
+	val   sexpr.Value
+	frame int
+	valid bool
+}
+
+// CachedDeepEnv is a deep-bound environment augmented with a small
+// associative value cache searched before the association list, as in the
+// FACOM Alpha (§2.3.2). Entries are tagged with the frame number of the
+// lookup that created them; binding a name invalidates its entry, and
+// returning from a function invalidates every entry created in its frame.
+type CachedDeepEnv struct {
+	deep  DeepEnv
+	cache []cacheEntry
+	clock int // round-robin replacement cursor
+}
+
+// NewCachedDeepEnv returns a deep-bound environment with a value cache of
+// the given number of entries.
+func NewCachedDeepEnv(cacheSize int) *CachedDeepEnv {
+	if cacheSize < 1 {
+		cacheSize = 1
+	}
+	return &CachedDeepEnv{
+		deep:  *NewDeepEnv(),
+		cache: make([]cacheEntry, cacheSize),
+	}
+}
+
+func (e *CachedDeepEnv) findCache(name sexpr.Symbol) int {
+	for i := range e.cache {
+		if e.cache[i].valid && e.cache[i].name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup consults the value cache first; on a miss the association list is
+// searched and the cache updated.
+func (e *CachedDeepEnv) Lookup(name sexpr.Symbol) (sexpr.Value, bool) {
+	e.deep.stats.Lookups++
+	if i := e.findCache(name); i >= 0 {
+		e.deep.stats.CacheHits++
+		return e.cache[i].val, true
+	}
+	e.deep.stats.CacheMiss++
+	var v sexpr.Value
+	var ok bool
+	for i := len(e.deep.alist) - 1; i >= 0; i-- {
+		e.deep.stats.Probes++
+		if e.deep.alist[i].name == name {
+			v, ok = e.deep.alist[i].val, true
+			break
+		}
+	}
+	if !ok {
+		v, ok = e.deep.global[name]
+	}
+	if ok {
+		slot := e.clock
+		e.clock = (e.clock + 1) % len(e.cache)
+		e.cache[slot] = cacheEntry{name: name, val: v, frame: e.deep.Depth(), valid: true}
+	}
+	return v, ok
+}
+
+// Set mutates the latest binding and invalidates any cached copy.
+func (e *CachedDeepEnv) Set(name sexpr.Symbol, v sexpr.Value) {
+	if i := e.findCache(name); i >= 0 {
+		e.cache[i].val = v
+	}
+	e.deep.Set(name, v)
+}
+
+// Bind adds a binding and invalidates the cached entry for the name, as
+// the Alpha does for formal arguments and locals on function call.
+func (e *CachedDeepEnv) Bind(name sexpr.Symbol, v sexpr.Value) {
+	if i := e.findCache(name); i >= 0 {
+		e.cache[i].valid = false
+		e.deep.stats.Invalidate++
+	}
+	e.deep.Bind(name, v)
+}
+
+// Push opens a frame.
+func (e *CachedDeepEnv) Push() { e.deep.Push() }
+
+// Pop closes the newest frame, invalidating every cache entry whose frame
+// number matches it (Fig 2.5d).
+func (e *CachedDeepEnv) Pop() {
+	frame := e.deep.Depth()
+	for i := range e.cache {
+		if e.cache[i].valid && e.cache[i].frame >= frame {
+			e.cache[i].valid = false
+			e.deep.stats.Invalidate++
+		}
+	}
+	e.deep.Pop()
+}
+
+// Depth returns the number of open frames.
+func (e *CachedDeepEnv) Depth() int { return e.deep.Depth() }
+
+// Stats returns accumulated counters.
+func (e *CachedDeepEnv) Stats() EnvStats { return e.deep.stats }

@@ -1,0 +1,235 @@
+package lisp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sexpr"
+)
+
+// envUnderTest builds each environment kind fresh.
+var envKinds = map[string]func() Env{
+	"deep":    func() Env { return NewDeepEnv() },
+	"shallow": func() Env { return NewShallowEnv() },
+	"cached":  func() Env { return NewCachedDeepEnv(8) },
+}
+
+func TestEnvBasicBindLookup(t *testing.T) {
+	for name, mk := range envKinds {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			if _, ok := e.Lookup("x"); ok {
+				t.Error("unbound name found")
+			}
+			e.Push()
+			e.Bind("x", sexpr.Int(1))
+			if v, ok := e.Lookup("x"); !ok || v != sexpr.Int(1) {
+				t.Errorf("x = %v, %v", v, ok)
+			}
+			e.Push()
+			e.Bind("x", sexpr.Int(2))
+			if v, _ := e.Lookup("x"); v != sexpr.Int(2) {
+				t.Errorf("inner x = %v", v)
+			}
+			e.Pop()
+			if v, _ := e.Lookup("x"); v != sexpr.Int(1) {
+				t.Errorf("restored x = %v", v)
+			}
+			e.Pop()
+			if _, ok := e.Lookup("x"); ok {
+				t.Error("x visible after final pop")
+			}
+		})
+	}
+}
+
+func TestEnvSetSemantics(t *testing.T) {
+	for name, mk := range envKinds {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			// Set of an unbound name creates a global.
+			e.Set("g", sexpr.Int(10))
+			if v, ok := e.Lookup("g"); !ok || v != sexpr.Int(10) {
+				t.Fatalf("global g = %v, %v", v, ok)
+			}
+			e.Push()
+			e.Bind("g", sexpr.Int(20))
+			e.Set("g", sexpr.Int(30)) // mutates the local binding
+			if v, _ := e.Lookup("g"); v != sexpr.Int(30) {
+				t.Errorf("local g = %v", v)
+			}
+			e.Pop()
+			if v, _ := e.Lookup("g"); v != sexpr.Int(10) {
+				t.Errorf("global g after pop = %v, want 10", v)
+			}
+		})
+	}
+}
+
+func TestEnvShadowingAcrossFrames(t *testing.T) {
+	for name, mk := range envKinds {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			e.Push()
+			e.Bind("a", sexpr.Symbol("one"))
+			e.Bind("b", sexpr.Symbol("bee"))
+			e.Push()
+			e.Bind("a", sexpr.Symbol("two"))
+			// b is visible from the outer frame (dynamic scoping).
+			if v, ok := e.Lookup("b"); !ok || v != sexpr.Symbol("bee") {
+				t.Errorf("b = %v, %v", v, ok)
+			}
+			if v, _ := e.Lookup("a"); v != sexpr.Symbol("two") {
+				t.Errorf("a = %v", v)
+			}
+			e.Pop()
+			if v, _ := e.Lookup("a"); v != sexpr.Symbol("one") {
+				t.Errorf("a after pop = %v", v)
+			}
+			e.Pop()
+		})
+	}
+}
+
+func TestEnvRebindSameNameInFrame(t *testing.T) {
+	for name, mk := range envKinds {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			e.Set("x", sexpr.Int(0))
+			e.Push()
+			e.Bind("x", sexpr.Int(1))
+			e.Bind("x", sexpr.Int(2)) // double bind in one frame
+			if v, _ := e.Lookup("x"); v != sexpr.Int(2) {
+				t.Errorf("x = %v", v)
+			}
+			e.Pop()
+			if v, _ := e.Lookup("x"); v != sexpr.Int(0) {
+				t.Errorf("x after pop = %v, want 0", v)
+			}
+		})
+	}
+}
+
+// TestEnvEquivalence drives all three implementations with the same random
+// operation sequence and checks they always agree — the §2.3.2 claim that
+// deep and shallow binding are semantically interchangeable.
+func TestEnvEquivalence(t *testing.T) {
+	names := []sexpr.Symbol{"a", "b", "c", "d", "e"}
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		envs := []Env{NewDeepEnv(), NewShallowEnv(), NewCachedDeepEnv(4)}
+		depth := 0
+		for op := 0; op < 400; op++ {
+			n := names[r.Intn(len(names))]
+			switch r.Intn(5) {
+			case 0:
+				depth++
+				for _, e := range envs {
+					e.Push()
+				}
+			case 1:
+				if depth > 0 {
+					depth--
+					for _, e := range envs {
+						e.Pop()
+					}
+				}
+			case 2:
+				if depth > 0 {
+					v := sexpr.Int(r.Intn(100))
+					for _, e := range envs {
+						e.Bind(n, v)
+					}
+				}
+			case 3:
+				v := sexpr.Int(r.Intn(100))
+				for _, e := range envs {
+					e.Set(n, v)
+				}
+			default:
+				var want sexpr.Value
+				var wantOK bool
+				for i, e := range envs {
+					v, ok := e.Lookup(n)
+					if i == 0 {
+						want, wantOK = v, ok
+						continue
+					}
+					if ok != wantOK || (ok && !sexpr.Eq(v, want)) {
+						t.Fatalf("seed %d op %d: env %d disagrees on %s: %v,%v vs %v,%v",
+							seed, op, i, n, v, ok, want, wantOK)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestValueCacheEffectiveness(t *testing.T) {
+	// Repeated lookups of the same deep name should hit the cache and
+	// dramatically cut probes versus plain deep binding (§2.3.2: Deutsch
+	// estimated savings of as much as 80%).
+	buildDeep := func(e Env) {
+		e.Set("target", sexpr.Int(42))
+		for i := 0; i < 50; i++ {
+			e.Push()
+			e.Bind(sexpr.Symbol(fmt.Sprintf("n%d", i)), sexpr.Int(i))
+		}
+	}
+	deep := NewDeepEnv()
+	cached := NewCachedDeepEnv(8)
+	buildDeep(deep)
+	buildDeep(cached)
+	for i := 0; i < 100; i++ {
+		deep.Lookup("target")
+		cached.Lookup("target")
+	}
+	dp := deep.Stats().Probes
+	cp := cached.Stats().Probes
+	if cp*5 > dp {
+		t.Errorf("cached probes %d not ≪ deep probes %d", cp, dp)
+	}
+	if cached.Stats().CacheHits != 99 {
+		t.Errorf("CacheHits = %d, want 99", cached.Stats().CacheHits)
+	}
+}
+
+func TestValueCacheInvalidationOnBind(t *testing.T) {
+	e := NewCachedDeepEnv(8)
+	e.Set("x", sexpr.Int(1))
+	e.Lookup("x") // cache x -> 1
+	e.Push()
+	e.Bind("x", sexpr.Int(2)) // must invalidate
+	if v, _ := e.Lookup("x"); v != sexpr.Int(2) {
+		t.Errorf("x = %v, want 2 (stale cache?)", v)
+	}
+	e.Pop()
+	if v, _ := e.Lookup("x"); v != sexpr.Int(1) {
+		t.Errorf("x after pop = %v, want 1 (stale cache?)", v)
+	}
+}
+
+func TestValueCacheSetWritesThrough(t *testing.T) {
+	e := NewCachedDeepEnv(4)
+	e.Push()
+	e.Bind("x", sexpr.Int(1))
+	e.Lookup("x")
+	e.Set("x", sexpr.Int(9))
+	if v, _ := e.Lookup("x"); v != sexpr.Int(9) {
+		t.Errorf("x = %v, want 9", v)
+	}
+}
+
+func TestShallowBindingProbeCount(t *testing.T) {
+	e := NewShallowEnv()
+	e.Push()
+	for i := 0; i < 100; i++ {
+		e.Bind(sexpr.Symbol(fmt.Sprintf("v%d", i)), sexpr.Int(i))
+	}
+	before := e.Stats().Probes
+	e.Lookup("v0")
+	if got := e.Stats().Probes - before; got != 1 {
+		t.Errorf("shallow lookup took %d probes, want 1", got)
+	}
+}

@@ -1,0 +1,141 @@
+package lisp
+
+import (
+	"sort"
+
+	"repro/internal/sexpr"
+)
+
+// This file implements the implicit-parallelism detection of §6.2.1.1:
+// the Evlis machine evaluated a call's arguments in parallel "only ...
+// when it is obvious from the function definitions that the arguments
+// cannot affect each other by altering lists", a conservative effect
+// analysis. We classify every user function as pure (cannot modify lists
+// or bindings, cannot perform I/O, calls only pure functions) by a
+// greatest-fixpoint iteration, then count the call sites whose argument
+// expressions are all effect-free and could be forked as futures.
+
+// effectHeads are names whose appearance in operator position makes a
+// form effectful: list mutation, binding mutation, I/O, and the
+// higher-order primitives (which may invoke anything).
+var effectHeads = map[sexpr.Symbol]bool{
+	"rplaca": true, "rplacd": true, "nconc": true,
+	"set": true, "putprop": true, "setq": true, "def": true, "defun": true,
+	"read": true, "print": true, "terpri": true, "error": true,
+	"gensym": true,                                  // observable allocation order
+	"apply":  true, "funcall": true, "mapcar": true, // higher-order: unknown callee
+}
+
+// ParallelismReport summarises the analysis over the interpreter's
+// defined functions.
+type ParallelismReport struct {
+	TotalFns int
+	PureFns  int
+	// CallSites is the number of multi-argument call forms appearing in
+	// function bodies; ParallelSites of them have all-pure arguments and
+	// could evaluate them in parallel without violating sequential
+	// left-to-right semantics.
+	CallSites     int
+	ParallelSites int
+	// Pure lists the pure function names, sorted.
+	Pure []string
+}
+
+// ParallelizablePct returns the percentage of multi-argument call sites
+// whose arguments could be evaluated in parallel.
+func (r ParallelismReport) ParallelizablePct() float64 {
+	if r.CallSites == 0 {
+		return 0
+	}
+	return 100 * float64(r.ParallelSites) / float64(r.CallSites)
+}
+
+// AnalyzeParallelism classifies the interpreter's user functions and
+// counts parallelisable argument evaluations.
+func (in *Interp) AnalyzeParallelism() ParallelismReport {
+	pure := make(map[sexpr.Symbol]bool, len(in.fns))
+	for name := range in.fns {
+		pure[name] = true // optimistic start; strike out to a fixpoint
+	}
+	changed := true
+	for changed {
+		changed = false
+		for name, fn := range in.fns {
+			if !pure[name] {
+				continue
+			}
+			for _, b := range fn.Body {
+				if !in.pureForm(b, pure) {
+					pure[name] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	rep := ParallelismReport{TotalFns: len(in.fns)}
+	for name, p := range pure {
+		if p {
+			rep.PureFns++
+			rep.Pure = append(rep.Pure, string(name))
+		}
+	}
+	sort.Strings(rep.Pure)
+	for _, fn := range in.fns {
+		for _, b := range fn.Body {
+			in.countSites(b, pure, &rep)
+		}
+	}
+	return rep
+}
+
+// pureForm reports whether the form tree is free of effectful nodes: no
+// effectful name in operator position, no call to an impure user
+// function. Symbols in operator position that are neither callables nor
+// effect heads (cond tests, clause keywords, plain data) are not
+// condemned — the walk is structural, so nested clause lists are covered.
+func (in *Interp) pureForm(form sexpr.Value, pure map[sexpr.Symbol]bool) bool {
+	c, ok := form.(*sexpr.Cell)
+	if !ok {
+		return true
+	}
+	if c.Car == sexpr.Symbol("quote") {
+		return true
+	}
+	if head, ok := c.Car.(sexpr.Symbol); ok {
+		if effectHeads[head] {
+			return false
+		}
+		if p, known := pure[head]; known && !p {
+			return false
+		}
+	}
+	return in.pureForm(c.Car, pure) && in.pureForm(c.Cdr, pure)
+}
+
+// countSites walks a body form counting multi-argument call sites and
+// those whose argument expressions are all pure.
+func (in *Interp) countSites(form sexpr.Value, pure map[sexpr.Symbol]bool, rep *ParallelismReport) {
+	c, ok := form.(*sexpr.Cell)
+	if !ok {
+		return
+	}
+	if c.Car == sexpr.Symbol("quote") {
+		return
+	}
+	if head, ok := c.Car.(sexpr.Symbol); ok {
+		_, isFn := in.fns[head]
+		_, isPrim := in.prims[head]
+		if isFn || (isPrim && !effectHeads[head]) {
+			if nargs, _ := sexpr.Length(c.Cdr); nargs >= 2 {
+				rep.CallSites++
+				if in.pureForm(c.Cdr, pure) {
+					rep.ParallelSites++
+				}
+			}
+		}
+	}
+	in.countSites(c.Car, pure, rep)
+	in.countSites(c.Cdr, pure, rep)
+}

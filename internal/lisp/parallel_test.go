@@ -1,0 +1,148 @@
+package lisp
+
+import (
+	"testing"
+)
+
+func analyze(t *testing.T, src string) ParallelismReport {
+	t.Helper()
+	in := New()
+	if _, err := in.Run(src); err != nil {
+		t.Fatal(err)
+	}
+	return in.AnalyzeParallelism()
+}
+
+func pureSet(rep ParallelismReport) map[string]bool {
+	out := make(map[string]bool, len(rep.Pure))
+	for _, n := range rep.Pure {
+		out[n] = true
+	}
+	return out
+}
+
+func TestPureRecursiveFunction(t *testing.T) {
+	rep := analyze(t, `
+	  (def fact (lambda (n)
+	    (cond ((= n 0) 1)
+	          (t (* n (fact (- n 1)))))))`)
+	if !pureSet(rep)["fact"] {
+		t.Errorf("fact should be pure: %+v", rep)
+	}
+}
+
+func TestMutationMakesImpure(t *testing.T) {
+	rep := analyze(t, `
+	  (def smash (lambda (l) (rplaca l 'z)))
+	  (def user (lambda (l) (smash l)))
+	  (def clean (lambda (l) (car l)))`)
+	ps := pureSet(rep)
+	if ps["smash"] {
+		t.Error("smash mutates; must be impure")
+	}
+	if ps["user"] {
+		t.Error("user calls an impure function; must be impure")
+	}
+	if !ps["clean"] {
+		t.Error("clean should be pure")
+	}
+}
+
+func TestSetqAndIOImpure(t *testing.T) {
+	rep := analyze(t, `
+	  (def counter (lambda () (setq n (add1 n))))
+	  (def printer (lambda (x) (print x)))
+	  (def reader (lambda () (read)))`)
+	ps := pureSet(rep)
+	for _, name := range []string{"counter", "printer", "reader"} {
+		if ps[name] {
+			t.Errorf("%s should be impure", name)
+		}
+	}
+}
+
+func TestMutualRecursionPure(t *testing.T) {
+	rep := analyze(t, `
+	  (def is-even (lambda (n) (cond ((= n 0) t) (t (is-odd (- n 1))))))
+	  (def is-odd (lambda (n) (cond ((= n 0) nil) (t (is-even (- n 1))))))`)
+	ps := pureSet(rep)
+	if !ps["is-even"] || !ps["is-odd"] {
+		t.Errorf("mutually recursive pure functions misclassified: %v", rep.Pure)
+	}
+}
+
+func TestMutualRecursionImpurePropagates(t *testing.T) {
+	rep := analyze(t, `
+	  (def ping (lambda (l) (pong l)))
+	  (def pong (lambda (l) (progn (rplacd l nil) (ping l))))`)
+	ps := pureSet(rep)
+	if ps["ping"] || ps["pong"] {
+		t.Error("impurity must propagate around the cycle")
+	}
+}
+
+func TestHigherOrderConservative(t *testing.T) {
+	rep := analyze(t, `
+	  (def hof (lambda (l) (mapcar 'add1 l)))`)
+	if pureSet(rep)["hof"] {
+		t.Error("higher-order calls must be treated conservatively")
+	}
+}
+
+func TestQuotedDataDoesNotCondemn(t *testing.T) {
+	rep := analyze(t, `
+	  (def docs (lambda () '(the rplaca function mutates (setq too))))`)
+	if !pureSet(rep)["docs"] {
+		t.Error("quoted data mentioning effect names must not condemn")
+	}
+}
+
+func TestCallSiteCounting(t *testing.T) {
+	rep := analyze(t, `
+	  (def f (lambda (a b) (+ a b)))
+	  (def g (lambda (l)
+	    (f (car l) (cdr l))))
+	  (def h (lambda (l)
+	    (f (car l) (rplaca l 'z))))`)
+	// Multi-argument call sites inside bodies: f's (+ a b); g's (f ...),
+	// plus the inner (car l)/(cdr l) are 1-arg and not counted; h's (f
+	// ...) and (rplaca ...) — rplaca is an effect head, not counted as a
+	// parallelisable site.
+	if rep.CallSites != 3 {
+		t.Errorf("CallSites = %d, want 3", rep.CallSites)
+	}
+	if rep.ParallelSites != 2 { // (+ a b) and g's f-call; h's f-call has an impure arg
+		t.Errorf("ParallelSites = %d, want 2", rep.ParallelSites)
+	}
+	if rep.ParallelizablePct() < 60 || rep.ParallelizablePct() > 70 {
+		t.Errorf("pct = %.1f", rep.ParallelizablePct())
+	}
+}
+
+// TestBenchmarkProgramsAnalyzable sanity-checks the analysis over a real
+// benchmark: the PLA generator is almost entirely pure; the database
+// program is mutation-heavy.
+func TestBenchmarkProgramsAnalyzable(t *testing.T) {
+	// inline a fragment equivalent to the pearl updates
+	rep := analyze(t, `
+	  (def db-set (lambda (cell v) (rplaca cell v)))
+	  (def same-row (lambda (a b)
+	    (cond ((null a) (null b))
+	          ((null b) nil)
+	          ((eq (car a) (car b)) (same-row (cdr a) (cdr b)))
+	          (t nil))))
+	  (def find-row (lambda (row rows)
+	    (cond ((null rows) nil)
+	          ((same-row row (car rows)) (car rows))
+	          (t (find-row row (cdr rows))))))`)
+	ps := pureSet(rep)
+	if ps["db-set"] {
+		t.Error("db-set impure")
+	}
+	if !ps["same-row"] || !ps["find-row"] {
+		t.Errorf("pure list searchers misclassified: %v", rep.Pure)
+	}
+	if rep.ParallelSites == 0 {
+		t.Error("expected parallelisable sites in find-row/same-row")
+	}
+}

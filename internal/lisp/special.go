@@ -1,0 +1,371 @@
+package lisp
+
+import (
+	"repro/internal/sexpr"
+)
+
+// specialForm evaluates a form whose arguments are not pre-evaluated.
+// args is the cdr of the call form.
+type specialForm func(in *Interp, args sexpr.Value) (sexpr.Value, error)
+
+func (in *Interp) installSpecials() {
+	in.specs = map[sexpr.Symbol]specialForm{
+		"quote":  sfQuote,
+		"cond":   sfCond,
+		"if":     sfIf,
+		"and":    sfAnd,
+		"or":     sfOr,
+		"setq":   sfSetq,
+		"def":    sfDef,
+		"defun":  sfDefun,
+		"prog":   sfProg,
+		"progn":  sfProgn,
+		"go":     sfGo,
+		"return": sfReturn,
+		"let":    sfLet,
+		"while":  sfWhile,
+		"lambda": sfLambdaValue,
+	}
+}
+
+func nth(v sexpr.Value, n int) sexpr.Value {
+	for i := 0; i < n; i++ {
+		v = sexpr.Cdr(v)
+	}
+	return sexpr.Car(v)
+}
+
+func sfQuote(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	return sexpr.Car(args), nil
+}
+
+// sfCond evaluates (cond (c1 e1...) (c2 e2...) ...): conditions left to
+// right until one is non-nil; its body's last value is returned. A leg
+// with no body returns the condition's value.
+func sfCond(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	for leg := args; ; {
+		c, ok := leg.(*sexpr.Cell)
+		if !ok {
+			return nil, nil
+		}
+		clause, ok := c.Car.(*sexpr.Cell)
+		if !ok {
+			return nil, errf(c.Car, "malformed cond leg")
+		}
+		test, err := in.Eval(clause.Car)
+		if err != nil {
+			return nil, err
+		}
+		if test != nil {
+			ret := test
+			for body := clause.Cdr; ; {
+				bc, ok := body.(*sexpr.Cell)
+				if !ok {
+					return ret, nil
+				}
+				ret, err = in.Eval(bc.Car)
+				if err != nil {
+					return nil, err
+				}
+				body = bc.Cdr
+			}
+		}
+		leg = c.Cdr
+	}
+}
+
+func sfIf(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	test, err := in.Eval(nth(args, 0))
+	if err != nil {
+		return nil, err
+	}
+	if test != nil {
+		return in.Eval(nth(args, 1))
+	}
+	// evaluate all else-forms, returning the last
+	var ret sexpr.Value
+	for rest := sexpr.Cdr(sexpr.Cdr(args)); ; {
+		c, ok := rest.(*sexpr.Cell)
+		if !ok {
+			return ret, nil
+		}
+		ret, err = in.Eval(c.Car)
+		if err != nil {
+			return nil, err
+		}
+		rest = c.Cdr
+	}
+}
+
+func sfAnd(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	var ret sexpr.Value = sexpr.Symbol("t")
+	for {
+		c, ok := args.(*sexpr.Cell)
+		if !ok {
+			return ret, nil
+		}
+		v, err := in.Eval(c.Car)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, nil
+		}
+		ret = v
+		args = c.Cdr
+	}
+}
+
+func sfOr(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	for {
+		c, ok := args.(*sexpr.Cell)
+		if !ok {
+			return nil, nil
+		}
+		v, err := in.Eval(c.Car)
+		if err != nil {
+			return nil, err
+		}
+		if v != nil {
+			return v, nil
+		}
+		args = c.Cdr
+	}
+}
+
+func sfSetq(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	var ret sexpr.Value
+	for {
+		c, ok := args.(*sexpr.Cell)
+		if !ok {
+			return ret, nil
+		}
+		name, ok := c.Car.(sexpr.Symbol)
+		if !ok {
+			return nil, errf(c.Car, "setq of non-symbol")
+		}
+		vc, ok := c.Cdr.(*sexpr.Cell)
+		if !ok {
+			return nil, errf(c.Car, "setq missing value")
+		}
+		v, err := in.Eval(vc.Car)
+		if err != nil {
+			return nil, err
+		}
+		in.env.Set(name, v)
+		ret = v
+		args = vc.Cdr
+	}
+}
+
+// sfDef implements the Franz convention of §2.2.1:
+//
+//	(def name (lambda  (params) body...))  — expr
+//	(def name (lexpr   (params) body...))  — lexpr
+//	(def name (nlambda (params) body...))  — fexpr
+func sfDef(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	name, ok := sexpr.Car(args).(sexpr.Symbol)
+	if !ok {
+		return nil, errf(args, "def of non-symbol")
+	}
+	lam, ok := nth(args, 1).(*sexpr.Cell)
+	if !ok {
+		return nil, errf(args, "def without lambda")
+	}
+	kind := Expr
+	switch lam.Car {
+	case sexpr.Symbol("lambda"):
+	case sexpr.Symbol("lexpr"):
+		kind = Lexpr
+	case sexpr.Symbol("nlambda"):
+		kind = Fexpr
+	default:
+		return nil, errf(lam, "unknown function kind")
+	}
+	fn, err := in.parseLambda(name, lam, kind)
+	if err != nil {
+		return nil, err
+	}
+	in.fns[name] = fn
+	return name, nil
+}
+
+// sfDefun implements (defun name (params) body...).
+func sfDefun(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	name, ok := sexpr.Car(args).(sexpr.Symbol)
+	if !ok {
+		return nil, errf(args, "defun of non-symbol")
+	}
+	lam := sexpr.Cons(sexpr.Symbol("lambda"), sexpr.Cdr(args))
+	fn, err := in.parseLambda(name, lam, Expr)
+	if err != nil {
+		return nil, err
+	}
+	in.fns[name] = fn
+	return name, nil
+}
+
+// sfProg implements (prog (locals...) body...) with label / (go label) /
+// (return v). Labels are bare symbols in the body.
+func sfProg(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	c, ok := args.(*sexpr.Cell)
+	if !ok {
+		return nil, nil
+	}
+	in.env.Push()
+	defer in.env.Pop()
+	for locals := c.Car; ; {
+		lc, ok := locals.(*sexpr.Cell)
+		if !ok {
+			break
+		}
+		if name, ok := lc.Car.(sexpr.Symbol); ok {
+			in.env.Bind(name, nil)
+		}
+		locals = lc.Cdr
+	}
+	// Collect body forms so (go label) can jump backwards.
+	var body []sexpr.Value
+	for b := c.Cdr; ; {
+		bc, ok := b.(*sexpr.Cell)
+		if !ok {
+			break
+		}
+		body = append(body, bc.Car)
+		b = bc.Cdr
+	}
+	labels := make(map[sexpr.Symbol]int)
+	for i, f := range body {
+		if s, ok := f.(sexpr.Symbol); ok {
+			labels[s] = i
+		}
+	}
+	const maxJumps = 10_000_000
+	jumps := 0
+	for pc := 0; pc < len(body); pc++ {
+		if _, isLabel := body[pc].(sexpr.Symbol); isLabel {
+			continue
+		}
+		_, err := in.Eval(body[pc])
+		if err == nil {
+			continue
+		}
+		switch sig := err.(type) {
+		case *returnSignal:
+			return sig.val, nil
+		case *goSignal:
+			target, ok := labels[sig.label]
+			if !ok {
+				return nil, errf(sig.label, "go to undefined label")
+			}
+			jumps++
+			if jumps > maxJumps {
+				return nil, ErrStepLimit
+			}
+			pc = target
+		default:
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+func sfProgn(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	var ret sexpr.Value
+	for {
+		c, ok := args.(*sexpr.Cell)
+		if !ok {
+			return ret, nil
+		}
+		v, err := in.Eval(c.Car)
+		if err != nil {
+			return nil, err
+		}
+		ret = v
+		args = c.Cdr
+	}
+}
+
+func sfGo(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	label, ok := sexpr.Car(args).(sexpr.Symbol)
+	if !ok {
+		return nil, errf(args, "go wants a label")
+	}
+	return nil, &goSignal{label: label}
+}
+
+func sfReturn(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	v, err := in.Eval(sexpr.Car(args))
+	if err != nil {
+		return nil, err
+	}
+	return nil, &returnSignal{val: v}
+}
+
+// sfLet implements (let ((name val)...) body...).
+func sfLet(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	c, ok := args.(*sexpr.Cell)
+	if !ok {
+		return nil, nil
+	}
+	type bindPair struct {
+		name sexpr.Symbol
+		val  sexpr.Value
+	}
+	var pairs []bindPair
+	for b := c.Car; ; {
+		bc, ok := b.(*sexpr.Cell)
+		if !ok {
+			break
+		}
+		switch spec := bc.Car.(type) {
+		case sexpr.Symbol:
+			pairs = append(pairs, bindPair{spec, nil})
+		case *sexpr.Cell:
+			name, ok := spec.Car.(sexpr.Symbol)
+			if !ok {
+				return nil, errf(spec, "let of non-symbol")
+			}
+			v, err := in.Eval(nth(spec, 1))
+			if err != nil {
+				return nil, err
+			}
+			pairs = append(pairs, bindPair{name, v})
+		default:
+			return nil, errf(bc.Car, "malformed let binding")
+		}
+		b = bc.Cdr
+	}
+	in.env.Push()
+	defer in.env.Pop()
+	for _, p := range pairs {
+		in.env.Bind(p.name, p.val)
+	}
+	return sfProgn(in, c.Cdr)
+}
+
+// sfWhile implements (while test body...), returning nil.
+func sfWhile(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	c, ok := args.(*sexpr.Cell)
+	if !ok {
+		return nil, nil
+	}
+	for {
+		test, err := in.Eval(c.Car)
+		if err != nil {
+			return nil, err
+		}
+		if test == nil {
+			return nil, nil
+		}
+		if _, err := sfProgn(in, c.Cdr); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// sfLambdaValue makes (lambda ...) in value position self-quoting, so
+// functional arguments can be passed with mapcar/apply.
+func sfLambdaValue(in *Interp, args sexpr.Value) (sexpr.Value, error) {
+	return sexpr.Cons(sexpr.Symbol("lambda"), args), nil
+}

@@ -1,0 +1,262 @@
+// Package locality implements the Chapter 3 structural-locality analyses:
+// partitioning a preprocessed list access stream into list sets (§3.3.2.1),
+// measuring list-set sizes and lifetimes (Figs 3.4–3.6), and computing LRU
+// stack distance profiles over list sets with Mattson's one-pass algorithm
+// (Fig 3.7).
+//
+// A list set is a closure of related list references — two references are
+// related when one is the car or cdr of the other, or joined by a cons —
+// under the separation constraint that no two temporally adjacent members
+// are further apart in the trace than a fixed window (10% of the trace
+// length by default). A set whose window expires dies; a later touch of
+// one of its lists starts a new set. List sets are the representation-
+// independent "locales of reference" whose existence motivates the SMALL
+// LPT.
+package locality
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// SetStat describes one list set of a partition.
+type SetStat struct {
+	Size  int // number of list references in the set
+	First int // index (in primitive events) of the first reference
+	Last  int // index of the last reference
+}
+
+// Lifetime returns the set's lifetime in primitive events.
+func (s SetStat) Lifetime() int { return s.Last - s.First }
+
+// Partition is the list-set partition of an access stream.
+type Partition struct {
+	TraceLen int // number of primitive events in the stream
+	Refs     int // total list references
+	Sets     []SetStat
+	// AccessSeq is the sequence of set indices (into Sets) touched by each
+	// list reference, in trace order; input to the LRU stack analysis.
+	AccessSeq []int
+}
+
+// setNode is a union-find node aggregating a (possibly merged) list set.
+type setNode struct {
+	parent int
+	size   int
+	first  int
+	last   int
+}
+
+type unionFind struct{ nodes []setNode }
+
+func (u *unionFind) newSet(t int) int {
+	u.nodes = append(u.nodes, setNode{parent: -1, size: 0, first: t, last: t})
+	return len(u.nodes) - 1
+}
+
+func (u *unionFind) find(i int) int {
+	root := i
+	for u.nodes[root].parent >= 0 {
+		root = u.nodes[root].parent
+	}
+	for u.nodes[i].parent >= 0 {
+		next := u.nodes[i].parent
+		u.nodes[i].parent = root
+		i = next
+	}
+	return root
+}
+
+func (u *unionFind) union(a, b int) int {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return ra
+	}
+	// union by size
+	if u.nodes[ra].size < u.nodes[rb].size {
+		ra, rb = rb, ra
+	}
+	u.nodes[rb].parent = ra
+	u.nodes[ra].size += u.nodes[rb].size
+	if u.nodes[rb].first < u.nodes[ra].first {
+		u.nodes[ra].first = u.nodes[rb].first
+	}
+	if u.nodes[rb].last > u.nodes[ra].last {
+		u.nodes[ra].last = u.nodes[rb].last
+	}
+	return ra
+}
+
+// PartitionStream computes the list-set partition of st under the given
+// separation constraint, expressed as a fraction of the stream's primitive
+// event count (the thesis default is 0.10). See PartitionStreamWindow to
+// pass an absolute window (Figs 3.11–3.13).
+func PartitionStream(st *trace.Stream, sepFraction float64) *Partition {
+	n := primCount(st)
+	window := int(sepFraction * float64(n))
+	if window < 1 {
+		window = 1
+	}
+	return PartitionStreamWindow(st, window)
+}
+
+// PartitionStreamWindow computes the list-set partition with an absolute
+// separation window measured in primitive events.
+func PartitionStreamWindow(st *trace.Stream, window int) *Partition {
+	p := &Partition{TraceLen: primCount(st)}
+	uf := &unionFind{}
+	setOf := make(map[int]int) // list identifier -> set node index
+	var provisional []int      // per-reference provisional set node
+
+	t := -1 // primitive event clock
+	ids := make([]int, 0, 8)
+	for i := range st.Refs {
+		r := &st.Refs[i]
+		if r.Kind != trace.RefPrim {
+			continue
+		}
+		t++
+		ids = ids[:0]
+		for _, id := range r.Args {
+			if id != 0 {
+				ids = append(ids, id)
+			}
+		}
+		if r.Result != 0 {
+			ids = append(ids, r.Result)
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		// Find the active sets these identifiers currently belong to.
+		target := -1
+		for _, id := range ids {
+			s, ok := setOf[id]
+			if !ok {
+				continue
+			}
+			root := uf.find(s)
+			if t-uf.nodes[root].last > window {
+				continue // set died; this touch starts fresh
+			}
+			if target < 0 {
+				target = root
+			} else {
+				target = uf.union(target, root)
+			}
+		}
+		if target < 0 {
+			target = uf.newSet(t)
+		}
+		uf.nodes[target].last = t
+		uf.nodes[target].size += len(ids)
+		p.Refs += len(ids)
+		for _, id := range ids {
+			setOf[id] = target
+			provisional = append(provisional, target)
+		}
+	}
+
+	// Resolve provisional nodes to final roots and compact.
+	rootIndex := make(map[int]int)
+	for _, s := range provisional {
+		root := uf.find(s)
+		idx, ok := rootIndex[root]
+		if !ok {
+			idx = len(p.Sets)
+			rootIndex[root] = idx
+			p.Sets = append(p.Sets, SetStat{
+				Size:  uf.nodes[root].size,
+				First: uf.nodes[root].first,
+				Last:  uf.nodes[root].last,
+			})
+		}
+		p.AccessSeq = append(p.AccessSeq, idx)
+	}
+	return p
+}
+
+func primCount(st *trace.Stream) int {
+	n := 0
+	for i := range st.Refs {
+		if st.Refs[i].Kind == trace.RefPrim {
+			n++
+		}
+	}
+	return n
+}
+
+// SizeCurve is Fig 3.4: with sets ordered largest first, point k gives the
+// cumulative percentage of all list references contained in the k largest
+// sets.
+func (p *Partition) SizeCurve() []stats.CDFPoint {
+	sizes := make([]int, len(p.Sets))
+	for i, s := range p.Sets {
+		sizes[i] = s.Size
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	out := make([]stats.CDFPoint, len(sizes))
+	cum := 0
+	for i, sz := range sizes {
+		cum += sz
+		out[i] = stats.CDFPoint{X: float64(i + 1), CumPct: 100 * float64(cum) / float64(p.Refs)}
+	}
+	return out
+}
+
+// SetsForRefPct returns the minimum number of list sets (largest first)
+// needed to cover pct percent of all references — the thesis's headline
+// "about 10 list sets cover about 80% of references".
+func (p *Partition) SetsForRefPct(pct float64) int {
+	curve := p.SizeCurve()
+	for i, pt := range curve {
+		if pt.CumPct >= pct {
+			return i + 1
+		}
+	}
+	return len(curve)
+}
+
+// LifetimeCDFBySets is Fig 3.5: the cumulative percentage of list sets
+// whose lifetime (as a percentage of trace length) is at most x.
+func (p *Partition) LifetimeCDFBySets() []stats.CDFPoint {
+	h := stats.NewHistogram()
+	for _, s := range p.Sets {
+		h.Add(p.lifetimePct(s))
+	}
+	return h.CDF()
+}
+
+// LifetimeCDFByRefs is Fig 3.6: as Fig 3.5 but weighting each set by the
+// number of references it contains, showing where references live.
+func (p *Partition) LifetimeCDFByRefs() []stats.CDFPoint {
+	h := stats.NewHistogram()
+	for _, s := range p.Sets {
+		h.AddN(p.lifetimePct(s), s.Size)
+	}
+	return h.CDF()
+}
+
+func (p *Partition) lifetimePct(s SetStat) int {
+	if p.TraceLen <= 1 {
+		return 0
+	}
+	return int(100 * float64(s.Lifetime()) / float64(p.TraceLen))
+}
+
+// PctRefsInSetsLivingAtLeast returns the percentage of references in sets
+// with lifetime ≥ pct percent of the trace.
+func (p *Partition) PctRefsInSetsLivingAtLeast(pct int) float64 {
+	if p.Refs == 0 {
+		return 0
+	}
+	c := 0
+	for _, s := range p.Sets {
+		if p.lifetimePct(s) >= pct {
+			c += s.Size
+		}
+	}
+	return 100 * float64(c) / float64(p.Refs)
+}

@@ -1,0 +1,330 @@
+package locality
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// prim builds a preprocessed primitive event touching the given ids.
+func prim(arg, result int, chain bool) trace.Ref {
+	return trace.Ref{Kind: trace.RefPrim, Op: "car", Args: []int{arg}, Result: result, Chain: chain}
+}
+
+func stream(refs ...trace.Ref) *trace.Stream {
+	return &trace.Stream{Refs: refs}
+}
+
+func TestPartitionSingleChain(t *testing.T) {
+	// car 1->2, car 2->3, car 3->4: one related closure, one set.
+	st := stream(prim(1, 2, false), prim(2, 3, true), prim(3, 4, true))
+	p := PartitionStream(st, 1.0)
+	if len(p.Sets) != 1 {
+		t.Fatalf("got %d sets, want 1", len(p.Sets))
+	}
+	if p.Sets[0].Size != 6 { // 2 references per event
+		t.Errorf("set size = %d, want 6", p.Sets[0].Size)
+	}
+	if p.Refs != 6 {
+		t.Errorf("Refs = %d, want 6", p.Refs)
+	}
+	if p.Sets[0].First != 0 || p.Sets[0].Last != 2 {
+		t.Errorf("set span = [%d,%d], want [0,2]", p.Sets[0].First, p.Sets[0].Last)
+	}
+}
+
+func TestPartitionUnrelatedSets(t *testing.T) {
+	// Two disjoint closures: {1,2} and {10,11}.
+	st := stream(prim(1, 2, false), prim(10, 11, false), prim(1, 2, false), prim(10, 11, false))
+	p := PartitionStream(st, 1.0)
+	if len(p.Sets) != 2 {
+		t.Fatalf("got %d sets, want 2", len(p.Sets))
+	}
+}
+
+func TestPartitionSeparationConstraint(t *testing.T) {
+	// The same list touched twice with a long gap: with a tight window the
+	// set dies and a second set is created; with a wide window they merge.
+	refs := []trace.Ref{prim(1, 2, false)}
+	for i := 0; i < 20; i++ {
+		refs = append(refs, prim(100+i, 0, false)) // unrelated filler
+	}
+	refs = append(refs, prim(1, 2, false))
+	st := stream(refs...)
+
+	tight := PartitionStreamWindow(st, 3)
+	var setsTouching1 int
+	for _, s := range tight.Sets {
+		if s.Size >= 2 && (s.First == 0 || s.Last == 21) {
+			setsTouching1++
+		}
+	}
+	if setsTouching1 != 2 {
+		t.Errorf("tight window: %d sets touch list 1, want 2 (set must die)", setsTouching1)
+	}
+
+	wide := PartitionStreamWindow(st, 100)
+	found := false
+	for _, s := range wide.Sets {
+		if s.First == 0 && s.Last == 21 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("wide window: references to list 1 should form one long-lived set")
+	}
+}
+
+func TestPartitionConsJoins(t *testing.T) {
+	// cons of lists 1 and 2 relates them into one set.
+	st := stream(trace.Ref{Kind: trace.RefPrim, Op: "cons", Args: []int{1, 2}, Result: 3})
+	p := PartitionStream(st, 1.0)
+	if len(p.Sets) != 1 {
+		t.Fatalf("got %d sets, want 1", len(p.Sets))
+	}
+	if p.Sets[0].Size != 3 {
+		t.Errorf("size = %d, want 3", p.Sets[0].Size)
+	}
+}
+
+func TestPartitionLateMergeUnifiesSets(t *testing.T) {
+	// Sets {1} and {2} form independently, then an event touches both:
+	// they must merge into a single final set.
+	st := stream(prim(1, 0, false), prim(2, 0, false),
+		trace.Ref{Kind: trace.RefPrim, Op: "cons", Args: []int{1, 2}, Result: 3})
+	p := PartitionStream(st, 1.0)
+	if len(p.Sets) != 1 {
+		t.Fatalf("got %d sets, want 1 after merge", len(p.Sets))
+	}
+	// The AccessSeq entries for the early events must resolve to the merged set.
+	for i, s := range p.AccessSeq {
+		if s != 0 {
+			t.Errorf("AccessSeq[%d] = %d, want 0", i, s)
+		}
+	}
+}
+
+func TestPartitionIgnoresAtomsAndFnEvents(t *testing.T) {
+	st := stream(
+		trace.Ref{Kind: trace.RefEnter, Op: "f"},
+		trace.Ref{Kind: trace.RefPrim, Op: "car", Args: []int{0}, Result: 0},
+		trace.Ref{Kind: trace.RefExit, Op: "f"},
+	)
+	p := PartitionStream(st, 0.1)
+	if len(p.Sets) != 0 || p.Refs != 0 {
+		t.Errorf("atom-only stream produced %d sets, %d refs", len(p.Sets), p.Refs)
+	}
+}
+
+func TestSizeCurveMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var refs []trace.Ref
+	for i := 0; i < 500; i++ {
+		base := r.Intn(5) * 100
+		refs = append(refs, prim(base+r.Intn(3), base+r.Intn(3)+3, false))
+	}
+	p := PartitionStream(stream(refs...), 0.1)
+	curve := p.SizeCurve()
+	if len(curve) == 0 {
+		t.Fatal("empty size curve")
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].CumPct < curve[i-1].CumPct {
+			t.Fatalf("size curve not monotone at %d", i)
+		}
+	}
+	last := curve[len(curve)-1]
+	if last.CumPct < 99.9 || last.CumPct > 100.1 {
+		t.Errorf("size curve should end at 100%%, got %v", last.CumPct)
+	}
+}
+
+func TestSetsForRefPct(t *testing.T) {
+	// One dominant set and several tiny ones.
+	var refs []trace.Ref
+	for i := 0; i < 80; i++ {
+		refs = append(refs, prim(1, 2, false))
+	}
+	for i := 0; i < 20; i++ {
+		refs = append(refs, prim(1000+10*i, 0, false))
+	}
+	p := PartitionStream(stream(refs...), 1.0)
+	if got := p.SetsForRefPct(80); got != 1 {
+		t.Errorf("SetsForRefPct(80) = %d, want 1", got)
+	}
+}
+
+func TestLifetimeCDFs(t *testing.T) {
+	var refs []trace.Ref
+	// A set alive for the whole trace and a transient one.
+	refs = append(refs, prim(1, 2, false))
+	for i := 0; i < 8; i++ {
+		refs = append(refs, prim(50, 51, false))
+	}
+	refs = append(refs, prim(1, 2, false))
+	p := PartitionStream(stream(refs...), 1.0)
+	bySets := p.LifetimeCDFBySets()
+	byRefs := p.LifetimeCDFByRefs()
+	if len(bySets) == 0 || len(byRefs) == 0 {
+		t.Fatal("empty lifetime CDFs")
+	}
+	if p.PctRefsInSetsLivingAtLeast(90) <= 0 {
+		t.Error("expected some references in long-lived sets")
+	}
+}
+
+func TestLRUStackDistances(t *testing.T) {
+	// Sequence a b a b c a: distances — a:cold, b:cold, a:2, b:2, c:cold, a:3.
+	prof := LRUStackDistances([]int{1, 2, 1, 2, 3, 1})
+	if prof.Cold != 3 {
+		t.Errorf("Cold = %d, want 3", prof.Cold)
+	}
+	if prof.Depths.Count(2) != 2 {
+		t.Errorf("depth-2 hits = %d, want 2", prof.Depths.Count(2))
+	}
+	if prof.Depths.Count(3) != 1 {
+		t.Errorf("depth-3 hits = %d, want 1", prof.Depths.Count(3))
+	}
+	if prof.Total != 6 {
+		t.Errorf("Total = %d, want 6", prof.Total)
+	}
+}
+
+func TestLRUHitRate(t *testing.T) {
+	prof := LRUStackDistances([]int{1, 1, 1, 1})
+	if got := prof.HitRate(1); got != 75 {
+		t.Errorf("HitRate(1) = %v, want 75", got)
+	}
+	if got := prof.HitRate(10); got != 75 {
+		t.Errorf("HitRate(10) = %v, want 75 (cold misses never hit)", got)
+	}
+}
+
+func TestLRURepeatedSingleObject(t *testing.T) {
+	prof := LRUStackDistances([]int{7, 7, 7})
+	if prof.Depths.Count(1) != 2 || prof.Cold != 1 {
+		t.Errorf("profile = depth1:%d cold:%d", prof.Depths.Count(1), prof.Cold)
+	}
+}
+
+// TestLRUMatchesNaive cross-checks Mattson against a brute-force stack
+// simulation on random sequences.
+func TestLRUMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		seq := make([]int, 300)
+		for i := range seq {
+			seq[i] = r.Intn(20)
+		}
+		prof := LRUStackDistances(seq)
+		// naive
+		var stack []int
+		cold := 0
+		depths := map[int]int{}
+		for _, id := range seq {
+			found := -1
+			for i, v := range stack {
+				if v == id {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				cold++
+				stack = append([]int{id}, stack...)
+			} else {
+				depths[found+1]++
+				stack = append(stack[:found], stack[found+1:]...)
+				stack = append([]int{id}, stack...)
+			}
+		}
+		if cold != prof.Cold {
+			t.Fatalf("seed %d: cold %d vs naive %d", seed, prof.Cold, cold)
+		}
+		for d, c := range depths {
+			if prof.Depths.Count(d) != c {
+				t.Fatalf("seed %d: depth %d count %d vs naive %d", seed, d, prof.Depths.Count(d), c)
+			}
+		}
+	}
+}
+
+// TestPartitionInvariants checks structural invariants of the partition on
+// random streams with testing/quick-style iteration: reference
+// conservation, per-set temporal sanity, and curve normalisation.
+func TestPartitionInvariants(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var refs []trace.Ref
+		n := 50 + r.Intn(300)
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0:
+				refs = append(refs, trace.Ref{Kind: trace.RefEnter, Op: "f"})
+			case 1:
+				refs = append(refs, trace.Ref{Kind: trace.RefExit, Op: "f"})
+			default:
+				arg := r.Intn(40)
+				res := r.Intn(40)
+				refs = append(refs, trace.Ref{
+					Kind: trace.RefPrim, Op: "car",
+					Args: []int{arg}, Result: res,
+				})
+			}
+		}
+		for _, sep := range []float64{0.05, 0.25, 1.0} {
+			p := PartitionStream(stream(refs...), sep)
+			sum := 0
+			for _, s := range p.Sets {
+				sum += s.Size
+				if s.First > s.Last {
+					t.Fatalf("seed %d: set First %d > Last %d", seed, s.First, s.Last)
+				}
+				if s.Last >= p.TraceLen {
+					t.Fatalf("seed %d: set Last %d beyond trace %d", seed, s.Last, p.TraceLen)
+				}
+				if s.Size <= 0 {
+					t.Fatalf("seed %d: empty set", seed)
+				}
+			}
+			if sum != p.Refs {
+				t.Fatalf("seed %d sep %v: set sizes sum %d != Refs %d", seed, sep, sum, p.Refs)
+			}
+			if len(p.AccessSeq) != p.Refs {
+				t.Fatalf("seed %d: AccessSeq %d != Refs %d", seed, len(p.AccessSeq), p.Refs)
+			}
+			for _, idx := range p.AccessSeq {
+				if idx < 0 || idx >= len(p.Sets) {
+					t.Fatalf("seed %d: AccessSeq index %d out of range", seed, idx)
+				}
+			}
+			if curve := p.SizeCurve(); len(curve) > 0 {
+				last := curve[len(curve)-1].CumPct
+				if last < 99.9 || last > 100.1 {
+					t.Fatalf("seed %d: size curve ends at %v", seed, last)
+				}
+			}
+		}
+	}
+}
+
+// TestTighterWindowNeverFewerSets: shrinking the separation window can only
+// split sets, never merge them.
+func TestTighterWindowNeverFewerSets(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var refs []trace.Ref
+	for i := 0; i < 400; i++ {
+		refs = append(refs, prim(r.Intn(30), 30+r.Intn(30), false))
+	}
+	st := stream(refs...)
+	prev := -1
+	for _, w := range []int{400, 100, 25, 6, 1} {
+		p := PartitionStreamWindow(st, w)
+		if prev >= 0 && len(p.Sets) < prev {
+			t.Fatalf("window %d produced fewer sets (%d) than a wider window (%d)",
+				w, len(p.Sets), prev)
+		}
+		prev = len(p.Sets)
+	}
+}

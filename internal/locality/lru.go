@@ -1,0 +1,75 @@
+package locality
+
+import "repro/internal/stats"
+
+// LRUProfile is the stack distance profile of an access sequence computed
+// with Mattson's one-pass stack algorithm [Matt70a], as used for Fig 3.7
+// and by Clark's list-cell-level study. Depth d counts accesses that hit
+// at LRU stack distance d (1 = most recently used); Cold counts first-time
+// accesses (infinite distance).
+type LRUProfile struct {
+	Depths *stats.Histogram
+	Cold   int
+	Total  int
+}
+
+// LRUStackDistances runs the Mattson algorithm over seq, a sequence of
+// object identifiers (list-set indices for Fig 3.7, list identifiers for
+// Clark's cell-level variant).
+func LRUStackDistances(seq []int) *LRUProfile {
+	p := &LRUProfile{Depths: stats.NewHistogram()}
+	var stack []int // stack[0] is most recently used
+	pos := make(map[int]int)
+	for _, id := range seq {
+		p.Total++
+		i, ok := pos[id]
+		if !ok {
+			p.Cold++
+			stack = append(stack, 0)
+			copy(stack[1:], stack)
+			stack[0] = id
+			pos[id] = 0
+			for j := 1; j < len(stack); j++ {
+				pos[stack[j]] = j
+			}
+			continue
+		}
+		p.Depths.Add(i + 1)
+		copy(stack[1:i+1], stack[:i])
+		stack[0] = id
+		for j := 0; j <= i; j++ {
+			pos[stack[j]] = j
+		}
+	}
+	return p
+}
+
+// HitRate returns the percentage of all accesses that would hit in an LRU
+// stack of the given depth (Fig 3.7's y-axis at x = depth).
+func (p *LRUProfile) HitRate(depth int) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	hits := 0
+	for _, d := range p.Depths.Values() {
+		if d <= depth {
+			hits += p.Depths.Count(d)
+		}
+	}
+	return 100 * float64(hits) / float64(p.Total)
+}
+
+// Curve returns hit rate as a function of stack depth, one point per
+// observed distance.
+func (p *LRUProfile) Curve() []stats.CDFPoint {
+	if p.Total == 0 {
+		return nil
+	}
+	out := make([]stats.CDFPoint, 0, len(p.Depths.Values()))
+	cum := 0
+	for _, d := range p.Depths.Values() {
+		cum += p.Depths.Count(d)
+		out = append(out, stats.CDFPoint{X: float64(d), CumPct: 100 * float64(cum) / float64(p.Total)})
+	}
+	return out
+}

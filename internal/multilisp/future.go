@@ -1,0 +1,121 @@
+package multilisp
+
+import (
+	"sync"
+
+	"repro/internal/sexpr"
+)
+
+// Future is a Multilisp future (§6.2.1.2): a placeholder for a value
+// being computed concurrently. Touch blocks until the value arrives —
+// the EM-3's pseudo-results with the blocking semantics of Halstead's
+// touch.
+type Future struct {
+	once  sync.Once
+	done  chan struct{}
+	value Ref
+	err   error
+}
+
+// NewFuture spawns fn on its own goroutine and returns its future.
+func NewFuture(fn func() (Ref, error)) *Future {
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		v, err := fn()
+		f.value, f.err = v, err
+		close(f.done)
+	}()
+	return f
+}
+
+// Touch blocks until the future resolves.
+func (f *Future) Touch() (Ref, error) {
+	<-f.done
+	return f.value, f.err
+}
+
+// PCall evaluates every argument thunk in parallel and applies fn to the
+// results once all have resolved — the pcall construct. Consistency with
+// left-to-right sequential Lisp is the caller's obligation (§6.2.1.1):
+// thunks must not destructively interfere.
+func PCall(fn func([]Ref) (Ref, error), thunks ...func() (Ref, error)) (Ref, error) {
+	futures := make([]*Future, len(thunks))
+	for i, th := range thunks {
+		futures[i] = NewFuture(th)
+	}
+	args := make([]Ref, len(futures))
+	for i, fu := range futures {
+		v, err := fu.Touch()
+		if err != nil {
+			return NilRef, err
+		}
+		args[i] = v
+	}
+	return fn(args)
+}
+
+// SumAtoms walks the distributed structure behind r from node n, summing
+// integer atoms, forking a future per subtree below the given depth — the
+// canonical parallel tree reduction of Multilisp papers.
+func SumAtoms(n *Node, r Ref, parallelDepth int) (int64, error) {
+	if r.IsNil() {
+		return 0, nil
+	}
+	if r.IsAtom() {
+		if i, ok := r.Atom().(sexpr.Int); ok {
+			return int64(i), nil
+		}
+		return 0, nil
+	}
+	car, err := n.Car(r)
+	if err != nil {
+		return 0, err
+	}
+	cdr, err := n.Cdr(r)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		n.Release(car)
+		n.Release(cdr)
+	}()
+	if parallelDepth <= 0 {
+		a, err := SumAtoms(n, car, 0)
+		if err != nil {
+			return 0, err
+		}
+		b, err := SumAtoms(n, cdr, 0)
+		if err != nil {
+			return 0, err
+		}
+		return a + b, nil
+	}
+	type res struct {
+		v   int64
+		err error
+	}
+	ch := make(chan res, 1)
+	// Fork the car subtree on a sibling node; the forked worker needs its
+	// own reference, obtained by weight splitting (no owner messages).
+	kept, forked, err := n.Copy(car)
+	if err != nil {
+		return 0, err
+	}
+	car = kept
+	sibling := n.sys.Nodes[(n.id+1)%len(n.sys.Nodes)]
+	go func() {
+		v, err := SumAtoms(sibling, forked, parallelDepth-1)
+		sibling.Release(forked)
+		ch <- res{v, err}
+	}()
+	b, err := SumAtoms(n, cdr, parallelDepth-1)
+	if err != nil {
+		<-ch
+		return 0, err
+	}
+	a := <-ch
+	if a.err != nil {
+		return 0, a.err
+	}
+	return a.v + b, nil
+}

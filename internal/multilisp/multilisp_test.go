@@ -1,0 +1,353 @@
+package multilisp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/sexpr"
+)
+
+func mustParse(t *testing.T, src string) sexpr.Value {
+	t.Helper()
+	v, err := sexpr.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestBuildDecodeAcrossNodes(t *testing.T) {
+	s := NewSystem(4)
+	for _, src := range []string{"(a b c)", "(1 (2 3) 4)", "((x) (y) (z))"} {
+		v := mustParse(t, src)
+		r := s.Nodes[0].Build(v)
+		back, err := s.Decode(r)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !sexpr.Equal(v, back) {
+			t.Errorf("%s decoded as %s", src, sexpr.String(back))
+		}
+	}
+	// Cells really are scattered: with 3 lists over 4 nodes, more than
+	// one node holds objects.
+	populated := 0
+	for _, n := range s.Nodes {
+		n.mu.Lock()
+		if len(n.objects) > 0 {
+			populated++
+		}
+		n.mu.Unlock()
+	}
+	if populated < 2 {
+		t.Errorf("only %d nodes hold objects", populated)
+	}
+}
+
+func TestCopyIsLocal(t *testing.T) {
+	s := NewSystem(2)
+	r := s.Nodes[0].Cons(AtomRef(sexpr.Symbol("a")), NilRef)
+	kept, cp, err := s.Nodes[1].Copy(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.Weight+cp.Weight != MaxWeight {
+		t.Errorf("weights %d + %d != %d", kept.Weight, cp.Weight, MaxWeight)
+	}
+	st := s.Stats()
+	if st.LocalCopies != 1 {
+		t.Errorf("LocalCopies = %d", st.LocalCopies)
+	}
+	if st.DecMessages != 0 {
+		t.Errorf("copying sent %d messages; reference weighting sends none", st.DecMessages)
+	}
+	if v := s.WeightInvariantViolations([]Ref{kept, cp}); len(v) != 0 {
+		t.Errorf("invariant violated: %v", v)
+	}
+}
+
+func TestReleaseFreesObject(t *testing.T) {
+	s := NewSystem(2)
+	r := s.Nodes[0].Build(mustParse(t, "(a (b) c)"))
+	if s.LiveObjects() != 4 {
+		t.Fatalf("live = %d, want 4", s.LiveObjects())
+	}
+	s.Nodes[1].Release(r)
+	s.Quiesce()
+	if s.LiveObjects() != 0 {
+		t.Errorf("live = %d after release+quiesce, want 0", s.LiveObjects())
+	}
+	if got := s.Stats().ObjectsFreed; got != 4 {
+		t.Errorf("ObjectsFreed = %d", got)
+	}
+}
+
+func TestSplitCopiesBothKeepObjectAlive(t *testing.T) {
+	s := NewSystem(2)
+	r := s.Nodes[0].Build(mustParse(t, "(x y)"))
+	kept, cp, err := s.Nodes[0].Copy(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Nodes[1].Release(cp)
+	s.Quiesce()
+	if s.LiveObjects() == 0 {
+		t.Fatal("object died while a reference remains")
+	}
+	back, err := s.Decode(kept)
+	if err != nil || sexpr.String(back) != "(x y)" {
+		t.Errorf("decode after partial release: %v %v", sexpr.String(back), err)
+	}
+	s.Nodes[0].Release(kept)
+	s.Quiesce()
+	if s.LiveObjects() != 0 {
+		t.Errorf("live = %d after final release", s.LiveObjects())
+	}
+}
+
+func TestWeightExhaustionIndirection(t *testing.T) {
+	s := NewSystem(1)
+	n := s.Nodes[0]
+	r := n.Cons(AtomRef(sexpr.Symbol("deep")), NilRef)
+	// Repeated halving exhausts the weight after log2(MaxWeight) copies of
+	// the same kept reference; copying must then go through indirections
+	// rather than messages.
+	refs := []Ref{r}
+	cur := r
+	for i := 0; i < 40; i++ {
+		kept, cp, err := n.Copy(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[len(refs)-1] = kept
+		refs = append(refs, cp)
+		cur = cp
+	}
+	if s.Stats().Indirections == 0 {
+		t.Error("expected indirection objects after weight exhaustion")
+	}
+	if v := s.WeightInvariantViolations(refs); len(v) != 0 {
+		t.Errorf("invariant violated: %v", v)
+	}
+	// The structure is still readable through the indirection chain.
+	back, err := s.Decode(cur)
+	if err != nil || sexpr.String(back) != "(deep)" {
+		t.Errorf("decode through indirections: %s, %v", sexpr.String(back), err)
+	}
+	for _, ref := range refs {
+		n.Release(ref)
+	}
+	s.Quiesce()
+	if s.LiveObjects() != 0 {
+		t.Errorf("live = %d after releasing everything", s.LiveObjects())
+	}
+}
+
+func TestCombiningQueues(t *testing.T) {
+	s := NewSystem(2)
+	n0, n1 := s.Nodes[0], s.Nodes[1]
+	r := n0.Cons(AtomRef(sexpr.Int(1)), NilRef)
+	// Fan out many copies to node 1, then release them all before any
+	// flush: the queue must combine them into one message.
+	var copies []Ref
+	cur := r
+	for i := 0; i < 16; i++ {
+		kept, cp, err := n1.Copy(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = kept
+		copies = append(copies, cp)
+	}
+	for _, cp := range copies {
+		n1.Release(cp)
+	}
+	st := s.Stats()
+	if st.DecMessages != 1 {
+		t.Errorf("DecMessages = %d, want 1 (combined)", st.DecMessages)
+	}
+	if st.DecCombined != 15 {
+		t.Errorf("DecCombined = %d, want 15", st.DecCombined)
+	}
+	n1.Flush()
+	// Object still alive: cur retains weight.
+	if s.LiveObjects() != 1 {
+		t.Errorf("live = %d", s.LiveObjects())
+	}
+	n1.Release(cur)
+	s.Quiesce()
+	if s.LiveObjects() != 0 {
+		t.Error("object leaked")
+	}
+}
+
+func TestRemoteCarCdr(t *testing.T) {
+	s := NewSystem(3)
+	r := s.Nodes[0].Build(mustParse(t, "(a (b c) d)"))
+	n2 := s.Nodes[2]
+	car, err := n2.Car(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !car.IsAtom() || car.Atom() != sexpr.Symbol("a") {
+		t.Errorf("car = %+v", car)
+	}
+	cdr, err := n2.Cdr(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := n2.Car(cdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Decode(sub)
+	if err != nil || sexpr.String(back) != "(b c)" {
+		t.Errorf("cadr = %s, %v", sexpr.String(back), err)
+	}
+	if s.Stats().RemoteFetches == 0 {
+		t.Error("expected remote fetches")
+	}
+	if v := s.WeightInvariantViolations([]Ref{r, cdr, sub}); len(v) != 0 {
+		t.Errorf("invariant violated: %v", v)
+	}
+}
+
+func TestFuturesPCall(t *testing.T) {
+	s := NewSystem(2)
+	n := s.Nodes[0]
+	sum, err := PCall(
+		func(args []Ref) (Ref, error) {
+			total := int64(0)
+			for _, a := range args {
+				total += int64(a.Atom().(sexpr.Int))
+			}
+			return AtomRef(sexpr.Int(total)), nil
+		},
+		func() (Ref, error) { return AtomRef(sexpr.Int(1)), nil },
+		func() (Ref, error) { return AtomRef(sexpr.Int(2)), nil },
+		func() (Ref, error) { return n.Cdr(n.Cons(AtomRef(sexpr.Int(0)), AtomRef(sexpr.Int(39)))) },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Atom() != sexpr.Int(42) {
+		t.Errorf("pcall sum = %v", sum.Atom())
+	}
+}
+
+func TestFutureError(t *testing.T) {
+	f := NewFuture(func() (Ref, error) { return NilRef, fmt.Errorf("boom") })
+	if _, err := f.Touch(); err == nil {
+		t.Error("future error lost")
+	}
+}
+
+func TestParallelSum(t *testing.T) {
+	s := NewSystem(4)
+	// Balanced structure of integers: sum 1..32.
+	var build func(lo, hi int) string
+	build = func(lo, hi int) string {
+		if lo == hi {
+			return fmt.Sprintf("%d", lo)
+		}
+		mid := (lo + hi) / 2
+		return "(" + build(lo, mid) + " . " + build(mid+1, hi) + ")"
+	}
+	v := mustParse(t, build(1, 32))
+	r := s.Nodes[0].Build(v)
+	got, err := SumAtoms(s.Nodes[0], r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 32*33/2 {
+		t.Errorf("sum = %d, want %d", got, 32*33/2)
+	}
+	s.Nodes[0].Release(r)
+	s.Quiesce()
+	if s.LiveObjects() != 0 {
+		t.Errorf("leaked %d objects after parallel sum", s.LiveObjects())
+	}
+}
+
+// TestConcurrentChurn hammers the system from several goroutines and then
+// verifies conservation and complete reclamation.
+func TestConcurrentChurn(t *testing.T) {
+	s := NewSystem(4)
+	root := s.Nodes[0].Build(mustParse(t, "(1 2 3 4 5 6 7 8)"))
+	// A Ref is owned by exactly one holder: split a copy off for each
+	// worker up front rather than sharing the root value.
+	const workers = 8
+	workerRefs := make([]Ref, workers)
+	for w := range workerRefs {
+		kept, cp, err := s.Nodes[0].Copy(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root = kept
+		workerRefs[w] = cp
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			n := s.Nodes[w%len(s.Nodes)]
+			held := []Ref{workerRefs[w]}
+			for i := 0; i < 300; i++ {
+				switch r.Intn(4) {
+				case 0: // cons something
+					held = append(held, n.Cons(AtomRef(sexpr.Int(i)), NilRef))
+				case 1: // copy a held ref
+					if len(held) > 0 {
+						j := r.Intn(len(held))
+						kept, cp, err := n.Copy(held[j])
+						if err != nil {
+							errs <- err
+							return
+						}
+						held[j] = kept
+						held = append(held, cp)
+					}
+				case 2: // release one
+					if len(held) > 1 {
+						j := r.Intn(len(held))
+						n.Release(held[j])
+						held = append(held[:j], held[j+1:]...)
+					}
+				case 3: // walk
+					if len(held) > 0 {
+						j := r.Intn(len(held))
+						if !held[j].IsAtom() && !held[j].IsNil() {
+							c, err := n.Cdr(held[j])
+							if err != nil {
+								errs <- err
+								return
+							}
+							held = append(held, c)
+						}
+					}
+				}
+			}
+			for _, h := range held {
+				n.Release(h)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s.Nodes[0].Release(root)
+	s.Quiesce()
+	if s.LiveObjects() != 0 {
+		t.Errorf("leaked %d objects after churn", s.LiveObjects())
+	}
+	if v := s.WeightInvariantViolations(nil); len(v) != 0 {
+		t.Errorf("invariant violated: %v", v)
+	}
+}

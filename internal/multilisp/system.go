@@ -1,0 +1,471 @@
+// Package multilisp implements the Chapter 6 extension of SMALL to
+// multiprocessing: a system of nodes, each owning a table of list
+// objects, joined by a message fabric. Heap management across nodes uses
+// **reference weighting** (Fig 6.3): every reference carries a weight and
+// each object records the total outstanding weight. Copying a reference
+// splits its weight locally — no message to the owning node — and only
+// dropping a reference sends a (weight) decrement message. Decrement
+// messages queued toward the same object are combined in the network
+// queues (Fig 6.6), further reducing traffic.
+//
+// The package also provides Multilisp futures (§6.2.1.2, Halstead's
+// pcall/future) so parallel argument evaluation can be exercised over the
+// distributed heap.
+package multilisp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sexpr"
+)
+
+// MaxWeight is the weight assigned to a fresh object's initial reference.
+// Weights are powers of two so splitting halves them evenly.
+const MaxWeight = 1 << 16
+
+// ObjID identifies an object within its owning node.
+type ObjID int32
+
+// Ref is a weighted reference to an object. A Ref value is owned by
+// exactly one holder; copying requires Copy (which splits the weight) and
+// disposal requires Release.
+type Ref struct {
+	Node   int
+	ID     ObjID
+	Weight int64
+	// atom inlines atomic values: refs to atoms carry the value itself
+	// and no weight bookkeeping (Node < 0).
+	atom sexpr.Value
+}
+
+// NilRef is the nil reference.
+var NilRef = Ref{Node: -1}
+
+// IsNil reports whether r denotes nil.
+func (r Ref) IsNil() bool { return r.Node < 0 && r.atom == nil }
+
+// IsAtom reports whether r denotes an atom.
+func (r Ref) IsAtom() bool { return r.Node < 0 && r.atom != nil }
+
+// AtomRef wraps an atom value.
+func AtomRef(v sexpr.Value) Ref {
+	if v == nil {
+		return NilRef
+	}
+	return Ref{Node: -1, atom: v}
+}
+
+// Atom returns the atom behind r.
+func (r Ref) Atom() sexpr.Value { return r.atom }
+
+// object is a node-resident list cell (or an indirection created by
+// weight exhaustion).
+type object struct {
+	weight   int64
+	car, cdr Ref
+	indirect bool // forwards to car
+	free     bool
+}
+
+// NodeStats counts distributed heap activity.
+type NodeStats struct {
+	Conses        int64
+	LocalCopies   int64 // reference copies satisfied by weight splitting
+	DecMessages   int64 // decrement messages actually sent
+	DecCombined   int64 // decrements absorbed by queue combining
+	Indirections  int64 // weight-exhaustion indirection objects created
+	ObjectsFreed  int64
+	RemoteFetches int64 // car/cdr served to other nodes
+}
+
+// Node is one SMALL Multilisp node (Fig 6.1): its object table stands in
+// for the node's LPT+heap.
+type Node struct {
+	id      int
+	sys     *System
+	mu      sync.Mutex
+	objects []object
+	freeIDs []ObjID
+	stats   NodeStats
+	// outgoing decrement queues, one per destination node, with combining.
+	queues []map[ObjID]int64
+}
+
+// System is a collection of nodes.
+type System struct {
+	Nodes []*Node
+}
+
+// NewSystem builds n nodes.
+func NewSystem(n int) *System {
+	if n < 1 {
+		n = 1
+	}
+	s := &System{}
+	for i := 0; i < n; i++ {
+		node := &Node{id: i, sys: s, queues: make([]map[ObjID]int64, n)}
+		for j := range node.queues {
+			node.queues[j] = make(map[ObjID]int64)
+		}
+		s.Nodes = append(s.Nodes, node)
+	}
+	return s
+}
+
+// Stats aggregates all node statistics.
+func (s *System) Stats() NodeStats {
+	var t NodeStats
+	for _, n := range s.Nodes {
+		n.mu.Lock()
+		st := n.stats
+		n.mu.Unlock()
+		t.Conses += st.Conses
+		t.LocalCopies += st.LocalCopies
+		t.DecMessages += st.DecMessages
+		t.DecCombined += st.DecCombined
+		t.Indirections += st.Indirections
+		t.ObjectsFreed += st.ObjectsFreed
+		t.RemoteFetches += st.RemoteFetches
+	}
+	return t
+}
+
+// LiveObjects counts non-free objects across the system.
+func (s *System) LiveObjects() int {
+	total := 0
+	for _, n := range s.Nodes {
+		n.mu.Lock()
+		for i := range n.objects {
+			if !n.objects[i].free {
+				total++
+			}
+		}
+		n.mu.Unlock()
+	}
+	return total
+}
+
+// errBadRef reports reference protocol violations.
+var errBadRef = errors.New("multilisp: bad reference")
+
+func (n *Node) allocLocked() ObjID {
+	if len(n.freeIDs) > 0 {
+		id := n.freeIDs[len(n.freeIDs)-1]
+		n.freeIDs = n.freeIDs[:len(n.freeIDs)-1]
+		n.objects[id] = object{}
+		return id
+	}
+	n.objects = append(n.objects, object{})
+	return ObjID(len(n.objects) - 1)
+}
+
+// Cons allocates a cell on this node holding the two references. The
+// arguments' ownership transfers into the cell; the returned reference
+// carries the full initial weight.
+func (n *Node) Cons(car, cdr Ref) Ref {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	id := n.allocLocked()
+	n.objects[id] = object{weight: MaxWeight, car: car, cdr: cdr}
+	n.stats.Conses++
+	return Ref{Node: n.id, ID: id, Weight: MaxWeight}
+}
+
+// Copy duplicates a reference. When the weight is splittable the copy is
+// purely local (no message, Fig 6.3); a weight-1 reference forces an
+// indirection object on the *copier's* node (Fig 6.5's non-local copy).
+func (n *Node) Copy(r Ref) (kept, copy Ref, err error) {
+	if r.Node < 0 {
+		return r, r, nil // atoms and nil are weightless
+	}
+	if r.Weight > 1 {
+		half := r.Weight / 2
+		kept = r
+		kept.Weight = r.Weight - half
+		copy = r
+		copy.Weight = half
+		n.mu.Lock()
+		n.stats.LocalCopies++
+		n.mu.Unlock()
+		return kept, copy, nil
+	}
+	// Weight exhausted: wrap the reference in a local indirection object
+	// with fresh weight; both resulting references point at it.
+	n.mu.Lock()
+	id := n.allocLocked()
+	n.objects[id] = object{weight: MaxWeight, car: r, indirect: true}
+	n.stats.Indirections++
+	n.mu.Unlock()
+	ind := Ref{Node: n.id, ID: id, Weight: MaxWeight}
+	return n.Copy(ind)
+}
+
+// Release gives up a reference: its weight is queued as a decrement
+// toward the owning node, combining with any decrement already queued for
+// the same object (Fig 6.6).
+func (n *Node) Release(r Ref) {
+	if r.Node < 0 {
+		return
+	}
+	n.mu.Lock()
+	q := n.queues[r.Node]
+	if _, existed := q[r.ID]; existed {
+		n.stats.DecCombined++
+	} else {
+		n.stats.DecMessages++
+	}
+	q[r.ID] += r.Weight
+	n.mu.Unlock()
+}
+
+// Flush delivers every queued decrement message from this node. Cascaded
+// releases (an object dying drops its children) are queued on the owning
+// nodes; call System.Quiesce to drain everything.
+func (n *Node) Flush() {
+	n.mu.Lock()
+	queues := n.queues
+	n.queues = make([]map[ObjID]int64, len(n.sys.Nodes))
+	for i := range n.queues {
+		n.queues[i] = make(map[ObjID]int64)
+	}
+	n.mu.Unlock()
+	for dst, q := range queues {
+		for id, w := range q {
+			n.sys.Nodes[dst].applyDecrement(id, w)
+		}
+	}
+}
+
+// applyDecrement lands a decrement on the owning node.
+func (n *Node) applyDecrement(id ObjID, w int64) {
+	n.mu.Lock()
+	if int(id) >= len(n.objects) || n.objects[id].free {
+		n.mu.Unlock()
+		panic(fmt.Sprintf("multilisp: decrement of free object %d/%d", n.id, id))
+	}
+	o := &n.objects[id]
+	o.weight -= w
+	if o.weight < 0 {
+		n.mu.Unlock()
+		panic(fmt.Sprintf("multilisp: negative weight on %d/%d", n.id, id))
+	}
+	if o.weight > 0 {
+		n.mu.Unlock()
+		return
+	}
+	// Object dies: free it and release its children.
+	car, cdr := o.car, o.cdr
+	o.free = true
+	o.car, o.cdr = NilRef, NilRef
+	n.freeIDs = append(n.freeIDs, id)
+	n.stats.ObjectsFreed++
+	n.mu.Unlock()
+	n.Release(car)
+	n.Release(cdr)
+}
+
+// Quiesce flushes all nodes until no queued messages remain.
+func (s *System) Quiesce() {
+	for {
+		pending := false
+		for _, n := range s.Nodes {
+			n.mu.Lock()
+			for _, q := range n.queues {
+				if len(q) > 0 {
+					pending = true
+				}
+			}
+			n.mu.Unlock()
+		}
+		if !pending {
+			return
+		}
+		for _, n := range s.Nodes {
+			n.Flush()
+		}
+	}
+}
+
+// resolve follows indirection objects, returning the target cell's owner
+// and id. The caller must not hold locks.
+func (s *System) resolve(r Ref) (*Node, ObjID, error) {
+	for hops := 0; hops < 64; hops++ {
+		if r.Node < 0 {
+			return nil, 0, fmt.Errorf("%w: resolve of atom/nil", errBadRef)
+		}
+		n := s.Nodes[r.Node]
+		n.mu.Lock()
+		if int(r.ID) >= len(n.objects) || n.objects[r.ID].free {
+			n.mu.Unlock()
+			return nil, 0, fmt.Errorf("%w: dangling %d/%d", errBadRef, r.Node, r.ID)
+		}
+		o := n.objects[r.ID]
+		n.mu.Unlock()
+		if !o.indirect {
+			return n, r.ID, nil
+		}
+		r = o.car
+	}
+	return nil, 0, fmt.Errorf("%w: indirection chain too long", errBadRef)
+}
+
+// Car returns a copy of the car reference of r, fetched from the owning
+// node (a remote fetch when the caller is a different node). The returned
+// reference is a fresh copy; r remains held by the caller.
+func (n *Node) Car(r Ref) (Ref, error) { return n.access(r, true) }
+
+// Cdr returns a copy of the cdr reference of r.
+func (n *Node) Cdr(r Ref) (Ref, error) { return n.access(r, false) }
+
+func (n *Node) access(r Ref, wantCar bool) (Ref, error) {
+	owner, id, err := n.sys.resolve(r)
+	if err != nil {
+		return NilRef, err
+	}
+	if owner != n {
+		owner.mu.Lock()
+		owner.stats.RemoteFetches++
+		owner.mu.Unlock()
+	}
+	// Copy the child reference out of the cell under the owner's lock:
+	// the cell keeps its (possibly reduced) weight share. The whole
+	// split — including the weight-exhaustion indirection — happens under
+	// one lock so concurrent accessors cannot double-claim a weight-1
+	// reference.
+	owner.mu.Lock()
+	defer owner.mu.Unlock()
+	o := &owner.objects[id]
+	var field *Ref
+	if wantCar {
+		field = &o.car
+	} else {
+		field = &o.cdr
+	}
+	child := *field
+	if child.Node < 0 {
+		return child, nil
+	}
+	if child.Weight <= 1 {
+		// Weight exhausted: interpose an indirection object holding the
+		// old reference, and split the indirection's fresh weight.
+		ind := owner.allocLocked()
+		owner.objects[ind] = object{weight: MaxWeight, car: child, indirect: true}
+		owner.stats.Indirections++
+		// allocLocked may have grown the slice; re-take the field pointer.
+		o = &owner.objects[id]
+		if wantCar {
+			field = &o.car
+		} else {
+			field = &o.cdr
+		}
+		child = Ref{Node: owner.id, ID: ind, Weight: MaxWeight}
+		*field = child
+	}
+	half := child.Weight / 2
+	field.Weight = child.Weight - half
+	child.Weight = half
+	owner.stats.LocalCopies++
+	return child, nil
+}
+
+// Build stores an s-expression across the system, scattering successive
+// cells round-robin over the nodes starting at n.
+func (n *Node) Build(v sexpr.Value) Ref {
+	next := n.id
+	var build func(v sexpr.Value) Ref
+	build = func(v sexpr.Value) Ref {
+		c, ok := v.(*sexpr.Cell)
+		if !ok {
+			return AtomRef(v)
+		}
+		car := build(c.Car)
+		cdr := build(c.Cdr)
+		node := n.sys.Nodes[next%len(n.sys.Nodes)]
+		next++
+		return node.Cons(car, cdr)
+	}
+	return build(v)
+}
+
+// Decode reconstructs the s-expression behind r without consuming it.
+func (s *System) Decode(r Ref) (sexpr.Value, error) {
+	if r.IsNil() {
+		return nil, nil
+	}
+	if r.IsAtom() {
+		return r.Atom(), nil
+	}
+	owner, id, err := s.resolve(r)
+	if err != nil {
+		return nil, err
+	}
+	owner.mu.Lock()
+	o := owner.objects[id]
+	owner.mu.Unlock()
+	car, err := s.Decode(o.car)
+	if err != nil {
+		return nil, err
+	}
+	cdr, err := s.Decode(o.cdr)
+	if err != nil {
+		return nil, err
+	}
+	return sexpr.Cons(car, cdr), nil
+}
+
+// WeightInvariantViolations checks conservation: for every live object,
+// the recorded weight must equal the sum of the weights of the references
+// pointing at it from cells plus the externally held references supplied
+// by the caller. It returns a description of each violation.
+func (s *System) WeightInvariantViolations(external []Ref) []string {
+	type key struct {
+		node int
+		id   ObjID
+	}
+	inbound := make(map[key]int64)
+	note := func(r Ref) {
+		if r.Node >= 0 {
+			inbound[key{r.Node, r.ID}] += r.Weight
+		}
+	}
+	for _, r := range external {
+		note(r)
+	}
+	for _, n := range s.Nodes {
+		n.mu.Lock()
+		for i := range n.objects {
+			o := &n.objects[i]
+			if o.free {
+				continue
+			}
+			note(o.car)
+			note(o.cdr)
+		}
+		// pending decrements also count as outstanding weight
+		for dst, q := range n.queues {
+			for id, w := range q {
+				inbound[key{dst, id}] += w
+			}
+		}
+		n.mu.Unlock()
+	}
+	var out []string
+	for _, n := range s.Nodes {
+		n.mu.Lock()
+		for i := range n.objects {
+			o := &n.objects[i]
+			if o.free {
+				continue
+			}
+			k := key{n.id, ObjID(i)}
+			if inbound[k] != o.weight {
+				out = append(out, fmt.Sprintf("object %d/%d: weight %d, inbound %d",
+					n.id, i, o.weight, inbound[k]))
+			}
+		}
+		n.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package sexpr
+
+import "testing"
+
+// FuzzParse checks the reader never panics and that anything it accepts
+// survives a print/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"(a b c)", "'(x . y)", "((1 2) (3.5))", "nil", `"str\n"`,
+		"(a ;c\n b)", "[v w]", "(((", "a . b", "')", "(1e9 -3 +x)",
+		"(a (b (c (d (e)))))", `("\"")`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		v, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := String(v)
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reprint of %q -> %q unparseable: %v", src, printed, err)
+		}
+		if !Equal(v, back) {
+			t.Fatalf("round trip changed value: %q -> %q", src, printed)
+		}
+	})
+}

@@ -1,0 +1,321 @@
+// Package sexpr implements Lisp s-expressions: atoms (symbols, integers,
+// floats, strings) and list cells, together with a reader, a printer, and
+// the structural metrics used throughout the thesis (n, the number of
+// symbols in a list, and p, the number of internal parenthesis pairs;
+// §3.3.1, Fig 3.2).
+//
+// The package is deliberately representation-naive: a list is a linked
+// structure of two-pointer Cells exactly as in Fig 2.1. The compact heap
+// representations (cdr-coding, linked vectors, CDAR/EPS codes) live in
+// internal/heap and are built *from* these values.
+package sexpr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is any Lisp datum: nil, a symbol, a number, a string, or a cell.
+// The nil object is represented by the untyped Go nil Value, which keeps
+// "nil is both an atom and the empty list" cheap to test.
+type Value interface {
+	// write appends the printed representation to b.
+	write(b *strings.Builder)
+}
+
+// Symbol is a Lisp symbol (a name atom).
+type Symbol string
+
+// Int is a Lisp integer atom.
+type Int int64
+
+// Float is a Lisp floating point atom.
+type Float float64
+
+// Str is a Lisp string atom.
+type Str string
+
+// Cell is a two-pointer list cell (Fig 2.1a): Car points at the contents,
+// Cdr links to the rest of the list.
+type Cell struct {
+	Car Value
+	Cdr Value
+}
+
+func (s Symbol) write(b *strings.Builder) { b.WriteString(string(s)) }
+func (i Int) write(b *strings.Builder)    { fmt.Fprintf(b, "%d", int64(i)) }
+
+func (f Float) write(b *strings.Builder) {
+	s := strconv.FormatFloat(float64(f), 'g', -1, 64)
+	b.WriteString(s)
+	// Keep the float readable as a float: "0." must not print as "0".
+	if !strings.ContainsAny(s, ".eE") {
+		b.WriteString(".0")
+	}
+}
+
+func (s Str) write(b *strings.Builder) {
+	// Escape only what the reader understands: quote, backslash, newline
+	// and tab. Other bytes (including control characters) pass through.
+	b.WriteByte('"')
+	for _, r := range string(s) {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+}
+
+func (c *Cell) write(b *strings.Builder) {
+	b.WriteByte('(')
+	for {
+		if c.Car == nil {
+			b.WriteString("nil")
+		} else {
+			c.Car.write(b)
+		}
+		switch cdr := c.Cdr.(type) {
+		case nil:
+			b.WriteByte(')')
+			return
+		case *Cell:
+			b.WriteByte(' ')
+			c = cdr
+		default:
+			b.WriteString(" . ")
+			cdr.write(b)
+			b.WriteByte(')')
+			return
+		}
+	}
+}
+
+// String renders v in standard Lisp notation. The nil value prints as "nil".
+func String(v Value) string {
+	if v == nil {
+		return "nil"
+	}
+	var b strings.Builder
+	v.write(&b)
+	return b.String()
+}
+
+// Cons allocates a fresh cell.
+func Cons(car, cdr Value) *Cell { return &Cell{Car: car, Cdr: cdr} }
+
+// List builds a proper list from its arguments.
+func List(items ...Value) Value {
+	var out Value
+	for i := len(items) - 1; i >= 0; i-- {
+		out = Cons(items[i], out)
+	}
+	return out
+}
+
+// IsAtom reports whether v is an atom. nil counts as an atom, as in Lisp.
+func IsAtom(v Value) bool {
+	_, cell := v.(*Cell)
+	return !cell
+}
+
+// IsList reports whether v is nil or a cell.
+func IsList(v Value) bool {
+	if v == nil {
+		return true
+	}
+	_, ok := v.(*Cell)
+	return ok
+}
+
+// Car returns the car of v, or nil if v is not a cell ((car nil) = nil).
+func Car(v Value) Value {
+	if c, ok := v.(*Cell); ok {
+		return c.Car
+	}
+	return nil
+}
+
+// Cdr returns the cdr of v, or nil if v is not a cell.
+func Cdr(v Value) Value {
+	if c, ok := v.(*Cell); ok {
+		return c.Cdr
+	}
+	return nil
+}
+
+// Length returns the number of top-level elements of a proper list, and
+// whether the list was proper (nil-terminated without dotted tail).
+// Circular cdr chains terminate with proper=false after a cycle is found.
+func Length(v Value) (n int, proper bool) {
+	slow, fast := v, v
+	for {
+		c, ok := fast.(*Cell)
+		if !ok {
+			return n, fast == nil
+		}
+		n++
+		fast = c.Cdr
+		if n%2 == 0 {
+			slow = Cdr(slow)
+			if slow == fast {
+				return n, false // circular
+			}
+		}
+	}
+}
+
+// Eq reports pointer/atom identity: cells must be the same cell, atoms must
+// be the same atom value.
+func Eq(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	ca, aok := a.(*Cell)
+	cb, bok := b.(*Cell)
+	if aok || bok {
+		return aok && bok && ca == cb
+	}
+	return a == b
+}
+
+// Equal reports structural equality (the Lisp equal predicate). It is
+// cycle-safe for acyclic inputs up to the given depth of sharing; circular
+// structures are compared with a visited-pair set.
+func Equal(a, b Value) bool {
+	type pair struct{ a, b *Cell }
+	var seen map[pair]bool
+	var eq func(a, b Value) bool
+	eq = func(a, b Value) bool {
+		ca, aok := a.(*Cell)
+		cb, bok := b.(*Cell)
+		if aok != bok {
+			return false
+		}
+		if !aok {
+			return Eq(a, b)
+		}
+		p := pair{ca, cb}
+		if seen[p] {
+			return true
+		}
+		if seen == nil {
+			seen = make(map[pair]bool)
+		}
+		seen[p] = true
+		return eq(ca.Car, cb.Car) && eq(ca.Cdr, cb.Cdr)
+	}
+	return eq(a, b)
+}
+
+// Copy returns a deep copy of v. Atoms are shared (they are immutable);
+// every cell is freshly allocated. Copy panics on circular structure.
+func Copy(v Value) Value {
+	c, ok := v.(*Cell)
+	if !ok {
+		return v
+	}
+	return Cons(Copy(c.Car), Copy(c.Cdr))
+}
+
+// Metrics holds the list complexity measures of §3.3.1.
+type Metrics struct {
+	N int // number of symbols (atoms other than nil) in the list
+	P int // number of internal parenthesis pairs (nested sublists)
+}
+
+// Measure computes the (n, p) metrics of Fig 3.2 for v. For the list
+// (A B C (D E) F G) it returns n=7, p=1; for (A (B (C (D E F) G))) it
+// returns n=7, p=3. n counts atom occurrences; p counts non-nil sublist
+// occurrences below the top level. n+p is the number of two-pointer cells
+// needed (Fig 3.2), n the number of structure-coded tuples.
+func Measure(v Value) Metrics {
+	var m Metrics
+	var walk func(v Value, top bool)
+	walk = func(v Value, top bool) {
+		for {
+			c, ok := v.(*Cell)
+			if !ok {
+				if v != nil {
+					m.N++ // dotted atom tail
+				}
+				return
+			}
+			if sub, ok := c.Car.(*Cell); ok {
+				m.P++
+				walk(sub, false)
+			} else if c.Car != nil {
+				m.N++
+			}
+			v = c.Cdr
+		}
+	}
+	if c, ok := v.(*Cell); ok {
+		walk(c, true)
+	} else if v != nil {
+		m.N = 1
+	}
+	return m
+}
+
+// CellCount returns the number of two-pointer cells reachable from v,
+// counting shared cells once. It is cycle-safe.
+func CellCount(v Value) int {
+	seen := make(map[*Cell]bool)
+	var walk func(Value)
+	walk = func(v Value) {
+		c, ok := v.(*Cell)
+		if !ok || seen[c] {
+			return
+		}
+		seen[c] = true
+		walk(c.Car)
+		walk(c.Cdr)
+	}
+	walk(v)
+	return len(seen)
+}
+
+// Depth returns the maximum car-nesting depth of v: atoms have depth 0,
+// a flat list depth 1, (A (B)) depth 2.
+func Depth(v Value) int {
+	c, ok := v.(*Cell)
+	if !ok {
+		return 0
+	}
+	max := 0
+	for c != nil {
+		if d := Depth(c.Car); d > max {
+			max = d
+		}
+		next, ok := c.Cdr.(*Cell)
+		if !ok {
+			break
+		}
+		c = next
+	}
+	return max + 1
+}
+
+// Symbols appends every symbol occurring in v, in left-to-right order, to
+// dst and returns the extended slice.
+func Symbols(dst []Symbol, v Value) []Symbol {
+	switch t := v.(type) {
+	case Symbol:
+		return append(dst, t)
+	case *Cell:
+		dst = Symbols(dst, t.Car)
+		return Symbols(dst, t.Cdr)
+	default:
+		return dst
+	}
+}

@@ -1,0 +1,819 @@
+package smalllisp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sexpr"
+)
+
+// specialForm evaluates with unevaluated arguments (the cdr of the form).
+type specialForm func(in *Interp, args sexpr.Value) (core.Value, error)
+
+// primitive receives evaluated arguments; the *caller* releases them, so
+// primitives must Retain anything they keep or return that aliases an
+// argument.
+type primitive func(in *Interp, args []core.Value) (core.Value, error)
+
+var specialForms map[sexpr.Symbol]specialForm
+
+var primitives map[sexpr.Symbol]primitive
+
+func listForms(v sexpr.Value) []sexpr.Value {
+	var out []sexpr.Value
+	for {
+		c, ok := v.(*sexpr.Cell)
+		if !ok {
+			return out
+		}
+		out = append(out, c.Car)
+		v = c.Cdr
+	}
+}
+
+func init() {
+	specialForms = map[sexpr.Symbol]specialForm{
+		"quote": func(in *Interp, args sexpr.Value) (core.Value, error) {
+			// Quoted structure is materialised into the machine's heap —
+			// the readlist path — once per evaluation, as an interpreter
+			// re-reading its program text would.
+			return in.m.ReadList(sexpr.Car(args), core.NilValue)
+		},
+		"cond":  sfCond,
+		"if":    sfIf,
+		"and":   sfAnd,
+		"or":    sfOr,
+		"setq":  sfSetq,
+		"def":   sfDef,
+		"defun": sfDefun,
+		"progn": sfProgn,
+		"prog":  sfProg,
+		"let":   sfLet,
+		"while": sfWhile,
+		"go": func(in *Interp, args sexpr.Value) (core.Value, error) {
+			label, ok := sexpr.Car(args).(sexpr.Symbol)
+			if !ok {
+				return core.NilValue, errf(args, "go wants a label")
+			}
+			return core.NilValue, &goSignal{label: label}
+		},
+		"return": func(in *Interp, args sexpr.Value) (core.Value, error) {
+			v, err := in.eval(sexpr.Car(args))
+			if err != nil {
+				return core.NilValue, err
+			}
+			return core.NilValue, &returnSignal{val: v}
+		},
+	}
+
+	primitives = map[sexpr.Symbol]primitive{
+		"car":    prim1(func(in *Interp, v core.Value) (core.Value, error) { return in.m.Car(v) }),
+		"cdr":    prim1(func(in *Interp, v core.Value) (core.Value, error) { return in.m.Cdr(v) }),
+		"cons":   prim2(func(in *Interp, a, b core.Value) (core.Value, error) { return in.m.Cons(a, b) }),
+		"rplaca": primRplac(true),
+		"rplacd": primRplac(false),
+		"list":   primList,
+		"append": primAppend,
+		"reverse": prim1(func(in *Interp, v core.Value) (core.Value, error) {
+			out := core.NilValue
+			cur := v
+			in.m.Retain(cur)
+			for isList(cur) {
+				a, err := in.m.Car(cur)
+				if err != nil {
+					return core.NilValue, err
+				}
+				nxt, err := in.m.Cdr(cur)
+				if err != nil {
+					return core.NilValue, err
+				}
+				in.m.Release(cur)
+				cur = nxt
+				c, err := in.m.Cons(a, out)
+				in.m.Release(a)
+				in.m.Release(out)
+				if err != nil {
+					return core.NilValue, err
+				}
+				out = c
+			}
+			in.m.Release(cur)
+			return out, nil
+		}),
+		"length": prim1(func(in *Interp, v core.Value) (core.Value, error) {
+			n := int64(0)
+			cur := v
+			in.m.Retain(cur)
+			for isList(cur) {
+				nxt, err := in.m.Cdr(cur)
+				if err != nil {
+					return core.NilValue, err
+				}
+				in.m.Release(cur)
+				cur = nxt
+				n++
+			}
+			in.m.Release(cur)
+			return in.atom(sexpr.Int(n)), nil
+		}),
+		"member": primMember,
+		"assoc":  primAssoc,
+
+		"atom": prim1(func(in *Interp, v core.Value) (core.Value, error) {
+			return in.boolVal(!isList(v)), nil
+		}),
+		"null": prim1(func(in *Interp, v core.Value) (core.Value, error) {
+			return in.boolVal(v.Kind == core.VNil), nil
+		}),
+		"not": prim1(func(in *Interp, v core.Value) (core.Value, error) {
+			return in.boolVal(v.Kind == core.VNil), nil
+		}),
+		"eq":    primEq,
+		"equal": primEqual,
+		"numberp": prim1(func(in *Interp, v core.Value) (core.Value, error) {
+			sv, _ := in.atomValue(v)
+			_, isInt := sv.(sexpr.Int)
+			return in.boolVal(isInt), nil
+		}),
+		"zerop": primNumPred(func(x int64) bool { return x == 0 }),
+
+		"+": primArith(func(a, b int64) int64 { return a + b }),
+		"-": primArith(func(a, b int64) int64 { return a - b }),
+		"*": primArith(func(a, b int64) int64 { return a * b }),
+		"add1": prim1(func(in *Interp, v core.Value) (core.Value, error) {
+			x, err := in.numOf(v)
+			if err != nil {
+				return core.NilValue, err
+			}
+			return in.atom(sexpr.Int(x + 1)), nil
+		}),
+		"sub1": prim1(func(in *Interp, v core.Value) (core.Value, error) {
+			x, err := in.numOf(v)
+			if err != nil {
+				return core.NilValue, err
+			}
+			return in.atom(sexpr.Int(x - 1)), nil
+		}),
+		"quotient":  primDiv(false),
+		"/":         primDiv(false),
+		"remainder": primDiv(true),
+		"max":       primMinMax(true),
+		"min":       primMinMax(false),
+		"=":         primRel(func(a, b int64) bool { return a == b }),
+		">":         primRel(func(a, b int64) bool { return a > b }),
+		"<":         primRel(func(a, b int64) bool { return a < b }),
+		">=":        primRel(func(a, b int64) bool { return a >= b }),
+		"<=":        primRel(func(a, b int64) bool { return a <= b }),
+		"greaterp":  primRel(func(a, b int64) bool { return a > b }),
+		"lessp":     primRel(func(a, b int64) bool { return a < b }),
+
+		"print":   primPrint,
+		"read":    primRead,
+		"gensym":  primGensym,
+		"get":     primGet,
+		"putprop": primPutprop,
+	}
+}
+
+func prim1(f func(*Interp, core.Value) (core.Value, error)) primitive {
+	return func(in *Interp, args []core.Value) (core.Value, error) {
+		if len(args) != 1 {
+			return core.NilValue, errf(nil, "wants 1 arg, got %d", len(args))
+		}
+		return f(in, args[0])
+	}
+}
+
+func prim2(f func(*Interp, core.Value, core.Value) (core.Value, error)) primitive {
+	return func(in *Interp, args []core.Value) (core.Value, error) {
+		if len(args) != 2 {
+			return core.NilValue, errf(nil, "wants 2 args, got %d", len(args))
+		}
+		return f(in, args[0], args[1])
+	}
+}
+
+func primRplac(car bool) primitive {
+	return prim2(func(in *Interp, x, y core.Value) (core.Value, error) {
+		var err error
+		if car {
+			err = in.m.Rplaca(x, y)
+		} else {
+			err = in.m.Rplacd(x, y)
+		}
+		if err != nil {
+			return core.NilValue, err
+		}
+		in.m.Retain(x) // the result aliases the argument
+		return x, nil
+	})
+}
+
+func primList(in *Interp, args []core.Value) (core.Value, error) {
+	out := core.NilValue
+	for i := len(args) - 1; i >= 0; i-- {
+		c, err := in.m.Cons(args[i], out)
+		in.m.Release(out)
+		if err != nil {
+			return core.NilValue, err
+		}
+		out = c
+	}
+	return out, nil
+}
+
+// primAppend copies every list but the last, through machine operations.
+func primAppend(in *Interp, args []core.Value) (core.Value, error) {
+	if len(args) == 0 {
+		return core.NilValue, nil
+	}
+	// Collect the elements of all but the last argument.
+	var elems []core.Value
+	release := func() { in.releaseAll(elems) }
+	for _, a := range args[:len(args)-1] {
+		cur := a
+		in.m.Retain(cur)
+		for isList(cur) {
+			e, err := in.m.Car(cur)
+			if err != nil {
+				in.m.Release(cur)
+				release()
+				return core.NilValue, err
+			}
+			elems = append(elems, e)
+			nxt, err := in.m.Cdr(cur)
+			if err != nil {
+				in.m.Release(cur)
+				release()
+				return core.NilValue, err
+			}
+			in.m.Release(cur)
+			cur = nxt
+		}
+		in.m.Release(cur)
+	}
+	out := args[len(args)-1]
+	in.m.Retain(out)
+	for i := len(elems) - 1; i >= 0; i-- {
+		c, err := in.m.Cons(elems[i], out)
+		in.m.Release(out)
+		if err != nil {
+			release()
+			return core.NilValue, err
+		}
+		out = c
+	}
+	release()
+	return out, nil
+}
+
+func primMember(in *Interp, args []core.Value) (core.Value, error) {
+	return in.searchList(args, func(elem core.Value, x core.Value) (bool, error) {
+		return in.valuesEqual(elem, x)
+	}, false)
+}
+
+func primAssoc(in *Interp, args []core.Value) (core.Value, error) {
+	return in.searchList(args, func(elem core.Value, x core.Value) (bool, error) {
+		if !isList(elem) {
+			return false, nil
+		}
+		key, err := in.m.Car(elem)
+		if err != nil {
+			return false, err
+		}
+		defer in.m.Release(key)
+		return in.valuesEqual(key, x)
+	}, true)
+}
+
+// searchList walks (x list) comparing with match; returns the element
+// (assoc) or the suffix (member) at the hit.
+func (in *Interp) searchList(args []core.Value, match func(elem, x core.Value) (bool, error), wantElem bool) (core.Value, error) {
+	if len(args) != 2 {
+		return core.NilValue, errf(nil, "wants 2 args")
+	}
+	x, l := args[0], args[1]
+	cur := l
+	in.m.Retain(cur)
+	for isList(cur) {
+		elem, err := in.m.Car(cur)
+		if err != nil {
+			in.m.Release(cur)
+			return core.NilValue, err
+		}
+		hit, err := match(elem, x)
+		if err != nil {
+			in.m.Release(elem)
+			in.m.Release(cur)
+			return core.NilValue, err
+		}
+		if hit {
+			if wantElem {
+				in.m.Release(cur)
+				return elem, nil
+			}
+			in.m.Release(elem)
+			return cur, nil
+		}
+		in.m.Release(elem)
+		nxt, err := in.m.Cdr(cur)
+		if err != nil {
+			in.m.Release(cur)
+			return core.NilValue, err
+		}
+		in.m.Release(cur)
+		cur = nxt
+	}
+	in.m.Release(cur)
+	return core.NilValue, nil
+}
+
+// valuesEqual implements equal over machine values.
+func (in *Interp) valuesEqual(a, b core.Value) (bool, error) {
+	av, err := in.m.ValueOf(a)
+	if err != nil {
+		return false, err
+	}
+	bv, err := in.m.ValueOf(b)
+	if err != nil {
+		return false, err
+	}
+	return sexpr.Equal(av, bv), nil
+}
+
+func primEq(in *Interp, args []core.Value) (core.Value, error) {
+	if len(args) != 2 {
+		return core.NilValue, errf(nil, "eq wants 2 args")
+	}
+	a, b := args[0], args[1]
+	eq := false
+	switch {
+	case a.Kind == core.VNil && b.Kind == core.VNil:
+		eq = true
+	case a.Kind == core.VAtom && b.Kind == core.VAtom:
+		eq = a.Atom == b.Atom
+	case a.Kind == core.VList && b.Kind == core.VList:
+		eq = a.ID == b.ID
+	case a.Kind == core.VHeap && b.Kind == core.VHeap:
+		eq = a.Addr == b.Addr
+	}
+	return in.boolVal(eq), nil
+}
+
+func primEqual(in *Interp, args []core.Value) (core.Value, error) {
+	if len(args) != 2 {
+		return core.NilValue, errf(nil, "equal wants 2 args")
+	}
+	eq, err := in.valuesEqual(args[0], args[1])
+	if err != nil {
+		return core.NilValue, err
+	}
+	return in.boolVal(eq), nil
+}
+
+func primNumPred(f func(int64) bool) primitive {
+	return prim1(func(in *Interp, v core.Value) (core.Value, error) {
+		x, err := in.numOf(v)
+		if err != nil {
+			return core.NilValue, err
+		}
+		return in.boolVal(f(x)), nil
+	})
+}
+
+func primArith(f func(a, b int64) int64) primitive {
+	return func(in *Interp, args []core.Value) (core.Value, error) {
+		if len(args) == 0 {
+			return core.NilValue, errf(nil, "wants arguments")
+		}
+		acc, err := in.numOf(args[0])
+		if err != nil {
+			return core.NilValue, err
+		}
+		if len(args) == 1 {
+			// unary minus special case handled by caller semantics: (- x)
+			return in.atom(sexpr.Int(f(0, acc))), nil
+		}
+		for _, a := range args[1:] {
+			x, err := in.numOf(a)
+			if err != nil {
+				return core.NilValue, err
+			}
+			acc = f(acc, x)
+		}
+		return in.atom(sexpr.Int(acc)), nil
+	}
+}
+
+func primDiv(rem bool) primitive {
+	return prim2(func(in *Interp, a, b core.Value) (core.Value, error) {
+		x, err := in.numOf(a)
+		if err != nil {
+			return core.NilValue, err
+		}
+		y, err := in.numOf(b)
+		if err != nil {
+			return core.NilValue, err
+		}
+		if y == 0 {
+			return core.NilValue, errf(nil, "division by zero")
+		}
+		if rem {
+			return in.atom(sexpr.Int(x % y)), nil
+		}
+		return in.atom(sexpr.Int(x / y)), nil
+	})
+}
+
+func primMinMax(max bool) primitive {
+	return func(in *Interp, args []core.Value) (core.Value, error) {
+		if len(args) == 0 {
+			return core.NilValue, errf(nil, "wants arguments")
+		}
+		best, err := in.numOf(args[0])
+		if err != nil {
+			return core.NilValue, err
+		}
+		for _, a := range args[1:] {
+			x, err := in.numOf(a)
+			if err != nil {
+				return core.NilValue, err
+			}
+			if (max && x > best) || (!max && x < best) {
+				best = x
+			}
+		}
+		return in.atom(sexpr.Int(best)), nil
+	}
+}
+
+func primRel(f func(a, b int64) bool) primitive {
+	return prim2(func(in *Interp, a, b core.Value) (core.Value, error) {
+		x, err := in.numOf(a)
+		if err != nil {
+			return core.NilValue, err
+		}
+		y, err := in.numOf(b)
+		if err != nil {
+			return core.NilValue, err
+		}
+		return in.boolVal(f(x, y)), nil
+	})
+}
+
+func primPrint(in *Interp, args []core.Value) (core.Value, error) {
+	for i, a := range args {
+		if i > 0 {
+			fmt.Fprint(in.out, " ")
+		}
+		sv, err := in.m.ValueOf(a)
+		if err != nil {
+			return core.NilValue, err
+		}
+		fmt.Fprint(in.out, sexpr.String(sv))
+	}
+	fmt.Fprintln(in.out)
+	return core.NilValue, nil
+}
+
+func primRead(in *Interp, args []core.Value) (core.Value, error) {
+	if len(in.input) == 0 {
+		return core.NilValue, nil
+	}
+	v := in.input[0]
+	in.input = in.input[1:]
+	return in.m.ReadList(v, core.NilValue)
+}
+
+func primGensym(in *Interp, args []core.Value) (core.Value, error) {
+	in.gensym++
+	return in.atom(sexpr.Symbol(fmt.Sprintf("g%04d", in.gensym))), nil
+}
+
+func primGet(in *Interp, args []core.Value) (core.Value, error) {
+	if len(args) != 2 {
+		return core.NilValue, errf(nil, "get wants 2 args")
+	}
+	s, err := in.symArg(args[0])
+	if err != nil {
+		return core.NilValue, err
+	}
+	p, err := in.symArg(args[1])
+	if err != nil {
+		return core.NilValue, err
+	}
+	v, ok := in.props[s][p]
+	if !ok {
+		return core.NilValue, nil
+	}
+	in.m.Retain(v)
+	return v, nil
+}
+
+func primPutprop(in *Interp, args []core.Value) (core.Value, error) {
+	if len(args) != 3 {
+		return core.NilValue, errf(nil, "putprop wants 3 args")
+	}
+	s, err := in.symArg(args[0])
+	if err != nil {
+		return core.NilValue, err
+	}
+	p, err := in.symArg(args[2])
+	if err != nil {
+		return core.NilValue, err
+	}
+	if in.props[s] == nil {
+		in.props[s] = make(map[sexpr.Symbol]core.Value)
+	}
+	if old, ok := in.props[s][p]; ok {
+		in.m.Release(old)
+	}
+	in.m.Retain(args[1]) // the property table holds its own reference
+	in.props[s][p] = args[1]
+	in.m.Retain(args[1]) // and the caller receives the value back
+	return args[1], nil
+}
+
+func (in *Interp) symArg(v core.Value) (sexpr.Symbol, error) {
+	sv, err := in.atomValue(v)
+	if err != nil {
+		return "", err
+	}
+	s, ok := sv.(sexpr.Symbol)
+	if !ok {
+		return "", errf(sv, "symbol expected")
+	}
+	return s, nil
+}
+
+// --- special forms ---
+
+func sfCond(in *Interp, args sexpr.Value) (core.Value, error) {
+	for _, leg := range listForms(args) {
+		lc, ok := leg.(*sexpr.Cell)
+		if !ok {
+			return core.NilValue, errf(leg, "malformed cond leg")
+		}
+		test, err := in.eval(lc.Car)
+		if err != nil {
+			return core.NilValue, err
+		}
+		if !truthy(test) {
+			in.m.Release(test)
+			continue
+		}
+		body := listForms(lc.Cdr)
+		if len(body) == 0 {
+			return test, nil
+		}
+		in.m.Release(test)
+		ret := core.NilValue
+		for _, b := range body {
+			in.m.Release(ret)
+			ret, err = in.eval(b)
+			if err != nil {
+				return core.NilValue, err
+			}
+		}
+		return ret, nil
+	}
+	return core.NilValue, nil
+}
+
+func sfIf(in *Interp, args sexpr.Value) (core.Value, error) {
+	forms := listForms(args)
+	if len(forms) < 2 {
+		return core.NilValue, errf(args, "if wants test and then")
+	}
+	test, err := in.eval(forms[0])
+	if err != nil {
+		return core.NilValue, err
+	}
+	taken := truthy(test)
+	in.m.Release(test)
+	if taken {
+		return in.eval(forms[1])
+	}
+	ret := core.NilValue
+	for _, f := range forms[2:] {
+		in.m.Release(ret)
+		ret, err = in.eval(f)
+		if err != nil {
+			return core.NilValue, err
+		}
+	}
+	return ret, nil
+}
+
+func sfAnd(in *Interp, args sexpr.Value) (core.Value, error) {
+	ret := in.atom(trueSym)
+	for _, f := range listForms(args) {
+		in.m.Release(ret)
+		v, err := in.eval(f)
+		if err != nil {
+			return core.NilValue, err
+		}
+		if !truthy(v) {
+			in.m.Release(v)
+			return core.NilValue, nil
+		}
+		ret = v
+	}
+	return ret, nil
+}
+
+func sfOr(in *Interp, args sexpr.Value) (core.Value, error) {
+	for _, f := range listForms(args) {
+		v, err := in.eval(f)
+		if err != nil {
+			return core.NilValue, err
+		}
+		if truthy(v) {
+			return v, nil
+		}
+		in.m.Release(v)
+	}
+	return core.NilValue, nil
+}
+
+func sfSetq(in *Interp, args sexpr.Value) (core.Value, error) {
+	forms := listForms(args)
+	ret := core.NilValue
+	for i := 0; i+1 < len(forms); i += 2 {
+		name, ok := forms[i].(sexpr.Symbol)
+		if !ok {
+			return core.NilValue, errf(forms[i], "setq of non-symbol")
+		}
+		v, err := in.eval(forms[i+1])
+		if err != nil {
+			return core.NilValue, err
+		}
+		in.m.Retain(v) // one hold for the binding, one for the value
+		in.set(name, v)
+		in.m.Release(ret)
+		ret = v
+	}
+	return ret, nil
+}
+
+func sfDef(in *Interp, args sexpr.Value) (core.Value, error) {
+	name, ok := sexpr.Car(args).(sexpr.Symbol)
+	if !ok {
+		return core.NilValue, errf(args, "def of non-symbol")
+	}
+	lam, ok := sexpr.Car(sexpr.Cdr(args)).(*sexpr.Cell)
+	if !ok || lam.Car != sexpr.Symbol("lambda") {
+		return core.NilValue, errf(args, "def requires a lambda")
+	}
+	fn, err := parseLambda(name, lam)
+	if err != nil {
+		return core.NilValue, err
+	}
+	in.fns[name] = fn
+	return in.atom(name), nil
+}
+
+func sfDefun(in *Interp, args sexpr.Value) (core.Value, error) {
+	name, ok := sexpr.Car(args).(sexpr.Symbol)
+	if !ok {
+		return core.NilValue, errf(args, "defun of non-symbol")
+	}
+	lam := sexpr.Cons(sexpr.Symbol("lambda"), sexpr.Cdr(args))
+	fn, err := parseLambda(name, lam)
+	if err != nil {
+		return core.NilValue, err
+	}
+	in.fns[name] = fn
+	return in.atom(name), nil
+}
+
+func sfProgn(in *Interp, args sexpr.Value) (core.Value, error) {
+	ret := core.NilValue
+	var err error
+	for _, f := range listForms(args) {
+		in.m.Release(ret)
+		ret, err = in.eval(f)
+		if err != nil {
+			return core.NilValue, err
+		}
+	}
+	return ret, nil
+}
+
+func sfProg(in *Interp, args sexpr.Value) (core.Value, error) {
+	forms := listForms(args)
+	if len(forms) == 0 {
+		return core.NilValue, nil
+	}
+	in.pushFrame()
+	defer in.popFrame()
+	for _, l := range listForms(forms[0]) {
+		if name, ok := l.(sexpr.Symbol); ok {
+			in.bind(name, core.NilValue)
+		}
+	}
+	body := forms[1:]
+	labels := make(map[sexpr.Symbol]int)
+	for i, f := range body {
+		if s, ok := f.(sexpr.Symbol); ok {
+			labels[s] = i
+		}
+	}
+	for pc := 0; pc < len(body); pc++ {
+		if _, isLabel := body[pc].(sexpr.Symbol); isLabel {
+			continue
+		}
+		v, err := in.eval(body[pc])
+		if err == nil {
+			in.m.Release(v)
+			continue
+		}
+		switch sig := err.(type) {
+		case *returnSignal:
+			return sig.val, nil
+		case *goSignal:
+			target, ok := labels[sig.label]
+			if !ok {
+				return core.NilValue, errf(sig.label, "go to undefined label")
+			}
+			pc = target
+		default:
+			return core.NilValue, err
+		}
+	}
+	return core.NilValue, nil
+}
+
+func sfLet(in *Interp, args sexpr.Value) (core.Value, error) {
+	forms := listForms(args)
+	if len(forms) == 0 {
+		return core.NilValue, nil
+	}
+	type pair struct {
+		name sexpr.Symbol
+		val  core.Value
+	}
+	var pairs []pair
+	for _, spec := range listForms(forms[0]) {
+		switch s := spec.(type) {
+		case sexpr.Symbol:
+			pairs = append(pairs, pair{s, core.NilValue})
+		case *sexpr.Cell:
+			name, ok := s.Car.(sexpr.Symbol)
+			if !ok {
+				return core.NilValue, errf(spec, "let of non-symbol")
+			}
+			v, err := in.eval(sexpr.Car(sexpr.Cdr(s)))
+			if err != nil {
+				for _, p := range pairs {
+					in.m.Release(p.val)
+				}
+				return core.NilValue, err
+			}
+			pairs = append(pairs, pair{name, v})
+		default:
+			return core.NilValue, errf(spec, "malformed let binding")
+		}
+	}
+	in.pushFrame()
+	defer in.popFrame()
+	for _, p := range pairs {
+		in.bind(p.name, p.val)
+	}
+	ret := core.NilValue
+	var err error
+	for _, f := range forms[1:] {
+		in.m.Release(ret)
+		ret, err = in.eval(f)
+		if err != nil {
+			return core.NilValue, err
+		}
+	}
+	return ret, nil
+}
+
+func sfWhile(in *Interp, args sexpr.Value) (core.Value, error) {
+	forms := listForms(args)
+	if len(forms) == 0 {
+		return core.NilValue, nil
+	}
+	for {
+		test, err := in.eval(forms[0])
+		if err != nil {
+			return core.NilValue, err
+		}
+		done := !truthy(test)
+		in.m.Release(test)
+		if done {
+			return core.NilValue, nil
+		}
+		for _, f := range forms[1:] {
+			v, err := in.eval(f)
+			if err != nil {
+				return core.NilValue, err
+			}
+			in.m.Release(v)
+		}
+	}
+}

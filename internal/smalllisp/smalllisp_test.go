@@ -1,0 +1,305 @@
+package smalllisp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lisp"
+	"repro/internal/sexpr"
+)
+
+func run(t *testing.T, src string) (sexpr.Value, *core.Machine) {
+	t.Helper()
+	m := core.NewMachine(core.Config{LPTSize: 4096})
+	in := New(WithMachine(m))
+	v, err := in.Run(src)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return v, m
+}
+
+func check(t *testing.T, src, want string) {
+	t.Helper()
+	v, _ := run(t, src)
+	if got := sexpr.String(v); got != want {
+		t.Errorf("%s => %s, want %s", src, got, want)
+	}
+}
+
+func TestBasics(t *testing.T) {
+	check(t, "42", "42")
+	check(t, "t", "t")
+	check(t, "nil", "nil")
+	check(t, "'(a b c)", "(a b c)")
+	check(t, "(car '(a b))", "a")
+	check(t, "(cdr '(a b))", "(b)")
+	check(t, "(cons 'a '(b))", "(a b)")
+	check(t, "(cadr '(a b c))", "b")
+	check(t, "(list 1 2 3)", "(1 2 3)")
+	check(t, "(append '(a) '(b c))", "(a b c)")
+	check(t, "(reverse '(1 2 3))", "(3 2 1)")
+	check(t, "(length '(a b c))", "3")
+	check(t, "(member 'b '(a b c))", "(b c)")
+	check(t, "(assoc 'b '((a 1) (b 2)))", "(b 2)")
+}
+
+func TestArithmeticAndPredicates(t *testing.T) {
+	check(t, "(+ 1 2 3)", "6")
+	check(t, "(- 10 4)", "6")
+	check(t, "(* 3 4)", "12")
+	check(t, "(quotient 9 2)", "4")
+	check(t, "(remainder 9 2)", "1")
+	check(t, "(add1 5)", "6")
+	check(t, "(max 2 9 4)", "9")
+	check(t, "(zerop 0)", "t")
+	check(t, "(atom 'a)", "t")
+	check(t, "(atom '(a))", "nil")
+	check(t, "(null nil)", "t")
+	check(t, "(eq 'a 'a)", "t")
+	check(t, "(equal '(x) '(x))", "t")
+	check(t, "(greaterp 3 1)", "t")
+}
+
+func TestControl(t *testing.T) {
+	check(t, "(cond ((eq 1 2) 'a) ((eq 1 1) 'b) (t 'c))", "b")
+	check(t, "(if nil 'y 'n)", "n")
+	check(t, "(and 1 2)", "2")
+	check(t, "(or nil 5)", "5")
+	check(t, "(progn 1 2 3)", "3")
+	check(t, "(let ((a 2) (b 3)) (* a b))", "6")
+	check(t, `(prog (i acc)
+	            (setq i 0 acc nil)
+	            loop
+	            (cond ((= i 3) (return acc)))
+	            (setq acc (cons i acc))
+	            (setq i (add1 i))
+	            (go loop))`, "(2 1 0)")
+	check(t, "(progn (setq s 0 i 0) (while (lessp i 4) (setq s (+ s i)) (setq i (add1 i))) s)", "6")
+}
+
+func TestFunctions(t *testing.T) {
+	check(t, `
+	  (def fact (lambda (n)
+	    (cond ((= n 0) 1) (t (* n (fact (- n 1)))))))
+	  (fact 8)`, "40320")
+	check(t, "((lambda (x y) (cons x y)) 'a 'b)", "(a . b)")
+	// dynamic scoping
+	check(t, `
+	  (def helper (lambda () base))
+	  (def caller (lambda (base) (helper)))
+	  (caller 7)`, "7")
+}
+
+func TestRplacAndSharing(t *testing.T) {
+	check(t, "(progn (setq x '(a b)) (rplaca x 'z) x)", "(z b)")
+	check(t, "(progn (setq x '(a b)) (rplacd x '(q)) x)", "(a q)")
+	// aliasing through a binding
+	check(t, `(progn
+	  (setq x '((inner) tail))
+	  (setq y (car x))
+	  (rplaca y 'mut)
+	  x)`, "((mut) tail)")
+}
+
+func TestPropertiesAndIO(t *testing.T) {
+	check(t, "(progn (putprop 'n '(v a l) 'p) (get 'n 'p))", "(v a l)")
+	var sb strings.Builder
+	m := core.NewMachine(core.Config{LPTSize: 1024})
+	in := New(WithMachine(m), WithOutput(&sb))
+	if _, err := in.Run("(print '(a b))"); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "(a b)\n" {
+		t.Errorf("printed %q", sb.String())
+	}
+	vals, _ := sexpr.ParseAll("(x y)")
+	in2 := New(WithInput(vals))
+	v, err := in2.Run("(cdr (read))")
+	if err != nil || sexpr.String(v) != "(y)" {
+		t.Errorf("read => %s, %v", sexpr.String(v), err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, src := range []string{
+		"unbound",
+		"(no-such 1)",
+		"(car 'a)",
+		"(+ 'a 1)",
+		"(quotient 1 0)",
+		"(go nowhere)",
+	} {
+		in := New()
+		if _, err := in.Run(src); err == nil {
+			t.Errorf("Run(%q): expected error", src)
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	in := New(WithStepLimit(500))
+	if _, err := in.Run("(def f (lambda () (f))) (f)"); err != ErrStepLimit {
+		t.Errorf("got %v", err)
+	}
+}
+
+// TestConsNeverTouchesHeap: the machine property holds through the
+// interpreter: building lists by cons performs no heap allocations.
+func TestConsNeverTouchesHeap(t *testing.T) {
+	m := core.NewMachine(core.Config{LPTSize: 4096})
+	in := New(WithMachine(m))
+	before := m.Heap().Allocs()
+	if _, err := in.Run(`
+	  (def iota (lambda (n)
+	    (cond ((= n 0) nil) (t (cons n (iota (- n 1)))))))
+	  (length (iota 50))`); err != nil {
+		t.Fatal(err)
+	}
+	if m.Heap().Allocs() != before {
+		t.Errorf("cons recursion touched the heap: %d allocs", m.Heap().Allocs()-before)
+	}
+	st := m.Stats()
+	if st.LPT.Gets < 50 {
+		t.Errorf("expected ≥50 LPT allocations, got %d", st.LPT.Gets)
+	}
+}
+
+// TestEPHoldsBalanced: after a run with no global list bindings, releasing
+// is complete — the LPT holds nothing. The recursive decrement policy is
+// used so frees cascade immediately (under the lazy default, children of
+// freed entries legitimately linger until slot reuse).
+func TestEPHoldsBalanced(t *testing.T) {
+	m := core.NewMachine(core.Config{LPTSize: 4096, Decrement: core.RecursiveDecrement})
+	in := New(WithMachine(m))
+	if _, err := in.Run(`
+	  (def rev (lambda (l acc)
+	    (cond ((null l) acc) (t (rev (cdr l) (cons (car l) acc))))))
+	  (length (rev '(1 2 3 4 5 6 7 8) nil))`); err != nil {
+		t.Fatal(err)
+	}
+	// Lazy decrement may leave stale entries in freed slots, but no entry
+	// should be in use once nothing is bound.
+	if m.InUse() != 0 {
+		t.Errorf("LPT leak: %d entries in use after run", m.InUse())
+	}
+}
+
+// TestDifferentialWithPlainInterpreter runs the same programs through the
+// plain interpreter and the SMALL-backed one; results must agree.
+func TestDifferentialWithPlainInterpreter(t *testing.T) {
+	programs := []string{
+		"(append (reverse '(3 2 1)) '(4 5))",
+		`(def fib (lambda (n)
+		   (cond ((lessp n 2) n) (t (+ (fib (- n 1)) (fib (- n 2)))))))
+		 (fib 11)`,
+		`(def zip (lambda (a b)
+		   (cond ((null a) nil)
+		         (t (cons (cons (car a) (car b)) (zip (cdr a) (cdr b)))))))
+		 (zip '(k1 k2 k3) '(v1 v2 v3))`,
+		`(progn (setq db '((a 1) (b 2) (c 3)))
+		        (cons (assoc 'b db) (length db)))`,
+		`(def smash (lambda (l) (progn (rplaca l 'hit) l)))
+		 (smash '(miss x y))`,
+		`(let ((xs '(5 1 4 2)))
+		   (list (apply-max xs)))
+		 ; helper defined after use is fine in plain lisp? define first:`,
+	}
+	// The last entry references an undefined helper; replace it.
+	programs[len(programs)-1] = `
+		(def sum (lambda (l)
+		  (cond ((null l) 0) (t (+ (car l) (sum (cdr l)))))))
+		(sum '(5 1 4 2))`
+	for i, src := range programs {
+		plain := lisp.New()
+		pv, err := plain.Run(src)
+		if err != nil {
+			t.Fatalf("program %d: plain: %v", i, err)
+		}
+		sv, _ := run(t, src)
+		if !sexpr.Equal(pv, sv) {
+			t.Errorf("program %d: plain %s != small %s", i, sexpr.String(pv), sexpr.String(sv))
+		}
+	}
+}
+
+// TestMachineStatsExposed: running a list-heavy program produces the
+// expected stat shape: hits exceed misses on repeated traversals.
+func TestMachineStatsExposed(t *testing.T) {
+	m := core.NewMachine(core.Config{LPTSize: 4096})
+	in := New(WithMachine(m))
+	if _, err := in.Run(`
+	  (setq data '(1 2 3 4 5 6 7 8 9 10))
+	  (def sum (lambda (l)
+	    (cond ((null l) 0) (t (+ (car l) (sum (cdr l)))))))
+	  (+ (sum data) (sum data) (sum data))`); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.LPT.Hits <= st.LPT.Misses {
+		t.Errorf("repeat traversal should be hit-dominated: hits=%d misses=%d",
+			st.LPT.Hits, st.LPT.Misses)
+	}
+}
+
+func TestSmallTableCompresses(t *testing.T) {
+	m := core.NewMachine(core.Config{LPTSize: 48})
+	in := New(WithMachine(m))
+	v, err := in.Run(`
+	  (def build (lambda (n)
+	    (cond ((= n 0) nil) (t (cons n (build (- n 1)))))))
+	  (def total (lambda (l)
+	    (cond ((null l) 0) (t (+ (car l) (total (cdr l)))))))
+	  (+ (total (build 30)) (total (build 30)))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sexpr.String(v) != "930" {
+		t.Errorf("result = %s", sexpr.String(v))
+	}
+	st := m.Stats()
+	if st.LPT.PseudoOverflow == 0 && st.LPT.TrueOverflow == 0 {
+		t.Log("no overflow occurred; table larger than workload")
+	}
+}
+
+func TestMoreForms(t *testing.T) {
+	check(t, "(if 1 'y)", "y")
+	check(t, "(if nil 'y 1 2 'z)", "z")
+	check(t, "(and)", "t")
+	check(t, "(or)", "nil")
+	check(t, "(and nil (car 'a))", "nil") // short circuit avoids the error
+	check(t, "(let (u (v 9)) (cons u v))", "(nil . 9)")
+	check(t, "(cond ((cons 'a nil)))", "(a)") // bodyless leg returns test value
+	check(t, "(min 4 1 9)", "1")
+	check(t, "(sub1 3)", "2")
+	check(t, "(numberp 'a)", "nil")
+	check(t, "(numberp 3)", "t")
+	check(t, "(not 'x)", "nil")
+	check(t, "(caddr '(1 2 3))", "3")
+	check(t, "(member '(x) '((a) (x) (b)))", "((x) (b))")
+	check(t, "(>= 3 3)", "t")
+	check(t, "(<= 4 3)", "nil")
+	check(t, "(get 'nothing 'here)", "nil")
+}
+
+func TestGensymDistinct(t *testing.T) {
+	v, _ := run(t, "(eq (gensym) (gensym))")
+	if v != nil {
+		t.Errorf("gensyms should differ, got %v", sexpr.String(v))
+	}
+}
+
+func TestEqOnSameList(t *testing.T) {
+	check(t, "(progn (setq x '(a)) (eq x x))", "t")
+	check(t, "(eq '(a) '(a))", "nil") // separate readlists
+}
+
+func TestQuoteMaterialisesEachTime(t *testing.T) {
+	// Each evaluation of a quoted list reads a fresh object: mutating one
+	// copy does not corrupt later evaluations.
+	check(t, `
+	  (def grab (lambda () '(fresh list)))
+	  (progn (rplaca (grab) 'mut) (grab))`, "(fresh list)")
+}

@@ -1,0 +1,171 @@
+// Package stats provides the small statistical toolkit used by the
+// Chapter 3 and Chapter 5 analyses: integer histograms, cumulative
+// distribution points, and mean/confidence-interval summaries over
+// repeated seeded runs (Fig 5.2 plots min/max knees over 60–90 seeds).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Histogram counts occurrences of integer-valued observations.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v int) { h.AddN(v, 1) }
+
+// AddN records n observations of value v.
+func (h *Histogram) AddN(v, n int) {
+	h.counts[v] += n
+	h.total += n
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Count returns the number of observations with value v.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Values returns the observed values in ascending order.
+func (h *Histogram) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Max returns the largest observed value (0 if empty).
+func (h *Histogram) Max() int {
+	max := 0
+	first := true
+	for v := range h.counts {
+		if first || v > max {
+			max = v
+			first = false
+		}
+	}
+	return max
+}
+
+// CDFPoint is one point of a cumulative distribution: CumPct percent of
+// the mass lies at or below X.
+type CDFPoint struct {
+	X      float64
+	CumPct float64
+}
+
+// CDF returns the cumulative distribution of the histogram.
+func (h *Histogram) CDF() []CDFPoint {
+	if h.total == 0 {
+		return nil
+	}
+	vs := h.Values()
+	out := make([]CDFPoint, 0, len(vs))
+	cum := 0
+	for _, v := range vs {
+		cum += h.counts[v]
+		out = append(out, CDFPoint{X: float64(v), CumPct: 100 * float64(cum) / float64(h.total)})
+	}
+	return out
+}
+
+// PctAtOrBelow returns the percentage of observations ≤ x.
+func (h *Histogram) PctAtOrBelow(x int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	c := 0
+	for v, n := range h.counts {
+		if v <= x {
+			c += n
+		}
+	}
+	return 100 * float64(c) / float64(h.total)
+}
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// ConfidenceInterval95 returns the half-width of the normal-approximation
+// 95% confidence interval for the mean.
+func (s Summary) ConfidenceInterval95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using nearest-rank.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.AddN(5, 2)
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(5) != 2 || h.Count(2) != 0 {
+		t.Error("counts wrong")
+	}
+	if got := h.Mean(); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if h.Max() != 5 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	vals := h.Values()
+	if len(vals) != 3 || vals[0] != 1 || vals[2] != 5 {
+		t.Errorf("Values = %v", vals)
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(1, 50)
+	h.AddN(2, 25)
+	h.AddN(4, 25)
+	cdf := h.CDF()
+	if len(cdf) != 3 {
+		t.Fatalf("CDF has %d points", len(cdf))
+	}
+	if cdf[0].CumPct != 50 || cdf[1].CumPct != 75 || cdf[2].CumPct != 100 {
+		t.Errorf("CDF = %v", cdf)
+	}
+	if got := h.PctAtOrBelow(2); got != 75 {
+		t.Errorf("PctAtOrBelow(2) = %v", got)
+	}
+	if got := h.PctAtOrBelow(0); got != 0 {
+		t.Errorf("PctAtOrBelow(0) = %v", got)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Max() != 0 || len(h.CDF()) != 0 || h.PctAtOrBelow(5) != 0 {
+		t.Error("empty histogram misbehaves")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if math.Abs(s.StdDev-2.138) > 0.01 {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	if s.ConfidenceInterval95() <= 0 {
+		t.Error("CI should be positive")
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Error("empty summary misbehaves")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Quantile(xs, 0.5); got != 5 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(xs, 1.0); got != 10 {
+		t.Errorf("max quantile = %v", got)
+	}
+	if got := Quantile(xs, 0.0); got != 1 {
+		t.Errorf("min quantile = %v", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+}
+
+func TestPropertyCDFMonotoneEndsAt100(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Add(int(v) % 16)
+		}
+		cdf := h.CDF()
+		prev := 0.0
+		for _, p := range cdf {
+			if p.CumPct < prev {
+				return false
+			}
+			prev = p.CumPct
+		}
+		return math.Abs(cdf[len(cdf)-1].CumPct-100) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMeanWithinMinMax(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the trace decoder never panics on corrupt input and
+// that anything it accepts re-encodes losslessly.
+func FuzzRead(f *testing.F) {
+	f.Add("# trace x\nP\t1\tcar\ta\t(a b)\n")
+	f.Add("E\t1\tf\t2\nX\t1\tf\n")
+	f.Add("P\t0\tcons\t(a)\ta\tnil\n")
+	f.Add("garbage\nZ\t\t\n")
+	f.Add("P\t-1\tcar\t\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := Write(&sb, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\nencoded: %q", err, sb.String())
+		}
+		if len(back.Events) != len(tr.Events) {
+			t.Fatalf("event count changed: %d -> %d", len(tr.Events), len(back.Events))
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package trace
+
+import "strings"
+
+// RefKind discriminates preprocessed events.
+type RefKind uint8
+
+const (
+	// RefPrim is a preprocessed list primitive call.
+	RefPrim RefKind = iota
+	// RefEnter is a user function entry.
+	RefEnter
+	// RefExit is a user function exit.
+	RefExit
+)
+
+// Ref is one event of the preprocessed reference stream of §5.2.1. Each
+// list argument of the original trace is replaced by a unique integer
+// identifier (textually identical lists share an identifier, as in the
+// thesis) and a chaining flag that is set when the argument is the value
+// returned by the immediately preceding primitive call in the trace.
+type Ref struct {
+	Kind   RefKind
+	Op     string // primitive or function name
+	Args   []int  // identifiers of list arguments; 0 for atom arguments
+	Result int    // identifier of the result if it is a list, else 0
+	NArgs  int    // for RefEnter
+	Chain  bool   // first list argument chains from the previous result
+	Depth  int
+}
+
+// Stream is a preprocessed trace plus its identifier universe.
+type Stream struct {
+	Name   string
+	Refs   []Ref
+	MaxID  int            // identifiers are 1..MaxID
+	IDText map[int]string // identifier -> s-expression text (for debugging)
+}
+
+// Preprocess converts a raw trace into the (identifier, chaining flag)
+// stream used by the Chapter 3 locality analyses and the Chapter 5
+// simulator. Identifier 0 is reserved for "not a list".
+func Preprocess(t *Trace) *Stream {
+	ids := make(map[string]int)
+	st := &Stream{Name: t.Name, IDText: make(map[int]string)}
+	intern := func(s string) int {
+		if !isListText(s) {
+			return 0
+		}
+		if id, ok := ids[s]; ok {
+			return id
+		}
+		st.MaxID++
+		ids[s] = st.MaxID
+		st.IDText[st.MaxID] = s
+		return st.MaxID
+	}
+	prevResult := 0
+	for i := range t.Events {
+		ev := &t.Events[i]
+		switch ev.Kind {
+		case KindEnter:
+			st.Refs = append(st.Refs, Ref{Kind: RefEnter, Op: ev.Op, NArgs: ev.NArgs, Depth: ev.Depth})
+		case KindExit:
+			st.Refs = append(st.Refs, Ref{Kind: RefExit, Op: ev.Op, Depth: ev.Depth})
+		case KindPrim:
+			r := Ref{Kind: RefPrim, Op: ev.Op, Depth: ev.Depth}
+			for _, a := range ev.Args {
+				r.Args = append(r.Args, intern(a))
+			}
+			r.Result = intern(ev.Result)
+			for _, id := range r.Args {
+				if id != 0 && id == prevResult && prevResult != 0 {
+					r.Chain = true
+					break
+				}
+			}
+			st.Refs = append(st.Refs, r)
+			prevResult = r.Result
+		}
+	}
+	return st
+}
+
+// isListText reports whether an s-expression's printed form denotes a
+// non-nil list.
+func isListText(s string) bool {
+	return strings.HasPrefix(s, "(")
+}
+
+// ChainStats computes Table 3.2: the percentage of car and cdr calls whose
+// argument was produced by the immediately preceding primitive call.
+type ChainStats struct {
+	CarPct float64
+	CdrPct float64
+	AllPct float64 // over every primitive call
+}
+
+// Chaining measures primitive function chaining over a preprocessed stream.
+func Chaining(st *Stream) ChainStats {
+	var car, carC, cdr, cdrC, all, allC int
+	for i := range st.Refs {
+		r := &st.Refs[i]
+		if r.Kind != RefPrim {
+			continue
+		}
+		all++
+		if r.Chain {
+			allC++
+		}
+		switch r.Op {
+		case "car":
+			car++
+			if r.Chain {
+				carC++
+			}
+		case "cdr":
+			cdr++
+			if r.Chain {
+				cdrC++
+			}
+		}
+	}
+	pct := func(c, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		return 100 * float64(c) / float64(n)
+	}
+	return ChainStats{CarPct: pct(carC, car), CdrPct: pct(cdrC, cdr), AllPct: pct(allC, all)}
+}

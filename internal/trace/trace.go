@@ -1,0 +1,230 @@
+// Package trace models the s-expression-level list access traces of
+// §3.3.1 and §5.2.1. A trace records, in program order, every list
+// primitive call (name and arguments in s-expression form) and every
+// user-defined function entry/exit (name and argument count). This is
+// exactly the information the thesis's modified Franz Lisp interpreter
+// wrote to its trace files.
+//
+// Traces are produced by internal/lisp's trace hook, characterised here
+// (Fig 3.1, Tables 3.1/5.1), preprocessed into (unique identifier,
+// chaining flag) reference streams (§5.2.1), and consumed by
+// internal/locality and internal/sim.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sexpr"
+)
+
+// Kind discriminates trace events.
+type Kind uint8
+
+const (
+	// KindPrim is a list primitive call (car, cdr, cons, ...).
+	KindPrim Kind = iota
+	// KindEnter is entry to a user-defined function.
+	KindEnter
+	// KindExit is return from a user-defined function.
+	KindExit
+)
+
+// Event is one trace record.
+type Event struct {
+	Kind   Kind
+	Op     string   // primitive name, or function name for Enter/Exit
+	Args   []string // s-expression text of each argument (KindPrim only)
+	Result string   // s-expression text of the primitive's result
+	NArgs  int      // argument count (KindEnter only)
+	Depth  int      // user-function call depth at the time of the event
+}
+
+// Trace is an ordered list of events.
+type Trace struct {
+	Name   string
+	Events []Event
+}
+
+// Prims returns the number of primitive events.
+func (t *Trace) Prims() int {
+	n := 0
+	for i := range t.Events {
+		if t.Events[i].Kind == KindPrim {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats summarises a trace in the terms of Table 5.1 and Fig 3.1.
+type Stats struct {
+	Functions  int            // user-defined function calls
+	Primitives int            // traced primitive calls
+	MaxDepth   int            // maximum user call depth
+	PerOp      map[string]int // primitive call counts by name
+}
+
+// Pct returns the percentage of primitive calls with the given op name.
+func (s Stats) Pct(op string) float64 {
+	if s.Primitives == 0 {
+		return 0
+	}
+	return 100 * float64(s.PerOp[op]) / float64(s.Primitives)
+}
+
+// Summarize computes Stats for t.
+func Summarize(t *Trace) Stats {
+	s := Stats{PerOp: make(map[string]int)}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		switch ev.Kind {
+		case KindPrim:
+			s.Primitives++
+			s.PerOp[ev.Op]++
+		case KindEnter:
+			s.Functions++
+			if ev.Depth > s.MaxDepth {
+				s.MaxDepth = ev.Depth
+			}
+		}
+	}
+	return s
+}
+
+// NPStats aggregates the list complexity metrics of Table 3.1: the average
+// n and p over every distinct list argument in the trace, plus the raw
+// distributions for Figs 3.3a/3.3b.
+type NPStats struct {
+	Lists int
+	AvgN  float64
+	AvgP  float64
+	NDist map[int]int
+	PDist map[int]int
+}
+
+// MeasureNP parses every distinct list-valued primitive argument in the
+// trace and accumulates its (n, p) metrics. Distinctness is textual, as in
+// the thesis: identical-looking lists are measured once.
+func MeasureNP(t *Trace) NPStats {
+	st := NPStats{NDist: make(map[int]int), PDist: make(map[int]int)}
+	seen := make(map[string]bool)
+	var sumN, sumP int
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Kind != KindPrim {
+			continue
+		}
+		for _, a := range ev.Args {
+			if a == "" || a == "nil" || seen[a] || !strings.HasPrefix(a, "(") {
+				continue
+			}
+			seen[a] = true
+			v, err := sexpr.Parse(a)
+			if err != nil {
+				continue
+			}
+			m := sexpr.Measure(v)
+			st.Lists++
+			sumN += m.N
+			sumP += m.P
+			st.NDist[m.N]++
+			st.PDist[m.P]++
+		}
+	}
+	if st.Lists > 0 {
+		st.AvgN = float64(sumN) / float64(st.Lists)
+		st.AvgP = float64(sumP) / float64(st.Lists)
+	}
+	return st
+}
+
+// Write encodes t in the line-oriented trace file format. Each event is
+// one line; fields are separated by tabs (s-expressions never contain
+// tabs when printed by sexpr).
+//
+//	P <depth> <op> <result> <arg>...
+//	E <depth> <name> <nargs>
+//	X <depth> <name>
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace %s\n", t.Name); err != nil {
+		return err
+	}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		var err error
+		switch ev.Kind {
+		case KindPrim:
+			_, err = fmt.Fprintf(bw, "P\t%d\t%s\t%s\t%s\n",
+				ev.Depth, ev.Op, ev.Result, strings.Join(ev.Args, "\t"))
+		case KindEnter:
+			_, err = fmt.Fprintf(bw, "E\t%d\t%s\t%d\n", ev.Depth, ev.Op, ev.NArgs)
+		case KindExit:
+			_, err = fmt.Fprintf(bw, "X\t%d\t%s\n", ev.Depth, ev.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	t := &Trace{}
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# trace "); ok {
+				t.Name = rest
+			}
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("trace: line %d: too few fields", lineno)
+		}
+		depth, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad depth: %v", lineno, err)
+		}
+		switch fields[0] {
+		case "P":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("trace: line %d: short P record", lineno)
+			}
+			t.Events = append(t.Events, Event{
+				Kind: KindPrim, Depth: depth, Op: fields[2],
+				Result: fields[3], Args: fields[4:],
+			})
+		case "E":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("trace: line %d: short E record", lineno)
+			}
+			n, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad nargs: %v", lineno, err)
+			}
+			t.Events = append(t.Events, Event{Kind: KindEnter, Depth: depth, Op: fields[2], NArgs: n})
+		case "X":
+			t.Events = append(t.Events, Event{Kind: KindExit, Depth: depth, Op: fields[2]})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

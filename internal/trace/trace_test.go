@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Name: "sample",
+		Events: []Event{
+			{Kind: KindEnter, Op: "main", NArgs: 0, Depth: 1},
+			{Kind: KindPrim, Op: "car", Args: []string{"(a b c)"}, Result: "a", Depth: 1},
+			{Kind: KindPrim, Op: "cdr", Args: []string{"(a b c)"}, Result: "(b c)", Depth: 1},
+			{Kind: KindPrim, Op: "car", Args: []string{"(b c)"}, Result: "b", Depth: 1},
+			{Kind: KindEnter, Op: "helper", NArgs: 2, Depth: 2},
+			{Kind: KindPrim, Op: "cons", Args: []string{"x", "(y)"}, Result: "(x y)", Depth: 2},
+			{Kind: KindExit, Op: "helper", Depth: 2},
+			{Kind: KindPrim, Op: "rplaca", Args: []string{"(x y)", "z"}, Result: "(z y)", Depth: 1},
+			{Kind: KindExit, Op: "main", Depth: 1},
+		},
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleTrace())
+	if s.Functions != 2 {
+		t.Errorf("Functions = %d, want 2", s.Functions)
+	}
+	if s.Primitives != 5 {
+		t.Errorf("Primitives = %d, want 5", s.Primitives)
+	}
+	if s.MaxDepth != 2 {
+		t.Errorf("MaxDepth = %d, want 2", s.MaxDepth)
+	}
+	if s.PerOp["car"] != 2 || s.PerOp["cons"] != 1 {
+		t.Errorf("PerOp = %v", s.PerOp)
+	}
+	if got := s.Pct("car"); got != 40 {
+		t.Errorf("Pct(car) = %v, want 40", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tr.Name {
+		t.Errorf("Name = %q, want %q", back.Name, tr.Name)
+	}
+	if !reflect.DeepEqual(normalize(back.Events), normalize(tr.Events)) {
+		t.Errorf("events differ:\n got %+v\nwant %+v", back.Events, tr.Events)
+	}
+}
+
+// normalize maps nil and empty Args slices together for comparison.
+func normalize(evs []Event) []Event {
+	out := make([]Event, len(evs))
+	for i, e := range evs {
+		if len(e.Args) == 0 {
+			e.Args = nil
+		}
+		out[i] = e
+	}
+	return out
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, src := range []string{
+		"Z\t1\tx\n",
+		"P\tbad\tcar\ta\n",
+		"E\t1\tf\n",
+		"E\t1\tf\tx\n",
+		"P\t1\n",
+	} {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("Read(%q): expected error", src)
+		}
+	}
+}
+
+func TestPreprocessIdentifiers(t *testing.T) {
+	st := Preprocess(sampleTrace())
+	if st.MaxID != 4 { // (a b c), (b c), (y), (x y) -- "(z y)" result... recount
+		// identifiers: (a b c)=1, (b c)=2, (y)=3, (x y)=4, (z y)=5
+		if st.MaxID != 5 {
+			t.Fatalf("MaxID = %d, want 5", st.MaxID)
+		}
+	}
+	prims := filterPrims(st)
+	// car (a b c) and cdr (a b c) share an identifier.
+	if prims[0].Args[0] != prims[1].Args[0] {
+		t.Error("identical list args should share identifiers")
+	}
+	// car of (b c) chains from cdr's result.
+	if !prims[2].Chain {
+		t.Error("car (b c) should be chained")
+	}
+	// atom arg of cons gets identifier 0.
+	if prims[3].Args[0] != 0 {
+		t.Errorf("atom argument got identifier %d", prims[3].Args[0])
+	}
+	if prims[3].Result == 0 {
+		t.Error("cons result should have a list identifier")
+	}
+	// first two events are unchained.
+	if prims[0].Chain || prims[1].Chain {
+		t.Error("unchained events flagged as chained")
+	}
+}
+
+func filterPrims(st *Stream) []Ref {
+	var out []Ref
+	for _, r := range st.Refs {
+		if r.Kind == RefPrim {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestChaining(t *testing.T) {
+	st := Preprocess(sampleTrace())
+	cs := Chaining(st)
+	// cars: 2 calls, 1 chained -> 50%. cdrs: 1 call, 0 chained -> 0%.
+	if cs.CarPct != 50 {
+		t.Errorf("CarPct = %v, want 50", cs.CarPct)
+	}
+	if cs.CdrPct != 0 {
+		t.Errorf("CdrPct = %v, want 0", cs.CdrPct)
+	}
+}
+
+func TestMeasureNP(t *testing.T) {
+	st := MeasureNP(sampleTrace())
+	// Distinct lists: (a b c) n=3 p=0, (b c) n=2 p=0, (y) n=1 p=0, (x y) n=2 p=0.
+	if st.Lists != 4 {
+		t.Fatalf("Lists = %d, want 4", st.Lists)
+	}
+	if st.AvgN != 2 {
+		t.Errorf("AvgN = %v, want 2", st.AvgN)
+	}
+	if st.AvgP != 0 {
+		t.Errorf("AvgP = %v, want 0", st.AvgP)
+	}
+	if st.NDist[2] != 2 {
+		t.Errorf("NDist = %v", st.NDist)
+	}
+}
+
+func TestPreprocessChainNilResult(t *testing.T) {
+	// An atom result must not create a chain to a later atom argument.
+	tr := &Trace{Events: []Event{
+		{Kind: KindPrim, Op: "car", Args: []string{"(a)"}, Result: "a"},
+		{Kind: KindPrim, Op: "cons", Args: []string{"a", "nil"}, Result: "(a)"},
+	}}
+	st := Preprocess(tr)
+	prims := filterPrims(st)
+	if prims[1].Chain {
+		t.Error("atom-result chain falsely detected")
+	}
+}
+
+func TestPropertyRoundTripRandomTraces(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := &Trace{Name: "rnd"}
+		depth := 1
+		for i := 0; i < 50; i++ {
+			switch r.Intn(3) {
+			case 0:
+				tr.Events = append(tr.Events, Event{Kind: KindEnter, Op: "f", NArgs: r.Intn(4), Depth: depth})
+				depth++
+			case 1:
+				if depth > 1 {
+					depth--
+					tr.Events = append(tr.Events, Event{Kind: KindExit, Op: "f", Depth: depth})
+				}
+			default:
+				tr.Events = append(tr.Events, Event{
+					Kind: KindPrim, Op: "car",
+					Args:   []string{"(a b)"},
+					Result: "a", Depth: depth,
+				})
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(normalize(back.Events), normalize(tr.Events))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,618 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/sexpr"
+)
+
+// CompileError is a compilation failure.
+type CompileError struct {
+	Msg  string
+	Form sexpr.Value
+}
+
+func (e *CompileError) Error() string {
+	if e.Form == nil {
+		return "vm: " + e.Msg
+	}
+	return fmt.Sprintf("vm: %s: %s", e.Msg, sexpr.String(e.Form))
+}
+
+func cerrf(form sexpr.Value, format string, args ...any) error {
+	return &CompileError{Msg: fmt.Sprintf(format, args...), Form: form}
+}
+
+// compiler holds compilation state.
+type compiler struct {
+	prog    *Program
+	pending []patch // forward FCALLs to backpatch
+}
+
+type patch struct {
+	at   int
+	name string
+}
+
+// fnCompiler compiles one function body.
+type fnCompiler struct {
+	c *compiler
+	// vars maps names to 1-based frame offsets (arguments then locals).
+	vars  map[string]int64
+	nvars int64
+	// labels/gotos implement prog labels.
+	labels map[string]int
+	gotos  []patch
+}
+
+// Compile translates a program: any number of (def name (lambda ...))
+// forms plus top-level expressions, whose last value is the result.
+func Compile(src string) (*Program, error) {
+	forms, err := sexpr.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileForms(forms)
+}
+
+// CompileForms compiles parsed forms.
+func CompileForms(forms []sexpr.Value) (*Program, error) {
+	c := &compiler{prog: &Program{Funcs: make(map[string]*FuncInfo)}}
+	var tops []sexpr.Value
+	// First pass: compile function definitions; collect top-level forms.
+	for _, f := range forms {
+		if isDef(f) {
+			if err := c.compileDef(f); err != nil {
+				return nil, err
+			}
+		} else {
+			tops = append(tops, f)
+		}
+	}
+	// Entry: top-level expressions in sequence.
+	c.prog.Entry = len(c.prog.Code)
+	fc := c.newFn()
+	if len(tops) == 0 {
+		fc.emit(Instr{Op: OpPushSym, Sym: "nil"})
+	}
+	for i, f := range tops {
+		if err := fc.expr(f); err != nil {
+			return nil, err
+		}
+		if i < len(tops)-1 {
+			fc.emit(Instr{Op: OpPop})
+		}
+	}
+	fc.emit(Instr{Op: OpHalt})
+	if err := fc.resolveGotos(); err != nil {
+		return nil, err
+	}
+	// Backpatch forward calls.
+	for _, p := range c.pending {
+		fn, ok := c.prog.Funcs[p.name]
+		if !ok {
+			return nil, cerrf(sexpr.Symbol(p.name), "undefined function")
+		}
+		c.prog.Code[p.at].Target = fn.Entry
+	}
+	return c.prog, nil
+}
+
+func isDef(f sexpr.Value) bool {
+	c, ok := f.(*sexpr.Cell)
+	return ok && (c.Car == sexpr.Symbol("def") || c.Car == sexpr.Symbol("defun"))
+}
+
+func (c *compiler) newFn() *fnCompiler {
+	return &fnCompiler{c: c, vars: make(map[string]int64), labels: make(map[string]int)}
+}
+
+func (c *compiler) compileDef(f sexpr.Value) error {
+	name, ok := sexpr.Car(sexpr.Cdr(f)).(sexpr.Symbol)
+	if !ok {
+		return cerrf(f, "def of non-symbol")
+	}
+	var params sexpr.Value
+	var body sexpr.Value
+	if sexpr.Car(f) == sexpr.Symbol("def") {
+		lam := sexpr.Car(sexpr.Cdr(sexpr.Cdr(f)))
+		if sexpr.Car(lam) != sexpr.Symbol("lambda") {
+			return cerrf(f, "def requires a lambda")
+		}
+		params = sexpr.Car(sexpr.Cdr(lam))
+		body = sexpr.Cdr(sexpr.Cdr(lam))
+	} else { // defun
+		params = sexpr.Car(sexpr.Cdr(sexpr.Cdr(f)))
+		body = sexpr.Cdr(sexpr.Cdr(sexpr.Cdr(f)))
+	}
+	fc := c.newFn()
+	entry := len(c.prog.Code)
+	nargs := 0
+	for p := params; ; {
+		pc, ok := p.(*sexpr.Cell)
+		if !ok {
+			break
+		}
+		pname, ok := pc.Car.(sexpr.Symbol)
+		if !ok {
+			return cerrf(f, "non-symbol parameter")
+		}
+		fc.bind(string(pname))
+		nargs++
+		p = pc.Cdr
+	}
+	// Body: value of the last form is returned.
+	n := 0
+	for b := body; ; {
+		bc, ok := b.(*sexpr.Cell)
+		if !ok {
+			break
+		}
+		if n > 0 {
+			fc.emit(Instr{Op: OpPop})
+		}
+		if err := fc.expr(bc.Car); err != nil {
+			return err
+		}
+		n++
+		b = bc.Cdr
+	}
+	if n == 0 {
+		fc.emit(Instr{Op: OpPushSym, Sym: "nil"})
+	}
+	fc.emit(Instr{Op: OpFRetn})
+	if err := fc.resolveGotos(); err != nil {
+		return err
+	}
+	c.prog.Funcs[string(name)] = &FuncInfo{
+		Name: string(name), NArgs: nargs, Entry: entry, End: len(c.prog.Code),
+	}
+	return nil
+}
+
+func (fc *fnCompiler) emit(i Instr) int {
+	fc.c.prog.Code = append(fc.c.prog.Code, i)
+	return len(fc.c.prog.Code) - 1
+}
+
+func (fc *fnCompiler) here() int { return len(fc.c.prog.Code) }
+
+// bind declares a new frame variable and emits its BINDN.
+func (fc *fnCompiler) bind(name string) {
+	fc.nvars++
+	fc.vars[name] = fc.nvars
+	fc.emit(Instr{Op: OpBindN, Sym: name})
+}
+
+func (fc *fnCompiler) resolveGotos() error {
+	for _, g := range fc.gotos {
+		target, ok := fc.labels[g.name]
+		if !ok {
+			return cerrf(sexpr.Symbol(g.name), "go to undefined label")
+		}
+		fc.c.prog.Code[g.at].Target = target
+	}
+	fc.gotos = nil
+	return nil
+}
+
+var binOps = map[sexpr.Symbol]Opcode{
+	"+": OpAdd, "add": OpAdd,
+	"-": OpSub, "subtract": OpSub,
+	"*": OpMul, "times": OpMul,
+	"/": OpDiv, "quotient": OpDiv,
+	"remainder": OpRem, "mod": OpRem,
+	"cons": OpCons, "rplaca": OpRplaca, "rplacd": OpRplacd,
+	"greaterp": OpGreaterP, ">": OpGreaterP,
+	"lessp": OpLessP, "<": OpLessP,
+	"equal": OpEqualP, "eq": OpEqualP, "=": OpEqualP,
+}
+
+var unOps = map[sexpr.Symbol]Opcode{
+	"car": OpCar, "cdr": OpCdr,
+	"atom": OpAtomP, "null": OpNullP, "not": OpNot,
+}
+
+// expr compiles one expression, leaving its value on the stack.
+func (fc *fnCompiler) expr(f sexpr.Value) error {
+	switch t := f.(type) {
+	case nil:
+		fc.emit(Instr{Op: OpPushSym, Sym: "nil"})
+		return nil
+	case sexpr.Int:
+		fc.emit(Instr{Op: OpPushSym, Arg: int64(t)})
+		return nil
+	case sexpr.Symbol:
+		if t == "t" || t == "nil" {
+			fc.emit(Instr{Op: OpPushSym, Sym: string(t)})
+			return nil
+		}
+		if off, ok := fc.vars[string(t)]; ok {
+			fc.emit(Instr{Op: OpPushStk, Arg: off})
+		} else {
+			// Non-local: run-time environment search (§4.3.1).
+			fc.emit(Instr{Op: OpPushName, Sym: string(t)})
+		}
+		return nil
+	case *sexpr.Cell:
+		return fc.call(t)
+	default:
+		return cerrf(f, "cannot compile")
+	}
+}
+
+func (fc *fnCompiler) call(f *sexpr.Cell) error {
+	head, ok := f.Car.(sexpr.Symbol)
+	if !ok {
+		return cerrf(f, "bad function position")
+	}
+	args := listElems(f.Cdr)
+	switch head {
+	case "quote":
+		if len(args) != 1 {
+			return cerrf(f, "quote wants one form")
+		}
+		return fc.quoted(args[0])
+	case "cond":
+		return fc.cond(args)
+	case "let":
+		return fc.letForm(args)
+	case "prog":
+		return fc.progForm(args)
+	case "go":
+		if len(args) != 1 {
+			return cerrf(f, "go wants a label")
+		}
+		at := fc.emit(Instr{Op: OpJump})
+		fc.gotos = append(fc.gotos, patch{at: at, name: string(args[0].(sexpr.Symbol))})
+		// go never falls through, but the expression grammar wants a
+		// value; emit an unreachable nil for stack-shape regularity.
+		fc.emit(Instr{Op: OpPushSym, Sym: "nil"})
+		return nil
+	case "return":
+		if len(args) != 1 {
+			return cerrf(f, "return wants a value")
+		}
+		if err := fc.expr(args[0]); err != nil {
+			return err
+		}
+		fc.emit(Instr{Op: OpFRetn})
+		return nil
+	case "setq":
+		if len(args) != 2 {
+			return cerrf(f, "setq wants name and value")
+		}
+		name, ok := args[0].(sexpr.Symbol)
+		if !ok {
+			return cerrf(f, "setq of non-symbol")
+		}
+		if err := fc.expr(args[1]); err != nil {
+			return err
+		}
+		if off, ok := fc.vars[string(name)]; ok {
+			fc.emit(Instr{Op: OpSetq, Arg: off})
+		} else {
+			fc.emit(Instr{Op: OpSetName, Sym: string(name)})
+		}
+		return nil
+	case "and":
+		return fc.andOr(args, true)
+	case "or":
+		return fc.andOr(args, false)
+	case "read":
+		// (read var): read a list and bind it to var (Fig 4.15's RDLIST).
+		if len(args) != 1 {
+			return cerrf(f, "read wants a variable")
+		}
+		name, ok := args[0].(sexpr.Symbol)
+		if !ok {
+			return cerrf(f, "read into non-symbol")
+		}
+		off, ok := fc.vars[string(name)]
+		if !ok {
+			return cerrf(f, "read into unknown variable")
+		}
+		fc.emit(Instr{Op: OpRdList, Arg: off})
+		fc.emit(Instr{Op: OpPushStk, Arg: off})
+		return nil
+	case "write", "print":
+		if len(args) != 1 {
+			return cerrf(f, "write wants one value")
+		}
+		if err := fc.expr(args[0]); err != nil {
+			return err
+		}
+		fc.emit(Instr{Op: OpWrList})
+		fc.emit(Instr{Op: OpPushSym, Sym: "nil"})
+		return nil
+	}
+	if op, ok := unOps[head]; ok {
+		if len(args) != 1 {
+			return cerrf(f, "%s wants one argument", head)
+		}
+		if err := fc.expr(args[0]); err != nil {
+			return err
+		}
+		fc.emit(Instr{Op: op})
+		return nil
+	}
+	if op, ok := binOps[head]; ok {
+		if len(args) != 2 {
+			return cerrf(f, "%s wants two arguments", head)
+		}
+		if err := fc.expr(args[0]); err != nil {
+			return err
+		}
+		if err := fc.expr(args[1]); err != nil {
+			return err
+		}
+		fc.emit(Instr{Op: op})
+		return nil
+	}
+	// User function call: push arguments, FCALL.
+	for _, a := range args {
+		if err := fc.expr(a); err != nil {
+			return err
+		}
+	}
+	at := fc.emit(Instr{Op: OpFCall, Sym: string(head), Arg: int64(len(args))})
+	if fn, ok := fc.c.prog.Funcs[string(head)]; ok {
+		fc.c.prog.Code[at].Target = fn.Entry
+	} else {
+		fc.c.pending = append(fc.c.pending, patch{at: at, name: string(head)})
+	}
+	return nil
+}
+
+// quoted compiles a literal: atoms push immediates; lists are built with
+// CONSOP chains at run time (the machine has no literal pool).
+func (fc *fnCompiler) quoted(v sexpr.Value) error {
+	switch t := v.(type) {
+	case nil:
+		fc.emit(Instr{Op: OpPushSym, Sym: "nil"})
+	case sexpr.Int:
+		fc.emit(Instr{Op: OpPushSym, Arg: int64(t)})
+	case sexpr.Symbol:
+		fc.emit(Instr{Op: OpPushSym, Sym: string(t)})
+	case *sexpr.Cell:
+		if err := fc.quoted(t.Car); err != nil {
+			return err
+		}
+		if err := fc.quoted(t.Cdr); err != nil {
+			return err
+		}
+		fc.emit(Instr{Op: OpCons})
+	default:
+		return cerrf(v, "cannot quote")
+	}
+	return nil
+}
+
+// cond compiles (cond (c1 b1...) ...). The fused NEQUALP of Fig 4.14 is
+// used when a condition is a two-argument equality test.
+func (fc *fnCompiler) cond(legs []sexpr.Value) error {
+	var endJumps []int
+	sawT := false
+	for _, leg := range legs {
+		lc, ok := leg.(*sexpr.Cell)
+		if !ok {
+			return cerrf(leg, "malformed cond leg")
+		}
+		test := lc.Car
+		body := listElems(lc.Cdr)
+		isFinalT := test == sexpr.Symbol("t")
+		skip := -1
+		if !isFinalT {
+			if a, b, ok := equalityTest(test); ok {
+				if err := fc.expr(a); err != nil {
+					return err
+				}
+				if err := fc.expr(b); err != nil {
+					return err
+				}
+				skip = fc.emit(Instr{Op: OpNEqualP})
+			} else {
+				if err := fc.expr(test); err != nil {
+					return err
+				}
+				skip = fc.emit(Instr{Op: OpBrNil})
+			}
+		}
+		if len(body) == 0 {
+			// A leg with no body returns the test's value; re-evaluate it
+			// (the tested copy was consumed by the branch).
+			if err := fc.expr(test); err != nil {
+				return err
+			}
+		}
+		for i, b := range body {
+			if i > 0 {
+				fc.emit(Instr{Op: OpPop})
+			}
+			if err := fc.expr(b); err != nil {
+				return err
+			}
+		}
+		endJumps = append(endJumps, fc.emit(Instr{Op: OpJump}))
+		if skip >= 0 {
+			fc.c.prog.Code[skip].Target = fc.here()
+		}
+		if isFinalT {
+			sawT = true
+			break
+		}
+	}
+	if !sawT {
+		fc.emit(Instr{Op: OpPushSym, Sym: "nil"}) // no leg fired
+	}
+	end := fc.here()
+	for _, j := range endJumps {
+		fc.c.prog.Code[j].Target = end
+	}
+	return nil
+}
+
+// equalityTest recognises (= a b) / (equal a b) / (eq a b).
+func equalityTest(test sexpr.Value) (a, b sexpr.Value, ok bool) {
+	c, isCell := test.(*sexpr.Cell)
+	if !isCell {
+		return nil, nil, false
+	}
+	switch c.Car {
+	case sexpr.Symbol("="), sexpr.Symbol("equal"), sexpr.Symbol("eq"):
+		args := listElems(c.Cdr)
+		if len(args) == 2 {
+			return args[0], args[1], true
+		}
+	}
+	return nil, nil, false
+}
+
+// letForm compiles (let ((name val)...) body...): the initialisers are
+// evaluated, then bound as fresh frame variables via BINDN with the
+// values routed through the pending-argument channel of the frame — the
+// same mechanism function entry uses.
+func (fc *fnCompiler) letForm(args []sexpr.Value) error {
+	if len(args) == 0 {
+		fc.emit(Instr{Op: OpPushSym, Sym: "nil"})
+		return nil
+	}
+	type spec struct {
+		name sexpr.Symbol
+		init sexpr.Value
+	}
+	var specs []spec
+	for _, s := range listElems(args[0]) {
+		switch b := s.(type) {
+		case sexpr.Symbol:
+			specs = append(specs, spec{b, nil})
+		case *sexpr.Cell:
+			name, ok := b.Car.(sexpr.Symbol)
+			if !ok {
+				return cerrf(s, "let of non-symbol")
+			}
+			specs = append(specs, spec{name, sexpr.Car(sexpr.Cdr(b))})
+		default:
+			return cerrf(s, "malformed let binding")
+		}
+	}
+	// Evaluate every initialiser BEFORE the names enter scope (they must
+	// see outer bindings), leaving the values on the stack; then declare
+	// the variables and assign from the stack in reverse.
+	for _, sp := range specs {
+		if sp.init == nil {
+			fc.emit(Instr{Op: OpPushSym, Sym: "nil"})
+			continue
+		}
+		if err := fc.expr(sp.init); err != nil {
+			return err
+		}
+	}
+	for _, sp := range specs {
+		fc.bind(string(sp.name))
+	}
+	for i := len(specs) - 1; i >= 0; i-- {
+		fc.emit(Instr{Op: OpSetq, Arg: fc.vars[string(specs[i].name)]})
+		fc.emit(Instr{Op: OpPop})
+	}
+	body := args[1:]
+	if len(body) == 0 {
+		fc.emit(Instr{Op: OpPushSym, Sym: "nil"})
+		return nil
+	}
+	for i, b := range body {
+		if i > 0 {
+			fc.emit(Instr{Op: OpPop})
+		}
+		if err := fc.expr(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// progForm compiles (prog (locals...) body...) with labels and go.
+func (fc *fnCompiler) progForm(args []sexpr.Value) error {
+	if len(args) == 0 {
+		fc.emit(Instr{Op: OpPushSym, Sym: "nil"})
+		return nil
+	}
+	for _, l := range listElems(args[0]) {
+		name, ok := l.(sexpr.Symbol)
+		if !ok {
+			return cerrf(args[0], "non-symbol prog local")
+		}
+		fc.bind(string(name))
+	}
+	for _, form := range args[1:] {
+		if label, ok := form.(sexpr.Symbol); ok {
+			fc.labels[string(label)] = fc.here()
+			continue
+		}
+		if err := fc.expr(form); err != nil {
+			return err
+		}
+		fc.emit(Instr{Op: OpPop}) // prog body values are discarded
+	}
+	// Falling off the end of a prog yields nil. (return ...) inside the
+	// body compiles to FRETN directly.
+	fc.emit(Instr{Op: OpPushSym, Sym: "nil"})
+	return nil
+}
+
+// andOr compiles short-circuit and/or with branch chains. and yields nil
+// on the first nil argument, else the last argument's value; or yields
+// the first non-nil argument's value, else nil.
+func (fc *fnCompiler) andOr(args []sexpr.Value, isAnd bool) error {
+	if len(args) == 0 {
+		if isAnd {
+			fc.emit(Instr{Op: OpPushSym, Sym: "t"})
+		} else {
+			fc.emit(Instr{Op: OpPushSym, Sym: "nil"})
+		}
+		return nil
+	}
+	var shortJumps []int
+	for i, a := range args {
+		if err := fc.expr(a); err != nil {
+			return err
+		}
+		if i == len(args)-1 {
+			break
+		}
+		if isAnd {
+			// BRNIL consumes the value; a nil argument short-circuits.
+			shortJumps = append(shortJumps, fc.emit(Instr{Op: OpBrNil}))
+		} else {
+			// Keep the value: DUP, invert, branch out when non-nil.
+			fc.emit(Instr{Op: OpDup})
+			fc.emit(Instr{Op: OpNot})
+			shortJumps = append(shortJumps, fc.emit(Instr{Op: OpBrNil}))
+			fc.emit(Instr{Op: OpPop}) // discard the nil and try the next
+		}
+	}
+	done := fc.emit(Instr{Op: OpJump})
+	short := fc.here()
+	if isAnd {
+		fc.emit(Instr{Op: OpPushSym, Sym: "nil"})
+	}
+	// (for or, the short-circuit path left the winning value on the stack)
+	after := fc.here()
+	fc.c.prog.Code[done].Target = after
+	for _, j := range shortJumps {
+		fc.c.prog.Code[j].Target = short
+	}
+	return nil
+}
+
+func listElems(v sexpr.Value) []sexpr.Value {
+	var out []sexpr.Value
+	for {
+		c, ok := v.(*sexpr.Cell)
+		if !ok {
+			return out
+		}
+		out = append(out, c.Car)
+		v = c.Cdr
+	}
+}

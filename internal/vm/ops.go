@@ -1,0 +1,153 @@
+// Package vm implements the §4.3.4 experiment: a compiler from the
+// thesis's mini-Lisp (Lisp 1.0 scale: list primitives, cond, prog with
+// labels and go, predicates, integer arithmetic, setq, read/write, def)
+// to a stack machine with the list-manipulating functionality of SMALL,
+// plus an emulator for that machine that executes list operations through
+// a core.Machine — the stack, the LPT and the heap are exactly the three
+// structures the thesis's emulator traced.
+//
+// The instruction mnemonics follow Figs 4.14/4.15 (BINDN, PUSHSTK,
+// PUSHSYM, NEQUALP, SUBOP, MULOP, FCALL, FRETN, RDLIST, WRLIST, CDROP,
+// SETQ, ...).
+package vm
+
+import "fmt"
+
+// Opcode enumerates the stack machine instructions.
+type Opcode uint8
+
+const (
+	// OpBindN binds the next pending argument (or nil) to a new slot in
+	// the current frame, named Sym.
+	OpBindN Opcode = iota
+	// OpPushStk pushes the value of frame variable Arg (1-based offset).
+	OpPushStk
+	// OpPushName pushes the value of the dynamically nearest binding of
+	// Sym (run-time environment search for non-locals).
+	OpPushName
+	// OpPushSym pushes an immediate constant (integer or symbol).
+	OpPushSym
+	// OpSetq stores TOS into frame variable Arg (leaves the value pushed,
+	// Lisp setq semantics are value-producing; the compiler pops when the
+	// value is unused).
+	OpSetq
+	// OpSetName stores TOS into the nearest dynamic binding of Sym.
+	OpSetName
+	// OpPop discards TOS.
+	OpPop
+	// OpDup duplicates TOS.
+	OpDup
+	// OpFCall calls function Sym with Arg arguments taken from the stack.
+	OpFCall
+	// OpFRetn returns from the current function with TOS as the value.
+	OpFRetn
+	// OpJump jumps to Target.
+	OpJump
+	// OpBrNil pops TOS and jumps to Target when it is nil.
+	OpBrNil
+	// OpNEqualP pops two values and jumps to Target when they are unequal
+	// (the fused compare-and-branch of Fig 4.14).
+	OpNEqualP
+	// Arithmetic: pop two (TOS is the right operand), push the result.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	// List operations, executed on the SMALL machine.
+	OpCar
+	OpCdr
+	OpCons
+	OpRplaca
+	OpRplacd
+	// Predicates: pop operand(s), push t or nil.
+	OpAtomP
+	OpNullP
+	OpEqualP
+	OpGreaterP
+	OpLessP
+	OpNot
+	// I/O.
+	OpRdList // read a list into frame variable Arg
+	OpWrList // pop and print TOS
+	// OpHalt stops the machine; TOS is the program result.
+	OpHalt
+)
+
+var opNames = map[Opcode]string{
+	OpBindN: "BINDN", OpPushStk: "PUSHSTK", OpPushName: "PUSHNAME",
+	OpPushSym: "PUSHSYM", OpSetq: "SETQ", OpSetName: "SETNAME",
+	OpPop: "POP", OpDup: "DUP", OpFCall: "FCALL", OpFRetn: "FRETN", OpJump: "JUMP",
+	OpBrNil: "BRNIL", OpNEqualP: "NEQUALP",
+	OpAdd: "ADDOP", OpSub: "SUBOP", OpMul: "MULOP", OpDiv: "DIVOP",
+	OpRem: "REMOP",
+	OpCar: "CAROP", OpCdr: "CDROP", OpCons: "CONSOP",
+	OpRplaca: "RPLACAOP", OpRplacd: "RPLACDOP",
+	OpAtomP: "ATOMP", OpNullP: "NULLP", OpEqualP: "EQUALP",
+	OpGreaterP: "GREATERP", OpLessP: "LESSP", OpNot: "NOTOP",
+	OpRdList: "RDLIST", OpWrList: "WRLIST", OpHalt: "HALT",
+}
+
+// Instr is one instruction.
+type Instr struct {
+	Op     Opcode
+	Arg    int64  // frame offset, argument count, or immediate integer
+	Sym    string // name operand (BINDN, FCALL, PUSHSYM symbols, ...)
+	Target int    // jump target (instruction index)
+}
+
+// String renders the instruction in listing form.
+func (i Instr) String() string {
+	name := opNames[i.Op]
+	switch i.Op {
+	case OpBindN, OpPushName, OpSetName:
+		return fmt.Sprintf("%-8s %s", name, i.Sym)
+	case OpFCall:
+		return fmt.Sprintf("%-8s %s/%d", name, i.Sym, i.Arg)
+	case OpPushSym:
+		if i.Sym != "" {
+			return fmt.Sprintf("%-8s %s", name, i.Sym)
+		}
+		return fmt.Sprintf("%-8s %d", name, i.Arg)
+	case OpPushStk, OpSetq, OpRdList:
+		return fmt.Sprintf("%-8s %d", name, i.Arg)
+	case OpJump, OpBrNil, OpNEqualP:
+		return fmt.Sprintf("%-8s @%d", name, i.Target)
+	default:
+		return name
+	}
+}
+
+// Program is a compiled unit: a code array, the entry point of the
+// top-level expression, and the function directory.
+type Program struct {
+	Code  []Instr
+	Entry int
+	Funcs map[string]*FuncInfo
+}
+
+// FuncInfo describes one compiled function.
+type FuncInfo struct {
+	Name  string
+	NArgs int
+	Entry int
+	End   int // one past the last instruction
+}
+
+// Listing renders the whole program as an assembly listing.
+func (p *Program) Listing() string {
+	out := ""
+	for i, ins := range p.Code {
+		label := ""
+		for name, f := range p.Funcs {
+			if f.Entry == i {
+				label = name + ":"
+			}
+		}
+		if i == p.Entry {
+			label = "main:"
+		}
+		out += fmt.Sprintf("%-10s %4d  %s\n", label, i, ins)
+	}
+	return out
+}

@@ -1,0 +1,497 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sexpr"
+)
+
+// VM emulates the SMALL stack machine: a control/value stack in the EP,
+// with every list operation delegated to a core.Machine (LP + LPT +
+// heap). Stack and frame slots count as EP references and are retained
+// and released accordingly, so the LPT reference counts behave exactly as
+// in §4.3.1's binding discipline.
+type VM struct {
+	prog   *Program
+	m      *core.Machine
+	stack  []core.Value
+	frames []vframe
+	input  []sexpr.Value
+	out    io.Writer
+	steps  int64
+	limit  int64
+}
+
+type vframe struct {
+	ret     int
+	vars    []core.Value
+	names   []string
+	pending []core.Value // arguments awaiting BINDN
+	argIdx  int
+}
+
+// ErrHalt signals normal termination (internal).
+var errHalted = errors.New("vm: halted")
+
+// ErrStepLimit is returned when execution exceeds the step budget.
+var ErrStepLimit = errors.New("vm: step limit exceeded")
+
+// New builds a VM over a fresh SMALL machine.
+func New(prog *Program, opts ...Option) *VM {
+	vm := &VM{prog: prog, out: io.Discard, limit: 10_000_000}
+	for _, o := range opts {
+		o(vm)
+	}
+	if vm.m == nil {
+		vm.m = core.NewMachine(core.Config{LPTSize: 2048})
+	}
+	return vm
+}
+
+// Option configures a VM.
+type Option func(*VM)
+
+// WithMachine supplies the SMALL machine to execute on.
+func WithMachine(m *core.Machine) Option { return func(v *VM) { v.m = m } }
+
+// WithOutput directs WRLIST output.
+func WithOutput(w io.Writer) Option { return func(v *VM) { v.out = w } }
+
+// WithInput queues values for RDLIST.
+func WithInput(vals []sexpr.Value) Option { return func(v *VM) { v.input = vals } }
+
+// WithStepLimit bounds execution.
+func WithStepLimit(n int64) Option { return func(v *VM) { v.limit = n } }
+
+// Machine exposes the underlying SMALL machine (for stats).
+func (v *VM) Machine() *core.Machine { return v.m }
+
+func (v *VM) push(x core.Value) { v.stack = append(v.stack, x) }
+
+func (v *VM) pop() (core.Value, error) {
+	if len(v.stack) == 0 {
+		return core.NilValue, errors.New("vm: stack underflow")
+	}
+	x := v.stack[len(v.stack)-1]
+	v.stack = v.stack[:len(v.stack)-1]
+	return x, nil
+}
+
+// intOf extracts an integer from an atom value.
+func (v *VM) intOf(x core.Value) (int64, error) {
+	if x.Kind != core.VAtom {
+		return 0, fmt.Errorf("vm: not a number: kind %d", x.Kind)
+	}
+	sv, err := v.m.Heap().Atoms().Value(x.Atom)
+	if err != nil {
+		return 0, err
+	}
+	i, ok := sv.(sexpr.Int)
+	if !ok {
+		return 0, fmt.Errorf("vm: not a number: %s", sexpr.String(sv))
+	}
+	return int64(i), nil
+}
+
+func (v *VM) intValue(i int64) core.Value {
+	return core.Value{Kind: core.VAtom, Atom: v.m.Heap().Atoms().Intern(sexpr.Int(i))}
+}
+
+func (v *VM) symValue(s string) core.Value {
+	if s == "nil" || s == "" {
+		return core.NilValue
+	}
+	return core.Value{Kind: core.VAtom, Atom: v.m.Heap().Atoms().Intern(sexpr.Symbol(s))}
+}
+
+func truthy(x core.Value) bool { return x.Kind != core.VNil }
+
+// equalValues compares two EP values structurally.
+func (v *VM) equalValues(a, b core.Value) (bool, error) {
+	av, err := v.m.ValueOf(a)
+	if err != nil {
+		return false, err
+	}
+	bv, err := v.m.ValueOf(b)
+	if err != nil {
+		return false, err
+	}
+	return sexpr.Equal(av, bv), nil
+}
+
+// Run executes the program and returns the final value as an
+// s-expression.
+func (v *VM) Run() (sexpr.Value, error) {
+	v.frames = []vframe{{ret: -1}}
+	pc := v.prog.Entry
+	for {
+		v.steps++
+		if v.steps > v.limit {
+			return nil, ErrStepLimit
+		}
+		if pc < 0 || pc >= len(v.prog.Code) {
+			return nil, fmt.Errorf("vm: pc %d out of range", pc)
+		}
+		next, err := v.step(pc)
+		if err == errHalted {
+			top, perr := v.pop()
+			if perr != nil {
+				return nil, perr
+			}
+			return v.m.ValueOf(top)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("vm: pc %d (%s): %w", pc, v.prog.Code[pc], err)
+		}
+		pc = next
+	}
+}
+
+func (v *VM) frame() *vframe { return &v.frames[len(v.frames)-1] }
+
+// step executes one instruction, returning the next pc.
+func (v *VM) step(pc int) (int, error) {
+	ins := v.prog.Code[pc]
+	f := v.frame()
+	switch ins.Op {
+	case OpBindN:
+		var val core.Value
+		if f.argIdx < len(f.pending) {
+			val = f.pending[f.argIdx]
+			f.argIdx++
+		}
+		f.vars = append(f.vars, val)
+		f.names = append(f.names, ins.Sym)
+
+	case OpPushStk:
+		off := int(ins.Arg) - 1
+		if off < 0 || off >= len(f.vars) {
+			return 0, fmt.Errorf("bad frame offset %d", ins.Arg)
+		}
+		val := f.vars[off]
+		v.m.Retain(val)
+		v.push(val)
+
+	case OpPushName:
+		val, ok := v.lookupName(ins.Sym)
+		if !ok {
+			return 0, fmt.Errorf("unbound variable %s", ins.Sym)
+		}
+		v.m.Retain(val)
+		v.push(val)
+
+	case OpPushSym:
+		if ins.Sym != "" {
+			v.push(v.symValue(ins.Sym))
+		} else {
+			v.push(v.intValue(ins.Arg))
+		}
+
+	case OpSetq:
+		off := int(ins.Arg) - 1
+		if off < 0 || off >= len(f.vars) {
+			return 0, fmt.Errorf("bad frame offset %d", ins.Arg)
+		}
+		top := v.stack[len(v.stack)-1]
+		v.m.Retain(top)
+		v.m.Release(f.vars[off])
+		f.vars[off] = top
+
+	case OpSetName:
+		top := v.stack[len(v.stack)-1]
+		if !v.setName(ins.Sym, top) {
+			// setq of unbound name: create a top-level binding.
+			g := &v.frames[0]
+			v.m.Retain(top)
+			g.vars = append(g.vars, top)
+			g.names = append(g.names, ins.Sym)
+		}
+
+	case OpPop:
+		x, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		v.m.Release(x)
+
+	case OpDup:
+		top := v.stack[len(v.stack)-1]
+		v.m.Retain(top)
+		v.push(top)
+
+	case OpFCall:
+		n := int(ins.Arg)
+		if len(v.stack) < n {
+			return 0, errors.New("missing arguments")
+		}
+		args := make([]core.Value, n)
+		copy(args, v.stack[len(v.stack)-n:])
+		v.stack = v.stack[:len(v.stack)-n]
+		v.frames = append(v.frames, vframe{ret: pc + 1, pending: args})
+		return ins.Target, nil
+
+	case OpFRetn:
+		if len(v.frames) == 1 {
+			return 0, errors.New("return from top level")
+		}
+		// Release frame bindings and unconsumed pending args.
+		for _, val := range f.vars {
+			v.m.Release(val)
+		}
+		for i := f.argIdx; i < len(f.pending); i++ {
+			v.m.Release(f.pending[i])
+		}
+		ret := f.ret
+		v.frames = v.frames[:len(v.frames)-1]
+		return ret, nil
+
+	case OpJump:
+		return ins.Target, nil
+
+	case OpBrNil:
+		x, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		nil_ := !truthy(x)
+		v.m.Release(x)
+		if nil_ {
+			return ins.Target, nil
+		}
+
+	case OpNEqualP:
+		b, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		a, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		eq, err := v.equalValues(a, b)
+		v.m.Release(a)
+		v.m.Release(b)
+		if err != nil {
+			return 0, err
+		}
+		if !eq {
+			return ins.Target, nil
+		}
+
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem:
+		b, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		a, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		x, err := v.intOf(a)
+		if err != nil {
+			return 0, err
+		}
+		y, err := v.intOf(b)
+		if err != nil {
+			return 0, err
+		}
+		var r int64
+		switch ins.Op {
+		case OpAdd:
+			r = x + y
+		case OpSub:
+			r = x - y
+		case OpMul:
+			r = x * y
+		case OpDiv:
+			if y == 0 {
+				return 0, errors.New("division by zero")
+			}
+			r = x / y
+		case OpRem:
+			if y == 0 {
+				return 0, errors.New("division by zero")
+			}
+			r = x % y
+		}
+		v.push(v.intValue(r))
+
+	case OpCar, OpCdr:
+		x, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		var out core.Value
+		if ins.Op == OpCar {
+			out, err = v.m.Car(x)
+		} else {
+			out, err = v.m.Cdr(x)
+		}
+		if err != nil {
+			return 0, err
+		}
+		v.m.Release(x)
+		v.push(out)
+
+	case OpCons:
+		cdr, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		car, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		out, err := v.m.Cons(car, cdr)
+		if err != nil {
+			return 0, err
+		}
+		v.m.Release(car)
+		v.m.Release(cdr)
+		v.push(out)
+
+	case OpRplaca, OpRplacd:
+		val, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		target, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		if ins.Op == OpRplaca {
+			err = v.m.Rplaca(target, val)
+		} else {
+			err = v.m.Rplacd(target, val)
+		}
+		if err != nil {
+			return 0, err
+		}
+		v.m.Release(val)
+		// rplac returns the modified object: keep target on the stack.
+		v.push(target)
+
+	case OpAtomP, OpNullP, OpNot:
+		x, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		var res bool
+		switch ins.Op {
+		case OpAtomP:
+			res = x.Kind != core.VList && x.Kind != core.VHeap
+		case OpNullP, OpNot:
+			res = x.Kind == core.VNil
+		}
+		v.m.Release(x)
+		if res {
+			v.push(v.symValue("t"))
+		} else {
+			v.push(core.NilValue)
+		}
+
+	case OpEqualP, OpGreaterP, OpLessP:
+		b, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		a, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		var res bool
+		if ins.Op == OpEqualP {
+			res, err = v.equalValues(a, b)
+			if err != nil {
+				return 0, err
+			}
+		} else {
+			x, err := v.intOf(a)
+			if err != nil {
+				return 0, err
+			}
+			y, err := v.intOf(b)
+			if err != nil {
+				return 0, err
+			}
+			if ins.Op == OpGreaterP {
+				res = x > y
+			} else {
+				res = x < y
+			}
+		}
+		v.m.Release(a)
+		v.m.Release(b)
+		if res {
+			v.push(v.symValue("t"))
+		} else {
+			v.push(core.NilValue)
+		}
+
+	case OpRdList:
+		off := int(ins.Arg) - 1
+		if off < 0 || off >= len(f.vars) {
+			return 0, fmt.Errorf("bad frame offset %d", ins.Arg)
+		}
+		var datum sexpr.Value
+		if len(v.input) > 0 {
+			datum = v.input[0]
+			v.input = v.input[1:]
+		}
+		val, err := v.m.ReadList(datum, f.vars[off])
+		if err != nil {
+			return 0, err
+		}
+		f.vars[off] = val
+
+	case OpWrList:
+		x, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		sv, err := v.m.ValueOf(x)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintln(v.out, sexpr.String(sv))
+		v.m.Release(x)
+
+	case OpHalt:
+		return 0, errHalted
+
+	default:
+		return 0, fmt.Errorf("unknown opcode %d", ins.Op)
+	}
+	return pc + 1, nil
+}
+
+// lookupName searches frames newest-first for a dynamic binding.
+func (v *VM) lookupName(name string) (core.Value, bool) {
+	for fi := len(v.frames) - 1; fi >= 0; fi-- {
+		f := &v.frames[fi]
+		for i := len(f.names) - 1; i >= 0; i-- {
+			if f.names[i] == name {
+				return f.vars[i], true
+			}
+		}
+	}
+	return core.NilValue, false
+}
+
+func (v *VM) setName(name string, val core.Value) bool {
+	for fi := len(v.frames) - 1; fi >= 0; fi-- {
+		f := &v.frames[fi]
+		for i := len(f.names) - 1; i >= 0; i-- {
+			if f.names[i] == name {
+				v.m.Retain(val)
+				v.m.Release(f.vars[i])
+				f.vars[i] = val
+				return true
+			}
+		}
+	}
+	return false
+}
