@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race verify bench bench-parsweep
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel sweep engine is on by default, so the race detector covers
+# every experiment's fan-out; verify requires this to pass.
+race:
+	$(GO) test -race ./...
+
+verify: build test race
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Allocation and speedup baselines for the sweep engine + pooled
+# simulator (recorded in BENCH_parsweep.json).
+bench-parsweep:
+	$(GO) test -run '^$$' -bench 'Fig5_1$$|Table5_4$$|SweepSpeedup$$' -benchtime 3x .

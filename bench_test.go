@@ -8,6 +8,7 @@ package repro_test
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/benchprogs"
 	"repro/internal/core"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/lisp"
 	"repro/internal/multilisp"
+	"repro/internal/parsweep"
 	"repro/internal/sexpr"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -64,12 +66,23 @@ func BenchmarkFig3_11to13(b *testing.B) { benchExperiment(b, "fig3.11") }
 // --- Chapter 5 ---
 
 func BenchmarkTable5_1(b *testing.B) { benchExperiment(b, "table5.1") }
-func BenchmarkFig5_1(b *testing.B)   { benchExperiment(b, "fig5.1") }
+
+// Fig 5.1 and Table 5.4 are the allocation-regression canaries for the
+// simulator's pooled hot path: ReportAllocs keeps allocs/op visible so a
+// reintroduced per-event allocation shows up in the bench history
+// (baseline in BENCH_parsweep.json).
+func BenchmarkFig5_1(b *testing.B) {
+	b.ReportAllocs()
+	benchExperiment(b, "fig5.1")
+}
 func BenchmarkFig5_2(b *testing.B)   { benchExperiment(b, "fig5.2") }
 func BenchmarkFig5_3(b *testing.B)   { benchExperiment(b, "fig5.3") }
 func BenchmarkTable5_2(b *testing.B) { benchExperiment(b, "table5.2") }
 func BenchmarkTable5_3(b *testing.B) { benchExperiment(b, "table5.3") }
-func BenchmarkTable5_4(b *testing.B) { benchExperiment(b, "table5.4") }
+func BenchmarkTable5_4(b *testing.B) {
+	b.ReportAllocs()
+	benchExperiment(b, "table5.4")
+}
 func BenchmarkFig5_4(b *testing.B)   { benchExperiment(b, "fig5.4") }
 func BenchmarkFig5_5(b *testing.B)   { benchExperiment(b, "fig5.5") }
 func BenchmarkTable5_5(b *testing.B) { benchExperiment(b, "table5.5") }
@@ -82,6 +95,48 @@ func BenchmarkParallelism(b *testing.B) { benchExperiment(b, "parallelism") }
 func BenchmarkClarkStudy(b *testing.B)  { benchExperiment(b, "clark") }
 func BenchmarkGCStudy(b *testing.B)     { benchExperiment(b, "gc") }
 func BenchmarkDirectStudy(b *testing.B) { benchExperiment(b, "direct") }
+
+// BenchmarkSweepSpeedup measures the parallel sweep engine against a
+// single-worker run of the same multi-seed knee sweep (the Fig 5.2
+// inner loop) and reports the wall-clock ratio as speedup_x. On a
+// single-core host the ratio sits near 1; the engine targets ≥2x on
+// four or more cores.
+func BenchmarkSweepSpeedup(b *testing.B) {
+	defer parsweep.SetWorkers(0)
+	st := slangStream(b)
+	const points = 16
+	sweep := func() error {
+		_, err := parsweep.Map(points, func(i int) (int, error) {
+			res, err := sim.Run(st, sim.Params{TableSize: 1 << 16, Seed: int64(i)})
+			if err != nil {
+				return 0, err
+			}
+			return res.PeakLPT, nil
+		})
+		return err
+	}
+	var serialNS, parallelNS int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parsweep.SetWorkers(1)
+		t0 := time.Now()
+		if err := sweep(); err != nil {
+			b.Fatal(err)
+		}
+		serialNS += time.Since(t0).Nanoseconds()
+		parsweep.SetWorkers(0) // back to GOMAXPROCS
+		t0 = time.Now()
+		if err := sweep(); err != nil {
+			b.Fatal(err)
+		}
+		parallelNS += time.Since(t0).Nanoseconds()
+	}
+	b.StopTimer()
+	if parallelNS > 0 {
+		b.ReportMetric(float64(serialNS)/float64(parallelNS), "speedup_x")
+	}
+	b.ReportMetric(float64(parsweep.Workers()), "workers")
+}
 
 // --- Ablation benches for the DESIGN.md design choices ---
 

@@ -1,18 +1,22 @@
 // Command experiments regenerates the thesis's tables and figures.
 //
-//	experiments               # run everything
+//	experiments               # run everything, in parallel
 //	experiments -run fig5.1   # one experiment
 //	experiments -list         # list experiment identifiers
 //	experiments -scale 3      # larger benchmark traces
+//	experiments -workers 2    # cap the sweep engine's worker count
+//	experiments -serial       # single-threaded (same output, slower)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/parsweep"
 )
 
 func main() {
@@ -20,7 +24,15 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	scale := flag.Int("scale", 2, "benchmark trace scale")
 	seeds := flag.Int("seeds", 30, "seeds for multi-seed studies")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel sweep workers")
+	serial := flag.Bool("serial", false, "run everything single-threaded")
 	flag.Parse()
+
+	if *serial {
+		parsweep.SetWorkers(1)
+	} else {
+		parsweep.SetWorkers(*workers)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -43,12 +55,20 @@ func main() {
 			toRun = append(toRun, e)
 		}
 	}
-	for _, e := range toRun {
-		rep, err := e.Run(r)
+	// The experiments themselves form the outermost sweep; reports print
+	// in the order requested regardless of completion order.
+	reports, err := parsweep.Map(len(toRun), func(i int) (*experiments.Report, error) {
+		rep, err := toRun[i].Run(r)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return nil, fmt.Errorf("%s: %w", toRun[i].ID, err)
 		}
+		return rep, nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	for _, rep := range reports {
 		fmt.Printf("== %s ==\n%s\n", rep.Title, rep.Text)
 	}
 }

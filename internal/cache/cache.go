@@ -14,6 +14,9 @@ type Cache struct {
 	head *node // most recently used
 	tail *node // least recently used
 	n    int
+	// freeList recycles evicted nodes so a full cache allocates nothing
+	// per miss (the simulator replays millions of accesses per sweep).
+	freeList *node
 
 	hits   int64
 	misses int64
@@ -75,7 +78,14 @@ func (c *Cache) Access(addr int64) bool {
 		return true
 	}
 	c.misses++
-	n := &node{tag: tag}
+	n := c.freeList
+	if n != nil {
+		c.freeList = n.next
+		n.tag = tag
+		n.next = nil
+	} else {
+		n = &node{tag: tag}
+	}
 	c.slot[tag] = n
 	c.pushFront(n)
 	c.n++
@@ -84,8 +94,38 @@ func (c *Cache) Access(addr int64) bool {
 		c.unlink(evict)
 		delete(c.slot, evict.tag)
 		c.n--
+		evict.prev = nil
+		evict.next = c.freeList
+		c.freeList = evict
 	}
 	return false
+}
+
+// Reset empties the cache and reconfigures its geometry, recycling node
+// and map storage. A reset cache is equivalent to New(lines, lineSize).
+func (c *Cache) Reset(lines, lineSize int) {
+	if lines < 1 {
+		lines = 1
+	}
+	if lineSize < 1 {
+		lineSize = 1
+	}
+	c.lines = lines
+	c.lineSize = int64(lineSize)
+	for n := c.head; n != nil; {
+		next := n.next
+		n.prev, n.next = nil, c.freeList
+		c.freeList = n
+		n = next
+	}
+	c.head, c.tail = nil, nil
+	c.n = 0
+	c.hits, c.misses = 0, 0
+	if c.slot == nil {
+		c.slot = make(map[int64]*node, lines)
+	} else {
+		clear(c.slot)
+	}
 }
 
 func (c *Cache) pushFront(n *node) {

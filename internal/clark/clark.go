@@ -32,6 +32,15 @@ func New(seed int64) *Model {
 	return &Model{rng: rand.New(rand.NewSource(seed)), MeanN: 10, MeanP: 2}
 }
 
+// Reseed restores the model to the state New(seed) would produce,
+// reusing the RNG allocation (the simulator pool reseeds one model per
+// run instead of allocating a fresh one).
+func (m *Model) Reseed(seed int64) {
+	m.rng.Seed(seed)
+	m.MeanN, m.MeanP = 10, 2
+	m.syms = 0
+}
+
 // geometric samples a geometric variate with the given mean, at least 1.
 func (m *Model) geometric(mean float64) int {
 	if mean <= 1 {
@@ -126,10 +135,12 @@ func (m *Model) GenList(met sexpr.Metrics) sexpr.Value {
 		}
 		l := 1 + m.rng.Intn(maxLen)
 		sub := sexpr.List(items[a : a+l]...)
-		rest := append([]sexpr.Value{}, items[:a]...)
-		rest = append(rest, sub)
-		rest = append(rest, items[a+l:]...)
-		items = rest
+		// Fold in place: List copied the run into fresh cells, so the run's
+		// slots can be overwritten — replace it with the sublist and shift
+		// the tail left, avoiding three slice allocations per fold.
+		copy(items[a+1:], items[a+l:])
+		items[a] = sub
+		items = items[:len(items)-l+1]
 	}
 	return sexpr.List(items...)
 }

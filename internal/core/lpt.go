@@ -107,8 +107,11 @@ const (
 type lpt struct {
 	entries []entry
 	freeTop EntryID // top of the free stack; 0 = empty
-	// freeFIFO holds the free list under the FreeQueue discipline.
+	// freeFIFO holds the free list under the FreeQueue discipline;
+	// fifoHead indexes the next entry to reuse so dequeuing never
+	// reslices storage away.
 	freeFIFO   []EntryID
+	fifoHead   int
 	discipline FreeDiscipline
 	inUse      int
 	peak       int // high-water mark of inUse
@@ -127,11 +130,35 @@ type lpt struct {
 // newLPT builds a table with the given number of entries. Index 0 is a
 // sentinel; usable identifiers are 1..size.
 func newLPT(size int, policy DecrementPolicy, disc FreeDiscipline) *lpt {
-	t := &lpt{entries: make([]entry, size+1), policy: policy, discipline: disc}
+	t := &lpt{}
+	t.reset(size, policy, disc)
+	return t
+}
+
+// reset reinitialises the table for a fresh run, reusing the entry array
+// and auxiliary slices when their capacities suffice. A reset table is
+// behaviourally identical to newLPT(size, policy, disc).
+func (t *lpt) reset(size int, policy DecrementPolicy, disc FreeDiscipline) {
+	if t.entries != nil && cap(t.entries) >= size+1 {
+		t.entries = t.entries[:size+1]
+		clear(t.entries)
+	} else {
+		t.entries = make([]entry, size+1)
+	}
+	t.freeTop = 0
+	t.freeFIFO = t.freeFIFO[:0]
+	t.fifoHead = 0
+	t.discipline = disc
+	t.policy = policy
+	t.inUse = 0
+	t.peak = 0
+	t.stats = LPTStats{}
+	t.occupancySum = 0
+	t.occupancySamples = 0
+	t.pendingHeapFrees = t.pendingHeapFrees[:0]
 	for i := size; i >= 1; i-- {
 		t.putFree(EntryID(i))
 	}
-	return t
 }
 
 func (t *lpt) size() int { return len(t.entries) - 1 }
@@ -148,11 +175,15 @@ func (t *lpt) valid(id EntryID) bool {
 // takeFree removes the next entry from the free structure, or 0.
 func (t *lpt) takeFree() EntryID {
 	if t.discipline == FreeQueue {
-		if len(t.freeFIFO) == 0 {
+		if t.fifoHead >= len(t.freeFIFO) {
 			return 0
 		}
-		id := t.freeFIFO[0]
-		t.freeFIFO = t.freeFIFO[1:]
+		id := t.freeFIFO[t.fifoHead]
+		t.fifoHead++
+		if t.fifoHead == len(t.freeFIFO) {
+			t.freeFIFO = t.freeFIFO[:0]
+			t.fifoHead = 0
+		}
 		return id
 	}
 	id := t.freeTop

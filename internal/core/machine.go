@@ -84,11 +84,15 @@ type Config struct {
 // LP request interface of §4.3.2.2 plus Retain/Release for binding
 // lifetime management.
 type Machine struct {
-	lpt                 *lpt
-	heap                *heap.TwoPtr
-	policy              CompressionPolicy
-	split               bool
-	epCounts            map[EntryID]int32
+	lpt    *lpt
+	heap   *heap.TwoPtr
+	policy CompressionPolicy
+	split  bool
+	// epCounts is the EP-side stack reference count table of §5.3.3,
+	// indexed by entry identifier (slice rather than map: Retain/Release
+	// run once per simulated binding event, so count arithmetic must not
+	// allocate or hash).
+	epCounts            []int32
 	overflow            bool
 	outstandingHeapVals int
 	stats               MachineStats
@@ -98,23 +102,53 @@ type Machine struct {
 // NewMachine builds a SMALL machine from cfg, applying thesis-scale
 // defaults for unset fields (2K LPT entries, §5.4).
 func NewMachine(cfg Config) *Machine {
+	m := &Machine{}
+	m.Reset(cfg)
+	return m
+}
+
+// Reset reinitialises the machine for a fresh run under cfg, reusing the
+// LPT entry array, EP count table, and heap cell storage already
+// allocated when their capacities suffice. A reset machine behaves
+// identically to NewMachine(cfg); the experiment sweeps pool machines
+// through sim.Run so repeated simulation points stop hammering the
+// allocator with multi-megabyte table and heap arrays.
+func (m *Machine) Reset(cfg Config) {
 	if cfg.LPTSize <= 0 {
 		cfg.LPTSize = 2048
 	}
 	if cfg.HeapCells <= 0 {
 		cfg.HeapCells = 1 << 18
 	}
-	m := &Machine{
-		lpt:      newLPT(cfg.LPTSize, cfg.Decrement, cfg.FreeList),
-		heap:     heap.NewTwoPtr(cfg.HeapCells),
-		policy:   cfg.Policy,
-		split:    cfg.SplitStackCounts,
-		epCounts: make(map[EntryID]int32),
+	if m.lpt == nil {
+		m.lpt = newLPT(cfg.LPTSize, cfg.Decrement, cfg.FreeList)
+	} else {
+		m.lpt.reset(cfg.LPTSize, cfg.Decrement, cfg.FreeList)
 	}
+	if m.heap == nil {
+		m.heap = heap.NewTwoPtr(cfg.HeapCells)
+	} else {
+		m.heap.Reset(cfg.HeapCells)
+	}
+	m.policy = cfg.Policy
+	m.split = cfg.SplitStackCounts
+	if m.split {
+		if cap(m.epCounts) >= cfg.LPTSize+1 {
+			m.epCounts = m.epCounts[:cfg.LPTSize+1]
+			clear(m.epCounts)
+		} else {
+			m.epCounts = make([]int32, cfg.LPTSize+1)
+		}
+	} else {
+		m.epCounts = nil
+	}
+	m.overflow = false
+	m.outstandingHeapVals = 0
+	m.stats = MachineStats{}
+	m.tl = nil
 	if cfg.Timing != nil {
 		m.tl = newTimeline(*cfg.Timing)
 	}
-	return m
 }
 
 // Heap exposes the underlying heap (read-only use intended).
@@ -210,7 +244,7 @@ func (m *Machine) Release(v Value) {
 			m.stats.EPRefops++
 			c := m.epCounts[v.ID] - 1
 			if c <= 0 {
-				delete(m.epCounts, v.ID)
+				m.epCounts[v.ID] = 0
 				// zero-crossing: clear the stack bit; the entry dies if no
 				// internal references remain.
 				m.stats.EPLPMessages++

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/locality"
+	"repro/internal/parsweep"
 	"repro/internal/trace"
 )
 
@@ -12,8 +13,8 @@ import (
 // functions: the percentage of all traced calls that are car, cdr, and
 // cons per benchmark.
 func Fig3_1(r *Runner) (*Report, error) {
-	rows := make([][]string, 0, len(benchOrderCh3))
-	for _, name := range benchOrderCh3 {
+	rows, err := parsweep.Map(len(benchOrderCh3), func(i int) ([]string, error) {
+		name := benchOrderCh3[i]
 		t, err := r.Trace(name)
 		if err != nil {
 			return nil, err
@@ -23,9 +24,12 @@ func Fig3_1(r *Runner) (*Report, error) {
 		if other < 0 {
 			other = 0
 		}
-		rows = append(rows, []string{
+		return []string{
 			name, f1(s.Pct("car")), f1(s.Pct("cdr")), f1(s.Pct("cons")), f1(other),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Report{
 		ID:    "fig3.1",
@@ -36,14 +40,17 @@ func Fig3_1(r *Runner) (*Report, error) {
 
 // Table3_1 regenerates the average n and p per benchmark.
 func Table3_1(r *Runner) (*Report, error) {
-	rows := make([][]string, 0, len(benchOrderCh3))
-	for _, name := range benchOrderCh3 {
+	rows, err := parsweep.Map(len(benchOrderCh3), func(i int) ([]string, error) {
+		name := benchOrderCh3[i]
 		t, err := r.Trace(name)
 		if err != nil {
 			return nil, err
 		}
 		np := trace.MeasureNP(t)
-		rows = append(rows, []string{name, f2(np.AvgN), f2(np.AvgP)})
+		return []string{name, f2(np.AvgN), f2(np.AvgP)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Report{
 		ID:    "table3.1",
@@ -54,13 +61,14 @@ func Table3_1(r *Runner) (*Report, error) {
 
 // Fig3_3 regenerates the distributions of n and p over lists.
 func Fig3_3(r *Runner) (*Report, error) {
-	var b strings.Builder
-	for _, name := range benchOrderCh3 {
+	sections, err := parsweep.Map(len(benchOrderCh3), func(i int) (string, error) {
+		name := benchOrderCh3[i]
 		t, err := r.Trace(name)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		np := trace.MeasureNP(t)
+		var b strings.Builder
 		fmt.Fprintf(&b, "%s (%d distinct lists):\n", name, np.Lists)
 		// bucket n into ranges for compactness
 		buckets := []struct {
@@ -89,102 +97,131 @@ func Fig3_3(r *Runner) (*Report, error) {
 		rows = append(rows, []string{"p=0", "-", fmt.Sprint(p0)})
 		b.WriteString(table([]string{"bucket", "lists by n", "lists by p"}, rows))
 		b.WriteByte('\n')
+		return b.String(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Report{
 		ID:    "fig3.3",
 		Title: "Figs 3.3a/3.3b: Distribution of n and p over Lists",
-		Text:  b.String(),
+		Text:  strings.Join(sections, ""),
 	}, nil
 }
 
-// partition computes the default (10% separation) list-set partition.
+// partition computes (and caches) the default 10%-separation list-set
+// partition. Figs 3.4-3.7 all consume it; the singleflight cell means the
+// four experiments share one partitioning even when run concurrently.
 func (r *Runner) partition(name string) (*locality.Partition, error) {
-	st, err := r.Stream(name)
-	if err != nil {
-		return nil, err
-	}
-	return locality.PartitionStream(st, 0.10), nil
+	c := lookup(&r.mu, r.partitions, name)
+	c.once.Do(func() {
+		st, err := r.Stream(name)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.v = locality.PartitionStream(st, 0.10)
+	})
+	return c.v, c.err
 }
 
 // Fig3_4 regenerates the distribution of lists over list sets: cumulative
 // % of references vs number of (largest-first) list sets.
 func Fig3_4(r *Runner) (*Report, error) {
-	var b strings.Builder
-	for _, name := range benchOrderCh3 {
+	sections, err := parsweep.Map(len(benchOrderCh3), func(i int) (string, error) {
+		name := benchOrderCh3[i]
 		p, err := r.partition(name)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		curve := p.SizeCurve()
+		var b strings.Builder
 		fmt.Fprintf(&b, "%s: %d list sets, %d references; %d sets cover 80%% of references\n",
 			name, len(p.Sets), p.Refs, p.SetsForRefPct(80))
 		b.WriteString(table([]string{"sets", "cum refs"}, curveRows(curve, "sets")))
 		b.WriteByte('\n')
+		return b.String(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Report{
 		ID:    "fig3.4",
 		Title: "Fig 3.4: Distribution of Lists over List Sets (10% separation)",
-		Text:  b.String(),
+		Text:  strings.Join(sections, ""),
 	}, nil
 }
 
 // Fig3_5 regenerates the list-set lifetime distribution over sets.
 func Fig3_5(r *Runner) (*Report, error) {
-	var b strings.Builder
-	for _, name := range benchOrderCh3 {
+	sections, err := parsweep.Map(len(benchOrderCh3), func(i int) (string, error) {
+		name := benchOrderCh3[i]
 		p, err := r.partition(name)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
+		var b strings.Builder
 		fmt.Fprintf(&b, "%s:\n", name)
 		b.WriteString(table([]string{"lifetime %", "cum sets"},
 			curveRows(p.LifetimeCDFBySets(), "lifetime")))
 		b.WriteByte('\n')
+		return b.String(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Report{
 		ID:    "fig3.5",
 		Title: "Fig 3.5: Distribution of List Set Lifetimes over List Sets",
-		Text:  b.String(),
+		Text:  strings.Join(sections, ""),
 	}, nil
 }
 
 // Fig3_6 regenerates the lifetime distribution weighted by references.
 func Fig3_6(r *Runner) (*Report, error) {
-	var b strings.Builder
-	for _, name := range benchOrderCh3 {
+	sections, err := parsweep.Map(len(benchOrderCh3), func(i int) (string, error) {
+		name := benchOrderCh3[i]
 		p, err := r.partition(name)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
+		var b strings.Builder
 		fmt.Fprintf(&b, "%s: %.1f%% of references live in sets lasting ≥60%% of the trace\n",
 			name, p.PctRefsInSetsLivingAtLeast(60))
 		b.WriteString(table([]string{"lifetime %", "cum refs"},
 			curveRows(p.LifetimeCDFByRefs(), "lifetime")))
 		b.WriteByte('\n')
+		return b.String(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Report{
 		ID:    "fig3.6",
 		Title: "Fig 3.6: Distribution of List Set Lifetimes over Lists",
-		Text:  b.String(),
+		Text:  strings.Join(sections, ""),
 	}, nil
 }
 
 // Fig3_7 regenerates the LRU stack distance profile over list sets.
 func Fig3_7(r *Runner) (*Report, error) {
-	var b strings.Builder
-	rows := make([][]string, 0, len(benchOrderCh3))
-	for _, name := range benchOrderCh3 {
+	rows, err := parsweep.Map(len(benchOrderCh3), func(i int) ([]string, error) {
+		name := benchOrderCh3[i]
 		p, err := r.partition(name)
 		if err != nil {
 			return nil, err
 		}
 		prof := locality.LRUStackDistances(p.AccessSeq)
-		rows = append(rows, []string{
+		return []string{
 			name,
 			f1(prof.HitRate(1)), f1(prof.HitRate(2)), f1(prof.HitRate(4)),
 			f1(prof.HitRate(8)), f1(prof.HitRate(16)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	var b strings.Builder
 	b.WriteString(table([]string{"benchmark", "d=1", "d=2", "d=4", "d=8", "d=16"}, rows))
 	b.WriteString("\n(thesis: a stack depth of 4 list sets captures 70-90% of accesses)\n")
 	return &Report{
@@ -196,14 +233,17 @@ func Fig3_7(r *Runner) (*Report, error) {
 
 // Table3_2 regenerates the primitive chaining percentages.
 func Table3_2(r *Runner) (*Report, error) {
-	rows := make([][]string, 0, len(benchOrderCh3))
-	for _, name := range benchOrderCh3 {
+	rows, err := parsweep.Map(len(benchOrderCh3), func(i int) ([]string, error) {
+		name := benchOrderCh3[i]
 		st, err := r.Stream(name)
 		if err != nil {
 			return nil, err
 		}
 		cs := trace.Chaining(st)
-		rows = append(rows, []string{name, f2(cs.CarPct), f2(cs.CdrPct)})
+		return []string{name, f2(cs.CarPct), f2(cs.CdrPct)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Report{
 		ID:    "table3.2",
@@ -213,23 +253,28 @@ func Table3_2(r *Runner) (*Report, error) {
 }
 
 // Fig3_8to10 regenerates the varying-separation-constraint sensitivity
-// study on SLANG (Figs 3.8, 3.9, 3.10).
+// study on SLANG (Figs 3.8, 3.9, 3.10). Each separation window is an
+// independent partitioning of the shared stream, swept in parallel.
 func Fig3_8to10(r *Runner) (*Report, error) {
 	st, err := r.Stream("slang")
 	if err != nil {
 		return nil, err
 	}
-	var b strings.Builder
-	rows := [][]string{}
-	for _, sep := range []float64{0.05, 0.10, 0.25, 0.50, 1.00} {
+	seps := []float64{0.05, 0.10, 0.25, 0.50, 1.00}
+	rows, err := parsweep.Map(len(seps), func(i int) ([]string, error) {
+		sep := seps[i]
 		p := locality.PartitionStream(st, sep)
-		rows = append(rows, []string{
+		return []string{
 			fmt.Sprintf("%.0f%%", 100*sep),
 			fmt.Sprint(len(p.Sets)),
 			fmt.Sprint(p.SetsForRefPct(80)),
 			f1(p.PctRefsInSetsLivingAtLeast(60)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	var b strings.Builder
 	b.WriteString(table([]string{"separation", "list sets", "sets for 80% refs", "refs in ≥60%-life sets"}, rows))
 	b.WriteString("\n(thesis: the 50% and 100% curves coincide; smaller windows split large sets)\n")
 	return &Report{
@@ -240,21 +285,28 @@ func Fig3_8to10(r *Runner) (*Report, error) {
 }
 
 // Fig3_11to13 regenerates the fixed-absolute-window study: the same
-// window (10% of the shortest trace) applied to every trace.
+// window (10% of the shortest trace) applied to every trace. Each
+// benchmark row runs two partitionings, so the per-name sweep dominates.
 func Fig3_11to13(r *Runner) (*Report, error) {
 	// Find the shortest trace among the four Chapter 5 benchmarks.
-	shortest := -1
-	for _, name := range benchOrder {
-		st, err := r.Stream(name)
+	lengths, err := parsweep.Map(len(benchOrder), func(i int) (int, error) {
+		st, err := r.Stream(benchOrder[i])
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		n := 0
-		for i := range st.Refs {
-			if st.Refs[i].Kind == trace.RefPrim {
+		for j := range st.Refs {
+			if st.Refs[j].Kind == trace.RefPrim {
 				n++
 			}
 		}
+		return n, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	shortest := -1
+	for _, n := range lengths {
 		if shortest < 0 || n < shortest {
 			shortest = n
 		}
@@ -263,19 +315,22 @@ func Fig3_11to13(r *Runner) (*Report, error) {
 	if window < 1 {
 		window = 1
 	}
-	rows := [][]string{}
-	for _, name := range benchOrder {
+	rows, err := parsweep.Map(len(benchOrder), func(i int) ([]string, error) {
+		name := benchOrder[i]
 		st, err := r.Stream(name)
 		if err != nil {
 			return nil, err
 		}
 		p := locality.PartitionStreamWindow(st, window)
 		p10 := locality.PartitionStream(st, 0.10)
-		rows = append(rows, []string{
+		return []string{
 			name,
 			fmt.Sprint(len(p10.Sets)), fmt.Sprint(len(p.Sets)),
 			f1(p10.PctRefsInSetsLivingAtLeast(50)), f1(p.PctRefsInSetsLivingAtLeast(50)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	text := table([]string{"benchmark", "sets@10%", "sets@fixed", "refs≥50%life@10%", "@fixed"}, rows) +
 		fmt.Sprintf("\n(fixed window = %d events = 10%% of the shortest trace)\n", window)

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/parsweep"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -12,16 +13,19 @@ import (
 
 // Table5_1 regenerates the content summary of the four simulation traces.
 func Table5_1(r *Runner) (*Report, error) {
-	rows := make([][]string, 0, len(benchOrder))
-	for _, name := range benchOrder {
+	rows, err := parsweep.Map(len(benchOrder), func(i int) ([]string, error) {
+		name := benchOrder[i]
 		t, err := r.Trace(name)
 		if err != nil {
 			return nil, err
 		}
 		s := trace.Summarize(t)
-		rows = append(rows, []string{
+		return []string{
 			name, fmt.Sprint(s.Functions), fmt.Sprint(s.Primitives), fmt.Sprint(s.MaxDepth),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Report{
 		ID:    "table5.1",
@@ -45,24 +49,27 @@ func (r *Runner) knee(name string, seed int64) (int, error) {
 }
 
 // Fig5_1 regenerates the peak LPT usage curves: peak occupancy against
-// table size, showing the slope-1 segment and the knee.
+// table size, showing the slope-1 segment and the knee. The per-benchmark
+// sections run in parallel, and each section fans its size sweep out too.
 func Fig5_1(r *Runner) (*Report, error) {
-	var b strings.Builder
-	for _, name := range benchOrder {
+	sections, err := parsweep.Map(len(benchOrder), func(bi int) (string, error) {
+		name := benchOrder[bi]
 		st, err := r.Stream(name)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		knee, err := r.knee(name, 1)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
-		sizes := []int{knee / 4, knee / 2, 3 * knee / 4, knee, 2 * knee}
-		rows := [][]string{}
-		for _, size := range sizes {
-			if size < 4 {
-				continue
+		var sizes []int
+		for _, size := range []int{knee / 4, knee / 2, 3 * knee / 4, knee, 2 * knee} {
+			if size >= 4 {
+				sizes = append(sizes, size)
 			}
+		}
+		rows, err := parsweep.Map(len(sizes), func(si int) ([]string, error) {
+			size := sizes[si]
 			res, err := sim.Run(st, sim.Params{TableSize: size, Seed: 1})
 			if err != nil {
 				return nil, err
@@ -73,14 +80,22 @@ func Fig5_1(r *Runner) (*Report, error) {
 			} else if res.Machine.LPT.PseudoOverflow > 0 {
 				over = "pseudo"
 			}
-			rows = append(rows, []string{
-				fmt.Sprint(size), fmt.Sprint(res.PeakLPT), over,
-			})
+			return []string{fmt.Sprint(size), fmt.Sprint(res.PeakLPT), over}, nil
+		})
+		if err != nil {
+			return "", err
 		}
+		var b strings.Builder
 		fmt.Fprintf(&b, "%s (knee = %d entries):\n", name, knee)
 		b.WriteString(table([]string{"table size", "peak usage", "overflow"}, rows))
 		b.WriteByte('\n')
+		return b.String(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	var b strings.Builder
+	b.WriteString(strings.Join(sections, ""))
 	b.WriteString("(thesis shape: peak == size up to the knee, then flat)\n")
 	return &Report{
 		ID:    "fig5.1",
@@ -89,23 +104,26 @@ func Fig5_1(r *Runner) (*Report, error) {
 	}, nil
 }
 
-// Fig5_2 regenerates the maximum-occupancy intervals over many seeds.
+// Fig5_2 regenerates the maximum-occupancy intervals over many seeds —
+// the suite's widest sweep (benchmarks × seeds independent simulations).
 func Fig5_2(r *Runner) (*Report, error) {
-	rows := make([][]string, 0, len(benchOrder))
-	for _, name := range benchOrder {
-		var knees []float64
-		for seed := 0; seed < r.cfg.Seeds; seed++ {
+	rows, err := parsweep.Map(len(benchOrder), func(bi int) ([]string, error) {
+		name := benchOrder[bi]
+		knees, err := parsweep.Map(r.cfg.Seeds, func(seed int) (float64, error) {
 			k, err := r.knee(name, int64(seed))
-			if err != nil {
-				return nil, err
-			}
-			knees = append(knees, float64(k))
+			return float64(k), err
+		})
+		if err != nil {
+			return nil, err
 		}
 		s := stats.Summarize(knees)
-		rows = append(rows, []string{
+		return []string{
 			name, fmt.Sprintf("%.0f", s.Min), fmt.Sprintf("%.0f", s.Max),
 			f1(s.Mean), f1(s.ConfidenceInterval95()),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	text := table([]string{"trace", "min knee", "max knee", "mean", "95% CI ±"}, rows) +
 		fmt.Sprintf("\n(%d seeds per trace; thesis used 60-90 and concluded 2K-4K entries suffice)\n", r.cfg.Seeds)
@@ -119,22 +137,25 @@ func Fig5_2(r *Runner) (*Report, error) {
 // Fig5_3 regenerates the average-occupancy comparison of the two pseudo
 // overflow compression policies.
 func Fig5_3(r *Runner) (*Report, error) {
-	var b strings.Builder
-	for _, name := range []string{"slang", "editor"} { // the two the thesis plots
+	names := []string{"slang", "editor"} // the two the thesis plots
+	sections, err := parsweep.Map(len(names), func(ni int) (string, error) {
+		name := names[ni]
 		st, err := r.Stream(name)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		knee, err := r.knee(name, 2)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
-		rows := [][]string{}
+		var sizes []int
 		for _, frac := range []float64{0.4, 0.6, 0.8, 1.0, 1.2} {
-			size := int(frac * float64(knee))
-			if size < 4 {
-				continue
+			if size := int(frac * float64(knee)); size >= 4 {
+				sizes = append(sizes, size)
 			}
+		}
+		rows, err := parsweep.Map(len(sizes), func(si int) ([]string, error) {
+			size := sizes[si]
 			one, err := sim.Run(st, sim.Params{TableSize: size, Seed: 2, Policy: core.CompressOne})
 			if err != nil {
 				return nil, err
@@ -143,15 +164,25 @@ func Fig5_3(r *Runner) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			rows = append(rows, []string{
+			return []string{
 				fmt.Sprint(size), f1(one.AvgLPT), f1(all.AvgLPT),
 				d(one.Machine.LPT.PseudoOverflow), d(all.Machine.LPT.PseudoOverflow),
-			})
+			}, nil
+		})
+		if err != nil {
+			return "", err
 		}
+		var b strings.Builder
 		fmt.Fprintf(&b, "%s (knee %d):\n", name, knee)
 		b.WriteString(table([]string{"table size", "avg occ (One)", "avg occ (All)", "pseudo (One)", "pseudo (All)"}, rows))
 		b.WriteByte('\n')
+		return b.String(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	var b strings.Builder
+	b.WriteString(strings.Join(sections, ""))
 	b.WriteString("(thesis: Compress-One keeps average occupancy higher; the difference is small)\n")
 	return &Report{
 		ID:    "fig5.3",
@@ -163,8 +194,8 @@ func Fig5_3(r *Runner) (*Report, error) {
 // Table5_2 regenerates the LPT activity counters, including the RecRefops
 // column measured under the recursive decrement policy.
 func Table5_2(r *Runner) (*Report, error) {
-	rows := make([][]string, 0, len(benchOrder))
-	for _, name := range benchOrder {
+	rows, err := parsweep.Map(len(benchOrder), func(i int) ([]string, error) {
+		name := benchOrder[i]
 		st, err := r.Stream(name)
 		if err != nil {
 			return nil, err
@@ -178,9 +209,12 @@ func Table5_2(r *Runner) (*Report, error) {
 			return nil, err
 		}
 		l := lazy.Machine.LPT
-		rows = append(rows, []string{
+		return []string{
 			name, d(l.Refops), d(l.Gets), d(l.Frees), d(rec.Machine.LPT.Refops),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Report{
 		ID:    "table5.2",
@@ -192,8 +226,8 @@ func Table5_2(r *Runner) (*Report, error) {
 // Table5_3 regenerates the split reference count evaluation: EP–LP count
 // traffic before (Then) and after (Now) moving stack counts into the EP.
 func Table5_3(r *Runner) (*Report, error) {
-	rows := make([][]string, 0, len(benchOrder))
-	for _, name := range benchOrder {
+	rows, err := parsweep.Map(len(benchOrder), func(i int) ([]string, error) {
+		name := benchOrder[i]
 		st, err := r.Stream(name)
 		if err != nil {
 			return nil, err
@@ -205,10 +239,13 @@ func Table5_3(r *Runner) (*Report, error) {
 		m := res.Machine
 		then := m.LPT.Refops + m.StackRefEvents
 		now := m.LPT.Refops + m.EPLPMessages
-		rows = append(rows, []string{
+		return []string{
 			name, d(then), d(now),
 			fmt.Sprint(m.MaxRef), fmt.Sprint(m.MaxEPCount),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	text := table([]string{"trace", "Refops (Then)", "Refops (Now)", "MaxCount LPT", "MaxCount EP"}, rows) +
 		"\n(thesis: near order-of-magnitude reduction in EP-LP count traffic)\n"
@@ -220,10 +257,13 @@ func Table5_3(r *Runner) (*Report, error) {
 }
 
 // Table5_4 regenerates the LPT versus data cache comparison at three
-// sizes per trace, unit cache lines, equal entry counts.
+// sizes per trace, unit cache lines, equal entry counts. Each benchmark
+// contributes a fixed three rows, assembled in trace order regardless of
+// which parallel sweep finishes first.
 func Table5_4(r *Runner) (*Report, error) {
-	rows := [][]string{}
-	for _, name := range benchOrder {
+	fracs := []float64{0.6, 0.8, 1.1}
+	perName, err := parsweep.Map(len(benchOrder), func(bi int) ([][]string, error) {
+		name := benchOrder[bi]
 		st, err := r.Stream(name)
 		if err != nil {
 			return nil, err
@@ -232,8 +272,8 @@ func Table5_4(r *Runner) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, frac := range []float64{0.6, 0.8, 1.1} {
-			size := int(frac * float64(knee))
+		return parsweep.Map(len(fracs), func(fi int) ([]string, error) {
+			size := int(fracs[fi] * float64(knee))
 			if size < 8 {
 				size = 8
 			}
@@ -244,12 +284,19 @@ func Table5_4(r *Runner) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			rows = append(rows, []string{
+			return []string{
 				name, fmt.Sprint(size),
 				d(res.LPTMisses), f2(res.LPTHitRate()),
 				d(res.CacheMisses), f2(res.CacheHitRate()),
-			})
-		}
+			}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for _, nameRows := range perName {
+		rows = append(rows, nameRows...)
 	}
 	text := table([]string{"trace", "size", "LPT misses", "hit %", "cache misses", "hit %"}, rows) +
 		"\n(thesis: cache misses outnumber LPT misses, typically by ≥2x)\n"
@@ -270,12 +317,14 @@ func Fig5_4(r *Runner) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := [][]string{}
+	var sizes []int
 	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.5} {
-		size := int(frac * float64(knee))
-		if size < 8 {
-			continue
+		if size := int(frac * float64(knee)); size >= 8 {
+			sizes = append(sizes, size)
 		}
+	}
+	rows, err := parsweep.Map(len(sizes), func(si int) ([]string, error) {
+		size := sizes[si]
 		res, err := sim.Run(st, sim.Params{
 			TableSize: size, Seed: 6,
 			CacheEntries: size, CacheLineSize: 1,
@@ -283,9 +332,12 @@ func Fig5_4(r *Runner) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, []string{
+		return []string{
 			fmt.Sprint(size), f2(res.LPTHitRate()), f2(res.CacheHitRate()),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Report{
 		ID:    "fig5.4",
@@ -296,44 +348,61 @@ func Fig5_4(r *Runner) (*Report, error) {
 
 // Fig5_5 regenerates the cache-miss/LPT-miss ratio versus cache line
 // size, with half-size cache entries (twice as many entries as the LPT).
+// The sweep nests three deep (benchmark × LPT size × line size); every
+// level fans out and the engine's shared worker budget keeps the total
+// goroutine count bounded.
 func Fig5_5(r *Runner) (*Report, error) {
-	var b strings.Builder
-	for _, name := range []string{"lyra", "slang", "editor"} {
+	names := []string{"lyra", "slang", "editor"}
+	lines := []int{1, 2, 4, 8, 16}
+	sections, err := parsweep.Map(len(names), func(ni int) (string, error) {
+		name := names[ni]
 		st, err := r.Stream(name)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		knee, err := r.knee(name, 7)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
-		rows := [][]string{}
-		for _, frac := range []float64{0.5, 1.0} {
-			lptSize := int(frac * float64(knee))
+		fracs := []float64{0.5, 1.0}
+		rows, err := parsweep.Map(len(fracs), func(fi int) ([]string, error) {
+			lptSize := int(fracs[fi] * float64(knee))
 			if lptSize < 8 {
 				lptSize = 8
 			}
-			row := []string{fmt.Sprint(lptSize)}
-			for _, line := range []int{1, 2, 4, 8, 16} {
+			ratios, err := parsweep.Map(len(lines), func(li int) (string, error) {
 				res, err := sim.Run(st, sim.Params{
 					TableSize: lptSize, Seed: 7,
-					CacheEntries: 2 * lptSize, CacheLineSize: line,
+					CacheEntries: 2 * lptSize, CacheLineSize: lines[li],
 				})
 				if err != nil {
-					return nil, err
+					return "", err
 				}
 				ratio := 0.0
 				if res.LPTMisses > 0 {
 					ratio = float64(res.CacheMisses) / float64(res.LPTMisses)
 				}
-				row = append(row, f2(ratio))
+				return f2(ratio), nil
+			})
+			if err != nil {
+				return nil, err
 			}
-			rows = append(rows, row)
+			return append([]string{fmt.Sprint(lptSize)}, ratios...), nil
+		})
+		if err != nil {
+			return "", err
 		}
+		var b strings.Builder
 		fmt.Fprintf(&b, "%s:\n", name)
 		b.WriteString(table([]string{"LPT size", "line=1", "line=2", "line=4", "line=8", "line=16"}, rows))
 		b.WriteByte('\n')
+		return b.String(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	var b strings.Builder
+	b.WriteString(strings.Join(sections, ""))
 	b.WriteString("(thesis: ratios 0.7-2.8, falling with wider lines as prefetching pays off)\n")
 	return &Report{
 		ID:    "fig5.5",
@@ -343,7 +412,7 @@ func Fig5_5(r *Runner) (*Report, error) {
 }
 
 // Table5_5 regenerates the probability-parameter sensitivity study on
-// SLANG: control plus the four perturbed settings.
+// SLANG: control plus the four perturbed settings, simulated in parallel.
 func Table5_5(r *Runner) (*Report, error) {
 	st, err := r.Stream("slang")
 	if err != nil {
@@ -364,14 +433,14 @@ func Table5_5(r *Runner) (*Report, error) {
 		{"HiBind", func() sim.Params { p := base; p.BindProb = 0.03; return p }()},
 	}
 	header := []string{"statistic"}
-	results := make([]*sim.Result, len(settings))
-	for i, s := range settings {
+	for _, s := range settings {
 		header = append(header, s.name)
-		res, err := sim.Run(st, s.p)
-		if err != nil {
-			return nil, err
-		}
-		results[i] = res
+	}
+	results, err := parsweep.Map(len(settings), func(i int) (*sim.Result, error) {
+		return sim.Run(st, settings[i].p)
+	})
+	if err != nil {
+		return nil, err
 	}
 	row := func(label string, get func(*sim.Result) string) []string {
 		out := []string{label}
@@ -398,8 +467,8 @@ func Table5_5(r *Runner) (*Report, error) {
 // TimingStudy quantifies the §4.3.2.5 EP/LP concurrency claim with the
 // Fig 4.10-4.13 timing model over each trace.
 func TimingStudy(r *Runner) (*Report, error) {
-	rows := make([][]string, 0, len(benchOrder))
-	for _, name := range benchOrder {
+	rows, err := parsweep.Map(len(benchOrder), func(i int) ([]string, error) {
+		name := benchOrder[i]
 		st, err := r.Stream(name)
 		if err != nil {
 			return nil, err
@@ -410,10 +479,13 @@ func TimingStudy(r *Runner) (*Report, error) {
 			return nil, err
 		}
 		t := res.Timing
-		rows = append(rows, []string{
+		return []string{
 			name, d(t.EPClock), d(t.LPBusy), d(t.EPIdle), d(t.Serial),
 			f2(t.Speedup()),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	text := table([]string{"trace", "EP clock", "LP busy", "EP idle", "serial", "speedup"}, rows) +
 		"\n(speedup = serialized time / overlapped EP finish time)\n"

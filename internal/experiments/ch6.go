@@ -7,6 +7,7 @@ import (
 	"repro/internal/benchprogs"
 	"repro/internal/lisp"
 	"repro/internal/multilisp"
+	"repro/internal/parsweep"
 	"repro/internal/sexpr"
 )
 
@@ -84,9 +85,10 @@ func MultilispStudy(r *Runner) (*Report, error) {
 
 // ParallelismStudy runs the §6.2.1.1 implicit-parallelism analysis (the
 // Evlis-style conservative effect analysis) over every benchmark program.
+// Each benchmark gets its own interpreter, so the sweep fans out cleanly.
 func ParallelismStudy(r *Runner) (*Report, error) {
-	rows := make([][]string, 0, len(benchOrderCh3))
-	for _, name := range benchOrderCh3 {
+	rows, err := parsweep.Map(len(benchOrderCh3), func(i int) ([]string, error) {
+		name := benchOrderCh3[i]
 		bm, ok := benchprogs.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
@@ -96,13 +98,16 @@ func ParallelismStudy(r *Runner) (*Report, error) {
 			return nil, err
 		}
 		rep := in.AnalyzeParallelism()
-		rows = append(rows, []string{
+		return []string{
 			name,
 			fmt.Sprintf("%d/%d", rep.PureFns, rep.TotalFns),
 			fmt.Sprint(rep.CallSites),
 			fmt.Sprint(rep.ParallelSites),
 			f1(rep.ParallelizablePct()),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	text := table([]string{"benchmark", "pure fns", "call sites", "parallelisable", "%"}, rows) +
 		"\n(§6.2.1.1: conservative Evlis-style analysis; arguments are forked\n" +

@@ -8,6 +8,7 @@ import (
 	"repro/internal/clark"
 	"repro/internal/heap"
 	"repro/internal/locality"
+	"repro/internal/parsweep"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -87,15 +88,15 @@ func ClarkStudy(r *Runner) (*Report, error) {
 	// about 50% to one of the 10 most recently accessed, and about 80% to
 	// one of the 100 most recently accessed."
 	b.WriteString("\nlist-identifier LRU hit rates (Clark's §3.2.2 dynamic study):\n")
-	rows := [][]string{}
-	for _, name := range benchOrderCh3 {
+	rows, err := parsweep.Map(len(benchOrderCh3), func(i int) ([]string, error) {
+		name := benchOrderCh3[i]
 		st, err := r.Stream(name)
 		if err != nil {
 			return nil, err
 		}
 		var seq []int
-		for i := range st.Refs {
-			rf := &st.Refs[i]
+		for j := range st.Refs {
+			rf := &st.Refs[j]
 			if rf.Kind != trace.RefPrim {
 				continue
 			}
@@ -109,12 +110,15 @@ func ClarkStudy(r *Runner) (*Report, error) {
 			}
 		}
 		prof := locality.LRUStackDistances(seq)
-		rows = append(rows, []string{
+		return []string{
 			name,
 			fmt.Sprintf("%.1f", prof.HitRate(1)),
 			fmt.Sprintf("%.1f", prof.HitRate(10)),
 			fmt.Sprintf("%.1f", prof.HitRate(100)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	b.WriteString(table([]string{"benchmark", "top-1 %", "top-10 %", "top-100 %"}, rows))
 	b.WriteString("(Clark observed roughly 20-30 / ~50 / ~80)\n")

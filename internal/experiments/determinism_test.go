@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/parsweep"
+)
+
+// TestSerialParallelIdentical is the sweep engine's core contract: every
+// experiment must render byte-identical report text whether the engine
+// runs single-threaded or fanned out across many workers. Each mode gets
+// a fresh Runner so no cached trace can mask a divergence.
+func TestSerialParallelIdentical(t *testing.T) {
+	defer parsweep.SetWorkers(0)
+	cfg := Config{Scale: 1, Seeds: 4}
+
+	runAll := func(workers int) map[string]string {
+		t.Helper()
+		parsweep.SetWorkers(workers)
+		r := NewRunner(cfg)
+		out := make(map[string]string)
+		for _, e := range All() {
+			rep, err := e.Run(r)
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, e.ID, err)
+			}
+			out[e.ID] = rep.Title + "\n" + rep.Text
+		}
+		return out
+	}
+
+	serial := runAll(1)
+	parallel := runAll(8)
+
+	for _, e := range All() {
+		if serial[e.ID] != parallel[e.ID] {
+			t.Errorf("%s: serial and parallel report text differ\nserial:\n%s\nparallel:\n%s",
+				e.ID, serial[e.ID], parallel[e.ID])
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/benchprogs"
 	"repro/internal/core"
+	"repro/internal/parsweep"
 	"repro/internal/sim"
 	"repro/internal/smalllisp"
 )
@@ -17,11 +18,11 @@ import (
 // comparison validates the simulator's methodology: hit rates and
 // occupancies should land in the same region.
 func DirectStudy(r *Runner) (*Report, error) {
-	rows := [][]string{}
-	for _, name := range benchOrderCh3 {
+	perName, err := parsweep.Map(len(benchOrderCh3), func(i int) ([]string, error) {
+		name := benchOrderCh3[i]
 		bm, ok := benchprogs.ByName(name)
 		if !ok {
-			continue
+			return nil, nil
 		}
 		m := core.NewMachine(core.Config{LPTSize: 4096})
 		in := smalllisp.New(
@@ -46,12 +47,21 @@ func DirectStudy(r *Runner) (*Report, error) {
 				simPeak = itoa(res.PeakLPT)
 			}
 		}
-		rows = append(rows, []string{
+		return []string{
 			name,
 			f2(directHit), simHit,
 			itoa(m.PeakInUse()), simPeak,
 			d(st.LPT.Refops),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := [][]string{}
+	for _, row := range perName {
+		if row != nil {
+			rows = append(rows, row)
+		}
 	}
 	text := table([]string{"benchmark", "direct hit %", "sim hit %", "direct peak", "sim peak", "direct refops"}, rows) +
 		"\n(direct execution needs no probabilistic argument reconstruction;\n" +

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/benchprogs"
+	"repro/internal/locality"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -46,20 +47,47 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Runner caches traces across experiments.
+// cell is a singleflight slot: the first caller for a key runs the
+// generation inside once; every concurrent caller for the same key blocks
+// on that one generation and shares its result. Parallel experiments
+// therefore never regenerate a trace, stream, or partition twice, and
+// insertion races cannot produce two distinct cached values.
+type cell[T any] struct {
+	once sync.Once
+	v    T
+	err  error
+}
+
+// lookup returns the cell for key, creating it under mu on first use.
+func lookup[T any](mu *sync.Mutex, m map[string]*cell[T], key string) *cell[T] {
+	mu.Lock()
+	c, ok := m[key]
+	if !ok {
+		c = new(cell[T])
+		m[key] = c
+	}
+	mu.Unlock()
+	return c
+}
+
+// Runner caches traces, streams, and default partitions across
+// experiments. All methods are safe for concurrent use by the parallel
+// sweep engine.
 type Runner struct {
-	cfg     Config
-	mu      sync.Mutex
-	traces  map[string]*trace.Trace
-	streams map[string]*trace.Stream
+	cfg        Config
+	mu         sync.Mutex
+	traces     map[string]*cell[*trace.Trace]
+	streams    map[string]*cell[*trace.Stream]
+	partitions map[string]*cell[*locality.Partition]
 }
 
 // NewRunner builds a runner.
 func NewRunner(cfg Config) *Runner {
 	return &Runner{
-		cfg:     cfg.withDefaults(),
-		traces:  make(map[string]*trace.Trace),
-		streams: make(map[string]*trace.Stream),
+		cfg:        cfg.withDefaults(),
+		traces:     make(map[string]*cell[*trace.Trace]),
+		streams:    make(map[string]*cell[*trace.Stream]),
+		partitions: make(map[string]*cell[*locality.Partition]),
 	}
 }
 
@@ -69,42 +97,34 @@ var benchOrder = []string{"lyra", "plagen", "slang", "editor"}
 // benchOrderCh3 includes PEARL, reported in Chapter 3 only.
 var benchOrderCh3 = []string{"slang", "plagen", "lyra", "editor", "pearl"}
 
-// Trace returns (and caches) the named benchmark trace.
+// Trace returns (and caches) the named benchmark trace. Concurrent
+// callers share a single generation.
 func (r *Runner) Trace(name string) (*trace.Trace, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if t, ok := r.traces[name]; ok {
-		return t, nil
-	}
-	b, ok := benchprogs.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
-	}
-	t, err := benchprogs.Trace(b, r.cfg.Scale)
-	if err != nil {
-		return nil, err
-	}
-	r.traces[name] = t
-	return t, nil
+	c := lookup(&r.mu, r.traces, name)
+	c.once.Do(func() {
+		b, ok := benchprogs.ByName(name)
+		if !ok {
+			c.err = fmt.Errorf("experiments: unknown benchmark %q", name)
+			return
+		}
+		c.v, c.err = benchprogs.Trace(b, r.cfg.Scale)
+	})
+	return c.v, c.err
 }
 
 // Stream returns the preprocessed reference stream for a benchmark.
+// Concurrent callers share a single preprocessing pass.
 func (r *Runner) Stream(name string) (*trace.Stream, error) {
-	r.mu.Lock()
-	if st, ok := r.streams[name]; ok {
-		r.mu.Unlock()
-		return st, nil
-	}
-	r.mu.Unlock()
-	t, err := r.Trace(name)
-	if err != nil {
-		return nil, err
-	}
-	st := trace.Preprocess(t)
-	r.mu.Lock()
-	r.streams[name] = st
-	r.mu.Unlock()
-	return st, nil
+	c := lookup(&r.mu, r.streams, name)
+	c.once.Do(func() {
+		t, err := r.Trace(name)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.v = trace.Preprocess(t)
+	})
+	return c.v, c.err
 }
 
 // Experiment names one regenerable artifact.

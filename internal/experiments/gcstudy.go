@@ -7,6 +7,7 @@ import (
 	"repro/internal/clark"
 	"repro/internal/gc"
 	"repro/internal/heap"
+	"repro/internal/parsweep"
 	"repro/internal/sexpr"
 )
 
@@ -36,45 +37,44 @@ func GCStudy(r *Runner) (*Report, error) {
 		steps = append(steps, s)
 	}
 
-	rows := [][]string{}
-
-	// --- per-cell reference counting (unbounded and M3L-bounded) ---
-	for _, bound := range []int32{0, 7} {
-		h := heap.NewTwoPtr(heapSize)
-		rc := gc.NewRefHeap(h)
-		rc.Max = bound
-		var roots []heap.Word
-		var maxCascade, lastReclaimed int64
-		for _, s := range steps {
-			w, err := buildRef(rc, s.build)
-			if err != nil {
-				return nil, err
-			}
-			roots = append(roots, w)
-			if s.drop >= 0 {
-				before := rc.Reclaimed
-				if err := rc.Release(roots[s.drop]); err != nil {
+	// Every scheme replays the same precomputed (read-only) workload on
+	// its own private heap, so the five sections are independent and run
+	// as one parallel sweep; rows come back in scheme order.
+	refcount := func(bound int32) func() ([]string, error) {
+		return func() ([]string, error) {
+			h := heap.NewTwoPtr(heapSize)
+			rc := gc.NewRefHeap(h)
+			rc.Max = bound
+			var roots []heap.Word
+			var maxCascade int64
+			for _, s := range steps {
+				w, err := buildRef(rc, s.build)
+				if err != nil {
 					return nil, err
 				}
-				roots = append(roots[:s.drop], roots[s.drop+1:]...)
-				if d := rc.Reclaimed - before; d > maxCascade {
-					maxCascade = d
+				roots = append(roots, w)
+				if s.drop >= 0 {
+					before := rc.Reclaimed
+					if err := rc.Release(roots[s.drop]); err != nil {
+						return nil, err
+					}
+					roots = append(roots[:s.drop], roots[s.drop+1:]...)
+					if d := rc.Reclaimed - before; d > maxCascade {
+						maxCascade = d
+					}
 				}
 			}
+			name := "refcount"
+			if bound > 0 {
+				name = fmt.Sprintf("refcount(max=%d)", bound)
+			}
+			return []string{
+				name, d(h.Allocs()), d(rc.Reclaimed), d(rc.Refops),
+				fmt.Sprintf("%d cells (cascade)", maxCascade),
+			}, nil
 		}
-		lastReclaimed = rc.Reclaimed
-		name := "refcount"
-		if bound > 0 {
-			name = fmt.Sprintf("refcount(max=%d)", bound)
-		}
-		rows = append(rows, []string{
-			name, d(h.Allocs()), d(lastReclaimed), d(rc.Refops),
-			fmt.Sprintf("%d cells (cascade)", maxCascade),
-		})
 	}
-
-	// --- stop-the-world mark/sweep ---
-	{
+	markSweep := func() ([]string, error) {
 		h := heap.NewTwoPtr(heapSize)
 		var roots []heap.Word
 		var maxPause int
@@ -99,14 +99,12 @@ func GCStudy(r *Runner) (*Report, error) {
 				}
 			}
 		}
-		rows = append(rows, []string{
+		return []string{
 			"mark/sweep", d(h.Allocs()), d(freed), "0",
 			fmt.Sprintf("%d cells (full pause)", maxPause),
-		})
+		}, nil
 	}
-
-	// --- incremental copying (Baker) ---
-	{
+	incremental := func() ([]string, error) {
 		g := gc.NewIncremental(heapSize/2, 6)
 		var rootIdx []int
 		prevReloc := int64(0)
@@ -126,14 +124,12 @@ func GCStudy(r *Runner) (*Report, error) {
 			}
 			prevReloc = g.Relocations
 		}
-		rows = append(rows, []string{
+		return []string{
 			"incremental", "-", d(g.Relocations), "0",
 			fmt.Sprintf("%d relocations/op (flips %d)", maxStep, g.Flips),
-		})
+		}, nil
 	}
-
-	// --- FACOM sub-space counting ---
-	{
+	subspace := func() ([]string, error) {
 		h := gc.NewSubspaceHeap(64, heapSize/64)
 		var roots []heap.Word
 		for i, s := range steps {
@@ -148,10 +144,19 @@ func GCStudy(r *Runner) (*Report, error) {
 				roots = append(roots[:s.drop], roots[s.drop+1:]...)
 			}
 		}
-		rows = append(rows, []string{
+		return []string{
 			"sub-space", "-", d(h.CellsReclaimed), d(h.Refops),
 			fmt.Sprintf("%d sub-spaces freed", h.SubspacesFreed),
-		})
+		}, nil
+	}
+	schemes := []func() ([]string, error){
+		refcount(0), refcount(7), markSweep, incremental, subspace,
+	}
+	rows, err := parsweep.Map(len(schemes), func(i int) ([]string, error) {
+		return schemes[i]()
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	var b strings.Builder

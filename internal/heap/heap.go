@@ -64,6 +64,12 @@ func NewAtoms() *Atoms {
 	return &Atoms{index: make(map[sexpr.Value]int32)}
 }
 
+// Reset empties the table, keeping allocated storage for reuse.
+func (a *Atoms) Reset() {
+	a.vals = a.vals[:0]
+	clear(a.index)
+}
+
 // Intern returns a word denoting the atom v (nil maps to NilWord).
 func (a *Atoms) Intern(v sexpr.Value) Word {
 	if v == nil {

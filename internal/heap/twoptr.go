@@ -30,12 +30,30 @@ const freeEnd = int32(-1)
 
 // NewTwoPtr returns a two-pointer heap with the given number of cells.
 func NewTwoPtr(capacity int) *TwoPtr {
-	h := &TwoPtr{
-		cells: make([]cell, capacity),
-		atoms: NewAtoms(),
-		free:  freeEnd,
-		nFree: capacity,
+	h := &TwoPtr{}
+	h.Reset(capacity)
+	return h
+}
+
+// Reset reinitialises the heap to an empty state with the given capacity,
+// reusing the cell array and atom table storage when their capacities
+// suffice. A reset heap behaves identically to NewTwoPtr(capacity).
+func (h *TwoPtr) Reset(capacity int) {
+	if h.cells != nil && cap(h.cells) >= capacity {
+		h.cells = h.cells[:capacity]
+		clear(h.cells)
+	} else {
+		h.cells = make([]cell, capacity)
 	}
+	if h.atoms == nil {
+		h.atoms = NewAtoms()
+	} else {
+		h.atoms.Reset()
+	}
+	h.free = freeEnd
+	h.nFree = capacity
+	h.touches = 0
+	h.allocs = 0
 	// Thread the free list through the cells in address order, so fresh
 	// allocation walks memory sequentially (this is what makes naive cons
 	// linearize lists well, per Clark's observation in §3.2.1).
@@ -43,7 +61,6 @@ func NewTwoPtr(capacity int) *TwoPtr {
 		h.cells[i].Cdr.Val = h.free
 		h.free = int32(i)
 	}
-	return h
 }
 
 // Atoms exposes the heap's atom table.

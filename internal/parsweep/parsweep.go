@@ -1,0 +1,177 @@
+// Package parsweep is the parallel sweep engine behind the experiment
+// suite. Every regenerated table and figure is an embarrassingly parallel
+// sweep — independent simulation points over table sizes, seeds, cache
+// line widths, or probability knobs — and parsweep fans those points out
+// across a bounded pool of goroutines while keeping the output
+// *deterministic*: results are keyed by point index, so a parallel sweep
+// assembles byte-identical reports to a serial one (each point carries
+// its own fixed seed; no shared mutable state crosses points).
+//
+// The worker budget is global to the process, mirroring the EP/LP
+// overlap theme of Chapter 4: nested sweeps (an experiment sweeping
+// seeds inside `-run all` sweeping experiments) share one pool instead
+// of multiplying goroutines. A sweep always runs on the calling
+// goroutine too, so the engine never deadlocks however deeply sweeps
+// nest: helpers beyond the caller are claimed opportunistically from the
+// shared budget and returned as soon as a sweep drains.
+package parsweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	mu sync.Mutex
+	// workers is the configured budget (callers + helpers), ≥ 1.
+	workers = runtime.GOMAXPROCS(0)
+	// helperTokens holds workers-1 tokens; a sweep claims tokens to spawn
+	// helper goroutines and returns them when each helper finishes.
+	helperTokens = newTokens(workers - 1)
+)
+
+func newTokens(n int) chan struct{} {
+	if n < 0 {
+		n = 0
+	}
+	c := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		c <- struct{}{}
+	}
+	return c
+}
+
+// SetWorkers sets the global worker budget. n <= 0 resets the budget to
+// runtime.GOMAXPROCS(0). n == 1 forces every sweep to run serially on
+// the calling goroutine (the -serial debugging mode).
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	mu.Lock()
+	workers = n
+	helperTokens = newTokens(n - 1)
+	mu.Unlock()
+}
+
+// Workers returns the configured worker budget.
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return workers
+}
+
+// Do runs fn(i) for every i in [0, n), fanning the points out over the
+// worker pool. It returns the error fn produced at the *lowest* failing
+// index — the same error a serial loop would have returned — or nil.
+// After the first observed error no new points are started, but points
+// already claimed run to completion so the lowest-index error is always
+// the one reported.
+func Do(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	mu.Lock()
+	pool := helperTokens
+	mu.Unlock()
+
+	// Claim up to n-1 helper tokens without blocking; whatever the pool
+	// can spare right now bounds this sweep's extra goroutines. The
+	// calling goroutine is always worker zero.
+	helpers := 0
+	for helpers < n-1 {
+		select {
+		case <-pool:
+			helpers++
+			continue
+		default:
+		}
+		break
+	}
+
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errs    []error
+		errOnce sync.Mutex
+	)
+	next.Store(-1)
+	work := func() {
+		for {
+			if failed.Load() {
+				return
+			}
+			i := next.Add(1)
+			if i >= int64(n) {
+				return
+			}
+			if err := fn(int(i)); err != nil {
+				errOnce.Lock()
+				errs = append(errs, indexedErr{int(i), err})
+				errOnce.Unlock()
+				failed.Store(true)
+			}
+		}
+	}
+
+	if helpers == 0 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for k := 0; k < helpers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+				pool <- struct{}{} // hand the token back promptly
+			}()
+		}
+		work()
+		wg.Wait()
+	}
+
+	if !failed.Load() {
+		return nil
+	}
+	// Deterministic error selection: indices are claimed monotonically,
+	// so every index below a failing one was claimed and ran to
+	// completion; the lowest recorded failure is exactly the first error
+	// a serial loop would have hit.
+	var first indexedErr
+	have := false
+	for _, e := range errs {
+		ie := e.(indexedErr)
+		if !have || ie.i < first.i {
+			first, have = ie, true
+		}
+	}
+	return first.err
+}
+
+type indexedErr struct {
+	i   int
+	err error
+}
+
+func (e indexedErr) Error() string { return e.err.Error() }
+func (e indexedErr) Unwrap() error { return e.err }
+
+// Map runs fn(i) for every i in [0, n) over the worker pool and returns
+// the results in index order. On error the (deterministic, lowest-index)
+// error is returned and the results are discarded.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Do(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

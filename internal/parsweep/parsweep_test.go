@@ -1,0 +1,111 @@
+package parsweep
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		SetWorkers(w)
+		out, err := Map(100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", w, i, v)
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestDoEmpty(t *testing.T) {
+	if err := Do(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Map(0, func(int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(0) = %v, %v", out, err)
+	}
+}
+
+// TestLowestIndexError: the parallel engine must report the same error a
+// serial loop would — the one at the lowest failing index.
+func TestLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, w := range []int{1, 4, 16} {
+		SetWorkers(w)
+		for trial := 0; trial < 20; trial++ {
+			err := Do(64, func(i int) error {
+				if i >= 7 {
+					return fmt.Errorf("point %d: %w", i, sentinel)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "point 7: boom" {
+				t.Fatalf("workers=%d: err = %v, want point 7", w, err)
+			}
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("workers=%d: error chain broken: %v", w, err)
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+// TestNestedSweeps: sweeps inside sweeps must complete without deadlock
+// and without exceeding the worker budget.
+func TestNestedSweeps(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	var peak, active atomic.Int64
+	out, err := Map(8, func(i int) (int, error) {
+		inner, err := Map(8, func(j int) (int, error) {
+			n := active.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			defer active.Add(-1)
+			return i*8 + j, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		sum := 0
+		for _, v := range inner {
+			sum += v
+		}
+		return sum, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, v := range out {
+		total += v
+	}
+	if want := 64 * 63 / 2; total != want {
+		t.Fatalf("sum = %d, want %d", total, want)
+	}
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("peak concurrent points %d exceeds worker budget 4", p)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after reset", Workers())
+	}
+}

@@ -22,6 +22,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/clark"
@@ -133,14 +134,26 @@ type frame struct {
 	base   int
 }
 
+// clearReuse empties the frame's index lists while keeping their backing
+// arrays, so re-entering a pooled frame slot allocates nothing.
+func (f *frame) clearReuse(base int) {
+	f.args = f.args[:0]
+	f.locals = f.locals[:0]
+	f.temps = f.temps[:0]
+	f.base = base
+}
+
 // simulator is the run state.
 type simulator struct {
-	p      Params
-	m      *core.Machine
-	model  *clark.Model
-	cache  *cache.Cache
-	stack  []stackItem
-	frames []frame
+	p     Params
+	m     *core.Machine
+	model *clark.Model
+	cache *cache.Cache
+	// cacheBuf keeps the cache allocation alive across pooled runs even
+	// when the current run simulates no cache (cache == nil).
+	cacheBuf *cache.Cache
+	stack    []stackItem
+	frames   []frame
 	// lastResult is the previous primitive's return value for chaining.
 	lastResult stackItem
 	haveLast   bool
@@ -150,30 +163,70 @@ type simulator struct {
 	addrOf map[core.EntryID]int64
 }
 
-// Run replays the stream under p.
-func Run(st *trace.Stream, p Params) (*Result, error) {
-	p = p.withDefaults()
-	s := &simulator{
-		p: p,
-		m: core.NewMachine(core.Config{
-			LPTSize:          p.TableSize,
-			HeapCells:        p.HeapCells,
-			Policy:           p.Policy,
-			Decrement:        p.Decrement,
-			SplitStackCounts: p.SplitStackCounts,
-			FreeList:         p.FreeList,
-			Timing:           p.Timing,
-		}),
-		model:  clark.New(p.Seed),
-		addrOf: make(map[core.EntryID]int64),
+// simPool recycles simulator run state — the machine's LPT and heap
+// arrays, the binding stack, the frame list, and the address map — so
+// that sweeps replaying the same trace thousands of times (knee finding,
+// multi-seed studies) stop exercising the allocator and the GC. Each
+// sim.Run owns one pooled simulator for its whole duration; the pool is
+// what keeps the parallel sweep engine's speedup from being eaten by GC
+// pressure.
+var simPool = sync.Pool{New: func() any { return new(simulator) }}
+
+// reset prepares pooled state for a fresh run under p, reusing every
+// allocation whose capacity suffices. A reset simulator behaves
+// identically to a freshly constructed one.
+func (s *simulator) reset(p Params) {
+	s.p = p
+	cfg := core.Config{
+		LPTSize:          p.TableSize,
+		HeapCells:        p.HeapCells,
+		Policy:           p.Policy,
+		Decrement:        p.Decrement,
+		SplitStackCounts: p.SplitStackCounts,
+		FreeList:         p.FreeList,
+		Timing:           p.Timing,
 	}
+	if s.m == nil {
+		s.m = core.NewMachine(cfg)
+	} else {
+		s.m.Reset(cfg)
+	}
+	if s.model == nil {
+		s.model = clark.New(p.Seed)
+	} else {
+		s.model.Reseed(p.Seed)
+	}
+	s.cache = nil
 	if p.CacheEntries > 0 {
 		lines := p.CacheEntries / p.CacheLineSize
 		if lines < 1 {
 			lines = 1
 		}
-		s.cache = cache.New(lines, p.CacheLineSize)
+		if s.cacheBuf == nil {
+			s.cacheBuf = cache.New(lines, p.CacheLineSize)
+		} else {
+			s.cacheBuf.Reset(lines, p.CacheLineSize)
+		}
+		s.cache = s.cacheBuf
 	}
+	s.stack = s.stack[:0]
+	s.frames = s.frames[:0]
+	s.lastResult = stackItem{}
+	s.haveLast = false
+	s.nextAddr = 0
+	if s.addrOf == nil {
+		s.addrOf = make(map[core.EntryID]int64)
+	} else {
+		clear(s.addrOf)
+	}
+}
+
+// Run replays the stream under p.
+func Run(st *trace.Stream, p Params) (*Result, error) {
+	p = p.withDefaults()
+	s := simPool.Get().(*simulator)
+	defer simPool.Put(s)
+	s.reset(p)
 	// Top-level frame with a few global list bindings, so non-local
 	// selection has material from the start.
 	s.pushFrame(0)
@@ -219,7 +272,15 @@ func Run(st *trace.Stream, p Params) (*Result, error) {
 }
 
 func (s *simulator) pushFrame(nargs int) {
-	s.frames = append(s.frames, frame{base: len(s.stack)})
+	// Reuse a previously popped frame slot (and its index-list storage)
+	// when the backing array still has room: function enter/exit is the
+	// hottest pair in the replay loop.
+	if len(s.frames) < cap(s.frames) {
+		s.frames = s.frames[:len(s.frames)+1]
+		s.frames[len(s.frames)-1].clearReuse(len(s.stack))
+	} else {
+		s.frames = append(s.frames, frame{base: len(s.stack)})
+	}
 	_ = nargs
 }
 
