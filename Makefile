@@ -1,9 +1,12 @@
 GO ?= go
 
-.PHONY: build test race verify bench bench-parsweep
+.PHONY: build vet test race smoke-serve verify bench bench-parsweep
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
@@ -13,7 +16,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-verify: build test race
+# End-to-end check of the smalld daemon: build, serve on a random port,
+# exercise sessions/sim/metrics with curl, drain on SIGTERM.
+smoke-serve:
+	sh scripts/smoke_serve.sh
+
+verify: build vet test race smoke-serve
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -1,0 +1,93 @@
+// Command smalld serves the SMALL machine over HTTP: stateful Lisp
+// sessions (plain interpreter or direct execution on a core.Machine) and
+// stateless Chapter-5 simulation/experiment jobs, with a bounded
+// admission queue, explicit backpressure, and Prometheus metrics.
+//
+//	smalld                      # listen on :8344
+//	smalld -addr 127.0.0.1:0    # random port (printed on stdout)
+//	smalld -queue 16 -workers 4 # tighter admission + execution bounds
+//
+// A quick conversation:
+//
+//	curl -s localhost:8344/v1/sessions -d '{"backend":"small"}'
+//	curl -s localhost:8344/v1/sessions/s1/eval -d '{"expr":"(car (quote (a b)))"}'
+//	curl -s localhost:8344/v1/sim -d '{"trace":"slang","point":{"table_size":256}}'
+//	curl -s localhost:8344/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/parsweep"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address (host:0 picks a random port)")
+	queueDepth := flag.Int("queue", 64, "admission queue depth (full queue answers 429)")
+	workers := flag.Int("workers", 0, "execution workers (default GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request execution deadline")
+	sessionTTL := flag.Duration("session-ttl", 10*time.Minute, "idle session expiry")
+	maxSessions := flag.Int("max-sessions", 1024, "live session ceiling")
+	sweepWorkers := flag.Int("sweep-workers", 0, "parsweep helper budget (default GOMAXPROCS)")
+	flag.Parse()
+
+	if *sweepWorkers > 0 {
+		parsweep.SetWorkers(*sweepWorkers)
+	}
+
+	svc := server.New(server.Config{
+		QueueDepth:     *queueDepth,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smalld: %v\n", err)
+		os.Exit(1)
+	}
+	// Print the resolved address first so scripts using -addr :0 can
+	// discover the port.
+	fmt.Printf("smalld: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		<-sig
+		fmt.Println("smalld: draining")
+		// Stop accepting, let in-flight handlers finish, then drain the
+		// worker queue.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "smalld: shutdown: %v\n", err)
+		}
+		svc.Shutdown()
+	}()
+
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "smalld: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+	fmt.Println("smalld: stopped")
+}

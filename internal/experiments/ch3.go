@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"repro/internal/locality"
-	"repro/internal/parsweep"
 	"repro/internal/trace"
 )
 
@@ -13,7 +12,7 @@ import (
 // functions: the percentage of all traced calls that are car, cdr, and
 // cons per benchmark.
 func Fig3_1(r *Runner) (*Report, error) {
-	rows, err := parsweep.Map(len(benchOrderCh3), func(i int) ([]string, error) {
+	rows, err := pmap(r, len(benchOrderCh3), func(i int) ([]string, error) {
 		name := benchOrderCh3[i]
 		t, err := r.Trace(name)
 		if err != nil {
@@ -40,7 +39,7 @@ func Fig3_1(r *Runner) (*Report, error) {
 
 // Table3_1 regenerates the average n and p per benchmark.
 func Table3_1(r *Runner) (*Report, error) {
-	rows, err := parsweep.Map(len(benchOrderCh3), func(i int) ([]string, error) {
+	rows, err := pmap(r, len(benchOrderCh3), func(i int) ([]string, error) {
 		name := benchOrderCh3[i]
 		t, err := r.Trace(name)
 		if err != nil {
@@ -61,7 +60,7 @@ func Table3_1(r *Runner) (*Report, error) {
 
 // Fig3_3 regenerates the distributions of n and p over lists.
 func Fig3_3(r *Runner) (*Report, error) {
-	sections, err := parsweep.Map(len(benchOrderCh3), func(i int) (string, error) {
+	sections, err := pmap(r, len(benchOrderCh3), func(i int) (string, error) {
 		name := benchOrderCh3[i]
 		t, err := r.Trace(name)
 		if err != nil {
@@ -128,7 +127,7 @@ func (r *Runner) partition(name string) (*locality.Partition, error) {
 // Fig3_4 regenerates the distribution of lists over list sets: cumulative
 // % of references vs number of (largest-first) list sets.
 func Fig3_4(r *Runner) (*Report, error) {
-	sections, err := parsweep.Map(len(benchOrderCh3), func(i int) (string, error) {
+	sections, err := pmap(r, len(benchOrderCh3), func(i int) (string, error) {
 		name := benchOrderCh3[i]
 		p, err := r.partition(name)
 		if err != nil {
@@ -154,7 +153,7 @@ func Fig3_4(r *Runner) (*Report, error) {
 
 // Fig3_5 regenerates the list-set lifetime distribution over sets.
 func Fig3_5(r *Runner) (*Report, error) {
-	sections, err := parsweep.Map(len(benchOrderCh3), func(i int) (string, error) {
+	sections, err := pmap(r, len(benchOrderCh3), func(i int) (string, error) {
 		name := benchOrderCh3[i]
 		p, err := r.partition(name)
 		if err != nil {
@@ -179,7 +178,7 @@ func Fig3_5(r *Runner) (*Report, error) {
 
 // Fig3_6 regenerates the lifetime distribution weighted by references.
 func Fig3_6(r *Runner) (*Report, error) {
-	sections, err := parsweep.Map(len(benchOrderCh3), func(i int) (string, error) {
+	sections, err := pmap(r, len(benchOrderCh3), func(i int) (string, error) {
 		name := benchOrderCh3[i]
 		p, err := r.partition(name)
 		if err != nil {
@@ -205,7 +204,7 @@ func Fig3_6(r *Runner) (*Report, error) {
 
 // Fig3_7 regenerates the LRU stack distance profile over list sets.
 func Fig3_7(r *Runner) (*Report, error) {
-	rows, err := parsweep.Map(len(benchOrderCh3), func(i int) ([]string, error) {
+	rows, err := pmap(r, len(benchOrderCh3), func(i int) ([]string, error) {
 		name := benchOrderCh3[i]
 		p, err := r.partition(name)
 		if err != nil {
@@ -233,7 +232,7 @@ func Fig3_7(r *Runner) (*Report, error) {
 
 // Table3_2 regenerates the primitive chaining percentages.
 func Table3_2(r *Runner) (*Report, error) {
-	rows, err := parsweep.Map(len(benchOrderCh3), func(i int) ([]string, error) {
+	rows, err := pmap(r, len(benchOrderCh3), func(i int) ([]string, error) {
 		name := benchOrderCh3[i]
 		st, err := r.Stream(name)
 		if err != nil {
@@ -261,7 +260,7 @@ func Fig3_8to10(r *Runner) (*Report, error) {
 		return nil, err
 	}
 	seps := []float64{0.05, 0.10, 0.25, 0.50, 1.00}
-	rows, err := parsweep.Map(len(seps), func(i int) ([]string, error) {
+	rows, err := pmap(r, len(seps), func(i int) ([]string, error) {
 		sep := seps[i]
 		p := locality.PartitionStream(st, sep)
 		return []string{
@@ -289,7 +288,7 @@ func Fig3_8to10(r *Runner) (*Report, error) {
 // benchmark row runs two partitionings, so the per-name sweep dominates.
 func Fig3_11to13(r *Runner) (*Report, error) {
 	// Find the shortest trace among the four Chapter 5 benchmarks.
-	lengths, err := parsweep.Map(len(benchOrder), func(i int) (int, error) {
+	lengths, err := pmap(r, len(benchOrder), func(i int) (int, error) {
 		st, err := r.Stream(benchOrder[i])
 		if err != nil {
 			return 0, err
@@ -315,7 +314,7 @@ func Fig3_11to13(r *Runner) (*Report, error) {
 	if window < 1 {
 		window = 1
 	}
-	rows, err := parsweep.Map(len(benchOrder), func(i int) ([]string, error) {
+	rows, err := pmap(r, len(benchOrder), func(i int) ([]string, error) {
 		name := benchOrder[i]
 		st, err := r.Stream(name)
 		if err != nil {

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/parsweep"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -13,7 +12,7 @@ import (
 
 // Table5_1 regenerates the content summary of the four simulation traces.
 func Table5_1(r *Runner) (*Report, error) {
-	rows, err := parsweep.Map(len(benchOrder), func(i int) ([]string, error) {
+	rows, err := pmap(r, len(benchOrder), func(i int) ([]string, error) {
 		name := benchOrder[i]
 		t, err := r.Trace(name)
 		if err != nil {
@@ -52,7 +51,7 @@ func (r *Runner) knee(name string, seed int64) (int, error) {
 // table size, showing the slope-1 segment and the knee. The per-benchmark
 // sections run in parallel, and each section fans its size sweep out too.
 func Fig5_1(r *Runner) (*Report, error) {
-	sections, err := parsweep.Map(len(benchOrder), func(bi int) (string, error) {
+	sections, err := pmap(r, len(benchOrder), func(bi int) (string, error) {
 		name := benchOrder[bi]
 		st, err := r.Stream(name)
 		if err != nil {
@@ -68,7 +67,7 @@ func Fig5_1(r *Runner) (*Report, error) {
 				sizes = append(sizes, size)
 			}
 		}
-		rows, err := parsweep.Map(len(sizes), func(si int) ([]string, error) {
+		rows, err := pmap(r, len(sizes), func(si int) ([]string, error) {
 			size := sizes[si]
 			res, err := sim.Run(st, sim.Params{TableSize: size, Seed: 1})
 			if err != nil {
@@ -107,9 +106,9 @@ func Fig5_1(r *Runner) (*Report, error) {
 // Fig5_2 regenerates the maximum-occupancy intervals over many seeds —
 // the suite's widest sweep (benchmarks × seeds independent simulations).
 func Fig5_2(r *Runner) (*Report, error) {
-	rows, err := parsweep.Map(len(benchOrder), func(bi int) ([]string, error) {
+	rows, err := pmap(r, len(benchOrder), func(bi int) ([]string, error) {
 		name := benchOrder[bi]
-		knees, err := parsweep.Map(r.cfg.Seeds, func(seed int) (float64, error) {
+		knees, err := pmap(r, r.cfg.Seeds, func(seed int) (float64, error) {
 			k, err := r.knee(name, int64(seed))
 			return float64(k), err
 		})
@@ -138,7 +137,7 @@ func Fig5_2(r *Runner) (*Report, error) {
 // overflow compression policies.
 func Fig5_3(r *Runner) (*Report, error) {
 	names := []string{"slang", "editor"} // the two the thesis plots
-	sections, err := parsweep.Map(len(names), func(ni int) (string, error) {
+	sections, err := pmap(r, len(names), func(ni int) (string, error) {
 		name := names[ni]
 		st, err := r.Stream(name)
 		if err != nil {
@@ -154,7 +153,7 @@ func Fig5_3(r *Runner) (*Report, error) {
 				sizes = append(sizes, size)
 			}
 		}
-		rows, err := parsweep.Map(len(sizes), func(si int) ([]string, error) {
+		rows, err := pmap(r, len(sizes), func(si int) ([]string, error) {
 			size := sizes[si]
 			one, err := sim.Run(st, sim.Params{TableSize: size, Seed: 2, Policy: core.CompressOne})
 			if err != nil {
@@ -194,7 +193,7 @@ func Fig5_3(r *Runner) (*Report, error) {
 // Table5_2 regenerates the LPT activity counters, including the RecRefops
 // column measured under the recursive decrement policy.
 func Table5_2(r *Runner) (*Report, error) {
-	rows, err := parsweep.Map(len(benchOrder), func(i int) ([]string, error) {
+	rows, err := pmap(r, len(benchOrder), func(i int) ([]string, error) {
 		name := benchOrder[i]
 		st, err := r.Stream(name)
 		if err != nil {
@@ -226,7 +225,7 @@ func Table5_2(r *Runner) (*Report, error) {
 // Table5_3 regenerates the split reference count evaluation: EP–LP count
 // traffic before (Then) and after (Now) moving stack counts into the EP.
 func Table5_3(r *Runner) (*Report, error) {
-	rows, err := parsweep.Map(len(benchOrder), func(i int) ([]string, error) {
+	rows, err := pmap(r, len(benchOrder), func(i int) ([]string, error) {
 		name := benchOrder[i]
 		st, err := r.Stream(name)
 		if err != nil {
@@ -262,7 +261,7 @@ func Table5_3(r *Runner) (*Report, error) {
 // which parallel sweep finishes first.
 func Table5_4(r *Runner) (*Report, error) {
 	fracs := []float64{0.6, 0.8, 1.1}
-	perName, err := parsweep.Map(len(benchOrder), func(bi int) ([][]string, error) {
+	perName, err := pmap(r, len(benchOrder), func(bi int) ([][]string, error) {
 		name := benchOrder[bi]
 		st, err := r.Stream(name)
 		if err != nil {
@@ -272,7 +271,7 @@ func Table5_4(r *Runner) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		return parsweep.Map(len(fracs), func(fi int) ([]string, error) {
+		return pmap(r, len(fracs), func(fi int) ([]string, error) {
 			size := int(fracs[fi] * float64(knee))
 			if size < 8 {
 				size = 8
@@ -323,7 +322,7 @@ func Fig5_4(r *Runner) (*Report, error) {
 			sizes = append(sizes, size)
 		}
 	}
-	rows, err := parsweep.Map(len(sizes), func(si int) ([]string, error) {
+	rows, err := pmap(r, len(sizes), func(si int) ([]string, error) {
 		size := sizes[si]
 		res, err := sim.Run(st, sim.Params{
 			TableSize: size, Seed: 6,
@@ -354,7 +353,7 @@ func Fig5_4(r *Runner) (*Report, error) {
 func Fig5_5(r *Runner) (*Report, error) {
 	names := []string{"lyra", "slang", "editor"}
 	lines := []int{1, 2, 4, 8, 16}
-	sections, err := parsweep.Map(len(names), func(ni int) (string, error) {
+	sections, err := pmap(r, len(names), func(ni int) (string, error) {
 		name := names[ni]
 		st, err := r.Stream(name)
 		if err != nil {
@@ -365,12 +364,12 @@ func Fig5_5(r *Runner) (*Report, error) {
 			return "", err
 		}
 		fracs := []float64{0.5, 1.0}
-		rows, err := parsweep.Map(len(fracs), func(fi int) ([]string, error) {
+		rows, err := pmap(r, len(fracs), func(fi int) ([]string, error) {
 			lptSize := int(fracs[fi] * float64(knee))
 			if lptSize < 8 {
 				lptSize = 8
 			}
-			ratios, err := parsweep.Map(len(lines), func(li int) (string, error) {
+			ratios, err := pmap(r, len(lines), func(li int) (string, error) {
 				res, err := sim.Run(st, sim.Params{
 					TableSize: lptSize, Seed: 7,
 					CacheEntries: 2 * lptSize, CacheLineSize: lines[li],
@@ -436,7 +435,7 @@ func Table5_5(r *Runner) (*Report, error) {
 	for _, s := range settings {
 		header = append(header, s.name)
 	}
-	results, err := parsweep.Map(len(settings), func(i int) (*sim.Result, error) {
+	results, err := pmap(r, len(settings), func(i int) (*sim.Result, error) {
 		return sim.Run(st, settings[i].p)
 	})
 	if err != nil {
@@ -467,7 +466,7 @@ func Table5_5(r *Runner) (*Report, error) {
 // TimingStudy quantifies the §4.3.2.5 EP/LP concurrency claim with the
 // Fig 4.10-4.13 timing model over each trace.
 func TimingStudy(r *Runner) (*Report, error) {
-	rows, err := parsweep.Map(len(benchOrder), func(i int) ([]string, error) {
+	rows, err := pmap(r, len(benchOrder), func(i int) ([]string, error) {
 		name := benchOrder[i]
 		st, err := r.Stream(name)
 		if err != nil {

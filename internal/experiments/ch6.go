@@ -7,7 +7,6 @@ import (
 	"repro/internal/benchprogs"
 	"repro/internal/lisp"
 	"repro/internal/multilisp"
-	"repro/internal/parsweep"
 	"repro/internal/sexpr"
 )
 
@@ -87,7 +86,7 @@ func MultilispStudy(r *Runner) (*Report, error) {
 // Evlis-style conservative effect analysis) over every benchmark program.
 // Each benchmark gets its own interpreter, so the sweep fans out cleanly.
 func ParallelismStudy(r *Runner) (*Report, error) {
-	rows, err := parsweep.Map(len(benchOrderCh3), func(i int) ([]string, error) {
+	rows, err := pmap(r, len(benchOrderCh3), func(i int) ([]string, error) {
 		name := benchOrderCh3[i]
 		bm, ok := benchprogs.ByName(name)
 		if !ok {

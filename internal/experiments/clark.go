@@ -8,7 +8,6 @@ import (
 	"repro/internal/clark"
 	"repro/internal/heap"
 	"repro/internal/locality"
-	"repro/internal/parsweep"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -88,7 +87,7 @@ func ClarkStudy(r *Runner) (*Report, error) {
 	// about 50% to one of the 10 most recently accessed, and about 80% to
 	// one of the 100 most recently accessed."
 	b.WriteString("\nlist-identifier LRU hit rates (Clark's §3.2.2 dynamic study):\n")
-	rows, err := parsweep.Map(len(benchOrderCh3), func(i int) ([]string, error) {
+	rows, err := pmap(r, len(benchOrderCh3), func(i int) ([]string, error) {
 		name := benchOrderCh3[i]
 		st, err := r.Stream(name)
 		if err != nil {

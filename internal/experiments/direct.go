@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/benchprogs"
 	"repro/internal/core"
-	"repro/internal/parsweep"
 	"repro/internal/sim"
 	"repro/internal/smalllisp"
 )
@@ -18,7 +17,7 @@ import (
 // comparison validates the simulator's methodology: hit rates and
 // occupancies should land in the same region.
 func DirectStudy(r *Runner) (*Report, error) {
-	perName, err := parsweep.Map(len(benchOrderCh3), func(i int) ([]string, error) {
+	perName, err := pmap(r, len(benchOrderCh3), func(i int) ([]string, error) {
 		name := benchOrderCh3[i]
 		bm, ok := benchprogs.ByName(name)
 		if !ok {

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/benchprogs"
 	"repro/internal/locality"
+	"repro/internal/parsweep"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -75,20 +77,44 @@ func lookup[T any](mu *sync.Mutex, m map[string]*cell[T], key string) *cell[T] {
 // sweep engine.
 type Runner struct {
 	cfg        Config
+	ctx        context.Context
 	mu         sync.Mutex
 	traces     map[string]*cell[*trace.Trace]
 	streams    map[string]*cell[*trace.Stream]
 	partitions map[string]*cell[*locality.Partition]
 }
 
-// NewRunner builds a runner.
+// NewRunner builds a runner whose sweeps run to completion.
 func NewRunner(cfg Config) *Runner {
+	return NewRunnerCtx(context.Background(), cfg)
+}
+
+// NewRunnerCtx builds a runner bound to ctx: every sweep an experiment
+// fans out through the runner stops claiming points once ctx is done, so
+// a cancelled caller (an abandoned smalld request, a timed-out job) gives
+// its workers back within one point's runtime instead of running the
+// sweep to completion.
+func NewRunnerCtx(ctx context.Context, cfg Config) *Runner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &Runner{
 		cfg:        cfg.withDefaults(),
+		ctx:        ctx,
 		traces:     make(map[string]*cell[*trace.Trace]),
 		streams:    make(map[string]*cell[*trace.Stream]),
 		partitions: make(map[string]*cell[*locality.Partition]),
 	}
+}
+
+// Context returns the runner's cancellation context.
+func (r *Runner) Context() context.Context { return r.ctx }
+
+// pmap fans a sweep out through the shared engine under the runner's
+// context; every experiment's point loop goes through here so that
+// cancelling the runner cancels its sweeps.
+func pmap[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
+	return parsweep.MapCtx(r.ctx, n, fn)
 }
 
 // benchOrder is the reporting order used throughout Chapter 5.

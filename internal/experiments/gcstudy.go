@@ -7,7 +7,6 @@ import (
 	"repro/internal/clark"
 	"repro/internal/gc"
 	"repro/internal/heap"
-	"repro/internal/parsweep"
 	"repro/internal/sexpr"
 )
 
@@ -152,7 +151,7 @@ func GCStudy(r *Runner) (*Report, error) {
 	schemes := []func() ([]string, error){
 		refcount(0), refcount(7), markSweep, incremental, subspace,
 	}
-	rows, err := parsweep.Map(len(schemes), func(i int) ([]string, error) {
+	rows, err := pmap(r, len(schemes), func(i int) ([]string, error) {
 		return schemes[i]()
 	})
 	if err != nil {

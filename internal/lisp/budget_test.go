@@ -1,0 +1,66 @@
+package lisp
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// loopForever is a hostile session expression: prog spinning on (go).
+const loopForever = "(prog (i) (setq i 0) loop (setq i (add1 i)) (go loop))"
+
+// TestStepBudgetTerminatesLoop: a looping expression must come back with
+// ErrStepLimit instead of wedging the evaluator.
+func TestStepBudgetTerminatesLoop(t *testing.T) {
+	in := New(WithStepLimit(10_000))
+	_, err := in.Run(loopForever)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+// TestBudgetResetPerRequest: a session host grants each request a fresh
+// window via ResetSteps; without the reset the cumulative counter would
+// exhaust the budget across requests.
+func TestBudgetResetPerRequest(t *testing.T) {
+	in := New(WithStepLimit(5_000))
+	for req := 0; req < 10; req++ {
+		in.ResetSteps()
+		if _, err := in.Run("(length '(a b c d e))"); err != nil {
+			t.Fatalf("request %d: %v", req, err)
+		}
+		if s := in.Steps(); s <= 0 || s > 5_000 {
+			t.Fatalf("request %d: steps = %d", req, s)
+		}
+	}
+	// The interpreter must stay usable after a budget hit.
+	in.SetStepLimit(1_000)
+	in.ResetSteps()
+	if _, err := in.Run(loopForever); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+	in.SetStepLimit(100_000)
+	in.ResetSteps()
+	if v, err := in.Run("(add1 41)"); err != nil || Format(v) != "42" {
+		t.Fatalf("after budget hit: %v, %v", v, err)
+	}
+}
+
+// TestEvalCancellation: a cancelled context unwinds a running loop with
+// a context error.
+func TestEvalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := New(WithStepLimit(1 << 40))
+	in.SetContext(ctx)
+	_, err := in.Run(loopForever)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Detach and confirm normal evaluation resumes.
+	in.SetContext(nil)
+	in.ResetSteps()
+	if _, err := in.Run("(car '(a))"); err != nil {
+		t.Fatalf("after detach: %v", err)
+	}
+}

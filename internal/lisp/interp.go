@@ -1,6 +1,7 @@
 package lisp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -70,6 +71,8 @@ type Interp struct {
 	input   []sexpr.Value // queue consumed by (read)
 	steps   int64
 	maxStep int64
+	ctxDone <-chan struct{}
+	ctxErr  func() error
 	specs   map[sexpr.Symbol]specialForm
 	prims   map[sexpr.Symbol]primitive
 }
@@ -111,6 +114,35 @@ func New(opts ...Option) *Interp {
 // Env exposes the interpreter's environment (for tests and stats).
 func (in *Interp) Env() Env { return in.env }
 
+// SetStepLimit adjusts the evaluation budget of a live interpreter
+// (n <= 0 means unlimited). Long-lived session hosts combine this with
+// ResetSteps to grant each request its own budget.
+func (in *Interp) SetStepLimit(n int64) {
+	if n <= 0 {
+		n = 1<<63 - 1
+	}
+	in.maxStep = n
+}
+
+// ResetSteps zeroes the step counter, starting a fresh budget window.
+func (in *Interp) ResetSteps() { in.steps = 0 }
+
+// Steps returns the number of evaluation steps taken since the last
+// ResetSteps (or construction).
+func (in *Interp) Steps() int64 { return in.steps }
+
+// SetContext installs a cancellation context, polled every 1024 steps in
+// the eval loop: when ctx is done, evaluation unwinds with ctx.Err().
+// Pass nil to detach. The interpreter holds only the Done channel, so a
+// per-request context must be re-installed on each use.
+func (in *Interp) SetContext(ctx context.Context) {
+	if ctx == nil {
+		in.ctxDone, in.ctxErr = nil, nil
+		return
+	}
+	in.ctxDone, in.ctxErr = ctx.Done(), ctx.Err
+}
+
 // SetInput queues values for (read) to return in order.
 func (in *Interp) SetInput(vs []sexpr.Value) { in.input = vs }
 
@@ -148,6 +180,13 @@ func (in *Interp) Eval(form sexpr.Value) (sexpr.Value, error) {
 	in.steps++
 	if in.steps > in.maxStep {
 		return nil, ErrStepLimit
+	}
+	if in.ctxDone != nil && in.steps&1023 == 0 {
+		select {
+		case <-in.ctxDone:
+			return nil, fmt.Errorf("lisp: evaluation cancelled: %w", in.ctxErr())
+		default:
+		}
 	}
 	switch f := form.(type) {
 	case nil:

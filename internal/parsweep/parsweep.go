@@ -17,6 +17,7 @@
 package parsweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -69,8 +70,18 @@ func Workers() int {
 // already claimed run to completion so the lowest-index error is always
 // the one reported.
 func Do(n int, fn func(i int) error) error {
+	return DoCtx(context.Background(), n, fn)
+}
+
+// DoCtx is Do under a cancellation context: once ctx is done no new
+// points are started, points already claimed run to completion, and the
+// sweep returns ctx.Err(). A sweep abandoned mid-way therefore stops
+// within one point's runtime per worker instead of running every
+// remaining point. Errors produced by fn before cancellation still win:
+// the deterministic lowest-index fn error is preferred over ctx.Err().
+func DoCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	mu.Lock()
 	pool := helperTokens
@@ -97,10 +108,18 @@ func Do(n int, fn func(i int) error) error {
 		errOnce sync.Mutex
 	)
 	next.Store(-1)
+	done := ctx.Done()
 	work := func() {
 		for {
 			if failed.Load() {
 				return
+			}
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
 			}
 			i := next.Add(1)
 			if i >= int64(n) {
@@ -132,7 +151,7 @@ func Do(n int, fn func(i int) error) error {
 	}
 
 	if !failed.Load() {
-		return nil
+		return ctx.Err()
 	}
 	// Deterministic error selection: indices are claimed monotonically,
 	// so every index below a failing one was claimed and ran to
@@ -161,8 +180,13 @@ func (e indexedErr) Unwrap() error { return e.err }
 // the results in index order. On error the (deterministic, lowest-index)
 // error is returned and the results are discarded.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, fn)
+}
+
+// MapCtx is Map under a cancellation context (see DoCtx).
+func MapCtx[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := Do(n, func(i int) error {
+	err := DoCtx(ctx, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

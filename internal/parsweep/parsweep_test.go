@@ -1,6 +1,7 @@
 package parsweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -96,6 +97,66 @@ func TestNestedSweeps(t *testing.T) {
 	}
 	if p := peak.Load(); p > 4 {
 		t.Fatalf("peak concurrent points %d exceeds worker budget 4", p)
+	}
+}
+
+// TestDoCtxCancel: once the context is cancelled no further points may
+// start; the sweep returns ctx.Err().
+func TestDoCtxCancel(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := DoCtx(ctx, 1000, func(i int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", w, err)
+		}
+		// Points already claimed when cancel hit may finish, but the
+		// sweep must stop far short of the full range.
+		if n := ran.Load(); n >= 1000 {
+			t.Fatalf("workers=%d: sweep ran all %d points after cancel", w, n)
+		}
+		cancel()
+	}
+	SetWorkers(0)
+}
+
+// TestDoCtxErrorBeatsCancel: a fn error observed before cancellation is
+// still reported in preference to ctx.Err().
+func TestDoCtxErrorBeatsCancel(t *testing.T) {
+	SetWorkers(2)
+	defer SetWorkers(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sentinel := errors.New("boom")
+	err := DoCtx(ctx, 8, func(i int) error {
+		if i == 2 {
+			cancel()
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+// TestMapCtxDone: a context cancelled before the sweep starts runs no
+// points at all.
+func TestMapCtxDone(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapCtx(ctx, 50, func(i int) (int, error) {
+		t.Error("point ran under a dead context")
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
 	}
 }
 

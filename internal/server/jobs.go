@@ -1,0 +1,263 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/benchprogs"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/parsweep"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// SimPoint is one simulation point of a /v1/sim job: the Chapter 5
+// parameters of a single sim.Run. Zero values take thesis defaults.
+type SimPoint struct {
+	TableSize int    `json:"table_size,omitempty"`
+	HeapCells int    `json:"heap_cells,omitempty"`
+	Policy    string `json:"policy,omitempty"`    // "one" (default) or "all"
+	Decrement string `json:"decrement,omitempty"` // "lazy" (default) or "recursive"
+	Split     bool   `json:"split,omitempty"`     // split stack reference counts
+	Seed      int64  `json:"seed,omitempty"`
+
+	ArgProb  float64 `json:"arg_prob,omitempty"`
+	LocProb  float64 `json:"loc_prob,omitempty"`
+	BindProb float64 `json:"bind_prob,omitempty"`
+	ReadProb float64 `json:"read_prob,omitempty"`
+
+	CacheEntries  int  `json:"cache_entries,omitempty"`
+	CacheLineSize int  `json:"line_size,omitempty"`
+	Timing        bool `json:"timing,omitempty"`
+}
+
+// params converts the wire point into sim.Params.
+func (p SimPoint) params() (sim.Params, error) {
+	sp := sim.Params{
+		TableSize: p.TableSize,
+		HeapCells: p.HeapCells,
+		Seed:      p.Seed,
+		ArgProb:   p.ArgProb, LocProb: p.LocProb,
+		BindProb: p.BindProb, ReadProb: p.ReadProb,
+		SplitStackCounts: p.Split,
+		CacheEntries:     p.CacheEntries,
+		CacheLineSize:    p.CacheLineSize,
+	}
+	switch p.Policy {
+	case "", "one":
+	case "all":
+		sp.Policy = core.CompressAll
+	default:
+		return sp, fmt.Errorf("unknown policy %q (want \"one\" or \"all\")", p.Policy)
+	}
+	switch p.Decrement {
+	case "", "lazy":
+	case "recursive":
+		sp.Decrement = core.RecursiveDecrement
+	default:
+		return sp, fmt.Errorf("unknown decrement %q (want \"lazy\" or \"recursive\")", p.Decrement)
+	}
+	if p.Timing {
+		tp := core.DefaultTiming()
+		sp.Timing = &tp
+	}
+	return sp, nil
+}
+
+// SimRequest is a stateless simulation job: a trace source plus one or
+// more points. Points fan out through the shared parsweep engine, so a
+// multi-point job parallelises like any experiment sweep and dies with
+// the request's context.
+type SimRequest struct {
+	// Trace names a built-in benchmark (slang, plagen, lyra, editor,
+	// pearl); TraceText supplies a raw trace file instead.
+	Trace     string `json:"trace,omitempty"`
+	TraceText string `json:"trace_text,omitempty"`
+	Scale     int    `json:"scale,omitempty"` // benchmark trace scale (default 2)
+
+	// Point holds single-job parameters; Points, when non-empty, wins and
+	// makes this a multi-point sweep.
+	Point  SimPoint   `json:"point,omitempty"`
+	Points []SimPoint `json:"points,omitempty"`
+}
+
+// SimResult is the wire form of one point's outcome.
+type SimResult struct {
+	Events     int     `json:"events"`
+	PeakLPT    int     `json:"peak_lpt"`
+	AvgLPT     float64 `json:"avg_lpt"`
+	LPTHits    int64   `json:"lpt_hits"`
+	LPTMisses  int64   `json:"lpt_misses"`
+	LPTHitRate float64 `json:"lpt_hit_rate"`
+	Refops     int64   `json:"refops"`
+	Gets       int64   `json:"gets"`
+	Frees      int64   `json:"frees"`
+	Overflowed bool    `json:"overflowed,omitempty"`
+
+	CacheHits    int64   `json:"cache_hits,omitempty"`
+	CacheMisses  int64   `json:"cache_misses,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+
+	EPLPMessages int64 `json:"ep_lp_messages,omitempty"`
+
+	Speedup float64 `json:"speedup,omitempty"` // timing model only
+}
+
+// SimResponse answers a /v1/sim job.
+type SimResponse struct {
+	Trace   string      `json:"trace"`
+	Events  int         `json:"trace_events"`
+	Results []SimResult `json:"results"`
+}
+
+func wireResult(r *sim.Result) SimResult {
+	out := SimResult{
+		Events:     r.Events,
+		PeakLPT:    r.PeakLPT,
+		AvgLPT:     r.AvgLPT,
+		LPTHits:    r.LPTHits,
+		LPTMisses:  r.LPTMisses,
+		LPTHitRate: r.LPTHitRate(),
+		Refops:     r.Machine.LPT.Refops,
+		Gets:       r.Machine.LPT.Gets,
+		Frees:      r.Machine.LPT.Frees,
+		Overflowed: r.TrueOverflowed,
+	}
+	if r.CacheHits+r.CacheMisses > 0 {
+		out.CacheHits = r.CacheHits
+		out.CacheMisses = r.CacheMisses
+		out.CacheHitRate = r.CacheHitRate()
+	}
+	if r.Machine.EPLPMessages != r.Machine.StackRefEvents {
+		out.EPLPMessages = r.Machine.EPLPMessages
+	}
+	if r.Timing.EPClock > 0 {
+		out.Speedup = r.Timing.Speedup()
+	}
+	return out
+}
+
+// badRequestError marks a client error (400) as opposed to an internal
+// failure (500).
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &badRequestError{fmt.Sprintf(format, args...)}
+}
+
+// resolveStream produces the reference stream for a sim job, either by
+// generating a built-in benchmark trace or by decoding user-supplied
+// trace text through the hardened decoder.
+func resolveStream(req *SimRequest) (*trace.Stream, error) {
+	switch {
+	case req.TraceText != "":
+		t, err := trace.Read(strings.NewReader(req.TraceText))
+		if err != nil {
+			return nil, badRequestf("bad trace_text: %v", err)
+		}
+		if len(t.Events) == 0 {
+			return nil, badRequestf("trace_text decodes to zero events")
+		}
+		return trace.Preprocess(t), nil
+	case req.Trace != "":
+		b, ok := benchprogs.ByName(req.Trace)
+		if !ok {
+			names := make([]string, 0, len(benchprogs.All()))
+			for _, bb := range benchprogs.All() {
+				names = append(names, bb.Name)
+			}
+			return nil, badRequestf("unknown trace %q (want one of %s)", req.Trace, strings.Join(names, ", "))
+		}
+		scale := req.Scale
+		if scale <= 0 {
+			scale = 2
+		}
+		t, err := benchprogs.Trace(b, scale)
+		if err != nil {
+			return nil, fmt.Errorf("generating %s trace: %w", req.Trace, err)
+		}
+		return trace.Preprocess(t), nil
+	default:
+		return nil, badRequestf("one of trace or trace_text is required")
+	}
+}
+
+// runSim executes a sim job under ctx, fanning multi-point requests out
+// through the parsweep engine.
+func runSim(ctx context.Context, req *SimRequest) (*SimResponse, error) {
+	st, err := resolveStream(req)
+	if err != nil {
+		return nil, err
+	}
+	points := req.Points
+	if len(points) == 0 {
+		points = []SimPoint{req.Point}
+	}
+	const maxPoints = 4096
+	if len(points) > maxPoints {
+		return nil, badRequestf("%d points exceeds the %d-point job ceiling", len(points), maxPoints)
+	}
+	params := make([]sim.Params, len(points))
+	for i, pt := range points {
+		if params[i], err = pt.params(); err != nil {
+			return nil, badRequestf("point %d: %v", i, err)
+		}
+	}
+	results, err := parsweep.MapCtx(ctx, len(points), func(i int) (SimResult, error) {
+		r, err := sim.RunCtx(ctx, st, params[i])
+		if err != nil {
+			return SimResult{}, fmt.Errorf("point %d: %w", i, err)
+		}
+		return wireResult(r), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := &SimResponse{Trace: st.Name, Results: results}
+	if len(results) > 0 {
+		resp.Events = results[0].Events
+	}
+	return resp, nil
+}
+
+// ExperimentRequest runs one thesis experiment by ID.
+type ExperimentRequest struct {
+	Scale int `json:"scale,omitempty"`
+	Seeds int `json:"seeds,omitempty"`
+}
+
+// ExperimentResponse carries the regenerated report.
+type ExperimentResponse struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Text  string `json:"text"`
+}
+
+// experimentIDs lists the runnable experiment identifiers.
+func experimentIDs() []string {
+	all := experiments.All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// runExperiment regenerates one table/figure under ctx; the runner's
+// sweeps all stop when ctx dies.
+func runExperiment(ctx context.Context, id string, req *ExperimentRequest) (*ExperimentResponse, error) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return nil, badRequestf("unknown experiment %q (GET /v1/experiments for the list)", id)
+	}
+	r := experiments.NewRunnerCtx(ctx, experiments.Config{Scale: req.Scale, Seeds: req.Seeds})
+	rep, err := e.Run(r)
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentResponse{ID: rep.ID, Title: rep.Title, Text: rep.Text}, nil
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMetricsGolden pins the exact Prometheus text exposition for a fixed
+// sequence of observations. The registry sorts every key, so the format
+// is deterministic end to end.
+func TestMetricsGolden(t *testing.T) {
+	m := newMetrics()
+	// Binary-exact latencies keep the histogram sum a clean decimal.
+	m.observeRequest("/v1/sim", 200, 0.0009765625) // 2^-10
+	m.observeRequest("/v1/sim", 200, 0.03125)      // 2^-5
+	m.observeRequest("/v1/sim", 429, 0.25)
+	m.observeRequest("/v1/sessions:eval", 200, 0.7)
+	m.add("smalld_evals_total", 1)
+	m.add("smalld_queue_rejected_total", 1)
+	m.addGauge("smalld_queue_depth", "tasks admitted and waiting for a worker", func() int64 { return 2 })
+
+	var b strings.Builder
+	m.render(&b)
+
+	const want = `# HELP smalld_requests_total completed HTTP requests
+# TYPE smalld_requests_total counter
+smalld_requests_total{route="/v1/sessions:eval",code="200"} 1
+smalld_requests_total{route="/v1/sim",code="200"} 2
+smalld_requests_total{route="/v1/sim",code="429"} 1
+# HELP smalld_request_seconds request latency
+# TYPE smalld_request_seconds histogram
+smalld_request_seconds_bucket{route="/v1/sessions:eval",le="0.001"} 0
+smalld_request_seconds_bucket{route="/v1/sessions:eval",le="0.005"} 0
+smalld_request_seconds_bucket{route="/v1/sessions:eval",le="0.025"} 0
+smalld_request_seconds_bucket{route="/v1/sessions:eval",le="0.1"} 0
+smalld_request_seconds_bucket{route="/v1/sessions:eval",le="0.5"} 0
+smalld_request_seconds_bucket{route="/v1/sessions:eval",le="1"} 1
+smalld_request_seconds_bucket{route="/v1/sessions:eval",le="5"} 1
+smalld_request_seconds_bucket{route="/v1/sessions:eval",le="30"} 1
+smalld_request_seconds_bucket{route="/v1/sessions:eval",le="+Inf"} 1
+smalld_request_seconds_sum{route="/v1/sessions:eval"} 0.7
+smalld_request_seconds_count{route="/v1/sessions:eval"} 1
+smalld_request_seconds_bucket{route="/v1/sim",le="0.001"} 1
+smalld_request_seconds_bucket{route="/v1/sim",le="0.005"} 1
+smalld_request_seconds_bucket{route="/v1/sim",le="0.025"} 1
+smalld_request_seconds_bucket{route="/v1/sim",le="0.1"} 2
+smalld_request_seconds_bucket{route="/v1/sim",le="0.5"} 3
+smalld_request_seconds_bucket{route="/v1/sim",le="1"} 3
+smalld_request_seconds_bucket{route="/v1/sim",le="5"} 3
+smalld_request_seconds_bucket{route="/v1/sim",le="30"} 3
+smalld_request_seconds_bucket{route="/v1/sim",le="+Inf"} 3
+smalld_request_seconds_sum{route="/v1/sim"} 0.2822265625
+smalld_request_seconds_count{route="/v1/sim"} 3
+# HELP smalld_evals_total session eval requests executed
+# TYPE smalld_evals_total counter
+smalld_evals_total 1
+# HELP smalld_queue_rejected_total requests rejected with 429 because the admission queue was full
+# TYPE smalld_queue_rejected_total counter
+smalld_queue_rejected_total 1
+# HELP smalld_queue_depth tasks admitted and waiting for a worker
+# TYPE smalld_queue_depth gauge
+smalld_queue_depth 2
+`
+	if got := b.String(); got != want {
+		t.Errorf("metrics exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestMetricsHelpInventory: every flat counter the server code bumps has a
+// HELP line registered, so /metrics stays self-describing.
+func TestMetricsHelpInventory(t *testing.T) {
+	for _, name := range []string{
+		"smalld_queue_rejected_total",
+		"smalld_requests_canceled_total",
+		"smalld_panics_total",
+		"smalld_sessions_created_total",
+		"smalld_sessions_expired_total",
+		"smalld_sessions_closed_total",
+		"smalld_evals_total",
+		"smalld_eval_steps_total",
+		"smalld_sim_points_total",
+		"smalld_lpt_hits_total",
+		"smalld_lpt_misses_total",
+		"smalld_lpt_refops_total",
+	} {
+		if _, ok := counterHelp[name]; !ok {
+			t.Errorf("counter %s has no HELP text", name)
+		}
+	}
+}

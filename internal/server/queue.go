@@ -1,0 +1,123 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// task is one unit of admitted work. The handler that submitted it blocks
+// on done; the worker that claims it runs fn under the request context.
+// fn never touches the ResponseWriter — it deposits its result in the
+// closure and the submitting handler writes the response after done — so
+// an abandoned request (client gone, handler returned) cannot race a
+// worker still finishing the task.
+type task struct {
+	ctx  context.Context
+	fn   func(ctx context.Context)
+	done chan struct{}
+	// skipped is set when the task was dropped unrun because its request
+	// context died while it sat in the queue.
+	skipped bool
+	// panicked records a recovered panic message, isolating the fault to
+	// this one request instead of the whole process.
+	panicked string
+}
+
+// queue is the bounded admission queue plus its worker pool. Admission is
+// non-blocking: when the buffer is full the caller gets an immediate
+// rejection to turn into 429 + Retry-After, which is the service's only
+// backpressure signal — workers never queue-jump and handlers never
+// block the accept loop.
+type queue struct {
+	// mu orders submit against close: close holds it exclusively while
+	// closing the channel, so no submit can send on a closed channel.
+	mu       sync.RWMutex
+	tasks    chan *task
+	wg       sync.WaitGroup
+	depth    atomic.Int64 // tasks admitted but not yet claimed by a worker
+	busy     atomic.Int64 // workers currently running a task
+	draining atomic.Bool
+	panics   func() // metrics hook, called once per recovered panic
+}
+
+// newQueue starts workers goroutines servicing a buffer of cap tasks.
+func newQueue(capacity, workers int, panics func()) *queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	q := &queue{tasks: make(chan *task, capacity), panics: panics}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// submit admits t, reporting false when the queue is full or the server
+// is draining.
+func (q *queue) submit(t *task) bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.draining.Load() {
+		return false
+	}
+	select {
+	case q.tasks <- t:
+		q.depth.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+func (q *queue) worker() {
+	defer q.wg.Done()
+	for t := range q.tasks {
+		q.depth.Add(-1)
+		if t.ctx.Err() != nil {
+			// The client gave up while the task was queued: skip it so a
+			// burst of abandoned requests cannot occupy the workers.
+			t.skipped = true
+			close(t.done)
+			continue
+		}
+		q.busy.Add(1)
+		q.runIsolated(t)
+		q.busy.Add(-1)
+		close(t.done)
+	}
+}
+
+// runIsolated executes the task, converting a panic into a per-request
+// failure.
+func (q *queue) runIsolated(t *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicked = fmt.Sprintf("%v\n%s", r, debug.Stack())
+			if q.panics != nil {
+				q.panics()
+			}
+		}
+	}()
+	t.fn(t.ctx)
+}
+
+// close stops admission, runs every task already queued to completion
+// (their clients are still waiting), and returns once all workers have
+// exited — the drain half of graceful shutdown.
+func (q *queue) close() {
+	q.mu.Lock()
+	if q.draining.Swap(true) {
+		q.mu.Unlock()
+		return
+	}
+	close(q.tasks)
+	q.mu.Unlock()
+	q.wg.Wait()
+}

@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -223,6 +224,19 @@ func (s *simulator) reset(p Params) {
 
 // Run replays the stream under p.
 func Run(st *trace.Stream, p Params) (*Result, error) {
+	return RunCtx(context.Background(), st, p)
+}
+
+// cancelCheckMask sets how often the replay loop polls the context: every
+// 4096 events, cheap against the per-event work yet fine-grained enough
+// that an abandoned run stops within microseconds.
+const cancelCheckMask = 1<<12 - 1
+
+// RunCtx replays the stream under p, aborting with ctx.Err() when ctx is
+// cancelled. The replay loop polls the context every few thousand events,
+// so a server request that dies mid-simulation releases its worker
+// promptly instead of replaying the rest of the trace.
+func RunCtx(ctx context.Context, st *trace.Stream, p Params) (*Result, error) {
 	p = p.withDefaults()
 	s := simPool.Get().(*simulator)
 	defer simPool.Put(s)
@@ -236,8 +250,16 @@ func Run(st *trace.Stream, p Params) (*Result, error) {
 		}
 	}
 
+	done := ctx.Done()
 	events := 0
 	for i := range st.Refs {
+		if done != nil && i&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		r := &st.Refs[i]
 		switch r.Kind {
 		case trace.RefEnter:

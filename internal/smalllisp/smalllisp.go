@@ -9,6 +9,7 @@
 package smalllisp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -29,10 +30,12 @@ type Interp struct {
 	props  map[sexpr.Symbol]map[sexpr.Symbol]core.Value
 	out    io.Writer
 	input  []sexpr.Value
-	gensym int64
-	steps  int64
-	limit  int64
-	depth  int
+	gensym  int64
+	steps   int64
+	limit   int64
+	depth   int
+	ctxDone <-chan struct{}
+	ctxErr  func() error
 }
 
 type binding struct {
@@ -80,6 +83,32 @@ func New(opts ...Option) *Interp {
 
 // Machine exposes the underlying SMALL machine.
 func (in *Interp) Machine() *core.Machine { return in.m }
+
+// SetStepLimit adjusts the evaluation budget of a live interpreter
+// (n <= 0 means unlimited).
+func (in *Interp) SetStepLimit(n int64) {
+	if n <= 0 {
+		n = 1<<63 - 1
+	}
+	in.limit = n
+}
+
+// ResetSteps zeroes the step counter, starting a fresh budget window.
+func (in *Interp) ResetSteps() { in.steps = 0 }
+
+// Steps returns the evaluation steps taken since the last ResetSteps.
+func (in *Interp) Steps() int64 { return in.steps }
+
+// SetContext installs a cancellation context polled every 1024 steps in
+// the eval loop; when ctx is done, evaluation unwinds with ctx.Err().
+// Pass nil to detach.
+func (in *Interp) SetContext(ctx context.Context) {
+	if ctx == nil {
+		in.ctxDone, in.ctxErr = nil, nil
+		return
+	}
+	in.ctxDone, in.ctxErr = ctx.Done(), ctx.Err
+}
 
 // ErrStepLimit is returned when the evaluation budget is exhausted.
 var ErrStepLimit = errors.New("smalllisp: step limit exceeded")
@@ -230,6 +259,13 @@ func (in *Interp) eval(form sexpr.Value) (core.Value, error) {
 	in.steps++
 	if in.steps > in.limit {
 		return core.NilValue, ErrStepLimit
+	}
+	if in.ctxDone != nil && in.steps&1023 == 0 {
+		select {
+		case <-in.ctxDone:
+			return core.NilValue, fmt.Errorf("smalllisp: evaluation cancelled: %w", in.ctxErr())
+		default:
+		}
 	}
 	switch f := form.(type) {
 	case nil:

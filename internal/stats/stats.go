@@ -106,6 +106,61 @@ func (h *Histogram) PctAtOrBelow(x int) float64 {
 	return 100 * float64(c) / float64(h.total)
 }
 
+// Buckets is a fixed-bound cumulative histogram in the Prometheus mould:
+// observations are counted into the first bucket whose upper bound is >=
+// the value, with an implicit +Inf bucket catching the rest. It backs the
+// serving layer's request-latency metrics, where the integer Histogram
+// above (built for the thesis's discrete distributions) does not fit.
+// Not safe for concurrent use; callers guard it.
+type Buckets struct {
+	bounds []float64 // ascending upper bounds, exclusive of +Inf
+	counts []int64   // per-bucket (non-cumulative) counts; len(bounds)+1
+	sum    float64
+	n      int64
+}
+
+// NewBuckets returns a histogram over the given ascending upper bounds.
+func NewBuckets(bounds []float64) *Buckets {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: bucket bounds not ascending")
+		}
+	}
+	return &Buckets{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation.
+func (b *Buckets) Observe(v float64) {
+	i := sort.SearchFloat64s(b.bounds, v)
+	b.counts[i]++
+	b.sum += v
+	b.n++
+}
+
+// Bounds returns the finite upper bounds.
+func (b *Buckets) Bounds() []float64 { return b.bounds }
+
+// Cumulative returns the cumulative counts per bucket; the last element
+// is the +Inf bucket and equals Count().
+func (b *Buckets) Cumulative() []int64 {
+	out := make([]int64, len(b.counts))
+	var cum int64
+	for i, c := range b.counts {
+		cum += c
+		out[i] = cum
+	}
+	return out
+}
+
+// Sum returns the sum of all observations.
+func (b *Buckets) Sum() float64 { return b.sum }
+
+// Count returns the number of observations.
+func (b *Buckets) Count() int64 { return b.n }
+
 // Summary describes a sample of float64 observations.
 type Summary struct {
 	N      int

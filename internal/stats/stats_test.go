@@ -132,3 +132,40 @@ func TestPropertyMeanWithinMinMax(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestBuckets(t *testing.T) {
+	b := NewBuckets([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 30} {
+		b.Observe(v)
+	}
+	if b.Count() != 6 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	if got, want := b.Sum(), 0.005+0.01+0.05+0.5+2+30; got != want {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	cum := b.Cumulative()
+	// le=0.01 catches 0.005 and 0.01; le=0.1 adds 0.05; le=1 adds 0.5;
+	// +Inf adds 2 and 30.
+	want := []int64{2, 3, 4, 6}
+	if len(cum) != len(want) {
+		t.Fatalf("Cumulative len = %d", len(cum))
+	}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("Cumulative[%d] = %d, want %d", i, cum[i], want[i])
+		}
+	}
+	if cum[len(cum)-1] != b.Count() {
+		t.Fatal("+Inf bucket != Count")
+	}
+}
+
+func TestBucketsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-ascending bounds")
+		}
+	}()
+	NewBuckets([]float64{1, 1})
+}

@@ -5,18 +5,41 @@ import (
 	"testing"
 )
 
-// FuzzRead checks the trace decoder never panics on corrupt input and
-// that anything it accepts re-encodes losslessly.
+// FuzzRead checks the trace decoder never panics on corrupt input, that
+// anything it accepts re-encodes losslessly, and that accepted traces
+// flow through Preprocess without panicking — the exact path a
+// user-supplied trace takes through smalld.
 func FuzzRead(f *testing.F) {
 	f.Add("# trace x\nP\t1\tcar\ta\t(a b)\n")
 	f.Add("E\t1\tf\t2\nX\t1\tf\n")
 	f.Add("P\t0\tcons\t(a)\ta\tnil\n")
 	f.Add("garbage\nZ\t\t\n")
 	f.Add("P\t-1\tcar\t\n")
+	f.Add("E\t1\tf\t-3\n")
+	f.Add("X\t1\tf\textra\n")
+	f.Add("P\t0\t\tres\n")
+	f.Add("P\t999999999999999999999\tcar\ta\n")
+	f.Add("# trace y\n\n\nP\t3\tcdr\t(b)\t(a b)\t(c)\n")
+	f.Add("P\t0\tcar\t(x)\t(x y)\nP\t0\tcdr\t(y)\t(x)\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		tr, err := Read(strings.NewReader(src))
 		if err != nil {
+			// Rejected input must name the offending line.
+			if !strings.Contains(err.Error(), "line ") {
+				t.Fatalf("error without line number: %v", err)
+			}
 			return
+		}
+		for i, ev := range tr.Events {
+			if ev.Depth < 0 {
+				t.Fatalf("event %d: accepted negative depth %d", i, ev.Depth)
+			}
+			if ev.NArgs < 0 {
+				t.Fatalf("event %d: accepted negative nargs %d", i, ev.NArgs)
+			}
+			if ev.Op == "" {
+				t.Fatalf("event %d: accepted empty op", i)
+			}
 		}
 		var sb strings.Builder
 		if err := Write(&sb, tr); err != nil {
@@ -28,6 +51,17 @@ func FuzzRead(f *testing.F) {
 		}
 		if len(back.Events) != len(tr.Events) {
 			t.Fatalf("event count changed: %d -> %d", len(tr.Events), len(back.Events))
+		}
+		for i := range back.Events {
+			a, b := &tr.Events[i], &back.Events[i]
+			if a.Kind != b.Kind || a.Op != b.Op || a.Depth != b.Depth || a.NArgs != b.NArgs {
+				t.Fatalf("event %d changed: %+v -> %+v", i, *a, *b)
+			}
+		}
+		// Preprocessing must be total over accepted traces.
+		st := Preprocess(tr)
+		if len(st.Refs) != len(tr.Events) {
+			t.Fatalf("preprocess dropped events: %d -> %d", len(tr.Events), len(st.Refs))
 		}
 	})
 }

@@ -173,7 +173,11 @@ func Write(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// Read decodes a trace written by Write.
+// Read decodes a trace written by Write. The decoder is strict: smalld
+// accepts user-supplied traces, so every malformed record is rejected
+// with a descriptive error naming the line and the offending field
+// rather than being skipped or allowed to corrupt downstream
+// preprocessing. Accepted traces round-trip losslessly through Write.
 func Read(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -193,16 +197,22 @@ func Read(r io.Reader) (*Trace, error) {
 		}
 		fields := strings.Split(line, "\t")
 		if len(fields) < 3 {
-			return nil, fmt.Errorf("trace: line %d: too few fields", lineno)
+			return nil, fmt.Errorf("trace: line %d: %d fields, want at least 3 (kind, depth, name)", lineno, len(fields))
 		}
 		depth, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad depth: %v", lineno, err)
+			return nil, fmt.Errorf("trace: line %d: bad depth field %q: %v", lineno, fields[1], err)
+		}
+		if depth < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative depth %d", lineno, depth)
+		}
+		if fields[2] == "" {
+			return nil, fmt.Errorf("trace: line %d: empty op/name field", lineno)
 		}
 		switch fields[0] {
 		case "P":
 			if len(fields) < 4 {
-				return nil, fmt.Errorf("trace: line %d: short P record", lineno)
+				return nil, fmt.Errorf("trace: line %d: P record has %d fields, want at least 4 (P, depth, op, result)", lineno, len(fields))
 			}
 			t.Events = append(t.Events, Event{
 				Kind: KindPrim, Depth: depth, Op: fields[2],
@@ -210,21 +220,27 @@ func Read(r io.Reader) (*Trace, error) {
 			})
 		case "E":
 			if len(fields) != 4 {
-				return nil, fmt.Errorf("trace: line %d: short E record", lineno)
+				return nil, fmt.Errorf("trace: line %d: E record has %d fields, want 4 (E, depth, name, nargs)", lineno, len(fields))
 			}
 			n, err := strconv.Atoi(fields[3])
 			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: bad nargs: %v", lineno, err)
+				return nil, fmt.Errorf("trace: line %d: bad nargs field %q: %v", lineno, fields[3], err)
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("trace: line %d: negative nargs %d", lineno, n)
 			}
 			t.Events = append(t.Events, Event{Kind: KindEnter, Depth: depth, Op: fields[2], NArgs: n})
 		case "X":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: X record has %d fields, want 3 (X, depth, name)", lineno, len(fields))
+			}
 			t.Events = append(t.Events, Event{Kind: KindExit, Depth: depth, Op: fields[2]})
 		default:
-			return nil, fmt.Errorf("trace: line %d: unknown record %q", lineno, fields[0])
+			return nil, fmt.Errorf("trace: line %d: unknown record kind %q", lineno, fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: line %d: %w", lineno+1, err)
 	}
 	return t, nil
 }

@@ -82,10 +82,31 @@ func TestReadErrors(t *testing.T) {
 		"E\t1\tf\n",
 		"E\t1\tf\tx\n",
 		"P\t1\n",
+		"P\t-1\tcar\ta\n",          // negative depth
+		"E\t1\tf\t-2\n",            // negative nargs
+		"X\t1\tf\textra\n",         // X record with a stray field
+		"P\t2\t\tres\n",            // empty op
+		"P\t9\n",              // truncated record
+		"E\t0\tf\t3\textra\n", // E record too long
 	} {
 		if _, err := Read(strings.NewReader(src)); err == nil {
 			t.Errorf("Read(%q): expected error", src)
 		}
+	}
+}
+
+// TestReadErrorNamesLine: decoder errors must carry the 1-based line
+// number and the offending field so smalld can report user trace uploads
+// precisely.
+func TestReadErrorNamesLine(t *testing.T) {
+	src := "# trace x\nP\t0\tcar\ta\t(a)\nE\t3\tf\tmany\n"
+	_, err := Read(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 3") || !strings.Contains(msg, `"many"`) {
+		t.Fatalf("error %q: want line 3 and field \"many\" named", msg)
 	}
 }
 
