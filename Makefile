@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race smoke-serve verify bench bench-parsweep
+.PHONY: build vet test race smoke-serve fuzz-corpus verify bench bench-parsweep bench-trace
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,14 @@ race:
 smoke-serve:
 	sh scripts/smoke_serve.sh
 
-verify: build vet test race smoke-serve
+# Deterministic replay of the codec round-trip properties and the saved
+# fuzz corpus under testdata/fuzz (no live fuzzing; use `go test -fuzz`
+# for that). Explicit in verify so a format change that breaks a saved
+# hostile input fails loudly by name.
+fuzz-corpus:
+	$(GO) test -run 'RoundTrip|^Fuzz' -count 1 ./internal/trace/
+
+verify: build vet test race fuzz-corpus smoke-serve
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
@@ -30,3 +37,9 @@ bench:
 # simulator (recorded in BENCH_parsweep.json).
 bench-parsweep:
 	$(GO) test -run '^$$' -bench 'Fig5_1$$|Table5_4$$|SweepSpeedup$$' -benchtime 3x .
+
+# Size, codec, and cache baselines for the binary trace pipeline
+# (recorded in BENCH_trace.json; diff a fresh run against the committed
+# baseline with scripts/bench_compare.sh).
+bench-trace:
+	$(GO) run ./cmd/tracebench -out BENCH_trace.json

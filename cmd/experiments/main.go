@@ -5,6 +5,7 @@
 //	experiments -list         # list experiment identifiers
 //	experiments -scale 3      # larger benchmark traces
 //	experiments -workers 2    # cap the sweep engine's worker count
+//	experiments -cachedir .cache  # reuse traces/streams across runs
 //	experiments -serial       # single-threaded (same output, slower)
 package main
 
@@ -26,6 +27,7 @@ func main() {
 	seeds := flag.Int("seeds", 30, "seeds for multi-seed studies")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel sweep workers")
 	serial := flag.Bool("serial", false, "run everything single-threaded")
+	cachedir := flag.String("cachedir", "", "cache generated traces and preprocessed streams in this directory (reruns skip generation)")
 	flag.Parse()
 
 	if *serial {
@@ -41,7 +43,7 @@ func main() {
 		return
 	}
 
-	r := experiments.NewRunner(experiments.Config{Scale: *scale, Seeds: *seeds})
+	r := experiments.NewRunner(experiments.Config{Scale: *scale, Seeds: *seeds, CacheDir: *cachedir})
 	var toRun []experiments.Experiment
 	if *run == "" {
 		toRun = experiments.All()

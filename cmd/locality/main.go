@@ -26,13 +26,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "locality: %v\n", err)
 		os.Exit(1)
 	}
-	t, err := trace.Read(f)
+	// Any trace format is accepted: text, binary ("SMTB"), or a
+	// preprocessed reference stream ("SMRS"). Stream inputs skip
+	// Preprocess; their stats come from the stream itself.
+	t, st, err := trace.ReadAuto(f)
 	f.Close()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "locality: %v\n", err)
 		os.Exit(1)
 	}
-	st := trace.Preprocess(t)
+	if st == nil {
+		st = trace.Preprocess(t)
+	}
 
 	var p *locality.Partition
 	if *window > 0 {
@@ -41,9 +46,14 @@ func main() {
 		p = locality.PartitionStream(st, *sep)
 	}
 
-	s := trace.Summarize(t)
+	var s trace.Stats
+	if t != nil {
+		s = trace.Summarize(t)
+	} else {
+		s = trace.SummarizeStream(st)
+	}
 	fmt.Printf("trace %s: %d primitives, %d function calls, %d distinct lists\n",
-		t.Name, s.Primitives, s.Functions, st.MaxID)
+		st.Name, s.Primitives, s.Functions, st.MaxID)
 	fmt.Printf("list sets: %d over %d references\n", len(p.Sets), p.Refs)
 	fmt.Printf("sets covering 80%% of references: %d\n", p.SetsForRefPct(80))
 	fmt.Printf("references in sets living >=60%% of trace: %.1f%%\n",
@@ -56,7 +66,12 @@ func main() {
 	cs := trace.Chaining(st)
 	fmt.Printf("primitive chaining: car %.1f%%, cdr %.1f%%\n", cs.CarPct, cs.CdrPct)
 
-	np := trace.MeasureNP(t)
+	var np trace.NPStats
+	if t != nil {
+		np = trace.MeasureNP(t)
+	} else {
+		np = trace.MeasureNPStream(st)
+	}
 	fmt.Printf("list complexity: avg n=%.2f avg p=%.2f over %d lists\n",
 		np.AvgN, np.AvgP, np.Lists)
 }

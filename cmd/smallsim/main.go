@@ -38,11 +38,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "smallsim: %v\n", err)
 		os.Exit(1)
 	}
-	t, err := trace.Read(f)
+	// Any trace format is accepted: text, binary ("SMTB"), or a
+	// preprocessed reference stream ("SMRS", which skips Preprocess).
+	t, st, err := trace.ReadAuto(f)
 	f.Close()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "smallsim: %v\n", err)
 		os.Exit(1)
+	}
+	if st == nil {
+		st = trace.Preprocess(t)
 	}
 	p := sim.Params{
 		TableSize: *tableSize,
@@ -63,12 +68,12 @@ func main() {
 		tp := core.DefaultTiming()
 		p.Timing = &tp
 	}
-	res, err := sim.Run(trace.Preprocess(t), p)
+	res, err := sim.Run(st, p)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "smallsim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("trace %s: %d primitive events\n", t.Name, res.Events)
+	fmt.Printf("trace %s: %d primitive events\n", st.Name, res.Events)
 	fmt.Printf("LPT: peak %d / %d entries, avg occupancy %.1f\n",
 		res.PeakLPT, *tableSize, res.AvgLPT)
 	fmt.Printf("LPT: hits %d misses %d (%.2f%% hit rate)\n",

@@ -1,0 +1,339 @@
+// Command tracebench regenerates BENCH_trace.json: on-disk sizes of
+// the text, binary, and reference-stream trace encodings for every
+// benchmark at the experiments' default scale, codec speed and
+// allocation benchmarks, and the cold-vs-warm timing of the
+// experiments' disk cache.
+//
+//	tracebench -out BENCH_trace.json
+//	tracebench -scale 3 -benchtime 1s -out /dev/stdout
+//
+// Wired to `make bench-trace`. Benchmarks run through
+// testing.Benchmark so the numbers match `go test -bench` without
+// parsing its text output.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benchprogs"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+type benchEntry struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type sizeEntry struct {
+	Events          int     `json:"events"`
+	TextBytes       int     `json:"text_bytes"`
+	BinaryBytes     int     `json:"binary_bytes"`
+	RefsBytes       int     `json:"refs_bytes"`
+	TextOverBinaryX float64 `json:"text_over_binary_x"`
+	TextOverRefsX   float64 `json:"text_over_refs_x"`
+}
+
+type report struct {
+	Description string                `json:"description"`
+	Command     string                `json:"command"`
+	Host        hostInfo              `json:"host"`
+	Scale       int                   `json:"scale"`
+	Sizes       map[string]sizeEntry  `json:"sizes"`
+	Benchmarks  map[string]benchEntry `json:"benchmarks"`
+	Ratios      map[string]float64    `json:"ratios"`
+	Cache       cacheTiming           `json:"cache"`
+}
+
+type hostInfo struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPU    string `json:"cpu"`
+	Cores  int    `json:"cores"`
+	Note   string `json:"note"`
+}
+
+type cacheTiming struct {
+	ColdNs   int64   `json:"cold_ns"`
+	WarmNs   int64   `json:"warm_ns"`
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+// forms holds one benchmark's trace with all three on-disk encodings.
+type forms struct {
+	t    *trace.Trace
+	text []byte
+	bin  []byte
+	refs []byte
+}
+
+func main() {
+	testing.Init()
+	out := flag.String("out", "BENCH_trace.json", "output file")
+	scale := flag.Int("scale", 2, "benchmark trace scale (matches the experiments' default)")
+	benchtime := flag.String("benchtime", "300ms", "per-benchmark measuring time")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fatalf("bad -benchtime: %v", err)
+	}
+
+	r := experiments.NewRunner(experiments.Config{Scale: *scale, Seeds: 5})
+	sizes := make(map[string]sizeEntry)
+	benches := make(map[string]benchEntry)
+	byName := make(map[string]forms)
+	var total sizeEntry
+	for _, b := range benchprogs.All() {
+		f, err := encodeAll(r, b.Name)
+		if err != nil {
+			fatalf("%s: %v", b.Name, err)
+		}
+		byName[b.Name] = f
+		e := sizeEntry{
+			Events:          len(f.t.Events),
+			TextBytes:       len(f.text),
+			BinaryBytes:     len(f.bin),
+			RefsBytes:       len(f.refs),
+			TextOverBinaryX: round2(float64(len(f.text)) / float64(len(f.bin))),
+			TextOverRefsX:   round2(float64(len(f.text)) / float64(len(f.refs))),
+		}
+		sizes[b.Name] = e
+		total.Events += e.Events
+		total.TextBytes += e.TextBytes
+		total.BinaryBytes += e.BinaryBytes
+		total.RefsBytes += e.RefsBytes
+	}
+	total.TextOverBinaryX = round2(float64(total.TextBytes) / float64(total.BinaryBytes))
+	total.TextOverRefsX = round2(float64(total.TextBytes) / float64(total.RefsBytes))
+	sizes["total"] = total
+
+	// Codec benchmarks per benchmark trace; the aggregate ratios below
+	// come from the summed per-op times so large traces dominate, the
+	// same weighting a full experiments run sees.
+	var sums = map[string]int64{}
+	var allocSums = map[string]int64{}
+	for _, b := range benchprogs.All() {
+		f := byName[b.Name]
+		for _, c := range []struct {
+			kind string
+			size int
+			fn   func(b *testing.B)
+		}{
+			{"EncodeText", len(f.text), func(bb *testing.B) { benchEncodeText(bb, f.t) }},
+			{"EncodeBinary", len(f.bin), func(bb *testing.B) { benchEncodeBinary(bb, f.t) }},
+			{"DecodeText", len(f.text), func(bb *testing.B) { benchDecodeText(bb, f.text) }},
+			{"DecodeBinary", len(f.bin), func(bb *testing.B) { benchDecodeBinary(bb, f.bin) }},
+			{"DecodeStream", len(f.refs), func(bb *testing.B) { benchDecodeStream(bb, f.refs) }},
+			{"DecodeStreaming", len(f.bin), func(bb *testing.B) { benchDecodeStreaming(bb, f.bin) }},
+		} {
+			res := testing.Benchmark(c.fn)
+			benches[c.kind+"/"+b.Name] = entry(res, c.size)
+			sums[c.kind] += res.NsPerOp()
+			allocSums[c.kind] += res.AllocsPerOp()
+		}
+		fmt.Fprintf(os.Stderr, "benched %s\n", b.Name)
+	}
+
+	ratios := map[string]float64{
+		"size_text_over_binary_x":      total.TextOverBinaryX,
+		"size_text_over_refs_x":        total.TextOverRefsX,
+		"decode_text_over_binary_x":    round2(float64(sums["DecodeText"]) / float64(sums["DecodeBinary"])),
+		"decode_text_over_streaming_x": round2(float64(sums["DecodeText"]) / float64(sums["DecodeStreaming"])),
+		"decode_text_over_refs_x":      round2(float64(sums["DecodeText"]) / float64(sums["DecodeStream"])),
+		"allocs_text_over_binary_x":    round2(float64(allocSums["DecodeText"]) / float64(allocSums["DecodeBinary"])),
+	}
+
+	cache, err := timeCache(*scale)
+	if err != nil {
+		fatalf("cache timing: %v", err)
+	}
+
+	rep := report{
+		Description: "Baselines for the binary trace pipeline: on-disk size of the text / binary (.btrace) / reference-stream (.refs) encodings per benchmark, codec throughput and allocations, and the experiments disk cache cold-vs-warm load time. Regenerate with `make bench-trace`; compare against a fresh run with `scripts/bench_compare.sh`.",
+		Command:     fmt.Sprintf("go run ./cmd/tracebench -scale %d -benchtime %s -out %s", *scale, *benchtime, *out),
+		Host: hostInfo{
+			GOOS:   runtime.GOOS,
+			GOARCH: runtime.GOARCH,
+			CPU:    cpuModel(),
+			Cores:  runtime.NumCPU(),
+			Note:   "Single-core container, so ns_per_op is noisy (~10-20% run to run); the ratios are the contract. pearl and slang are the small-trace outliers: their op/string tables amortise over fewer events, so their per-benchmark size ratios sit below the total. DecodeStreaming walks every event through Decoder.Next without materialising a Trace; DecodeStream loads a preprocessed .refs file, skipping Preprocess entirely.",
+		},
+		Scale:      *scale,
+		Sizes:      sizes,
+		Benchmarks: benches,
+		Ratios:     ratios,
+		Cache:      cache,
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("write: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func encodeAll(r *experiments.Runner, name string) (forms, error) {
+	t, err := r.Trace(name)
+	if err != nil {
+		return forms{}, err
+	}
+	var text, bin, refs bytes.Buffer
+	if err := trace.Write(&text, t); err != nil {
+		return forms{}, err
+	}
+	if err := trace.WriteBinary(&bin, t); err != nil {
+		return forms{}, err
+	}
+	if err := trace.WriteStream(&refs, trace.Preprocess(t)); err != nil {
+		return forms{}, err
+	}
+	return forms{t: t, text: text.Bytes(), bin: bin.Bytes(), refs: refs.Bytes()}, nil
+}
+
+func entry(r testing.BenchmarkResult, size int) benchEntry {
+	mbs := 0.0
+	if s := r.T.Seconds(); s > 0 {
+		mbs = float64(size) * float64(r.N) / s / 1e6
+	}
+	return benchEntry{
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		MBPerS:      round2(mbs),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// timeCache measures materialising all five reference streams with an
+// empty disk cache (generate + preprocess + write) versus a fresh
+// runner over the now-populated cache (read .refs, skip both).
+func timeCache(scale int) (cacheTiming, error) {
+	dir, err := os.MkdirTemp("", "tracebench-cache-")
+	if err != nil {
+		return cacheTiming{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := experiments.Config{Scale: scale, Seeds: 5, CacheDir: dir}
+	run := func() (time.Duration, error) {
+		r := experiments.NewRunner(cfg)
+		start := time.Now()
+		for _, b := range benchprogs.All() {
+			if _, err := r.Stream(b.Name); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	cold, err := run()
+	if err != nil {
+		return cacheTiming{}, err
+	}
+	warm, err := run()
+	if err != nil {
+		return cacheTiming{}, err
+	}
+	return cacheTiming{
+		ColdNs:   cold.Nanoseconds(),
+		WarmNs:   warm.Nanoseconds(),
+		SpeedupX: round2(float64(cold.Nanoseconds()) / float64(warm.Nanoseconds())),
+	}, nil
+}
+
+func benchEncodeText(b *testing.B, t *trace.Trace) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := trace.Write(io.Discard, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEncodeBinary(b *testing.B, t *trace.Trace) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := trace.WriteBinary(io.Discard, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecodeText(b *testing.B, text []byte) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Read(bytes.NewReader(text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecodeBinary(b *testing.B, bin []byte) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadBinary(bytes.NewReader(bin)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecodeStream(b *testing.B, refs []byte) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadStream(bytes.NewReader(refs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecodeStreaming(b *testing.B, bin []byte) {
+	b.ReportAllocs()
+	var ev trace.Event
+	for i := 0; i < b.N; i++ {
+		d, err := trace.NewDecoder(bytes.NewReader(bin))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if err := d.Next(&ev); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func round2(v float64) float64 {
+	return math.Round(v*100) / 100
+}
+
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracebench: "+format+"\n", args...)
+	os.Exit(1)
+}

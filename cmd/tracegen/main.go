@@ -2,13 +2,22 @@
 // and writes the list access trace files consumed by cmd/locality and
 // cmd/smallsim.
 //
-//	tracegen -out traces/          # all five benchmarks at scale 2
+//	tracegen -out traces/                  # all five benchmarks at scale 2
 //	tracegen -bench lyra -scale 4 -out traces/
+//	tracegen -format binary -out traces/   # compact .btrace files ("SMTB")
+//	tracegen -format refs -out traces/     # preprocessed .refs streams ("SMRS")
+//
+// Readers (smallsim, locality, smalld) sniff the leading magic bytes, so
+// every format is accepted everywhere a trace file is; text remains the
+// default for greppability. Per-benchmark encode stats (events, bytes,
+// bytes/event) print on success; a failing benchmark is reported and
+// skipped, and the exit status is non-zero if any benchmark failed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -16,12 +25,79 @@ import (
 	"repro/internal/trace"
 )
 
+// countingWriter tracks bytes written for the encode stats.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// writeOne traces one benchmark and encodes it in the requested format,
+// closing (and on failure removing) the output file on every path.
+func writeOne(dir string, b benchprogs.Benchmark, scale int, format string) error {
+	t, err := benchprogs.Trace(b, scale)
+	if err != nil {
+		return err
+	}
+	ext := ".trace"
+	switch format {
+	case "binary":
+		ext = ".btrace"
+	case "refs":
+		ext = ".refs"
+	}
+	path := filepath.Join(dir, b.Name+ext)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cw := &countingWriter{w: f}
+	switch format {
+	case "text":
+		err = trace.Write(cw, t)
+	case "binary":
+		err = trace.WriteBinary(cw, t)
+	case "refs":
+		err = trace.WriteStream(cw, trace.Preprocess(t))
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	s := trace.Summarize(t)
+	events := len(t.Events)
+	perEvent := 0.0
+	if events > 0 {
+		perEvent = float64(cw.n) / float64(events)
+	}
+	fmt.Printf("%s: %d primitives, %d function calls, max depth %d -> %s (%s: %d events, %d bytes, %.1f B/event)\n",
+		b.Name, s.Primitives, s.Functions, s.MaxDepth, path, format, events, cw.n, perEvent)
+	return nil
+}
+
 func main() {
 	out := flag.String("out", ".", "output directory")
 	bench := flag.String("bench", "", "benchmark name (default: all)")
 	scale := flag.Int("scale", 2, "workload scale")
+	format := flag.String("format", "text", `output format: "text", "binary" (compact varint), or "refs" (preprocessed stream)`)
 	flag.Parse()
 
+	switch *format {
+	case "text", "binary", "refs":
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q (want text, binary, or refs)\n", *format)
+		os.Exit(2)
+	}
 	var list []benchprogs.Benchmark
 	if *bench == "" {
 		list = benchprogs.All()
@@ -37,28 +113,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(1)
 	}
+	exit := 0
 	for _, b := range list {
-		t, err := benchprogs.Trace(b, *scale)
-		if err != nil {
+		if err := writeOne(*out, b, *scale, *format); err != nil {
 			fmt.Fprintf(os.Stderr, "tracegen: %s: %v\n", b.Name, err)
-			os.Exit(1)
+			exit = 1
 		}
-		path := filepath.Join(*out, b.Name+".trace")
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
-		}
-		if err := trace.Write(f, t); err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
-		}
-		s := trace.Summarize(t)
-		fmt.Printf("%s: %d primitives, %d function calls, max depth %d -> %s\n",
-			b.Name, s.Primitives, s.Functions, s.MaxDepth, path)
 	}
+	os.Exit(exit)
 }

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+// The on-disk cache: with Config.CacheDir set, generated benchmark
+// traces are persisted as binary ".btrace" files and preprocessed
+// reference streams as ".refs" files, keyed by benchmark name + scale.
+// A rerun of the suite then memory-loads the streams through the varint
+// codec and skips both trace generation (running the benchmark under
+// the tracing interpreter) and Preprocess (re-parsing and re-interning
+// every s-expression) entirely. Cache files are best-effort: a missing,
+// stale-format, or corrupt file just means regeneration, and write
+// failures are ignored (the computed value is still returned).
+
+// cachePath returns the on-disk cache file for a benchmark artifact, or
+// "" when caching is disabled.
+func (r *Runner) cachePath(name, ext string) string {
+	if r.cfg.CacheDir == "" {
+		return ""
+	}
+	return filepath.Join(r.cfg.CacheDir, fmt.Sprintf("%s.s%d.%s", name, r.cfg.Scale, ext))
+}
+
+func loadCachedTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadBinary(f)
+}
+
+func loadCachedStream(path string) (*trace.Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadStream(f)
+}
+
+// saveCached writes a cache file atomically (temp file + rename), so a
+// concurrent or crashed run never leaves a truncated file that a later
+// run would half-read.
+func saveCached(path string, encode func(f *os.File) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := encode(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func saveCachedTrace(path string, t *trace.Trace) error {
+	return saveCached(path, func(f *os.File) error { return trace.WriteBinary(f, t) })
+}
+
+func saveCachedStream(path string, st *trace.Stream) error {
+	return saveCached(path, func(f *os.File) error { return trace.WriteStream(f, st) })
+}

@@ -37,6 +37,11 @@ type Config struct {
 	Scale int
 	// Seeds for the multi-seed studies (Fig 5.2; thesis used 60–90).
 	Seeds int
+	// CacheDir, when non-empty, persists generated traces (binary
+	// ".btrace") and preprocessed streams (".refs") keyed by
+	// benchmark+scale; reruns load them from disk and skip both trace
+	// generation and Preprocess. See cache.go.
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -124,7 +129,8 @@ var benchOrder = []string{"lyra", "plagen", "slang", "editor"}
 var benchOrderCh3 = []string{"slang", "plagen", "lyra", "editor", "pearl"}
 
 // Trace returns (and caches) the named benchmark trace. Concurrent
-// callers share a single generation.
+// callers share a single generation; with CacheDir set, the binary
+// on-disk copy is tried before regenerating.
 func (r *Runner) Trace(name string) (*trace.Trace, error) {
 	c := lookup(&r.mu, r.traces, name)
 	c.once.Do(func() {
@@ -133,22 +139,44 @@ func (r *Runner) Trace(name string) (*trace.Trace, error) {
 			c.err = fmt.Errorf("experiments: unknown benchmark %q", name)
 			return
 		}
+		path := r.cachePath(name, "btrace")
+		if path != "" {
+			if t, err := loadCachedTrace(path); err == nil {
+				c.v = t
+				return
+			}
+		}
 		c.v, c.err = benchprogs.Trace(b, r.cfg.Scale)
+		if c.err == nil && path != "" {
+			_ = saveCachedTrace(path, c.v) // best-effort
+		}
 	})
 	return c.v, c.err
 }
 
 // Stream returns the preprocessed reference stream for a benchmark.
-// Concurrent callers share a single preprocessing pass.
+// Concurrent callers share a single preprocessing pass; with CacheDir
+// set, a serialized ".refs" file is memory-loaded instead, skipping
+// both trace generation and Preprocess.
 func (r *Runner) Stream(name string) (*trace.Stream, error) {
 	c := lookup(&r.mu, r.streams, name)
 	c.once.Do(func() {
+		path := r.cachePath(name, "refs")
+		if path != "" {
+			if st, err := loadCachedStream(path); err == nil {
+				c.v = st
+				return
+			}
+		}
 		t, err := r.Trace(name)
 		if err != nil {
 			c.err = err
 			return
 		}
 		c.v = trace.Preprocess(t)
+		if path != "" {
+			_ = saveCachedStream(path, c.v) // best-effort
+		}
 	})
 	return c.v, c.err
 }

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"os"
+	"path/filepath"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -61,6 +64,55 @@ func TestRunnerCachesTraces(t *testing.T) {
 	}
 	if sa != sb {
 		t.Error("stream not cached")
+	}
+}
+
+// TestDiskCache: a CacheDir-backed runner writes .btrace/.refs files on
+// first use, a fresh runner loads them back, and the cached stream is
+// identical to a regenerated one. Corrupt cache files are ignored, not
+// fatal.
+func TestDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Scale: 1, Seeds: 5, CacheDir: dir}
+
+	r1 := NewRunner(cfg)
+	want, err := r1.Stream("slang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "slang.s1.btrace")); err != nil {
+		t.Errorf("trace cache file not written: %v", err)
+	}
+	refsPath := filepath.Join(dir, "slang.s1.refs")
+	if _, err := os.Stat(refsPath); err != nil {
+		t.Fatalf("stream cache file not written: %v", err)
+	}
+
+	r2 := NewRunner(cfg)
+	got, err := r2.Stream("slang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || got.MaxID != want.MaxID || !reflect.DeepEqual(got.Refs, want.Refs) {
+		t.Error("cache-loaded stream differs from regenerated stream")
+	}
+	for id := 0; id <= want.MaxID; id++ {
+		if got.Text(id) != want.Text(id) {
+			t.Fatalf("id %d: cached text %q != %q", id, got.Text(id), want.Text(id))
+		}
+	}
+
+	// A corrupt cache entry must fall back to regeneration.
+	if err := os.WriteFile(refsPath, []byte("SMRS\x01garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r3 := NewRunner(cfg)
+	got3, err := r3.Stream("slang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got3.Refs, want.Refs) {
+		t.Error("regenerated-after-corruption stream differs")
 	}
 }
 

@@ -13,6 +13,12 @@ type Collector struct {
 	T trace.Trace
 	// MaxEvents stops collection beyond a bound; 0 means unlimited.
 	MaxEvents int
+	// interned dedupes rendered argument/result texts: benchmark traces
+	// reference the same lists over and over (that textual repetition
+	// is what Preprocess keys on), so retaining one string per distinct
+	// text instead of one per event cuts a trace's live memory by the
+	// same factor the binary format's string table cuts its file size.
+	interned map[string]string
 }
 
 // NewCollector returns a Collector with the given trace name.
@@ -24,6 +30,19 @@ func (c *Collector) full() bool {
 	return c.MaxEvents > 0 && len(c.T.Events) >= c.MaxEvents
 }
 
+// intern returns the canonical instance of a rendered text, keeping one
+// copy per distinct s-expression.
+func (c *Collector) intern(s string) string {
+	if c.interned == nil {
+		c.interned = make(map[string]string)
+	}
+	if v, ok := c.interned[s]; ok {
+		return v
+	}
+	c.interned[s] = s
+	return s
+}
+
 // Prim records a list primitive call.
 func (c *Collector) Prim(op string, args []sexpr.Value, result sexpr.Value, depth int) {
 	if c.full() {
@@ -31,11 +50,11 @@ func (c *Collector) Prim(op string, args []sexpr.Value, result sexpr.Value, dept
 	}
 	texts := make([]string, len(args))
 	for i, a := range args {
-		texts[i] = sexpr.String(a)
+		texts[i] = c.intern(sexpr.String(a))
 	}
 	c.T.Events = append(c.T.Events, trace.Event{
 		Kind: trace.KindPrim, Op: op, Args: texts,
-		Result: sexpr.String(result), Depth: depth,
+		Result: c.intern(sexpr.String(result)), Depth: depth,
 	})
 }
 

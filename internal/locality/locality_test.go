@@ -9,7 +9,7 @@ import (
 
 // prim builds a preprocessed primitive event touching the given ids.
 func prim(arg, result int, chain bool) trace.Ref {
-	return trace.Ref{Kind: trace.RefPrim, Op: "car", Args: []int{arg}, Result: result, Chain: chain}
+	return trace.Ref{Kind: trace.RefPrim, Op: trace.OpCar, Args: []int{arg}, Result: result, Chain: chain}
 }
 
 func stream(refs ...trace.Ref) *trace.Stream {
@@ -78,7 +78,7 @@ func TestPartitionSeparationConstraint(t *testing.T) {
 
 func TestPartitionConsJoins(t *testing.T) {
 	// cons of lists 1 and 2 relates them into one set.
-	st := stream(trace.Ref{Kind: trace.RefPrim, Op: "cons", Args: []int{1, 2}, Result: 3})
+	st := stream(trace.Ref{Kind: trace.RefPrim, Op: trace.OpCons, Args: []int{1, 2}, Result: 3})
 	p := PartitionStream(st, 1.0)
 	if len(p.Sets) != 1 {
 		t.Fatalf("got %d sets, want 1", len(p.Sets))
@@ -92,7 +92,7 @@ func TestPartitionLateMergeUnifiesSets(t *testing.T) {
 	// Sets {1} and {2} form independently, then an event touches both:
 	// they must merge into a single final set.
 	st := stream(prim(1, 0, false), prim(2, 0, false),
-		trace.Ref{Kind: trace.RefPrim, Op: "cons", Args: []int{1, 2}, Result: 3})
+		trace.Ref{Kind: trace.RefPrim, Op: trace.OpCons, Args: []int{1, 2}, Result: 3})
 	p := PartitionStream(st, 1.0)
 	if len(p.Sets) != 1 {
 		t.Fatalf("got %d sets, want 1 after merge", len(p.Sets))
@@ -107,9 +107,9 @@ func TestPartitionLateMergeUnifiesSets(t *testing.T) {
 
 func TestPartitionIgnoresAtomsAndFnEvents(t *testing.T) {
 	st := stream(
-		trace.Ref{Kind: trace.RefEnter, Op: "f"},
-		trace.Ref{Kind: trace.RefPrim, Op: "car", Args: []int{0}, Result: 0},
-		trace.Ref{Kind: trace.RefExit, Op: "f"},
+		trace.Ref{Kind: trace.RefEnter, Op: trace.InternOp("f")},
+		trace.Ref{Kind: trace.RefPrim, Op: trace.OpCar, Args: []int{0}, Result: 0},
+		trace.Ref{Kind: trace.RefExit, Op: trace.InternOp("f")},
 	)
 	p := PartitionStream(st, 0.1)
 	if len(p.Sets) != 0 || p.Refs != 0 {
@@ -261,14 +261,14 @@ func TestPartitionInvariants(t *testing.T) {
 		for i := 0; i < n; i++ {
 			switch r.Intn(4) {
 			case 0:
-				refs = append(refs, trace.Ref{Kind: trace.RefEnter, Op: "f"})
+				refs = append(refs, trace.Ref{Kind: trace.RefEnter, Op: trace.InternOp("f")})
 			case 1:
-				refs = append(refs, trace.Ref{Kind: trace.RefExit, Op: "f"})
+				refs = append(refs, trace.Ref{Kind: trace.RefExit, Op: trace.InternOp("f")})
 			default:
 				arg := r.Intn(40)
 				res := r.Intn(40)
 				refs = append(refs, trace.Ref{
-					Kind: trace.RefPrim, Op: "car",
+					Kind: trace.RefPrim, Op: trace.OpCar,
 					Args: []int{arg}, Result: res,
 				})
 			}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"strings"
@@ -72,9 +73,14 @@ func (p SimPoint) params() (sim.Params, error) {
 // the request's context.
 type SimRequest struct {
 	// Trace names a built-in benchmark (slang, plagen, lyra, editor,
-	// pearl); TraceText supplies a raw trace file instead.
+	// pearl); TraceText supplies a raw text trace file instead, and
+	// TraceData (base64 in JSON, per encoding/json []byte) supplies a
+	// trace in any on-disk format — text, binary ("SMTB"), or a
+	// preprocessed reference stream ("SMRS", which skips Preprocess
+	// server-side). TraceData wins over TraceText wins over Trace.
 	Trace     string `json:"trace,omitempty"`
 	TraceText string `json:"trace_text,omitempty"`
+	TraceData []byte `json:"trace_data,omitempty"`
 	Scale     int    `json:"scale,omitempty"` // benchmark trace scale (default 2)
 
 	// Point holds single-job parameters; Points, when non-empty, wins and
@@ -110,6 +116,11 @@ type SimResponse struct {
 	Trace   string      `json:"trace"`
 	Events  int         `json:"trace_events"`
 	Results []SimResult `json:"results"`
+
+	// decodedBytes counts the user-supplied trace payload bytes decoded
+	// for this job; the handler feeds it into
+	// smalld_trace_decode_bytes_total.
+	decodedBytes int64
 }
 
 func wireResult(r *sim.Result) SimResult {
@@ -150,19 +161,32 @@ func badRequestf(format string, args ...any) error {
 }
 
 // resolveStream produces the reference stream for a sim job, either by
-// generating a built-in benchmark trace or by decoding user-supplied
-// trace text through the hardened decoder.
-func resolveStream(req *SimRequest) (*trace.Stream, error) {
+// generating a built-in benchmark trace or by decoding a user-supplied
+// payload through the hardened decoders. The second return is the
+// number of user payload bytes decoded (0 for built-in benchmarks).
+func resolveStream(req *SimRequest) (*trace.Stream, int64, error) {
 	switch {
+	case len(req.TraceData) > 0:
+		t, st, err := trace.ReadAuto(bytes.NewReader(req.TraceData))
+		if err != nil {
+			return nil, 0, badRequestf("bad trace_data: %v", err)
+		}
+		if st == nil {
+			st = trace.Preprocess(t)
+		}
+		if len(st.Refs) == 0 {
+			return nil, 0, badRequestf("trace_data decodes to zero events")
+		}
+		return st, int64(len(req.TraceData)), nil
 	case req.TraceText != "":
 		t, err := trace.Read(strings.NewReader(req.TraceText))
 		if err != nil {
-			return nil, badRequestf("bad trace_text: %v", err)
+			return nil, 0, badRequestf("bad trace_text: %v", err)
 		}
 		if len(t.Events) == 0 {
-			return nil, badRequestf("trace_text decodes to zero events")
+			return nil, 0, badRequestf("trace_text decodes to zero events")
 		}
-		return trace.Preprocess(t), nil
+		return trace.Preprocess(t), int64(len(req.TraceText)), nil
 	case req.Trace != "":
 		b, ok := benchprogs.ByName(req.Trace)
 		if !ok {
@@ -170,7 +194,7 @@ func resolveStream(req *SimRequest) (*trace.Stream, error) {
 			for _, bb := range benchprogs.All() {
 				names = append(names, bb.Name)
 			}
-			return nil, badRequestf("unknown trace %q (want one of %s)", req.Trace, strings.Join(names, ", "))
+			return nil, 0, badRequestf("unknown trace %q (want one of %s)", req.Trace, strings.Join(names, ", "))
 		}
 		scale := req.Scale
 		if scale <= 0 {
@@ -178,18 +202,18 @@ func resolveStream(req *SimRequest) (*trace.Stream, error) {
 		}
 		t, err := benchprogs.Trace(b, scale)
 		if err != nil {
-			return nil, fmt.Errorf("generating %s trace: %w", req.Trace, err)
+			return nil, 0, fmt.Errorf("generating %s trace: %w", req.Trace, err)
 		}
-		return trace.Preprocess(t), nil
+		return trace.Preprocess(t), 0, nil
 	default:
-		return nil, badRequestf("one of trace or trace_text is required")
+		return nil, 0, badRequestf("one of trace, trace_text, or trace_data is required")
 	}
 }
 
 // runSim executes a sim job under ctx, fanning multi-point requests out
 // through the parsweep engine.
 func runSim(ctx context.Context, req *SimRequest) (*SimResponse, error) {
-	st, err := resolveStream(req)
+	st, decoded, err := resolveStream(req)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +241,7 @@ func runSim(ctx context.Context, req *SimRequest) (*SimResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp := &SimResponse{Trace: st.Name, Results: results}
+	resp := &SimResponse{Trace: st.Name, Results: results, decodedBytes: decoded}
 	if len(results) > 0 {
 		resp.Events = results[0].Events
 	}

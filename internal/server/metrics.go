@@ -77,18 +77,19 @@ func (m *metrics) add(name string, delta int64) {
 // counterHelp documents the flat counters that may appear; keeping the
 // inventory here keeps /metrics self-describing.
 var counterHelp = map[string]string{
-	"smalld_queue_rejected_total":    "requests rejected with 429 because the admission queue was full",
-	"smalld_requests_canceled_total": "requests whose client went away before a response was written",
-	"smalld_panics_total":            "request handlers recovered from a panic",
-	"smalld_sessions_created_total":  "sessions created",
-	"smalld_sessions_expired_total":  "sessions expired by the idle janitor",
-	"smalld_sessions_closed_total":   "sessions deleted by clients",
-	"smalld_evals_total":             "session eval requests executed",
-	"smalld_eval_steps_total":        "interpreter steps consumed by session evals",
-	"smalld_sim_points_total":        "simulation points executed by /v1/sim jobs",
-	"smalld_lpt_hits_total":          "cumulative LPT hits across session machines and simulation jobs",
-	"smalld_lpt_misses_total":        "cumulative LPT misses across session machines and simulation jobs",
-	"smalld_lpt_refops_total":        "cumulative LPT reference-count operations across session machines and simulation jobs",
+	"smalld_queue_rejected_total":     "requests rejected with 429 because the admission queue was full",
+	"smalld_requests_canceled_total":  "requests whose client went away before a response was written",
+	"smalld_panics_total":             "request handlers recovered from a panic",
+	"smalld_sessions_created_total":   "sessions created",
+	"smalld_sessions_expired_total":   "sessions expired by the idle janitor",
+	"smalld_sessions_closed_total":    "sessions deleted by clients",
+	"smalld_evals_total":              "session eval requests executed",
+	"smalld_eval_steps_total":         "interpreter steps consumed by session evals",
+	"smalld_sim_points_total":         "simulation points executed by /v1/sim jobs",
+	"smalld_trace_decode_bytes_total": "bytes of user-supplied trace payloads (text, binary, or refs) decoded by /v1/sim jobs",
+	"smalld_lpt_hits_total":           "cumulative LPT hits across session machines and simulation jobs",
+	"smalld_lpt_misses_total":         "cumulative LPT misses across session machines and simulation jobs",
+	"smalld_lpt_refops_total":         "cumulative LPT reference-count operations across session machines and simulation jobs",
 }
 
 // render writes the Prometheus text exposition format.

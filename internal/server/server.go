@@ -354,6 +354,9 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 				refops += res.Refops
 			}
 			s.metrics.add("smalld_sim_points_total", int64(len(resp.Results)))
+			if resp.decodedBytes > 0 {
+				s.metrics.add("smalld_trace_decode_bytes_total", resp.decodedBytes)
+			}
 			s.metrics.add("smalld_lpt_hits_total", hits)
 			s.metrics.add("smalld_lpt_misses_total", misses)
 			s.metrics.add("smalld_lpt_refops_total", refops)

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // loopExpr spins until the step budget or the request context stops it.
@@ -345,6 +347,71 @@ func TestSimJob(t *testing.T) {
 	}
 	if resp.Results[2].CacheHits+resp.Results[2].CacheMisses == 0 {
 		t.Fatalf("cache point has no cache stats: %+v", resp.Results[2])
+	}
+}
+
+// TestSimJobTraceData: binary and reference-stream payloads run through
+// trace_data, give the same results as the equivalent text trace, and
+// the decoded bytes show up in /metrics.
+func TestSimJobTraceData(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+
+	tr, err := trace.Read(strings.NewReader(tinyTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin, refs bytes.Buffer
+	if err := trace.WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteStream(&refs, trace.Preprocess(tr)); err != nil {
+		t.Fatal(err)
+	}
+
+	point := SimPoint{TableSize: 128, Seed: 7}
+	var want SimResponse
+	doJSON(t, "POST", hs.URL+"/v1/sim", SimRequest{TraceText: tinyTrace, Point: point}, &want)
+
+	// The TraceText baseline above counts toward the decode-bytes metric
+	// too; rejected payloads below do not (they fail before decoding).
+	decoded := int64(len(tinyTrace))
+	for _, c := range []struct {
+		name string
+		data []byte
+	}{
+		{"text", []byte(tinyTrace)},
+		{"binary", bin.Bytes()},
+		{"refs", refs.Bytes()},
+	} {
+		var resp SimResponse
+		r := doJSON(t, "POST", hs.URL+"/v1/sim", SimRequest{TraceData: c.data, Point: point}, &resp)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", c.name, r.StatusCode)
+		}
+		if len(resp.Results) != 1 || resp.Results[0] != want.Results[0] {
+			t.Fatalf("%s: results diverge from text trace:\n got %+v\nwant %+v",
+				c.name, resp.Results, want.Results)
+		}
+		decoded += int64(len(c.data))
+	}
+
+	// Corrupt binary payloads are client errors with a byte offset.
+	var eb errorBody
+	r := doJSON(t, "POST", hs.URL+"/v1/sim",
+		SimRequest{TraceData: bin.Bytes()[:8], Point: point}, &eb)
+	if r.StatusCode != http.StatusBadRequest || !strings.Contains(eb.Error, "offset ") {
+		t.Fatalf("truncated payload: status %d error %q", r.StatusCode, eb.Error)
+	}
+
+	mr, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	want2 := fmt.Sprintf("smalld_trace_decode_bytes_total %d", decoded)
+	if !strings.Contains(string(body), want2) {
+		t.Fatalf("/metrics missing %q:\n%s", want2, body)
 	}
 }
 

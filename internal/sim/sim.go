@@ -271,7 +271,7 @@ func RunCtx(ctx context.Context, st *trace.Stream, p Params) (*Result, error) {
 		case trace.RefPrim:
 			events++
 			if err := s.prim(r); err != nil {
-				return nil, fmt.Errorf("sim: event %d (%s): %w", i, r.Op, err)
+				return nil, fmt.Errorf("sim: event %d (%s): %w", i, trace.OpName(r.Op), err)
 			}
 		}
 	}
@@ -500,17 +500,19 @@ func (s *simulator) deliver(v core.Value, addr int64) {
 	f.temps = append(f.temps, len(s.stack)-1)
 }
 
-// prim replays one primitive event.
+// prim replays one primitive event. Dispatch is on interned opcodes —
+// an integer compare per event instead of a string compare; op names
+// are only materialized (via trace.OpName) on error paths.
 func (s *simulator) prim(r *trace.Ref) error {
 	switch r.Op {
-	case "car", "cdr":
+	case trace.OpCar, trace.OpCdr:
 		arg, err := s.argument(r)
 		if err != nil {
 			return err
 		}
 		pAddr := s.addrFor(arg)
 		s.cacheAccess(pAddr)
-		isCar := r.Op == "car"
+		isCar := r.Op == trace.OpCar
 		var out core.Value
 		access := func(v core.Value) (core.Value, error) {
 			if isCar {
@@ -534,7 +536,7 @@ func (s *simulator) prim(r *trace.Ref) error {
 		cAddr := s.childAddr(pAddr, isCar)
 		s.recordAddr(out, cAddr)
 		s.deliver(out, cAddr)
-	case "cons":
+	case trace.OpCons:
 		x, err := s.argument(r)
 		if err != nil {
 			return err
@@ -552,7 +554,7 @@ func (s *simulator) prim(r *trace.Ref) error {
 		s.recordAddr(out, addr)
 		s.cacheAccess(addr)
 		s.deliver(out, addr)
-	case "rplaca", "rplacd":
+	case trace.OpRplaca, trace.OpRplacd:
 		x, err := s.argument(r)
 		if err != nil {
 			return err
@@ -560,7 +562,7 @@ func (s *simulator) prim(r *trace.Ref) error {
 		y := s.randomOlder()
 		s.cacheAccess(s.addrFor(x))
 		doRplac := func(v core.Value) error {
-			if r.Op == "rplaca" {
+			if r.Op == trace.OpRplaca {
 				return s.m.Rplaca(v, y.val)
 			}
 			return s.m.Rplacd(v, y.val)
@@ -576,7 +578,7 @@ func (s *simulator) prim(r *trace.Ref) error {
 		}
 		s.lastResult = x
 		s.haveLast = true
-	case "read":
+	case trace.OpRead:
 		if err := s.freshObject(-1); err != nil {
 			return err
 		}

@@ -285,14 +285,14 @@ func TestTinyTableDegradesGracefully(t *testing.T) {
 // read events, unknown traversal ops, and hit-rate accessors.
 func TestSyntheticOps(t *testing.T) {
 	st := &trace.Stream{Refs: []trace.Ref{
-		{Kind: trace.RefEnter, Op: "f", NArgs: 2, Depth: 1},
-		{Kind: trace.RefPrim, Op: "read"},
-		{Kind: trace.RefPrim, Op: "car", Args: []int{1}, Result: 2},
-		{Kind: trace.RefPrim, Op: "nthcdr", Args: []int{1}, Result: 3}, // unknown op
-		{Kind: trace.RefPrim, Op: "rplaca", Args: []int{1}, Result: 1},
-		{Kind: trace.RefPrim, Op: "cons", Args: []int{1, 2}, Result: 4},
-		{Kind: trace.RefPrim, Op: "cdr", Args: []int{2}, Result: 5, Chain: true},
-		{Kind: trace.RefExit, Op: "f", Depth: 1},
+		{Kind: trace.RefEnter, Op: trace.InternOp("f"), NArgs: 2, Depth: 1},
+		{Kind: trace.RefPrim, Op: trace.OpRead},
+		{Kind: trace.RefPrim, Op: trace.OpCar, Args: []int{1}, Result: 2},
+		{Kind: trace.RefPrim, Op: trace.InternOp("nthcdr"), Args: []int{1}, Result: 3}, // unknown op
+		{Kind: trace.RefPrim, Op: trace.OpRplaca, Args: []int{1}, Result: 1},
+		{Kind: trace.RefPrim, Op: trace.OpCons, Args: []int{1, 2}, Result: 4},
+		{Kind: trace.RefPrim, Op: trace.OpCdr, Args: []int{2}, Result: 5, Chain: true},
+		{Kind: trace.RefExit, Op: trace.InternOp("f"), Depth: 1},
 	}}
 	res, err := Run(st, Params{TableSize: 64, Seed: 3, CacheEntries: 64})
 	if err != nil {

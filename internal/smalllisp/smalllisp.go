@@ -24,12 +24,12 @@ type Interp struct {
 	m *core.Machine
 	// stack is the EP's control-cum-binding stack: deep binding, searched
 	// newest-first (§4.3.1).
-	stack  []binding
-	frames []int
-	fns    map[sexpr.Symbol]*function
-	props  map[sexpr.Symbol]map[sexpr.Symbol]core.Value
-	out    io.Writer
-	input  []sexpr.Value
+	stack   []binding
+	frames  []int
+	fns     map[sexpr.Symbol]*function
+	props   map[sexpr.Symbol]map[sexpr.Symbol]core.Value
+	out     io.Writer
+	input   []sexpr.Value
 	gensym  int64
 	steps   int64
 	limit   int64

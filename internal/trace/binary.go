@@ -1,0 +1,698 @@
+// Binary trace codec ("SMTB", version 1).
+//
+// The text format of Write/Read spends most of its bytes repeating op
+// names and s-expression argument texts, and most of its decode time in
+// strings.Split/strconv.Atoi and per-line allocation. The binary format
+// writes each distinct op name and argument text once, into two
+// front-loaded tables, and encodes the event sequence as varint columns
+// in fixed-size blocks:
+//
+//	magic   4 bytes "SMTB"
+//	version 1 byte
+//	name    uvarint length + bytes
+//	ops     uvarint count, then count x (uvarint length + bytes)
+//	strs    uvarint count, then count x (uvarint length + bytes);
+//	        entry 0 is always ""
+//	events  uvarint count
+//	blocks, each covering min(1024, remaining) events:
+//	  kinds  one byte per event: bits 0-1 the kind (0=P 1=E 2=X),
+//	         bits 2-7 the argument count n (prim arg indices / enter
+//	         nargs); n = 63 means the true count follows in aux
+//	  depths one uvarint per event
+//	  ops    one uvarint per event (index into the op table)
+//	  aux    per event, in order:
+//	    P: uvarint result index, [uvarint nargs if n = 63],
+//	       nargs x uvarint arg index
+//	    E: [uvarint nargs if n = 63]
+//	    X: nothing
+//
+// Front-loaded tables plus per-block columns mean a Decoder can yield
+// events one at a time without materializing the whole trace, sharing
+// one string per distinct op/argument. Versioning rule: the magic pins
+// the family; any layout change bumps the version byte, and decoders
+// reject versions they do not know.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+var (
+	magicTrace  = [4]byte{'S', 'M', 'T', 'B'}
+	magicStream = [4]byte{'S', 'M', 'R', 'S'}
+)
+
+const (
+	traceVersion  = 1
+	streamVersion = 1
+	blockEvents   = 1024
+
+	// Kind-byte packing. Both formats keep the kind in the low bits and
+	// fold the event's argument count into the rest of the byte, with a
+	// sentinel meaning "count too big, explicit varint in aux". The
+	// stream format reserves bit 2 for the chaining flag, so its count
+	// field is narrower.
+	kindMask            = 0x03
+	kindNArgsShift      = 2
+	kindNArgsOverflow   = 0x3F // 6-bit field: 0..62 inline, 63 = explicit
+	streamNArgsShift    = 3
+	streamNArgsOverflow = 0x1F // 5-bit field: 0..30 inline, 31 = explicit
+
+	// Decode limits. They reject absurd claims early (a hostile header
+	// promising 2^60 strings) while admitting anything the tracer or
+	// text decoder can produce.
+	maxNameLen    = 1 << 16
+	maxOpLen      = 1 << 12
+	maxStrLen     = 1 << 24
+	maxTableCount = 1 << 28
+	maxEventCount = 1 << 31
+	maxEventArgs  = 1 << 20
+	maxDepth      = 1 << 30
+	// preallocCap bounds capacity hints taken from header counts, so
+	// memory grows with actual file bytes, not with hostile claims.
+	preallocCap = 1 << 16
+)
+
+// encErrorf reports an unencodable in-memory trace (negative depth,
+// empty op, ...): WriteBinary is strict so that everything it emits is
+// accepted back by ReadBinary.
+func encErrorf(format string, args ...any) error {
+	return fmt.Errorf("trace: binary encode: "+format, args...)
+}
+
+// appendUvarint is binary.AppendUvarint for a reused scratch buffer.
+func writeUvarint(bw *bufio.Writer, scratch []byte, v uint64) error {
+	n := binary.PutUvarint(scratch, v)
+	_, err := bw.Write(scratch[:n])
+	return err
+}
+
+func writeTableString(bw *bufio.Writer, scratch []byte, s string) error {
+	if err := writeUvarint(bw, scratch, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := bw.WriteString(s)
+	return err
+}
+
+// WriteBinary encodes t in the binary trace format. The encoder is
+// strict: events a text Write could not represent (negative depth or
+// nargs, empty or tab-bearing op names) are rejected rather than
+// written, so binary files never smuggle records past the text format's
+// invariants.
+func WriteBinary(w io.Writer, t *Trace) error {
+	if strings.ContainsAny(t.Name, "\n\r") {
+		return encErrorf("trace name contains a newline")
+	}
+	// First pass: build the op and string tables in first-appearance
+	// order (deterministic, so re-encoding a decoded trace is
+	// byte-identical).
+	opIdx := make(map[string]uint64)
+	var opNames []string
+	strIdx := map[string]uint64{"": 0}
+	strs := []string{""}
+	internStr := func(s string) (uint64, error) {
+		if i, ok := strIdx[s]; ok {
+			return i, nil
+		}
+		if strings.ContainsAny(s, "\t\n\r") {
+			return 0, encErrorf("argument text %q contains a tab or newline", s)
+		}
+		i := uint64(len(strs))
+		strIdx[s] = i
+		strs = append(strs, s)
+		return i, nil
+	}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Kind > KindExit {
+			return encErrorf("event %d: unknown kind %d", i, ev.Kind)
+		}
+		if ev.Op == "" {
+			return encErrorf("event %d: empty op", i)
+		}
+		if strings.ContainsAny(ev.Op, "\t\n\r") {
+			return encErrorf("event %d: op %q contains a tab or newline", i, ev.Op)
+		}
+		if ev.Depth < 0 {
+			return encErrorf("event %d: negative depth %d", i, ev.Depth)
+		}
+		if _, ok := opIdx[ev.Op]; !ok {
+			opIdx[ev.Op] = uint64(len(opNames))
+			opNames = append(opNames, ev.Op)
+		}
+		switch ev.Kind {
+		case KindPrim:
+			if _, err := internStr(ev.Result); err != nil {
+				return err
+			}
+			for _, a := range ev.Args {
+				if _, err := internStr(a); err != nil {
+					return err
+				}
+			}
+		case KindEnter:
+			if ev.NArgs < 0 {
+				return encErrorf("event %d: negative nargs %d", i, ev.NArgs)
+			}
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	scratch := make([]byte, binary.MaxVarintLen64)
+	if _, err := bw.Write(magicTrace[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return err
+	}
+	if err := writeTableString(bw, scratch, t.Name); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, scratch, uint64(len(opNames))); err != nil {
+		return err
+	}
+	for _, s := range opNames {
+		if err := writeTableString(bw, scratch, s); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(bw, scratch, uint64(len(strs))); err != nil {
+		return err
+	}
+	for _, s := range strs {
+		if err := writeTableString(bw, scratch, s); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(bw, scratch, uint64(len(t.Events))); err != nil {
+		return err
+	}
+
+	for start := 0; start < len(t.Events); start += blockEvents {
+		end := min(start+blockEvents, len(t.Events))
+		block := t.Events[start:end]
+		for i := range block {
+			ev := &block[i]
+			b := byte(ev.Kind)
+			if n := eventNArgs(ev); n < kindNArgsOverflow {
+				b |= byte(n) << kindNArgsShift
+			} else {
+				b |= kindNArgsOverflow << kindNArgsShift
+			}
+			if err := bw.WriteByte(b); err != nil {
+				return err
+			}
+		}
+		for i := range block {
+			if err := writeUvarint(bw, scratch, uint64(block[i].Depth)); err != nil {
+				return err
+			}
+		}
+		for i := range block {
+			if err := writeUvarint(bw, scratch, opIdx[block[i].Op]); err != nil {
+				return err
+			}
+		}
+		for i := range block {
+			ev := &block[i]
+			switch ev.Kind {
+			case KindPrim:
+				if err := writeUvarint(bw, scratch, strIdx[ev.Result]); err != nil {
+					return err
+				}
+				if n := len(ev.Args); n >= kindNArgsOverflow {
+					if err := writeUvarint(bw, scratch, uint64(n)); err != nil {
+						return err
+					}
+				}
+				for _, a := range ev.Args {
+					if err := writeUvarint(bw, scratch, strIdx[a]); err != nil {
+						return err
+					}
+				}
+			case KindEnter:
+				if ev.NArgs >= kindNArgsOverflow {
+					if err := writeUvarint(bw, scratch, uint64(ev.NArgs)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// eventNArgs is the argument count packed into an event's kind byte:
+// prims carry their argument-index count, enters the declared NArgs.
+func eventNArgs(ev *Event) int {
+	switch ev.Kind {
+	case KindPrim:
+		return len(ev.Args)
+	case KindEnter:
+		return ev.NArgs
+	}
+	return 0
+}
+
+// Decoder streams events out of a binary trace without materializing
+// the whole Trace. Construct with NewDecoder, then call Next until it
+// returns io.EOF. Decoded events share the decoder's interned op and
+// argument strings, and Next reuses the caller's Args backing array, so
+// steady-state decoding allocates nothing per event.
+type Decoder struct {
+	r    io.Reader
+	buf  []byte
+	pos  int   // next unread byte in buf
+	lim  int   // valid bytes in buf
+	rerr error // deferred read error; io.EOF at a clean end of input
+	off  int64 // bytes consumed; decode errors carry this offset
+
+	name  string
+	ops   []string
+	strs  []string
+	total int
+
+	remaining int // events not yet handed out, including current block
+	blockN    int // events in the current block
+	blockI    int // next event within the block
+	event     int // absolute index of the next event (for errors)
+	kinds     [blockEvents]byte
+	depths    [blockEvents]int64
+	opix      [blockEvents]uint32
+}
+
+// errf wraps a decode failure with the current byte offset and event
+// index — the binary-format analogue of the text decoder's line number.
+func (d *Decoder) errf(format string, args ...any) error {
+	return fmt.Errorf("trace: binary: offset %d (event %d): %s",
+		d.off, d.event, fmt.Sprintf(format, args...))
+}
+
+// decodeBufSize is the decoder's read-ahead window. The hot path
+// decodes varints with direct slice indexing into this buffer; an
+// io.Reader round trip happens once per window, not per byte.
+const decodeBufSize = 64 << 10
+
+// fill compacts unread bytes to the front of the buffer and reads more
+// from the source, stopping as soon as it makes progress.
+func (d *Decoder) fill() {
+	if d.pos > 0 {
+		d.lim = copy(d.buf, d.buf[d.pos:d.lim])
+		d.pos = 0
+	}
+	for d.rerr == nil && d.lim < len(d.buf) {
+		n, err := d.r.Read(d.buf[d.lim:])
+		d.lim += n
+		if err != nil {
+			d.rerr = err
+		}
+		if n > 0 {
+			return
+		}
+	}
+}
+
+func (d *Decoder) readByte() (byte, error) {
+	for d.pos == d.lim {
+		if d.rerr != nil {
+			return 0, d.rerr
+		}
+		d.fill()
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	d.off++
+	return b, nil
+}
+
+// readFull is io.ReadFull against the decoder's buffer; on a short read
+// it returns the bytes it got with the underlying error.
+func (d *Decoder) readFull(dst []byte) (int, error) {
+	got := 0
+	for got < len(dst) {
+		if d.pos == d.lim {
+			if d.rerr != nil {
+				return got, d.rerr
+			}
+			d.fill()
+			continue
+		}
+		n := copy(dst[got:], d.buf[d.pos:d.lim])
+		got += n
+		d.pos += n
+		d.off += int64(n)
+	}
+	return got, nil
+}
+
+// readUvarint decodes a varint by direct indexing into the buffered
+// window — one of these runs per column entry, so it must not pay an
+// interface call per byte. The single-byte case (depths, op indices,
+// small tables) stays small enough for the compiler to inline.
+func (d *Decoder) readUvarint(what string) (uint64, error) {
+	if d.pos < d.lim {
+		if b := d.buf[d.pos]; b < 0x80 {
+			d.pos++
+			d.off++
+			return uint64(b), nil
+		}
+	}
+	return d.readUvarintSlow(what)
+}
+
+func (d *Decoder) readUvarintSlow(what string) (uint64, error) {
+	for d.lim-d.pos < binary.MaxVarintLen64 && d.rerr == nil {
+		d.fill()
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:d.lim])
+	if n > 0 {
+		d.pos += n
+		d.off += int64(n)
+		return v, nil
+	}
+	if n < 0 {
+		return 0, d.errf("reading %s: varint overflows 64 bits", what)
+	}
+	// n == 0: the varint runs past the end of input.
+	if d.rerr != nil && d.rerr != io.EOF {
+		return 0, d.errf("reading %s: %v", what, d.rerr)
+	}
+	return 0, d.errf("unexpected EOF reading %s", what)
+}
+
+// readCount reads a uvarint bounded by limit.
+func (d *Decoder) readCount(what string, limit uint64) (int, error) {
+	v, err := d.readUvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > limit {
+		return 0, d.errf("%s %d exceeds limit %d", what, v, limit)
+	}
+	return int(v), nil
+}
+
+func (d *Decoder) readTableString(what string, maxLen int) (string, error) {
+	n, err := d.readCount(what+" length", uint64(maxLen))
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", nil
+	}
+	buf := make([]byte, n)
+	got, err := d.readFull(buf)
+	if err != nil {
+		return "", d.errf("unexpected EOF reading %s (%d of %d bytes)", what, got, n)
+	}
+	s := string(buf)
+	if strings.ContainsAny(s, "\t\n\r") {
+		return "", d.errf("%s %q contains a tab or newline", what, s)
+	}
+	return s, nil
+}
+
+// readTable reads count length-prefixed entries, packing their bytes
+// into one shared backing string so decoding a table costs O(1) string
+// allocations instead of one per entry. The capacity hints stay bounded
+// by preallocCap; memory grows with bytes actually read from the file.
+func (d *Decoder) readTable(what string, count, maxLen int, allowEmpty bool) ([]string, error) {
+	out := make([]string, 0, min(count, preallocCap))
+	if count == 0 {
+		return out, nil
+	}
+	lens := make([]int, 0, min(count, preallocCap))
+	var buf []byte
+	for i := 0; i < count; i++ {
+		n, err := d.readCount(what+" length", uint64(maxLen))
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 && !allowEmpty {
+			return nil, d.errf("%s table entry %d is empty", what, i)
+		}
+		if cap(buf)-len(buf) < n {
+			nb := make([]byte, len(buf), max(2*cap(buf), len(buf)+n))
+			copy(nb, buf)
+			buf = nb
+		}
+		start := len(buf)
+		buf = buf[:start+n]
+		got, err := d.readFull(buf[start:])
+		if err != nil {
+			return nil, d.errf("unexpected EOF reading %s (%d of %d bytes)", what, got, n)
+		}
+		lens = append(lens, n)
+	}
+	backing := string(buf)
+	pos := 0
+	for i, n := range lens {
+		s := backing[pos : pos+n]
+		pos += n
+		if strings.ContainsAny(s, "\t\n\r") {
+			return nil, d.errf("%s entry %d %q contains a tab or newline", what, i, s)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// NewDecoder reads the header and tables of a binary trace and prepares
+// to stream its events.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	d := &Decoder{r: r, buf: make([]byte, decodeBufSize)}
+	var magic [4]byte
+	got, err := d.readFull(magic[:])
+	if err != nil || magic != magicTrace {
+		return nil, d.errf("not a binary trace (bad magic %q)", magic[:got])
+	}
+	ver, err := d.readByte()
+	if err != nil {
+		return nil, d.errf("unexpected EOF reading version")
+	}
+	if ver != traceVersion {
+		return nil, d.errf("unsupported binary trace version %d (want %d)", ver, traceVersion)
+	}
+	if d.name, err = d.readTableString("trace name", maxNameLen); err != nil {
+		return nil, err
+	}
+	nops, err := d.readCount("op table count", maxTableCount)
+	if err != nil {
+		return nil, err
+	}
+	if d.ops, err = d.readTable("op name", nops, maxOpLen, false); err != nil {
+		return nil, err
+	}
+	// Share the canonical interned instance across traces; if the global
+	// op table is full, keep the table-backed substring.
+	for i, s := range d.ops {
+		if c := InternOp(s); c != OpNone {
+			d.ops[i] = OpName(c)
+		}
+	}
+	nstrs, err := d.readCount("string table count", maxTableCount)
+	if err != nil {
+		return nil, err
+	}
+	if d.strs, err = d.readTable("string table entry", nstrs, maxStrLen, true); err != nil {
+		return nil, err
+	}
+	if d.total, err = d.readCount("event count", maxEventCount); err != nil {
+		return nil, err
+	}
+	d.remaining = d.total
+	return d, nil
+}
+
+// Name returns the trace name from the header.
+func (d *Decoder) Name() string { return d.name }
+
+// Events returns the total event count from the header.
+func (d *Decoder) Events() int { return d.total }
+
+// readBlock loads the next block's kind/depth/op columns.
+func (d *Decoder) readBlock() error {
+	n := min(blockEvents, d.remaining)
+	d.blockN, d.blockI = n, 0
+	got, err := d.readFull(d.kinds[:n])
+	if err != nil {
+		return d.errf("unexpected EOF reading kind column (%d of %d bytes)", got, n)
+	}
+	for i := 0; i < n; i++ {
+		kb := d.kinds[i]
+		if kb&kindMask > byte(KindExit) {
+			return d.errf("unknown event kind %d", kb&kindMask)
+		}
+		if kb&kindMask == byte(KindExit) && kb>>kindNArgsShift != 0 {
+			return d.errf("exit event kind byte %#x carries an argument count", kb)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, err := d.readUvarint("depth")
+		if err != nil {
+			return err
+		}
+		if v > maxDepth {
+			return d.errf("depth %d exceeds limit %d", v, int64(maxDepth))
+		}
+		d.depths[i] = int64(v)
+	}
+	for i := 0; i < n; i++ {
+		v, err := d.readUvarint("op index")
+		if err != nil {
+			return err
+		}
+		if v >= uint64(len(d.ops)) {
+			return d.errf("op index %d out of range (table has %d)", v, len(d.ops))
+		}
+		d.opix[i] = uint32(v)
+	}
+	return nil
+}
+
+// Next decodes the next event into ev, reusing ev's Args backing array
+// when its capacity suffices. It returns io.EOF after the last event.
+// The strings placed in ev are shared with the decoder's tables: valid
+// indefinitely, but common to all events.
+func (d *Decoder) Next(ev *Event) error {
+	if d.blockI >= d.blockN {
+		if d.remaining == 0 {
+			return io.EOF
+		}
+		if err := d.readBlock(); err != nil {
+			return err
+		}
+	}
+	i := d.blockI
+	kb := d.kinds[i]
+	kind := Kind(kb & kindMask)
+	nargs := int(kb >> kindNArgsShift)
+	// Keep the caller's Args backing array across every event kind —
+	// enter/exit events must not drop it, or the next prim reallocates.
+	args := ev.Args[:0]
+	*ev = Event{Kind: kind, Op: d.ops[d.opix[i]], Depth: int(d.depths[i]), Args: args}
+	switch kind {
+	case KindPrim:
+		ri, err := d.readUvarint("result index")
+		if err != nil {
+			return err
+		}
+		if ri >= uint64(len(d.strs)) {
+			return d.errf("result index %d out of range (table has %d)", ri, len(d.strs))
+		}
+		ev.Result = d.strs[ri]
+		if nargs == kindNArgsOverflow {
+			if nargs, err = d.readCount("argument count", maxEventArgs); err != nil {
+				return err
+			}
+		}
+		for j := 0; j < nargs; j++ {
+			ai, err := d.readUvarint("argument index")
+			if err != nil {
+				return err
+			}
+			if ai >= uint64(len(d.strs)) {
+				return d.errf("argument index %d out of range (table has %d)", ai, len(d.strs))
+			}
+			args = append(args, d.strs[ai])
+		}
+		ev.Args = args
+	case KindEnter:
+		if nargs == kindNArgsOverflow {
+			var err error
+			if nargs, err = d.readCount("nargs", maxEventArgs); err != nil {
+				return err
+			}
+		}
+		ev.NArgs = nargs
+	}
+	d.blockI++
+	d.event++
+	d.remaining--
+	return nil
+}
+
+// ReadBinary decodes a complete binary trace written by WriteBinary.
+// Event argument slices are carved out of shared chunked arrays and the
+// strings are interned per table entry, so decoding allocates orders of
+// magnitude less than the text Read.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: d.Name()}
+	t.Events = make([]Event, 0, min(d.Events(), preallocCap))
+	// This is Next's decode loop inlined to fill the events slice in
+	// place: no intermediate Event copy, and argument indices resolve
+	// straight into chunked arena storage instead of through a scratch
+	// slice. Keep the two in sync with any format change.
+	var arena []string // chunked backing storage for event Args
+	for d.event < d.total {
+		if d.blockI >= d.blockN {
+			if err := d.readBlock(); err != nil {
+				return nil, err
+			}
+		}
+		i := d.blockI
+		kb := d.kinds[i]
+		nargs := int(kb >> kindNArgsShift)
+		t.Events = append(t.Events, Event{
+			Kind: Kind(kb & kindMask), Op: d.ops[d.opix[i]], Depth: int(d.depths[i]),
+		})
+		e := &t.Events[len(t.Events)-1]
+		switch e.Kind {
+		case KindPrim:
+			ri, err := d.readUvarint("result index")
+			if err != nil {
+				return nil, err
+			}
+			if ri >= uint64(len(d.strs)) {
+				return nil, d.errf("result index %d out of range (table has %d)", ri, len(d.strs))
+			}
+			e.Result = d.strs[ri]
+			if nargs == kindNArgsOverflow {
+				if nargs, err = d.readCount("argument count", maxEventArgs); err != nil {
+					return nil, err
+				}
+			}
+			if nargs > 0 {
+				if len(arena)+nargs > cap(arena) {
+					arena = make([]string, 0, max(4*blockEvents, nargs))
+				}
+				start := len(arena)
+				for j := 0; j < nargs; j++ {
+					ai, err := d.readUvarint("argument index")
+					if err != nil {
+						return nil, err
+					}
+					if ai >= uint64(len(d.strs)) {
+						return nil, d.errf("argument index %d out of range (table has %d)", ai, len(d.strs))
+					}
+					arena = append(arena, d.strs[ai])
+				}
+				e.Args = arena[start:len(arena):len(arena)]
+			}
+		case KindEnter:
+			if nargs == kindNArgsOverflow {
+				if nargs, err = d.readCount("nargs", maxEventArgs); err != nil {
+					return nil, err
+				}
+			}
+			e.NArgs = nargs
+		}
+		d.blockI++
+		d.event++
+		d.remaining--
+	}
+	// The event count is authoritative; trailing bytes mean corruption.
+	if _, err := d.readByte(); err != io.EOF {
+		return nil, d.errf("trailing data after %d events", d.Events())
+	}
+	return t, nil
+}

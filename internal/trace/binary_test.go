@@ -1,0 +1,358 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomTrace builds an arbitrary-but-valid trace: nested enters/exits,
+// prims with 0..3 args drawn from a small text pool (so the string
+// table sees both repeats and variety), including zero-arg reads.
+func randomTrace(r *rand.Rand, n int) *Trace {
+	pool := []string{"(a b c)", "(b c)", "nil", "a", "(x (y z))", "", "(q)", "42"}
+	ops := []string{"car", "cdr", "cons", "rplaca", "read", "member", "fn1", "fn2"}
+	tr := &Trace{Name: "rnd"}
+	depth := 1
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0:
+			tr.Events = append(tr.Events, Event{Kind: KindEnter, Op: ops[6+r.Intn(2)], NArgs: r.Intn(4), Depth: depth})
+			depth++
+		case 1:
+			if depth > 1 {
+				depth--
+				tr.Events = append(tr.Events, Event{Kind: KindExit, Op: ops[6+r.Intn(2)], Depth: depth})
+			}
+		default:
+			ev := Event{
+				Kind: KindPrim, Op: ops[r.Intn(6)],
+				Result: pool[r.Intn(len(pool))], Depth: depth,
+			}
+			for j := r.Intn(4); j > 0; j-- {
+				ev.Args = append(ev.Args, pool[r.Intn(len(pool))])
+			}
+			tr.Events = append(tr.Events, ev)
+		}
+	}
+	return tr
+}
+
+func encodeBinary(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	back, err := ReadBinary(bytes.NewReader(encodeBinary(t, tr)))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if back.Name != tr.Name {
+		t.Errorf("Name = %q, want %q", back.Name, tr.Name)
+	}
+	if !reflect.DeepEqual(normalize(back.Events), normalize(tr.Events)) {
+		t.Errorf("events differ:\n got %+v\nwant %+v", back.Events, tr.Events)
+	}
+}
+
+// TestBinaryRoundTripProperty: for random valid traces, text and binary
+// encodings decode to the same events, binary re-encode is
+// byte-identical, and the preprocessed streams agree.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(r, 10+r.Intn(200))
+
+		bin := encodeBinary(t, tr)
+		fromBin, err := ReadBinary(bytes.NewReader(bin))
+		if err != nil {
+			t.Logf("ReadBinary: %v", err)
+			return false
+		}
+		if fromBin.Name != tr.Name ||
+			!reflect.DeepEqual(normalize(fromBin.Events), normalize(tr.Events)) {
+			t.Logf("binary round trip changed events")
+			return false
+		}
+		// Byte-identical re-encode.
+		if !bytes.Equal(encodeBinary(t, fromBin), bin) {
+			t.Logf("binary re-encode not byte-identical")
+			return false
+		}
+		// Text and binary decode agree.
+		var text bytes.Buffer
+		if err := Write(&text, tr); err != nil {
+			t.Logf("Write: %v", err)
+			return false
+		}
+		fromText, err := Read(bytes.NewReader(text.Bytes()))
+		if err != nil {
+			t.Logf("Read: %v", err)
+			return false
+		}
+		if !reflect.DeepEqual(normalize(fromText.Events), normalize(fromBin.Events)) {
+			t.Logf("text and binary decodes disagree")
+			return false
+		}
+		// Text re-encode is idempotent (Write∘Read fixed point).
+		var text2 bytes.Buffer
+		if err := Write(&text2, fromText); err != nil {
+			t.Logf("re-Write: %v", err)
+			return false
+		}
+		if !bytes.Equal(text2.Bytes(), text.Bytes()) {
+			t.Logf("text re-encode not byte-identical:\n got %q\nwant %q", text2.Bytes(), text.Bytes())
+			return false
+		}
+		// Preprocessed streams agree field-for-field.
+		stA, stB := Preprocess(tr), Preprocess(fromBin)
+		if !reflect.DeepEqual(stA, stB) {
+			t.Logf("preprocessed streams disagree")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStreamRoundTripProperty: Preprocess -> WriteStream -> ReadStream
+// is lossless and re-encoding is byte-identical.
+func TestStreamRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := Preprocess(randomTrace(r, 10+r.Intn(200)))
+		var buf bytes.Buffer
+		if err := WriteStream(&buf, st); err != nil {
+			t.Logf("WriteStream: %v", err)
+			return false
+		}
+		back, err := ReadStream(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Logf("ReadStream: %v", err)
+			return false
+		}
+		if !reflect.DeepEqual(normalizeStream(back), normalizeStream(st)) {
+			t.Logf("stream round trip changed refs:\n got %+v\nwant %+v", back, st)
+			return false
+		}
+		var buf2 bytes.Buffer
+		if err := WriteStream(&buf2, back); err != nil {
+			t.Logf("re-WriteStream: %v", err)
+			return false
+		}
+		if !bytes.Equal(buf2.Bytes(), buf.Bytes()) {
+			t.Logf("stream re-encode not byte-identical")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// normalizeStream maps nil and empty Args/IDText together for comparison.
+func normalizeStream(st *Stream) *Stream {
+	out := &Stream{Name: st.Name, MaxID: st.MaxID}
+	for _, r := range st.Refs {
+		if len(r.Args) == 0 {
+			r.Args = nil
+		}
+		out.Refs = append(out.Refs, r)
+	}
+	for id := 0; id <= st.MaxID; id++ {
+		out.IDText = append(out.IDText, st.Text(id))
+	}
+	return out
+}
+
+// TestDecoderStreams: the streaming Decoder yields the same events as
+// ReadBinary and reports name/count from the header.
+func TestDecoderStreams(t *testing.T) {
+	tr := sampleTrace()
+	bin := encodeBinary(t, tr)
+	d, err := NewDecoder(bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != tr.Name {
+		t.Errorf("Name() = %q, want %q", d.Name(), tr.Name)
+	}
+	if d.Events() != len(tr.Events) {
+		t.Errorf("Events() = %d, want %d", d.Events(), len(tr.Events))
+	}
+	var got []Event
+	var ev Event
+	for {
+		err := d.Next(&ev)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := ev
+		cp.Args = append([]string(nil), ev.Args...)
+		got = append(got, cp)
+	}
+	if !reflect.DeepEqual(normalize(got), normalize(tr.Events)) {
+		t.Errorf("decoder events differ:\n got %+v\nwant %+v", got, tr.Events)
+	}
+}
+
+// TestStreamAndTraceStatsAgree: SummarizeStream and MeasureNPStream on
+// Preprocess(t) match Summarize and MeasureNP on t.
+func TestStreamAndTraceStatsAgree(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(r, 150)
+		st := Preprocess(tr)
+		a, b := Summarize(tr), SummarizeStream(st)
+		if a.Functions != b.Functions || a.Primitives != b.Primitives || a.MaxDepth != b.MaxDepth {
+			t.Fatalf("seed %d: stats disagree: %+v vs %+v", seed, a, b)
+		}
+		if !reflect.DeepEqual(a.PerOp, b.PerOp) {
+			t.Fatalf("seed %d: PerOp disagree: %v vs %v", seed, a.PerOp, b.PerOp)
+		}
+		npA, npB := MeasureNP(tr), MeasureNPStream(st)
+		if !reflect.DeepEqual(npA, npB) {
+			t.Fatalf("seed %d: NP stats disagree: %+v vs %+v", seed, npA, npB)
+		}
+	}
+}
+
+func TestWriteBinaryRejectsInvalid(t *testing.T) {
+	for name, tr := range map[string]*Trace{
+		"negative depth": {Events: []Event{{Kind: KindPrim, Op: "car", Depth: -1}}},
+		"negative nargs": {Events: []Event{{Kind: KindEnter, Op: "f", NArgs: -2}}},
+		"empty op":       {Events: []Event{{Kind: KindPrim, Op: ""}}},
+		"tab in op":      {Events: []Event{{Kind: KindPrim, Op: "a\tb"}}},
+		"tab in arg":     {Events: []Event{{Kind: KindPrim, Op: "car", Args: []string{"a\tb"}}}},
+		"newline name":   {Name: "a\nb"},
+		"bad kind":       {Events: []Event{{Kind: Kind(9), Op: "x"}}},
+	} {
+		if err := WriteBinary(io.Discard, tr); err == nil {
+			t.Errorf("%s: WriteBinary accepted invalid trace", name)
+		}
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	valid := encodeBinary(t, sampleTrace())
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     []byte("NOPE\x01"),
+		"short magic":   []byte("SM"),
+		"bad version":   append([]byte("SMTB"), 99),
+		"truncated":     valid[:len(valid)/2],
+		"trailing data": append(append([]byte{}, valid...), 0xff),
+	}
+	for name, data := range cases {
+		_, err := ReadBinary(bytes.NewReader(data))
+		if err == nil {
+			t.Errorf("%s: ReadBinary accepted corrupt input", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "offset ") {
+			t.Errorf("%s: error %q does not carry a byte offset", name, err)
+		}
+	}
+}
+
+func TestReadStreamErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, Preprocess(sampleTrace())); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     []byte("NOPE\x01"),
+		"bad version":   append([]byte("SMRS"), 99),
+		"truncated":     valid[:len(valid)/2],
+		"trailing data": append(append([]byte{}, valid...), 0xff),
+	}
+	for name, data := range cases {
+		_, err := ReadStream(bytes.NewReader(data))
+		if err == nil {
+			t.Errorf("%s: ReadStream accepted corrupt input", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "offset ") {
+			t.Errorf("%s: error %q does not carry a byte offset", name, err)
+		}
+	}
+}
+
+// TestReadAuto sniffs all three formats from the same byte source.
+func TestReadAuto(t *testing.T) {
+	tr := sampleTrace()
+	var text bytes.Buffer
+	if err := Write(&text, tr); err != nil {
+		t.Fatal(err)
+	}
+	bin := encodeBinary(t, tr)
+	var refs bytes.Buffer
+	if err := WriteStream(&refs, Preprocess(tr)); err != nil {
+		t.Fatal(err)
+	}
+
+	if gt, gs, err := ReadAuto(bytes.NewReader(text.Bytes())); err != nil || gt == nil || gs != nil {
+		t.Errorf("text: ReadAuto = (%v, %v, %v)", gt, gs, err)
+	}
+	gt, gs, err := ReadAuto(bytes.NewReader(bin))
+	if err != nil || gt == nil || gs != nil {
+		t.Errorf("binary: ReadAuto = (%v, %v, %v)", gt, gs, err)
+	} else if !reflect.DeepEqual(normalize(gt.Events), normalize(tr.Events)) {
+		t.Error("binary: ReadAuto decoded different events")
+	}
+	gt, gs, err = ReadAuto(bytes.NewReader(refs.Bytes()))
+	if err != nil || gt != nil || gs == nil {
+		t.Errorf("refs: ReadAuto = (%v, %v, %v)", gt, gs, err)
+	} else if !reflect.DeepEqual(normalizeStream(gs), normalizeStream(Preprocess(tr))) {
+		t.Error("refs: ReadAuto decoded different stream")
+	}
+
+	for data, want := range map[string]string{
+		"SMTBxxx": "binary", "SMRSxxx": "refs", "# trace x\n": "text", "": "text",
+	} {
+		if got := Sniff([]byte(data)); got != want {
+			t.Errorf("Sniff(%q) = %q, want %q", data, got, want)
+		}
+	}
+}
+
+func TestInternOp(t *testing.T) {
+	if InternOp("car") != OpCar || InternOp("cdr") != OpCdr || InternOp("cons") != OpCons ||
+		InternOp("rplaca") != OpRplaca || InternOp("rplacd") != OpRplacd || InternOp("read") != OpRead {
+		t.Fatal("builtin names do not intern to builtin opcodes")
+	}
+	if InternOp("") != OpNone {
+		t.Error("empty name should intern to OpNone")
+	}
+	a := InternOp("some-user-fn")
+	if a == OpNone {
+		t.Fatal("dynamic intern returned OpNone")
+	}
+	if InternOp("some-user-fn") != a {
+		t.Error("re-intern returned a different opcode")
+	}
+	if OpName(a) != "some-user-fn" {
+		t.Errorf("OpName round trip = %q", OpName(a))
+	}
+	if OpName(OpNone) != "?" || OpName(Opcode(1<<30)) != "?" {
+		t.Error("OpName of none/out-of-range should be \"?\"")
+	}
+}

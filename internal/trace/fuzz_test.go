@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -63,5 +64,147 @@ func FuzzRead(f *testing.F) {
 		if len(st.Refs) != len(tr.Events) {
 			t.Fatalf("preprocess dropped events: %d -> %d", len(tr.Events), len(st.Refs))
 		}
+	})
+}
+
+// fuzzSeedBinary encodes a small valid trace for seeding the binary
+// decoder fuzzers.
+func fuzzSeedBinary(f *testing.F) []byte {
+	tr := &Trace{Name: "seed", Events: []Event{
+		{Kind: KindEnter, Op: "f", NArgs: 1, Depth: 1},
+		{Kind: KindPrim, Op: "car", Args: []string{"(a b)"}, Result: "a", Depth: 2},
+		{Kind: KindPrim, Op: "read", Result: "(x)", Depth: 2},
+		{Kind: KindExit, Op: "f", Depth: 1},
+	}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadBinary hammers the "SMTB" decoder with truncated, corrupted,
+// and hostile inputs: it must never panic, every rejection must carry a
+// byte offset, and anything accepted must re-encode byte-identically and
+// survive Preprocess.
+func FuzzReadBinary(f *testing.F) {
+	seed := fuzzSeedBinary(f)
+	f.Add(seed)
+	for _, n := range []int{0, 3, 4, 5, 7, len(seed) / 2, len(seed) - 1} {
+		if n <= len(seed) {
+			f.Add(seed[:n])
+		}
+	}
+	f.Add(append(append([]byte{}, seed...), 0xff))                       // trailing garbage
+	f.Add([]byte("SMTB\x63"))                                            // wrong version
+	f.Add([]byte("SMRS\x01"))                                            // stream magic fed to trace path (via header check)
+	f.Add([]byte("SMTB\x01\xff\xff\xff\xff\xff\xff\xff\xff"))            // giant name length
+	huge := append([]byte("SMTB\x01\x00"), 0x80, 0x80, 0x80, 0x80, 0x7f) // huge op count
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			if !strings.Contains(err.Error(), "offset ") {
+				t.Fatalf("error without byte offset: %v", err)
+			}
+			return
+		}
+		// Accepted input must survive an encode/decode cycle losslessly.
+		// (Byte-identity is only promised for encoder-produced files —
+		// hostile input may use padded varints or unreferenced table
+		// entries that a re-encode legitimately drops.)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			t.Fatalf("accepted trace fails re-encode: %v", err)
+		}
+		back, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Name != tr.Name || len(back.Events) != len(tr.Events) {
+			t.Fatalf("re-encode changed shape: %q/%d -> %q/%d",
+				tr.Name, len(tr.Events), back.Name, len(back.Events))
+		}
+		for i := range back.Events {
+			a, b := &tr.Events[i], &back.Events[i]
+			if a.Kind != b.Kind || a.Op != b.Op || a.Result != b.Result ||
+				a.Depth != b.Depth || a.NArgs != b.NArgs || len(a.Args) != len(b.Args) {
+				t.Fatalf("event %d changed: %+v -> %+v", i, *a, *b)
+			}
+		}
+		st := Preprocess(tr)
+		if len(st.Refs) != len(tr.Events) {
+			t.Fatalf("preprocess dropped events: %d -> %d", len(tr.Events), len(st.Refs))
+		}
+	})
+}
+
+// fuzzSeedStream encodes a small valid reference stream.
+func fuzzSeedStream(f *testing.F) []byte {
+	var buf bytes.Buffer
+	tr := &Trace{Name: "seed", Events: []Event{
+		{Kind: KindEnter, Op: "f", NArgs: 1, Depth: 1},
+		{Kind: KindPrim, Op: "car", Args: []string{"(a b)"}, Result: "a", Depth: 2},
+		{Kind: KindPrim, Op: "cdr", Args: []string{"(a b)"}, Result: "(b)", Depth: 2},
+		{Kind: KindExit, Op: "f", Depth: 1},
+	}}
+	if err := WriteStream(&buf, Preprocess(tr)); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadStream does the same for the "SMRS" reference-stream decoder:
+// no panics, offset-carrying rejections, and accepted streams must have
+// in-range list ids, re-encode byte-identically, and run through the
+// stream analyses without panicking.
+func FuzzReadStream(f *testing.F) {
+	seed := fuzzSeedStream(f)
+	f.Add(seed)
+	for _, n := range []int{0, 4, 5, len(seed) / 2, len(seed) - 1} {
+		if n <= len(seed) {
+			f.Add(seed[:n])
+		}
+	}
+	f.Add(append(append([]byte{}, seed...), 0x00))
+	f.Add([]byte("SMRS\x63"))
+	f.Add([]byte("SMTB\x01"))
+	f.Add([]byte("SMRS\x01\x00\x00\xff\xff\xff\xff\x0f")) // id out of range territory
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := ReadStream(bytes.NewReader(data))
+		if err != nil {
+			if !strings.Contains(err.Error(), "offset ") {
+				t.Fatalf("error without byte offset: %v", err)
+			}
+			return
+		}
+		for i, r := range st.Refs {
+			if r.Result < 0 || r.Result > st.MaxID {
+				t.Fatalf("ref %d: accepted out-of-range result id %d (max %d)", i, r.Result, st.MaxID)
+			}
+			for _, id := range r.Args {
+				if id < 0 || id > st.MaxID {
+					t.Fatalf("ref %d: accepted out-of-range arg id %d (max %d)", i, id, st.MaxID)
+				}
+			}
+		}
+		// Lossless encode/decode cycle, same caveat as FuzzReadBinary:
+		// byte-identity is only promised for encoder-produced files.
+		var buf bytes.Buffer
+		if err := WriteStream(&buf, st); err != nil {
+			t.Fatalf("accepted stream fails re-encode: %v", err)
+		}
+		back, err := ReadStream(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Name != st.Name || len(back.Refs) != len(st.Refs) || back.MaxID != st.MaxID {
+			t.Fatalf("re-encode changed shape: %q/%d/%d -> %q/%d/%d",
+				st.Name, len(st.Refs), st.MaxID, back.Name, len(back.Refs), back.MaxID)
+		}
+		// The stream analyses must be total over accepted streams.
+		SummarizeStream(st)
+		MeasureNPStream(st)
+		Chaining(st)
 	})
 }

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+)
+
+// Opcode is an interned primitive or user-function name. The zero value
+// OpNone means "no op" (an empty name, or a name dropped because the
+// table hit its cap). Opcodes are process-global: the same name interns
+// to the same opcode in every trace, so the simulator's event loop and
+// the locality analyses dispatch on small integer compares instead of
+// string compares, and decoded streams share one canonical string per
+// name instead of one copy per event.
+type Opcode uint32
+
+// Builtin opcodes for the primitives the Chapter 5 simulator dispatches
+// on. Every other name (user functions, rare primitives) gets a dynamic
+// opcode from InternOp.
+const (
+	OpNone Opcode = iota
+	OpCar
+	OpCdr
+	OpCons
+	OpRplaca
+	OpRplacd
+	OpRead
+)
+
+// opTableCap bounds the global table so a hostile trace flood (smalld
+// accepts user traces) cannot grow it without bound. Names interned
+// beyond the cap collapse to OpNone; the analyses only distinguish the
+// builtin primitives, so this degrades names, not results.
+const opTableCap = 1 << 20
+
+var opTable = struct {
+	sync.RWMutex
+	byName map[string]Opcode
+	names  []string
+}{
+	byName: map[string]Opcode{
+		"car": OpCar, "cdr": OpCdr, "cons": OpCons,
+		"rplaca": OpRplaca, "rplacd": OpRplacd, "read": OpRead,
+	},
+	names: []string{"", "car", "cdr", "cons", "rplaca", "rplacd", "read"},
+}
+
+// InternOp returns the opcode for name, assigning a new one on first
+// use. Safe for concurrent use.
+func InternOp(name string) Opcode {
+	if name == "" {
+		return OpNone
+	}
+	opTable.RLock()
+	c, ok := opTable.byName[name]
+	opTable.RUnlock()
+	if ok {
+		return c
+	}
+	opTable.Lock()
+	defer opTable.Unlock()
+	if c, ok := opTable.byName[name]; ok {
+		return c
+	}
+	if len(opTable.names) >= opTableCap {
+		return OpNone
+	}
+	c = Opcode(len(opTable.names))
+	// Clone so an interned name never pins a decoder's input buffer.
+	name = strings.Clone(name)
+	opTable.names = append(opTable.names, name)
+	opTable.byName[name] = c
+	return c
+}
+
+// OpName returns the canonical name for an opcode. OpNone and
+// out-of-range codes render as "?" so error messages stay readable.
+func OpName(c Opcode) string {
+	if c == OpNone {
+		return "?"
+	}
+	opTable.RLock()
+	defer opTable.RUnlock()
+	if int(c) < len(opTable.names) {
+		return opTable.names[c]
+	}
+	return "?"
+}
+
+// opNameForEncode is OpName but renders OpNone as the empty string, the
+// form the stream codec stores (and InternOp maps back to OpNone).
+func opNameForEncode(c Opcode) string {
+	if c == OpNone {
+		return ""
+	}
+	return OpName(c)
+}

@@ -21,7 +21,7 @@ const (
 // returned by the immediately preceding primitive call in the trace.
 type Ref struct {
 	Kind   RefKind
-	Op     string // primitive or function name
+	Op     Opcode // interned primitive or function name (see OpName)
 	Args   []int  // identifiers of list arguments; 0 for atom arguments
 	Result int    // identifier of the result if it is a list, else 0
 	NArgs  int    // for RefEnter
@@ -31,10 +31,21 @@ type Ref struct {
 
 // Stream is a preprocessed trace plus its identifier universe.
 type Stream struct {
-	Name   string
-	Refs   []Ref
-	MaxID  int            // identifiers are 1..MaxID
-	IDText map[int]string // identifier -> s-expression text (for debugging)
+	Name  string
+	Refs  []Ref
+	MaxID int // identifiers are 1..MaxID
+	// IDText is the dense identifier -> s-expression text table:
+	// IDText[id] for id in 1..MaxID; IDText[0] is "".
+	IDText []string
+}
+
+// Text returns the s-expression text of an identifier, or "" when the
+// identifier is out of range (0, or a stream loaded without texts).
+func (st *Stream) Text(id int) string {
+	if id > 0 && id < len(st.IDText) {
+		return st.IDText[id]
+	}
+	return ""
 }
 
 // Preprocess converts a raw trace into the (identifier, chaining flag)
@@ -42,7 +53,7 @@ type Stream struct {
 // simulator. Identifier 0 is reserved for "not a list".
 func Preprocess(t *Trace) *Stream {
 	ids := make(map[string]int)
-	st := &Stream{Name: t.Name, IDText: make(map[int]string)}
+	st := &Stream{Name: t.Name, IDText: make([]string, 1, 64)}
 	intern := func(s string) int {
 		if !isListText(s) {
 			return 0
@@ -52,19 +63,20 @@ func Preprocess(t *Trace) *Stream {
 		}
 		st.MaxID++
 		ids[s] = st.MaxID
-		st.IDText[st.MaxID] = s
+		st.IDText = append(st.IDText, s)
 		return st.MaxID
 	}
 	prevResult := 0
 	for i := range t.Events {
 		ev := &t.Events[i]
+		op := InternOp(ev.Op)
 		switch ev.Kind {
 		case KindEnter:
-			st.Refs = append(st.Refs, Ref{Kind: RefEnter, Op: ev.Op, NArgs: ev.NArgs, Depth: ev.Depth})
+			st.Refs = append(st.Refs, Ref{Kind: RefEnter, Op: op, NArgs: ev.NArgs, Depth: ev.Depth})
 		case KindExit:
-			st.Refs = append(st.Refs, Ref{Kind: RefExit, Op: ev.Op, Depth: ev.Depth})
+			st.Refs = append(st.Refs, Ref{Kind: RefExit, Op: op, Depth: ev.Depth})
 		case KindPrim:
-			r := Ref{Kind: RefPrim, Op: ev.Op, Depth: ev.Depth}
+			r := Ref{Kind: RefPrim, Op: op, Depth: ev.Depth}
 			for _, a := range ev.Args {
 				r.Args = append(r.Args, intern(a))
 			}
@@ -88,6 +100,66 @@ func isListText(s string) bool {
 	return strings.HasPrefix(s, "(")
 }
 
+// SummarizeStream computes Stats directly from a preprocessed stream,
+// so serialized .refs files can be reported on without the original
+// trace text. For st = Preprocess(t) it agrees with Summarize(t).
+func SummarizeStream(st *Stream) Stats {
+	s := Stats{PerOp: make(map[string]int)}
+	for i := range st.Refs {
+		r := &st.Refs[i]
+		switch r.Kind {
+		case RefPrim:
+			s.Primitives++
+			s.PerOp[OpName(r.Op)]++
+		case RefEnter:
+			s.Functions++
+			if r.Depth > s.MaxDepth {
+				s.MaxDepth = r.Depth
+			}
+		}
+	}
+	return s
+}
+
+// MeasureNPStream computes the Table 3.1 n/p metrics from a
+// preprocessed stream's identifier table: every distinct list-valued
+// primitive argument appears there exactly once. For st = Preprocess(t)
+// it agrees with MeasureNP(t).
+func MeasureNPStream(st *Stream) NPStats {
+	np := NPStats{NDist: make(map[int]int), PDist: make(map[int]int)}
+	seen := make([]bool, st.MaxID+1)
+	var order []int
+	for i := range st.Refs {
+		r := &st.Refs[i]
+		if r.Kind != RefPrim {
+			continue
+		}
+		for _, id := range r.Args {
+			if id > 0 && id <= st.MaxID && !seen[id] {
+				seen[id] = true
+				order = append(order, id)
+			}
+		}
+	}
+	var sumN, sumP int
+	for _, id := range order {
+		m, ok := measureText(st.Text(id))
+		if !ok {
+			continue
+		}
+		np.Lists++
+		sumN += m.N
+		sumP += m.P
+		np.NDist[m.N]++
+		np.PDist[m.P]++
+	}
+	if np.Lists > 0 {
+		np.AvgN = float64(sumN) / float64(np.Lists)
+		np.AvgP = float64(sumP) / float64(np.Lists)
+	}
+	return np
+}
+
 // ChainStats computes Table 3.2: the percentage of car and cdr calls whose
 // argument was produced by the immediately preceding primitive call.
 type ChainStats struct {
@@ -109,12 +181,12 @@ func Chaining(st *Stream) ChainStats {
 			allC++
 		}
 		switch r.Op {
-		case "car":
+		case OpCar:
 			car++
 			if r.Chain {
 				carC++
 			}
-		case "cdr":
+		case OpCdr:
 			cdr++
 			if r.Chain {
 				cdrC++

@@ -1,0 +1,366 @@
+// Serialized reference streams ("SMRS", version 1).
+//
+// Preprocess re-parses and re-interns a trace's s-expression text on
+// every load. A Stream written once with WriteStream is memory-loaded
+// by ReadStream with no parsing and no interning — reruns of an
+// experiment skip Preprocess entirely. The layout mirrors the binary
+// trace format (front-loaded tables, varint columns in blocks):
+//
+//	magic   4 bytes "SMRS"
+//	version 1 byte
+//	name    uvarint length + bytes
+//	ops     uvarint count, then count x (uvarint length + bytes)
+//	maxid   uvarint; identifiers are 1..maxid
+//	idtext  maxid x (uvarint length + bytes), texts for ids 1..maxid
+//	refs    uvarint count
+//	blocks, each covering min(1024, remaining) refs:
+//	  kinds  one byte per ref: bits 0-1 the RefKind, bit 2 the chaining
+//	         flag (RefPrim only), bits 3-7 the argument count n (prim
+//	         arg ids / enter nargs); n = 31 means the true count
+//	         follows in aux
+//	  depths one uvarint per ref
+//	  ops    one uvarint per ref (index into the op table)
+//	  aux    per ref, in order:
+//	    prim : uvarint result id, [uvarint nargs if n = 31],
+//	           nargs x uvarint arg id
+//	    enter: [uvarint nargs if n = 31]
+//	    exit : nothing
+//
+// Same versioning rule as the binary trace format: layout changes bump
+// the version byte; unknown versions are rejected.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+)
+
+const streamChainBit = 0x04
+
+// WriteStream encodes a preprocessed stream as a .refs file.
+func WriteStream(w io.Writer, st *Stream) error {
+	if strings.ContainsAny(st.Name, "\n\r") {
+		return encErrorf("stream name contains a newline")
+	}
+	if st.MaxID < 0 {
+		return encErrorf("negative MaxID %d", st.MaxID)
+	}
+	opIdx := make(map[Opcode]uint64)
+	var opNames []string
+	for i := range st.Refs {
+		r := &st.Refs[i]
+		if r.Kind > RefExit {
+			return encErrorf("ref %d: unknown kind %d", i, r.Kind)
+		}
+		if r.Depth < 0 {
+			return encErrorf("ref %d: negative depth %d", i, r.Depth)
+		}
+		if r.NArgs < 0 {
+			return encErrorf("ref %d: negative nargs %d", i, r.NArgs)
+		}
+		if r.Result < 0 || r.Result > st.MaxID {
+			return encErrorf("ref %d: result id %d out of range 0..%d", i, r.Result, st.MaxID)
+		}
+		for _, id := range r.Args {
+			if id < 0 || id > st.MaxID {
+				return encErrorf("ref %d: arg id %d out of range 0..%d", i, id, st.MaxID)
+			}
+		}
+		if _, ok := opIdx[r.Op]; !ok {
+			opIdx[r.Op] = uint64(len(opNames))
+			opNames = append(opNames, opNameForEncode(r.Op))
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	scratch := make([]byte, binary.MaxVarintLen64)
+	if _, err := bw.Write(magicStream[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(streamVersion); err != nil {
+		return err
+	}
+	if err := writeTableString(bw, scratch, st.Name); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, scratch, uint64(len(opNames))); err != nil {
+		return err
+	}
+	for _, s := range opNames {
+		if err := writeTableString(bw, scratch, s); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(bw, scratch, uint64(st.MaxID)); err != nil {
+		return err
+	}
+	for id := 1; id <= st.MaxID; id++ {
+		if err := writeTableString(bw, scratch, st.Text(id)); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(bw, scratch, uint64(len(st.Refs))); err != nil {
+		return err
+	}
+
+	for start := 0; start < len(st.Refs); start += blockEvents {
+		end := min(start+blockEvents, len(st.Refs))
+		block := st.Refs[start:end]
+		for i := range block {
+			r := &block[i]
+			b := byte(r.Kind)
+			if r.Chain && r.Kind == RefPrim {
+				b |= streamChainBit
+			}
+			if n := refNArgs(r); n < streamNArgsOverflow {
+				b |= byte(n) << streamNArgsShift
+			} else {
+				b |= streamNArgsOverflow << streamNArgsShift
+			}
+			if err := bw.WriteByte(b); err != nil {
+				return err
+			}
+		}
+		for i := range block {
+			if err := writeUvarint(bw, scratch, uint64(block[i].Depth)); err != nil {
+				return err
+			}
+		}
+		for i := range block {
+			if err := writeUvarint(bw, scratch, opIdx[block[i].Op]); err != nil {
+				return err
+			}
+		}
+		for i := range block {
+			r := &block[i]
+			switch r.Kind {
+			case RefPrim:
+				if err := writeUvarint(bw, scratch, uint64(r.Result)); err != nil {
+					return err
+				}
+				if n := len(r.Args); n >= streamNArgsOverflow {
+					if err := writeUvarint(bw, scratch, uint64(n)); err != nil {
+						return err
+					}
+				}
+				for _, id := range r.Args {
+					if err := writeUvarint(bw, scratch, uint64(id)); err != nil {
+						return err
+					}
+				}
+			case RefEnter:
+				if r.NArgs >= streamNArgsOverflow {
+					if err := writeUvarint(bw, scratch, uint64(r.NArgs)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// refNArgs is the argument count packed into a ref's kind byte.
+func refNArgs(r *Ref) int {
+	switch r.Kind {
+	case RefPrim:
+		return len(r.Args)
+	case RefEnter:
+		return r.NArgs
+	}
+	return 0
+}
+
+// streamDecoder carries the offset bookkeeping for ReadStream; it
+// reuses the Decoder's primitives with the stream's magic and tables.
+type streamDecoder struct{ Decoder }
+
+// ReadStream decodes a .refs file written by WriteStream. Errors carry
+// the byte offset of the failure. The decoder is strict — every id,
+// op index, and kind is range-checked — because smalld accepts
+// user-supplied streams.
+func ReadStream(r io.Reader) (*Stream, error) {
+	d := &streamDecoder{Decoder{r: r, buf: make([]byte, decodeBufSize)}}
+	var magic [4]byte
+	got, err := d.readFull(magic[:])
+	if err != nil || magic != magicStream {
+		return nil, d.errf("not a reference stream (bad magic %q)", magic[:got])
+	}
+	ver, err := d.readByte()
+	if err != nil {
+		return nil, d.errf("unexpected EOF reading version")
+	}
+	if ver != streamVersion {
+		return nil, d.errf("unsupported stream version %d (want %d)", ver, streamVersion)
+	}
+	st := &Stream{}
+	if st.Name, err = d.readTableString("stream name", maxNameLen); err != nil {
+		return nil, err
+	}
+	nops, err := d.readCount("op table count", maxTableCount)
+	if err != nil {
+		return nil, err
+	}
+	opNames, err := d.readTable("op name", nops, maxOpLen, true)
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]Opcode, len(opNames))
+	for i, s := range opNames {
+		ops[i] = InternOp(s)
+	}
+	if st.MaxID, err = d.readCount("max identifier", maxTableCount); err != nil {
+		return nil, err
+	}
+	idtext, err := d.readTable("identifier text", st.MaxID, maxStrLen, true)
+	if err != nil {
+		return nil, err
+	}
+	st.IDText = make([]string, 1, len(idtext)+1)
+	st.IDText = append(st.IDText, idtext...)
+	nrefs, err := d.readCount("ref count", maxEventCount)
+	if err != nil {
+		return nil, err
+	}
+	st.Refs = make([]Ref, 0, min(nrefs, preallocCap))
+
+	readID := func(what string) (int, error) {
+		v, err := d.readUvarint(what)
+		if err != nil {
+			return 0, err
+		}
+		if v > uint64(st.MaxID) {
+			return 0, d.errf("%s %d out of range 0..%d", what, v, st.MaxID)
+		}
+		return int(v), nil
+	}
+
+	var arena []int // chunked backing storage for ref Args
+	var kinds [blockEvents]byte
+	var depths [blockEvents]int64
+	var opix [blockEvents]uint32
+	remaining := nrefs
+	for remaining > 0 {
+		n := min(blockEvents, remaining)
+		got, err := d.readFull(kinds[:n])
+		if err != nil {
+			return nil, d.errf("unexpected EOF reading kind column (%d of %d bytes)", got, n)
+		}
+		for i := 0; i < n; i++ {
+			kb := kinds[i]
+			kind := kb & kindMask
+			if kind > byte(RefExit) ||
+				(kb&streamChainBit != 0 && kind != byte(RefPrim)) ||
+				(kind == byte(RefExit) && kb>>streamNArgsShift != 0) {
+				return nil, d.errf("bad ref kind byte %#x", kb)
+			}
+		}
+		for i := 0; i < n; i++ {
+			v, err := d.readUvarint("depth")
+			if err != nil {
+				return nil, err
+			}
+			if v > maxDepth {
+				return nil, d.errf("depth %d exceeds limit %d", v, int64(maxDepth))
+			}
+			depths[i] = int64(v)
+		}
+		for i := 0; i < n; i++ {
+			v, err := d.readUvarint("op index")
+			if err != nil {
+				return nil, err
+			}
+			if v >= uint64(len(ops)) {
+				return nil, d.errf("op index %d out of range (table has %d)", v, len(ops))
+			}
+			opix[i] = uint32(v)
+		}
+		for i := 0; i < n; i++ {
+			kb := kinds[i]
+			nargs := int(kb >> streamNArgsShift)
+			rf := Ref{
+				Kind:  RefKind(kb & kindMask),
+				Chain: kb&streamChainBit != 0,
+				Op:    ops[opix[i]],
+				Depth: int(depths[i]),
+			}
+			switch rf.Kind {
+			case RefPrim:
+				if rf.Result, err = readID("result id"); err != nil {
+					return nil, err
+				}
+				if nargs == streamNArgsOverflow {
+					if nargs, err = d.readCount("argument count", maxEventArgs); err != nil {
+						return nil, err
+					}
+				}
+				if nargs > 0 {
+					if len(arena)+nargs > cap(arena) {
+						arena = make([]int, 0, max(4*blockEvents, nargs))
+					}
+					start := len(arena)
+					for j := 0; j < nargs; j++ {
+						id, err := readID("arg id")
+						if err != nil {
+							return nil, err
+						}
+						arena = append(arena, id)
+					}
+					rf.Args = arena[start:len(arena):len(arena)]
+				}
+			case RefEnter:
+				if nargs == streamNArgsOverflow {
+					if nargs, err = d.readCount("nargs", maxEventArgs); err != nil {
+						return nil, err
+					}
+				}
+				rf.NArgs = nargs
+			}
+			st.Refs = append(st.Refs, rf)
+			d.event++
+		}
+		remaining -= n
+	}
+	if _, err := d.readByte(); err != io.EOF {
+		return nil, d.errf("trailing data after %d refs", nrefs)
+	}
+	return st, nil
+}
+
+// ReadAuto decodes a trace file in any supported format, sniffing the
+// leading magic bytes: "SMTB" binary traces, "SMRS" reference streams,
+// anything else the text format. Exactly one of the returns is non-nil
+// on success; a .refs input yields only the Stream (the original text
+// is not recoverable, and consumers of streams do not need it).
+func ReadAuto(r io.Reader) (*Trace, *Stream, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(4)
+	if err == nil {
+		switch {
+		case bytes.Equal(magic, magicTrace[:]):
+			t, err := ReadBinary(br)
+			return t, nil, err
+		case bytes.Equal(magic, magicStream[:]):
+			st, err := ReadStream(br)
+			return nil, st, err
+		}
+	}
+	t, err := Read(br)
+	return t, nil, err
+}
+
+// Sniff reports the format of the leading bytes of a trace file:
+// "binary", "refs", or "text".
+func Sniff(prefix []byte) string {
+	switch {
+	case bytes.HasPrefix(prefix, magicTrace[:]):
+		return "binary"
+	case bytes.HasPrefix(prefix, magicStream[:]):
+		return "refs"
+	default:
+		return "text"
+	}
+}

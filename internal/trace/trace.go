@@ -119,15 +119,14 @@ func MeasureNP(t *Trace) NPStats {
 			continue
 		}
 		for _, a := range ev.Args {
-			if a == "" || a == "nil" || seen[a] || !strings.HasPrefix(a, "(") {
+			if seen[a] {
 				continue
 			}
 			seen[a] = true
-			v, err := sexpr.Parse(a)
-			if err != nil {
+			m, ok := measureText(a)
+			if !ok {
 				continue
 			}
-			m := sexpr.Measure(v)
 			st.Lists++
 			sumN += m.N
 			sumP += m.P
@@ -140,6 +139,19 @@ func MeasureNP(t *Trace) NPStats {
 		st.AvgP = float64(sumP) / float64(st.Lists)
 	}
 	return st
+}
+
+// measureText parses one s-expression text and returns its n/p metrics;
+// ok is false for non-list or unparseable text.
+func measureText(s string) (sexpr.Metrics, bool) {
+	if !isListText(s) {
+		return sexpr.Metrics{}, false
+	}
+	v, err := sexpr.Parse(s)
+	if err != nil {
+		return sexpr.Metrics{}, false
+	}
+	return sexpr.Measure(v), true
 }
 
 // Write encodes t in the line-oriented trace file format. Each event is
@@ -159,8 +171,15 @@ func Write(w io.Writer, t *Trace) error {
 		var err error
 		switch ev.Kind {
 		case KindPrim:
-			_, err = fmt.Fprintf(bw, "P\t%d\t%s\t%s\t%s\n",
-				ev.Depth, ev.Op, ev.Result, strings.Join(ev.Args, "\t"))
+			// Zero-arg events omit the argument columns entirely, so
+			// Write∘Read is idempotent (a trailing tab would read back
+			// as a single empty argument).
+			if len(ev.Args) == 0 {
+				_, err = fmt.Fprintf(bw, "P\t%d\t%s\t%s\n", ev.Depth, ev.Op, ev.Result)
+			} else {
+				_, err = fmt.Fprintf(bw, "P\t%d\t%s\t%s\t%s\n",
+					ev.Depth, ev.Op, ev.Result, strings.Join(ev.Args, "\t"))
+			}
 		case KindEnter:
 			_, err = fmt.Fprintf(bw, "E\t%d\t%s\t%d\n", ev.Depth, ev.Op, ev.NArgs)
 		case KindExit:

@@ -82,10 +82,10 @@ func TestReadErrors(t *testing.T) {
 		"E\t1\tf\n",
 		"E\t1\tf\tx\n",
 		"P\t1\n",
-		"P\t-1\tcar\ta\n",          // negative depth
-		"E\t1\tf\t-2\n",            // negative nargs
-		"X\t1\tf\textra\n",         // X record with a stray field
-		"P\t2\t\tres\n",            // empty op
+		"P\t-1\tcar\ta\n",     // negative depth
+		"E\t1\tf\t-2\n",       // negative nargs
+		"X\t1\tf\textra\n",    // X record with a stray field
+		"P\t2\t\tres\n",       // empty op
 		"P\t9\n",              // truncated record
 		"E\t0\tf\t3\textra\n", // E record too long
 	} {

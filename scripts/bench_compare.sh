@@ -1,0 +1,59 @@
+#!/bin/sh
+# Regenerate the trace-pipeline benchmarks into a temp file and compare
+# the headline ratios against the committed BENCH_trace.json baseline.
+#
+#	sh scripts/bench_compare.sh [baseline.json]
+#
+# Sizes are deterministic and must match exactly; timing ratios drift
+# with machine noise, so they are reported side by side with deltas
+# rather than gated. Exits non-zero only if a size field changed or the
+# regeneration itself failed.
+set -eu
+
+baseline=${1:-BENCH_trace.json}
+[ -f "$baseline" ] || { echo "bench_compare: no baseline $baseline" >&2; exit 1; }
+
+fresh=$(mktemp /tmp/bench_trace.XXXXXX.json)
+trap 'rm -f "$fresh"' EXIT
+
+echo "bench_compare: regenerating (a few minutes)..." >&2
+go run ./cmd/tracebench -out "$fresh"
+
+# extract <file> <section> <key...>: walks one level of JSON nesting with
+# the small, fixed shape tracebench emits. Avoids a jq dependency.
+extract() {
+	file=$1 section=$2 key=$3
+	awk -v sec="\"$section\"" -v key="\"$key\"" '
+		$1 == sec ":" { insec = 1; next }
+		insec && $1 == key ":" { gsub(/[",]/, "", $2); print $2; exit }
+		insec && /^  [}\]]/ { exit }
+	' "$file"
+}
+
+status=0
+echo "field                          baseline      fresh"
+for key in text_bytes binary_bytes refs_bytes; do
+	b=$(awk -v key="\"$key\"" '/"total"/{t=1} t && $1 == key ":" {gsub(/,/, "", $2); print $2; exit}' "$baseline")
+	f=$(awk -v key="\"$key\"" '/"total"/{t=1} t && $1 == key ":" {gsub(/,/, "", $2); print $2; exit}' "$fresh")
+	printf '%-30s %10s %10s' "sizes.total.$key" "$b" "$f"
+	if [ "$b" != "$f" ]; then
+		printf '   SIZE CHANGED'
+		status=1
+	fi
+	printf '\n'
+done
+for key in size_text_over_binary_x size_text_over_refs_x \
+	decode_text_over_binary_x decode_text_over_streaming_x \
+	decode_text_over_refs_x allocs_text_over_binary_x; do
+	b=$(extract "$baseline" ratios "$key")
+	f=$(extract "$fresh" ratios "$key")
+	printf '%-30s %10s %10s\n' "ratios.$key" "$b" "$f"
+done
+b=$(extract "$baseline" cache speedup_x)
+f=$(extract "$fresh" cache speedup_x)
+printf '%-30s %10s %10s\n' "cache.speedup_x" "$b" "$f"
+
+if [ "$status" -ne 0 ]; then
+	echo "bench_compare: encoded sizes changed — if the format changed on purpose, bump the version byte and rerun make bench-trace" >&2
+fi
+exit "$status"
