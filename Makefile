@@ -1,12 +1,20 @@
 GO ?= go
 
-.PHONY: build vet test race smoke-serve fuzz-corpus verify bench bench-parsweep bench-trace
+.PHONY: build vet lint test race smoke-serve fuzz-corpus verify bench bench-parsweep bench-trace
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (see DESIGN.md "Static analysis"):
+# pooled Reset completeness, interned-opcode dispatch, ctx polling,
+# `// guarded by` lock discipline, decoder allocation limits. Kept
+# separate from `vet` so smallvet failures are distinguishable in CI
+# logs; `smallvet -json` emits machine-readable findings.
+lint:
+	$(GO) run ./cmd/smallvet ./...
 
 test:
 	$(GO) test ./...
@@ -28,7 +36,7 @@ smoke-serve:
 fuzz-corpus:
 	$(GO) test -run 'RoundTrip|^Fuzz' -count 1 ./internal/trace/
 
-verify: build vet test race fuzz-corpus smoke-serve
+verify: build vet lint test race fuzz-corpus smoke-serve
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

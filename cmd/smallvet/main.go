@@ -1,0 +1,100 @@
+// Command smallvet is the SMALL codebase's project-specific static
+// analysis suite: a multichecker over five analyzers that enforce the
+// invariants the compiler cannot see — complete pooled-object resets,
+// interned-opcode dispatch, cancellation polling, `// guarded by`
+// mutex discipline, and clamped decoder allocations.
+//
+// Usage:
+//
+//	smallvet [-json] [-dir root] [packages]
+//
+// Packages default to ./... relative to -dir (default "."). Exit code
+// 1 means findings were reported, 2 means the analysis itself failed.
+// With -json, diagnostics are emitted as a JSON array of
+// {file, line, analyzer, message} objects for CI annotation scripts.
+//
+// Findings are suppressed per line with `// smallvet:ignore [names]`
+// (trailing on the offending line, or alone on the line above).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxloop"
+	"repro/internal/analysis/decodelimit"
+	"repro/internal/analysis/lockguard"
+	"repro/internal/analysis/opdispatch"
+	"repro/internal/analysis/resetzero"
+)
+
+// Analyzers is the smallvet suite, in stable reporting order.
+var Analyzers = []*analysis.Analyzer{
+	ctxloop.Analyzer,
+	decodelimit.Analyzer,
+	lockguard.Analyzer,
+	opdispatch.Analyzer,
+	resetzero.Analyzer,
+}
+
+// jsonDiagnostic is the -json wire shape (a stable contract for CI).
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (file, line, analyzer, message)")
+	dir := flag.String("dir", ".", "directory to resolve package patterns from")
+	flag.Parse()
+
+	diags, err := check(*dir, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smallvet: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Position.Filename,
+				Line:     d.Position.Line,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "smallvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// check loads the patterns and runs the full suite, returning sorted
+// diagnostics with paths relative to dir.
+func check(dir string, patterns []string) ([]analysis.Diagnostic, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := analysis.Load(abs, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(pkgs, Analyzers, abs)
+}

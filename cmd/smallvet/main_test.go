@@ -1,0 +1,54 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepoClean runs the full suite over the repository — the same
+// check `make lint` performs — and requires zero findings, so any
+// invariant regression fails `go test` too.
+func TestRepoClean(t *testing.T) {
+	diags, err := check("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestDeterministic verifies smallvet's contract for CI: two
+// independent loads of the same tree produce byte-identical, sorted
+// diagnostics.
+func TestDeterministic(t *testing.T) {
+	run := func() []analysis.Diagnostic {
+		diags, err := check("../..", []string{"./..."})
+		if err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		return diags
+	}
+	first := run()
+	second := run()
+
+	render := func(ds []analysis.Diagnostic) []string {
+		out := make([]string, len(ds))
+		for i, d := range ds {
+			out[i] = d.String()
+		}
+		return out
+	}
+	if !reflect.DeepEqual(render(first), render(second)) {
+		t.Errorf("two runs diverged:\nrun 1: %q\nrun 2: %q", render(first), render(second))
+	}
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.Position.Filename > b.Position.Filename ||
+			(a.Position.Filename == b.Position.Filename && a.Position.Line > b.Position.Line) {
+			t.Errorf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}

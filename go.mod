@@ -1,3 +1,11 @@
 module repro
 
+// golang.org/x/tools/go/analysis is deliberately NOT required, pinned or
+// vendored: this repository builds in a hermetic environment with no
+// module proxy, so cmd/smallvet's framework (internal/analysis) re-creates
+// the x/tools go/analysis API surface on the standard library alone and
+// the module stays dependency-free. If the dependency ever becomes
+// available, the analyzers port to the real framework by changing imports
+// only. See DESIGN.md, "Static analysis".
+
 go 1.22

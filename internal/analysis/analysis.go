@@ -1,0 +1,81 @@
+// Package analysis is a self-contained static-analysis framework for
+// the SMALL codebase: a minimal, stdlib-only re-creation of the
+// golang.org/x/tools/go/analysis API surface that cmd/smallvet's
+// project-specific analyzers are written against.
+//
+// Why not depend on x/tools directly? The build environment for this
+// repository is hermetic — no module proxy — so the framework loads
+// packages with `go list -export` (export data comes from the build
+// cache, entirely offline) and typechecks them with go/types and the
+// stdlib gc importer. The Analyzer/Pass/Diagnostic types deliberately
+// mirror x/tools so the five analyzers can be ported onto the real
+// framework by changing imports only, if the dependency ever becomes
+// available.
+//
+// The analyzers themselves live in subpackages (resetzero, opdispatch,
+// ctxloop, lockguard, decodelimit); cmd/smallvet drives them as a
+// multichecker. See DESIGN.md ("Static analysis") for the invariant
+// each one enforces.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Run inspects a single package
+// via its Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `smallvet:ignore <name>` suppression comments. It must be a
+	// valid identifier.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the check. It must be deterministic: diagnostics
+	// are compared across runs in tests.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report collects diagnostics; set by the runner.
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+
+	// Position is the resolved file position, filled in by the runner
+	// (file paths are made relative to the load directory so output is
+	// stable across checkouts).
+	Position token.Position
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: analyzer: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		d.Position.Filename, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
+}

@@ -1,0 +1,102 @@
+// Package analysistest runs analyzers over fixture packages and
+// checks their diagnostics against `// want "regexp"` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest (stdlib-only;
+// see the parent package's doc for why the dependency is re-created).
+//
+// A fixture is a directory under internal/analysis/testdata/src
+// containing one package. Each expected diagnostic is declared on the
+// line it should appear on:
+//
+//	x := make([]byte, n) // want `make size n`
+//
+// The comment may carry several quoted or backquoted regexps; each
+// must be matched by a distinct diagnostic on that line. Lines without
+// a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("//[ \t]*want[ \t]+(.*)$")
+var quoteRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads the fixture package at dir, applies the analyzers, and
+// reports mismatches between produced and expected diagnostics on t.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers, "")
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	type expectation struct {
+		re   *regexp.Regexp
+		used bool
+	}
+	wants := make(map[key][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quoteRe.FindAllString(m[1], -1) {
+					pat, err := unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Position.Filename, d.Position.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+func unquote(q string) (string, error) {
+	if q[0] == '`' {
+		return q[1 : len(q)-1], nil
+	}
+	return strconv.Unquote(q)
+}

@@ -1,0 +1,190 @@
+// Package ctxloop enforces cancellation polling in unbounded loops.
+//
+// The server and sweep layers pass context.Context down so long
+// computations can be abandoned (client gone, deadline hit). That only
+// works if the code actually looks at the context: an unbounded
+// `for {}` that never polls runs to completion no matter what the
+// caller cancelled.
+//
+// For every function that takes a context.Context parameter and
+// contains a `for` loop with no condition, the loop body (including
+// closures defined inside it) must do one of:
+//
+//   - call ctx.Err() or ctx.Done() on a context value;
+//   - receive from a channel of element type struct{} — the shape of
+//     ctx.Done(), covering the common `done := ctx.Done(); select {
+//     case <-done: ... }` hoist;
+//   - call a same-package function whose body directly polls a
+//     context ("callees one level down").
+//
+// Loops with a condition and range loops are considered bounded and
+// are not checked.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc:  "functions taking context.Context must poll ctx.Err/ctx.Done inside unbounded for loops",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pre-pass: which package-level functions directly poll a context?
+	// Calls to these from inside a loop count as polling one level down.
+	polls := make(map[*types.Func]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if containsDirectPoll(pass, fd.Body) {
+				polls[fn] = true
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !takesContext(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok || loop.Cond != nil {
+					return true
+				}
+				if !loopPolls(pass, loop.Body, polls) {
+					pass.Reportf(loop.Pos(), "unbounded for loop in context-taking function %s never polls ctx.Err/ctx.Done; cancellation cannot interrupt it",
+						fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func takesContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !analysis.IsContextType(tv.Type) {
+			continue
+		}
+		// A blank ctx parameter is a declaration that cancellation is
+		// intentionally unused; don't demand polling of it.
+		if len(field.Names) == 0 {
+			return true
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsDirectPoll reports whether body calls Err/Done on a context
+// value anywhere.
+func containsDirectPoll(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if isCtxPollCall(pass, n) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isCtxPollCall(pass *analysis.Pass, n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && analysis.IsContextType(tv.Type)
+}
+
+// loopPolls reports whether the loop body contains cancellation
+// evidence: a direct poll, a struct{}-channel receive, or a call to a
+// same-package function that directly polls.
+func loopPolls(pass *analysis.Pass, body *ast.BlockStmt, polls map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isCtxPollCall(pass, x) {
+				found = true
+				return false
+			}
+			if callee := calleeFunc(pass, x); callee != nil && polls[callee] {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && isEmptyStructChan(pass, x.X) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes, for plain
+// identifiers and selector chains alike.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isEmptyStructChan reports whether e has type chan struct{} (any
+// direction) — the type of ctx.Done().
+func isEmptyStructChan(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

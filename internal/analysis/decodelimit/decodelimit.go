@@ -1,0 +1,305 @@
+// Package decodelimit guards trace-decoder allocations.
+//
+// The binary trace decoders in internal/trace read counts and lengths
+// from untrusted input and allocate slices/maps sized from them. PR 3
+// established the discipline that every such size is clamped against a
+// named limit constant (maxNameLen, maxTableCount, maxEventArgs, ...)
+// before allocation, so a hostile trace cannot ask for petabytes. This
+// analyzer mechanises the discipline: in internal/trace, every size
+// argument of make([]T, n), make([]T, n, c) and make(map[K]V, n) must
+// be *bounded*.
+//
+// An expression is bounded when the analyzer can see a bound on its
+// value without leaving the function:
+//
+//   - constants, and expressions of narrow integer type (u)int8/16;
+//   - len(x) / cap(x) — sized by an existing allocation;
+//   - min(...) with any bounded argument; max(...) with all bounded;
+//   - conversions, parens, unary +/-: bounded operand;
+//   - arithmetic: both operands bounded;
+//   - an identifier that (a) is a constant, (b) is named like a limit
+//     (max/limit/cap/bound) and is a parameter or constant, (c) was
+//     compared (<, >, <=, >=) against a constant or limit-named value
+//     earlier in the function, or (d) has only bounded assignments —
+//     where a call result counts as bounded if the call takes a
+//     constant or limit-named argument (the readCount(what, max)
+//     decoder idiom).
+//
+// Struct field selectors (st.MaxID) are deliberately NOT bounded, even
+// when limit-named: a field written by the decoder is itself decoded
+// input and needs an explicit clamp at the allocation site.
+package decodelimit
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "decodelimit",
+	Doc:  "make() sizes in trace decoders must be clamped against a named limit constant",
+	Run:  run,
+}
+
+var scope = []string{"internal/trace", "trace"}
+
+var limitNameRe = regexp.MustCompile(`(?i)(max|limit|cap|bound)`)
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageMatches(pass.Pkg.Path(), scope) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{
+				pass:     pass,
+				compared: comparedIdents(pass, fd.Body),
+				assigns:  assignIndex(fd.Body),
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || analysis.BuiltinName(pass.TypesInfo, call) != "make" {
+					return true
+				}
+				for _, size := range call.Args[1:] {
+					if !c.bounded(size, make(map[types.Object]bool)) {
+						pass.Reportf(call.Pos(), "make size %s may derive from decoded input; clamp it against a named limit constant (maxTableCount etc.) before allocating",
+							exprString(pass, size))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	compared map[types.Object]bool
+	assigns  map[string][]ast.Expr // ident name -> RHS evidence
+}
+
+// bounded reports whether e's value is visibly clamped. visiting
+// breaks assignment cycles (x = x + 1).
+func (c *checker) bounded(e ast.Expr, visiting map[types.Object]bool) bool {
+	info := c.pass.TypesInfo
+	if tv, ok := info.Types[e]; ok {
+		if tv.Value != nil {
+			return true // constant expression
+		}
+		if isNarrowInt(tv.Type) {
+			return true
+		}
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return c.bounded(x.X, visiting)
+	case *ast.UnaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			return c.bounded(x.X, visiting)
+		}
+	case *ast.BinaryExpr:
+		return c.bounded(x.X, visiting) && c.bounded(x.Y, visiting)
+	case *ast.CallExpr:
+		switch analysis.BuiltinName(info, x) {
+		case "len", "cap":
+			return true
+		case "min":
+			for _, arg := range x.Args {
+				if c.bounded(arg, visiting) {
+					return true
+				}
+			}
+			return false
+		case "max":
+			for _, arg := range x.Args {
+				if !c.bounded(arg, visiting) {
+					return false
+				}
+			}
+			return len(x.Args) > 0
+		}
+		// Conversion: bounded operand.
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return c.bounded(x.Args[0], visiting)
+		}
+		return false
+	case *ast.Ident:
+		return c.boundedIdent(x, visiting)
+	}
+	return false
+}
+
+func (c *checker) boundedIdent(id *ast.Ident, visiting map[types.Object]bool) bool {
+	info := c.pass.TypesInfo
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil || visiting[obj] {
+		return false
+	}
+	if _, ok := obj.(*types.Const); ok {
+		return true
+	}
+	if c.compared[obj] {
+		return true
+	}
+	if limitNameRe.MatchString(id.Name) {
+		// A limit-named parameter or package-level variable is an
+		// explicit bound handed in by the caller.
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			return true
+		}
+	}
+	// All assignments to this name must be bounded.
+	rhss := c.assigns[id.Name]
+	if len(rhss) == 0 {
+		return false
+	}
+	visiting[obj] = true
+	defer delete(visiting, obj)
+	for _, rhs := range rhss {
+		if c.boundedRHS(rhs, visiting) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// boundedRHS extends bounded with the decoder idiom: a call whose
+// arguments include a constant or limit-named value (readCount(what,
+// uint64(maxLen))) returns a value already clamped by the callee.
+func (c *checker) boundedRHS(rhs ast.Expr, visiting map[types.Object]bool) bool {
+	if c.bounded(rhs, visiting) {
+		return true
+	}
+	call, ok := analysis.Unparen(c.pass.TypesInfo, rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, arg := range call.Args {
+		if tv, ok := c.pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+			return true
+		}
+		if n := lastName(arg); n != "" && limitNameRe.MatchString(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// comparedIdents collects identifiers ordered (<, >, <=, >=) against a
+// constant or limit-named value anywhere in the body — the explicit
+// "if n > maxTableCount { return err }" clamp shape.
+func comparedIdents(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return true
+		}
+		record := func(side, other ast.Expr) {
+			id, ok := analysis.Unparen(pass.TypesInfo, side).(*ast.Ident)
+			if !ok {
+				return
+			}
+			tv, hasType := pass.TypesInfo.Types[other]
+			isConst := hasType && tv.Value != nil
+			if !isConst && !(lastName(other) != "" && limitNameRe.MatchString(lastName(other))) {
+				return
+			}
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		record(be.X, be.Y)
+		record(be.Y, be.X)
+		return true
+	})
+	return out
+}
+
+// assignIndex maps identifier names to every right-hand side assigned
+// to them in the body, including the shared call of a multi-value
+// assignment (n, err := read()).
+func assignIndex(body *ast.BlockStmt) map[string][]ast.Expr {
+	out := make(map[string][]ast.Expr)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Lhs) == len(as.Rhs) {
+			for i, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					out[id.Name] = append(out[id.Name], as.Rhs[i])
+				}
+			}
+		} else if len(as.Rhs) == 1 {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					out[id.Name] = append(out[id.Name], as.Rhs[0])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lastName returns the final identifier in e (through parens and
+// conversions): x -> "x", pkg.MaxLen -> "MaxLen".
+func lastName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return ""
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			return x.Sel.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// isNarrowInt reports whether t is an integer type too small to cause
+// allocation trouble ((u)int8/16, byte).
+func isNarrowInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int8, types.Int16, types.Uint8, types.Uint16:
+		return true
+	}
+	return false
+}
+
+func exprString(_ *analysis.Pass, e ast.Expr) string {
+	return types.ExprString(e)
+}

@@ -1,0 +1,11 @@
+package decodelimit
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/decodelimit/trace", Analyzer)
+}

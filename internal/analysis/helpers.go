@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// PackageMatches reports whether a package path matches any entry of a
+// scope list. An entry matches on the full import path, on a path
+// suffix ("internal/sim"), or on the package path's last element
+// ("sim") — the last form is what lets analysistest fixtures opt into
+// a scoped analyzer by directory name.
+func PackageMatches(pkgPath string, entries []string) bool {
+	base := path.Base(pkgPath)
+	for _, e := range entries {
+		if pkgPath == e || base == e || strings.HasSuffix(pkgPath, "/"+e) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// RecvObject returns the types.Object of a method's named receiver, or
+// nil for functions, anonymous receivers, and blank receivers.
+func RecvObject(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	name := fd.Recv.List[0].Names[0]
+	if name.Name == "_" {
+		return nil
+	}
+	return info.Defs[name]
+}
+
+// NamedRecvType resolves a method's receiver to its named type,
+// unwrapping one level of pointer.
+func NamedRecvType(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	return NamedOf(tv.Type)
+}
+
+// NamedOf unwraps pointers and returns the named type behind t, if any.
+func NamedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// SelChain decomposes a selector chain x.a.b.c into its root
+// identifier and the ordered field/method names; ok is false when the
+// chain is rooted in anything but a plain identifier (a call, an
+// index, a parenthesised expression).
+func SelChain(e ast.Expr) (root *ast.Ident, names []string, ok bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			// Reverse the names: they were collected innermost-first.
+			for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+				names[i], names[j] = names[j], names[i]
+			}
+			return x, names, true
+		case *ast.SelectorExpr:
+			names = append(names, x.Sel.Name)
+			e = x.X
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// Unparen strips parentheses and value-preserving conversions with a
+// single argument, returning the innermost expression.
+func Unparen(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// A conversion is a call whose Fun denotes a type.
+			if len(x.Args) != 1 {
+				return e
+			}
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+				e = x.Args[0]
+				continue
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+// BuiltinName returns the name of the builtin a call invokes ("make",
+// "len", "min", ...), or "" when the call is not a builtin.
+func BuiltinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); !ok {
+		return ""
+	}
+	return id.Name
+}

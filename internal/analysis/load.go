@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// listFields keeps `go list -json` output small and its parse cheap.
+const listFields = "ImportPath,Dir,Name,GoFiles,Export,DepOnly,Error"
+
+// goList runs `go list -e -export -deps -json` in dir over patterns and
+// returns the decoded package stream.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=" + listFields, "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from a path -> export-data-file map
+// produced by `go list -export`. The export files live in the build
+// cache, so resolution is entirely offline.
+type exportImporter struct {
+	fset    *token.FileSet
+	exports map[string]string
+	base    types.Importer
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	ei := &exportImporter{fset: fset, exports: exports}
+	ei.base = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := ei.exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ei.base.Import(path)
+}
+
+// Load lists patterns in dir (module root or below), parses every
+// matched package's non-test Go files, and typechecks them against
+// export data for their dependencies. Test files are out of scope: the
+// invariants smallvet enforces concern production code, and export
+// data for test variants is not stable across builds.
+//
+// Packages are returned sorted by import path; files within a package
+// keep `go list` order (lexical), so a load is deterministic.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []listPkg
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && p.Name != "" && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	out := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", filepath.Join(t.Dir, name), err)
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := check(t.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("typechecking %s: %v", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Path: t.ImportPath, Dir: t.Dir, Fset: fset,
+			Files: files, Types: pkg, Info: info,
+		})
+	}
+	return out, nil
+}
+
+// check typechecks one package's files.
+func check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// stdExports caches stdlib export-data paths for fixture loading, so a
+// test suite checking many fixture packages runs `go list` once per
+// distinct import rather than once per fixture.
+var stdExports struct {
+	sync.Mutex
+	m map[string]string
+}
+
+// fixtureExports resolves export data for the given import paths (and
+// their transitive dependencies) via one `go list -export -deps` call,
+// merging the results into the process-wide cache.
+func fixtureExports(dir string, imports []string) (map[string]string, error) {
+	stdExports.Lock()
+	defer stdExports.Unlock()
+	if stdExports.m == nil {
+		stdExports.m = make(map[string]string)
+	}
+	var missing []string
+	for _, p := range imports {
+		if p == "unsafe" {
+			continue
+		}
+		if _, ok := stdExports.m[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		listed, err := goList(dir, missing)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				stdExports.m[p.ImportPath] = p.Export
+			}
+		}
+	}
+	out := make(map[string]string, len(stdExports.m))
+	for k, v := range stdExports.m {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// LoadDir parses and typechecks the single package rooted at dir —
+// used for analysistest fixtures, which live under testdata and are
+// therefore invisible to the go tool's package patterns. The package
+// is given import path filepath.Base(dir); fixtures may import the
+// standard library only.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(names))
+	importSet := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			importSet[importPathOf(spec)] = true
+		}
+	}
+	imports := make([]string, 0, len(importSet))
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	exports, err := fixtureExports(dir, imports)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Base(dir)
+	pkg, info, err := check(path, fset, files, newExportImporter(fset, exports))
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture %s: %v", dir, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+func importPathOf(spec *ast.ImportSpec) string {
+	p := spec.Path.Value
+	return p[1 : len(p)-1] // strip quotes; parser guarantees a valid literal
+}

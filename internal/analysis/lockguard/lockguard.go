@@ -1,0 +1,388 @@
+// Package lockguard checks `// guarded by mu` field annotations.
+//
+// internal/server shares state between HTTP handlers and background
+// workers. The convention introduced with this analyzer: a struct
+// field whose comment says `// guarded by mu` may only be accessed
+// while the named mutex — a sibling field on the same struct — is
+// held in the same function.
+//
+// The check is an intra-procedural lockset walk over each function's
+// statements: `x.mu.Lock()` / `x.mu.RLock()` acquires, `x.mu.Unlock()`
+// / `x.mu.RUnlock()` releases (a *deferred* unlock keeps the mutex
+// held to function end), branches are analysed separately and merged
+// (a mutex counts as held after an if/else only when both surviving
+// paths hold it; a branch ending in return does not constrain the
+// fall-through), and every access to a guarded field requires its
+// mutex held at that point. For a chained access like srv.state.m the
+// required mutex is the one on the same owner chain: srv.state.mu.
+//
+// Exemptions, matching the conventions callers actually use:
+//
+//   - functions whose name ends in "Locked" (documented contract:
+//     caller holds the lock);
+//   - accesses rooted at a local variable initialised from a composite
+//     literal in the same function (a freshly constructed object is
+//     not yet shared, so locking would be noise);
+//   - function literals are skipped entirely — closures often execute
+//     under a lock taken by their caller, which a per-function check
+//     cannot see;
+//   - accesses not rooted at a plain identifier chain (all[i].field)
+//     are out of scope.
+package lockguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated `// guarded by mu` must only be accessed with the named mutex held",
+	Run:  run,
+}
+
+// scope limits the check to the server layer, where the annotation
+// convention lives.
+var scope = []string{"internal/server", "server"}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardKey identifies a struct field across the package.
+type guardKey struct {
+	typ   *types.Named
+	field string
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageMatches(pass.Pkg.Path(), scope) {
+		return nil
+	}
+
+	// Collect annotations: (struct type, field) -> mutex field name.
+	guards := make(map[guardKey]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardName(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					guards[guardKey{named, name.Name}] = mu
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			w := &walker{pass: pass, guards: guards, fresh: freshLocals(pass, fd)}
+			w.stmts(fd.Body.List, lockset{})
+		}
+	}
+	return nil
+}
+
+func guardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockset counts how many times each mutex (identified by root object +
+// field path) is currently held.
+type lockset map[string]int
+
+func (ls lockset) clone() lockset {
+	out := make(lockset, len(ls))
+	for k, v := range ls {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeMin narrows ls to locks held on both paths.
+func (ls lockset) mergeMin(a, b lockset) {
+	for k := range ls {
+		delete(ls, k)
+	}
+	for k, v := range a {
+		if bv := b[k]; bv < v {
+			v = bv
+		}
+		if v > 0 {
+			ls[k] = v
+		}
+	}
+}
+
+func (ls lockset) copyFrom(src lockset) {
+	for k := range ls {
+		delete(ls, k)
+	}
+	for k, v := range src {
+		ls[k] = v
+	}
+}
+
+type walker struct {
+	pass   *analysis.Pass
+	guards map[guardKey]string
+	fresh  map[types.Object]bool
+}
+
+// stmts walks a statement list, mutating held; reports true when the
+// list cannot fall through (return/branch).
+func (w *walker) stmts(list []ast.Stmt, held lockset) bool {
+	for _, s := range list {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) stmt(s ast.Stmt, held lockset) bool {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		w.scan(s, held, false)
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto: leaves this statement list
+	case *ast.DeferStmt:
+		w.scan(x.Call, held, true)
+	case *ast.GoStmt:
+		w.scan(x.Call, held, false) // arguments evaluate now; the closure body is skipped
+	case *ast.BlockStmt:
+		return w.stmts(x.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, held)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, held)
+		}
+		w.scan(x.Cond, held, false)
+		bodyHeld := held.clone()
+		bTerm := w.stmts(x.Body.List, bodyHeld)
+		if x.Else != nil {
+			elseHeld := held.clone()
+			eTerm := w.stmt(x.Else, elseHeld)
+			switch {
+			case bTerm && eTerm:
+				return true
+			case bTerm:
+				held.copyFrom(elseHeld)
+			case eTerm:
+				held.copyFrom(bodyHeld)
+			default:
+				held.mergeMin(bodyHeld, elseHeld)
+			}
+		} else if !bTerm {
+			held.mergeMin(held.clone(), bodyHeld)
+		}
+		// bTerm without else: the fall-through path skipped the body;
+		// held is unchanged.
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, held)
+		}
+		if x.Cond != nil {
+			w.scan(x.Cond, held, false)
+		}
+		bodyHeld := held.clone()
+		w.stmts(x.Body.List, bodyHeld)
+		if x.Post != nil {
+			w.stmt(x.Post, bodyHeld)
+		}
+		// Loops are assumed lock-balanced; continuation keeps the entry
+		// state.
+	case *ast.RangeStmt:
+		w.scan(x.X, held, false)
+		bodyHeld := held.clone()
+		w.stmts(x.Body.List, bodyHeld)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, held)
+		}
+		if x.Tag != nil {
+			w.scan(x.Tag, held, false)
+		}
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.scan(e, held, false)
+			}
+			w.stmts(cc.Body, held.clone())
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, held)
+		}
+		w.stmt(x.Assign, held)
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.stmts(cc.Body, held.clone())
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			clauseHeld := held.clone()
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, clauseHeld)
+			}
+			w.stmts(cc.Body, clauseHeld)
+		}
+	default:
+		// Leaf statements: ExprStmt, AssignStmt, IncDecStmt, DeclStmt,
+		// SendStmt, EmptyStmt.
+		w.scan(s, held, false)
+	}
+	return false
+}
+
+// scan inspects one expression/leaf-statement subtree in source order,
+// applying Lock/Unlock transitions and checking guarded accesses.
+// Inside a defer, lock transitions are ignored: a deferred unlock
+// fires at return, so the mutex stays held for the rest of the body.
+func (w *walker) scan(n ast.Node, held lockset, inDefer bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // closures run under their caller's locks; out of scope
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			root, names, ok := analysis.SelChain(sel)
+			if !ok || len(names) < 2 {
+				return true
+			}
+			if inDefer {
+				return true
+			}
+			switch names[len(names)-1] {
+			case "Lock", "RLock":
+				held[w.chainKey(root, names[:len(names)-1])]++
+			case "Unlock", "RUnlock":
+				k := w.chainKey(root, names[:len(names)-1])
+				if held[k] > 0 {
+					held[k]--
+				}
+			}
+		case *ast.SelectorExpr:
+			w.access(x, held)
+		}
+		return true
+	})
+}
+
+// access reports sel when it reads/writes a guarded field without the
+// owning mutex held.
+func (w *walker) access(sel *ast.SelectorExpr, held lockset) {
+	selection, ok := w.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	owner := analysis.NamedOf(selection.Recv())
+	if owner == nil {
+		return
+	}
+	mu, ok := w.guards[guardKey{owner, sel.Sel.Name}]
+	if !ok {
+		return
+	}
+	root, names, ok := analysis.SelChain(sel)
+	if !ok {
+		return // rooted in a call/index; can't name the mutex chain
+	}
+	rootObj := w.pass.TypesInfo.Uses[root]
+	if rootObj == nil || w.fresh[rootObj] {
+		return
+	}
+	muPath := append(append([]string{}, names[:len(names)-1]...), mu)
+	if held[w.chainKey(root, muPath)] > 0 {
+		return
+	}
+	w.pass.Reportf(sel.Sel.Pos(), "field %s.%s is guarded by %q but accessed without holding it; lock %s first or suffix the function name with Locked",
+		owner.Obj().Name(), sel.Sel.Name, mu, strings.Join(append([]string{root.Name}, muPath...), "."))
+}
+
+// chainKey builds a stable identity for "this mutex reached from this
+// variable": the root object's pointer plus the field path.
+func (w *walker) chainKey(root *ast.Ident, path []string) string {
+	obj := w.pass.TypesInfo.Uses[root]
+	if obj == nil {
+		obj = w.pass.TypesInfo.Defs[root]
+	}
+	return fmt.Sprintf("%p.%s", obj, strings.Join(path, "."))
+}
+
+// freshLocals returns local variables initialised from a composite
+// literal (optionally through &) anywhere in the function — objects
+// that are provably unshared at construction.
+func freshLocals(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+				rhs = u.X
+			}
+			if _, ok := rhs.(*ast.CompositeLit); !ok {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}

@@ -1,0 +1,117 @@
+// Package opdispatch forbids op-name string dispatch on hot paths.
+//
+// PR 3 interned the SMALL trace's operation names into small integer
+// Opcode values precisely so the simulator's event loops never compare
+// strings per event. A stray `if op == "car"` or `switch name {
+// case "cons": ... }` reintroduces the cost the codec removed — and
+// worse, silently diverges from the intern table when names change.
+//
+// In the event-loop packages (internal/sim, internal/locality,
+// internal/trace) this analyzer reports:
+//
+//   - string comparison (== or !=) where either operand is one of the
+//     known op-name literals ("car", "cdr", "cons", "rplaca",
+//     "rplacd", "read");
+//   - switch statements over a string value with an op-name literal in
+//     any case clause.
+//
+// Composite-literal keys are exempt (the intern table itself maps
+// name -> Opcode), as is anything on an error path — dispatch belongs
+// on Opcode, OpName exists for diagnostics. Use interned Opcode values
+// and `switch op { case trace.OpCar: ... }` instead.
+package opdispatch
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "opdispatch",
+	Doc:  "forbid op-name string comparison/switch in event-loop packages; dispatch on interned Opcode",
+	Run:  run,
+}
+
+// scope lists the packages whose hot paths must dispatch on Opcode.
+var scope = []string{"internal/sim", "internal/locality", "internal/trace", "sim", "locality", "trace"}
+
+// opNames is the SMALL operation vocabulary from the trace intern
+// table's builtin block.
+var opNames = map[string]bool{
+	"car": true, "cdr": true, "cons": true,
+	"rplaca": true, "rplacd": true, "read": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageMatches(pass.Pkg.Path(), scope) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				// The intern table (map[string]Opcode{"car": OpCar, ...})
+				// legitimately spells op names; skip the literal wholesale.
+				return false
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if isOpNameLiteral(x.X) || isOpNameLiteral(x.Y) {
+					pass.Reportf(x.Pos(), "string comparison against op name %s; dispatch on interned Opcode (trace.InternOp / trace.Opcode constants), keep OpName for error paths",
+						opLiteralIn(x.X, x.Y))
+				}
+			case *ast.SwitchStmt:
+				if x.Tag == nil {
+					return true
+				}
+				for _, stmt := range x.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if isOpNameLiteral(e) {
+							pass.Reportf(x.Pos(), "switch on op-name string (case %s); dispatch on interned Opcode instead",
+								literalText(e))
+							return true // one report per switch
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isOpNameLiteral(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return false
+	}
+	return opNames[s]
+}
+
+func opLiteralIn(exprs ...ast.Expr) string {
+	for _, e := range exprs {
+		if isOpNameLiteral(e) {
+			return literalText(e)
+		}
+	}
+	return ""
+}
+
+func literalText(e ast.Expr) string {
+	if lit, ok := e.(*ast.BasicLit); ok {
+		return lit.Value
+	}
+	return ""
+}

@@ -1,0 +1,14 @@
+package opdispatch
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	// The sim fixture is in scope and must fire; the other fixture is
+	// out of scope and must stay silent despite its op-name strings.
+	analysistest.Run(t, "../testdata/src/opdispatch/sim", Analyzer)
+	analysistest.Run(t, "../testdata/src/opdispatch/other", Analyzer)
+}

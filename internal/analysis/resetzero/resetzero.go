@@ -1,0 +1,217 @@
+// Package resetzero verifies that pooled types reset completely.
+//
+// The SMALL simulator pools its heavy state (core.Machine, core.LPT,
+// cache.Cache, heap.Atoms, heap.TwoPtr, the interpreters) and recycles
+// it between sweep points via a Reset method. A struct field added
+// without a corresponding assignment in Reset silently survives reuse
+// and corrupts the next run — the classic pooled-object bug. This
+// analyzer requires every Reset (or unexported reset) method to
+// reassign every field of its receiver struct.
+//
+// A field is considered reset when the method body contains, directly
+// or in a called closure:
+//
+//   - an assignment whose left-hand side is rooted at recv.field
+//     (including index/star forms like recv.f[i] = v only when the
+//     whole field is also reassigned — element writes alone do not
+//     count);
+//   - a whole-struct reassignment *recv = T{...} or recv = T{...};
+//   - a method call on the field, recv.f.Something(...) — delegating
+//     reset to the field's own type;
+//   - passing the field's address &recv.f to a call;
+//   - clear(recv.f).
+//
+// Fields that intentionally survive reset (identity fields, config
+// set once at construction) are exempted with a trailing
+// `// smallvet:keep` comment on the field declaration.
+package resetzero
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "resetzero",
+	Doc:  "check that Reset methods on pooled types reassign every struct field",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Map each named struct type declared in this package to the AST of
+	// its declaration, so we can read field comments.
+	structDecls := make(map[*types.Named]*ast.StructType)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				if named, ok := obj.Type().(*types.Named); ok {
+					structDecls[named] = st
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Reset" && fd.Name.Name != "reset" {
+				continue
+			}
+			named := analysis.NamedRecvType(pass.TypesInfo, fd)
+			if named == nil {
+				continue
+			}
+			st, ok := structDecls[named]
+			if !ok {
+				continue // receiver struct declared elsewhere (or not a struct)
+			}
+			recv := analysis.RecvObject(pass.TypesInfo, fd)
+			if recv == nil {
+				continue // no way to track resets without a named receiver
+			}
+			checkReset(pass, fd, recv, named, st)
+		}
+	}
+	return nil
+}
+
+// keptField reports whether a field declaration carries a
+// `// smallvet:keep` exemption.
+func keptField(field *ast.Field) bool {
+	if field.Comment != nil {
+		for _, c := range field.Comment.List {
+			if strings.Contains(c.Text, "smallvet:keep") {
+				return true
+			}
+		}
+	}
+	if field.Doc != nil {
+		for _, c := range field.Doc.List {
+			if strings.Contains(c.Text, "smallvet:keep") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkReset(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object, named *types.Named, st *ast.StructType) {
+	// Collect the fields that need reset evidence.
+	required := make(map[string]bool)
+	for _, field := range st.Fields.List {
+		if keptField(field) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			required[name.Name] = true
+		}
+		if len(field.Names) == 0 {
+			// Embedded field: named after its type.
+			if named := analysis.NamedOf(pass.TypesInfo.Types[field.Type].Type); named != nil {
+				required[named.Obj().Name()] = true
+			}
+		}
+	}
+	if len(required) == 0 {
+		return
+	}
+
+	reset := make(map[string]bool)
+	wholeStruct := false
+
+	// fieldOf returns the field name when e is recv.f (possibly through
+	// parens), rooted exactly at the receiver object.
+	fieldOf := func(e ast.Expr) string {
+		e = analysis.Unparen(pass.TypesInfo, e)
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		root, names, ok := analysis.SelChain(sel)
+		if !ok || len(names) == 0 {
+			return ""
+		}
+		if pass.TypesInfo.Uses[root] != recv {
+			return ""
+		}
+		return names[0]
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				// Whole-struct reassignment: *recv = ... or recv = ...
+				target := lhs
+				if star, ok := target.(*ast.StarExpr); ok {
+					target = star.X
+				}
+				if id, ok := target.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv {
+					wholeStruct = true
+					continue
+				}
+				if name := fieldOf(lhs); name != "" {
+					reset[name] = true
+				}
+			}
+		case *ast.CallExpr:
+			// Method call on the field: recv.f.Method(...) — the chain
+			// root is recv and the chain has >= 2 links.
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if root, names, ok := analysis.SelChain(sel); ok && len(names) >= 2 &&
+					pass.TypesInfo.Uses[root] == recv {
+					reset[names[0]] = true
+				}
+			}
+			// clear(recv.f) and &recv.f / recv.f passed by pointer.
+			if analysis.BuiltinName(pass.TypesInfo, x) == "clear" && len(x.Args) == 1 {
+				if name := fieldOf(x.Args[0]); name != "" {
+					reset[name] = true
+				}
+			}
+			for _, arg := range x.Args {
+				if u, ok := arg.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+					if name := fieldOf(u.X); name != "" {
+						reset[name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if wholeStruct {
+		return
+	}
+	for name := range required {
+		if !reset[name] {
+			pass.Reportf(fd.Pos(), "%s.%s does not reset field %q; pooled state must be fully reassigned (or mark the field `// smallvet:keep`)",
+				named.Obj().Name(), fd.Name.Name, name)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package resetzero
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/resetzero/pool", Analyzer)
+}

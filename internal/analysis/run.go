@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// ignoreRe matches suppression comments. `// smallvet:ignore` mutes
+// every analyzer on that line; `// smallvet:ignore name1 name2` mutes
+// only the named ones. The comment applies to the source line it sits
+// on (trailing comment) or, when alone on a line, to the next line.
+var ignoreRe = regexp.MustCompile(`smallvet:ignore\b[ \t]*([\w ,]*)`)
+
+// ignoreIndex records suppressions as file:line -> analyzer set
+// (nil set = all analyzers).
+type ignoreIndex map[string]map[string]bool
+
+func (ix ignoreIndex) add(key string, names []string) {
+	if ix[key] == nil && len(names) == 0 {
+		ix[key] = nil // all analyzers
+		return
+	}
+	set := ix[key]
+	if set == nil {
+		set = make(map[string]bool)
+		ix[key] = set
+	}
+	for _, n := range names {
+		set[n] = true
+	}
+}
+
+// muted reports whether a diagnostic at file:line from the named
+// analyzer is suppressed.
+func (ix ignoreIndex) muted(key, analyzer string) bool {
+	set, ok := ix[key]
+	if !ok {
+		return false
+	}
+	return set == nil || set[analyzer]
+}
+
+// buildIgnores scans a package's comments for suppression directives.
+func buildIgnores(pkg *Package, ix ignoreIndex) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				var names []string
+				for _, n := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ' ' || r == ',' }) {
+					names = append(names, n)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				// A comment alone on its line suppresses the next line
+				// (the directive precedes the code it mutes).
+				if isLineStart(pkg, c) {
+					line++
+				}
+				ix.add(ignoreKey(pos.Filename, line), names)
+			}
+		}
+	}
+}
+
+// isLineStart reports whether the comment is the first token on its
+// line, by checking the file's line start offset against the comment's.
+func isLineStart(pkg *Package, c *ast.Comment) bool {
+	pos := pkg.Fset.Position(c.Pos())
+	tf := pkg.Fset.File(c.Pos())
+	if tf == nil {
+		return false
+	}
+	lineStart := tf.LineStart(pos.Line)
+	return lineStart == c.Pos()
+}
+
+func ignoreKey(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Run applies every analyzer to every package and returns the
+// surviving diagnostics sorted by (file, line, column, analyzer,
+// message). File paths in Diagnostic.Position are made relative to
+// relDir when possible, so output is stable across checkouts.
+func Run(pkgs []*Package, analyzers []*Analyzer, relDir string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := make(ignoreIndex)
+		buildIgnores(pkg, ignores)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				d.Position = pkg.Fset.Position(d.Pos)
+				if ignores.muted(ignoreKey(d.Position.Filename, d.Position.Line), d.Analyzer) {
+					return
+				}
+				if relDir != "" {
+					if rel, err := filepath.Rel(relDir, d.Position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+						d.Position.Filename = rel
+					}
+				}
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}

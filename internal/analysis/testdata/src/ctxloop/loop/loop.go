@@ -1,0 +1,95 @@
+// Package loop is a ctxloop fixture: unbounded for loops in
+// context-taking functions must poll cancellation.
+package loop
+
+import "context"
+
+// spin never looks at ctx: cancellation cannot stop it.
+func spin(ctx context.Context, work chan int) int {
+	total := 0
+	for { // want `unbounded for loop in context-taking function spin`
+		v, ok := <-work
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// pollErr is the canonical shape.
+func pollErr(ctx context.Context, work chan int) int {
+	total := 0
+	for {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += <-work
+	}
+}
+
+// selectDone polls via select on ctx.Done().
+func selectDone(ctx context.Context, work chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-work:
+			total += v
+		}
+	}
+}
+
+// hoistedDone hoists ctx.Done() out of the loop; the struct{}-channel
+// receive still counts as polling.
+func hoistedDone(ctx context.Context, work chan int) int {
+	done := ctx.Done()
+	total := 0
+	for {
+		select {
+		case <-done:
+			return total
+		case v := <-work:
+			total += v
+		}
+	}
+}
+
+// viaHelper polls one level down through a same-package callee.
+func viaHelper(ctx context.Context, work chan int) int {
+	total := 0
+	for {
+		if cancelled(ctx) {
+			return total
+		}
+		total += <-work
+	}
+}
+
+func cancelled(ctx context.Context) bool { return ctx.Err() != nil }
+
+// bounded loops and range loops are out of scope.
+func bounded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// closureSpin: the unbounded loop lives in a closure inside a
+// context-taking function and still must poll.
+func closureSpin(ctx context.Context, work chan int) int {
+	total := 0
+	run := func() {
+		for { // want `unbounded for loop in context-taking function closureSpin`
+			v, ok := <-work
+			if !ok {
+				return
+			}
+			total += v
+		}
+	}
+	run()
+	return total
+}

@@ -1,0 +1,60 @@
+// Package trace is a decodelimit fixture: allocations sized from
+// decoded input must be clamped against a named limit constant.
+package trace
+
+const (
+	maxTableCount = 1 << 20
+	maxNameLen    = 4096
+)
+
+type header struct {
+	Count uint32
+	MaxID uint32
+}
+
+func readUvarint() (uint64, bool) { return 0, true }
+
+// unbounded allocates straight from wire values.
+func decodeBad(h header) []string {
+	n, _ := readUvarint()
+	return make([]string, n) // want `make size n may derive from decoded input`
+}
+
+func decodeBadField(h header) []bool {
+	return make([]bool, h.MaxID+1) // want `make size h.MaxID \+ 1 may derive from decoded input`
+}
+
+// compared: an explicit range check before the allocation bounds n.
+func decodeChecked(h header) ([]string, bool) {
+	n, _ := readUvarint()
+	if n > maxTableCount {
+		return nil, false
+	}
+	return make([]string, n), true
+}
+
+// clamped: min() against a limit constant bounds the size directly.
+func decodeClamped(h header) []bool {
+	return make([]bool, min(uint64(h.MaxID)+1, maxTableCount))
+}
+
+// constants, len, and narrow types are inherently bounded.
+func decodeConst(buf []byte) ([]byte, map[int]int, []int) {
+	var b byte = buf[0]
+	return make([]byte, maxNameLen), make(map[int]int, len(buf)), make([]int, b)
+}
+
+// readCount models the decoder idiom: the callee enforces the limit
+// passed as an argument, so its result is bounded.
+func readCount(limit uint64) (uint64, bool) {
+	n, _ := readUvarint()
+	if n > limit {
+		return 0, false
+	}
+	return n, true
+}
+
+func decodeViaHelper() []string {
+	n, _ := readCount(uint64(maxTableCount))
+	return make([]string, n)
+}

@@ -1,0 +1,71 @@
+// Package server is a lockguard fixture: fields annotated
+// `// guarded by mu` may only be touched with the named mutex held.
+package server
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	m     map[int]string // guarded by mu
+	next  int            // guarded by mu
+	label string         // unguarded: immutable after construction
+}
+
+// get does it right: lock, access, deferred unlock.
+func (r *registry) get(id int) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[id]
+}
+
+// put does it right with explicit unlock.
+func (r *registry) put(s string) int {
+	r.mu.Lock()
+	id := r.next
+	r.next++
+	r.m[id] = s
+	r.mu.Unlock()
+	return id
+}
+
+// leak reads a guarded field with no lock at all.
+func (r *registry) leak() int {
+	return r.next // want `field registry.next is guarded by "mu" but accessed without holding it`
+}
+
+// stale accesses the map after releasing the mutex.
+func (r *registry) stale(id int) string {
+	r.mu.Lock()
+	r.mu.Unlock()
+	return r.m[id] // want `field registry.m is guarded by "mu" but accessed without holding it`
+}
+
+// sizeLocked relies on the Locked-suffix contract: caller holds mu.
+func (r *registry) sizeLocked() int {
+	return len(r.m)
+}
+
+// newRegistry touches guarded fields on a freshly constructed, still
+// unshared object; no lock needed.
+func newRegistry() *registry {
+	r := &registry{label: "reg"}
+	r.m = make(map[int]string)
+	r.next = 1
+	return r
+}
+
+// wrapper holds a registry behind a field; the mutex chain follows the
+// owner chain (w.reg.mu guards w.reg.next).
+type wrapper struct {
+	reg registry
+}
+
+func (w *wrapper) bump() {
+	w.reg.mu.Lock()
+	w.reg.next++
+	w.reg.mu.Unlock()
+}
+
+func (w *wrapper) peek() int {
+	return w.reg.next // want `field registry.next is guarded by "mu" but accessed without holding it`
+}

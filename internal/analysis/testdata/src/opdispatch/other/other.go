@@ -1,0 +1,16 @@
+// Package other is the opdispatch clean fixture: it is not an
+// event-loop package (its name is outside the analyzer's scope), so
+// op-name string handling — e.g. in a CLI argument parser — is
+// allowed and must produce no diagnostics.
+package other
+
+func parseOp(s string) int {
+	if s == "car" {
+		return 1
+	}
+	switch s {
+	case "cons":
+		return 2
+	}
+	return 0
+}

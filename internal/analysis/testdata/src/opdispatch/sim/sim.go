@@ -1,0 +1,49 @@
+// Package sim is an opdispatch fixture: its base name matches the
+// event-loop package scope, so op-name string dispatch is forbidden.
+package sim
+
+type Opcode uint8
+
+const (
+	OpCar Opcode = iota
+	OpCdr
+	OpCons
+)
+
+// interning the names is the one legitimate place the strings appear.
+var internTable = map[string]Opcode{
+	"car":  OpCar,
+	"cdr":  OpCdr,
+	"cons": OpCons,
+}
+
+func dispatchString(name string) int {
+	if name == "car" { // want `string comparison against op name "car"`
+		return 1
+	}
+	switch name { // want `switch on op-name string \(case "cons"\)`
+	case "cons":
+		return 2
+	case "rplaca":
+		return 3
+	}
+	if name != "read" { // want `string comparison against op name "read"`
+		return 4
+	}
+	return 0
+}
+
+// dispatchOpcode is the required shape: interned dispatch, strings
+// only for diagnostics.
+func dispatchOpcode(op Opcode) int {
+	switch op {
+	case OpCar:
+		return 1
+	case OpCons:
+		return 2
+	}
+	return 0
+}
+
+// Comparing non-op strings is fine.
+func unrelated(s string) bool { return s == "hello" }

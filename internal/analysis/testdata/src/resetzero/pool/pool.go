@@ -1,0 +1,61 @@
+// Package pool is a resetzero fixture: pooled types whose Reset
+// methods must reassign every field.
+package pool
+
+// Leaky forgets two of its fields on Reset.
+type Leaky struct {
+	a     int
+	b     []byte
+	stale map[int]int
+	seen  bool
+}
+
+func (l *Leaky) Reset() { // want `Leaky.Reset does not reset field "stale"` `Leaky.Reset does not reset field "seen"`
+	l.a = 0
+	l.b = l.b[:0]
+}
+
+// Clean resets every field, exercising the full evidence set:
+// assignment, clear, method delegation, and address-of.
+type sub struct{ n int }
+
+func (s *sub) Reset() { s.n = 0 }
+
+type Clean struct {
+	a    int
+	b    []byte
+	m    map[int]int
+	s    sub
+	ptr  *sub
+	name string // smallvet:keep -- identity, set once at construction
+}
+
+func (c *Clean) Reset() {
+	c.a = 0
+	c.b = c.b[:0]
+	clear(c.m)
+	c.s.Reset()
+	resetInto(&c.ptr)
+}
+
+func resetInto(p **sub) { *p = nil }
+
+// Whole replaces itself wholesale; no per-field evidence needed.
+type Whole struct {
+	x, y int
+	vs   []int
+}
+
+func (w *Whole) Reset() {
+	*w = Whole{}
+}
+
+// lowercase reset methods are held to the same standard.
+type small struct {
+	u int
+	v int
+}
+
+func (s *small) reset() { // want `small.reset does not reset field "v"`
+	s.u = 0
+}

@@ -27,10 +27,10 @@ type gaugeFunc struct {
 // label values) so it can be golden-tested.
 type metrics struct {
 	mu       sync.Mutex
-	requests map[string]map[int]int64  // route -> status code -> count
-	latency  map[string]*stats.Buckets // route -> seconds histogram
-	counters map[string]int64          // flat counters by metric name
-	gauges   []gaugeFunc
+	requests map[string]map[int]int64  // guarded by mu; route -> status code -> count
+	latency  map[string]*stats.Buckets // guarded by mu; route -> seconds histogram
+	counters map[string]int64          // guarded by mu; flat counters by metric name
+	gauges   []gaugeFunc               // guarded by mu
 }
 
 func newMetrics() *metrics {

@@ -38,18 +38,18 @@ type session struct {
 	backend string
 
 	mu  sync.Mutex
-	li  *lisp.Interp
-	si  *smalllisp.Interp
-	out bytes.Buffer // captures (print ...) output per eval
+	li  *lisp.Interp      // immutable after create; eval access serialized by mu
+	si  *smalllisp.Interp // immutable after create; eval access serialized by mu
+	out bytes.Buffer      // guarded by mu; captures (print ...) output per eval
 
 	created  time.Time
-	lastUsed time.Time
-	evals    int64
-	steps    int64
+	lastUsed time.Time // guarded by mu
+	evals    int64     // guarded by mu
+	steps    int64     // guarded by mu
 
 	// prevStats is the machine-stat snapshot after the previous eval, for
 	// computing per-eval deltas to feed the cumulative service counters.
-	prevStats core.MachineStats
+	prevStats core.MachineStats // guarded by mu
 }
 
 // SessionInfo is the wire form of session metadata.
@@ -78,8 +78,8 @@ type MachineInfo struct {
 // sessions owns every live session plus the idle-expiry policy.
 type sessions struct {
 	mu   sync.Mutex
-	m    map[string]*session
-	next int64
+	m    map[string]*session // guarded by mu
+	next int64               // guarded by mu
 	ttl  time.Duration
 	max  int
 

@@ -127,7 +127,10 @@ func SummarizeStream(st *Stream) Stats {
 // it agrees with MeasureNP(t).
 func MeasureNPStream(st *Stream) NPStats {
 	np := NPStats{NDist: make(map[int]int), PDist: make(map[int]int)}
-	seen := make([]bool, st.MaxID+1)
+	// Decoded streams guarantee MaxID <= maxTableCount (stream.go), but
+	// hand-built ones carry no such promise; clamp at the allocation.
+	maxID := min(st.MaxID, maxTableCount)
+	seen := make([]bool, maxID+1)
 	var order []int
 	for i := range st.Refs {
 		r := &st.Refs[i]
@@ -135,7 +138,7 @@ func MeasureNPStream(st *Stream) NPStats {
 			continue
 		}
 		for _, id := range r.Args {
-			if id > 0 && id <= st.MaxID && !seen[id] {
+			if id > 0 && id <= maxID && !seen[id] {
 				seen[id] = true
 				order = append(order, id)
 			}
