@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race smoke-serve fuzz-corpus verify bench bench-parsweep bench-trace
+.PHONY: build vet lint test race smoke-serve smoke-cluster fuzz-corpus verify bench bench-parsweep bench-trace
 
 build:
 	$(GO) build ./...
@@ -29,14 +29,21 @@ race:
 smoke-serve:
 	sh scripts/smoke_serve.sh
 
-# Deterministic replay of the codec round-trip properties and the saved
-# fuzz corpus under testdata/fuzz (no live fuzzing; use `go test -fuzz`
-# for that). Explicit in verify so a format change that breaks a saved
-# hostile input fails loudly by name.
-fuzz-corpus:
-	$(GO) test -run 'RoundTrip|^Fuzz' -count 1 ./internal/trace/
+# End-to-end check of the cluster topology: gateway + two workers,
+# sticky sessions, stateless spreading, a worker kill (only its
+# sessions lost, failover visible in /metrics), SIGTERM drain.
+smoke-cluster:
+	sh scripts/smoke_cluster.sh
 
-verify: build vet lint test race fuzz-corpus smoke-serve
+# Deterministic replay of the codec round-trip properties and the saved
+# fuzz corpora under testdata/fuzz (no live fuzzing; use `go test -fuzz`
+# for that). Explicit in verify so a format change that breaks a saved
+# hostile input fails loudly by name. Covers both untrusted-byte
+# decoders: the binary trace codec and the cluster RPC wire protocol.
+fuzz-corpus:
+	$(GO) test -run 'RoundTrip|^Fuzz' -count 1 ./internal/trace/ ./internal/cluster/wire/
+
+verify: build vet lint test race fuzz-corpus smoke-serve smoke-cluster
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

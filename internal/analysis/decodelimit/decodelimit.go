@@ -41,11 +41,13 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "decodelimit",
-	Doc:  "make() sizes in trace decoders must be clamped against a named limit constant",
+	Doc:  "make() sizes in wire-format decoders must be clamped against a named limit constant",
 	Run:  run,
 }
 
-var scope = []string{"internal/trace", "trace"}
+// scope covers every package that decodes untrusted bytes: the trace
+// codec and the cluster RPC wire protocol.
+var scope = []string{"internal/trace", "trace", "internal/cluster/wire", "wire"}
 
 var limitNameRe = regexp.MustCompile(`(?i)(max|limit|cap|bound)`)
 

@@ -46,9 +46,13 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// scope limits the check to the server layer, where the annotation
-// convention lives.
-var scope = []string{"internal/server", "server"}
+// scope limits the check to the serving layers, where the annotation
+// convention lives: smalld's server and the cluster gateway/client.
+var scope = []string{
+	"internal/server", "server",
+	"internal/cluster", "cluster",
+	"internal/cluster/client", "client",
+}
 
 var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
 

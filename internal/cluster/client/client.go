@@ -1,0 +1,186 @@
+// Package client is the smallcluster RPC client: a connection-pooling
+// caller of the "SMCR" wire protocol that workers serve. The gateway
+// routes every forwarded request through one Client per worker, and
+// tests drive workers directly with it.
+//
+// The protocol keeps one request in flight per connection, so the
+// Client holds a free list of idle connections and dials more on
+// demand; a connection that sees any transport error is discarded
+// rather than resynchronized. Cancellation is end to end: the request
+// frame carries the context's remaining deadline for the worker to
+// enforce server-side, and context.AfterFunc closes the in-use
+// connection the moment the caller's context dies, so an abandoned
+// call never ties the client to a wedged peer.
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cluster/wire"
+)
+
+// Client calls one worker's RPC endpoint.
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu     sync.Mutex
+	idle   []*conn // guarded by mu
+	closed bool    // guarded by mu
+}
+
+// conn is one pooled connection: the raw socket plus its frame reader
+// and buffered writer.
+type conn struct {
+	nc net.Conn
+	r  *wire.Reader
+	bw *bufio.Writer
+}
+
+// New returns a client for the worker at addr (host:port).
+func New(addr string) *Client {
+	return &Client{addr: addr, dialTimeout: 2 * time.Second}
+}
+
+// Addr returns the worker address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// get pops an idle connection or dials a new one.
+func (c *Client) get(ctx context.Context) (*conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: client for %s is closed", c.addr)
+	}
+	if n := len(c.idle); n > 0 {
+		cn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+
+	d := net.Dialer{Timeout: c.dialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", c.addr, err)
+	}
+	bw := bufio.NewWriter(nc)
+	if err := wire.WriteHandshake(bw); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("cluster: handshake %s: %w", c.addr, err)
+	}
+	return &conn{nc: nc, r: wire.NewReader(nc), bw: bw}, nil
+}
+
+// put returns a healthy connection to the pool (unless the client
+// closed meanwhile).
+func (c *Client) put(cn *conn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cn.nc.Close()
+		return
+	}
+	c.idle = append(c.idle, cn)
+	c.mu.Unlock()
+}
+
+// exchange writes req and reads the worker's answer on one connection,
+// honouring ctx: the socket deadline tracks the context's, and a
+// context cancellation closes the socket mid-call.
+func (c *Client) exchange(ctx context.Context, req *wire.Frame) (*wire.Frame, error) {
+	cn, err := c.get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	stop := context.AfterFunc(ctx, func() { cn.nc.Close() })
+	ok := false
+	defer func() {
+		if !stop() || !ok {
+			// The cancel hook ran (socket is dead) or the exchange
+			// failed: this connection never returns to the pool.
+			cn.nc.Close()
+			return
+		}
+		cn.nc.SetDeadline(time.Time{})
+		c.put(cn)
+	}()
+
+	if dl, has := ctx.Deadline(); has {
+		cn.nc.SetDeadline(dl)
+	} else {
+		cn.nc.SetDeadline(time.Now().Add(wire.MaxDeadlineMS * time.Millisecond))
+	}
+	if err := wire.WriteFrame(cn.bw, req); err != nil {
+		return nil, fmt.Errorf("cluster: %s: write: %w", c.addr, err)
+	}
+	if err := cn.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("cluster: %s: write: %w", c.addr, err)
+	}
+	var resp wire.Frame
+	if err := cn.r.ReadFrame(&resp); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("cluster: %s: read: %w", c.addr, err)
+	}
+	ok = true
+	return &resp, nil
+}
+
+// Do forwards one HTTP-shaped request to the worker and returns its
+// response frame. A returned error is a transport failure (dial,
+// handshake, or mid-call break); application-level failures come back
+// as response frames with their status.
+func (c *Client) Do(ctx context.Context, method, path string, header []wire.Header, body []byte) (*wire.Frame, error) {
+	req := &wire.Frame{
+		Type: wire.TypeRequest, Method: method, Path: path,
+		Header: header, Body: body,
+	}
+	if dl, has := ctx.Deadline(); has {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.DeadlineMS = uint64(min(ms, wire.MaxDeadlineMS))
+		} else {
+			return nil, context.DeadlineExceeded
+		}
+	}
+	resp, err := c.exchange(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.TypeResponse {
+		return nil, fmt.Errorf("cluster: %s: unexpected frame type %#x in reply", c.addr, resp.Type)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness over the wire protocol.
+func (c *Client) Ping(ctx context.Context) error {
+	resp, err := c.exchange(ctx, &wire.Frame{Type: wire.TypePing})
+	if err != nil {
+		return err
+	}
+	if resp.Type != wire.TypePong {
+		return fmt.Errorf("cluster: %s: unexpected frame type %#x in pong", c.addr, resp.Type)
+	}
+	return nil
+}
+
+// Close discards every pooled connection; in-flight exchanges fail as
+// their sockets close.
+func (c *Client) Close() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, cn := range idle {
+		cn.nc.Close()
+	}
+}

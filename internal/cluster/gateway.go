@@ -1,0 +1,473 @@
+package cluster
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster/client"
+	"repro/internal/cluster/wire"
+	"repro/internal/server"
+)
+
+// WorkerHeader names the response header the gateway stamps on every
+// forwarded reply with the answering worker's address — the observable
+// half of the affinity contract (same session ⇒ same worker), which
+// tests and the smoke script assert on.
+const WorkerHeader = "X-Smallcluster-Worker"
+
+// Config parameterises a Gateway. Zero values take production-shaped
+// defaults.
+type Config struct {
+	// Peers are the workers' RPC addresses (host:port). The list is the
+	// static membership rendezvous routing hashes over.
+	Peers []string
+	// HealthInterval spaces probes to healthy workers (default 1s).
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 1s).
+	ProbeTimeout time.Duration
+	// FailThreshold is the consecutive probe failures that open a
+	// worker's circuit (default 2; transport errors on live requests
+	// open it immediately).
+	FailThreshold int
+	// BackoffBase/BackoffMax bound the jittered exponential backoff of
+	// probes to an unhealthy worker (defaults 250ms / 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// RetryBudget is the extra attempts a stateless (idempotent) call
+	// may spend on other workers after a failure (default 2). Session
+	// calls are never retried: evals are not idempotent.
+	RetryBudget int
+	// HedgeDelay, when > 0, launches a second attempt of a stateless
+	// call on the next-best worker if the first has not answered within
+	// the delay; the first response wins (default 0 = disabled).
+	HedgeDelay time.Duration
+	// RequestTimeout caps one forwarded request (default 60s). The
+	// remaining budget rides the wire for the worker to enforce too.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 250 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.RetryBudget < 0 {
+		c.RetryBudget = 0
+	} else if c.RetryBudget == 0 {
+		c.RetryBudget = 2
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// Gateway fronts a set of smalld workers: session traffic routes by
+// rendezvous hash (sticky), stateless jobs spread least-loaded with
+// bounded retries and optional hedging, and per-worker health and
+// latency are exported at /metrics.
+type Gateway struct {
+	cfg       Config
+	peerAddrs []string           // static membership, sorted
+	workers   []*worker          // same order as peerAddrs
+	byAddr    map[string]*worker // immutable after New
+	metrics   *metrics
+	mux       *http.ServeMux
+	cancel    context.CancelFunc // stops the health loops
+}
+
+// NewGateway builds a gateway over the given peers and starts their
+// health probes. Call Close to stop them.
+func NewGateway(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: gateway needs at least one peer")
+	}
+	peers := append([]string(nil), cfg.Peers...)
+	sort.Strings(peers)
+	for i := 1; i < len(peers); i++ {
+		if peers[i] == peers[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate peer %s", peers[i])
+		}
+	}
+	g := &Gateway{cfg: cfg, peerAddrs: peers, byAddr: make(map[string]*worker)}
+	for _, addr := range peers {
+		w := &worker{addr: addr, client: client.New(addr), probe: make(chan struct{}, 1)}
+		// Workers start optimistically healthy: the first probe fires
+		// immediately and corrects the picture within a probe timeout.
+		w.healthy.Store(true)
+		g.workers = append(g.workers, w)
+		g.byAddr[addr] = w
+	}
+	g.metrics = newMetrics(g.workers)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("POST /v1/sessions", g.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions", g.handleSessionList)
+	mux.HandleFunc("GET /v1/sessions/{id}", g.handleSessionForward)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", g.handleSessionForward)
+	mux.HandleFunc("POST /v1/sessions/{id}/eval", g.handleSessionForward)
+	mux.HandleFunc("POST /v1/sim", g.handleStateless)
+	mux.HandleFunc("GET /v1/experiments", g.handleStateless)
+	mux.HandleFunc("POST /v1/experiments/{id}", g.handleStateless)
+	g.mux = mux
+
+	ctx, cancel := context.WithCancel(context.Background())
+	g.cancel = cancel
+	for _, w := range g.workers {
+		go g.healthLoop(ctx, w)
+	}
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Close stops the health loops and discards every pooled connection.
+func (g *Gateway) Close() {
+	g.cancel()
+	for _, w := range g.workers {
+		w.client.Close()
+	}
+}
+
+// --- plumbing ---
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+// readBody slurps a request body within the frame body limit.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxBodyLen))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body too large or unreadable: "+err.Error())
+		return nil, false
+	}
+	return body, true
+}
+
+// forward sends one request frame to w2 and accounts for it: in-flight
+// gauge, per-worker latency histogram, and the outcome counter (status
+// code, or 0 for a transport failure).
+func (g *Gateway) forward(ctx context.Context, w2 *worker, method, path string, body []byte) (*wire.Frame, error) {
+	w2.inflight.Add(1)
+	start := time.Now()
+	var hdr []wire.Header
+	if len(body) > 0 {
+		hdr = []wire.Header{{Key: "Content-Type", Value: "application/json"}}
+	}
+	resp, err := w2.client.Do(ctx, method, path, hdr, body)
+	w2.inflight.Add(-1)
+	code := 0
+	if err == nil {
+		code = resp.Status
+	}
+	g.metrics.observeWorker(w2.addr, code, time.Since(start).Seconds())
+	return resp, err
+}
+
+// reply replays a worker's response frame to the HTTP client, stamping
+// the answering worker.
+func reply(w http.ResponseWriter, from *worker, f *wire.Frame) {
+	for _, h := range f.Header {
+		w.Header().Set(h.Key, h.Value)
+	}
+	w.Header().Set(WorkerHeader, from.addr)
+	w.WriteHeader(f.Status)
+	w.Write(f.Body)
+}
+
+// requestCtx caps a forwarded request's lifetime.
+func (g *Gateway) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+}
+
+// --- session path (affinity, never retried) ---
+
+// handleSessionForward routes a session-scoped request to the session's
+// rendezvous owner. A down owner is a 503 — the session's state lived
+// on that worker, so there is nowhere honest to send the request.
+func (g *Gateway) handleSessionForward(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	g.forwardSession(w, r, id, r.Method, r.URL.Path, body)
+}
+
+func (g *Gateway) forwardSession(w http.ResponseWriter, r *http.Request, id, method, path string, body []byte) {
+	g.metrics.add("smallcluster_route_session_total", 1)
+	owner := g.owner(id)
+	if owner == nil || !owner.healthy.Load() {
+		g.metrics.add("smallcluster_session_unroutable_total", 1)
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("worker for session %q is down; the session is lost", id))
+		return
+	}
+	ctx, cancel := g.requestCtx(r)
+	defer cancel()
+	resp, err := g.forward(ctx, owner, method, path, body)
+	if err != nil {
+		// The owner died under us: open its circuit and report honestly.
+		// No retry — an eval may or may not have executed.
+		g.markDown(owner)
+		g.metrics.add("smallcluster_session_unroutable_total", 1)
+		httpError(w, http.StatusBadGateway,
+			fmt.Sprintf("worker %s failed mid-request: %v", owner.addr, err))
+		return
+	}
+	reply(w, owner, resp)
+}
+
+// randSessionID generates a cluster-unique session ID. IDs are assigned
+// at the gateway (not the worker) so rendezvous routing can place the
+// session *before* it exists.
+func randSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("cluster: crypto/rand unavailable: " + err.Error())
+	}
+	return "g" + hex.EncodeToString(b[:])
+}
+
+// handleSessionCreate assigns the new session an ID, routes it to the
+// ID's rendezvous owner, and forwards the create there. When the dice
+// land on a down worker the ID is redrawn, so creates keep succeeding
+// while any worker is alive without disturbing the placement of
+// existing sessions.
+func (g *Gateway) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req server.SessionCreateRequest
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.ID != "" {
+		// Client-chosen IDs route like any other session access.
+		if !server.ValidSessionID(req.ID) {
+			httpError(w, http.StatusBadRequest, "invalid session id (want 1-64 chars of [a-zA-Z0-9._-])")
+			return
+		}
+	} else {
+		for i := 0; ; i++ {
+			req.ID = randSessionID()
+			if o := g.owner(req.ID); o != nil && o.healthy.Load() {
+				break
+			}
+			if i >= 64 {
+				httpError(w, http.StatusServiceUnavailable, "no healthy workers")
+				return
+			}
+		}
+	}
+	fwd, err := json.Marshal(&req)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	g.forwardSession(w, r, req.ID, "POST", "/v1/sessions", fwd)
+}
+
+// handleSessionList fans out to every healthy worker and merges the
+// session lists, sorted by ID; workers that fail to answer are skipped
+// (a degraded list beats a failed one).
+func (g *Gateway) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	g.metrics.add("smallcluster_fanout_total", 1)
+	ctx, cancel := g.requestCtx(r)
+	defer cancel()
+
+	type listResult struct {
+		Sessions []server.SessionInfo `json:"sessions"`
+	}
+	var (
+		healthy []*worker
+	)
+	for _, w2 := range g.workers {
+		if w2.healthy.Load() {
+			healthy = append(healthy, w2)
+		}
+	}
+	results := make([]listResult, len(healthy))
+	done := make(chan int, len(healthy))
+	for i, w2 := range healthy {
+		go func(i int, w2 *worker) {
+			defer func() { done <- i }()
+			resp, err := g.forward(ctx, w2, "GET", "/v1/sessions", nil)
+			if err != nil {
+				g.markDown(w2)
+				return
+			}
+			if resp.Status == http.StatusOK {
+				json.Unmarshal(resp.Body, &results[i])
+			}
+		}(i, w2)
+	}
+	for range healthy {
+		<-done
+	}
+	merged := make([]server.SessionInfo, 0, 16)
+	for i := range results {
+		merged = append(merged, results[i].Sessions...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"sessions": merged})
+}
+
+// --- stateless path (least-loaded, retried, hedged) ---
+
+type attempt struct {
+	resp   *wire.Frame
+	err    error
+	w      *worker
+	hedged bool
+}
+
+// retryableStatus reports worker answers worth spending retry budget
+// on: drain 503s and queue-full 429s mean *this worker* is unavailable,
+// not that the job is bad.
+func retryableStatus(code int) bool {
+	return code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests
+}
+
+// handleStateless serves sim and experiment traffic: any healthy worker
+// can answer, so attempts go least-loaded first, transport errors and
+// unavailable-worker statuses are retried elsewhere within the budget
+// (these jobs are idempotent — pure functions of the request), and a
+// hedge attempt races slow calls when configured.
+func (g *Gateway) handleStateless(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	g.metrics.add("smallcluster_route_stateless_total", 1)
+	ctx, cancel := g.requestCtx(r)
+	defer cancel()
+
+	tried := make(map[*worker]bool)
+	results := make(chan attempt, g.cfg.RetryBudget+2)
+	outstanding, attempts := 0, 0
+	maxAttempts := g.cfg.RetryBudget + 1
+	launch := func(hedged bool) bool {
+		w2 := g.pickStateless(tried)
+		if w2 == nil {
+			return false
+		}
+		tried[w2] = true
+		attempts++
+		outstanding++
+		go func() {
+			resp, err := g.forward(ctx, w2, r.Method, r.URL.Path, body)
+			results <- attempt{resp: resp, err: err, w: w2, hedged: hedged}
+		}()
+		return true
+	}
+	if !launch(false) {
+		httpError(w, http.StatusServiceUnavailable, "no healthy workers")
+		return
+	}
+
+	var hedgeC <-chan time.Time
+	if g.cfg.HedgeDelay > 0 {
+		t := time.NewTimer(g.cfg.HedgeDelay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var last attempt
+	for {
+		select {
+		case <-ctx.Done():
+			httpError(w, http.StatusGatewayTimeout, "request cancelled or timed out: "+ctx.Err().Error())
+			return
+		case a := <-results:
+			outstanding--
+			if a.err == nil && !retryableStatus(a.resp.Status) {
+				if a.hedged {
+					g.metrics.add("smallcluster_hedge_wins_total", 1)
+				}
+				reply(w, a.w, a.resp)
+				return
+			}
+			if a.err != nil {
+				g.markDown(a.w)
+			}
+			last = a
+			if attempts < maxAttempts && launch(false) {
+				g.metrics.add("smallcluster_retries_total", 1)
+				continue
+			}
+			if outstanding == 0 {
+				// Budget exhausted (or no worker left untried): report
+				// the last failure honestly.
+				if last.err != nil {
+					httpError(w, http.StatusBadGateway,
+						fmt.Sprintf("all attempts failed; last worker %s: %v", last.w.addr, last.err))
+				} else {
+					reply(w, last.w, last.resp)
+				}
+				return
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if attempts < maxAttempts && launch(true) {
+				g.metrics.add("smallcluster_hedges_total", 1)
+			}
+		}
+	}
+}
+
+// --- gateway self-endpoints ---
+
+// handleHealthz is 200 while any worker is healthy, 503 when none are —
+// the shape load balancers in front of multiple gateways expect.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := g.healthyAddrs()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(healthy) == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "no healthy workers (0/%d)\n", len(g.workers))
+		return
+	}
+	fmt.Fprintf(w, "ok %d/%d workers healthy\n", len(healthy), len(g.workers))
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.metrics.render(w)
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster/client"
+)
+
+// worker is the gateway's view of one cluster member: its RPC client,
+// circuit state, and live load. The healthy flag *is* the circuit
+// breaker — routing only considers workers whose flag is set, and the
+// prober is the only writer, so a down worker takes no traffic except
+// the probes themselves (half-open checks).
+type worker struct {
+	addr     string
+	client   *client.Client
+	healthy  atomic.Bool
+	inflight atomic.Int64 // forwarded requests currently unanswered
+	// probe wakes the prober early: the request path kicks it when a
+	// forward hits a transport error, so failover does not wait out the
+	// probe interval.
+	probe chan struct{}
+}
+
+// markDown opens a worker's circuit from the request path (transport
+// error on a forward). The prober keeps probing with backoff until the
+// worker answers again.
+func (g *Gateway) markDown(w *worker) {
+	if w.healthy.Swap(false) {
+		g.metrics.add("smallcluster_worker_down_total", 1)
+	}
+	select {
+	case w.probe <- struct{}{}:
+	default:
+	}
+}
+
+// healthLoop probes one worker until ctx dies. Healthy workers are
+// pinged every cfg.HealthInterval; an unhealthy worker is probed with
+// exponential backoff plus full jitter (each wait is uniform in
+// [base/2, base]), so a restarted cluster's gateways do not
+// synchronize their probes into thundering herds. FailThreshold
+// consecutive probe failures open the circuit; one success closes it.
+func (g *Gateway) healthLoop(ctx context.Context, w *worker) {
+	rng := rand.New(rand.NewSource(int64(len(w.addr))*7919 + time.Now().UnixNano()))
+	fails := 0
+	backoff := g.cfg.BackoffBase
+	timer := time.NewTimer(0) // first probe immediately
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		case <-w.probe:
+			if !timer.Stop() {
+				// Drain the fired timer so the next Reset is clean.
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+
+		pctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+		err := w.client.Ping(pctx)
+		cancel()
+		if ctx.Err() != nil {
+			return
+		}
+
+		var wait time.Duration
+		if err != nil {
+			g.metrics.add("smallcluster_probe_failures_total", 1)
+			fails++
+			if fails >= g.cfg.FailThreshold && w.healthy.Swap(false) {
+				g.metrics.add("smallcluster_worker_down_total", 1)
+			}
+			// Exponential backoff with jitter, capped.
+			wait = backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+			backoff *= 2
+			if backoff > g.cfg.BackoffMax {
+				backoff = g.cfg.BackoffMax
+			}
+		} else {
+			fails = 0
+			backoff = g.cfg.BackoffBase
+			if !w.healthy.Swap(true) {
+				g.metrics.add("smallcluster_worker_up_total", 1)
+			}
+			wait = g.cfg.HealthInterval
+		}
+		timer.Reset(wait)
+	}
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// rpcLatencyBounds are the per-worker forwarded-RPC latency bucket
+// bounds in seconds: session evals land low, multi-point sim sweeps
+// reach the top.
+var rpcLatencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30}
+
+// workerGauge samples a live per-worker value at render time.
+type workerGauge struct {
+	name, help string
+	fn         func(w *worker) int64
+}
+
+// metrics is the gateway's hand-rolled Prometheus registry, the
+// cluster-level sibling of smalld's: per-worker request counters and
+// latency histograms (stats.Buckets), live worker gauges, and flat
+// counters for routing decisions, retries, hedges, and failovers. The
+// exposition is deterministic (sorted workers, codes, and names) so it
+// can be asserted against in tests and smoke scripts.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]map[int]int64  // guarded by mu; worker -> status code -> count
+	latency  map[string]*stats.Buckets // guarded by mu; worker -> seconds histogram
+	counters map[string]int64          // guarded by mu; flat counters by metric name
+
+	gauges  []workerGauge
+	workers []*worker
+}
+
+func newMetrics(workers []*worker) *metrics {
+	m := &metrics{
+		requests: make(map[string]map[int]int64),
+		latency:  make(map[string]*stats.Buckets),
+		counters: make(map[string]int64),
+		workers:  workers,
+		gauges: []workerGauge{
+			{"smallcluster_worker_healthy", "1 when the worker's circuit is closed (probes passing)",
+				func(w *worker) int64 {
+					if w.healthy.Load() {
+						return 1
+					}
+					return 0
+				}},
+			{"smallcluster_worker_inflight", "requests currently forwarded to the worker and unanswered",
+				func(w *worker) int64 { return w.inflight.Load() }},
+		},
+	}
+	return m
+}
+
+// observeWorker records one forwarded RPC: its worker, outcome status
+// (0 for a transport failure), and wall-clock seconds.
+func (m *metrics) observeWorker(addr string, code int, seconds float64) {
+	m.mu.Lock()
+	byCode := m.requests[addr]
+	if byCode == nil {
+		byCode = make(map[int]int64)
+		m.requests[addr] = byCode
+	}
+	byCode[code]++
+	h := m.latency[addr]
+	if h == nil {
+		h = stats.NewBuckets(rpcLatencyBounds)
+		m.latency[addr] = h
+	}
+	h.Observe(seconds)
+	m.mu.Unlock()
+}
+
+// add bumps a flat counter.
+func (m *metrics) add(name string, delta int64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// get reads a flat counter (tests and the healthz summary).
+func (m *metrics) get(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// counterHelp documents the flat counters that may appear.
+var counterHelp = map[string]string{
+	"smallcluster_route_session_total":     "requests routed by session affinity (rendezvous hash)",
+	"smallcluster_route_stateless_total":   "stateless jobs spread least-loaded across workers",
+	"smallcluster_session_unroutable_total": "session requests refused because the owning worker is down",
+	"smallcluster_retries_total":           "stateless attempts re-sent to another worker after a failure",
+	"smallcluster_hedges_total":            "hedge attempts launched for slow stateless calls",
+	"smallcluster_hedge_wins_total":        "stateless calls answered first by a hedge attempt",
+	"smallcluster_worker_down_total":       "circuit-open transitions (worker marked unhealthy)",
+	"smallcluster_worker_up_total":         "circuit-close transitions (worker probed back to healthy)",
+	"smallcluster_probe_failures_total":    "health probes that failed",
+	"smallcluster_fanout_total":            "fan-out requests (session list) sent to all healthy workers",
+}
+
+// render writes the Prometheus text exposition format.
+func (m *metrics) render(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP smallcluster_requests_total RPCs forwarded per worker (code 0 = transport failure)")
+	fmt.Fprintln(w, "# TYPE smallcluster_requests_total counter")
+	for _, addr := range sortedKeys(m.requests) {
+		byCode := m.requests[addr]
+		codes := make([]int, 0, len(byCode))
+		for c := range byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "smallcluster_requests_total{worker=%q,code=\"%d\"} %d\n", addr, c, byCode[c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP smallcluster_request_seconds forwarded RPC latency per worker")
+	fmt.Fprintln(w, "# TYPE smallcluster_request_seconds histogram")
+	for _, addr := range sortedKeys(m.latency) {
+		h := m.latency[addr]
+		cum := h.Cumulative()
+		for i, bound := range h.Bounds() {
+			fmt.Fprintf(w, "smallcluster_request_seconds_bucket{worker=%q,le=%q} %d\n",
+				addr, strconv.FormatFloat(bound, 'g', -1, 64), cum[i])
+		}
+		fmt.Fprintf(w, "smallcluster_request_seconds_bucket{worker=%q,le=\"+Inf\"} %d\n", addr, cum[len(cum)-1])
+		fmt.Fprintf(w, "smallcluster_request_seconds_sum{worker=%q} %g\n", addr, h.Sum())
+		fmt.Fprintf(w, "smallcluster_request_seconds_count{worker=%q} %d\n", addr, h.Count())
+	}
+
+	for _, name := range sortedKeys(m.counters) {
+		if help, ok := counterHelp[name]; ok {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, m.counters[name])
+	}
+
+	for _, g := range m.gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n", g.name, g.help)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", g.name)
+		for _, w2 := range m.workers {
+			fmt.Fprintf(w, "%s{worker=%q} %d\n", g.name, w2.addr, g.fn(w2))
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

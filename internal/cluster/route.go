@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Rendezvous returns the member of peers with the highest
+// highest-random-weight (HRW) score for key, or "" when peers is empty.
+// HRW gives the affinity property the session layer needs: when a peer
+// joins or leaves, only the keys whose maximum score was on that peer
+// change owner — every other session stays where its LPT working set
+// already lives. Scores are FNV-1a 64 over peer\x00key, so routing is a
+// pure function of the static membership list and the session ID (no
+// ring state, no coordination).
+func Rendezvous(peers []string, key string) string {
+	best, bestScore := "", uint64(0)
+	for _, p := range peers {
+		h := fnv.New64a()
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+		h.Write([]byte(key))
+		s := h.Sum64()
+		// Ties break toward the lexically larger peer so the choice is
+		// deterministic across gateways.
+		if best == "" || s > bestScore || (s == bestScore && p > best) {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// owner resolves the worker that owns a session ID: HRW over the full
+// static membership, regardless of health. A session on a down worker
+// is *lost*, not re-routed — its interpreter state lived only there —
+// so health filtering happens after ownership, not before (re-routing
+// by health would silently hand clients a fresh empty session on
+// another node and then hand them back on recovery).
+func (g *Gateway) owner(sessionID string) *worker {
+	return g.byAddr[Rendezvous(g.peerAddrs, sessionID)]
+}
+
+// pickStateless orders healthy workers for a stateless attempt:
+// least-loaded first (live in-flight count), address as deterministic
+// tie-break, skipping workers already tried by this request.
+func (g *Gateway) pickStateless(tried map[*worker]bool) *worker {
+	var best *worker
+	var bestLoad int64
+	for _, w := range g.workers {
+		if tried[w] || !w.healthy.Load() {
+			continue
+		}
+		load := w.inflight.Load()
+		if best == nil || load < bestLoad || (load == bestLoad && w.addr < best.addr) {
+			best, bestLoad = w, load
+		}
+	}
+	return best
+}
+
+// healthyAddrs lists currently healthy worker addresses, sorted.
+func (g *Gateway) healthyAddrs() []string {
+	out := make([]string, 0, len(g.workers))
+	for _, w := range g.workers {
+		if w.healthy.Load() {
+			out = append(out, w.addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func peersN(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:8350", i+1)
+	}
+	return out
+}
+
+func keysN(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("g%016x", i*2654435761)
+	}
+	return out
+}
+
+// TestRendezvousAffinityOnLeave is the property the session layer is
+// built on: removing one peer re-homes exactly the keys that peer
+// owned — every other key keeps its owner, so a worker crash loses only
+// that worker's sessions.
+func TestRendezvousAffinityOnLeave(t *testing.T) {
+	peers := peersN(5)
+	keys := keysN(2000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = Rendezvous(peers, k)
+	}
+	for drop := range peers {
+		smaller := append(append([]string(nil), peers[:drop]...), peers[drop+1:]...)
+		moved := 0
+		for _, k := range keys {
+			after := Rendezvous(smaller, k)
+			if before[k] == peers[drop] {
+				moved++
+				if after == peers[drop] {
+					t.Fatalf("key %s still maps to removed peer %s", k, peers[drop])
+				}
+				continue
+			}
+			if after != before[k] {
+				t.Fatalf("key %s moved %s -> %s though %s left",
+					k, before[k], after, peers[drop])
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("peer %s owned no keys out of %d (hash badly skewed)", peers[drop], len(keys))
+		}
+	}
+}
+
+// TestRendezvousAffinityOnJoin: adding a peer only moves keys *to* the
+// joiner, never between existing peers.
+func TestRendezvousAffinityOnJoin(t *testing.T) {
+	peers := peersN(4)
+	joined := append(append([]string(nil), peers...), "10.0.0.99:8350")
+	keys := keysN(2000)
+	moved := 0
+	for _, k := range keys {
+		before := Rendezvous(peers, k)
+		after := Rendezvous(joined, k)
+		if after == before {
+			continue
+		}
+		moved++
+		if after != "10.0.0.99:8350" {
+			t.Fatalf("key %s moved %s -> %s, not to the joiner", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("joiner received no keys (hash badly skewed)")
+	}
+	// With 5 equal peers the joiner should own roughly 1/5; accept a
+	// generous band to keep the test hash-robust.
+	if moved < len(keys)/10 || moved > len(keys)/2 {
+		t.Fatalf("joiner received %d of %d keys; want roughly %d", moved, len(keys), len(keys)/5)
+	}
+}
+
+// TestRendezvousBalance: every peer owns a non-trivial share of keys.
+func TestRendezvousBalance(t *testing.T) {
+	peers := peersN(3)
+	counts := make(map[string]int)
+	for _, k := range keysN(3000) {
+		counts[Rendezvous(peers, k)]++
+	}
+	for _, p := range peers {
+		if counts[p] < 300 { // 10% floor on an expected ~33% share
+			t.Fatalf("peer %s owns only %d/3000 keys: %v", p, counts[p], counts)
+		}
+	}
+}
+
+// TestRendezvousEdgeCases: empty membership and determinism.
+func TestRendezvousEdgeCases(t *testing.T) {
+	if got := Rendezvous(nil, "k"); got != "" {
+		t.Fatalf("Rendezvous(nil) = %q, want empty", got)
+	}
+	if got := Rendezvous([]string{"only:1"}, "k"); got != "only:1" {
+		t.Fatalf("single peer: got %q", got)
+	}
+	a := Rendezvous([]string{"a:1", "b:1", "c:1"}, "session-7")
+	b := Rendezvous([]string{"c:1", "a:1", "b:1"}, "session-7")
+	if a != b {
+		t.Fatalf("owner depends on peer order: %q vs %q", a, b)
+	}
+}

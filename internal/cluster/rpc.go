@@ -1,0 +1,263 @@
+// Package cluster is smalld's sharded multi-node serving layer: a
+// gateway + N workers topology where session traffic is routed with
+// affinity (rendezvous hashing over session IDs, mirroring the paper's
+// structural locality — a session's LPT working set lives on exactly
+// one node) and stateless sim/experiment jobs are spread least-loaded
+// with bounded retries and optional hedging. Gateway and workers speak
+// the compact binary RPC protocol of internal/cluster/wire through the
+// pooled client in internal/cluster/client.
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster/wire"
+)
+
+// RPCServer serves the worker side of the cluster protocol: it accepts
+// connections, decodes request frames, and replays them into the local
+// smalld HTTP handler, so every route the standalone daemon serves is
+// reachable over the binary protocol without a second dispatch layer.
+type RPCServer struct {
+	h http.Handler
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{} // guarded by mu
+	lns   []net.Listener        // guarded by mu
+
+	draining atomic.Bool
+	reqWG    sync.WaitGroup // in-flight request handlers
+	connWG   sync.WaitGroup // live connection loops
+}
+
+// NewRPCServer wraps an HTTP handler (typically server.New(...).Handler())
+// for serving over the wire protocol.
+func NewRPCServer(h http.Handler) *RPCServer {
+	return &RPCServer{h: h, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until the listener closes or ctx is
+// cancelled. Each connection handles one request at a time (the
+// protocol's contract); clients pool connections for concurrency.
+func (s *RPCServer) Serve(ctx context.Context, ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		// Drain/Close already ran; it cannot have seen this listener, so
+		// close it here instead of serving a shut-down server.
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() || ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.serveConn(ctx, nc)
+		}()
+	}
+}
+
+// forget drops a finished connection from the force-close set.
+func (s *RPCServer) forget(nc net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+}
+
+// serveConn runs one connection's handshake-then-frames loop.
+func (s *RPCServer) serveConn(ctx context.Context, nc net.Conn) {
+	defer s.forget(nc)
+	defer nc.Close()
+	r := wire.NewReader(nc)
+	if err := r.ReadHandshake(); err != nil {
+		return
+	}
+	bw := bufio.NewWriter(nc)
+	var req wire.Frame
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if err := r.ReadFrame(&req); err != nil {
+			// Clean EOF, cut frame, or hostile bytes: either way the
+			// connection is done (no resync in this protocol).
+			return
+		}
+		var resp *wire.Frame
+		switch req.Type {
+		case wire.TypePing:
+			if s.draining.Load() {
+				// A draining worker must *fail* probes, not answer them:
+				// pongs would keep the gateway routing new work here.
+				return
+			}
+			resp = &wire.Frame{Type: wire.TypePong}
+		case wire.TypeRequest:
+			resp = s.handle(ctx, &req)
+		default:
+			// A response/pong frame from a client is a protocol error.
+			return
+		}
+		if err := wire.WriteFrame(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// drainResponse is what requests arriving during a drain receive: the
+// 503 the graceful-shutdown contract promises, with a small Retry-After
+// so clients re-resolve elsewhere.
+func drainResponse() *wire.Frame {
+	return &wire.Frame{
+		Type: wire.TypeResponse, Status: http.StatusServiceUnavailable,
+		Header: []wire.Header{
+			{Key: "Content-Type", Value: "application/json"},
+			{Key: "Retry-After", Value: "1"},
+		},
+		Body: []byte(`{"error":"worker draining"}` + "\n"),
+	}
+}
+
+// handle replays one request frame into the HTTP handler and captures
+// the result as a response frame.
+func (s *RPCServer) handle(ctx context.Context, req *wire.Frame) *wire.Frame {
+	if s.draining.Load() {
+		return drainResponse()
+	}
+	s.reqWG.Add(1)
+	defer s.reqWG.Done()
+
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	hr, err := http.NewRequestWithContext(ctx, req.Method, req.Path, bytes.NewReader(req.Body))
+	if err != nil {
+		return &wire.Frame{
+			Type: wire.TypeResponse, Status: http.StatusBadRequest,
+			Header: []wire.Header{{Key: "Content-Type", Value: "application/json"}},
+			Body:   []byte(fmt.Sprintf(`{"error":%q}`, "bad request frame: "+err.Error())),
+		}
+	}
+	for _, h := range req.Header {
+		hr.Header.Add(h.Key, h.Value)
+	}
+	rec := &recorder{code: http.StatusOK, hdr: make(http.Header)}
+	s.h.ServeHTTP(rec, hr)
+
+	resp := &wire.Frame{Type: wire.TypeResponse, Status: rec.code, Body: rec.body.Bytes()}
+	// Carry the headers the gateway replays to its client, within the
+	// frame limits; order is fixed for determinism.
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := rec.hdr.Get(k); v != "" && len(v) <= wire.MaxHeaderValue {
+			resp.Header = append(resp.Header, wire.Header{Key: k, Value: v})
+		}
+	}
+	if len(resp.Body) > wire.MaxBodyLen {
+		return &wire.Frame{
+			Type: wire.TypeResponse, Status: http.StatusInternalServerError,
+			Header: []wire.Header{{Key: "Content-Type", Value: "application/json"}},
+			Body:   []byte(`{"error":"response exceeds frame body limit"}`),
+		}
+	}
+	return resp
+}
+
+// recorder is the in-memory http.ResponseWriter the RPC adapter hands
+// to the local handler; the captured status, headers, and body become
+// the response frame.
+type recorder struct {
+	code  int
+	wrote bool
+	hdr   http.Header
+	body  bytes.Buffer
+}
+
+func (r *recorder) Header() http.Header { return r.hdr }
+
+func (r *recorder) WriteHeader(code int) {
+	if r.wrote {
+		return
+	}
+	r.code = code
+	r.wrote = true
+}
+
+func (r *recorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.body.Write(b)
+}
+
+// Drain gracefully shuts the RPC side down: listeners close (no new
+// connections), requests already executing run to completion, requests
+// arriving meanwhile answer 503, and once in-flight work finishes — or
+// ctx expires — every connection is closed.
+func (s *RPCServer) Drain(ctx context.Context) {
+	s.draining.Store(true)
+	s.mu.Lock()
+	for _, ln := range s.lns {
+		ln.Close()
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+	}
+	s.closeConns()
+	s.connWG.Wait()
+}
+
+// Close abruptly stops the server: listeners and connections all close
+// now, mid-flight work dies with its sockets. Tests use it to simulate
+// a crashed worker.
+func (s *RPCServer) Close() {
+	s.draining.Store(true)
+	s.mu.Lock()
+	for _, ln := range s.lns {
+		ln.Close()
+	}
+	s.mu.Unlock()
+	s.closeConns()
+	s.connWG.Wait()
+}
+
+func (s *RPCServer) closeConns() {
+	s.mu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,366 @@
+// Package wire is the smallcluster RPC codec ("SMCR", version 1): the
+// compact length-prefixed binary protocol the gateway speaks to its
+// workers. It follows the varint codec discipline of the binary trace
+// formats (internal/trace/binary.go): front-loaded validation, every
+// count and length clamped against a named limit constant before any
+// allocation, and decode errors carrying the byte offset of the
+// failure. The decoders face a network peer, so they are written to the
+// same hostile-input standard as the trace decoders smalld accepts
+// uploads through.
+//
+// A connection starts with a 5-byte client handshake — the magic "SMCR"
+// plus a version byte — then carries frames in both directions. One
+// request is in flight per connection at a time (clients pool
+// connections for concurrency), so frames need no correlation ids:
+//
+//	type     1 byte (request / ping / response / pong)
+//	request: uvarint deadline-ms (0 = none)
+//	         uvarint method length + bytes
+//	         uvarint path length + bytes
+//	         headers (see below)
+//	         uvarint body length + bytes
+//	response:uvarint status (100..599)
+//	         headers
+//	         uvarint body length + bytes
+//	ping/pong: nothing further
+//
+// headers = uvarint count, then count x (uvarint key length + bytes,
+// uvarint value length + bytes). Versioning rule: the magic pins the
+// family; any layout change bumps the version byte, and peers reject
+// versions they do not know.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Magic and version of the handshake. HandshakeLen is what a client
+// writes before its first frame.
+var magic = [4]byte{'S', 'M', 'C', 'R'}
+
+const Version = 1
+
+// Frame types. Requests and pings flow client→server, responses and
+// pongs server→client.
+const (
+	TypeRequest  = 0x01
+	TypePing     = 0x02
+	TypeResponse = 0x03
+	TypePong     = 0x04
+)
+
+// Decode limits. Every length or count read from the peer is clamped
+// against one of these before allocation, so a hostile or corrupted
+// peer cannot ask for petabytes (the decodelimit analyzer checks the
+// discipline mechanically).
+const (
+	MaxMethodLen   = 16
+	MaxPathLen     = 1024
+	MaxHeaderCount = 32
+	MaxHeaderKey   = 64
+	MaxHeaderValue = 1024
+	MaxBodyLen     = 16 << 20
+	MaxDeadlineMS  = 24 * 3600 * 1000 // one day; beyond this is a corrupt frame
+	minStatus      = 100
+	maxStatus      = 599
+)
+
+// Header is one response (or request) header pair, ordered.
+type Header struct {
+	Key, Value string
+}
+
+// Frame is one protocol message. Type selects which fields are
+// meaningful: requests use DeadlineMS/Method/Path/Header/Body,
+// responses use Status/Header/Body, ping and pong use nothing else.
+type Frame struct {
+	Type       byte
+	DeadlineMS uint64 // request: remaining budget in milliseconds, 0 = none
+	Method     string // request
+	Path       string // request
+	Status     int    // response
+	Header     []Header
+	Body       []byte
+}
+
+// encErrorf reports an unencodable frame: AppendFrame is strict so that
+// everything it emits is accepted back by ReadFrame.
+func encErrorf(format string, args ...any) error {
+	return fmt.Errorf("cluster: rpc encode: "+format, args...)
+}
+
+// cleanText reports whether s is free of control characters. Method,
+// path, and header texts must be clean in both directions: they are
+// replayed into HTTP messages, and a stray CR/LF would be a header
+// injection.
+func cleanText(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFrame holds the invariants shared by the encoder and decoder, so
+// the codec round-trips exactly the set of frames it emits.
+func checkFrame(f *Frame, errf func(format string, args ...any) error) error {
+	switch f.Type {
+	case TypeRequest:
+		if f.Method == "" || len(f.Method) > MaxMethodLen || !cleanText(f.Method) {
+			return errf("bad method %q", f.Method)
+		}
+		if f.Path == "" || len(f.Path) > MaxPathLen || !cleanText(f.Path) {
+			return errf("bad path %q", f.Path)
+		}
+		if f.DeadlineMS > MaxDeadlineMS {
+			return errf("deadline %dms exceeds limit %dms", f.DeadlineMS, int64(MaxDeadlineMS))
+		}
+	case TypeResponse:
+		if f.Status < minStatus || f.Status > maxStatus {
+			return errf("status %d out of range [%d,%d]", f.Status, minStatus, maxStatus)
+		}
+	case TypePing, TypePong:
+		if f.Method != "" || f.Path != "" || f.Status != 0 || len(f.Header) != 0 || len(f.Body) != 0 {
+			return errf("ping/pong frame carries a payload")
+		}
+		return nil
+	default:
+		return errf("unknown frame type %#x", f.Type)
+	}
+	if len(f.Header) > MaxHeaderCount {
+		return errf("%d headers exceed limit %d", len(f.Header), MaxHeaderCount)
+	}
+	for _, h := range f.Header {
+		if h.Key == "" || len(h.Key) > MaxHeaderKey || !cleanText(h.Key) {
+			return errf("bad header key %q", h.Key)
+		}
+		if len(h.Value) > MaxHeaderValue || !cleanText(h.Value) {
+			return errf("bad header value %q", h.Value)
+		}
+	}
+	if len(f.Body) > MaxBodyLen {
+		return errf("body of %d bytes exceeds limit %d", len(f.Body), int(MaxBodyLen))
+	}
+	return nil
+}
+
+// AppendFrame appends f's encoding to dst and returns the extended
+// slice. The encoder is strict: frames the decoder would reject
+// (oversized fields, control characters, unknown types) are errors here
+// rather than bytes on the wire.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	if err := checkFrame(f, encErrorf); err != nil {
+		return nil, err
+	}
+	dst = append(dst, f.Type)
+	switch f.Type {
+	case TypePing, TypePong:
+		return dst, nil
+	case TypeRequest:
+		dst = binary.AppendUvarint(dst, f.DeadlineMS)
+		dst = appendString(dst, f.Method)
+		dst = appendString(dst, f.Path)
+	case TypeResponse:
+		dst = binary.AppendUvarint(dst, uint64(f.Status))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(f.Header)))
+	for _, h := range f.Header {
+		dst = appendString(dst, h.Key)
+		dst = appendString(dst, h.Value)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(f.Body)))
+	dst = append(dst, f.Body...)
+	return dst, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// WriteFrame encodes f and writes it with a single Write call.
+func WriteFrame(w io.Writer, f *Frame) error {
+	buf, err := AppendFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// WriteHandshake writes the client-side connection preamble.
+func WriteHandshake(w io.Writer) error {
+	_, err := w.Write([]byte{magic[0], magic[1], magic[2], magic[3], Version})
+	return err
+}
+
+// Reader decodes handshakes and frames from one connection, tracking
+// the byte offset so every rejection names where the stream went wrong.
+type Reader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+// NewReader wraps r for frame decoding.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+// errf wraps a decode failure with the current byte offset — the RPC
+// analogue of the trace decoder's offset-carrying errors.
+func (r *Reader) errf(format string, args ...any) error {
+	return fmt.Errorf("cluster: rpc: offset %d: %s", r.off, fmt.Sprintf(format, args...))
+}
+
+// readType reads a frame's type byte. EOF here is a clean connection
+// end (frames are only ever cut short after their type byte), so it is
+// returned as bare io.EOF rather than an offset error.
+func (r *Reader) readType() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err != nil {
+		return 0, io.EOF
+	}
+	r.off++
+	return b, nil
+}
+
+func (r *Reader) readUvarint(what string) (uint64, error) {
+	var v uint64
+	for shift := 0; shift < 64; shift += 7 {
+		b, err := r.br.ReadByte()
+		if err != nil {
+			return 0, r.errf("unexpected EOF reading %s", what)
+		}
+		r.off++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			if shift == 63 && b > 1 {
+				return 0, r.errf("reading %s: varint overflows 64 bits", what)
+			}
+			return v, nil
+		}
+	}
+	return 0, r.errf("reading %s: varint overflows 64 bits", what)
+}
+
+// readCount reads a uvarint bounded by limit — the decode-limit idiom
+// shared with the trace decoders.
+func (r *Reader) readCount(what string, limit uint64) (int, error) {
+	v, err := r.readUvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > limit {
+		return 0, r.errf("%s %d exceeds limit %d", what, v, limit)
+	}
+	return int(v), nil
+}
+
+// readString reads a length-prefixed string of at most limit bytes.
+func (r *Reader) readString(what string, limit uint64) (string, error) {
+	n, err := r.readCount(what+" length", limit)
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return "", r.errf("unexpected EOF reading %s", what)
+	}
+	r.off += int64(n)
+	return string(buf), nil
+}
+
+// ReadHandshake validates the connection preamble (server side).
+func (r *Reader) ReadHandshake() error {
+	var got [5]byte
+	if _, err := io.ReadFull(r.br, got[:]); err != nil {
+		return r.errf("unexpected EOF reading handshake")
+	}
+	r.off += 5
+	if [4]byte{got[0], got[1], got[2], got[3]} != magic {
+		return r.errf("not a smallcluster connection (bad magic %q)", got[:4])
+	}
+	if got[4] != Version {
+		return r.errf("unsupported protocol version %d (want %d)", got[4], Version)
+	}
+	return nil
+}
+
+// ReadFrame decodes the next frame into f, overwriting it completely.
+// It returns io.EOF only at a clean frame boundary; a frame cut short
+// mid-decode is an offset-carrying error.
+func (r *Reader) ReadFrame(f *Frame) error {
+	t, err := r.readType()
+	if err != nil {
+		return err
+	}
+	*f = Frame{Type: t}
+	switch t {
+	case TypePing, TypePong:
+		return nil
+	case TypeRequest:
+		if f.DeadlineMS, err = r.readUvarint("deadline"); err != nil {
+			return err
+		}
+		if f.DeadlineMS > MaxDeadlineMS {
+			return r.errf("deadline %dms exceeds limit %dms", f.DeadlineMS, int64(MaxDeadlineMS))
+		}
+		if f.Method, err = r.readString("method", MaxMethodLen); err != nil {
+			return err
+		}
+		if f.Path, err = r.readString("path", MaxPathLen); err != nil {
+			return err
+		}
+	case TypeResponse:
+		status, err := r.readCount("status", maxStatus)
+		if err != nil {
+			return err
+		}
+		f.Status = status
+	default:
+		return r.errf("unknown frame type %#x", t)
+	}
+	nh, err := r.readCount("header count", MaxHeaderCount)
+	if err != nil {
+		return err
+	}
+	if nh > 0 {
+		f.Header = make([]Header, 0, nh)
+		for i := 0; i < nh; i++ {
+			k, err := r.readString("header key", MaxHeaderKey)
+			if err != nil {
+				return err
+			}
+			v, err := r.readString("header value", MaxHeaderValue)
+			if err != nil {
+				return err
+			}
+			f.Header = append(f.Header, Header{Key: k, Value: v})
+		}
+	}
+	nb, err := r.readCount("body length", MaxBodyLen)
+	if err != nil {
+		return err
+	}
+	if nb > 0 {
+		f.Body = make([]byte, nb)
+		if _, err := io.ReadFull(r.br, f.Body); err != nil {
+			return r.errf("unexpected EOF reading body")
+		}
+		r.off += int64(nb)
+	}
+	// Re-validate through the shared invariants so accepted frames are
+	// exactly the encodable set (status range, clean texts, non-empty
+	// method/path).
+	if err := checkFrame(f, r.errf); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, f *Frame) *Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	r := NewReader(&buf)
+	var back Frame
+	if err := r.ReadFrame(&back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return &back
+}
+
+// TestFrameRoundTrip: every frame type survives encode/decode intact.
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Type: TypePing},
+		{Type: TypePong},
+		{Type: TypeRequest, Method: "GET", Path: "/healthz"},
+		{Type: TypeRequest, Method: "POST", Path: "/v1/sessions/s1/eval",
+			DeadlineMS: 30_000,
+			Header:     []Header{{"Content-Type", "application/json"}},
+			Body:       []byte(`{"expr":"(car '(a))"}`)},
+		{Type: TypeResponse, Status: 200,
+			Header: []Header{{"Content-Type", "application/json"}, {"Retry-After", "3"}},
+			Body:   []byte(`{"value":"a"}`)},
+		{Type: TypeResponse, Status: 503},
+	}
+	for i, f := range frames {
+		back := roundTrip(t, f)
+		if !reflect.DeepEqual(normalize(f), normalize(back)) {
+			t.Fatalf("frame %d changed: %+v -> %+v", i, *f, *back)
+		}
+	}
+}
+
+// normalize maps nil and empty slices together for comparison.
+func normalize(f *Frame) Frame {
+	out := *f
+	if len(out.Header) == 0 {
+		out.Header = nil
+	}
+	if len(out.Body) == 0 {
+		out.Body = nil
+	}
+	return out
+}
+
+// TestFrameSequence: several frames decode in order from one stream,
+// then a clean io.EOF.
+func TestFrameSequence(t *testing.T) {
+	var buf bytes.Buffer
+	want := []*Frame{
+		{Type: TypePing},
+		{Type: TypeRequest, Method: "GET", Path: "/v1/experiments"},
+		{Type: TypePong},
+	}
+	for _, f := range want {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	var f Frame
+	for i := range want {
+		if err := r.ReadFrame(&f); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != want[i].Type {
+			t.Fatalf("frame %d: type %#x, want %#x", i, f.Type, want[i].Type)
+		}
+	}
+	if err := r.ReadFrame(&f); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+// TestHandshake: good preamble accepted, bad magic and bad version
+// rejected with offset-carrying errors.
+func TestHandshake(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewReader(&buf).ReadHandshake(); err != nil {
+		t.Fatalf("good handshake rejected: %v", err)
+	}
+	for _, bad := range []string{"", "SMC", "SMTB\x01", "SMCR\x63", "XXXX\x01"} {
+		err := NewReader(strings.NewReader(bad)).ReadHandshake()
+		if err == nil {
+			t.Fatalf("handshake %q accepted", bad)
+		}
+		if !strings.Contains(err.Error(), "offset ") {
+			t.Fatalf("handshake error without offset: %v", err)
+		}
+	}
+}
+
+// TestEncodeStrict: frames the decoder would reject fail at encode time.
+func TestEncodeStrict(t *testing.T) {
+	bad := []*Frame{
+		{Type: 0x7f},
+		{Type: TypeRequest, Method: "", Path: "/x"},
+		{Type: TypeRequest, Method: "GET", Path: ""},
+		{Type: TypeRequest, Method: "GET", Path: "/x\r\n"},
+		{Type: TypeRequest, Method: strings.Repeat("M", MaxMethodLen+1), Path: "/x"},
+		{Type: TypeRequest, Method: "GET", Path: "/x", DeadlineMS: MaxDeadlineMS + 1},
+		{Type: TypeResponse, Status: 42},
+		{Type: TypeResponse, Status: 200, Header: []Header{{"", "v"}}},
+		{Type: TypeResponse, Status: 200, Header: []Header{{"K", "bad\nvalue"}}},
+		{Type: TypeResponse, Status: 200, Header: make([]Header, MaxHeaderCount+1)},
+		{Type: TypePing, Body: []byte("x")},
+	}
+	for i, f := range bad {
+		if _, err := AppendFrame(nil, f); err == nil {
+			t.Fatalf("bad frame %d encoded: %+v", i, *f)
+		}
+	}
+}
+
+// TestDecodeLimits: hostile length claims are rejected before
+// allocation, with the byte offset of the failure.
+func TestDecodeLimits(t *testing.T) {
+	hostile := [][]byte{
+		// Request with an absurd method length claim.
+		{TypeRequest, 0x00, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		// Request with a giant deadline.
+		{TypeRequest, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f},
+		// Response with a huge header count.
+		{TypeResponse, 0xc8, 0x01, 0xff, 0xff, 0x03},
+		// Response with a huge body length.
+		append([]byte{TypeResponse, 0xc8, 0x01, 0x00}, 0xff, 0xff, 0xff, 0xff, 0x7f),
+		// Unknown frame type.
+		{0x09},
+		// Truncated mid-frame.
+		{TypeRequest, 0x00, 0x03, 'G', 'E'},
+	}
+	for i, b := range hostile {
+		var f Frame
+		err := NewReader(bytes.NewReader(b)).ReadFrame(&f)
+		if err == nil || err == io.EOF {
+			t.Fatalf("hostile input %d accepted (err=%v)", i, err)
+		}
+		if !strings.Contains(err.Error(), "offset ") {
+			t.Fatalf("hostile input %d: error without offset: %v", i, err)
+		}
+	}
+}

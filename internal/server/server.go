@@ -20,8 +20,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 )
 
@@ -230,7 +232,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, fn func(ctx co
 	t := &task{ctx: ctx, fn: fn, done: make(chan struct{})}
 	if !s.queue.submit(t) {
 		s.metrics.add("smalld_queue_rejected_total", 1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		httpError(w, http.StatusTooManyRequests, "admission queue full, retry later")
 		return
 	}
@@ -246,6 +248,25 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, fn func(ctx co
 	}
 }
 
+// retryAfterSeconds estimates a rejected client's wait from the actual
+// load: the tasks ahead of it (queued plus running) spread across the
+// worker pool, at roughly a second per slot, with a second of jitter so
+// a burst of rejected clients does not return in lockstep and re-collide.
+// Clamped to [1, 30] so the header is always a positive integer and
+// never tells a client to go away for minutes on a transient spike.
+func (s *Server) retryAfterSeconds() int {
+	ahead := int(s.queue.depth.Load() + s.queue.busy.Load())
+	secs := (ahead + s.cfg.Workers - 1) / s.cfg.Workers // ceil(ahead/workers)
+	secs += rand.Intn(2)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
 // --- handlers ---
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -255,6 +276,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // SessionCreateRequest makes a session.
 type SessionCreateRequest struct {
+	// ID optionally names the session (1-64 chars of [a-zA-Z0-9._-]);
+	// empty assigns a server-local ID. The cluster gateway sets this so
+	// the session lands on the worker its ID hashes to.
+	ID        string `json:"id,omitempty"`
 	Backend   string `json:"backend,omitempty"`    // "lisp" (default) or "small"
 	StepLimit int64  `json:"step_limit,omitempty"` // per-eval budget
 	TableSize int    `json:"table_size,omitempty"` // small backend LPT entries
@@ -266,12 +291,15 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	sess, err := s.sessions.create(req.Backend, req.StepLimit, req.TableSize)
+	sess, err := s.sessions.create(req.ID, req.Backend, req.StepLimit, req.TableSize)
 	switch {
 	case errors.Is(err, errSessionLimit):
 		w.Header().Set("Retry-After", "5")
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("session limit (%d) reached", s.cfg.MaxSessions))
+		return
+	case errors.Is(err, errSessionExists):
+		httpError(w, http.StatusConflict, fmt.Sprintf("session %q already exists", req.ID))
 		return
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err.Error())

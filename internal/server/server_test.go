@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -253,8 +254,11 @@ func TestBackpressure(t *testing.T) {
 	if resC == nil || resC.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("want 429, got %+v", resC)
 	}
-	if resC.Header.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After")
+	// The hint is computed from live load, so all the contract promises
+	// is a well-formed positive integer.
+	if secs, err := strconv.Atoi(resC.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("429 Retry-After %q: want an integer >= 1 (err %v)",
+			resC.Header.Get("Retry-After"), err)
 	}
 	resC.Body.Close()
 

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestValidSessionID pins the caller-specified ID alphabet.
+func TestValidSessionID(t *testing.T) {
+	for _, ok := range []string{"a", "s1", "g00ff", "A-b_c.9", strings.Repeat("x", 64)} {
+		if !ValidSessionID(ok) {
+			t.Errorf("ValidSessionID(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "a b", "a/b", "a\n", "é", strings.Repeat("x", 65), "a\x00b"} {
+		if ValidSessionID(bad) {
+			t.Errorf("ValidSessionID(%q) = true, want false", bad)
+		}
+	}
+}
+
+// TestSessionCreateWithID: caller-specified IDs are honoured, collide
+// with 409, and invalid ones answer 400.
+func TestSessionCreateWithID(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+
+	var info SessionInfo
+	resp := doJSON(t, "POST", hs.URL+"/v1/sessions", SessionCreateRequest{ID: "mine", Backend: "lisp"}, &info)
+	if resp.StatusCode != http.StatusCreated || info.ID != "mine" {
+		t.Fatalf("create: status %d info %+v", resp.StatusCode, info)
+	}
+
+	var res EvalResult
+	doJSON(t, "POST", hs.URL+"/v1/sessions/mine/eval", SessionEvalRequest{Expr: "(add1 41)"}, &res)
+	if res.Value != "42" {
+		t.Fatalf("eval on named session: %q (err %q)", res.Value, res.Error)
+	}
+
+	if resp := doJSON(t, "POST", hs.URL+"/v1/sessions", SessionCreateRequest{ID: "mine"}, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate: status %d, want 409", resp.StatusCode)
+	}
+	if resp := doJSON(t, "POST", hs.URL+"/v1/sessions", SessionCreateRequest{ID: "no spaces"}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid: status %d, want 400", resp.StatusCode)
+	}
+
+	// Auto-assigned IDs still work alongside named ones.
+	var auto SessionInfo
+	doJSON(t, "POST", hs.URL+"/v1/sessions", SessionCreateRequest{}, &auto)
+	if auto.ID == "" || auto.ID == "mine" {
+		t.Fatalf("auto ID: %+v", auto)
+	}
+	// Deleting the named session frees the name for reuse.
+	if resp := doJSON(t, "DELETE", hs.URL+"/v1/sessions/mine", nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, "POST", hs.URL+"/v1/sessions", SessionCreateRequest{ID: "mine"}, nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("recreate: status %d", resp.StatusCode)
+	}
+}
+
+// TestRetryAfterSeconds: the backpressure hint scales with load and
+// stays in [1, 30].
+func TestRetryAfterSeconds(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 8})
+	defer s.Shutdown()
+
+	// Idle server: minimal wait (jitter may add a second).
+	for i := 0; i < 20; i++ {
+		if got := s.retryAfterSeconds(); got < 1 || got > 2 {
+			t.Fatalf("idle retryAfterSeconds = %d, want 1..2", got)
+		}
+	}
+	// Simulate deep backlog: ceil(40/4) = 10, plus at most 1s jitter.
+	s.queue.depth.Add(40)
+	defer s.queue.depth.Add(-40)
+	for i := 0; i < 20; i++ {
+		if got := s.retryAfterSeconds(); got < 10 || got > 11 {
+			t.Fatalf("loaded retryAfterSeconds = %d, want 10..11", got)
+		}
+	}
+	// Absurd backlog clamps at 30.
+	s.queue.depth.Add(100000)
+	defer s.queue.depth.Add(-100000)
+	if got := s.retryAfterSeconds(); got != 30 {
+		t.Fatalf("clamped retryAfterSeconds = %d, want 30", got)
+	}
+}

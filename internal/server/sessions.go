@@ -99,9 +99,38 @@ func newSessions(ttl time.Duration, max int, m *metrics) *sessions {
 // errSessionLimit signals the create-session capacity ceiling.
 var errSessionLimit = fmt.Errorf("session limit reached")
 
-// create builds a session on the given backend. stepLimit <= 0 takes the
-// default per-eval budget; tableSize sizes the small backend's LPT.
-func (ss *sessions) create(backend string, stepLimit int64, tableSize int) (*session, error) {
+// errSessionExists signals a caller-specified ID collision.
+var errSessionExists = fmt.Errorf("session already exists")
+
+// ValidSessionID reports whether id is acceptable as a caller-specified
+// session ID: 1-64 characters of [a-zA-Z0-9._-]. The cluster gateway
+// relies on caller-specified IDs to place a session on its rendezvous
+// owner before it exists, so the alphabet is deliberately conservative
+// (safe in URLs, logs, and metric labels).
+func ValidSessionID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// create builds a session on the given backend. id == "" assigns the
+// next server-local ID; a non-empty id must be valid and unused.
+// stepLimit <= 0 takes the default per-eval budget; tableSize sizes the
+// small backend's LPT.
+func (ss *sessions) create(id, backend string, stepLimit int64, tableSize int) (*session, error) {
+	if id != "" && !ValidSessionID(id) {
+		return nil, fmt.Errorf("invalid session id %q (want 1-64 chars of [a-zA-Z0-9._-])", id)
+	}
 	if backend == "" {
 		backend = BackendLisp
 	}
@@ -129,8 +158,16 @@ func (ss *sessions) create(backend string, stepLimit int64, tableSize int) (*ses
 		ss.mu.Unlock()
 		return nil, errSessionLimit
 	}
-	ss.next++
-	s.id = fmt.Sprintf("s%d", ss.next)
+	if id != "" {
+		if _, taken := ss.m[id]; taken {
+			ss.mu.Unlock()
+			return nil, errSessionExists
+		}
+		s.id = id
+	} else {
+		ss.next++
+		s.id = fmt.Sprintf("s%d", ss.next)
+	}
 	ss.m[s.id] = s
 	ss.mu.Unlock()
 	ss.metrics.add("smalld_sessions_created_total", 1)

@@ -1,0 +1,135 @@
+#!/bin/sh
+# smoke_cluster.sh — end-to-end smoke test for the smalld cluster.
+#
+# Builds the daemon, starts two workers and a gateway on random ports,
+# then exercises the cluster contract with curl: sticky sessions (same
+# worker answers every request for a session), stateless sim jobs, a
+# worker kill (only its sessions are lost, stateless traffic keeps
+# succeeding, the failover shows up in /metrics), and graceful SIGTERM
+# drain of the survivors. Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+BIN="$TMP/smalld"
+cleanup() {
+    for p in "${W1:-}" "${W2:-}" "${GW:-}"; do
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() { echo "smoke-cluster: FAIL: $*"; exit 1; }
+
+go build -o "$BIN" ./cmd/smalld
+
+# wait_line LOG PREFIX PID -> the suffix of the first log line matching
+# PREFIX, waiting for the process to print it.
+wait_line() {
+    _out=""
+    for _ in $(seq 1 100); do
+        _out=$(sed -n "s/^$2 //p" "$1" | head -n 1)
+        [ -n "$_out" ] && { echo "$_out"; return 0; }
+        kill -0 "$3" 2>/dev/null || { echo ""; return 1; }
+        sleep 0.1
+    done
+    echo ""
+    return 1
+}
+
+# Two workers: HTTP plus RPC, both on random ports.
+"$BIN" -role worker -addr 127.0.0.1:0 -rpc-addr 127.0.0.1:0 -queue 8 -workers 2 >"$TMP/w1.log" 2>&1 &
+W1=$!
+"$BIN" -role worker -addr 127.0.0.1:0 -rpc-addr 127.0.0.1:0 -queue 8 -workers 2 >"$TMP/w2.log" 2>&1 &
+W2=$!
+RPC1=$(wait_line "$TMP/w1.log" "smalld: rpc listening on" "$W1") || { cat "$TMP/w1.log"; fail "worker 1 startup"; }
+RPC2=$(wait_line "$TMP/w2.log" "smalld: rpc listening on" "$W2") || { cat "$TMP/w2.log"; fail "worker 2 startup"; }
+
+# The gateway in front of them.
+"$BIN" -role gateway -addr 127.0.0.1:0 -peers "$RPC1,$RPC2" -retries 2 -health-interval 100ms >"$TMP/gw.log" 2>&1 &
+GW=$!
+ADDR=$(wait_line "$TMP/gw.log" "smalld: listening on" "$GW") || { cat "$TMP/gw.log"; fail "gateway startup"; }
+BASE="http://$ADDR"
+echo "smoke-cluster: gateway $BASE -> workers $RPC1, $RPC2"
+
+curl -fsS "$BASE/healthz" | grep -q 'workers healthy' || fail "gateway healthz"
+
+# Create sessions through the gateway until both workers own at least
+# one (gateway-assigned IDs are random, so a handful suffices).
+SIDS=""
+for _ in $(seq 1 8); do
+    SID=$(curl -fsS "$BASE/v1/sessions" -d '{"backend":"small"}' |
+        sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+    [ -n "$SID" ] || fail "session create returned no id"
+    SIDS="$SIDS $SID"
+done
+
+# Sticky routing: the same worker answers every request for a session,
+# and interpreter state persists there.
+owner_of() {
+    curl -fsS -o /dev/null -D - "$BASE/v1/sessions/$1" |
+        tr -d '\r' | sed -n 's/^X-Smallcluster-Worker: //p'
+}
+DEAD_SID="" LIVE_SID=""
+for SID in $SIDS; do
+    O1=$(owner_of "$SID")
+    [ -n "$O1" ] || fail "no worker header for session $SID"
+    OUT=$(curl -fsS "$BASE/v1/sessions/$SID/eval" -d '{"expr":"(defun keep () (quote pinned))"}')
+    echo "$OUT" | grep -q '"value"' || fail "eval on $SID: $OUT"
+    O2=$(owner_of "$SID")
+    [ "$O1" = "$O2" ] || fail "session $SID moved: $O1 -> $O2"
+    if [ "$O1" = "$RPC1" ]; then DEAD_SID=$SID; else LIVE_SID=$SID; fi
+done
+[ -n "$DEAD_SID" ] || fail "no session landed on worker 1 out of 8"
+[ -n "$LIVE_SID" ] || fail "no session landed on worker 2 out of 8"
+
+# Stateless jobs spread across workers and succeed.
+SIM=$(curl -fsS "$BASE/v1/sim" -d '{"trace":"slang","scale":1,"point":{"table_size":128}}')
+echo "$SIM" | grep -q '"lpt_hit_rate"' || fail "sim job: $SIM"
+
+# Kill worker 1 hard. Its sessions are lost; everything else keeps working.
+kill -9 "$W1"
+W1=""
+for _ in $(seq 1 100); do
+    curl -fsS "$BASE/metrics" | grep -q "smallcluster_worker_healthy{worker=\"$RPC1\"} 0" && break
+    sleep 0.1
+done
+curl -fsS "$BASE/metrics" | grep -q "smallcluster_worker_healthy{worker=\"$RPC1\"} 0" ||
+    fail "gateway never noticed the dead worker"
+
+# Stateless traffic: zero failures after the kill.
+for i in $(seq 1 5); do
+    CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/sim" \
+        -d '{"trace":"slang","scale":1,"point":{"table_size":128}}')
+    [ "$CODE" = 200 ] || fail "stateless job $i after kill gave $CODE"
+done
+
+# The dead worker's session answers 503; the survivor's still evals.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/sessions/$DEAD_SID/eval" -d '{"expr":"(keep)"}')
+[ "$CODE" = 503 ] || fail "dead session gave $CODE, want 503"
+OUT=$(curl -fsS "$BASE/v1/sessions/$LIVE_SID/eval" -d '{"expr":"(keep)"}')
+echo "$OUT" | grep -q 'pinned' || fail "surviving session lost state: $OUT"
+
+# Failover is visible in the cluster metrics.
+METRICS=$(curl -fsS "$BASE/metrics")
+for m in smallcluster_requests_total smallcluster_request_seconds_bucket \
+         smallcluster_route_session_total smallcluster_route_stateless_total \
+         smallcluster_worker_down_total smallcluster_session_unroutable_total; do
+    echo "$METRICS" | grep -q "$m" || fail "metrics missing $m"
+done
+
+# Graceful drain: gateway and surviving worker exit cleanly on SIGTERM.
+kill -TERM "$GW" "$W2"
+for _ in $(seq 1 100); do
+    kill -0 "$GW" 2>/dev/null || kill -0 "$W2" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$GW" 2>/dev/null && fail "gateway ignored SIGTERM"
+kill -0 "$W2" 2>/dev/null && fail "worker 2 ignored SIGTERM"
+grep -q 'smalld: stopped' "$TMP/gw.log" || fail "gateway: no clean shutdown line"
+grep -q 'smalld: stopped' "$TMP/w2.log" || fail "worker 2: no clean shutdown line"
+GW="" W2=""
+
+echo "smoke-cluster: OK"
