@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race smoke-serve smoke-cluster fuzz-corpus verify bench bench-parsweep bench-trace
+.PHONY: build vet lint test race smoke-serve smoke-cluster fuzz-corpus smoke-bench-vm verify bench bench-parsweep bench-trace bench-vm
 
 build:
 	$(GO) build ./...
@@ -43,7 +43,12 @@ smoke-cluster:
 fuzz-corpus:
 	$(GO) test -run 'RoundTrip|^Fuzz' -count 1 ./internal/trace/ ./internal/cluster/wire/
 
-verify: build vet lint test race fuzz-corpus smoke-serve smoke-cluster
+# One-iteration pass through cmd/vmbench so the BENCH_vm.json
+# regeneration path cannot rot; the numbers go to a scratch file.
+smoke-bench-vm:
+	$(GO) run ./cmd/vmbench -benchtime 1x -reps 1 -out /tmp/bench_vm_smoke.json
+
+verify: build vet lint test race fuzz-corpus smoke-bench-vm smoke-serve smoke-cluster
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
@@ -58,3 +63,8 @@ bench-parsweep:
 # baseline with scripts/bench_compare.sh).
 bench-trace:
 	$(GO) run ./cmd/tracebench -out BENCH_trace.json
+
+# Interpreter vs bytecode VM baselines: per-eval and trace-generation
+# throughput plus allocs/op (recorded in BENCH_vm.json).
+bench-vm:
+	$(GO) run ./cmd/vmbench -out BENCH_vm.json

@@ -4,9 +4,14 @@
 //	smallvm prog.lisp            # compile + run
 //	smallvm -S prog.lisp         # print the instruction listing
 //	smallvm -e "(fact 5)" -S     # listing for an expression
+//	smallvm -steps 100000 prog.lisp   # bound execution like a smalld budget
+//
+// Exit status: 0 on success, 1 on errors, 2 on usage errors, 3 when the
+// step budget is exhausted (so scripts can tell divergence from failure).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +26,7 @@ func main() {
 	expr := flag.String("e", "", "compile this source text instead of files")
 	lptSize := flag.Int("table", 2048, "LPT entries")
 	input := flag.String("input", "", "s-expressions for (read ...), space separated")
+	steps := flag.Int64("steps", 5_000_000, "step budget, matching smalld's default per-eval budget (<= 0: unlimited)")
 	flag.Parse()
 
 	src := *expr
@@ -54,7 +60,13 @@ func main() {
 		}
 		opts = append(opts, vm.WithInput(vals))
 	}
-	v, err := vm.New(prog, opts...).Run()
+	machine := vm.New(prog, opts...)
+	machine.SetStepLimit(*steps)
+	v, err := machine.Run()
+	if errors.Is(err, vm.ErrStepLimit) {
+		fmt.Fprintf(os.Stderr, "smallvm: step budget exhausted after %d steps (raise with -steps, or -steps 0 for no limit)\n", machine.Steps())
+		os.Exit(3)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "smallvm: %v\n", err)
 		os.Exit(1)

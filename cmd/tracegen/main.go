@@ -6,6 +6,12 @@
 //	tracegen -bench lyra -scale 4 -out traces/
 //	tracegen -format binary -out traces/   # compact .btrace files ("SMTB")
 //	tracegen -format refs -out traces/     # preprocessed .refs streams ("SMRS")
+//	tracegen -engine vm -out traces/       # generate on the bytecode VM
+//
+// The vm engine compiles each benchmark to SMALL stack-machine bytecode
+// and runs it on internal/vm; its traces are byte-identical to the
+// interpreter's (asserted by the differential test in internal/vm) and
+// generate several times faster.
 //
 // Readers (smallsim, locality, smalld) sniff the leading magic bytes, so
 // every format is accepted everywhere a trace file is; text remains the
@@ -37,10 +43,17 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// writeOne traces one benchmark and encodes it in the requested format,
-// closing (and on failure removing) the output file on every path.
-func writeOne(dir string, b benchprogs.Benchmark, scale int, format string) error {
-	t, err := benchprogs.Trace(b, scale)
+// writeOne traces one benchmark on the selected engine and encodes it in
+// the requested format, closing (and on failure removing) the output
+// file on every path.
+func writeOne(dir string, b benchprogs.Benchmark, scale int, format, engine string) error {
+	var t *trace.Trace
+	var err error
+	if engine == "vm" {
+		t, err = benchprogs.TraceVM(b, scale)
+	} else {
+		t, err = benchprogs.Trace(b, scale)
+	}
 	if err != nil {
 		return err
 	}
@@ -90,12 +103,19 @@ func main() {
 	bench := flag.String("bench", "", "benchmark name (default: all)")
 	scale := flag.Int("scale", 2, "workload scale")
 	format := flag.String("format", "text", `output format: "text", "binary" (compact varint), or "refs" (preprocessed stream)`)
+	engine := flag.String("engine", "interp", `evaluation engine: "interp" (tree-walking) or "vm" (bytecode, faster, identical traces)`)
 	flag.Parse()
 
 	switch *format {
 	case "text", "binary", "refs":
 	default:
 		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q (want text, binary, or refs)\n", *format)
+		os.Exit(2)
+	}
+	switch *engine {
+	case "interp", "vm":
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown engine %q (want interp or vm)\n", *engine)
 		os.Exit(2)
 	}
 	var list []benchprogs.Benchmark
@@ -115,7 +135,7 @@ func main() {
 	}
 	exit := 0
 	for _, b := range list {
-		if err := writeOne(*out, b, *scale, *format); err != nil {
+		if err := writeOne(*out, b, *scale, *format, *engine); err != nil {
 			fmt.Fprintf(os.Stderr, "tracegen: %s: %v\n", b.Name, err)
 			exit = 1
 		}

@@ -1,0 +1,309 @@
+// Command vmbench regenerates BENCH_vm.json: per-eval throughput and
+// allocation counts of the tree-walking interpreter versus the unboxed
+// bytecode VM on every benchmark program, plus trace-generation
+// throughput for both engines. The per-eval unit is "evaluate the whole
+// benchmark from a clean context": a fresh interpreter over pre-parsed
+// forms on one side, a pooled machine+VM pair recycled with Reset over
+// a precompiled program on the other — the steady-state paths tracegen
+// and the smalld vm backend actually run.
+//
+//	vmbench -out BENCH_vm.json
+//	vmbench -scale 1 -benchtime 1x -out /dev/stdout   # CI smoke
+//
+// Wired to `make bench-vm`; `make verify` runs the 1-iteration smoke so
+// the regeneration path cannot rot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/benchprogs"
+	"repro/internal/core"
+	"repro/internal/lisp"
+	"repro/internal/sexpr"
+	"repro/internal/vm"
+)
+
+const stepLimit = 200_000_000
+
+type engineStats struct {
+	Iterations  int   `json:"iterations"`
+	NsPerEval   int64 `json:"ns_per_eval"`
+	AllocsPerOp int64 `json:"allocs_per_eval"`
+}
+
+type traceStats struct {
+	Events       int     `json:"events"`
+	NsPerTrace   int64   `json:"ns_per_trace"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type benchReport struct {
+	Interp       engineStats `json:"interp"`
+	VM           engineStats `json:"vm"`
+	SpeedupX     float64     `json:"speedup_x"`
+	AllocsRatioX float64     `json:"allocs_ratio_x"`
+	CompileNs    int64       `json:"vm_compile_ns"`
+	InterpTrace  traceStats  `json:"interp_trace"`
+	VMTrace      traceStats  `json:"vm_trace"`
+	TraceSpeedX  float64     `json:"trace_speedup_x"`
+}
+
+type report struct {
+	Description string                 `json:"description"`
+	Command     string                 `json:"command"`
+	Host        hostInfo               `json:"host"`
+	Scale       int                    `json:"scale"`
+	Benchmarks  map[string]benchReport `json:"benchmarks"`
+	Ratios      map[string]float64     `json:"ratios"`
+}
+
+type hostInfo struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPU    string `json:"cpu"`
+	Cores  int    `json:"cores"`
+	Note   string `json:"note"`
+}
+
+func main() {
+	testing.Init()
+	out := flag.String("out", "BENCH_vm.json", "output file")
+	scale := flag.Int("scale", 1, "benchmark workload scale")
+	benchtime := flag.String("benchtime", "300ms", "per-measurement time (or Nx for fixed iterations)")
+	reps := flag.Int("reps", 3, "repetitions per measurement; the fastest is kept")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fatalf("bad -benchtime: %v", err)
+	}
+
+	reports := make(map[string]benchReport)
+	var sumInterpNs, sumVMNs, sumInterpAllocs, sumVMAllocs int64
+	var sumInterpTraceNs, sumVMTraceNs int64
+	for _, b := range benchprogs.All() {
+		src := b.Gen(*scale)
+		forms, err := sexpr.ParseAll(src)
+		if err != nil {
+			fatalf("%s: parse: %v", b.Name, err)
+		}
+		compileRes := measure(*reps, func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				if _, err := vm.CompileForms(forms); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+		prog, err := vm.CompileForms(forms)
+		if err != nil {
+			fatalf("%s: compile: %v", b.Name, err)
+		}
+
+		interpRes := measure(*reps, func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				in := lisp.New(lisp.WithStepLimit(stepLimit))
+				for _, f := range forms {
+					if _, err := in.Eval(f); err != nil {
+						bb.Fatal(err)
+					}
+				}
+			}
+		})
+
+		cfg, machine, err := sizeMachine(prog)
+		if err != nil {
+			fatalf("%s: sizing machine: %v", b.Name, err)
+		}
+		pooled := vm.New(prog, vm.WithMachine(machine), vm.WithStepLimit(stepLimit))
+		vmRes := measure(*reps, func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				machine.Reset(cfg)
+				pooled.Reset(prog, machine)
+				if _, err := pooled.Run(); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+
+		var events int
+		interpTraceRes := measure(*reps, func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				t, err := benchprogs.Trace(b, *scale)
+				if err != nil {
+					bb.Fatal(err)
+				}
+				events = len(t.Events)
+			}
+		})
+		var vmEvents int
+		vmTraceRes := measure(*reps, func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				col := lisp.NewCollector(b.Name)
+				machine.Reset(cfg)
+				pooled.Reset(prog, machine)
+				pooled.SetTrace(col)
+				_, err := pooled.Run()
+				pooled.SetTrace(nil)
+				if err != nil {
+					bb.Fatal(err)
+				}
+				vmEvents = len(col.T.Events)
+			}
+		})
+		if events != vmEvents {
+			fatalf("%s: engines disagree on event count: %d vs %d", b.Name, events, vmEvents)
+		}
+
+		r := benchReport{
+			Interp: engineStats{interpRes.N, interpRes.NsPerOp(), interpRes.AllocsPerOp()},
+			VM:     engineStats{vmRes.N, vmRes.NsPerOp(), vmRes.AllocsPerOp()},
+			SpeedupX: round2(float64(interpRes.NsPerOp()) /
+				float64(vmRes.NsPerOp())),
+			AllocsRatioX: round2(float64(interpRes.AllocsPerOp()) /
+				float64(max64(vmRes.AllocsPerOp(), 1))),
+			CompileNs:   compileRes.NsPerOp(),
+			InterpTrace: traceStats{events, interpTraceRes.NsPerOp(), eventsPerSec(events, interpTraceRes.NsPerOp())},
+			VMTrace:     traceStats{vmEvents, vmTraceRes.NsPerOp(), eventsPerSec(vmEvents, vmTraceRes.NsPerOp())},
+			TraceSpeedX: round2(float64(interpTraceRes.NsPerOp()) / float64(vmTraceRes.NsPerOp())),
+		}
+		reports[b.Name] = r
+		sumInterpNs += interpRes.NsPerOp()
+		sumVMNs += vmRes.NsPerOp()
+		sumInterpAllocs += interpRes.AllocsPerOp()
+		sumVMAllocs += vmRes.AllocsPerOp()
+		sumInterpTraceNs += interpTraceRes.NsPerOp()
+		sumVMTraceNs += vmTraceRes.NsPerOp()
+		fmt.Fprintf(os.Stderr, "benched %s: %.1fx faster, %.1fx fewer allocs\n",
+			b.Name, r.SpeedupX, r.AllocsRatioX)
+	}
+
+	ratios := map[string]float64{
+		"eval_speedup_x":      round2(float64(sumInterpNs) / float64(sumVMNs)),
+		"eval_allocs_ratio_x": round2(float64(sumInterpAllocs) / float64(max64(sumVMAllocs, 1))),
+		"trace_gen_speedup_x": round2(float64(sumInterpTraceNs) / float64(sumVMTraceNs)),
+	}
+
+	rep := report{
+		Description: "Interpreter vs unboxed bytecode VM on the benchprogs suite: per-eval wall time and Go allocation counts (fresh interpreter over pre-parsed forms vs pooled Reset machine+VM over a precompiled program), and full trace-generation time for both engines. The differential test in internal/vm proves the two engines' outputs and trace streams byte-identical, so the speedup is free. Regenerate with `make bench-vm`.",
+		Command:     fmt.Sprintf("go run ./cmd/vmbench -scale %d -benchtime %s -reps %d -out %s", *scale, *benchtime, *reps, *out),
+		Host: hostInfo{
+			GOOS:   runtime.GOOS,
+			GOARCH: runtime.GOARCH,
+			CPU:    cpuModel(),
+			Cores:  runtime.NumCPU(),
+			Note:   "ns_per_eval is noisy on shared hardware; the speedup and alloc ratios are the contract. vm_compile_ns is the one-time bytecode compilation cost a session pays per eval batch, excluded from ns_per_eval (both engines' units also exclude parsing).",
+		},
+		Scale:      *scale,
+		Benchmarks: reports,
+		Ratios:     ratios,
+	}
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("write: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// sizeMachine finds the smallest power-of-two machine that runs prog
+// without LPT overflow or heap exhaustion, like a deployment sized to
+// its workload. Machine.Reset clears the LPT and rethreads every heap
+// cell, so a machine orders of magnitude larger than the program needs
+// would bill a fixed multi-hundred-microsecond reset tax to each eval
+// and bury the short benchmarks' real cost.
+func sizeMachine(prog *vm.Program) (core.Config, *core.Machine, error) {
+	cfg := core.Config{LPTSize: 1 << 8, HeapCells: 1 << 12}
+	for {
+		machine := core.NewMachine(cfg)
+		probe := vm.New(prog, vm.WithMachine(machine), vm.WithStepLimit(stepLimit))
+		_, err := probe.Run()
+		switch {
+		// An overflowed LPT leaks overflow-mode conses into the heap, so
+		// grow the table before concluding the heap itself is too small.
+		case err != nil && machine.OverflowMode() && cfg.LPTSize < 1<<20:
+			cfg.LPTSize *= 2
+		case err != nil && cfg.HeapCells < 1<<20:
+			cfg.HeapCells *= 2
+		case err != nil:
+			return cfg, nil, err
+		case machine.OverflowMode() && cfg.LPTSize < 1<<20:
+			cfg.LPTSize *= 2
+		default:
+			// Leave headroom above the observed peak: a table sized right
+			// at the high-water mark runs near 100% occupancy and spends
+			// its time in pseudo-overflow compression instead of work.
+			for cfg.LPTSize < 1<<20 && cfg.LPTSize < 4*machine.PeakInUse() {
+				cfg.LPTSize *= 2
+			}
+			if cfg.HeapCells < 1<<20 {
+				cfg.HeapCells *= 2
+			}
+			machine.Reset(cfg)
+			return cfg, machine, nil
+		}
+	}
+}
+
+// measure runs f under testing.Benchmark reps times, garbage-collecting
+// between runs, and keeps the fastest result. A single 300ms measurement
+// on shared hardware swings by 2-3x with GC timing and scheduling; the
+// minimum is the reproducible number.
+func measure(reps int, f func(*testing.B)) testing.BenchmarkResult {
+	var best testing.BenchmarkResult
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		r := testing.Benchmark(f)
+		if i == 0 || r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+func eventsPerSec(events int, nsPerOp int64) float64 {
+	if nsPerOp <= 0 {
+		return 0
+	}
+	return round2(float64(events) / (float64(nsPerOp) / 1e9))
+}
+
+func round2(f float64) float64 { return math.Round(f*100) / 100 }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// cpuModel reads the processor model from /proc/cpuinfo (best effort).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return "unknown"
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if _, after, ok := strings.Cut(line, ":"); ok {
+				return strings.TrimSpace(after)
+			}
+		}
+	}
+	return "unknown"
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vmbench: "+format+"\n", args...)
+	os.Exit(1)
+}

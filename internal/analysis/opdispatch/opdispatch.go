@@ -36,7 +36,10 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // scope lists the packages whose hot paths must dispatch on Opcode.
-var scope = []string{"internal/sim", "internal/locality", "internal/trace", "sim", "locality", "trace"}
+// internal/vm joined with the bytecode VM: its dispatch loop runs per
+// instruction, so op-name strings belong only in trace emission calls
+// and the compiler's intern tables.
+var scope = []string{"internal/sim", "internal/locality", "internal/trace", "internal/vm", "sim", "locality", "trace", "vm"}
 
 // opNames is the SMALL operation vocabulary from the trace intern
 // table's builtin block.

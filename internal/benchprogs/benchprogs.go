@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/lisp"
 	"repro/internal/trace"
+	"repro/internal/vm"
 )
 
 // Benchmark is one traceable Lisp workload.
@@ -64,6 +65,25 @@ func Trace(b Benchmark, scale int) (*trace.Trace, error) {
 	col := lisp.NewCollector(b.Name)
 	in := lisp.New(lisp.WithTrace(col), lisp.WithStepLimit(200_000_000))
 	if _, err := in.Run(b.Gen(scale)); err != nil {
+		return nil, fmt.Errorf("benchprogs: %s: %w", b.Name, err)
+	}
+	return &col.T, nil
+}
+
+// TraceVM runs the benchmark compiled for the bytecode VM under the
+// same collector. Trace and TraceVM produce byte-identical streams;
+// the differential test in internal/vm asserts it on every benchmark.
+func TraceVM(b Benchmark, scale int) (*trace.Trace, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	col := lisp.NewCollector(b.Name)
+	prog, err := vm.Compile(b.Gen(scale))
+	if err != nil {
+		return nil, fmt.Errorf("benchprogs: %s: %w", b.Name, err)
+	}
+	v := vm.New(prog, vm.WithTrace(col), vm.WithStepLimit(200_000_000))
+	if _, err := v.Run(); err != nil {
 		return nil, fmt.Errorf("benchprogs: %s: %w", b.Name, err)
 	}
 	return &col.T, nil

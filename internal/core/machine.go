@@ -97,6 +97,9 @@ type Machine struct {
 	outstandingHeapVals int
 	stats               MachineStats
 	tl                  *timeline
+	// atomText caches printed atom texts by atom-table index for
+	// AppendTextOf; Reset empties it alongside the atom table.
+	atomText []string
 }
 
 // NewMachine builds a SMALL machine from cfg, applying thesis-scale
@@ -145,6 +148,7 @@ func (m *Machine) Reset(cfg Config) {
 	m.overflow = false
 	m.outstandingHeapVals = 0
 	m.stats = MachineStats{}
+	m.atomText = m.atomText[:0]
 	m.tl = nil
 	if cfg.Timing != nil {
 		m.tl = newTimeline(*cfg.Timing)

@@ -58,6 +58,24 @@ func (c *Collector) Prim(op string, args []sexpr.Value, result sexpr.Value, dept
 	})
 }
 
+// PrimText records a list primitive whose operands arrive already
+// rendered (each string exactly what sexpr.String would print). The
+// bytecode VM traces through this path so it never has to materialise
+// s-expression trees from machine structure per event; the texts are
+// interned like Prim's. The args slice is retained.
+func (c *Collector) PrimText(op string, args []string, result string, depth int) {
+	if c.full() {
+		return
+	}
+	for i, s := range args {
+		args[i] = c.intern(s)
+	}
+	c.T.Events = append(c.T.Events, trace.Event{
+		Kind: trace.KindPrim, Op: op, Args: args,
+		Result: c.intern(result), Depth: depth,
+	})
+}
+
 // Enter records a user function entry.
 func (c *Collector) Enter(name string, nargs, depth int) {
 	if c.full() {

@@ -280,9 +280,9 @@ type SessionCreateRequest struct {
 	// empty assigns a server-local ID. The cluster gateway sets this so
 	// the session lands on the worker its ID hashes to.
 	ID        string `json:"id,omitempty"`
-	Backend   string `json:"backend,omitempty"`    // "lisp" (default) or "small"
+	Backend   string `json:"backend,omitempty"`    // "lisp" (default), "small", or "vm"
 	StepLimit int64  `json:"step_limit,omitempty"` // per-eval budget
-	TableSize int    `json:"table_size,omitempty"` // small backend LPT entries
+	TableSize int    `json:"table_size,omitempty"` // small/vm backend LPT entries
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {

@@ -167,6 +167,57 @@ func TestSmallBackendExposesMachine(t *testing.T) {
 	}
 }
 
+// TestVMBackendSession: the bytecode-VM backend keeps definitions and
+// globals across evals, reports live LPT counters, and turns budget
+// exhaustion into an in-band error that leaves the session usable.
+func TestVMBackendSession(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+
+	var info SessionInfo
+	doJSON(t, "POST", hs.URL+"/v1/sessions", SessionCreateRequest{Backend: "vm", TableSize: 512}, &info)
+	if info.Backend != BackendVM {
+		t.Fatalf("create: %+v", info)
+	}
+	base := hs.URL + "/v1/sessions/" + info.ID
+
+	var res EvalResult
+	doJSON(t, "POST", base+"/eval", SessionEvalRequest{Expr: "(def twice (lambda (x) (cons x (cons x nil))))"}, &res)
+	if res.Error != "" {
+		t.Fatalf("def: %+v", res)
+	}
+	doJSON(t, "POST", base+"/eval", SessionEvalRequest{Expr: "(twice 'a)"}, &res)
+	if res.Error != "" || res.Value != "(a a)" {
+		t.Fatalf("call across evals: %+v", res)
+	}
+	if res.Steps <= 0 {
+		t.Fatalf("steps not reported: %+v", res)
+	}
+	doJSON(t, "POST", base+"/eval", SessionEvalRequest{Expr: "(setq g (twice 'b))"}, &res)
+	doJSON(t, "POST", base+"/eval", SessionEvalRequest{Expr: "(car g)"}, &res)
+	if res.Error != "" || res.Value != "b" {
+		t.Fatalf("global across evals: %+v", res)
+	}
+
+	doJSON(t, "GET", base, nil, &info)
+	if info.Machine == nil {
+		t.Fatal("vm session missing machine stats")
+	}
+	if info.Machine.Refops <= 0 || info.Machine.Gets <= 0 {
+		t.Fatalf("machine counters empty: %+v", *info.Machine)
+	}
+
+	var bres EvalResult
+	doJSON(t, "POST", base+"/eval", SessionEvalRequest{Expr: loopExpr}, &bres)
+	if !strings.Contains(bres.Error, "step limit") {
+		t.Fatalf("want step limit error, got %+v", bres)
+	}
+	var after EvalResult
+	doJSON(t, "POST", base+"/eval", SessionEvalRequest{Expr: "(add1 1)"}, &after)
+	if after.Error != "" || after.Value != "2" {
+		t.Fatalf("after budget hit: %+v", after)
+	}
+}
+
 func getText(t *testing.T, url string) string {
 	t.Helper()
 	resp, err := http.Get(url)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/lisp"
 	"repro/internal/sexpr"
 	"repro/internal/smalllisp"
+	"repro/internal/vm"
 )
 
 // Session backends.
@@ -23,6 +24,10 @@ const (
 	// internal/smalllisp: every car/cdr/cons goes through the LP request
 	// interface, so session stats expose live LPT counters.
 	BackendSmall = "small"
+	// BackendVM compiles each eval to SMALL stack-machine bytecode and
+	// runs it on internal/vm — the unboxed fast path; list traffic still
+	// flows through the LP, so LPT counters stay live.
+	BackendVM = "vm"
 )
 
 // defaultStepBudget bounds a single eval request unless the session asked
@@ -40,6 +45,7 @@ type session struct {
 	mu  sync.Mutex
 	li  *lisp.Interp      // immutable after create; eval access serialized by mu
 	si  *smalllisp.Interp // immutable after create; eval access serialized by mu
+	vi  *vm.Session       // immutable after create; eval access serialized by mu
 	out bytes.Buffer      // guarded by mu; captures (print ...) output per eval
 
 	created  time.Time
@@ -149,8 +155,15 @@ func (ss *sessions) create(id, backend string, stepLimit int64, tableSize int) (
 			smalllisp.WithOutput(&s.out),
 			smalllisp.WithStepLimit(stepLimit),
 		)
+	case BackendVM:
+		cfg := core.Config{LPTSize: tableSize}
+		s.vi = vm.NewSession(
+			vm.WithMachine(core.NewMachine(cfg)),
+			vm.WithOutput(&s.out),
+			vm.WithStepLimit(stepLimit),
+		)
 	default:
-		return nil, fmt.Errorf("unknown backend %q (want %q or %q)", backend, BackendLisp, BackendSmall)
+		return nil, fmt.Errorf("unknown backend %q (want %q, %q or %q)", backend, BackendLisp, BackendSmall, BackendVM)
 	}
 
 	ss.mu.Lock()
@@ -272,6 +285,12 @@ func (s *session) eval(ctx context.Context, src string) EvalResult {
 		val, err = s.si.Run(src)
 		s.si.SetContext(nil)
 		s.steps += s.si.Steps()
+	case BackendVM:
+		s.vi.SetContext(ctx)
+		s.vi.ResetSteps()
+		val, err = s.vi.Run(src)
+		s.vi.SetContext(nil)
+		s.steps += s.vi.Steps()
 	}
 	s.evals++
 	s.lastUsed = time.Now()
@@ -293,19 +312,34 @@ func (s *session) stepsDelta() int64 {
 		return s.li.Steps()
 	case BackendSmall:
 		return s.si.Steps()
+	case BackendVM:
+		return s.vi.Steps()
 	}
 	return 0
+}
+
+// machine returns the session's SMALL machine, nil for the plain
+// interpreter backend.
+func (s *session) machine() *core.Machine {
+	switch {
+	case s.si != nil:
+		return s.si.Machine()
+	case s.vi != nil:
+		return s.vi.Machine()
+	}
+	return nil
 }
 
 // machineDelta returns the change in LPT counters since the previous
 // call, for accumulation into the service-wide counters.
 func (s *session) machineDelta() (hits, misses, refops int64) {
-	if s.si == nil {
+	m := s.machine()
+	if m == nil {
 		return 0, 0, 0
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cur := s.si.Machine().Stats()
+	cur := m.Stats()
 	hits = cur.LPT.Hits - s.prevStats.LPT.Hits
 	misses = cur.LPT.Misses - s.prevStats.LPT.Misses
 	refops = cur.LPT.Refops - s.prevStats.LPT.Refops
@@ -322,8 +356,7 @@ func (s *session) info() SessionInfo {
 		Created: s.created, LastUsed: s.lastUsed,
 		Evals: s.evals, Steps: s.steps,
 	}
-	if s.si != nil {
-		m := s.si.Machine()
+	if m := s.machine(); m != nil {
 		st := m.Stats()
 		in.Machine = &MachineInfo{
 			LPTHits: st.LPT.Hits, LPTMisses: st.LPT.Misses,

@@ -95,6 +95,8 @@ func CompileForms(forms []sexpr.Value) (*Program, error) {
 		}
 		c.prog.Code[p.at].Target = fn.Entry
 	}
+	// Peephole fusion runs last, over fully resolved targets.
+	optimize(c.prog)
 	return c.prog, nil
 }
 
@@ -206,12 +208,26 @@ var binOps = map[sexpr.Symbol]Opcode{
 	"greaterp": OpGreaterP, ">": OpGreaterP,
 	"lessp": OpLessP, "<": OpLessP,
 	"equal": OpEqualP, "eq": OpEqualP, "=": OpEqualP,
+	">=": OpGeq, "<=": OpLeq,
+	"get": OpGet,
 }
 
 var unOps = map[sexpr.Symbol]Opcode{
 	"car": OpCar, "cdr": OpCdr,
 	"atom": OpAtomP, "null": OpNullP, "not": OpNot,
+	"add1": OpAdd1, "sub1": OpSub1, "zerop": OpZeroP,
+	"length": OpLength,
 }
+
+// naryOps take any number of arguments pushed left to right, with the
+// count in Arg.
+var naryOps = map[sexpr.Symbol]Opcode{
+	"list": OpList, "max": OpMax, "min": OpMin,
+}
+
+// symRead keeps the special-form dispatch off op-name string literals
+// (the opdispatch analyzer covers this package).
+const symRead = sexpr.Symbol("read")
 
 // expr compiles one expression, leaving its value on the stack.
 func (fc *fnCompiler) expr(f sexpr.Value) error {
@@ -299,7 +315,7 @@ func (fc *fnCompiler) call(f *sexpr.Cell) error {
 		return fc.andOr(args, true)
 	case "or":
 		return fc.andOr(args, false)
-	case "read":
+	case symRead:
 		// (read var): read a list and bind it to var (Fig 4.15's RDLIST).
 		if len(args) != 1 {
 			return cerrf(f, "read wants a variable")
@@ -349,6 +365,47 @@ func (fc *fnCompiler) call(f *sexpr.Cell) error {
 		fc.emit(Instr{Op: op})
 		return nil
 	}
+	if op, ok := naryOps[head]; ok {
+		if (op == OpMax || op == OpMin) && len(args) == 0 {
+			return cerrf(f, "%s wants at least one argument", head)
+		}
+		for _, a := range args {
+			if err := fc.expr(a); err != nil {
+				return err
+			}
+		}
+		fc.emit(Instr{Op: op, Arg: int64(len(args))})
+		return nil
+	}
+	if head == "putprop" {
+		if len(args) != 3 {
+			return cerrf(f, "putprop wants symbol, value, property")
+		}
+		for _, a := range args {
+			if err := fc.expr(a); err != nil {
+				return err
+			}
+		}
+		fc.emit(Instr{Op: OpPutprop})
+		return nil
+	}
+	if steps, mask, ok := cxrName(head); ok {
+		if len(args) != 1 {
+			return cerrf(f, "%s wants one argument", head)
+		}
+		if err := fc.expr(args[0]); err != nil {
+			return err
+		}
+		switch {
+		case steps == 2 && mask == 0b10:
+			fc.emit(Instr{Op: OpCadr})
+		case steps == 3 && mask == 0b100:
+			fc.emit(Instr{Op: OpCaddr})
+		default:
+			fc.emit(Instr{Op: OpCxr, Arg: cxrArg(steps, mask)})
+		}
+		return nil
+	}
 	// User function call: push arguments, FCALL.
 	for _, a := range args {
 		if err := fc.expr(a); err != nil {
@@ -364,8 +421,32 @@ func (fc *fnCompiler) call(f *sexpr.Cell) error {
 	return nil
 }
 
+// cxrName recognises composite accessors (cadr .. cddddr): a leading c,
+// a trailing r, and 2-8 a/d letters between. The returned mask/steps
+// follow the OpCxr encoding: step j (low bit first) is the j-th letter
+// from the right, bit set for car.
+func cxrName(head sexpr.Symbol) (steps int, mask uint8, ok bool) {
+	s := string(head)
+	if len(s) < 4 || len(s) > 10 || s[0] != 'c' || s[len(s)-1] != 'r' {
+		return 0, 0, false
+	}
+	mid := s[1 : len(s)-1]
+	for j := 0; j < len(mid); j++ {
+		switch mid[len(mid)-1-j] {
+		case 'a':
+			mask |= 1 << j
+		case 'd':
+		default:
+			return 0, 0, false
+		}
+	}
+	return len(mid), mask, true
+}
+
 // quoted compiles a literal: atoms push immediates; lists are built with
-// CONSOP chains at run time (the machine has no literal pool).
+// CONSQ chains at run time (the machine has no literal pool). CONSQ is
+// the untraced cons — the interpreter's quote emits no cons events, and
+// the trace streams must match.
 func (fc *fnCompiler) quoted(v sexpr.Value) error {
 	switch t := v.(type) {
 	case nil:
@@ -381,7 +462,7 @@ func (fc *fnCompiler) quoted(v sexpr.Value) error {
 		if err := fc.quoted(t.Cdr); err != nil {
 			return err
 		}
-		fc.emit(Instr{Op: OpCons})
+		fc.emit(Instr{Op: OpConsQ})
 	default:
 		return cerrf(v, "cannot quote")
 	}

@@ -72,6 +72,57 @@ const (
 	OpWrList // pop and print TOS
 	// OpHalt stops the machine; TOS is the program result.
 	OpHalt
+
+	// --- superinstructions (peephole-fused accessor chains) ---
+
+	// OpCadr is the fused cdr-then-car chain (the most common composite
+	// accessor; see the CAR/CDR/CADR taxonomy in PAPERS.md).
+	OpCadr
+	// OpCaddr is the fused cdr-cdr-car chain.
+	OpCaddr
+	// OpCxr is the general fused accessor chain: Arg packs the step
+	// count in bits 8.. and a car/cdr mask in bits 0-7 (bit j set means
+	// step j takes car; steps run low bit first, i.e. rightmost cxr
+	// letter first).
+	OpCxr
+	// OpCarStk / OpCdrStk fuse PUSHSTK with a single accessor: read
+	// frame variable Arg and take its car/cdr without the intermediate
+	// stack traffic (the frame keeps its reference; no retain/release
+	// pair is spent on the temporary).
+	OpCarStk
+	OpCdrStk
+	// OpAddImm / OpSubImm fuse PUSHSYM of an integer immediate with the
+	// following ADDOP/SUBOP: TOS += Arg / TOS -= Arg.
+	OpAddImm
+	OpSubImm
+	// OpSetqPop fuses SETQ with the POP that discards the statement
+	// value: the operand's stack reference transfers to the frame slot.
+	OpSetqPop
+	// OpConsQ is CONSOP without a trace event: quoted literals are
+	// assembled with it, since the interpreter's quote emits no cons
+	// events.
+	OpConsQ
+
+	// --- builtin operations (library functions the benchmarks use) ---
+
+	// OpList builds a list from the top Arg operands (conses right to
+	// left, each cons traced, exactly as the interpreter's list).
+	OpList
+	// OpLength walks TOS with traced cdr steps and pushes the length.
+	OpLength
+	// Integer helpers: pop operand(s), push the integer result.
+	OpAdd1
+	OpSub1
+	OpZeroP
+	OpGeq
+	OpLeq
+	// OpMax / OpMin fold the top Arg integer operands.
+	OpMax
+	OpMin
+	// OpGet pushes the Sym-keyed property of TOS's property list; OpPutprop
+	// pops prop, value, symbol and stores value under (symbol, prop).
+	OpGet
+	OpPutprop
 )
 
 var opNames = map[Opcode]string{
@@ -86,7 +137,21 @@ var opNames = map[Opcode]string{
 	OpAtomP: "ATOMP", OpNullP: "NULLP", OpEqualP: "EQUALP",
 	OpGreaterP: "GREATERP", OpLessP: "LESSP", OpNot: "NOTOP",
 	OpRdList: "RDLIST", OpWrList: "WRLIST", OpHalt: "HALT",
+	OpCadr: "CADR", OpCaddr: "CADDR", OpCxr: "CXR",
+	OpCarStk: "CARSTK", OpCdrStk: "CDRSTK",
+	OpAddImm: "ADDIMM", OpSubImm: "SUBIMM", OpSetqPop: "SETQPOP",
+	OpConsQ: "CONSQ", OpList: "LISTOP", OpLength: "LENGTHOP",
+	OpAdd1: "ADD1OP", OpSub1: "SUB1OP", OpZeroP: "ZEROPOP",
+	OpGeq: "GEQOP", OpLeq: "LEQOP", OpMax: "MAXOP", OpMin: "MINOP",
+	OpGet: "GETPROP", OpPutprop: "PUTPROP",
 }
+
+// cxrArg packs an accessor chain into an OpCxr operand: steps in the
+// high bits, the car mask in the low byte (bit j set: step j is car).
+func cxrArg(steps int, mask uint8) int64 { return int64(steps)<<8 | int64(mask) }
+
+// cxrSteps unpacks an OpCxr operand.
+func cxrSteps(arg int64) (steps int, mask uint8) { return int(arg >> 8), uint8(arg) }
 
 // Instr is one instruction.
 type Instr struct {
@@ -109,8 +174,12 @@ func (i Instr) String() string {
 			return fmt.Sprintf("%-8s %s", name, i.Sym)
 		}
 		return fmt.Sprintf("%-8s %d", name, i.Arg)
-	case OpPushStk, OpSetq, OpRdList:
+	case OpPushStk, OpSetq, OpSetqPop, OpRdList, OpCarStk, OpCdrStk,
+		OpAddImm, OpSubImm, OpList, OpMax, OpMin:
 		return fmt.Sprintf("%-8s %d", name, i.Arg)
+	case OpCxr:
+		steps, mask := cxrSteps(i.Arg)
+		return fmt.Sprintf("%-8s %d/%#b", name, steps, mask)
 	case OpJump, OpBrNil, OpNEqualP:
 		return fmt.Sprintf("%-8s @%d", name, i.Target)
 	default:

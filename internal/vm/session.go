@@ -1,0 +1,94 @@
+package vm
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/sexpr"
+)
+
+// Session is a persistent evaluation context over the bytecode VM,
+// mirroring the smalllisp.Interp surface the server's session layer
+// expects: repeated Run calls share one SMALL machine, one set of
+// global bindings and property lists, and an accumulated function
+// directory. Each Run recompiles the accumulated defs plus the new
+// top-level forms — compilation is microseconds against eval budgets of
+// millions of steps — and executes only the new top-level code; the
+// VM's frame-0 globals carry state across evals.
+type Session struct {
+	v      *VM
+	defs   []sexpr.Value  // accumulated def forms, first-seen order
+	defIdx map[string]int // name -> index in defs (redefinition replaces)
+}
+
+// NewSession builds a session; opts configure the underlying VM
+// (machine, output, step limit).
+func NewSession(opts ...Option) *Session {
+	return &Session{v: New(&Program{}, opts...), defIdx: make(map[string]int)}
+}
+
+// Run evaluates src: definitions accumulate in the session, top-level
+// expressions execute on the VM, and the last expression's value is
+// returned (or the last definition's name when src only defines).
+func (s *Session) Run(src string) (sexpr.Value, error) {
+	forms, err := sexpr.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	oldDefs := append([]sexpr.Value(nil), s.defs...)
+	oldIdx := make(map[string]int, len(s.defIdx))
+	for k, v := range s.defIdx {
+		oldIdx[k] = v
+	}
+	var tops []sexpr.Value
+	var lastDef sexpr.Value
+	for _, f := range forms {
+		if isDef(f) {
+			name, ok := sexpr.Car(sexpr.Cdr(f)).(sexpr.Symbol)
+			if !ok {
+				return nil, cerrf(f, "def of non-symbol")
+			}
+			if i, seen := s.defIdx[string(name)]; seen {
+				s.defs[i] = f
+			} else {
+				s.defIdx[string(name)] = len(s.defs)
+				s.defs = append(s.defs, f)
+			}
+			lastDef = name
+		} else {
+			tops = append(tops, f)
+		}
+	}
+	all := make([]sexpr.Value, 0, len(s.defs)+len(tops))
+	all = append(all, s.defs...)
+	all = append(all, tops...)
+	prog, err := CompileForms(all)
+	if err != nil {
+		// A bad batch must not poison the session's directory.
+		s.defs, s.defIdx = oldDefs, oldIdx
+		return nil, err
+	}
+	s.v.SetProgram(prog)
+	if len(tops) == 0 {
+		if lastDef != nil {
+			return lastDef, nil
+		}
+		return nil, nil
+	}
+	return s.v.Run()
+}
+
+// Machine exposes the session's SMALL machine (live LPT stats).
+func (s *Session) Machine() *core.Machine { return s.v.Machine() }
+
+// SetStepLimit adjusts the per-eval budget (n <= 0: unlimited).
+func (s *Session) SetStepLimit(n int64) { s.v.SetStepLimit(n) }
+
+// ResetSteps starts a fresh budget window.
+func (s *Session) ResetSteps() { s.v.ResetSteps() }
+
+// Steps returns steps executed since the last ResetSteps.
+func (s *Session) Steps() int64 { return s.v.Steps() }
+
+// SetContext installs (or, with nil, removes) a cancellation context.
+func (s *Session) SetContext(ctx context.Context) { s.v.SetContext(ctx) }

@@ -1,36 +1,89 @@
 package vm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/heap"
 	"repro/internal/sexpr"
 )
+
+// TraceSink receives the trace events of §3.3.1 while the VM runs:
+// every list primitive with its arguments in s-expression form, and
+// every user function entry/exit. It is structurally identical to
+// internal/lisp's TraceSink, so a lisp.Collector plugs straight in, and
+// the differential test can demand byte-identical traces from both
+// engines.
+type TraceSink interface {
+	Prim(op string, args []sexpr.Value, result sexpr.Value, depth int)
+	Enter(name string, nargs, depth int)
+	Exit(name string, depth int)
+}
+
+// TextSink is an optional TraceSink extension for sinks that accept
+// pre-rendered operand texts (lisp.Collector implements it). When the
+// installed sink provides it, the VM renders operands straight from
+// machine structure into a reusable buffer instead of materialising an
+// s-expression tree per event — on traced runs that is the difference
+// between the VM out-tracing the interpreter and trailing it.
+type TextSink interface {
+	PrimText(op string, args []string, result string, depth int)
+}
 
 // VM emulates the SMALL stack machine: a control/value stack in the EP,
 // with every list operation delegated to a core.Machine (LP + LPT +
 // heap). Stack and frame slots count as EP references and are retained
 // and released accordingly, so the LPT reference counts behave exactly as
 // in §4.3.1's binding discipline.
+//
+// Operands are unboxed vm.Values: integers, booleans and nil never
+// touch the atom table, and arithmetic and predicates run on
+// immediates. Atom words are interned only when a value escapes into
+// the LP (cons, rplac, wrlist), through the small-int/last-int caches.
 type VM struct {
 	prog   *Program
 	m      *core.Machine
-	stack  []core.Value
+	stack  []Value
 	frames []vframe
 	input  []sexpr.Value
-	out    io.Writer
+	out    io.Writer // smallvet:keep (config, set at construction)
+	sink   TraceSink // smallvet:keep (config, set at construction)
+	tsink  TextSink  // smallvet:keep (derived from sink by SetTrace)
+	tbuf   []byte    // scratch for rendering trace operand texts
 	steps  int64
-	limit  int64
+	limit  int64 // smallvet:keep (budget, managed by SetStepLimit)
+	depth  int   // user-function call depth (trace events carry it)
+
+	// props is the property-list store (putprop/get), keyed by atom-table
+	// indices so lookups never build strings or box interface keys.
+	props map[int32]map[int32]Value
+
+	// Intern caches; all are per-machine and cleared by Reset.
+	tW        heap.Word                // interned symbol t
+	symCache  []heap.Word              // per-pc PUSHSYM interns
+	smallInts [smallIntCache]heap.Word // direct-mapped small non-negative ints
+	lastInt   int64                    // last large int interned ...
+	lastIntW  heap.Word                // ... and its word
+
+	ctxDone <-chan struct{}
+	ctxErr  func() error
 }
 
+// vframe is one activation record. Pending arguments stay in place on
+// the operand stack (pbase..pbase+npending); BINDN transfers their
+// references into vars, so a call allocates nothing once the frame and
+// slot arrays have grown to steady state.
 type vframe struct {
-	ret     int
-	vars    []core.Value
-	names   []string
-	pending []core.Value // arguments awaiting BINDN
-	argIdx  int
+	ret      int
+	fname    string // callee name, for the Exit trace event
+	pbase    int    // stack index where the pending arguments begin
+	npending int
+	argIdx   int
+	vars     []Value
+	names    []string
 }
 
 // ErrHalt signals normal termination (internal).
@@ -41,7 +94,8 @@ var ErrStepLimit = errors.New("vm: step limit exceeded")
 
 // New builds a VM over a fresh SMALL machine.
 func New(prog *Program, opts ...Option) *VM {
-	vm := &VM{prog: prog, out: io.Discard, limit: 10_000_000}
+	vm := &VM{out: io.Discard, limit: 10_000_000}
+	vm.setProg(prog)
 	for _, o := range opts {
 		o(vm)
 	}
@@ -66,85 +120,194 @@ func WithInput(vals []sexpr.Value) Option { return func(v *VM) { v.input = vals 
 // WithStepLimit bounds execution.
 func WithStepLimit(n int64) Option { return func(v *VM) { v.limit = n } }
 
+// WithTrace installs a trace sink (e.g. a lisp.Collector).
+func WithTrace(t TraceSink) Option { return func(v *VM) { v.SetTrace(t) } }
+
 // Machine exposes the underlying SMALL machine (for stats).
 func (v *VM) Machine() *core.Machine { return v.m }
 
-func (v *VM) push(x core.Value) { v.stack = append(v.stack, x) }
+// SetStepLimit adjusts the execution budget of a live VM (n <= 0 means
+// unlimited), mirroring the interpreters' session API.
+func (v *VM) SetStepLimit(n int64) {
+	if n <= 0 {
+		n = 1<<63 - 1
+	}
+	v.limit = n
+}
 
-func (v *VM) pop() (core.Value, error) {
+// ResetSteps zeroes the step counter, starting a fresh budget window.
+func (v *VM) ResetSteps() { v.steps = 0 }
+
+// Steps returns the steps executed since the last ResetSteps.
+func (v *VM) Steps() int64 { return v.steps }
+
+// SetContext installs a cancellation context, polled every 1024 steps:
+// when ctx is done, execution unwinds with ctx.Err(). Pass nil to
+// detach.
+func (v *VM) SetContext(ctx context.Context) {
+	if ctx == nil {
+		v.ctxDone, v.ctxErr = nil, nil
+		return
+	}
+	v.ctxDone, v.ctxErr = ctx.Done(), ctx.Err
+}
+
+// SetTrace re-arms the trace sink (pooled VMs collect into a fresh
+// collector per run).
+func (v *VM) SetTrace(t TraceSink) {
+	v.sink = t
+	v.tsink, _ = t.(TextSink)
+}
+
+// SetOutput redirects WRLIST output.
+func (v *VM) SetOutput(w io.Writer) { v.out = w }
+
+// SetInput queues values for RDLIST.
+func (v *VM) SetInput(vals []sexpr.Value) { v.input = vals }
+
+// SetProgram swaps the compiled program while keeping machine state,
+// global bindings and property lists — the persistence a session
+// backend needs between evals.
+func (v *VM) SetProgram(prog *Program) { v.setProg(prog) }
+
+// setProg installs a program and sizes the per-pc symbol cache.
+func (v *VM) setProg(prog *Program) {
+	v.prog = prog
+	if cap(v.symCache) >= len(prog.Code) {
+		v.symCache = v.symCache[:len(prog.Code)]
+		clear(v.symCache)
+	} else {
+		v.symCache = make([]heap.Word, len(prog.Code))
+	}
+}
+
+// Reset reinitialises the VM for pooled reuse on a (typically reset)
+// machine: execution state, globals, property lists and every intern
+// cache are dropped. Output, trace sink and step budget are
+// configuration and survive.
+func (v *VM) Reset(prog *Program, m *core.Machine) {
+	v.prog = prog
+	if cap(v.symCache) >= len(prog.Code) {
+		v.symCache = v.symCache[:len(prog.Code)]
+		clear(v.symCache)
+	} else {
+		v.symCache = make([]heap.Word, len(prog.Code))
+	}
+	v.m = m
+	v.stack = v.stack[:0]
+	v.frames = v.frames[:0]
+	v.input = nil
+	v.tbuf = v.tbuf[:0]
+	v.steps = 0
+	v.depth = 0
+	clear(v.props)
+	v.tW = heap.Word{}
+	v.smallInts = [smallIntCache]heap.Word{}
+	v.lastInt = 0
+	v.lastIntW = heap.Word{}
+	v.ctxDone = nil
+	v.ctxErr = nil
+}
+
+func (v *VM) push(x Value) { v.stack = append(v.stack, x) }
+
+func (v *VM) pop() (Value, error) {
 	if len(v.stack) == 0 {
-		return core.NilValue, errors.New("vm: stack underflow")
+		return nilV, errors.New("vm: stack underflow")
 	}
 	x := v.stack[len(v.stack)-1]
 	v.stack = v.stack[:len(v.stack)-1]
 	return x, nil
 }
 
-// intOf extracts an integer from an atom value.
-func (v *VM) intOf(x core.Value) (int64, error) {
-	if x.Kind != core.VAtom {
-		return 0, fmt.Errorf("vm: not a number: kind %d", x.Kind)
+// pushFrame activates a new frame, reusing slot arrays left in place by
+// earlier calls at the same depth.
+func (v *VM) pushFrame(ret, pbase, npending int, fname string) {
+	if len(v.frames) < cap(v.frames) {
+		v.frames = v.frames[:len(v.frames)+1]
+	} else {
+		v.frames = append(v.frames, vframe{})
 	}
-	sv, err := v.m.Heap().Atoms().Value(x.Atom)
-	if err != nil {
-		return 0, err
-	}
-	i, ok := sv.(sexpr.Int)
-	if !ok {
-		return 0, fmt.Errorf("vm: not a number: %s", sexpr.String(sv))
-	}
-	return int64(i), nil
+	f := &v.frames[len(v.frames)-1]
+	f.ret, f.fname, f.pbase, f.npending, f.argIdx = ret, fname, pbase, npending, 0
+	f.vars = f.vars[:0]
+	f.names = f.names[:0]
 }
 
-func (v *VM) intValue(i int64) core.Value {
-	return core.Value{Kind: core.VAtom, Atom: v.m.Heap().Atoms().Intern(sexpr.Int(i))}
-}
-
-func (v *VM) symValue(s string) core.Value {
-	if s == "nil" || s == "" {
-		return core.NilValue
+// unwindToGlobal releases every reference held above the global frame:
+// call frames (their bindings and unconsumed pending arguments) and
+// stack temporaries. Global bindings survive, so a session's state
+// persists across both successful and failed evals.
+func (v *VM) unwindToGlobal() {
+	top := len(v.stack)
+	for fi := len(v.frames) - 1; fi >= 1; fi-- {
+		f := &v.frames[fi]
+		for _, val := range f.vars {
+			v.release(val)
+		}
+		// Consumed pending args transferred their references to vars;
+		// release only the unconsumed ones, then everything above them.
+		for i := f.pbase + f.argIdx; i < f.pbase+f.npending; i++ {
+			v.release(v.stack[i])
+		}
+		for i := f.pbase + f.npending; i < top; i++ {
+			v.release(v.stack[i])
+		}
+		top = f.pbase
 	}
-	return core.Value{Kind: core.VAtom, Atom: v.m.Heap().Atoms().Intern(sexpr.Symbol(s))}
-}
-
-func truthy(x core.Value) bool { return x.Kind != core.VNil }
-
-// equalValues compares two EP values structurally.
-func (v *VM) equalValues(a, b core.Value) (bool, error) {
-	av, err := v.m.ValueOf(a)
-	if err != nil {
-		return false, err
+	for i := 0; i < top; i++ {
+		v.release(v.stack[i])
 	}
-	bv, err := v.m.ValueOf(b)
-	if err != nil {
-		return false, err
+	v.stack = v.stack[:0]
+	if len(v.frames) > 1 {
+		v.frames = v.frames[:1]
 	}
-	return sexpr.Equal(av, bv), nil
+	v.depth = 0
 }
 
 // Run executes the program and returns the final value as an
-// s-expression.
+// s-expression. Global bindings made by top-level setq survive in the
+// VM (frame 0), so repeated Runs behave like successive session evals.
 func (v *VM) Run() (sexpr.Value, error) {
-	v.frames = []vframe{{ret: -1}}
+	if len(v.frames) == 0 {
+		v.pushFrame(-1, 0, 0, "")
+	}
+	v.depth = 0
 	pc := v.prog.Entry
 	for {
 		v.steps++
 		if v.steps > v.limit {
+			v.unwindToGlobal()
 			return nil, ErrStepLimit
 		}
+		if v.ctxDone != nil && v.steps&1023 == 0 {
+			select {
+			case <-v.ctxDone:
+				v.unwindToGlobal()
+				return nil, fmt.Errorf("vm: execution cancelled: %w", v.ctxErr())
+			default:
+			}
+		}
 		if pc < 0 || pc >= len(v.prog.Code) {
+			v.unwindToGlobal()
 			return nil, fmt.Errorf("vm: pc %d out of range", pc)
 		}
 		next, err := v.step(pc)
 		if err == errHalted {
 			top, perr := v.pop()
 			if perr != nil {
+				v.unwindToGlobal()
 				return nil, perr
 			}
-			return v.m.ValueOf(top)
+			sv, verr := v.m.ValueOf(v.toCore(top))
+			v.release(top)
+			v.unwindToGlobal()
+			return sv, verr
 		}
 		if err != nil {
-			return nil, fmt.Errorf("vm: pc %d (%s): %w", pc, v.prog.Code[pc], err)
+			err = fmt.Errorf("vm: pc %d (%s): %w", pc, v.prog.Code[pc], err)
+			v.unwindToGlobal()
+			return nil, err
 		}
 		pc = next
 	}
@@ -152,15 +315,60 @@ func (v *VM) Run() (sexpr.Value, error) {
 
 func (v *VM) frame() *vframe { return &v.frames[len(v.frames)-1] }
 
+// access1 performs one traced car/cdr step on the machine. The caller
+// owns x and the returned value.
+func (v *VM) access1(x Value, wantCar bool) (Value, error) {
+	var out core.Value
+	var err error
+	if wantCar {
+		out, err = v.m.Car(v.toCore(x))
+	} else {
+		out, err = v.m.Cdr(v.toCore(x))
+	}
+	if err != nil {
+		return nilV, err
+	}
+	res := v.fromCore(out)
+	if v.sink != nil {
+		op := "cdr"
+		if wantCar {
+			op = "car"
+		}
+		if v.tsink != nil {
+			v.tsink.PrimText(op, []string{v.renderText(x)}, v.renderText(res), v.depth)
+		} else {
+			v.sink.Prim(op, []sexpr.Value{v.sx(x)}, v.sx(res), v.depth)
+		}
+	}
+	return res, nil
+}
+
+// cons1 performs one cons on the machine, traced unless quiet.
+func (v *VM) cons1(car, cdr Value, quiet bool) (Value, error) {
+	out, err := v.m.Cons(v.toCore(car), v.toCore(cdr))
+	if err != nil {
+		return nilV, err
+	}
+	res := v.fromCore(out)
+	if !quiet && v.sink != nil {
+		if v.tsink != nil {
+			v.tsink.PrimText("cons", []string{v.renderText(car), v.renderText(cdr)}, v.renderText(res), v.depth)
+		} else {
+			v.sink.Prim("cons", []sexpr.Value{v.sx(car), v.sx(cdr)}, v.sx(res), v.depth)
+		}
+	}
+	return res, nil
+}
+
 // step executes one instruction, returning the next pc.
 func (v *VM) step(pc int) (int, error) {
 	ins := v.prog.Code[pc]
 	f := v.frame()
 	switch ins.Op {
 	case OpBindN:
-		var val core.Value
-		if f.argIdx < len(f.pending) {
-			val = f.pending[f.argIdx]
+		var val Value
+		if f.argIdx < f.npending {
+			val = v.stack[f.pbase+f.argIdx]
 			f.argIdx++
 		}
 		f.vars = append(f.vars, val)
@@ -172,7 +380,7 @@ func (v *VM) step(pc int) (int, error) {
 			return 0, fmt.Errorf("bad frame offset %d", ins.Arg)
 		}
 		val := f.vars[off]
-		v.m.Retain(val)
+		v.retain(val)
 		v.push(val)
 
 	case OpPushName:
@@ -180,14 +388,21 @@ func (v *VM) step(pc int) (int, error) {
 		if !ok {
 			return 0, fmt.Errorf("unbound variable %s", ins.Sym)
 		}
-		v.m.Retain(val)
+		v.retain(val)
 		v.push(val)
 
 	case OpPushSym:
 		if ins.Sym != "" {
-			v.push(v.symValue(ins.Sym))
+			switch ins.Sym {
+			case "t":
+				v.push(trueV)
+			case "nil":
+				v.push(nilV)
+			default:
+				v.push(Value{Kind: KAtom, W: v.symWord(pc, ins.Sym)})
+			}
 		} else {
-			v.push(v.intValue(ins.Arg))
+			v.push(intV(ins.Arg))
 		}
 
 	case OpSetq:
@@ -196,16 +411,29 @@ func (v *VM) step(pc int) (int, error) {
 			return 0, fmt.Errorf("bad frame offset %d", ins.Arg)
 		}
 		top := v.stack[len(v.stack)-1]
-		v.m.Retain(top)
-		v.m.Release(f.vars[off])
+		v.retain(top)
+		v.release(f.vars[off])
 		f.vars[off] = top
+
+	case OpSetqPop:
+		off := int(ins.Arg) - 1
+		if off < 0 || off >= len(f.vars) {
+			return 0, fmt.Errorf("bad frame offset %d", ins.Arg)
+		}
+		x, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		// The operand's stack reference transfers to the frame slot.
+		v.release(f.vars[off])
+		f.vars[off] = x
 
 	case OpSetName:
 		top := v.stack[len(v.stack)-1]
 		if !v.setName(ins.Sym, top) {
 			// setq of unbound name: create a top-level binding.
 			g := &v.frames[0]
-			v.m.Retain(top)
+			v.retain(top)
 			g.vars = append(g.vars, top)
 			g.names = append(g.names, ins.Sym)
 		}
@@ -215,11 +443,11 @@ func (v *VM) step(pc int) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		v.m.Release(x)
+		v.release(x)
 
 	case OpDup:
 		top := v.stack[len(v.stack)-1]
-		v.m.Retain(top)
+		v.retain(top)
 		v.push(top)
 
 	case OpFCall:
@@ -227,24 +455,39 @@ func (v *VM) step(pc int) (int, error) {
 		if len(v.stack) < n {
 			return 0, errors.New("missing arguments")
 		}
-		args := make([]core.Value, n)
-		copy(args, v.stack[len(v.stack)-n:])
-		v.stack = v.stack[:len(v.stack)-n]
-		v.frames = append(v.frames, vframe{ret: pc + 1, pending: args})
+		v.depth++
+		if v.sink != nil {
+			v.sink.Enter(ins.Sym, n, v.depth)
+		}
+		v.pushFrame(pc+1, len(v.stack)-n, n, ins.Sym)
 		return ins.Target, nil
 
 	case OpFRetn:
 		if len(v.frames) == 1 {
 			return 0, errors.New("return from top level")
 		}
-		// Release frame bindings and unconsumed pending args.
+		result, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
 		for _, val := range f.vars {
-			v.m.Release(val)
+			v.release(val)
 		}
-		for i := f.argIdx; i < len(f.pending); i++ {
-			v.m.Release(f.pending[i])
+		for i := f.pbase + f.argIdx; i < f.pbase+f.npending; i++ {
+			v.release(v.stack[i])
 		}
+		// Mid-expression (return ...) can leave extra temporaries above
+		// the arguments; release them too.
+		for i := f.pbase + f.npending; i < len(v.stack); i++ {
+			v.release(v.stack[i])
+		}
+		if v.sink != nil {
+			v.sink.Exit(f.fname, v.depth)
+		}
+		v.depth--
 		ret := f.ret
+		v.stack = v.stack[:f.pbase]
+		v.push(result)
 		v.frames = v.frames[:len(v.frames)-1]
 		return ret, nil
 
@@ -256,9 +499,9 @@ func (v *VM) step(pc int) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		nil_ := !truthy(x)
-		v.m.Release(x)
-		if nil_ {
+		isNil := !truthy(x)
+		v.release(x)
+		if isNil {
 			return ins.Target, nil
 		}
 
@@ -271,9 +514,9 @@ func (v *VM) step(pc int) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		eq, err := v.equalValues(a, b)
-		v.m.Release(a)
-		v.m.Release(b)
+		eq, err := v.valueEqual(a, b)
+		v.release(a)
+		v.release(b)
 		if err != nil {
 			return 0, err
 		}
@@ -290,12 +533,16 @@ func (v *VM) step(pc int) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		x, err := v.intOf(a)
+		x, err := v.intArg(a)
 		if err != nil {
+			v.release(a)
+			v.release(b)
 			return 0, err
 		}
-		y, err := v.intOf(b)
+		y, err := v.intArg(b)
 		if err != nil {
+			v.release(a)
+			v.release(b)
 			return 0, err
 		}
 		var r int64
@@ -317,26 +564,105 @@ func (v *VM) step(pc int) (int, error) {
 			}
 			r = x % y
 		}
-		v.push(v.intValue(r))
+		v.push(intV(r))
+
+	case OpAddImm, OpSubImm:
+		a, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		x, err := v.intArg(a)
+		if err != nil {
+			v.release(a)
+			return 0, err
+		}
+		if ins.Op == OpAddImm {
+			v.push(intV(x + ins.Arg))
+		} else {
+			v.push(intV(x - ins.Arg))
+		}
+
+	case OpAdd1, OpSub1:
+		a, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		x, err := v.intArg(a)
+		if err != nil {
+			v.release(a)
+			return 0, err
+		}
+		if ins.Op == OpAdd1 {
+			v.push(intV(x + 1))
+		} else {
+			v.push(intV(x - 1))
+		}
+
+	case OpZeroP:
+		a, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		x, err := v.intArg(a)
+		if err != nil {
+			v.release(a)
+			return 0, err
+		}
+		v.push(boolV(x == 0))
 
 	case OpCar, OpCdr:
 		x, err := v.pop()
 		if err != nil {
 			return 0, err
 		}
-		var out core.Value
-		if ins.Op == OpCar {
-			out, err = v.m.Car(x)
-		} else {
-			out, err = v.m.Cdr(x)
+		res, err := v.access1(x, ins.Op == OpCar)
+		if err != nil {
+			v.release(x)
+			return 0, err
 		}
+		v.release(x)
+		v.push(res)
+
+	case OpCarStk, OpCdrStk:
+		off := int(ins.Arg) - 1
+		if off < 0 || off >= len(f.vars) {
+			return 0, fmt.Errorf("bad frame offset %d", ins.Arg)
+		}
+		// The frame keeps its reference on the variable; no stack
+		// round-trip for the operand.
+		res, err := v.access1(f.vars[off], ins.Op == OpCarStk)
 		if err != nil {
 			return 0, err
 		}
-		v.m.Release(x)
-		v.push(out)
+		v.push(res)
 
-	case OpCons:
+	case OpCadr, OpCaddr, OpCxr:
+		var steps int
+		var mask uint8
+		switch ins.Op {
+		case OpCadr:
+			steps, mask = 2, 0b10
+		case OpCaddr:
+			steps, mask = 3, 0b100
+		default:
+			steps, mask = cxrSteps(ins.Arg)
+		}
+		cur, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		for j := 0; j < steps; j++ {
+			res, err := v.access1(cur, mask>>j&1 == 1)
+			if err != nil {
+				v.release(cur)
+				return 0, err
+			}
+			v.release(cur)
+			cur = res
+		}
+		v.push(cur)
+
+	case OpCons, OpConsQ:
 		cdr, err := v.pop()
 		if err != nil {
 			return 0, err
@@ -345,13 +671,62 @@ func (v *VM) step(pc int) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		out, err := v.m.Cons(car, cdr)
+		res, err := v.cons1(car, cdr, ins.Op == OpConsQ)
+		if err != nil {
+			v.release(car)
+			v.release(cdr)
+			return 0, err
+		}
+		v.release(car)
+		v.release(cdr)
+		v.push(res)
+
+	case OpList:
+		n := int(ins.Arg)
+		if len(v.stack) < n {
+			return 0, errors.New("missing arguments")
+		}
+		base := len(v.stack) - n
+		out := nilV
+		var err error
+		for i := len(v.stack) - 1; i >= base; i-- {
+			elem := v.stack[i]
+			var res Value
+			res, err = v.cons1(elem, out, false)
+			if err != nil {
+				break
+			}
+			v.release(elem)
+			v.release(out)
+			v.stack[i] = nilV // consumed
+			out = res
+		}
+		v.stack = v.stack[:base]
+		if err != nil {
+			v.release(out)
+			return 0, err
+		}
+		v.push(out)
+
+	case OpLength:
+		x, err := v.pop()
 		if err != nil {
 			return 0, err
 		}
-		v.m.Release(car)
-		v.m.Release(cdr)
-		v.push(out)
+		n := int64(0)
+		cur := x
+		for isListKind(cur) {
+			next, err := v.access1(cur, false)
+			if err != nil {
+				v.release(cur)
+				return 0, err
+			}
+			v.release(cur)
+			cur = next
+			n++
+		}
+		v.release(cur)
+		v.push(intV(n))
 
 	case OpRplaca, OpRplacd:
 		val, err := v.pop()
@@ -363,14 +738,29 @@ func (v *VM) step(pc int) (int, error) {
 			return 0, err
 		}
 		if ins.Op == OpRplaca {
-			err = v.m.Rplaca(target, val)
+			err = v.m.Rplaca(v.toCore(target), v.toCore(val))
 		} else {
-			err = v.m.Rplacd(target, val)
+			err = v.m.Rplacd(v.toCore(target), v.toCore(val))
 		}
 		if err != nil {
+			v.release(val)
+			v.release(target)
 			return 0, err
 		}
-		v.m.Release(val)
+		if v.sink != nil {
+			// Arguments render after the mutation, as the interpreter's
+			// rplaca/rplacd trace does.
+			op := "rplacd"
+			if ins.Op == OpRplaca {
+				op = "rplaca"
+			}
+			if v.tsink != nil {
+				v.tsink.PrimText(op, []string{v.renderText(target), v.renderText(val)}, v.renderText(target), v.depth)
+			} else {
+				v.sink.Prim(op, []sexpr.Value{v.sx(target), v.sx(val)}, v.sx(target), v.depth)
+			}
+		}
+		v.release(val)
 		// rplac returns the modified object: keep target on the stack.
 		v.push(target)
 
@@ -382,18 +772,14 @@ func (v *VM) step(pc int) (int, error) {
 		var res bool
 		switch ins.Op {
 		case OpAtomP:
-			res = x.Kind != core.VList && x.Kind != core.VHeap
+			res = !isListKind(x)
 		case OpNullP, OpNot:
-			res = x.Kind == core.VNil
+			res = x.Kind == KNil
 		}
-		v.m.Release(x)
-		if res {
-			v.push(v.symValue("t"))
-		} else {
-			v.push(core.NilValue)
-		}
+		v.release(x)
+		v.push(boolV(res))
 
-	case OpEqualP, OpGreaterP, OpLessP:
+	case OpEqualP:
 		b, err := v.pop()
 		if err != nil {
 			return 0, err
@@ -402,34 +788,144 @@ func (v *VM) step(pc int) (int, error) {
 		if err != nil {
 			return 0, err
 		}
+		eq, err := v.valueEqual(a, b)
+		v.release(a)
+		v.release(b)
+		if err != nil {
+			return 0, err
+		}
+		v.push(boolV(eq))
+
+	case OpGreaterP, OpLessP, OpGeq, OpLeq:
+		b, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		a, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		x, err := v.intArg(a)
+		if err != nil {
+			v.release(a)
+			v.release(b)
+			return 0, err
+		}
+		y, err := v.intArg(b)
+		if err != nil {
+			v.release(a)
+			v.release(b)
+			return 0, err
+		}
 		var res bool
-		if ins.Op == OpEqualP {
-			res, err = v.equalValues(a, b)
-			if err != nil {
-				return 0, err
-			}
-		} else {
-			x, err := v.intOf(a)
-			if err != nil {
-				return 0, err
-			}
-			y, err := v.intOf(b)
-			if err != nil {
-				return 0, err
-			}
-			if ins.Op == OpGreaterP {
-				res = x > y
-			} else {
-				res = x < y
+		switch ins.Op {
+		case OpGreaterP:
+			res = x > y
+		case OpLessP:
+			res = x < y
+		case OpGeq:
+			res = x >= y
+		case OpLeq:
+			res = x <= y
+		}
+		v.push(boolV(res))
+
+	case OpMax, OpMin:
+		n := int(ins.Arg)
+		if n < 1 || len(v.stack) < n {
+			return 0, errors.New("missing arguments")
+		}
+		base := len(v.stack) - n
+		best, err := v.intArg(v.stack[base])
+		if err == nil {
+			for i := base + 1; i < len(v.stack); i++ {
+				var x int64
+				x, err = v.intArg(v.stack[i])
+				if err != nil {
+					break
+				}
+				if (ins.Op == OpMax && x > best) || (ins.Op == OpMin && x < best) {
+					best = x
+				}
 			}
 		}
-		v.m.Release(a)
-		v.m.Release(b)
-		if res {
-			v.push(v.symValue("t"))
-		} else {
-			v.push(core.NilValue)
+		for i := base; i < len(v.stack); i++ {
+			v.release(v.stack[i])
 		}
+		v.stack = v.stack[:base]
+		if err != nil {
+			return 0, err
+		}
+		v.push(intV(best))
+
+	case OpGet:
+		p, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		s, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		sk, err := v.symKey(s)
+		if err == nil {
+			var pk int32
+			pk, err = v.symKey(p)
+			if err == nil {
+				val := v.props[sk][pk]
+				v.retain(val)
+				v.push(val)
+			}
+		}
+		v.release(s)
+		v.release(p)
+		if err != nil {
+			return 0, err
+		}
+
+	case OpPutprop:
+		p, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		val, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		s, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		sk, serr := v.symKey(s)
+		pk, perr := v.symKey(p)
+		if serr != nil || perr != nil {
+			v.release(val)
+			v.release(s)
+			v.release(p)
+			if serr != nil {
+				return 0, serr
+			}
+			return 0, perr
+		}
+		if v.props == nil {
+			v.props = make(map[int32]map[int32]Value)
+		}
+		plist := v.props[sk]
+		if plist == nil {
+			plist = make(map[int32]Value)
+			v.props[sk] = plist
+		}
+		old, existed := plist[pk]
+		v.retain(val) // the property list's own reference
+		plist[pk] = val
+		if existed {
+			v.release(old)
+		}
+		v.release(s)
+		v.release(p)
+		// putprop returns the stored value; the stack's original
+		// reference carries it.
+		v.push(val)
 
 	case OpRdList:
 		off := int(ins.Arg) - 1
@@ -437,27 +933,33 @@ func (v *VM) step(pc int) (int, error) {
 			return 0, fmt.Errorf("bad frame offset %d", ins.Arg)
 		}
 		var datum sexpr.Value
+		consumed := false
 		if len(v.input) > 0 {
 			datum = v.input[0]
 			v.input = v.input[1:]
+			consumed = true
 		}
-		val, err := v.m.ReadList(datum, f.vars[off])
+		val, err := v.m.ReadList(datum, v.toCore(f.vars[off]))
 		if err != nil {
 			return 0, err
 		}
-		f.vars[off] = val
+		f.vars[off] = v.fromCore(val)
+		if consumed && v.sink != nil {
+			v.sink.Prim("read", nil, datum, v.depth)
+		}
 
 	case OpWrList:
 		x, err := v.pop()
 		if err != nil {
 			return 0, err
 		}
-		sv, err := v.m.ValueOf(x)
+		sv, err := v.m.ValueOf(v.toCore(x))
 		if err != nil {
+			v.release(x)
 			return 0, err
 		}
 		fmt.Fprintln(v.out, sexpr.String(sv))
-		v.m.Release(x)
+		v.release(x)
 
 	case OpHalt:
 		return 0, errHalted
@@ -469,7 +971,7 @@ func (v *VM) step(pc int) (int, error) {
 }
 
 // lookupName searches frames newest-first for a dynamic binding.
-func (v *VM) lookupName(name string) (core.Value, bool) {
+func (v *VM) lookupName(name string) (Value, bool) {
 	for fi := len(v.frames) - 1; fi >= 0; fi-- {
 		f := &v.frames[fi]
 		for i := len(f.names) - 1; i >= 0; i-- {
@@ -478,16 +980,16 @@ func (v *VM) lookupName(name string) (core.Value, bool) {
 			}
 		}
 	}
-	return core.NilValue, false
+	return nilV, false
 }
 
-func (v *VM) setName(name string, val core.Value) bool {
+func (v *VM) setName(name string, val Value) bool {
 	for fi := len(v.frames) - 1; fi >= 0; fi-- {
 		f := &v.frames[fi]
 		for i := len(f.names) - 1; i >= 0; i-- {
 			if f.names[i] == name {
-				v.m.Retain(val)
-				v.m.Release(f.vars[i])
+				v.retain(val)
+				v.release(f.vars[i])
 				f.vars[i] = val
 				return true
 			}

@@ -1,0 +1,74 @@
+package vm_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// consIntsSrc conses the integers 0..199 into a list and drops it,
+// repeatedly. Every integer escapes into the LP through cons, so the
+// loop exercises the escape-time intern path: with the small-int cache
+// each value interns once per machine and the steady state allocates
+// nothing; without it every cons boxes an interface key for the
+// atom-table map.
+const consIntsSrc = `
+(defun build (i l)
+  (cond ((equal i 200) l)
+        (t (build (add1 i) (cons i l)))))
+(defun spin (n)
+  (cond ((zerop n) nil)
+        (t (prog ()
+             (build 0 nil)
+             (return (spin (- n 1)))))))
+(spin 20)
+`
+
+func consIntsVM(tb testing.TB) (*vm.VM, *core.Machine) {
+	prog, err := vm.Compile(consIntsSrc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m := core.NewMachine(core.Config{LPTSize: 2048})
+	v := vm.New(prog, vm.WithMachine(m), vm.WithStepLimit(100_000_000))
+	return v, m
+}
+
+// TestIntInternSteadyStateAllocs pins the int-intern fast path: after a
+// warm-up run has populated the small-int cache, re-running an
+// int-consing workload on the same machine must not allocate per cons.
+// This is the regression guard for the smallInts/lastInt caches — lose
+// them and this test counts thousands of allocations.
+func TestIntInternSteadyStateAllocs(t *testing.T) {
+	v, _ := consIntsVM(t)
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := v.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 20 spins x 200 escaping conses per run; allow a little slack for
+	// the runtime, nothing near per-cons scale.
+	if allocs > 16 {
+		t.Fatalf("steady-state run allocated %.0f times; int-intern fast path regressed", allocs)
+	}
+}
+
+// BenchmarkEscapingIntCons tracks the throughput of the escape-heavy
+// workload itself.
+func BenchmarkEscapingIntCons(b *testing.B) {
+	v, _ := consIntsVM(b)
+	if _, err := v.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

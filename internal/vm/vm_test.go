@@ -43,13 +43,14 @@ func TestFactorialFig414(t *testing.T) {
 
 // TestFig414Listing checks the compiled shape matches the thesis's hand
 // compilation: BINDN x, the fused NEQUALP test, recursive FCALL, MULOP.
+// (- x 1) peephole-fuses into SUBIMM, the push+binop superinstruction.
 func TestFig414Listing(t *testing.T) {
 	prog, err := Compile(fig414 + "(fact 5)")
 	if err != nil {
 		t.Fatal(err)
 	}
 	listing := prog.Listing()
-	for _, want := range []string{"BINDN    x", "NEQUALP", "FCALL    fact/1", "MULOP", "SUBOP", "FRETN"} {
+	for _, want := range []string{"BINDN    x", "NEQUALP", "FCALL    fact/1", "MULOP", "SUBIMM", "FRETN"} {
 		if !strings.Contains(listing, want) {
 			t.Errorf("listing missing %q:\n%s", want, listing)
 		}
@@ -88,8 +89,10 @@ func TestFig415(t *testing.T) {
 	if out.String() != "(b c d)\n" {
 		t.Errorf("printed %q", out.String())
 	}
+	// (cdr junk) fuses into CDRSTK; (cdr (cdr lst)) into the CXR run
+	// superinstruction; (setq lst ...) in statement position into SETQPOP.
 	listing := prog.Listing()
-	for _, want := range []string{"RDLIST", "WRLIST", "CDROP", "SETQ"} {
+	for _, want := range []string{"RDLIST", "WRLIST", "CDRSTK", "CXR", "SETQPOP"} {
 		if !strings.Contains(listing, want) {
 			t.Errorf("listing missing %q", want)
 		}
