@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race smoke-serve smoke-cluster fuzz-corpus smoke-bench-vm verify bench bench-parsweep bench-trace bench-vm
+.PHONY: build vet lint test race smoke-serve smoke-cluster smoke-ingest fuzz-corpus smoke-bench-vm verify bench bench-parsweep bench-trace bench-vm bench-ingest
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,14 @@ smoke-serve:
 smoke-cluster:
 	sh scripts/smoke_cluster.sh
 
+# End-to-end check of the ingest layer: standalone daemon plus a
+# gateway + two workers under a tight quota; over-quota pushes must
+# 429 with Retry-After, the sharded cluster run must be byte-identical
+# to the standalone replay, and merged results must land in the disk
+# cache and /metrics.
+smoke-ingest:
+	sh scripts/smoke_ingest.sh
+
 # Deterministic replay of the codec round-trip properties and the saved
 # fuzz corpora under testdata/fuzz (no live fuzzing; use `go test -fuzz`
 # for that). Explicit in verify so a format change that breaks a saved
@@ -48,7 +56,7 @@ fuzz-corpus:
 smoke-bench-vm:
 	$(GO) run ./cmd/vmbench -benchtime 1x -reps 1 -out /tmp/bench_vm_smoke.json
 
-verify: build vet lint test race fuzz-corpus smoke-bench-vm smoke-serve smoke-cluster
+verify: build vet lint test race fuzz-corpus smoke-bench-vm smoke-serve smoke-cluster smoke-ingest
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
@@ -68,3 +76,8 @@ bench-trace:
 # throughput plus allocs/op (recorded in BENCH_vm.json).
 bench-vm:
 	$(GO) run ./cmd/vmbench -out BENCH_vm.json
+
+# Ingest layer baselines: staging push throughput and sharded replay
+# scaling at 1/2/4/8 shards (recorded in BENCH_ingest.json).
+bench-ingest:
+	$(GO) run ./cmd/ingestbench -out BENCH_ingest.json

@@ -1,0 +1,231 @@
+// Command ingestbench regenerates BENCH_ingest.json: throughput
+// baselines for the ingest layer. Two units per benchmark trace:
+//
+//   - push: bytes/sec through Staging.Push — the quota-bounded read,
+//     FNV hash, and SMTB decode an upload pays on admission;
+//   - replay at 1/2/4/8 shards: events/sec through PlanShards +
+//     Replay with an in-process runner (SMRS encode, decode, fresh
+//     machine per shard), i.e. the map-reduce path minus the network.
+//
+// The shard scaling ratio (8-shard over 1-shard events/sec) is the
+// headline: it bounds what a cluster can gain from spreading one
+// tenant's staged traces.
+//
+//	ingestbench -out BENCH_ingest.json
+//	ingestbench -scale 1 -benchtime 1x -out /dev/stdout   # CI smoke
+//
+// Wired to `make bench-ingest`; `make verify` runs the 1-iteration
+// smoke so the regeneration path cannot rot.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/benchprogs"
+	"repro/internal/ingest"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+type pushStats struct {
+	Bytes       int64   `json:"bytes"`
+	NsPerPush   int64   `json:"ns_per_push"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_push"`
+}
+
+type replayStats struct {
+	Shards       int     `json:"shards"`
+	NsPerRun     int64   `json:"ns_per_run"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type benchReport struct {
+	Events    int           `json:"events"`
+	Push      pushStats     `json:"push"`
+	Replay    []replayStats `json:"replay"`
+	ScalingX  float64       `json:"shard_scaling_x"`
+	PlanSize  int           `json:"plan_size_at_8"`
+	SMTBBytes int64         `json:"smtb_bytes"`
+}
+
+type report struct {
+	Description string                 `json:"description"`
+	Command     string                 `json:"command"`
+	Host        hostInfo               `json:"host"`
+	Scale       int                    `json:"scale"`
+	Benchmarks  map[string]benchReport `json:"benchmarks"`
+}
+
+type hostInfo struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPU    string `json:"cpu"`
+	Cores  int    `json:"cores"`
+	Note   string `json:"note"`
+}
+
+var shardCounts = []int{1, 2, 4, 8}
+
+func main() {
+	testing.Init()
+	out := flag.String("out", "BENCH_ingest.json", "output file")
+	scale := flag.Int("scale", 2, "benchmark trace scale")
+	benchtime := flag.String("benchtime", "300ms", "per-measurement time (or Nx for fixed iterations)")
+	reps := flag.Int("reps", 3, "repetitions per measurement; the fastest is kept")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fatalf("bad -benchtime: %v", err)
+	}
+
+	params := sim.Params{TableSize: 256}
+	paramsJSON, err := json.Marshal(params)
+	if err != nil {
+		fatalf("marshal params: %v", err)
+	}
+	runner := ingest.RunnerFunc(func(ctx context.Context, req *ingest.ShardRequest) (*sim.ShardStats, error) {
+		st, err := trace.ReadStream(bytes.NewReader(req.Payload))
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.RunCtx(ctx, st, params)
+		if err != nil {
+			return nil, err
+		}
+		s := sim.ShardOf(r)
+		return &s, nil
+	})
+
+	reports := make(map[string]benchReport)
+	for _, b := range benchprogs.All() {
+		tr, err := benchprogs.Trace(b, *scale)
+		if err != nil {
+			fatalf("%s: trace: %v", b.Name, err)
+		}
+		var smtb bytes.Buffer
+		if err := trace.WriteBinary(&smtb, tr); err != nil {
+			fatalf("%s: encode: %v", b.Name, err)
+		}
+		upload := smtb.Bytes()
+		st := trace.Preprocess(tr)
+		segs := []*trace.Stream{st}
+
+		pushRes := measure(*reps, func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				s := ingest.NewStaging(ingest.Limits{})
+				if _, err := s.Push("bench", bytes.NewReader(upload)); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+
+		rep := benchReport{
+			Events:    len(st.Refs),
+			SMTBBytes: int64(len(upload)),
+			Push: pushStats{
+				Bytes:       int64(len(upload)),
+				NsPerPush:   pushRes.NsPerOp(),
+				MBPerSec:    round2(float64(len(upload)) / 1e6 / (float64(pushRes.NsPerOp()) / 1e9)),
+				AllocsPerOp: pushRes.AllocsPerOp(),
+			},
+		}
+
+		for _, k := range shardCounts {
+			plan := ingest.PlanShards(segs, k)
+			res := measure(*reps, func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					if _, err := ingest.Replay(context.Background(), runner, segs, plan, paramsJSON); err != nil {
+						bb.Fatal(err)
+					}
+				}
+			})
+			rep.Replay = append(rep.Replay, replayStats{
+				Shards:       len(plan),
+				NsPerRun:     res.NsPerOp(),
+				EventsPerSec: eventsPerSec(len(st.Refs), res.NsPerOp()),
+			})
+			if k == 8 {
+				rep.PlanSize = len(plan)
+			}
+		}
+		if first, last := rep.Replay[0], rep.Replay[len(rep.Replay)-1]; first.EventsPerSec > 0 {
+			rep.ScalingX = round2(last.EventsPerSec / first.EventsPerSec)
+		}
+		reports[b.Name] = rep
+		fmt.Printf("ingestbench: %-8s %7d events  push %6.1f MB/s  replay x1 %10.0f ev/s  x%d %10.0f ev/s (%.2fx)\n",
+			b.Name, rep.Events, rep.Push.MBPerSec, rep.Replay[0].EventsPerSec,
+			rep.PlanSize, rep.Replay[len(rep.Replay)-1].EventsPerSec, rep.ScalingX)
+	}
+
+	rep := report{
+		Description: "ingest layer throughput: staging push (bounded read + decode) and sharded map-reduce replay at 1/2/4/8 shards with an in-process runner",
+		Command:     fmt.Sprintf("go run ./cmd/ingestbench -scale %d -benchtime %s -out %s", *scale, *benchtime, *out),
+		Host: hostInfo{
+			GOOS:   runtime.GOOS,
+			GOARCH: runtime.GOARCH,
+			CPU:    cpuModel(),
+			Cores:  runtime.NumCPU(),
+			Note:   "in-process replay: shard scaling excludes RPC framing and network; plan size can sit below the requested shard count when a trace has fewer blocks",
+		},
+		Scale:      *scale,
+		Benchmarks: reports,
+	}
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatalf("marshal report: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("ingestbench: wrote %s\n", *out)
+}
+
+func measure(reps int, f func(*testing.B)) testing.BenchmarkResult {
+	var best testing.BenchmarkResult
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		r := testing.Benchmark(f)
+		if i == 0 || r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+func eventsPerSec(events int, nsPerOp int64) float64 {
+	if nsPerOp <= 0 {
+		return 0
+	}
+	return round2(float64(events) / (float64(nsPerOp) / 1e9))
+}
+
+func round2(f float64) float64 { return math.Round(f*100) / 100 }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ingestbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

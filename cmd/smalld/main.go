@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/ingest"
 	"repro/internal/parsweep"
 	"repro/internal/server"
 )
@@ -58,7 +59,19 @@ func main() {
 	retries := flag.Int("retries", 2, "gateway retry budget for stateless jobs")
 	hedge := flag.Duration("hedge", 0, "gateway hedge delay for stateless jobs (0 disables)")
 	healthInterval := flag.Duration("health-interval", time.Second, "gateway worker probe interval")
+	ingestQuota := flag.Int64("ingest-quota", 0, "per-tenant ingest staging quota in bytes (default 64 MiB)")
+	ingestRate := flag.Int64("ingest-rate", 0, "per-tenant sustained ingest rate in bytes/sec (0 disables limiting)")
+	ingestBurst := flag.Int64("ingest-burst", 0, "ingest rate-limiter bucket depth in bytes (default: the rate)")
+	ingestTenants := flag.Int("ingest-tenants", 0, "distinct ingest tenants with staged data (default 64)")
+	cacheDir := flag.String("cachedir", "", "land completed ingest jobs in this experiments-style disk cache")
 	flag.Parse()
+
+	ingestLimits := ingest.Limits{
+		TenantBytes: *ingestQuota,
+		MaxTenants:  *ingestTenants,
+		RateBytes:   *ingestRate,
+		BurstBytes:  *ingestBurst,
+	}
 
 	if *sweepWorkers > 0 {
 		parsweep.SetWorkers(*sweepWorkers)
@@ -67,7 +80,7 @@ func main() {
 	switch *role {
 	case "standalone", "worker":
 	case "gateway":
-		runGateway(*addr, *peers, *retries, *hedge, *healthInterval, *timeout)
+		runGateway(*addr, *peers, *retries, *hedge, *healthInterval, *timeout, ingestLimits, *cacheDir)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "smalld: unknown -role %q (want standalone, worker, or gateway)\n", *role)
@@ -80,6 +93,8 @@ func main() {
 		RequestTimeout: *timeout,
 		SessionTTL:     *sessionTTL,
 		MaxSessions:    *maxSessions,
+		Ingest:         ingestLimits,
+		CacheDir:       *cacheDir,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -154,8 +169,9 @@ func main() {
 	fmt.Println("smalld: stopped")
 }
 
-// runGateway serves the gateway role: no local machine, just routing.
-func runGateway(addr, peers string, retries int, hedge, healthInterval, timeout time.Duration) {
+// runGateway serves the gateway role: no local machine, just routing —
+// plus the cluster-edge ingest staging area.
+func runGateway(addr, peers string, retries int, hedge, healthInterval, timeout time.Duration, ingestLimits ingest.Limits, cacheDir string) {
 	var peerList []string
 	for _, p := range strings.Split(peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -172,6 +188,8 @@ func runGateway(addr, peers string, retries int, hedge, healthInterval, timeout 
 		HedgeDelay:     hedge,
 		HealthInterval: healthInterval,
 		RequestTimeout: timeout,
+		Ingest:         ingestLimits,
+		CacheDir:       cacheDir,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "smalld: %v\n", err)

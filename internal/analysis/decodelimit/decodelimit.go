@@ -46,8 +46,13 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // scope covers every package that decodes untrusted bytes: the trace
-// codec and the cluster RPC wire protocol.
-var scope = []string{"internal/trace", "trace", "internal/cluster/wire", "wire"}
+// codec, the cluster RPC wire protocol, and the ingest staging layer
+// (which buffers uploads against named quota allowances).
+var scope = []string{
+	"internal/trace", "trace",
+	"internal/cluster/wire", "wire",
+	"internal/ingest", "ingest",
+}
 
 var limitNameRe = regexp.MustCompile(`(?i)(max|limit|cap|bound)`)
 

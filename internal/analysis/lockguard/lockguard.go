@@ -52,6 +52,7 @@ var scope = []string{
 	"internal/server", "server",
 	"internal/cluster", "cluster",
 	"internal/cluster/client", "client",
+	"internal/ingest", "ingest",
 }
 
 var guardedRe = regexp.MustCompile(`guarded by (\w+)`)

@@ -160,6 +160,33 @@ func (c *Client) Do(ctx context.Context, method, path string, header []wire.Head
 	return resp, nil
 }
 
+// ShardJob sends one sharded-replay unit over the binary verb: opaque
+// simulation parameters plus an SMRS-encoded sub-stream. Like Do, a
+// returned error is a transport failure; application-level failures
+// (including the worker's 429 backpressure) come back as response
+// frames with their status.
+func (c *Client) ShardJob(ctx context.Context, params, payload []byte, index, count int) (*wire.Frame, error) {
+	req := &wire.Frame{
+		Type: wire.TypeShardJob, ShardIndex: index, ShardCount: count,
+		Params: params, Body: payload,
+	}
+	if dl, has := ctx.Deadline(); has {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.DeadlineMS = uint64(min(ms, wire.MaxDeadlineMS))
+		} else {
+			return nil, context.DeadlineExceeded
+		}
+	}
+	resp, err := c.exchange(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.TypeResponse {
+		return nil, fmt.Errorf("cluster: %s: unexpected frame type %#x in reply", c.addr, resp.Type)
+	}
+	return resp, nil
+}
+
 // Ping checks liveness over the wire protocol.
 func (c *Client) Ping(ctx context.Context) error {
 	resp, err := c.exchange(ctx, &wire.Frame{Type: wire.TypePing})

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cluster/client"
 	"repro/internal/cluster/wire"
+	"repro/internal/ingest"
 	"repro/internal/server"
 )
 
@@ -52,6 +53,13 @@ type Config struct {
 	// RequestTimeout caps one forwarded request (default 60s). The
 	// remaining budget rides the wire for the worker to enforce too.
 	RequestTimeout time.Duration
+	// Ingest bounds the gateway's trace-ingest staging area (zero
+	// fields take the ingest package defaults). Quotas and rate limits
+	// apply here, at the cluster edge, before bytes reach any worker.
+	Ingest ingest.Limits
+	// CacheDir, when set, lands completed ingest jobs in the
+	// experiments disk-cache layout under CacheDir/ingest/.
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +98,7 @@ type Gateway struct {
 	peerAddrs []string           // static membership, sorted
 	workers   []*worker          // same order as peerAddrs
 	byAddr    map[string]*worker // immutable after New
+	staging   *ingest.Staging
 	metrics   *metrics
 	mux       *http.ServeMux
 	cancel    context.CancelFunc // stops the health loops
@@ -109,7 +118,10 @@ func NewGateway(cfg Config) (*Gateway, error) {
 			return nil, fmt.Errorf("cluster: duplicate peer %s", peers[i])
 		}
 	}
-	g := &Gateway{cfg: cfg, peerAddrs: peers, byAddr: make(map[string]*worker)}
+	g := &Gateway{
+		cfg: cfg, peerAddrs: peers, byAddr: make(map[string]*worker),
+		staging: ingest.NewStaging(cfg.Ingest),
+	}
 	for _, addr := range peers {
 		w := &worker{addr: addr, client: client.New(addr), probe: make(chan struct{}, 1)}
 		// Workers start optimistically healthy: the first probe fires
@@ -119,6 +131,12 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		g.byAddr[addr] = w
 	}
 	g.metrics = newMetrics(g.workers)
+	g.metrics.addGauge("smallcluster_ingest_staging_bytes",
+		"trace bytes staged for ingest at the gateway edge across tenants",
+		g.staging.StagedBytes)
+	g.metrics.addGauge("smallcluster_ingest_tenants",
+		"tenants with staged ingest data at the gateway edge",
+		func() int64 { return int64(g.staging.TenantCount()) })
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
@@ -129,6 +147,10 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", g.handleSessionForward)
 	mux.HandleFunc("POST /v1/sessions/{id}/eval", g.handleSessionForward)
 	mux.HandleFunc("POST /v1/sim", g.handleStateless)
+	mux.HandleFunc("POST /v1/ingest/{tenant}", g.handleIngestPush)
+	mux.HandleFunc("GET /v1/ingest/{tenant}", g.handleIngestStatus)
+	mux.HandleFunc("DELETE /v1/ingest/{tenant}", g.handleIngestDrop)
+	mux.HandleFunc("POST /v1/ingest/{tenant}/run", g.handleIngestRun)
 	mux.HandleFunc("GET /v1/experiments", g.handleStateless)
 	mux.HandleFunc("POST /v1/experiments/{id}", g.handleStateless)
 	g.mux = mux

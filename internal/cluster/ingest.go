@@ -1,0 +1,177 @@
+// Gateway ingest: the cluster face of internal/ingest. Tenants push
+// trace uploads into the *gateway's* staging area (quotas and rate
+// limits apply at the cluster edge, before any bytes cross the RPC
+// fabric), and a run request shards the staged stream across healthy
+// workers with the binary shard-job verb. Planning, parameter
+// canonicalisation, and the response shape are all shared with the
+// standalone daemon through server.RunIngest, so a clustered run's
+// response is byte-identical to a standalone run over the same bytes.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// handleIngestPush stages one upload in the gateway's staging area.
+func (g *Gateway) handleIngestPush(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := ingestTenant(w, r)
+	if !ok {
+		return
+	}
+	seg, err := g.staging.Push(tenant, r.Body)
+	if err != nil {
+		g.metrics.add("smallcluster_ingest_rejected_total", 1)
+		server.WriteIngestError(w, err)
+		return
+	}
+	g.metrics.add("smallcluster_ingest_bytes_total", seg.RawBytes)
+	g.metrics.add("smallcluster_ingest_segments_total", 1)
+	status, _ := g.staging.Status(tenant)
+	writeJSON(w, http.StatusAccepted, server.IngestPushResponse{Segment: seg.Info(), Status: status})
+}
+
+func (g *Gateway) handleIngestStatus(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := ingestTenant(w, r)
+	if !ok {
+		return
+	}
+	status, found := g.staging.Status(tenant)
+	if !found {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("nothing staged for tenant %q", tenant))
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (g *Gateway) handleIngestDrop(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := ingestTenant(w, r)
+	if !ok {
+		return
+	}
+	freed, n := g.staging.Drop(tenant)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": tenant, "freed_bytes": freed, "freed_segments": n,
+	})
+}
+
+// handleIngestRun replays the tenant's staged stream as one sharded job
+// spread across the workers, folding the per-shard statistics at the
+// gateway.
+func (g *Gateway) handleIngestRun(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := ingestTenant(w, r)
+	if !ok {
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req server.IngestRunRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	ctx, cancel := g.requestCtx(r)
+	defer cancel()
+	g.metrics.add("smallcluster_ingest_jobs_total", 1)
+	resp, err := server.RunIngest(ctx, g.staging, ingest.RunnerFunc(g.runShard), g.cfg.CacheDir, tenant, &req)
+	switch {
+	case server.IsBadRequest(err):
+		httpError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "request cancelled or timed out: "+err.Error())
+	case err != nil:
+		httpError(w, http.StatusBadGateway, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// runShard is the gateway's ShardRunner: it sends one shard-job frame
+// to a healthy worker, least-loaded first, retrying transport failures
+// and unavailable-worker answers (503 drain, 429 queue-full) on other
+// workers within the retry budget — shard replay is idempotent, a pure
+// function of the request, so re-sending is always safe.
+func (g *Gateway) runShard(ctx context.Context, req *ingest.ShardRequest) (*sim.ShardStats, error) {
+	var lastErr error
+	tried := make(map[*worker]bool)
+	for attempt := 0; attempt <= g.cfg.RetryBudget; attempt++ {
+		w2 := g.pickStateless(tried)
+		if w2 == nil {
+			break
+		}
+		tried[w2] = true
+		if attempt > 0 {
+			g.metrics.add("smallcluster_retries_total", 1)
+		}
+		w2.inflight.Add(1)
+		start := time.Now()
+		resp, err := w2.client.ShardJob(ctx, req.Params, req.Payload, req.Index, req.Count)
+		w2.inflight.Add(-1)
+		code := 0
+		if err == nil {
+			code = resp.Status
+		}
+		g.metrics.observeWorker(w2.addr, code, time.Since(start).Seconds())
+		if err != nil {
+			g.markDown(w2)
+			lastErr = fmt.Errorf("worker %s: %w", w2.addr, err)
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		if retryableStatus(resp.Status) {
+			lastErr = fmt.Errorf("worker %s: status %d: %s", w2.addr, resp.Status, strings.TrimSpace(string(resp.Body)))
+			continue
+		}
+		if resp.Status != http.StatusOK {
+			// A terminal application answer (bad params, worker timeout):
+			// retrying elsewhere would fail the same way.
+			return nil, fmt.Errorf("worker %s: status %d: %s", w2.addr, resp.Status, strings.TrimSpace(string(resp.Body)))
+		}
+		var stats sim.ShardStats
+		if err := json.Unmarshal(resp.Body, &stats); err != nil {
+			return nil, fmt.Errorf("worker %s: bad shard response: %w", w2.addr, err)
+		}
+		g.metrics.add("smallcluster_ingest_shards_total", 1)
+		return &stats, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no healthy workers")
+	}
+	return nil, fmt.Errorf("cluster: shard %d/%d: %w", req.Index, req.Count, lastErr)
+}
+
+// ingestTenant extracts and validates the tenant path segment.
+func ingestTenant(w http.ResponseWriter, r *http.Request) (string, bool) {
+	tenant := r.PathValue("tenant")
+	if !server.ValidSessionID(tenant) {
+		httpError(w, http.StatusBadRequest, "bad tenant id (want 1-64 chars of [a-zA-Z0-9._-])")
+		return "", false
+	}
+	return tenant, true
+}
+
+// writeJSON mirrors the standalone server's response encoding exactly
+// (two-space indent) — part of the byte-identical-response contract.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

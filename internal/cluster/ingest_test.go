@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benchprogs"
+	"repro/internal/ingest"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func benchUpload(t *testing.T, name string) []byte {
+	t.Helper()
+	b, ok := benchprogs.ByName(name)
+	if !ok {
+		t.Fatalf("no benchmark %q", name)
+	}
+	tr, err := benchprogs.Trace(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// doRaw posts raw bytes and returns the response plus its body verbatim
+// — the byte-identity comparisons need unparsed bodies.
+func doRaw(t *testing.T, method, url, contentType string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestGatewayIngestMatchesStandalone is the distributed acceptance
+// check: the same uploads and parameters run through a 2-worker cluster
+// (shards spread over the RPC shard-job verb) and through a standalone
+// smalld must produce byte-identical run responses.
+func TestGatewayIngestMatchesStandalone(t *testing.T) {
+	_, gw, hs := testCluster(t, 2)
+	waitFor(t, "workers healthy", func() bool { return len(gw.healthyAddrs()) == 2 })
+
+	solo := server.New(server.Config{Workers: 2, QueueDepth: 32, RequestTimeout: 10 * time.Second})
+	soloHS := httptest.NewServer(solo.Handler())
+	t.Cleanup(func() {
+		soloHS.Close()
+		solo.Shutdown()
+	})
+
+	for _, name := range []string{"slang", "pearl"} {
+		up := benchUpload(t, name)
+		for _, base := range []string{hs.URL, soloHS.URL} {
+			resp, body := doRaw(t, "POST", base+"/v1/ingest/alpha", "application/x-smtb", up)
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("push %s to %s: status %d: %s", name, base, resp.StatusCode, body)
+			}
+		}
+	}
+
+	runReq := []byte(`{"point":{"table_size":256,"seed":7},"shards":4}`)
+	resp, clusterBody := doRaw(t, "POST", hs.URL+"/v1/ingest/alpha/run", "application/json", runReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster run: status %d: %s", resp.StatusCode, clusterBody)
+	}
+	resp, soloBody := doRaw(t, "POST", soloHS.URL+"/v1/ingest/alpha/run", "application/json", runReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("standalone run: status %d: %s", resp.StatusCode, soloBody)
+	}
+	if !bytes.Equal(clusterBody, soloBody) {
+		t.Errorf("cluster run diverges from standalone:\ncluster %s\nsolo    %s", clusterBody, soloBody)
+	}
+
+	// The shards really went over the wire: the gateway counted exactly
+	// the plan's shard count (the planner may cap below the 4 requested).
+	var run struct {
+		Shards int `json:"shards"`
+	}
+	if err := json.Unmarshal(clusterBody, &run); err != nil || run.Shards < 2 {
+		t.Fatalf("run response: shards=%d err=%v", run.Shards, err)
+	}
+	_, metrics := doRaw(t, "GET", hs.URL+"/metrics", "", nil)
+	want := fmt.Sprintf("smallcluster_ingest_shards_total %d", run.Shards)
+	if !strings.Contains(string(metrics), want) {
+		t.Errorf("gateway shard counter: want %q in:\n%s", want, metrics)
+	}
+}
+
+// TestGatewayIngestBackpressure: quota is enforced at the cluster edge,
+// before any worker sees a byte.
+func TestGatewayIngestBackpressure(t *testing.T) {
+	up := benchUpload(t, "pearl")
+	w := startWorker(t)
+	gw, err := NewGateway(Config{
+		Peers:          []string{w.addr},
+		HealthInterval: 20 * time.Millisecond,
+		ProbeTimeout:   time.Second,
+		FailThreshold:  1,
+		RetryBudget:    1,
+		RequestTimeout: 10 * time.Second,
+		Ingest:         ingest.Limits{TenantBytes: int64(len(up)) + 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(gw.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		gw.Close()
+	})
+
+	if resp, body := doRaw(t, "POST", hs.URL+"/v1/ingest/alpha", "application/x-smtb", up); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first push: status %d: %s", resp.StatusCode, body)
+	}
+	resp, _ := doRaw(t, "POST", hs.URL+"/v1/ingest/alpha", "application/x-smtb", up)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota push: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("over-quota push: no Retry-After header")
+	}
+
+	// Status and drop work at the edge too.
+	resp, _ = doRaw(t, "GET", hs.URL+"/v1/ingest/alpha", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	resp, _ = doRaw(t, "DELETE", hs.URL+"/v1/ingest/alpha", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drop: %d", resp.StatusCode)
+	}
+	resp, _ = doRaw(t, "GET", hs.URL+"/v1/ingest/alpha", "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status after drop: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestGatewayIngestSurvivesWorkerLoss: with one of two workers gone,
+// the retry budget reroutes its shards and the run still matches the
+// single-node result.
+func TestGatewayIngestSurvivesWorkerLoss(t *testing.T) {
+	workers, gw, hs := testCluster(t, 2)
+	waitFor(t, "workers healthy", func() bool { return len(gw.healthyAddrs()) == 2 })
+
+	up := benchUpload(t, "slang")
+	if resp, body := doRaw(t, "POST", hs.URL+"/v1/ingest/alpha", "application/x-smtb", up); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("push: status %d: %s", resp.StatusCode, body)
+	}
+
+	runReq := []byte(`{"point":{"table_size":64},"shards":3,"keep":true}`)
+	resp, before := doRaw(t, "POST", hs.URL+"/v1/ingest/alpha/run", "application/json", runReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run with both workers: status %d: %s", resp.StatusCode, before)
+	}
+
+	workers[0].rpc.Close()
+	waitFor(t, "dead worker marked down", func() bool { return len(gw.healthyAddrs()) == 1 })
+
+	resp, after := doRaw(t, "POST", hs.URL+"/v1/ingest/alpha/run", "application/json", runReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run with one worker down: status %d: %s", resp.StatusCode, after)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("degraded run diverges:\nbefore %s\nafter  %s", before, after)
+	}
+}

@@ -21,6 +21,12 @@ type workerGauge struct {
 	fn         func(w *worker) int64
 }
 
+// flatGauge samples a live cluster-wide value at render time.
+type flatGauge struct {
+	name, help string
+	fn         func() int64
+}
+
 // metrics is the gateway's hand-rolled Prometheus registry, the
 // cluster-level sibling of smalld's: per-worker request counters and
 // latency histograms (stats.Buckets), live worker gauges, and flat
@@ -34,7 +40,13 @@ type metrics struct {
 	counters map[string]int64          // guarded by mu; flat counters by metric name
 
 	gauges  []workerGauge
+	flats   []flatGauge
 	workers []*worker
+}
+
+// addGauge registers a cluster-wide gauge sampled at render time.
+func (m *metrics) addGauge(name, help string, fn func() int64) {
+	m.flats = append(m.flats, flatGauge{name, help, fn})
 }
 
 func newMetrics(workers []*worker) *metrics {
@@ -103,6 +115,11 @@ var counterHelp = map[string]string{
 	"smallcluster_worker_up_total":         "circuit-close transitions (worker probed back to healthy)",
 	"smallcluster_probe_failures_total":    "health probes that failed",
 	"smallcluster_fanout_total":            "fan-out requests (session list) sent to all healthy workers",
+	"smallcluster_ingest_bytes_total":      "raw trace bytes accepted into the gateway's ingest staging",
+	"smallcluster_ingest_segments_total":   "trace segments staged by gateway ingest pushes",
+	"smallcluster_ingest_rejected_total":   "gateway ingest pushes rejected (rate limit, quota, or malformed segment)",
+	"smallcluster_ingest_jobs_total":       "sharded ingest replay jobs run through the gateway",
+	"smallcluster_ingest_shards_total":     "ingest shards spread to workers over the shard-job verb",
 }
 
 // render writes the Prometheus text exposition format.
@@ -144,6 +161,12 @@ func (m *metrics) render(w io.Writer) {
 		}
 		fmt.Fprintf(w, "# TYPE %s counter\n", name)
 		fmt.Fprintf(w, "%s %d\n", name, m.counters[name])
+	}
+
+	for _, g := range m.flats {
+		fmt.Fprintf(w, "# HELP %s %s\n", g.name, g.help)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", g.name)
+		fmt.Fprintf(w, "%s %d\n", g.name, g.fn())
 	}
 
 	for _, g := range m.gauges {

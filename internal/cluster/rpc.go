@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -117,6 +119,8 @@ func (s *RPCServer) serveConn(ctx context.Context, nc net.Conn) {
 			resp = &wire.Frame{Type: wire.TypePong}
 		case wire.TypeRequest:
 			resp = s.handle(ctx, &req)
+		case wire.TypeShardJob:
+			resp = s.handleShard(ctx, &req)
 		default:
 			// A response/pong frame from a client is a protocol error.
 			return
@@ -142,6 +146,32 @@ func drainResponse() *wire.Frame {
 		},
 		Body: []byte(`{"error":"worker draining"}` + "\n"),
 	}
+}
+
+// ShardReplayPath is the HTTP route a shard-job frame replays into. The
+// binary verb is just a tighter framing (binary params/payload fields
+// instead of a query string) for the same worker endpoint, so shard
+// jobs ride the standalone server's admission queue, backpressure, and
+// metrics unchanged.
+const ShardReplayPath = "/v1/shard-replay"
+
+// handleShard translates a shard-job frame into a POST against the
+// shard-replay route and replays it like any other request.
+func (s *RPCServer) handleShard(ctx context.Context, req *wire.Frame) *wire.Frame {
+	q := url.Values{
+		"index": []string{strconv.Itoa(req.ShardIndex)},
+		"count": []string{strconv.Itoa(req.ShardCount)},
+	}
+	if len(req.Params) > 0 {
+		q.Set("params", string(req.Params))
+	}
+	httpReq := wire.Frame{
+		Type: wire.TypeRequest, DeadlineMS: req.DeadlineMS,
+		Method: http.MethodPost, Path: ShardReplayPath + "?" + q.Encode(),
+		Header: []wire.Header{{Key: "Content-Type", Value: "application/x-smrs"}},
+		Body:   req.Body,
+	}
+	return s.handle(ctx, &httpReq)
 }
 
 // handle replays one request frame into the HTTP handler and captures

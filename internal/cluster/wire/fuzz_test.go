@@ -21,6 +21,9 @@ func fuzzSeedFrames(f *testing.F) [][]byte {
 			Header: []Header{{"Content-Type", "application/json"}},
 			Body:   []byte(`{"ok":true}`)},
 		{Type: TypeResponse, Status: 429, Header: []Header{{"Retry-After", "2"}}},
+		{Type: TypeShardJob, ShardIndex: 0, ShardCount: 1, Body: []byte("SMRS\x01")},
+		{Type: TypeShardJob, ShardIndex: 2, ShardCount: 7, DeadlineMS: 60_000,
+			Params: []byte(`{"table_size":128}`), Body: []byte("SMRS\x01payload")},
 	}
 	out := make([][]byte, 0, len(frames))
 	for _, fr := range frames {
@@ -76,6 +79,8 @@ func FuzzReadRPC(f *testing.F) {
 		}
 		if back.Type != fr.Type || back.Method != fr.Method || back.Path != fr.Path ||
 			back.Status != fr.Status || back.DeadlineMS != fr.DeadlineMS ||
+			back.ShardIndex != fr.ShardIndex || back.ShardCount != fr.ShardCount ||
+			!bytes.Equal(back.Params, fr.Params) ||
 			len(back.Header) != len(fr.Header) || !bytes.Equal(back.Body, fr.Body) {
 			t.Fatalf("frame changed across cycle: %+v -> %+v", fr, back)
 		}

@@ -43,13 +43,26 @@ var magic = [4]byte{'S', 'M', 'C', 'R'}
 
 const Version = 1
 
-// Frame types. Requests and pings flow client→server, responses and
-// pongs server→client.
+// Frame types. Requests, pings, and shard jobs flow client→server,
+// responses and pongs server→client.
 const (
 	TypeRequest  = 0x01
 	TypePing     = 0x02
 	TypeResponse = 0x03
 	TypePong     = 0x04
+	// TypeShardJob is the sharded-replay verb: one shard of an ingest
+	// job — opaque simulation parameters plus an SMRS-encoded
+	// sub-stream — to be replayed on the worker. The reply is a normal
+	// TypeResponse carrying the shard's mergeable statistics as JSON.
+	// Layout after the type byte:
+	//
+	//	uvarint deadline-ms (0 = none)
+	//	uvarint shard index
+	//	uvarint shard count (index < count <= MaxShardCount)
+	//	uvarint params length + bytes
+	//	headers (always zero for shard jobs; kept for tail uniformity)
+	//	uvarint body length + bytes
+	TypeShardJob = 0x05
 )
 
 // Decode limits. Every length or count read from the peer is clamped
@@ -64,6 +77,8 @@ const (
 	MaxHeaderValue = 1024
 	MaxBodyLen     = 16 << 20
 	MaxDeadlineMS  = 24 * 3600 * 1000 // one day; beyond this is a corrupt frame
+	MaxShardCount  = 4096             // matches the ingest planner's shard cap
+	MaxParamsLen   = 4096             // simulation parameters are small JSON documents
 	minStatus      = 100
 	maxStatus      = 599
 )
@@ -75,13 +90,18 @@ type Header struct {
 
 // Frame is one protocol message. Type selects which fields are
 // meaningful: requests use DeadlineMS/Method/Path/Header/Body,
-// responses use Status/Header/Body, ping and pong use nothing else.
+// responses use Status/Header/Body, shard jobs use
+// DeadlineMS/ShardIndex/ShardCount/Params/Body, ping and pong use
+// nothing else.
 type Frame struct {
 	Type       byte
-	DeadlineMS uint64 // request: remaining budget in milliseconds, 0 = none
+	DeadlineMS uint64 // request, shard job: remaining budget in milliseconds, 0 = none
 	Method     string // request
 	Path       string // request
 	Status     int    // response
+	ShardIndex int    // shard job: position in plan order
+	ShardCount int    // shard job: total shards in the job
+	Params     []byte // shard job: opaque simulation parameters (JSON)
 	Header     []Header
 	Body       []byte
 }
@@ -108,6 +128,11 @@ func cleanText(s string) bool {
 // checkFrame holds the invariants shared by the encoder and decoder, so
 // the codec round-trips exactly the set of frames it emits.
 func checkFrame(f *Frame, errf func(format string, args ...any) error) error {
+	// Fields meaningful only for shard jobs must be zero elsewhere, so
+	// the codec round-trips exactly the frames it emits.
+	if f.Type != TypeShardJob && (f.ShardIndex != 0 || f.ShardCount != 0 || len(f.Params) != 0) {
+		return errf("non-shard frame carries shard fields")
+	}
 	switch f.Type {
 	case TypeRequest:
 		if f.Method == "" || len(f.Method) > MaxMethodLen || !cleanText(f.Method) {
@@ -122,6 +147,25 @@ func checkFrame(f *Frame, errf func(format string, args ...any) error) error {
 	case TypeResponse:
 		if f.Status < minStatus || f.Status > maxStatus {
 			return errf("status %d out of range [%d,%d]", f.Status, minStatus, maxStatus)
+		}
+	case TypeShardJob:
+		if f.Method != "" || f.Path != "" || f.Status != 0 {
+			return errf("shard job frame carries request/response fields")
+		}
+		if f.DeadlineMS > MaxDeadlineMS {
+			return errf("deadline %dms exceeds limit %dms", f.DeadlineMS, int64(MaxDeadlineMS))
+		}
+		if f.ShardCount < 1 || f.ShardCount > MaxShardCount {
+			return errf("shard count %d out of range [1,%d]", f.ShardCount, int(MaxShardCount))
+		}
+		if f.ShardIndex < 0 || f.ShardIndex >= f.ShardCount {
+			return errf("shard index %d out of range [0,%d)", f.ShardIndex, f.ShardCount)
+		}
+		if len(f.Params) > MaxParamsLen || !cleanText(string(f.Params)) {
+			return errf("bad shard params (%d bytes)", len(f.Params))
+		}
+		if len(f.Header) != 0 {
+			return errf("shard job frame carries headers")
 		}
 	case TypePing, TypePong:
 		if f.Method != "" || f.Path != "" || f.Status != 0 || len(f.Header) != 0 || len(f.Body) != 0 {
@@ -166,6 +210,11 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 		dst = appendString(dst, f.Path)
 	case TypeResponse:
 		dst = binary.AppendUvarint(dst, uint64(f.Status))
+	case TypeShardJob:
+		dst = binary.AppendUvarint(dst, f.DeadlineMS)
+		dst = binary.AppendUvarint(dst, uint64(f.ShardIndex))
+		dst = binary.AppendUvarint(dst, uint64(f.ShardCount))
+		dst = appendString(dst, string(f.Params))
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(f.Header)))
 	for _, h := range f.Header {
@@ -324,6 +373,26 @@ func (r *Reader) ReadFrame(f *Frame) error {
 			return err
 		}
 		f.Status = status
+	case TypeShardJob:
+		if f.DeadlineMS, err = r.readUvarint("deadline"); err != nil {
+			return err
+		}
+		if f.DeadlineMS > MaxDeadlineMS {
+			return r.errf("deadline %dms exceeds limit %dms", f.DeadlineMS, int64(MaxDeadlineMS))
+		}
+		if f.ShardIndex, err = r.readCount("shard index", MaxShardCount); err != nil {
+			return err
+		}
+		if f.ShardCount, err = r.readCount("shard count", MaxShardCount); err != nil {
+			return err
+		}
+		params, err := r.readString("shard params", MaxParamsLen)
+		if err != nil {
+			return err
+		}
+		if len(params) > 0 {
+			f.Params = []byte(params)
+		}
 	default:
 		return r.errf("unknown frame type %#x", t)
 	}

@@ -183,6 +183,15 @@ func (m *Machine) AvgOccupancy() float64 {
 	return float64(m.lpt.occupancySum) / float64(m.lpt.occupancySamples)
 }
 
+// OccupancySums returns the integer occupancy integral behind
+// AvgOccupancy: the sum of LPT occupancy sampled at each allocation and
+// the number of samples. Exposing the raw sums (rather than only their
+// quotient) lets sharded simulation runs merge occupancy exactly in
+// integer arithmetic — float averages of averages are not associative.
+func (m *Machine) OccupancySums() (sum, samples int64) {
+	return m.lpt.occupancySum, m.lpt.occupancySamples
+}
+
 // OverflowMode reports whether the machine is in degraded overflow mode.
 func (m *Machine) OverflowMode() bool { return m.overflow }
 

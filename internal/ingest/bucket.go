@@ -1,0 +1,69 @@
+package ingest
+
+import "time"
+
+// bucket is a token-bucket rate limiter in debt form. An upload is
+// admitted whenever the balance is non-negative and is then charged its
+// full size — the charge may drive the balance negative ("debt"),
+// making subsequent uploads wait until the debt drains at the sustained
+// rate. Admitting on non-negative balance, rather than requiring the
+// full size in tokens up front, means a segment larger than the burst
+// depth is still ingestible; it just forces a proportionally longer
+// quiet period afterwards. Rejected uploads are charged for the bytes
+// actually read, so a client hammering an over-quota tenant still pays
+// for the bandwidth it consumed.
+//
+// The zero bucket (rate 0) admits everything. All methods are named
+// *Locked: the owning Staging's mutex serialises access.
+type bucket struct {
+	rate  int64 // bytes per second; 0 disables the limiter
+	burst int64 // positive balance cap
+	// tokens is the current balance in bytes; negative is debt.
+	// guarded by mu (the owning Staging's mutex)
+	tokens int64
+	// last is the most recent refill timestamp.
+	// guarded by mu
+	last time.Time
+}
+
+// refillLocked credits tokens accrued since the last refill.
+func (b *bucket) refillLocked(now time.Time) {
+	if b.rate <= 0 {
+		return
+	}
+	if b.last.IsZero() {
+		b.last, b.tokens = now, b.burst
+		return
+	}
+	el := now.Sub(b.last)
+	if el <= 0 {
+		return
+	}
+	b.tokens += int64(el) * b.rate / int64(time.Second)
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// admitLocked reports how long until the next upload would be admitted;
+// 0 means admit now.
+func (b *bucket) admitLocked(now time.Time) time.Duration {
+	if b.rate <= 0 {
+		return 0
+	}
+	b.refillLocked(now)
+	if b.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-b.tokens) * time.Second / time.Duration(b.rate)
+}
+
+// chargeLocked debits n bytes (may drive the balance negative).
+func (b *bucket) chargeLocked(now time.Time, n int64) {
+	if b.rate <= 0 {
+		return
+	}
+	b.refillLocked(now)
+	b.tokens -= n
+}

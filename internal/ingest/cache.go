@@ -1,0 +1,73 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// SaveCache lands a completed ingest job in the experiments disk-cache
+// layout under dir/ingest/: each staged segment as a content-addressed
+// .refs stream (reloadable by trace.ReadStream, exactly like the
+// experiment runner's cached streams) and the merged statistics as a
+// .json document keyed by the job's segment hashes plus parameters.
+// Writes are atomic (temp file + rename), mirroring the experiments
+// cache, and idempotent — re-ingesting the same bytes overwrites the
+// same paths. Callers treat failures as best-effort: the merged result
+// has already been computed and returned.
+func SaveCache(dir, tenantID string, segs []Segment, params []byte, merged *sim.ShardStats) ([]string, error) {
+	sub := filepath.Join(dir, "ingest")
+	var paths []string
+	job := fnv.New64a()
+	job.Write(params)
+	var hb [8]byte
+	for _, seg := range segs {
+		binary.LittleEndian.PutUint64(hb[:], seg.Hash)
+		job.Write(hb[:])
+		p := filepath.Join(sub, fmt.Sprintf("%s.%016x.refs", tenantID, seg.Hash))
+		st := seg.Stream
+		if err := writeAtomic(p, func(f *os.File) error { return trace.WriteStream(f, st) }); err != nil {
+			return paths, err
+		}
+		paths = append(paths, p)
+	}
+	p := filepath.Join(sub, fmt.Sprintf("%s.%016x.json", tenantID, job.Sum64()))
+	err := writeAtomic(p, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(merged)
+	})
+	if err != nil {
+		return paths, err
+	}
+	return append(paths, p), nil
+}
+
+// writeAtomic writes a file via temp + rename so a crashed or
+// concurrent run never leaves a truncated file (the experiments cache's
+// saveCached pattern).
+func writeAtomic(path string, encode func(f *os.File) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := encode(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,107 @@
+// Package ingest implements smalld's streaming trace-ingestion layer.
+//
+// Clients push trace uploads (SMTB binary traces, SMRS reference
+// streams, or text traces — sniffed by trace.ReadAuto) into per-tenant
+// staging areas. Staging is bounded three ways, and every rejection is
+// a typed error the serving layer maps onto 429/Retry-After
+// backpressure:
+//
+//   - a per-tenant byte quota (Limits.TenantBytes): the staging reader
+//     never buffers more than the tenant's remaining quota plus one
+//     byte, so sustained over-quota load cannot grow memory past the
+//     cap;
+//   - a per-tenant segment-count cap and a global tenant-count cap;
+//   - a token-bucket rate limit in debt form (see bucket.go): any
+//     single segment is admitted when the tenant owes nothing, then
+//     charged in full, so over-rate clients are paced to the sustained
+//     rate without making large segments impossible.
+//
+// Staged segments are then sharded at SMTB/SMRS block boundaries
+// (plan.go) and replayed map-reduce style (replay.go): each shard is a
+// self-contained reference stream replayed on a fresh machine, and the
+// per-shard statistics fold with sim.ShardStats.Merge in plan order, so
+// a distributed run is byte-identical to a local run of the same plan.
+package ingest
+
+import (
+	"fmt"
+	"time"
+)
+
+// Named staging limits. Allocation and buffering on the ingest path is
+// clamped against these (the discipline smallvet's decodelimit analyzer
+// enforces for decoders).
+const (
+	// MaxSegmentBytes bounds one uploaded segment regardless of quota —
+	// matched to the RPC wire body limit so any staged segment can ride
+	// an SMCR frame.
+	MaxSegmentBytes = 16 << 20
+	// DefaultTenantBytes is the per-tenant staging quota.
+	DefaultTenantBytes = 64 << 20
+	// DefaultMaxTenants caps distinct tenants with staged data.
+	DefaultMaxTenants = 64
+	// DefaultMaxSegments caps staged segments per tenant.
+	DefaultMaxSegments = 256
+	// quotaRetryAfter is the Retry-After hint for quota rejections:
+	// quota frees only when a run consumes staging (or a DELETE drops
+	// it), so the hint is a polling interval, not a computed wait.
+	quotaRetryAfter = 5 * time.Second
+)
+
+// Limits configures a Staging area. Zero values take the defaults
+// above; RateBytes 0 disables rate limiting.
+type Limits struct {
+	TenantBytes int64 // per-tenant staged-byte quota
+	MaxTenants  int   // distinct tenants with staged data
+	MaxSegments int   // staged segments per tenant
+	RateBytes   int64 // per-tenant sustained ingest rate, bytes/sec (0 = unlimited)
+	BurstBytes  int64 // bucket depth (default: RateBytes)
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.TenantBytes <= 0 {
+		l.TenantBytes = DefaultTenantBytes
+	}
+	if l.MaxTenants <= 0 {
+		l.MaxTenants = DefaultMaxTenants
+	}
+	if l.MaxSegments <= 0 {
+		l.MaxSegments = DefaultMaxSegments
+	}
+	if l.BurstBytes <= 0 {
+		l.BurstBytes = l.RateBytes
+	}
+	return l
+}
+
+// RateLimitedError reports an upload rejected by the tenant's rate
+// limiter. The serving layer maps it to 429 with Retry-After set from
+// RetryAfter (when the tenant's debt will have drained).
+type RateLimitedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitedError) Error() string {
+	return fmt.Sprintf("ingest: rate limited, retry in %s", e.RetryAfter.Round(time.Millisecond))
+}
+
+// QuotaError reports staging full: tenant byte quota, segment cap, or
+// tenant cap. Mapped to 429 with a polling Retry-After — the condition
+// clears when staged data is consumed by a run or dropped.
+type QuotaError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return "ingest: staging quota exceeded: " + e.Reason
+}
+
+// BadSegmentError wraps a decode failure of the uploaded bytes — a
+// client error (400), never retryable.
+type BadSegmentError struct {
+	Err error
+}
+
+func (e *BadSegmentError) Error() string { return "ingest: bad segment: " + e.Err.Error() }
+func (e *BadSegmentError) Unwrap() error { return e.Err }

@@ -1,0 +1,99 @@
+package ingest
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// MaxShards bounds a shard plan — far above any useful worker count,
+// low enough that per-shard bookkeeping stays trivial.
+const MaxShards = 4096
+
+// Shard is a contiguous ref range of one staged segment. Lo is always a
+// multiple of trace.BlockEvents and Hi is either one too or the segment
+// end: shard cuts happen only at the codec's block boundaries, so each
+// shard round-trips through the SMRS encoder at block granularity.
+type Shard struct {
+	Segment int `json:"segment"` // index into the staged segment list
+	Lo      int `json:"lo"`      // first ref, inclusive
+	Hi      int `json:"hi"`      // last ref, exclusive
+}
+
+// PlanShards splits the segments into at most want contiguous
+// block-aligned shards, never cutting across a segment. Blocks are
+// spread evenly — global block j of T total goes to shard
+// floor(j*want/T) — then runs of same-shard same-segment blocks merge
+// into one Shard. When segments outnumber want the plan exceeds want
+// (every segment needs at least one shard); when blocks are scarcer
+// than want the plan is shorter. The plan depends only on the segment
+// ref counts and want, so every node planning the same staging snapshot
+// produces the same plan.
+func PlanShards(segs []*trace.Stream, want int) []Shard {
+	want = max(1, min(want, MaxShards))
+	total := 0
+	for _, st := range segs {
+		total += blockCount(len(st.Refs))
+	}
+	if total == 0 {
+		return nil
+	}
+	want = min(want, total)
+	out := make([]Shard, 0, min(want, MaxShards))
+	g, prev := 0, -1
+	for i, st := range segs {
+		for b := 0; b < blockCount(len(st.Refs)); b++ {
+			lo := b * trace.BlockEvents
+			hi := min(lo+trace.BlockEvents, len(st.Refs))
+			w := g * want / total
+			if n := len(out) - 1; n >= 0 && w == prev && out[n].Segment == i && out[n].Hi == lo {
+				out[n].Hi = hi
+			} else {
+				out = append(out, Shard{Segment: i, Lo: lo, Hi: hi})
+			}
+			prev = w
+			g++
+		}
+	}
+	return out
+}
+
+// ValidatePlan checks a plan against the segments it will slice: every
+// shard in range, cuts block-aligned, shards ordered, non-overlapping,
+// and together covering every segment exactly. Replay revalidates so a
+// hand-built (or hostile) plan cannot slice out of bounds, double-count
+// a range, or silently drop one.
+func ValidatePlan(segs []*trace.Stream, plan []Shard) error {
+	if len(plan) > MaxShards {
+		return fmt.Errorf("ingest: plan has %d shards (cap %d)", len(plan), MaxShards)
+	}
+	seg, off := 0, 0
+	skipDone := func() {
+		for seg < len(segs) && off == len(segs[seg].Refs) {
+			seg, off = seg+1, 0
+		}
+	}
+	skipDone()
+	for i, sh := range plan {
+		if sh.Segment < 0 || sh.Segment >= len(segs) {
+			return fmt.Errorf("ingest: shard %d: segment %d out of range 0..%d", i, sh.Segment, len(segs)-1)
+		}
+		n := len(segs[sh.Segment].Refs)
+		if sh.Lo < 0 || sh.Hi <= sh.Lo || sh.Hi > n {
+			return fmt.Errorf("ingest: shard %d: range [%d,%d) invalid for segment of %d refs", i, sh.Lo, sh.Hi, n)
+		}
+		if sh.Segment != seg || sh.Lo != off {
+			return fmt.Errorf("ingest: shard %d: range [%d,%d) of segment %d overlaps or leaves a gap (expected segment %d offset %d)",
+				i, sh.Lo, sh.Hi, sh.Segment, seg, off)
+		}
+		if sh.Lo%trace.BlockEvents != 0 || (sh.Hi != n && sh.Hi%trace.BlockEvents != 0) {
+			return fmt.Errorf("ingest: shard %d: range [%d,%d) not aligned to %d-event blocks", i, sh.Lo, sh.Hi, trace.BlockEvents)
+		}
+		off = sh.Hi
+		skipDone()
+	}
+	if seg != len(segs) {
+		return fmt.Errorf("ingest: plan stops at segment %d offset %d, leaving %d segments uncovered", seg, off, len(segs)-seg)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package ingest
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// refStream fabricates a stream of n refs (content is irrelevant to
+// planning, which looks only at lengths).
+func refStream(n int) *trace.Stream {
+	return &trace.Stream{Refs: make([]trace.Ref, n)}
+}
+
+func TestPlanShardsProperties(t *testing.T) {
+	B := trace.BlockEvents
+	cases := []struct {
+		name string
+		segs []int // ref counts
+		want int
+	}{
+		{"one tiny segment", []int{5}, 4},
+		{"one block exactly", []int{B}, 2},
+		{"many blocks even", []int{10 * B}, 4},
+		{"many blocks ragged", []int{10*B + 17}, 3},
+		{"more shards than blocks", []int{2*B + 1}, 100},
+		{"multi segment", []int{3*B + 5, B, 2*B + 1}, 4},
+		{"segments outnumber shards", []int{5, 5, 5, 5, 5}, 2},
+		{"zero-length segment skipped", []int{0, 2 * B, 0, B}, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			segs := make([]*trace.Stream, len(tc.segs))
+			nonEmpty := 0
+			for i, n := range tc.segs {
+				segs[i] = refStream(n)
+				if n > 0 {
+					nonEmpty++
+				}
+			}
+			plan := PlanShards(segs, tc.want)
+			if err := ValidatePlan(segs, plan); err != nil {
+				t.Fatalf("planner emitted an invalid plan: %v", err)
+			}
+			if len(plan) > MaxShards {
+				t.Fatalf("plan has %d shards, over the cap", len(plan))
+			}
+			// The plan must never split below block granularity, so it has
+			// at most min(want, total blocks) + one extra cut per extra
+			// segment; and it always covers each non-empty segment.
+			if nonEmpty > 0 && len(plan) < nonEmpty {
+				t.Fatalf("plan has %d entries for %d non-empty segments", len(plan), nonEmpty)
+			}
+			// Determinism: replanning gives the identical plan.
+			again := PlanShards(segs, tc.want)
+			if len(again) != len(plan) {
+				t.Fatalf("replanning changed the plan: %v vs %v", again, plan)
+			}
+			for i := range plan {
+				if plan[i] != again[i] {
+					t.Fatalf("replanning changed shard %d: %v vs %v", i, plan[i], again[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPlanShardsEmpty(t *testing.T) {
+	if plan := PlanShards(nil, 4); plan != nil {
+		t.Errorf("plan over no segments: %v, want nil", plan)
+	}
+	if plan := PlanShards([]*trace.Stream{refStream(0)}, 4); plan != nil {
+		t.Errorf("plan over empty segment: %v, want nil", plan)
+	}
+}
+
+// TestValidatePlanRejectsHostility covers the plans Replay must refuse:
+// truncated coverage, overlaps, gaps, misaligned cuts, and out-of-range
+// coordinates. A distributed job that silently dropped or double-ran a
+// range would return plausible-but-wrong merged statistics, so these
+// must all fail loudly.
+func TestValidatePlanRejectsHostility(t *testing.T) {
+	B := trace.BlockEvents
+	segs := []*trace.Stream{refStream(3*B + 7), refStream(B)}
+	good := PlanShards(segs, 3)
+	if err := ValidatePlan(segs, good); err != nil {
+		t.Fatalf("fixture plan invalid: %v", err)
+	}
+
+	bad := []struct {
+		name string
+		plan []Shard
+	}{
+		{"empty plan leaves segments uncovered", nil},
+		{"truncated", good[:len(good)-1]},
+		{"segment out of range", []Shard{{Segment: 2, Lo: 0, Hi: B}}},
+		{"negative lo", []Shard{{Segment: 0, Lo: -B, Hi: B}}},
+		{"hi past end", []Shard{{Segment: 0, Lo: 0, Hi: 4 * B}}},
+		{"inverted range", []Shard{{Segment: 0, Lo: B, Hi: B}}},
+		{"gap at start", []Shard{
+			{Segment: 0, Lo: B, Hi: 3*B + 7}, {Segment: 1, Lo: 0, Hi: B}}},
+		{"overlap", []Shard{
+			{Segment: 0, Lo: 0, Hi: 2 * B}, {Segment: 0, Lo: B, Hi: 3*B + 7},
+			{Segment: 1, Lo: 0, Hi: B}}},
+		{"misaligned cut", []Shard{
+			{Segment: 0, Lo: 0, Hi: B + 1}, {Segment: 0, Lo: B + 1, Hi: 3*B + 7},
+			{Segment: 1, Lo: 0, Hi: B}}},
+		{"segment skipped", []Shard{{Segment: 0, Lo: 0, Hi: 3*B + 7}}},
+		{"segments out of order", []Shard{
+			{Segment: 1, Lo: 0, Hi: B}, {Segment: 0, Lo: 0, Hi: 3*B + 7}}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ValidatePlan(segs, tc.plan); err == nil {
+				t.Errorf("plan %v accepted, want rejection", tc.plan)
+			}
+		})
+	}
+
+	oversized := make([]Shard, MaxShards+1)
+	if err := ValidatePlan(segs, oversized); err == nil {
+		t.Error("plan over the shard cap accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/parsweep"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// MaxShardPayload bounds one shard's encoded sub-stream — matched to
+// the SMCR wire body limit so every shard fits an RPC frame.
+const MaxShardPayload = 16 << 20
+
+// ShardRequest is one unit of replay work handed to a ShardRunner.
+type ShardRequest struct {
+	Index   int             // shard position in plan order
+	Count   int             // total shards in the job
+	Params  json.RawMessage // opaque simulation parameters (the runner decodes them)
+	Payload []byte          // the shard's sub-stream, SMRS-encoded
+}
+
+// ShardRunner replays one shard on a fresh machine and returns its
+// mergeable statistics. Implementations: smalld's in-process runner
+// (standalone role) and the cluster gateway's RPC-spreading runner.
+// Runners must be deterministic functions of the request — Replay's
+// guarantee that distributed and local runs agree byte-for-byte rests
+// on it.
+type ShardRunner interface {
+	RunShard(ctx context.Context, req *ShardRequest) (*sim.ShardStats, error)
+}
+
+// RunnerFunc adapts a function to the ShardRunner interface.
+type RunnerFunc func(ctx context.Context, req *ShardRequest) (*sim.ShardStats, error)
+
+// RunShard implements ShardRunner.
+func (f RunnerFunc) RunShard(ctx context.Context, req *ShardRequest) (*sim.ShardStats, error) {
+	return f(ctx, req)
+}
+
+// Replay executes a shard plan map-reduce style: each shard's ref range
+// is sliced out of its segment, encoded as a self-contained SMRS
+// stream, fanned out to the runner via the parallel sweep engine, and
+// the per-shard statistics fold with sim.ShardStats.Merge in plan
+// order. Every shard replays on a fresh machine with the same
+// parameters, so the merged result is a pure function of (segments,
+// plan, params) — independent of worker placement, scheduling, and
+// parallelism — and sharded runs are byte-identical to local runs of
+// the same plan.
+func Replay(ctx context.Context, runner ShardRunner, segs []*trace.Stream, plan []Shard, params json.RawMessage) (*sim.ShardStats, error) {
+	if err := ValidatePlan(segs, plan); err != nil {
+		return nil, err
+	}
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("ingest: empty shard plan")
+	}
+	parts, err := parsweep.MapCtx(ctx, len(plan), func(i int) (*sim.ShardStats, error) {
+		sub, err := trace.SliceStream(segs[plan[i].Segment], plan[i].Lo, plan[i].Hi)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteStream(&buf, sub); err != nil {
+			return nil, fmt.Errorf("ingest: encoding shard %d: %w", i, err)
+		}
+		if buf.Len() > MaxShardPayload {
+			return nil, fmt.Errorf("ingest: shard %d payload %d bytes exceeds cap %d", i, buf.Len(), MaxShardPayload)
+		}
+		st, err := runner.RunShard(ctx, &ShardRequest{Index: i, Count: len(plan), Params: params, Payload: buf.Bytes()})
+		if err != nil {
+			return nil, fmt.Errorf("ingest: shard %d: %w", i, err)
+		}
+		return st, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var total sim.ShardStats
+	for _, p := range parts {
+		total.Merge(p)
+	}
+	return &total, nil
+}

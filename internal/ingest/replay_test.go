@@ -1,0 +1,175 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/benchprogs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// testRunner replays shards in-process, decoding params as a sim.Params
+// JSON document — the same work a worker node does, minus the wire.
+func testRunner() RunnerFunc {
+	return func(ctx context.Context, req *ShardRequest) (*sim.ShardStats, error) {
+		var p sim.Params
+		if len(req.Params) > 0 {
+			if err := json.Unmarshal(req.Params, &p); err != nil {
+				return nil, err
+			}
+		}
+		st, err := trace.ReadStream(bytes.NewReader(req.Payload))
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.RunCtx(ctx, st, p)
+		if err != nil {
+			return nil, err
+		}
+		s := sim.ShardOf(r)
+		return &s, nil
+	}
+}
+
+// foldPlanLocally is the independent single-node reference: it replays
+// the plan sequentially, slicing directly (no SMRS round trip, no
+// parsweep), and folds in plan order. Replay's parallel, wire-encoded
+// result must match it byte for byte.
+func foldPlanLocally(t *testing.T, segs []*trace.Stream, plan []Shard, p sim.Params) *sim.ShardStats {
+	t.Helper()
+	var total sim.ShardStats
+	for _, sh := range plan {
+		sub, err := trace.SliceStream(segs[sh.Segment], sh.Lo, sh.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.RunCtx(context.Background(), sub, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sim.ShardOf(r)
+		total.Merge(&s)
+	}
+	return &total
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestShardedReplayMatchesSingleNode is the determinism property the
+// whole ingest design rests on: for every benchmark trace and every
+// tested shard count, the parallel sharded replay (with its SMRS
+// encode/decode round trip per shard) produces merged statistics
+// byte-identical to a sequential single-node replay of the same plan —
+// and for one shard, identical to a plain unsharded sim.RunCtx run.
+func TestShardedReplayMatchesSingleNode(t *testing.T) {
+	params := sim.Params{TableSize: 256, Seed: 7}
+	pj := mustJSON(t, params)
+
+	for _, b := range benchprogs.All() {
+		tr, err := benchprogs.Trace(b, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		st := trace.Preprocess(tr)
+		segs := []*trace.Stream{st}
+
+		full, err := sim.RunCtx(context.Background(), st, params)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		fullStats := sim.ShardOf(full)
+
+		for _, k := range []int{1, 2, 3, 7} {
+			t.Run(fmt.Sprintf("%s/k=%d", b.Name, k), func(t *testing.T) {
+				plan := PlanShards(segs, k)
+				got, err := Replay(context.Background(), testRunner(), segs, plan, pj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := foldPlanLocally(t, segs, plan, params)
+				if gj, wj := mustJSON(t, got), mustJSON(t, want); !bytes.Equal(gj, wj) {
+					t.Errorf("distributed != single-node for the same plan:\n got %s\nwant %s", gj, wj)
+				}
+				if k == 1 {
+					if gj, fj := mustJSON(t, got), mustJSON(t, &fullStats); !bytes.Equal(gj, fj) {
+						t.Errorf("one-shard replay != plain run:\n got %s\nwant %s", gj, fj)
+					}
+				}
+				prims := 0
+				for _, r := range st.Refs {
+					if r.Kind == trace.RefPrim {
+						prims++
+					}
+				}
+				if got.Events != prims {
+					t.Errorf("merged Events = %d, want %d primitive events", got.Events, prims)
+				}
+			})
+		}
+	}
+}
+
+// TestReplayMultiSegment covers the multi-upload path: several staged
+// segments replayed as one job, again parallel == sequential.
+func TestReplayMultiSegment(t *testing.T) {
+	params := sim.Params{TableSize: 128, Seed: 3}
+	pj := mustJSON(t, params)
+	var segs []*trace.Stream
+	for _, name := range []string{"slang", "lyra"} {
+		b, ok := benchprogs.ByName(name)
+		if !ok {
+			t.Fatalf("no benchmark %q", name)
+		}
+		tr, err := benchprogs.Trace(b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, trace.Preprocess(tr))
+	}
+	for _, k := range []int{1, 3, 7} {
+		plan := PlanShards(segs, k)
+		got, err := Replay(context.Background(), testRunner(), segs, plan, pj)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want := foldPlanLocally(t, segs, plan, params)
+		if gj, wj := mustJSON(t, got), mustJSON(t, want); !bytes.Equal(gj, wj) {
+			t.Errorf("k=%d: distributed != single-node:\n got %s\nwant %s", k, gj, wj)
+		}
+	}
+}
+
+// TestReplayRejectsBadPlans: Replay revalidates, so a corrupted plan
+// cannot double-count or drop ranges.
+func TestReplayRejectsBadPlans(t *testing.T) {
+	b, _ := benchprogs.ByName("slang")
+	tr, err := benchprogs.Trace(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Preprocess(tr)
+	segs := []*trace.Stream{st}
+	pj := mustJSON(t, sim.Params{})
+
+	if _, err := Replay(context.Background(), testRunner(), segs, nil, pj); err == nil {
+		t.Error("empty plan accepted")
+	}
+	overlap := []Shard{
+		{Segment: 0, Lo: 0, Hi: len(st.Refs)},
+		{Segment: 0, Lo: 0, Hi: len(st.Refs)},
+	}
+	if _, err := Replay(context.Background(), testRunner(), segs, overlap, pj); err == nil {
+		t.Error("overlapping plan accepted")
+	}
+}

@@ -1,0 +1,233 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// smtbUpload is a small valid SMTB upload body.
+func smtbUpload(t *testing.T) []byte {
+	t.Helper()
+	tr := &trace.Trace{Name: "up", Events: []trace.Event{
+		{Kind: trace.KindPrim, Op: "car", Args: []string{"(a b)"}, Result: "a"},
+		{Kind: trace.KindPrim, Op: "cdr", Args: []string{"(a b)"}, Result: "(b)"},
+		{Kind: trace.KindPrim, Op: "cons", Args: []string{"a", "(b)"}, Result: "(a b)"},
+	}}
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestStagingPushSnapshotConsume(t *testing.T) {
+	s := NewStaging(Limits{})
+	up := smtbUpload(t)
+
+	seg, err := s.Push("alpha", bytes.NewReader(up))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.RawBytes != int64(len(up)) || len(seg.Stream.Refs) != 3 {
+		t.Fatalf("segment: %d bytes, %d refs; want %d bytes, 3 refs", seg.RawBytes, len(seg.Stream.Refs), len(up))
+	}
+	if _, err := s.Push("alpha", bytes.NewReader(up)); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := s.Status("alpha")
+	if !ok || len(st.Segments) != 2 || st.StagedBytes != 2*int64(len(up)) {
+		t.Fatalf("status = %+v, ok=%v; want 2 segments of %d bytes", st, ok, 2*len(up))
+	}
+	if got := s.StagedBytes(); got != 2*int64(len(up)) {
+		t.Fatalf("StagedBytes = %d, want %d", got, 2*len(up))
+	}
+
+	segs, mark, err := s.Snapshot("alpha")
+	if err != nil || len(segs) != 2 {
+		t.Fatalf("snapshot: %d segments, err %v", len(segs), err)
+	}
+	// A push after the snapshot must survive consuming the mark.
+	if _, err := s.Push("alpha", bytes.NewReader(up)); err != nil {
+		t.Fatal(err)
+	}
+	s.Consume("alpha", mark)
+	st, ok = s.Status("alpha")
+	if !ok || len(st.Segments) != 1 {
+		t.Fatalf("after consume: %d segments, want the 1 pushed mid-run", len(st.Segments))
+	}
+	// Consuming the same mark again is a no-op.
+	s.Consume("alpha", mark)
+	if st, _ := s.Status("alpha"); len(st.Segments) != 1 {
+		t.Fatalf("double consume removed the post-snapshot segment")
+	}
+
+	freed, n := s.Drop("alpha")
+	if freed != int64(len(up)) || n != 1 {
+		t.Fatalf("drop freed %d bytes / %d segments, want %d / 1", freed, n, len(up))
+	}
+	if got := s.StagedBytes(); got != 0 {
+		t.Fatalf("StagedBytes after drop = %d, want 0", got)
+	}
+	if s.TenantCount() != 0 {
+		t.Fatalf("tenant state leaked after drop")
+	}
+	if _, _, err := s.Snapshot("alpha"); err == nil {
+		t.Fatal("snapshot of empty tenant succeeded")
+	}
+}
+
+// countingReader counts bytes handed out; its source never ends.
+type countingReader struct {
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	c.n += int64(len(p))
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+// TestStagingQuotaBoundsMemory is the backpressure acceptance check:
+// over-quota uploads are rejected with a retryable QuotaError, staging
+// never grows past the per-tenant cap, and — crucially — the rejected
+// upload is never buffered beyond the remaining allowance plus one byte.
+func TestStagingQuotaBoundsMemory(t *testing.T) {
+	up := smtbUpload(t)
+	quota := int64(len(up)) + 10 // room for one segment, not two
+	s := NewStaging(Limits{TenantBytes: quota})
+
+	if _, err := s.Push("alpha", bytes.NewReader(up)); err != nil {
+		t.Fatal(err)
+	}
+	src := &countingReader{}
+	_, err := s.Push("alpha", src)
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("over-quota push: err %v, want QuotaError", err)
+	}
+	if qe.RetryAfter <= 0 {
+		t.Fatalf("QuotaError.RetryAfter = %v, want positive", qe.RetryAfter)
+	}
+	// Remaining allowance is 10 bytes; the bounded reader may pull one
+	// sentinel byte past it but no more (modulo the copy buffer handed to
+	// Read, which is what an HTTP body reader would bound anyway).
+	if src.n > 64<<10 {
+		t.Fatalf("rejected push buffered %d bytes from an endless reader", src.n)
+	}
+	if st, _ := s.Status("alpha"); st.StagedBytes > quota {
+		t.Fatalf("staging grew past quota: %d > %d", st.StagedBytes, quota)
+	}
+
+	// A full tenant rejects even a tiny upload without staging it.
+	big := NewStaging(Limits{TenantBytes: int64(len(up))})
+	if _, err := big.Push("alpha", bytes.NewReader(up)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.Push("alpha", bytes.NewReader(up)); err == nil {
+		t.Fatal("push past quota succeeded")
+	}
+	if got := big.StagedBytes(); got != int64(len(up)) {
+		t.Fatalf("StagedBytes = %d after rejected push, want %d", got, len(up))
+	}
+}
+
+func TestStagingRateLimit(t *testing.T) {
+	up := smtbUpload(t)
+	s := NewStaging(Limits{RateBytes: 10, BurstBytes: 5})
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+
+	// First push: balance starts at burst (non-negative) → admitted,
+	// then charged len(up) bytes, driving the bucket into debt.
+	if _, err := s.Push("alpha", bytes.NewReader(up)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Push("alpha", bytes.NewReader(up))
+	var re *RateLimitedError
+	if !errors.As(err, &re) {
+		t.Fatalf("second push: err %v, want RateLimitedError", err)
+	}
+	debt := int64(len(up)) - 5
+	wantWait := time.Duration(debt) * time.Second / 10
+	if re.RetryAfter != wantWait {
+		t.Fatalf("RetryAfter = %v, want %v (debt %d at 10 B/s)", re.RetryAfter, wantWait, debt)
+	}
+
+	// Advancing the clock by the advertised wait drains the debt exactly.
+	now = now.Add(re.RetryAfter)
+	if _, err := s.Push("alpha", bytes.NewReader(up)); err != nil {
+		t.Fatalf("push after advertised Retry-After: %v", err)
+	}
+
+	// Tenants are limited independently.
+	if _, err := s.Push("beta", bytes.NewReader(up)); err != nil {
+		t.Fatalf("fresh tenant rate-limited by alpha's debt: %v", err)
+	}
+}
+
+// TestStagingRejectedUploadStillCharged: a malformed upload pays for
+// the bytes it made the server read, so garbage cannot bypass pacing.
+func TestStagingRejectedUploadStillCharged(t *testing.T) {
+	s := NewStaging(Limits{RateBytes: 10, BurstBytes: 5})
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+
+	_, err := s.Push("alpha", strings.NewReader("not a trace at all"))
+	var be *BadSegmentError
+	if !errors.As(err, &be) {
+		t.Fatalf("garbage push: err %v, want BadSegmentError", err)
+	}
+	if st, ok := s.Status("alpha"); ok && len(st.Segments) != 0 {
+		t.Fatalf("garbage was staged: %+v", st)
+	}
+	_, err = s.Push("alpha", strings.NewReader("more garbage"))
+	var re *RateLimitedError
+	if !errors.As(err, &re) {
+		t.Fatalf("push after charged garbage: err %v, want RateLimitedError", err)
+	}
+}
+
+func TestStagingSegmentAndTenantCaps(t *testing.T) {
+	up := smtbUpload(t)
+	s := NewStaging(Limits{MaxSegments: 2, MaxTenants: 1})
+	for i := 0; i < 2; i++ {
+		if _, err := s.Push("alpha", bytes.NewReader(up)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var qe *QuotaError
+	if _, err := s.Push("alpha", bytes.NewReader(up)); !errors.As(err, &qe) {
+		t.Fatalf("push past segment cap: err %v, want QuotaError", err)
+	}
+	if _, err := s.Push("beta", bytes.NewReader(up)); !errors.As(err, &qe) {
+		t.Fatalf("push past tenant cap: err %v, want QuotaError", err)
+	}
+	// Dropping alpha frees the tenant slot.
+	s.Drop("alpha")
+	if _, err := s.Push("beta", bytes.NewReader(up)); err != nil {
+		t.Fatalf("push after slot freed: %v", err)
+	}
+}
+
+func TestStagingPushReadError(t *testing.T) {
+	s := NewStaging(Limits{})
+	r := io.MultiReader(strings.NewReader("SMTB"), iotestErrReader{})
+	if _, err := s.Push("alpha", r); err == nil {
+		t.Fatal("push with failing reader succeeded")
+	}
+	if got := s.StagedBytes(); got != 0 {
+		t.Fatalf("StagedBytes = %d after failed read, want 0", got)
+	}
+}
+
+type iotestErrReader struct{}
+
+func (iotestErrReader) Read([]byte) (int, error) { return 0, errors.New("connection reset") }

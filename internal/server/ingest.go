@@ -1,0 +1,328 @@
+// Ingest endpoints: the HTTP face of internal/ingest. Clients push raw
+// trace uploads (SMTB, SMRS, or text) into per-tenant staging with POST
+// /v1/ingest/{tenant}, then POST /v1/ingest/{tenant}/run replays the
+// staged stream as a sharded map-reduce job. POST /v1/shard-replay is
+// the worker-side unit of that job — one shard's sub-stream on a fresh
+// machine — and is the route the cluster's binary shard-job verb
+// translates to, so distributed shard work rides the same admission
+// queue, backpressure, and metrics as everything else.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// IngestPushResponse answers a staged upload: the segment just staged
+// plus the tenant's whole staging state.
+type IngestPushResponse struct {
+	Segment ingest.SegmentInfo  `json:"segment"`
+	Status  ingest.TenantStatus `json:"status"`
+}
+
+// IngestRunRequest replays a tenant's staged segments as one sharded
+// simulation job.
+type IngestRunRequest struct {
+	// Point holds the simulation parameters every shard replays under.
+	Point SimPoint `json:"point,omitempty"`
+	// Shards is the target shard count (default 1). The planner may
+	// produce more units (a shard never spans segments) or fewer (blocks
+	// may be scarcer than shards).
+	Shards int `json:"shards,omitempty"`
+	// Keep leaves the segments staged after the run instead of
+	// consuming them (the default frees the tenant's quota).
+	Keep bool `json:"keep,omitempty"`
+}
+
+// IngestRunResponse answers an ingest run. The cluster gateway builds
+// the identical structure from its own staging and RPC fan-out, so
+// standalone and clustered responses are byte-for-byte the same for the
+// same ingested bytes and parameters.
+type IngestRunResponse struct {
+	Tenant   string          `json:"tenant"`
+	Segments int             `json:"segments"`
+	Refs     int             `json:"refs"`
+	Shards   int             `json:"shards"`
+	Plan     []ingest.Shard  `json:"plan"`
+	Result   SimResult       `json:"result"`
+	Stats    *sim.ShardStats `json:"stats"`
+}
+
+func (s *Server) handleIngestPush(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if !ValidSessionID(tenant) {
+		httpError(w, http.StatusBadRequest, "bad tenant id (want 1-64 chars of [a-zA-Z0-9._-])")
+		return
+	}
+	seg, err := s.staging.Push(tenant, r.Body)
+	if err != nil {
+		s.metrics.add("smalld_ingest_rejected_total", 1)
+		WriteIngestError(w, err)
+		return
+	}
+	s.metrics.add("smalld_ingest_bytes_total", seg.RawBytes)
+	s.metrics.add("smalld_ingest_segments_total", 1)
+	status, _ := s.staging.Status(tenant)
+	writeJSON(w, http.StatusAccepted, IngestPushResponse{Segment: seg.Info(), Status: status})
+}
+
+func (s *Server) handleIngestStatus(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if !ValidSessionID(tenant) {
+		httpError(w, http.StatusBadRequest, "bad tenant id (want 1-64 chars of [a-zA-Z0-9._-])")
+		return
+	}
+	status, ok := s.staging.Status(tenant)
+	if !ok {
+		httpError(w, http.StatusNotFound, "nothing staged for tenant "+strconv.Quote(tenant))
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Server) handleIngestDrop(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if !ValidSessionID(tenant) {
+		httpError(w, http.StatusBadRequest, "bad tenant id (want 1-64 chars of [a-zA-Z0-9._-])")
+		return
+	}
+	freed, n := s.staging.Drop(tenant)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": tenant, "freed_bytes": freed, "freed_segments": n,
+	})
+}
+
+func (s *Server) handleIngestRun(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if !ValidSessionID(tenant) {
+		httpError(w, http.StatusBadRequest, "bad tenant id (want 1-64 chars of [a-zA-Z0-9._-])")
+		return
+	}
+	var req IngestRunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	var (
+		resp   *IngestRunResponse
+		runErr error
+	)
+	s.dispatch(w, r, func(ctx context.Context) {
+		resp, runErr = RunIngest(ctx, s.staging, ingest.RunnerFunc(s.runShard), s.cacheDir, tenant, &req)
+		if resp != nil {
+			s.metrics.add("smalld_ingest_jobs_total", 1)
+		}
+	})
+	s.finishJob(w, resp, runErr)
+}
+
+// handleShardReplay executes one shard of a distributed ingest job: the
+// query carries the shard coordinates and simulation parameters, the
+// body is the shard's SMRS-encoded sub-stream.
+func (s *Server) handleShardReplay(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	index, errIdx := strconv.Atoi(q.Get("index"))
+	count, errCnt := strconv.Atoi(q.Get("count"))
+	if errIdx != nil || errCnt != nil || count < 1 || count > ingest.MaxShards || index < 0 || index >= count {
+		httpError(w, http.StatusBadRequest,
+			"bad shard coordinates (want 0 <= index < count <= "+strconv.Itoa(ingest.MaxShards)+")")
+		return
+	}
+	payload, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, ingest.MaxShardPayload))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading shard payload: "+err.Error())
+		return
+	}
+	shard := &ingest.ShardRequest{
+		Index: index, Count: count,
+		Params: []byte(q.Get("params")), Payload: payload,
+	}
+	var (
+		stats  *sim.ShardStats
+		runErr error
+	)
+	s.dispatch(w, r, func(ctx context.Context) {
+		stats, runErr = s.runShard(ctx, shard)
+	})
+	s.finishJob(w, stats, runErr)
+}
+
+// runShard replays one shard in-process — the standalone daemon's
+// ShardRunner and the worker side of the cluster's shard verb. Shard
+// and LPT counters land here so standalone and worker roles account the
+// same work the same way.
+func (s *Server) runShard(ctx context.Context, req *ingest.ShardRequest) (*sim.ShardStats, error) {
+	stats, err := runShardPayload(ctx, req.Params, req.Payload)
+	if stats != nil {
+		s.metrics.add("smalld_ingest_shards_total", 1)
+		s.metrics.add("smalld_lpt_hits_total", stats.Machine.LPT.Hits)
+		s.metrics.add("smalld_lpt_misses_total", stats.Machine.LPT.Misses)
+		s.metrics.add("smalld_lpt_refops_total", stats.Machine.LPT.Refops)
+	}
+	return stats, err
+}
+
+// runShardPayload decodes one shard's parameters (a SimPoint document)
+// and SMRS payload and replays it on a fresh machine.
+func runShardPayload(ctx context.Context, params, payload []byte) (*sim.ShardStats, error) {
+	var pt SimPoint
+	if len(params) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(params))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&pt); err != nil {
+			return nil, badRequestf("bad shard params: %v", err)
+		}
+	}
+	sp, err := pt.params()
+	if err != nil {
+		return nil, badRequestf("bad shard params: %v", err)
+	}
+	st, err := trace.ReadStream(bytes.NewReader(payload))
+	if err != nil {
+		return nil, badRequestf("bad shard payload: %v", err)
+	}
+	if len(st.Refs) == 0 {
+		return nil, badRequestf("shard payload has no events")
+	}
+	res, err := sim.RunCtx(ctx, st, sp)
+	if err != nil {
+		return nil, err
+	}
+	stats := sim.ShardOf(res)
+	return &stats, nil
+}
+
+// RunIngest snapshots a tenant's staged segments, plans shards, replays
+// them through runner, and lands the merged result (plus a best-effort
+// disk-cache write when cacheDir is set). The standalone daemon calls
+// it with the in-process runner and the cluster gateway with its
+// RPC-spreading runner; everything else — planning, parameter
+// canonicalisation, response shape — is shared, which is what makes the
+// two roles' responses byte-identical.
+func RunIngest(ctx context.Context, staging *ingest.Staging, runner ingest.ShardRunner, cacheDir, tenant string, req *IngestRunRequest) (*IngestRunResponse, error) {
+	if req.Shards < 0 || req.Shards > ingest.MaxShards {
+		return nil, badRequestf("shards %d out of range 0..%d", req.Shards, ingest.MaxShards)
+	}
+	if _, err := req.Point.params(); err != nil {
+		return nil, badRequestf("point: %v", err)
+	}
+	// The canonical params document every shard replays under: both
+	// roles marshal the same SimPoint, so shard requests (and the cache
+	// key) agree across the cluster.
+	params, err := json.Marshal(req.Point)
+	if err != nil {
+		return nil, err
+	}
+	segs, mark, err := staging.Snapshot(tenant)
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	streams := make([]*trace.Stream, len(segs))
+	refs := 0
+	for i, sg := range segs {
+		streams[i] = sg.Stream
+		refs += len(sg.Stream.Refs)
+	}
+	want := req.Shards
+	if want == 0 {
+		want = 1
+	}
+	plan := ingest.PlanShards(streams, want)
+	merged, err := ingest.Replay(ctx, runner, streams, plan, params)
+	if err != nil {
+		return nil, err
+	}
+	if cacheDir != "" {
+		// Best-effort: the result is already computed; a failed cache
+		// write must not fail the job.
+		_, _ = ingest.SaveCache(cacheDir, tenant, segs, params, merged)
+	}
+	if !req.Keep {
+		staging.Consume(tenant, mark)
+	}
+	return &IngestRunResponse{
+		Tenant: tenant, Segments: len(segs), Refs: refs,
+		Shards: merged.Shards, Plan: plan,
+		Result: IngestResult(merged), Stats: merged,
+	}, nil
+}
+
+// IngestResult restates merged shard statistics in the /v1/sim result
+// shape (no timing model: sharded replay never runs it).
+func IngestResult(m *sim.ShardStats) SimResult {
+	out := SimResult{
+		Events:     m.Events,
+		PeakLPT:    m.PeakLPT,
+		AvgLPT:     m.AvgLPT(),
+		LPTHits:    m.Machine.LPT.Hits,
+		LPTMisses:  m.Machine.LPT.Misses,
+		LPTHitRate: m.LPTHitRate(),
+		Refops:     m.Machine.LPT.Refops,
+		Gets:       m.Machine.LPT.Gets,
+		Frees:      m.Machine.LPT.Frees,
+		Overflowed: m.TrueOverflowed,
+	}
+	if m.CacheHits+m.CacheMisses > 0 {
+		out.CacheHits = m.CacheHits
+		out.CacheMisses = m.CacheMisses
+		out.CacheHitRate = m.CacheHitRate()
+	}
+	if m.Machine.EPLPMessages != m.Machine.StackRefEvents {
+		out.EPLPMessages = m.Machine.EPLPMessages
+	}
+	return out
+}
+
+// IsBadRequest reports whether err marks a client error (400) from this
+// package's shared job runners — for embedders (the cluster gateway)
+// that map RunIngest errors onto HTTP themselves.
+func IsBadRequest(err error) bool {
+	var bad *badRequestError
+	return errors.As(err, &bad)
+}
+
+// WriteIngestError maps the ingest package's typed rejections onto the
+// backpressure protocol: rate and quota rejections are 429s with
+// Retry-After, malformed uploads are 400s. Shared with the cluster
+// gateway so both roles speak the identical protocol.
+func WriteIngestError(w http.ResponseWriter, err error) {
+	var (
+		rate  *ingest.RateLimitedError
+		quota *ingest.QuotaError
+		bad   *ingest.BadSegmentError
+	)
+	switch {
+	case errors.As(err, &rate):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterCeil(rate.RetryAfter)))
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.As(err, &quota):
+		if quota.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterCeil(quota.RetryAfter)))
+		}
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.As(err, &bad):
+		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// retryAfterCeil renders a wait as whole seconds, at least 1 (the
+// header must be a positive integer).
+func retryAfterCeil(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

@@ -1,0 +1,324 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/benchprogs"
+	"repro/internal/ingest"
+	"repro/internal/trace"
+)
+
+// benchUpload renders a benchmark trace as SMTB upload bytes.
+func benchUpload(t *testing.T, name string) []byte {
+	t.Helper()
+	b, ok := benchprogs.ByName(name)
+	if !ok {
+		t.Fatalf("no benchmark %q", name)
+	}
+	tr, err := benchprogs.Trace(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postRaw(t *testing.T, url, contentType string, body []byte, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("POST %s: decoding %q: %v", url, data, err)
+		}
+	}
+	return resp
+}
+
+// TestIngestPushRunMatchesSim: a trace pushed through ingest and run
+// with one shard reports the same statistics as the same trace through
+// /v1/sim — the ingest path adds staging and sharding, not semantics.
+func TestIngestPushRunMatchesSim(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	up := benchUpload(t, "slang")
+	pt := SimPoint{TableSize: 256, Seed: 7}
+
+	var push IngestPushResponse
+	resp := postRaw(t, hs.URL+"/v1/ingest/alpha", "application/x-smtb", up, &push)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("push: status %d", resp.StatusCode)
+	}
+	if push.Segment.Refs == 0 || push.Segment.Bytes != int64(len(up)) {
+		t.Fatalf("push response: %+v", push)
+	}
+
+	var run IngestRunResponse
+	resp = doJSON(t, "POST", hs.URL+"/v1/ingest/alpha/run", IngestRunRequest{Point: pt, Shards: 1}, &run)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d", resp.StatusCode)
+	}
+	if run.Shards != 1 || run.Segments != 1 || len(run.Plan) != 1 {
+		t.Fatalf("run response shape: %+v", run)
+	}
+
+	var sim SimResponse
+	doJSON(t, "POST", hs.URL+"/v1/sim", SimRequest{Trace: "slang", Scale: 1, Point: pt}, &sim)
+	if len(sim.Results) != 1 {
+		t.Fatalf("sim: %+v", sim)
+	}
+	want, got := sim.Results[0], run.Result
+	if got.Events != want.Events || got.PeakLPT != want.PeakLPT ||
+		got.LPTHits != want.LPTHits || got.LPTMisses != want.LPTMisses ||
+		got.Refops != want.Refops || got.Gets != want.Gets || got.Frees != want.Frees ||
+		got.AvgLPT != want.AvgLPT || got.LPTHitRate != want.LPTHitRate {
+		t.Errorf("ingest run != /v1/sim:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The run consumed staging (keep was false).
+	if resp := doJSON(t, "GET", hs.URL+"/v1/ingest/alpha", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status after consuming run: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestIngestShardedRunDeterministic: multiple shards over multiple
+// staged segments replay to the same merged stats every time, and keep
+// preserves staging across runs.
+func TestIngestShardedRunDeterministic(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	for _, name := range []string{"slang", "pearl"} {
+		up := benchUpload(t, name)
+		if resp := postRaw(t, hs.URL+"/v1/ingest/alpha", "application/x-smtb", up, nil); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("push %s: status %d", name, resp.StatusCode)
+		}
+	}
+	req := IngestRunRequest{Point: SimPoint{TableSize: 128}, Shards: 3, Keep: true}
+	var first, second IngestRunResponse
+	if resp := doJSON(t, "POST", hs.URL+"/v1/ingest/alpha/run", req, &first); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d", resp.StatusCode)
+	}
+	if first.Segments != 2 || first.Shards < 2 {
+		t.Fatalf("run shape: %+v", first)
+	}
+	doJSON(t, "POST", hs.URL+"/v1/ingest/alpha/run", req, &second)
+	fj, _ := json.Marshal(first)
+	sj, _ := json.Marshal(second)
+	if !bytes.Equal(fj, sj) {
+		t.Errorf("reruns differ:\n%s\n%s", fj, sj)
+	}
+
+	// keep=true left staging intact for the second run above; a final
+	// consuming run clears it.
+	req.Keep = false
+	doJSON(t, "POST", hs.URL+"/v1/ingest/alpha/run", req, nil)
+	if resp := doJSON(t, "GET", hs.URL+"/v1/ingest/alpha", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("staging survived a consuming run: status %d", resp.StatusCode)
+	}
+}
+
+// TestIngestBackpressure is the bounded-memory acceptance check at the
+// HTTP layer: sustained over-quota pushes get 429 + Retry-After, and
+// the staging gauge never exceeds the per-tenant cap.
+func TestIngestBackpressure(t *testing.T) {
+	up := benchUpload(t, "pearl")
+	quota := int64(len(up)) + 16
+	s, hs := newTestServer(t, Config{Ingest: ingest.Limits{TenantBytes: quota}})
+
+	if resp := postRaw(t, hs.URL+"/v1/ingest/alpha", "application/x-smtb", up, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first push: status %d", resp.StatusCode)
+	}
+	for i := 0; i < 5; i++ {
+		resp := postRaw(t, hs.URL+"/v1/ingest/alpha", "application/x-smtb", up, nil)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("over-quota push %d: status %d, want 429", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("over-quota push %d: no Retry-After header", i)
+		}
+	}
+	if got := s.staging.StagedBytes(); got > quota {
+		t.Errorf("staging grew past quota under hammering: %d > %d", got, quota)
+	}
+
+	// The gauge and rejection counter surface on /metrics.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	if !strings.Contains(text, fmt.Sprintf("smalld_ingest_staging_bytes %d", len(up))) {
+		t.Errorf("staging gauge missing/wrong in metrics:\n%s", text)
+	}
+	if !strings.Contains(text, "smalld_ingest_rejected_total 5") {
+		t.Errorf("rejected counter missing/wrong in metrics:\n%s", text)
+	}
+}
+
+func TestIngestPushRejectsGarbage(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	if resp := postRaw(t, hs.URL+"/v1/ingest/alpha", "", []byte("not a trace"), nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage push: status %d, want 400", resp.StatusCode)
+	}
+	if resp := postRaw(t, hs.URL+"/v1/ingest/bad..tenant!!", "", benchUpload(t, "pearl"), nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad tenant id: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestIngestRunValidation(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	// Nothing staged.
+	if resp := doJSON(t, "POST", hs.URL+"/v1/ingest/alpha/run", IngestRunRequest{}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("run with empty staging: status %d, want 400", resp.StatusCode)
+	}
+	postRaw(t, hs.URL+"/v1/ingest/alpha", "application/x-smtb", benchUpload(t, "pearl"), nil)
+	if resp := doJSON(t, "POST", hs.URL+"/v1/ingest/alpha/run", IngestRunRequest{Shards: -1}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative shards: status %d, want 400", resp.StatusCode)
+	}
+	if resp := doJSON(t, "POST", hs.URL+"/v1/ingest/alpha/run", IngestRunRequest{Shards: ingest.MaxShards + 1}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized shards: status %d, want 400", resp.StatusCode)
+	}
+	if resp := doJSON(t, "POST", hs.URL+"/v1/ingest/alpha/run", IngestRunRequest{Point: SimPoint{Policy: "bogus"}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad point: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestIngestStatusAndDrop(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	if resp := doJSON(t, "GET", hs.URL+"/v1/ingest/alpha", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status of unknown tenant: %d, want 404", resp.StatusCode)
+	}
+	up := benchUpload(t, "pearl")
+	postRaw(t, hs.URL+"/v1/ingest/alpha", "application/x-smtb", up, nil)
+
+	var st ingest.TenantStatus
+	if resp := doJSON(t, "GET", hs.URL+"/v1/ingest/alpha", nil, &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	if st.Tenant != "alpha" || len(st.Segments) != 1 || st.StagedBytes != int64(len(up)) {
+		t.Fatalf("status body: %+v", st)
+	}
+
+	var dropped struct {
+		FreedBytes    int64 `json:"freed_bytes"`
+		FreedSegments int   `json:"freed_segments"`
+	}
+	doJSON(t, "DELETE", hs.URL+"/v1/ingest/alpha", nil, &dropped)
+	if dropped.FreedBytes != int64(len(up)) || dropped.FreedSegments != 1 {
+		t.Fatalf("drop: %+v", dropped)
+	}
+	if resp := doJSON(t, "GET", hs.URL+"/v1/ingest/alpha", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status after drop: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestShardReplayEndpoint drives the worker-side verb directly: a valid
+// SMRS body replays to shard stats; hostile coordinates and bodies 400.
+func TestShardReplayEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	b, _ := benchprogs.ByName("pearl")
+	tr, err := benchprogs.Trace(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Preprocess(tr)
+	var buf bytes.Buffer
+	if err := trace.WriteStream(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+
+	var stats struct {
+		Shards int `json:"shards"`
+		Events int `json:"events"`
+	}
+	url := hs.URL + "/v1/shard-replay?index=0&count=2&params=" + `{"table_size":64}`
+	resp := postRaw(t, url, "application/x-smrs", buf.Bytes(), &stats)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard replay: status %d", resp.StatusCode)
+	}
+	if stats.Shards != 1 || stats.Events == 0 {
+		t.Fatalf("shard stats: %+v", stats)
+	}
+
+	for _, q := range []string{
+		"index=2&count=2", "index=-1&count=2", "index=0&count=0",
+		fmt.Sprintf("index=0&count=%d", ingest.MaxShards+1), "index=x&count=2",
+	} {
+		if resp := postRaw(t, hs.URL+"/v1/shard-replay?"+q, "application/x-smrs", buf.Bytes(), nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("coords %q: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+	if resp := postRaw(t, hs.URL+"/v1/shard-replay?index=0&count=1", "application/x-smrs", []byte("junk"), nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("junk body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSimAcceptsRawTraceBody covers the bugfix satellite: POST /v1/sim
+// with a raw binary trace body (by Content-Type or by sniffing) runs it
+// with default parameters, same as wrapping it in JSON trace_data.
+func TestSimAcceptsRawTraceBody(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	up := benchUpload(t, "pearl")
+
+	var byCT, sniffed, viaJSON SimResponse
+	if resp := postRaw(t, hs.URL+"/v1/sim", "application/x-smtb", up, &byCT); resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw body by content type: status %d", resp.StatusCode)
+	}
+	if resp := postRaw(t, hs.URL+"/v1/sim", "", up, &sniffed); resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw body sniffed: status %d", resp.StatusCode)
+	}
+	doJSON(t, "POST", hs.URL+"/v1/sim", SimRequest{TraceData: up}, &viaJSON)
+
+	a, _ := json.Marshal(byCT)
+	b, _ := json.Marshal(sniffed)
+	c, _ := json.Marshal(viaJSON)
+	if !bytes.Equal(a, c) || !bytes.Equal(b, c) {
+		t.Errorf("raw-body sim diverges from trace_data sim:\nct   %s\nsnif %s\njson %s", a, b, c)
+	}
+	if byCT.Events == 0 {
+		t.Errorf("raw-body sim ran zero events: %+v", byCT)
+	}
+
+	// A raw SMRS stream works too.
+	bm, _ := benchprogs.ByName("pearl")
+	tr, err := benchprogs.Trace(bm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smrs bytes.Buffer
+	if err := trace.WriteStream(&smrs, trace.Preprocess(tr)); err != nil {
+		t.Fatal(err)
+	}
+	if resp := postRaw(t, hs.URL+"/v1/sim", "application/x-smrs", smrs.Bytes(), nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("raw SMRS body: status %d", resp.StatusCode)
+	}
+
+	// JSON requests with unknown fields still fail loudly (the sniffer
+	// must not swallow malformed JSON as "some binary trace").
+	if resp := postRaw(t, hs.URL+"/v1/sim", "application/json", []byte(`{"nope":1}`), nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown JSON field: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -87,6 +87,11 @@ var counterHelp = map[string]string{
 	"smalld_eval_steps_total":         "interpreter steps consumed by session evals",
 	"smalld_sim_points_total":         "simulation points executed by /v1/sim jobs",
 	"smalld_trace_decode_bytes_total": "bytes of user-supplied trace payloads (text, binary, or refs) decoded by /v1/sim jobs",
+	"smalld_ingest_bytes_total":       "raw trace bytes accepted into ingest staging",
+	"smalld_ingest_segments_total":    "trace segments staged by ingest pushes",
+	"smalld_ingest_rejected_total":    "ingest pushes rejected (rate limit, quota, or malformed segment)",
+	"smalld_ingest_jobs_total":        "sharded ingest replay jobs completed",
+	"smalld_ingest_shards_total":      "ingest shards replayed on this node",
 	"smalld_lpt_hits_total":           "cumulative LPT hits across session machines and simulation jobs",
 	"smalld_lpt_misses_total":         "cumulative LPT misses across session machines and simulation jobs",
 	"smalld_lpt_refops_total":         "cumulative LPT reference-count operations across session machines and simulation jobs",

@@ -16,15 +16,20 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"runtime"
 	"strconv"
 	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/trace"
 )
 
 // Config parameterises a Server. Zero values take production-shaped
@@ -44,6 +49,13 @@ type Config struct {
 	SessionTTL time.Duration
 	// MaxSessions caps live sessions (default 1024).
 	MaxSessions int
+	// Ingest bounds the streaming-ingest staging area; zero-valued
+	// fields take the ingest package defaults (64 MiB per tenant, 64
+	// tenants, 256 segments, rate limiting off).
+	Ingest ingest.Limits
+	// CacheDir, when set, lands completed ingest jobs in the
+	// experiments disk-cache layout under CacheDir/ingest/.
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +82,8 @@ type Server struct {
 	cfg      Config
 	queue    *queue
 	sessions *sessions
+	staging  *ingest.Staging
+	cacheDir string
 	metrics  *metrics
 	mux      *http.ServeMux
 	janitor  chan struct{} // closed to stop the expiry loop
@@ -84,12 +98,16 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		metrics:  m,
 		sessions: newSessions(cfg.SessionTTL, cfg.MaxSessions, m),
+		staging:  ingest.NewStaging(cfg.Ingest),
+		cacheDir: cfg.CacheDir,
 		janitor:  make(chan struct{}),
 	}
 	s.queue = newQueue(cfg.QueueDepth, cfg.Workers, func() { m.add("smalld_panics_total", 1) })
 	m.addGauge("smalld_queue_depth", "tasks admitted and waiting for a worker", s.queue.depth.Load)
 	m.addGauge("smalld_workers_busy", "workers currently executing a task", s.queue.busy.Load)
 	m.addGauge("smalld_sessions_active", "live sessions", s.sessions.active)
+	m.addGauge("smalld_ingest_staging_bytes", "bytes currently staged across ingest tenants", s.staging.StagedBytes)
+	m.addGauge("smalld_ingest_tenants", "ingest tenants with staging state", func() int64 { return int64(s.staging.TenantCount()) })
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -103,6 +121,11 @@ func New(cfg Config) *Server {
 	mux.Handle("DELETE /v1/sessions/{id}", s.instrument("/v1/sessions:delete", s.handleSessionDelete))
 	mux.Handle("POST /v1/sessions/{id}/eval", s.instrument("/v1/sessions:eval", s.handleSessionEval))
 	mux.Handle("POST /v1/sim", s.instrument("/v1/sim", s.handleSim))
+	mux.Handle("POST /v1/ingest/{tenant}", s.instrument("/v1/ingest:push", s.handleIngestPush))
+	mux.Handle("GET /v1/ingest/{tenant}", s.instrument("/v1/ingest:status", s.handleIngestStatus))
+	mux.Handle("DELETE /v1/ingest/{tenant}", s.instrument("/v1/ingest:drop", s.handleIngestDrop))
+	mux.Handle("POST /v1/ingest/{tenant}/run", s.instrument("/v1/ingest:run", s.handleIngestRun))
+	mux.Handle("POST /v1/shard-replay", s.instrument("/v1/shard-replay", s.handleShardReplay))
 	mux.Handle("GET /v1/experiments", s.instrument("/v1/experiments:list", s.handleExperimentList))
 	mux.Handle("POST /v1/experiments/{id}", s.instrument("/v1/experiments:run", s.handleExperimentRun))
 	s.mux = mux
@@ -213,6 +236,29 @@ func decodeJSON(r *http.Request, v any) error {
 		return err
 	}
 	return nil
+}
+
+// decodeSimRequest reads a /v1/sim body, which is either the JSON
+// envelope or a raw trace upload: a Content-Type of application/x-smtb
+// or application/x-smrs — or a body leading with either format's magic
+// — is taken whole as the trace payload of an otherwise-default
+// request, so `curl --data-binary @trace.btrace` works without the
+// base64 trace_data wrapping. Raw payloads flow through the same
+// hardened resolveStream path as trace_data and land in the same
+// decode-bytes counter.
+func decodeSimRequest(r *http.Request, req *SimRequest) error {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	ct := r.Header.Get("Content-Type")
+	if ct == "application/x-smtb" || ct == "application/x-smrs" || trace.Sniff(body) != "text" {
+		req.TraceData = body
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	return dec.Decode(req)
 }
 
 // dispatch pushes work through the admission queue and waits for it. It
@@ -364,7 +410,7 @@ func (s *Server) handleSessionEval(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	var req SimRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeSimRequest(r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}

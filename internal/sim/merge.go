@@ -1,0 +1,136 @@
+// Mergeable simulation statistics for sharded replay.
+//
+// The ingest layer replays contiguous block ranges of a trace on
+// separate workers, each with a fresh machine, then reduces the
+// per-shard results into one summary. The reduction is sound because
+// every statistic the simulator reports is one of three shapes, each of
+// which folds associatively:
+//
+//   - event/operation counters (refops, hits, splits, cache accesses,
+//     ...): integer sums over disjoint event subsequences, so
+//     (a+b)+c = a+(b+c) and any grouping of shards gives the total;
+//   - high-water marks (peak LPT occupancy, max refcount): max is
+//     associative and commutative;
+//   - the occupancy average: kept as its integer numerator/denominator
+//     pair (OccSum, OccSamples), summed, and divided once at the end —
+//     averaging the per-shard averages would weight shards wrongly and
+//     float addition is not associative, so the merge never touches
+//     floats.
+//
+// Merge therefore has identity ShardStats{} and satisfies
+// Merge(Merge(a,b),c) == Merge(a,Merge(b,c)) field-for-field in exact
+// integer arithmetic; merge_test.go checks associativity and that every
+// MachineStats field is accounted for (so a future field cannot be
+// silently dropped).
+package sim
+
+import "repro/internal/core"
+
+// ShardStats is the mergeable summary of one or more replay shards. It
+// is the unit shipped back from workers in sharded ingest jobs; all
+// fields are integers (or booleans) so merged results are byte-for-byte
+// reproducible regardless of where each shard ran.
+type ShardStats struct {
+	// Shards counts the base runs folded into this value.
+	Shards int `json:"shards"`
+	// Events is the total number of primitive events replayed.
+	Events int `json:"events"`
+
+	Machine core.MachineStats `json:"machine"`
+
+	// PeakLPT is the LPT occupancy high-water mark across shards.
+	PeakLPT int `json:"peak_lpt"`
+	// OccSum/OccSamples form the merged occupancy integral; the mean is
+	// computed once from the totals (AvgLPT).
+	OccSum     int64 `json:"occ_sum"`
+	OccSamples int64 `json:"occ_samples"`
+
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+
+	// TrueOverflowed reports whether any shard entered overflow mode.
+	TrueOverflowed bool `json:"true_overflowed"`
+}
+
+// ShardOf summarizes a single run as a one-shard mergeable value.
+func ShardOf(r *Result) ShardStats {
+	return ShardStats{
+		Shards:         1,
+		Events:         r.Events,
+		Machine:        r.Machine,
+		PeakLPT:        r.PeakLPT,
+		OccSum:         r.OccSum,
+		OccSamples:     r.OccSamples,
+		CacheHits:      r.CacheHits,
+		CacheMisses:    r.CacheMisses,
+		TrueOverflowed: r.TrueOverflowed,
+	}
+}
+
+// Merge folds o into s (s is the accumulator; ShardStats{} is the
+// identity). See the package comment for why each field's fold is
+// associative.
+func (s *ShardStats) Merge(o *ShardStats) {
+	s.Shards += o.Shards
+	s.Events += o.Events
+	mergeMachine(&s.Machine, &o.Machine)
+	s.PeakLPT = max(s.PeakLPT, o.PeakLPT)
+	s.OccSum += o.OccSum
+	s.OccSamples += o.OccSamples
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.TrueOverflowed = s.TrueOverflowed || o.TrueOverflowed
+}
+
+func mergeMachine(a, b *core.MachineStats) {
+	mergeLPT(&a.LPT, &b.LPT)
+	a.HeapSplits += b.HeapSplits
+	a.HeapMerges += b.HeapMerges
+	a.ReadLists += b.ReadLists
+	a.StackRefEvents += b.StackRefEvents
+	a.EPLPMessages += b.EPLPMessages
+	a.EPRefops += b.EPRefops
+	a.MaxRef = max(a.MaxRef, b.MaxRef)
+	a.MaxEPCount = max(a.MaxEPCount, b.MaxEPCount)
+	a.OverflowOps += b.OverflowOps
+	a.LeakedConses += b.LeakedConses
+	a.ModeSwitches += b.ModeSwitches
+}
+
+func mergeLPT(a, b *core.LPTStats) {
+	a.Refops += b.Refops
+	a.Gets += b.Gets
+	a.Frees += b.Frees
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.PseudoOverflow += b.PseudoOverflow
+	a.TrueOverflow += b.TrueOverflow
+	a.CompressedPairs += b.CompressedPairs
+	a.CyclesBroken += b.CyclesBroken
+}
+
+// AvgLPT returns the merged mean LPT occupancy.
+func (s *ShardStats) AvgLPT() float64 {
+	if s.OccSamples == 0 {
+		return 0
+	}
+	return float64(s.OccSum) / float64(s.OccSamples)
+}
+
+// LPTHitRate returns the merged LPT hit percentage.
+func (s *ShardStats) LPTHitRate() float64 {
+	t := s.Machine.LPT.Hits + s.Machine.LPT.Misses
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(s.Machine.LPT.Hits) / float64(t)
+}
+
+// CacheHitRate returns the merged cache hit percentage.
+func (s *ShardStats) CacheHitRate() float64 {
+	t := s.CacheHits + s.CacheMisses
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(s.CacheHits) / float64(t)
+}

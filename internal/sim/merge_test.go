@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// fillOnes sets every numeric field of v (recursively through nested
+// structs) to 1 and every bool to true.
+func fillOnes(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillOnes(v.Field(i))
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(1)
+	case reflect.Bool:
+		v.SetBool(true)
+	default:
+		// A non-integer, non-bool field in ShardStats would break the
+		// exact-arithmetic merge contract; flag it via the caller.
+	}
+}
+
+// checkNoZeros fails for any numeric field (recursively) left at zero
+// or bool left false, reporting its path.
+func checkNoZeros(t *testing.T, v reflect.Value, path string) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			checkNoZeros(t, v.Field(i), path+"."+v.Type().Field(i).Name)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if v.Int() == 0 {
+			t.Errorf("%s not folded by Merge (still zero)", path)
+		}
+	case reflect.Bool:
+		if !v.Bool() {
+			t.Errorf("%s not folded by Merge (still false)", path)
+		}
+	default:
+		t.Errorf("%s has non-integer kind %s; ShardStats must stay exact-integer", path, v.Kind())
+	}
+}
+
+// TestMergeCoversEveryField merges an all-ones value into the zero
+// identity and requires every field of the result to have moved. A
+// field added to MachineStats/LPTStats/ShardStats but forgotten in
+// mergeMachine/mergeLPT/Merge stays zero and fails here — the guard the
+// package comment promises.
+func TestMergeCoversEveryField(t *testing.T) {
+	var acc, ones ShardStats
+	fillOnes(reflect.ValueOf(&ones).Elem())
+	acc.Merge(&ones)
+	checkNoZeros(t, reflect.ValueOf(acc), "ShardStats")
+}
+
+// TestMergeIdentityAndAssociativity pins the algebra the reducer relies
+// on: ShardStats{} is the identity, and any grouping of merges gives
+// the same result.
+func TestMergeIdentityAndAssociativity(t *testing.T) {
+	mk := func(seed int64) ShardStats {
+		var s ShardStats
+		v := reflect.ValueOf(&s).Elem()
+		n := seed
+		var fill func(v reflect.Value)
+		fill = func(v reflect.Value) {
+			switch v.Kind() {
+			case reflect.Struct:
+				for i := 0; i < v.NumField(); i++ {
+					fill(v.Field(i))
+				}
+			case reflect.Bool:
+				v.SetBool(n%2 == 0)
+				n++
+			default:
+				v.SetInt(n)
+				n += 3
+			}
+		}
+		fill(v)
+		return s
+	}
+	a, b, c := mk(1), mk(100), mk(10_000)
+
+	left := a
+	left.Merge(&b)
+	left.Merge(&c)
+
+	right := b
+	right.Merge(&c)
+	ra := a
+	ra.Merge(&right)
+
+	if !reflect.DeepEqual(left, ra) {
+		t.Errorf("merge not associative:\n(a+b)+c = %+v\na+(b+c) = %+v", left, ra)
+	}
+
+	withIdentity := ShardStats{}
+	withIdentity.Merge(&a)
+	if !reflect.DeepEqual(withIdentity, a) {
+		t.Errorf("zero value is not the merge identity: %+v != %+v", withIdentity, a)
+	}
+}
+
+// TestShardStatsJSONRoundTrip guards the wire contract: workers ship
+// ShardStats as JSON and the gateway folds the decoded values, so a
+// field that does not survive the round trip would silently corrupt
+// merged results.
+func TestShardStatsJSONRoundTrip(t *testing.T) {
+	var s ShardStats
+	fillOnes(reflect.ValueOf(&s).Elem())
+	b, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardStats
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("ShardStats changed across JSON round trip:\nin  %+v\nout %+v", s, back)
+	}
+}

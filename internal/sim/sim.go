@@ -90,6 +90,12 @@ type Result struct {
 	PeakLPT int
 	AvgLPT  float64
 
+	// OccSum/OccSamples are the integer occupancy integral behind AvgLPT
+	// (AvgLPT = OccSum/OccSamples). They are kept exact so sharded runs
+	// can merge occupancy associatively (see merge.go).
+	OccSum     int64
+	OccSamples int64
+
 	// LPTHits/LPTMisses restate the access outcome counts.
 	LPTHits   int64
 	LPTMisses int64
@@ -283,6 +289,7 @@ func RunCtx(ctx context.Context, st *trace.Stream, p Params) (*Result, error) {
 		AvgLPT:  s.m.AvgOccupancy(),
 		Events:  events,
 	}
+	res.OccSum, res.OccSamples = s.m.OccupancySums()
 	res.LPTHits = res.Machine.LPT.Hits
 	res.LPTMisses = res.Machine.LPT.Misses
 	res.TrueOverflowed = res.Machine.ModeSwitches > 0
