@@ -49,10 +49,24 @@ type replayStats struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
+// streamStats reports one streaming-ingest run over the indexed SMRS
+// encoding: the latency split (first shard dispatched vs stream fully
+// staged) and end-to-end throughput.
+type streamStats struct {
+	ShardBlocks  int     `json:"shard_blocks"`
+	Bytes        int64   `json:"smrs_bytes"`
+	FirstShardNs int64   `json:"first_shard_ns"`
+	StagedNs     int64   `json:"staged_ns"`
+	TotalNs      int64   `json:"total_ns"`
+	MBPerSec     float64 `json:"e2e_mb_per_sec"`
+}
+
 type benchReport struct {
 	Events    int           `json:"events"`
 	Push      pushStats     `json:"push"`
+	PlanNs    int64         `json:"plan_ns"`
 	Replay    []replayStats `json:"replay"`
+	Stream    streamStats   `json:"stream"`
 	ScalingX  float64       `json:"shard_scaling_x"`
 	PlanSize  int           `json:"plan_size_at_8"`
 	SMTBBytes int64         `json:"smtb_bytes"`
@@ -92,10 +106,20 @@ func main() {
 	if err != nil {
 		fatalf("marshal params: %v", err)
 	}
+	// The in-process runner mirrors smalld's: a request carrying a
+	// zero-copy stream view replays it directly, skipping the
+	// encode/decode round-trip; wire payloads decode first.
 	runner := ingest.RunnerFunc(func(ctx context.Context, req *ingest.ShardRequest) (*sim.ShardStats, error) {
-		st, err := trace.ReadStream(bytes.NewReader(req.Payload))
-		if err != nil {
-			return nil, err
+		st := req.Stream
+		if st == nil {
+			payload, err := req.ShardPayload()
+			if err != nil {
+				return nil, err
+			}
+			st, err = trace.ReadStream(bytes.NewReader(payload))
+			if err != nil {
+				return nil, err
+			}
 		}
 		r, err := sim.RunCtx(ctx, st, params)
 		if err != nil {
@@ -117,7 +141,12 @@ func main() {
 		}
 		upload := smtb.Bytes()
 		st := trace.Preprocess(tr)
-		segs := []*trace.Stream{st}
+		segs := []ingest.Segment{ingest.NewSegment(st)}
+		var smrs bytes.Buffer
+		if err := trace.WriteStream(&smrs, st); err != nil {
+			fatalf("%s: encode stream: %v", b.Name, err)
+		}
+		streamBytes := smrs.Bytes()
 
 		pushRes := measure(*reps, func(bb *testing.B) {
 			bb.ReportAllocs()
@@ -140,8 +169,20 @@ func main() {
 			},
 		}
 
+		// Plan latency: a function of block counts alone, so it must not
+		// scale with the event count of the segments.
+		counts := []int{len(st.Refs)}
+		planRes := measure(*reps, func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				if p := ingest.PlanCounts(counts, 8); len(p) == 0 {
+					bb.Fatal("empty plan")
+				}
+			}
+		})
+		rep.PlanNs = planRes.NsPerOp()
+
 		for _, k := range shardCounts {
-			plan := ingest.PlanShards(segs, k)
+			plan := ingest.PlanSegments(segs, k)
 			res := measure(*reps, func(bb *testing.B) {
 				for i := 0; i < bb.N; i++ {
 					if _, err := ingest.Replay(context.Background(), runner, segs, plan, paramsJSON); err != nil {
@@ -161,14 +202,37 @@ func main() {
 		if first, last := rep.Replay[0], rep.Replay[len(rep.Replay)-1]; first.EventsPerSec > 0 {
 			rep.ScalingX = round2(last.EventsPerSec / first.EventsPerSec)
 		}
+
+		// Streaming ingest end-to-end over the indexed SMRS encoding:
+		// keep the fastest run's latency split.
+		var best *ingest.StreamRunResult
+		for i := 0; i < *reps; i++ {
+			r, err := ingest.StreamRun(context.Background(), runner, bytes.NewReader(streamBytes), 0, 4, paramsJSON)
+			if err != nil {
+				fatalf("%s: stream run: %v", b.Name, err)
+			}
+			if best == nil || r.TotalNs < best.TotalNs {
+				best = r
+			}
+		}
+		rep.Stream = streamStats{
+			ShardBlocks:  4,
+			Bytes:        int64(len(streamBytes)),
+			FirstShardNs: best.FirstShardNs,
+			StagedNs:     best.StagedNs,
+			TotalNs:      best.TotalNs,
+			MBPerSec:     round2(float64(len(streamBytes)) / 1e6 / (float64(best.TotalNs) / 1e9)),
+		}
+
 		reports[b.Name] = rep
-		fmt.Printf("ingestbench: %-8s %7d events  push %6.1f MB/s  replay x1 %10.0f ev/s  x%d %10.0f ev/s (%.2fx)\n",
-			b.Name, rep.Events, rep.Push.MBPerSec, rep.Replay[0].EventsPerSec,
-			rep.PlanSize, rep.Replay[len(rep.Replay)-1].EventsPerSec, rep.ScalingX)
+		fmt.Printf("ingestbench: %-8s %7d events  push %6.1f MB/s  plan %5dns  replay x1 %10.0f ev/s  x%d %10.0f ev/s (%.2fx)  stream first/staged %.2fms/%.2fms\n",
+			b.Name, rep.Events, rep.Push.MBPerSec, rep.PlanNs, rep.Replay[0].EventsPerSec,
+			rep.PlanSize, rep.Replay[len(rep.Replay)-1].EventsPerSec, rep.ScalingX,
+			float64(rep.Stream.FirstShardNs)/1e6, float64(rep.Stream.StagedNs)/1e6)
 	}
 
 	rep := report{
-		Description: "ingest layer throughput: staging push (bounded read + decode) and sharded map-reduce replay at 1/2/4/8 shards with an in-process runner",
+		Description: "ingest layer throughput: staging push (bounded read + decode), shard-plan latency (from block counts alone), sharded map-reduce replay at 1/2/4/8 shards with an in-process zero-copy runner, and streaming ingest end-to-end (first shard dispatched before staging completes)",
 		Command:     fmt.Sprintf("go run ./cmd/ingestbench -scale %d -benchtime %s -out %s", *scale, *benchtime, *out),
 		Host: hostInfo{
 			GOOS:   runtime.GOOS,

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -64,7 +65,15 @@ func main() {
 	ingestBurst := flag.Int64("ingest-burst", 0, "ingest rate-limiter bucket depth in bytes (default: the rate)")
 	ingestTenants := flag.Int("ingest-tenants", 0, "distinct ingest tenants with staged data (default 64)")
 	cacheDir := flag.String("cachedir", "", "land completed ingest jobs in this experiments-style disk cache")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "smalld: pprof: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	ingestLimits := ingest.Limits{
 		TenantBytes: *ingestQuota,
@@ -167,6 +176,38 @@ func main() {
 		<-rpcDone
 	}
 	fmt.Println("smalld: stopped")
+}
+
+// servePprof starts the profiling listener on its own mux and port,
+// kept off the service handler so profiles are never routable from the
+// public address. Loopback only: profiling data (goroutine dumps, heap
+// contents) is operator-facing, not tenant-facing.
+func servePprof(addr string) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("bad -pprof address %q: %w", addr, err)
+	}
+	if ip := net.ParseIP(host); ip == nil || !ip.IsLoopback() {
+		return fmt.Errorf("-pprof address %q is not a loopback address", addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Printf("smalld: pprof listening on %s\n", ln.Addr())
+	go func() {
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "smalld: pprof: %v\n", err)
+		}
+	}()
+	return nil
 }
 
 // runGateway serves the gateway role: no local machine, just routing —

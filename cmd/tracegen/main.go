@@ -7,6 +7,12 @@
 //	tracegen -format binary -out traces/   # compact .btrace files ("SMTB")
 //	tracegen -format refs -out traces/     # preprocessed .refs streams ("SMRS")
 //	tracegen -engine vm -out traces/       # generate on the bytecode VM
+//	tracegen -format refs -noindex ...     # omit the SMTX index footer
+//
+// Binary and refs files carry an SMTX index footer by default: a
+// per-block byte offset table that lets readers seek, slice, and plan
+// shards without decoding every event. -noindex writes the pre-index
+// format for compatibility testing; all readers accept both.
 //
 // The vm engine compiles each benchmark to SMALL stack-machine bytecode
 // and runs it on internal/vm; its traces are byte-identical to the
@@ -46,7 +52,7 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // writeOne traces one benchmark on the selected engine and encodes it in
 // the requested format, closing (and on failure removing) the output
 // file on every path.
-func writeOne(dir string, b benchprogs.Benchmark, scale int, format, engine string) error {
+func writeOne(dir string, b benchprogs.Benchmark, scale int, format, engine string, noIndex bool) error {
 	var t *trace.Trace
 	var err error
 	if engine == "vm" {
@@ -70,12 +76,16 @@ func writeOne(dir string, b benchprogs.Benchmark, scale int, format, engine stri
 		return err
 	}
 	cw := &countingWriter{w: f}
-	switch format {
-	case "text":
+	switch {
+	case format == "text":
 		err = trace.Write(cw, t)
-	case "binary":
+	case format == "binary" && noIndex:
+		err = trace.WriteBinaryNoIndex(cw, t)
+	case format == "binary":
 		err = trace.WriteBinary(cw, t)
-	case "refs":
+	case format == "refs" && noIndex:
+		err = trace.WriteStreamNoIndex(cw, trace.Preprocess(t))
+	case format == "refs":
 		err = trace.WriteStream(cw, trace.Preprocess(t))
 	}
 	if err != nil {
@@ -104,6 +114,7 @@ func main() {
 	scale := flag.Int("scale", 2, "workload scale")
 	format := flag.String("format", "text", `output format: "text", "binary" (compact varint), or "refs" (preprocessed stream)`)
 	engine := flag.String("engine", "interp", `evaluation engine: "interp" (tree-walking) or "vm" (bytecode, faster, identical traces)`)
+	noIndex := flag.Bool("noindex", false, `omit the SMTX index footer on binary/refs output (pre-index compatible files)`)
 	flag.Parse()
 
 	switch *format {
@@ -135,7 +146,7 @@ func main() {
 	}
 	exit := 0
 	for _, b := range list {
-		if err := writeOne(*out, b, *scale, *format, *engine); err != nil {
+		if err := writeOne(*out, b, *scale, *format, *engine, *noIndex); err != nil {
 			fmt.Fprintf(os.Stderr, "tracegen: %s: %v\n", b.Name, err)
 			exit = 1
 		}

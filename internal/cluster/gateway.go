@@ -151,6 +151,7 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	mux.HandleFunc("GET /v1/ingest/{tenant}", g.handleIngestStatus)
 	mux.HandleFunc("DELETE /v1/ingest/{tenant}", g.handleIngestDrop)
 	mux.HandleFunc("POST /v1/ingest/{tenant}/run", g.handleIngestRun)
+	mux.HandleFunc("POST /v1/ingest/{tenant}/stream", g.handleIngestStream)
 	mux.HandleFunc("GET /v1/experiments", g.handleStateless)
 	mux.HandleFunc("POST /v1/experiments/{id}", g.handleStateless)
 	g.mux = mux

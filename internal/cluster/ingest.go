@@ -100,12 +100,43 @@ func (g *Gateway) handleIngestRun(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleIngestStream replays an SMRS upload across the workers while
+// it is still arriving: shards dispatch over the RPC fabric as their
+// byte ranges reach the gateway, instead of after staging completes.
+func (g *Gateway) handleIngestStream(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := ingestTenant(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := g.requestCtx(r)
+	defer cancel()
+	g.metrics.add("smallcluster_ingest_stream_jobs_total", 1)
+	resp, err := server.RunStreamIngest(ctx, ingest.RunnerFunc(g.runShard), tenant, r.Body, r.URL.Query())
+	switch {
+	case server.IsBadRequest(err):
+		httpError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "request cancelled or timed out: "+err.Error())
+	case err != nil:
+		httpError(w, http.StatusBadGateway, err.Error())
+	default:
+		g.metrics.add("smallcluster_ingest_bytes_total", resp.Bytes)
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
 // runShard is the gateway's ShardRunner: it sends one shard-job frame
 // to a healthy worker, least-loaded first, retrying transport failures
 // and unavailable-worker answers (503 drain, 429 queue-full) on other
 // workers within the retry budget — shard replay is idempotent, a pure
-// function of the request, so re-sending is always safe.
+// function of the request, so re-sending is always safe. The payload
+// materializes here, lazily: for indexed segments that is a byte-range
+// sub-slice of the staged upload, not a re-encode.
 func (g *Gateway) runShard(ctx context.Context, req *ingest.ShardRequest) (*sim.ShardStats, error) {
+	payload, err := req.ShardPayload()
+	if err != nil {
+		return nil, err
+	}
 	var lastErr error
 	tried := make(map[*worker]bool)
 	for attempt := 0; attempt <= g.cfg.RetryBudget; attempt++ {
@@ -119,7 +150,7 @@ func (g *Gateway) runShard(ctx context.Context, req *ingest.ShardRequest) (*sim.
 		}
 		w2.inflight.Add(1)
 		start := time.Now()
-		resp, err := w2.client.ShardJob(ctx, req.Params, req.Payload, req.Index, req.Count)
+		resp, err := w2.client.ShardJob(ctx, req.Params, payload, req.Index, req.Count)
 		w2.inflight.Add(-1)
 		code := 0
 		if err == nil {

@@ -9,7 +9,6 @@ import (
 	"path/filepath"
 
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // SaveCache lands a completed ingest job in the experiments disk-cache
@@ -31,8 +30,11 @@ func SaveCache(dir, tenantID string, segs []Segment, params []byte, merged *sim.
 		binary.LittleEndian.PutUint64(hb[:], seg.Hash)
 		job.Write(hb[:])
 		p := filepath.Join(sub, fmt.Sprintf("%s.%016x.refs", tenantID, seg.Hash))
-		st := seg.Stream
-		if err := writeAtomic(p, func(f *os.File) error { return trace.WriteStream(f, st) }); err != nil {
+		data, _, err := seg.Encoded()
+		if err != nil {
+			return paths, err
+		}
+		if err := writeAtomic(p, func(f *os.File) error { _, err := f.Write(data); return err }); err != nil {
 			return paths, err
 		}
 		paths = append(paths, p)

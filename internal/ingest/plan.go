@@ -20,20 +20,22 @@ type Shard struct {
 	Hi      int `json:"hi"`      // last ref, exclusive
 }
 
-// PlanShards splits the segments into at most want contiguous
-// block-aligned shards, never cutting across a segment. Blocks are
-// spread evenly — global block j of T total goes to shard
+// PlanCounts splits segments of the given ref counts into at most want
+// contiguous block-aligned shards, never cutting across a segment.
+// Blocks are spread evenly — global block j of T total goes to shard
 // floor(j*want/T) — then runs of same-shard same-segment blocks merge
 // into one Shard. When segments outnumber want the plan exceeds want
 // (every segment needs at least one shard); when blocks are scarcer
-// than want the plan is shorter. The plan depends only on the segment
-// ref counts and want, so every node planning the same staging snapshot
-// produces the same plan.
-func PlanShards(segs []*trace.Stream, want int) []Shard {
+// than want the plan is shorter. The plan depends only on the ref
+// counts and want — not on any event payloads — so planning over an
+// SMTX index costs O(blocks), every node planning the same staging
+// snapshot produces the same plan, and plan latency is independent of
+// how many events the segments hold.
+func PlanCounts(counts []int, want int) []Shard {
 	want = max(1, min(want, MaxShards))
 	total := 0
-	for _, st := range segs {
-		total += blockCount(len(st.Refs))
+	for _, n := range counts {
+		total += blockCount(n)
 	}
 	if total == 0 {
 		return nil
@@ -41,10 +43,10 @@ func PlanShards(segs []*trace.Stream, want int) []Shard {
 	want = min(want, total)
 	out := make([]Shard, 0, min(want, MaxShards))
 	g, prev := 0, -1
-	for i, st := range segs {
-		for b := 0; b < blockCount(len(st.Refs)); b++ {
+	for i, n := range counts {
+		for b := 0; b < blockCount(n); b++ {
 			lo := b * trace.BlockEvents
-			hi := min(lo+trace.BlockEvents, len(st.Refs))
+			hi := min(lo+trace.BlockEvents, n)
 			w := g * want / total
 			if n := len(out) - 1; n >= 0 && w == prev && out[n].Segment == i && out[n].Hi == lo {
 				out[n].Hi = hi
@@ -58,27 +60,37 @@ func PlanShards(segs []*trace.Stream, want int) []Shard {
 	return out
 }
 
-// ValidatePlan checks a plan against the segments it will slice: every
-// shard in range, cuts block-aligned, shards ordered, non-overlapping,
-// and together covering every segment exactly. Replay revalidates so a
-// hand-built (or hostile) plan cannot slice out of bounds, double-count
-// a range, or silently drop one.
-func ValidatePlan(segs []*trace.Stream, plan []Shard) error {
+// PlanShards plans over fully decoded streams; see PlanCounts.
+func PlanShards(segs []*trace.Stream, want int) []Shard {
+	return PlanCounts(streamCounts(segs), want)
+}
+
+// PlanSegments plans over staged segments; see PlanCounts.
+func PlanSegments(segs []Segment, want int) []Shard {
+	return PlanCounts(segmentCounts(segs), want)
+}
+
+// ValidatePlanCounts checks a plan against the ref counts of the
+// segments it will slice: every shard in range, cuts block-aligned,
+// shards ordered, non-overlapping, and together covering every segment
+// exactly. Replay revalidates so a hand-built (or hostile) plan cannot
+// slice out of bounds, double-count a range, or silently drop one.
+func ValidatePlanCounts(counts []int, plan []Shard) error {
 	if len(plan) > MaxShards {
 		return fmt.Errorf("ingest: plan has %d shards (cap %d)", len(plan), MaxShards)
 	}
 	seg, off := 0, 0
 	skipDone := func() {
-		for seg < len(segs) && off == len(segs[seg].Refs) {
+		for seg < len(counts) && off == counts[seg] {
 			seg, off = seg+1, 0
 		}
 	}
 	skipDone()
 	for i, sh := range plan {
-		if sh.Segment < 0 || sh.Segment >= len(segs) {
-			return fmt.Errorf("ingest: shard %d: segment %d out of range 0..%d", i, sh.Segment, len(segs)-1)
+		if sh.Segment < 0 || sh.Segment >= len(counts) {
+			return fmt.Errorf("ingest: shard %d: segment %d out of range 0..%d", i, sh.Segment, len(counts)-1)
 		}
-		n := len(segs[sh.Segment].Refs)
+		n := counts[sh.Segment]
 		if sh.Lo < 0 || sh.Hi <= sh.Lo || sh.Hi > n {
 			return fmt.Errorf("ingest: shard %d: range [%d,%d) invalid for segment of %d refs", i, sh.Lo, sh.Hi, n)
 		}
@@ -92,8 +104,30 @@ func ValidatePlan(segs []*trace.Stream, plan []Shard) error {
 		off = sh.Hi
 		skipDone()
 	}
-	if seg != len(segs) {
-		return fmt.Errorf("ingest: plan stops at segment %d offset %d, leaving %d segments uncovered", seg, off, len(segs)-seg)
+	if seg != len(counts) {
+		return fmt.Errorf("ingest: plan stops at segment %d offset %d, leaving %d segments uncovered", seg, off, len(counts)-seg)
 	}
 	return nil
+}
+
+// ValidatePlan validates a plan against fully decoded streams; see
+// ValidatePlanCounts.
+func ValidatePlan(segs []*trace.Stream, plan []Shard) error {
+	return ValidatePlanCounts(streamCounts(segs), plan)
+}
+
+func streamCounts(segs []*trace.Stream) []int {
+	counts := make([]int, len(segs))
+	for i, st := range segs {
+		counts[i] = len(st.Refs)
+	}
+	return counts
+}
+
+func segmentCounts(segs []Segment) []int {
+	counts := make([]int, len(segs))
+	for i, sg := range segs {
+		counts[i] = len(sg.Stream.Refs)
+	}
+	return counts
 }

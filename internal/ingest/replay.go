@@ -16,11 +16,43 @@ import (
 const MaxShardPayload = 16 << 20
 
 // ShardRequest is one unit of replay work handed to a ShardRunner.
+//
+// A request carries the shard in up to two forms. Stream, when set, is
+// a zero-copy view into the staged segment (absolute identifiers, the
+// parent's id-text table) — an in-process runner replays it directly,
+// skipping the encode/decode round-trip entirely. ShardPayload
+// materializes the wire form on demand: for indexed segments it is a
+// byte-range sub-slice of the original encoding with a patched header
+// (no decode, no re-encode), else a SliceStream re-encode. Runners
+// that ship shards over the network call ShardPayload; in-process
+// runners prefer Stream.
 type ShardRequest struct {
 	Index   int             // shard position in plan order
 	Count   int             // total shards in the job
 	Params  json.RawMessage // opaque simulation parameters (the runner decodes them)
-	Payload []byte          // the shard's sub-stream, SMRS-encoded
+	Payload []byte          // the shard's sub-stream, SMRS-encoded (nil until materialized)
+	Stream  *trace.Stream   // in-process zero-copy view of the shard (nil on the wire)
+
+	encode func() ([]byte, error) // lazy payload builder set by Replay
+}
+
+// ShardPayload returns the shard's SMRS-encoded sub-stream, building
+// and caching it on first use and enforcing MaxShardPayload.
+func (req *ShardRequest) ShardPayload() ([]byte, error) {
+	if req.Payload == nil {
+		if req.encode == nil {
+			return nil, fmt.Errorf("ingest: shard %d has no payload", req.Index)
+		}
+		p, err := req.encode()
+		if err != nil {
+			return nil, fmt.Errorf("ingest: encoding shard %d: %w", req.Index, err)
+		}
+		req.Payload = p
+	}
+	if len(req.Payload) > MaxShardPayload {
+		return nil, fmt.Errorf("ingest: shard %d payload %d bytes exceeds cap %d", req.Index, len(req.Payload), MaxShardPayload)
+	}
+	return req.Payload, nil
 }
 
 // ShardRunner replays one shard on a fresh machine and returns its
@@ -41,35 +73,60 @@ func (f RunnerFunc) RunShard(ctx context.Context, req *ShardRequest) (*sim.Shard
 	return f(ctx, req)
 }
 
-// Replay executes a shard plan map-reduce style: each shard's ref range
-// is sliced out of its segment, encoded as a self-contained SMRS
-// stream, fanned out to the runner via the parallel sweep engine, and
-// the per-shard statistics fold with sim.ShardStats.Merge in plan
+// shardEncoder builds the lazy payload closure for one shard of seg:
+// indexed segments slice the original encoding by byte range (header
+// patched from index metadata); unindexed ones fall back to the
+// SliceStream re-encode.
+func shardEncoder(seg Segment, sh Shard) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		enc, ix, err := seg.Encoded()
+		if err == nil && ix != nil {
+			b0 := sh.Lo / trace.BlockEvents
+			b1 := (sh.Hi + trace.BlockEvents - 1) / trace.BlockEvents
+			return trace.AppendSlicePayload(nil, enc, ix, b0, b1)
+		}
+		// No usable index (hand-built stream too large to index, or the
+		// encode itself failed): re-encode the range the slow way.
+		sub, err := trace.SliceStream(seg.Stream, sh.Lo, sh.Hi)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteStream(&buf, sub); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+}
+
+// Replay executes a shard plan map-reduce style: each shard becomes a
+// ShardRequest — a zero-copy in-process view plus a lazily sliced wire
+// payload — fanned out to the runner via the parallel sweep engine,
+// and the per-shard statistics fold with sim.ShardStats.Merge in plan
 // order. Every shard replays on a fresh machine with the same
 // parameters, so the merged result is a pure function of (segments,
 // plan, params) — independent of worker placement, scheduling, and
 // parallelism — and sharded runs are byte-identical to local runs of
 // the same plan.
-func Replay(ctx context.Context, runner ShardRunner, segs []*trace.Stream, plan []Shard, params json.RawMessage) (*sim.ShardStats, error) {
-	if err := ValidatePlan(segs, plan); err != nil {
+func Replay(ctx context.Context, runner ShardRunner, segs []Segment, plan []Shard, params json.RawMessage) (*sim.ShardStats, error) {
+	if err := ValidatePlanCounts(segmentCounts(segs), plan); err != nil {
 		return nil, err
 	}
 	if len(plan) == 0 {
 		return nil, fmt.Errorf("ingest: empty shard plan")
 	}
 	parts, err := parsweep.MapCtx(ctx, len(plan), func(i int) (*sim.ShardStats, error) {
-		sub, err := trace.SliceStream(segs[plan[i].Segment], plan[i].Lo, plan[i].Hi)
+		seg := segs[plan[i].Segment]
+		view, err := trace.SubStream(seg.Stream, plan[i].Lo, plan[i].Hi)
 		if err != nil {
 			return nil, err
 		}
-		var buf bytes.Buffer
-		if err := trace.WriteStream(&buf, sub); err != nil {
-			return nil, fmt.Errorf("ingest: encoding shard %d: %w", i, err)
+		req := &ShardRequest{
+			Index: i, Count: len(plan), Params: params,
+			Stream: view,
+			encode: shardEncoder(seg, plan[i]),
 		}
-		if buf.Len() > MaxShardPayload {
-			return nil, fmt.Errorf("ingest: shard %d payload %d bytes exceeds cap %d", i, buf.Len(), MaxShardPayload)
-		}
-		st, err := runner.RunShard(ctx, &ShardRequest{Index: i, Count: len(plan), Params: params, Payload: buf.Bytes()})
+		st, err := runner.RunShard(ctx, req)
 		if err != nil {
 			return nil, fmt.Errorf("ingest: shard %d: %w", i, err)
 		}
@@ -83,4 +140,14 @@ func Replay(ctx context.Context, runner ShardRunner, segs []*trace.Stream, plan 
 		total.Merge(p)
 	}
 	return &total, nil
+}
+
+// ReplayStreams adapts Replay to bare streams (no staged segments) —
+// the benchmark and test entry point.
+func ReplayStreams(ctx context.Context, runner ShardRunner, streams []*trace.Stream, plan []Shard, params json.RawMessage) (*sim.ShardStats, error) {
+	segs := make([]Segment, len(streams))
+	for i, st := range streams {
+		segs[i] = NewSegment(st)
+	}
+	return Replay(ctx, runner, segs, plan, params)
 }

@@ -12,8 +12,11 @@ import (
 	"repro/internal/trace"
 )
 
-// testRunner replays shards in-process, decoding params as a sim.Params
-// JSON document — the same work a worker node does, minus the wire.
+// testRunner replays shards from their wire payload, decoding params as
+// a sim.Params JSON document — the same work a worker node does, minus
+// the wire. Materializing the payload exercises the indexed byte-range
+// slicer for indexed segments (and the SliceStream re-encode fallback
+// otherwise).
 func testRunner() RunnerFunc {
 	return func(ctx context.Context, req *ShardRequest) (*sim.ShardStats, error) {
 		var p sim.Params
@@ -22,7 +25,11 @@ func testRunner() RunnerFunc {
 				return nil, err
 			}
 		}
-		st, err := trace.ReadStream(bytes.NewReader(req.Payload))
+		payload, err := req.ShardPayload()
+		if err != nil {
+			return nil, err
+		}
+		st, err := trace.ReadStream(bytes.NewReader(payload))
 		if err != nil {
 			return nil, err
 		}
@@ -32,6 +39,44 @@ func testRunner() RunnerFunc {
 		}
 		s := sim.ShardOf(r)
 		return &s, nil
+	}
+}
+
+// viewRunner replays shards from their in-process zero-copy view — the
+// standalone daemon's fast path, no encode or decode at all.
+func viewRunner() RunnerFunc {
+	return func(ctx context.Context, req *ShardRequest) (*sim.ShardStats, error) {
+		var p sim.Params
+		if len(req.Params) > 0 {
+			if err := json.Unmarshal(req.Params, &p); err != nil {
+				return nil, err
+			}
+		}
+		if req.Stream == nil {
+			return nil, fmt.Errorf("shard %d has no in-process view", req.Index)
+		}
+		r, err := sim.RunCtx(ctx, req.Stream, p)
+		if err != nil {
+			return nil, err
+		}
+		s := sim.ShardOf(r)
+		return &s, nil
+	}
+}
+
+// runnerFlavors names the two shard consumption paths every replay
+// property must hold for: the wire payload (indexed byte-range slice)
+// and the in-process zero-copy view.
+func runnerFlavors() []struct {
+	name   string
+	runner RunnerFunc
+} {
+	return []struct {
+		name   string
+		runner RunnerFunc
+	}{
+		{"payload", testRunner()},
+		{"view", viewRunner()},
 	}
 }
 
@@ -91,31 +136,33 @@ func TestShardedReplayMatchesSingleNode(t *testing.T) {
 		fullStats := sim.ShardOf(full)
 
 		for _, k := range []int{1, 2, 3, 7} {
-			t.Run(fmt.Sprintf("%s/k=%d", b.Name, k), func(t *testing.T) {
-				plan := PlanShards(segs, k)
-				got, err := Replay(context.Background(), testRunner(), segs, plan, pj)
-				if err != nil {
-					t.Fatal(err)
-				}
-				want := foldPlanLocally(t, segs, plan, params)
-				if gj, wj := mustJSON(t, got), mustJSON(t, want); !bytes.Equal(gj, wj) {
-					t.Errorf("distributed != single-node for the same plan:\n got %s\nwant %s", gj, wj)
-				}
-				if k == 1 {
-					if gj, fj := mustJSON(t, got), mustJSON(t, &fullStats); !bytes.Equal(gj, fj) {
-						t.Errorf("one-shard replay != plain run:\n got %s\nwant %s", gj, fj)
+			for _, fl := range runnerFlavors() {
+				t.Run(fmt.Sprintf("%s/k=%d/%s", b.Name, k, fl.name), func(t *testing.T) {
+					plan := PlanShards(segs, k)
+					got, err := ReplayStreams(context.Background(), fl.runner, segs, plan, pj)
+					if err != nil {
+						t.Fatal(err)
 					}
-				}
-				prims := 0
-				for _, r := range st.Refs {
-					if r.Kind == trace.RefPrim {
-						prims++
+					want := foldPlanLocally(t, segs, plan, params)
+					if gj, wj := mustJSON(t, got), mustJSON(t, want); !bytes.Equal(gj, wj) {
+						t.Errorf("distributed != single-node for the same plan:\n got %s\nwant %s", gj, wj)
 					}
-				}
-				if got.Events != prims {
-					t.Errorf("merged Events = %d, want %d primitive events", got.Events, prims)
-				}
-			})
+					if k == 1 {
+						if gj, fj := mustJSON(t, got), mustJSON(t, &fullStats); !bytes.Equal(gj, fj) {
+							t.Errorf("one-shard replay != plain run:\n got %s\nwant %s", gj, fj)
+						}
+					}
+					prims := 0
+					for _, r := range st.Refs {
+						if r.Kind == trace.RefPrim {
+							prims++
+						}
+					}
+					if got.Events != prims {
+						t.Errorf("merged Events = %d, want %d primitive events", got.Events, prims)
+					}
+				})
+			}
 		}
 	}
 }
@@ -139,13 +186,15 @@ func TestReplayMultiSegment(t *testing.T) {
 	}
 	for _, k := range []int{1, 3, 7} {
 		plan := PlanShards(segs, k)
-		got, err := Replay(context.Background(), testRunner(), segs, plan, pj)
-		if err != nil {
-			t.Fatalf("k=%d: %v", k, err)
-		}
 		want := foldPlanLocally(t, segs, plan, params)
-		if gj, wj := mustJSON(t, got), mustJSON(t, want); !bytes.Equal(gj, wj) {
-			t.Errorf("k=%d: distributed != single-node:\n got %s\nwant %s", k, gj, wj)
+		for _, fl := range runnerFlavors() {
+			got, err := ReplayStreams(context.Background(), fl.runner, segs, plan, pj)
+			if err != nil {
+				t.Fatalf("k=%d/%s: %v", k, fl.name, err)
+			}
+			if gj, wj := mustJSON(t, got), mustJSON(t, want); !bytes.Equal(gj, wj) {
+				t.Errorf("k=%d/%s: distributed != single-node:\n got %s\nwant %s", k, fl.name, gj, wj)
+			}
 		}
 	}
 }
@@ -162,14 +211,55 @@ func TestReplayRejectsBadPlans(t *testing.T) {
 	segs := []*trace.Stream{st}
 	pj := mustJSON(t, sim.Params{})
 
-	if _, err := Replay(context.Background(), testRunner(), segs, nil, pj); err == nil {
+	if _, err := ReplayStreams(context.Background(), testRunner(), segs, nil, pj); err == nil {
 		t.Error("empty plan accepted")
 	}
 	overlap := []Shard{
 		{Segment: 0, Lo: 0, Hi: len(st.Refs)},
 		{Segment: 0, Lo: 0, Hi: len(st.Refs)},
 	}
-	if _, err := Replay(context.Background(), testRunner(), segs, overlap, pj); err == nil {
+	if _, err := ReplayStreams(context.Background(), testRunner(), segs, overlap, pj); err == nil {
 		t.Error("overlapping plan accepted")
+	}
+}
+
+// TestReplayPreIndexUploads: uploads written before the SMTX footer
+// existed stage, plan, and replay exactly like indexed ones — the
+// segment falls back to a canonical (indexed) re-encode the first time
+// a wire payload is needed, and the merged statistics are unchanged.
+func TestReplayPreIndexUploads(t *testing.T) {
+	params := sim.Params{TableSize: 256, Seed: 7}
+	pj := mustJSON(t, params)
+	b, _ := benchprogs.ByName("slang")
+	tr, err := benchprogs.Trace(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Preprocess(tr)
+	var old bytes.Buffer
+	if err := trace.WriteStreamNoIndex(&old, st); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewStaging(Limits{})
+	if _, err := s.Push("tenant", bytes.NewReader(old.Bytes())); err != nil {
+		t.Fatalf("pre-index upload rejected: %v", err)
+	}
+	segs, _, err := s.Snapshot("tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3} {
+		plan := PlanSegments(segs, k)
+		want := foldPlanLocally(t, []*trace.Stream{st}, plan, params)
+		for _, fl := range runnerFlavors() {
+			got, err := Replay(context.Background(), fl.runner, segs, plan, pj)
+			if err != nil {
+				t.Fatalf("k=%d/%s: %v", k, fl.name, err)
+			}
+			if gj, wj := mustJSON(t, got), mustJSON(t, want); !bytes.Equal(gj, wj) {
+				t.Errorf("k=%d/%s: pre-index replay differs:\n got %s\nwant %s", k, fl.name, gj, wj)
+			}
+		}
 	}
 }

@@ -11,11 +11,66 @@ import (
 	"repro/internal/trace"
 )
 
-// Segment is one staged upload, decoded to a reference stream.
+// Segment is one staged upload, decoded to a reference stream. The
+// canonical SMRS encoding (with its SMTX index) is retained or produced
+// lazily via Encoded, so the replay layer can carve shard payloads as
+// byte-range sub-slices instead of re-encoding.
 type Segment struct {
 	Stream   *trace.Stream
 	RawBytes int64  // wire size of the upload (the quota charge)
 	Hash     uint64 // FNV-1a of the raw upload bytes (cache keying)
+	enc      *segmentEnc
+}
+
+// segmentEnc caches a segment's SMRS encoding plus parsed index. It is
+// shared by pointer across Segment value copies (staging snapshots), so
+// the encode cost is paid at most once per staged upload.
+type segmentEnc struct {
+	once sync.Once
+	data []byte       // complete SMRS encoding
+	idx  *trace.Index // parsed SMTX footer; nil when data carries none
+	err  error
+}
+
+// NewSegment wraps an already decoded stream as a segment with a lazy
+// shared encoding — the form Push stages and tests build directly.
+func NewSegment(st *trace.Stream) Segment {
+	return Segment{Stream: st, enc: &segmentEnc{}}
+}
+
+// encodeSegment produces the canonical indexed SMRS encoding of st.
+func encodeSegment(st *trace.Stream) ([]byte, *trace.Index, error) {
+	var buf bytes.Buffer
+	if err := trace.WriteStream(&buf, st); err != nil {
+		return nil, nil, err
+	}
+	data := buf.Bytes()
+	ix, err := trace.ParseIndex(data)
+	if err != nil {
+		// The encoder just wrote this footer; failing to parse it back
+		// is a bug, not an input problem.
+		return nil, nil, fmt.Errorf("ingest: reparsing encoded segment index: %w", err)
+	}
+	return data, ix, nil
+}
+
+// Encoded returns the segment's complete SMRS encoding and its parsed
+// SMTX index. For SMRS uploads that already carried a verified index
+// these are the original upload bytes (zero re-encode); otherwise the
+// stream is encoded canonically once and cached. The index is nil only
+// when the stream is too large for the encoder to index.
+func (seg Segment) Encoded() ([]byte, *trace.Index, error) {
+	if seg.enc == nil {
+		// Hand-built segment with no shared cache: encode per call.
+		return encodeSegment(seg.Stream)
+	}
+	seg.enc.once.Do(func() {
+		if seg.enc.data != nil {
+			return // pre-filled by Push from the upload bytes
+		}
+		seg.enc.data, seg.enc.idx, seg.enc.err = encodeSegment(seg.Stream)
+	})
+	return seg.enc.data, seg.enc.idx, seg.enc.err
 }
 
 // SegmentInfo is the wire summary of a staged segment.
@@ -218,13 +273,25 @@ func (s *Staging) Push(tenantID string, r io.Reader) (Segment, error) {
 		case err != nil:
 			decErr = &BadSegmentError{Err: err}
 		default:
+			wasStream := st != nil
 			if st == nil {
 				st = trace.Preprocess(tr)
 			}
 			if len(st.Refs) == 0 {
 				decErr = &BadSegmentError{Err: fmt.Errorf("trace has no events")}
 			} else {
-				seg = Segment{Stream: st, RawBytes: int64(len(data)), Hash: hash}
+				seg = NewSegment(st)
+				seg.RawBytes = int64(len(data))
+				seg.Hash = hash
+				if wasStream {
+					// An SMRS upload whose SMTX footer just survived the
+					// decoder's claim-by-claim verification: keep the
+					// upload bytes as the segment's encoding, so shard
+					// payloads slice them instead of re-encoding.
+					if ix, err := trace.ParseIndex(data); err == nil && ix != nil {
+						seg.enc.data, seg.enc.idx = data, ix
+					}
+				}
 			}
 		}
 	}

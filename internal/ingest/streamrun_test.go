@@ -1,0 +1,145 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/benchprogs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// streamCutPlan is the plan StreamRun's cut rule implies: one shard per
+// shardBlocks blocks, last shard taking the remainder.
+func streamCutPlan(refs, shardBlocks int) []Shard {
+	var plan []Shard
+	step := shardBlocks * trace.BlockEvents
+	for lo := 0; lo < refs; lo += step {
+		plan = append(plan, Shard{Segment: 0, Lo: lo, Hi: min(lo+step, refs)})
+	}
+	return plan
+}
+
+// TestStreamRunMatchesStagedReplay: dispatching shards while the
+// stream arrives must not change the merged statistics — StreamRun is
+// byte-identical to a staged replay of the plan with the same cuts,
+// through both the zero-copy view and the sliced-payload paths.
+func TestStreamRunMatchesStagedReplay(t *testing.T) {
+	params := sim.Params{TableSize: 256, Seed: 7}
+	pj := mustJSON(t, params)
+	for _, name := range []string{"slang", "pearl"} {
+		b, ok := benchprogs.ByName(name)
+		if !ok {
+			t.Fatalf("no benchmark %q", name)
+		}
+		tr, err := benchprogs.Trace(b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := trace.Preprocess(tr)
+		var buf bytes.Buffer
+		if err := trace.WriteStream(&buf, st); err != nil {
+			t.Fatal(err)
+		}
+		for _, sb := range []int{1, 3} {
+			plan := streamCutPlan(len(st.Refs), sb)
+			want := foldPlanLocally(t, []*trace.Stream{st}, plan, params)
+			for _, fl := range runnerFlavors() {
+				t.Run(fmt.Sprintf("%s/blocks=%d/%s", name, sb, fl.name), func(t *testing.T) {
+					res, err := StreamRun(context.Background(), fl.runner, bytes.NewReader(buf.Bytes()), 0, sb, pj)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Shards != len(plan) {
+						t.Errorf("dispatched %d shards, want %d", res.Shards, len(plan))
+					}
+					if res.Refs != len(st.Refs) {
+						t.Errorf("replayed %d refs, want %d", res.Refs, len(st.Refs))
+					}
+					if res.Bytes != int64(buf.Len()) {
+						t.Errorf("consumed %d bytes, want %d", res.Bytes, buf.Len())
+					}
+					if gj, wj := mustJSON(t, res.Stats), mustJSON(t, want); !bytes.Equal(gj, wj) {
+						t.Errorf("streaming != staged for the same cuts:\n got %s\nwant %s", gj, wj)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestStreamRunRejects covers the hostile inputs: wrong format,
+// garbage, empty streams, over-limit bodies — every one a
+// BadSegmentError (a 400, never a 500), with staging untouched.
+func TestStreamRunRejects(t *testing.T) {
+	b, _ := benchprogs.ByName("slang")
+	tr, err := benchprogs.Trace(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Preprocess(tr)
+	var smrs bytes.Buffer
+	if err := trace.WriteStream(&smrs, st); err != nil {
+		t.Fatal(err)
+	}
+	var smtb bytes.Buffer
+	if err := trace.WriteBinary(&smtb, tr); err != nil {
+		t.Fatal(err)
+	}
+	var empty bytes.Buffer
+	if err := trace.WriteStream(&empty, &trace.Stream{Name: "empty", IDText: []string{""}}); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(r *bytes.Reader, limit int64) error {
+		_, err := StreamRun(context.Background(), viewRunner(), r, limit, 1, nil)
+		return err
+	}
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"smtb body", run(bytes.NewReader(smtb.Bytes()), 0)},
+		{"garbage", run(bytes.NewReader([]byte("not a stream")), 0)},
+		{"empty stream", run(bytes.NewReader(empty.Bytes()), 0)},
+		{"over limit", run(bytes.NewReader(smrs.Bytes()), 64)},
+	}
+	for _, c := range cases {
+		var bad *BadSegmentError
+		if c.err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if !errors.As(c.err, &bad) {
+			t.Errorf("%s: error %v is not a BadSegmentError", c.name, c.err)
+		}
+	}
+	if err := run(bytes.NewReader(smrs.Bytes()), 64); err == nil || !strings.Contains(err.Error(), "exceeds 64 bytes") {
+		t.Errorf("over-limit error %v does not name the limit", err)
+	}
+}
+
+// TestStreamRunShardFailure: a failing shard fails the run (and
+// cancels the rest) instead of merging partial statistics.
+func TestStreamRunShardFailure(t *testing.T) {
+	b, _ := benchprogs.ByName("slang")
+	tr, err := benchprogs.Trace(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Preprocess(tr)
+	var buf bytes.Buffer
+	if err := trace.WriteStream(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	boom := RunnerFunc(func(ctx context.Context, req *ShardRequest) (*sim.ShardStats, error) {
+		return nil, fmt.Errorf("shard exploded")
+	})
+	if _, err := StreamRun(context.Background(), boom, bytes.NewReader(buf.Bytes()), 0, 1, nil); err == nil {
+		t.Fatal("failing runner accepted")
+	} else if !strings.Contains(err.Error(), "shard exploded") {
+		t.Errorf("error %v does not carry the shard failure", err)
+	}
+}

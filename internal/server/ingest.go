@@ -15,7 +15,9 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/ingest"
@@ -160,9 +162,20 @@ func (s *Server) handleShardReplay(w http.ResponseWriter, r *http.Request) {
 // runShard replays one shard in-process — the standalone daemon's
 // ShardRunner and the worker side of the cluster's shard verb. Shard
 // and LPT counters land here so standalone and worker roles account the
-// same work the same way.
+// same work the same way. A request carrying an in-process stream view
+// replays it directly — the standalone fast path, no encode/decode
+// round-trip; wire payloads decode through the SMTX index (prefetched,
+// block by block) when they carry one, else sequentially.
 func (s *Server) runShard(ctx context.Context, req *ingest.ShardRequest) (*sim.ShardStats, error) {
-	stats, err := runShardPayload(ctx, req.Params, req.Payload)
+	var (
+		stats *sim.ShardStats
+		err   error
+	)
+	if req.Stream != nil {
+		stats, err = runShardStream(ctx, req.Params, req.Stream)
+	} else {
+		stats, err = runShardPayload(ctx, req.Params, req.Payload)
+	}
 	if stats != nil {
 		s.metrics.add("smalld_ingest_shards_total", 1)
 		s.metrics.add("smalld_lpt_hits_total", stats.Machine.LPT.Hits)
@@ -172,24 +185,28 @@ func (s *Server) runShard(ctx context.Context, req *ingest.ShardRequest) (*sim.S
 	return stats, err
 }
 
-// runShardPayload decodes one shard's parameters (a SimPoint document)
-// and SMRS payload and replays it on a fresh machine.
-func runShardPayload(ctx context.Context, params, payload []byte) (*sim.ShardStats, error) {
+// shardParams decodes a shard's parameter document (a SimPoint).
+func shardParams(params []byte) (sim.Params, error) {
 	var pt SimPoint
 	if len(params) > 0 {
 		dec := json.NewDecoder(bytes.NewReader(params))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&pt); err != nil {
-			return nil, badRequestf("bad shard params: %v", err)
+			return sim.Params{}, badRequestf("bad shard params: %v", err)
 		}
 	}
 	sp, err := pt.params()
 	if err != nil {
-		return nil, badRequestf("bad shard params: %v", err)
+		return sim.Params{}, badRequestf("bad shard params: %v", err)
 	}
-	st, err := trace.ReadStream(bytes.NewReader(payload))
+	return sp, nil
+}
+
+// runShardStream replays an in-process shard view on a fresh machine.
+func runShardStream(ctx context.Context, params []byte, st *trace.Stream) (*sim.ShardStats, error) {
+	sp, err := shardParams(params)
 	if err != nil {
-		return nil, badRequestf("bad shard payload: %v", err)
+		return nil, err
 	}
 	if len(st.Refs) == 0 {
 		return nil, badRequestf("shard payload has no events")
@@ -200,6 +217,56 @@ func runShardPayload(ctx context.Context, params, payload []byte) (*sim.ShardSta
 	}
 	stats := sim.ShardOf(res)
 	return &stats, nil
+}
+
+// pfSource adapts a block prefetcher to sim.RefSource, remembering
+// whether a failure came from decoding the payload (a client error)
+// rather than from the simulation itself.
+type pfSource struct {
+	pf        *trace.BlockPrefetcher
+	decodeErr error
+}
+
+func (s *pfSource) NextBlock() ([]trace.Ref, error) {
+	refs, err := s.pf.Next()
+	if err != nil && err != io.EOF {
+		s.decodeErr = err
+	}
+	return refs, err
+}
+
+// runShardPayload decodes one shard's parameters (a SimPoint document)
+// and SMRS payload and replays it on a fresh machine. An indexed
+// payload replays through a block prefetcher — block k+1 decodes in a
+// goroutine while block k simulates — and never materializes the whole
+// ref slice; un-indexed payloads fall back to a full sequential decode.
+func runShardPayload(ctx context.Context, params, payload []byte) (*sim.ShardStats, error) {
+	sp, err := shardParams(params)
+	if err != nil {
+		return nil, err
+	}
+	if is, err := trace.OpenIndexedStream(payload); err == nil {
+		if is.Refs() == 0 {
+			return nil, badRequestf("shard payload has no events")
+		}
+		pf := trace.NewBlockPrefetcher(is)
+		defer pf.Close()
+		src := &pfSource{pf: pf}
+		res, err := sim.RunSourceCtx(ctx, src, sp)
+		if err != nil {
+			if src.decodeErr != nil {
+				return nil, badRequestf("bad shard payload: %v", src.decodeErr)
+			}
+			return nil, err
+		}
+		stats := sim.ShardOf(res)
+		return &stats, nil
+	}
+	st, err := trace.ReadStream(bytes.NewReader(payload))
+	if err != nil {
+		return nil, badRequestf("bad shard payload: %v", err)
+	}
+	return runShardStream(ctx, params, st)
 }
 
 // RunIngest snapshots a tenant's staged segments, plans shards, replays
@@ -227,18 +294,19 @@ func RunIngest(ctx context.Context, staging *ingest.Staging, runner ingest.Shard
 	if err != nil {
 		return nil, badRequestf("%v", err)
 	}
-	streams := make([]*trace.Stream, len(segs))
 	refs := 0
-	for i, sg := range segs {
-		streams[i] = sg.Stream
+	for _, sg := range segs {
 		refs += len(sg.Stream.Refs)
 	}
 	want := req.Shards
 	if want == 0 {
 		want = 1
 	}
-	plan := ingest.PlanShards(streams, want)
-	merged, err := ingest.Replay(ctx, runner, streams, plan, params)
+	// The plan is a function of ref counts alone — staged segments keep
+	// their uploads as raw encoded bytes plus index, and nothing here
+	// touches the event payloads.
+	plan := ingest.PlanSegments(segs, want)
+	merged, err := ingest.Replay(ctx, runner, segs, plan, params)
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +323,92 @@ func RunIngest(ctx context.Context, staging *ingest.Staging, runner ingest.Shard
 		Shards: merged.Shards, Plan: plan,
 		Result: IngestResult(merged), Stats: merged,
 	}, nil
+}
+
+// StreamIngestResponse answers a streaming ingest run: the merged
+// statistics plus the latency split that proves dispatch overlapped
+// staging (first_shard_ns < staged_ns whenever the stream cut more
+// than one shard).
+type StreamIngestResponse struct {
+	Tenant       string          `json:"tenant"`
+	Refs         int             `json:"refs"`
+	Bytes        int64           `json:"bytes"`
+	Shards       int             `json:"shards"`
+	ShardBlocks  int             `json:"shard_blocks"`
+	FirstShardNs int64           `json:"first_shard_ns"`
+	StagedNs     int64           `json:"staged_ns"`
+	TotalNs      int64           `json:"total_ns"`
+	Result       SimResult       `json:"result"`
+	Stats        *sim.ShardStats `json:"stats"`
+}
+
+// RunStreamIngest replays an SMRS upload without staging it first:
+// shards of shard_blocks event blocks dispatch to the runner as their
+// bytes arrive. The query carries shard_blocks (default 8) and params
+// (a SimPoint JSON document); the body is the stream. Shared by the
+// standalone daemon (in-process runner) and the cluster gateway
+// (RPC-spreading runner), so both roles' responses are built the same
+// way from the same inputs.
+func RunStreamIngest(ctx context.Context, runner ingest.ShardRunner, tenant string, body io.Reader, query url.Values) (*StreamIngestResponse, error) {
+	shardBlocks := 8
+	if v := query.Get("shard_blocks"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, badRequestf("bad shard_blocks %q (want a positive integer)", v)
+		}
+		shardBlocks = n
+	}
+	var pt SimPoint
+	if v := query.Get("params"); v != "" {
+		dec := json.NewDecoder(strings.NewReader(v))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&pt); err != nil {
+			return nil, badRequestf("bad params: %v", err)
+		}
+	}
+	if _, err := pt.params(); err != nil {
+		return nil, badRequestf("params: %v", err)
+	}
+	// Canonicalise exactly like RunIngest so every shard (and both
+	// roles) replays under the identical parameter document.
+	params, err := json.Marshal(pt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ingest.StreamRun(ctx, runner, body, ingest.MaxSegmentBytes, shardBlocks, params)
+	if err != nil {
+		var bad *ingest.BadSegmentError
+		if errors.As(err, &bad) {
+			return nil, badRequestf("%v", err)
+		}
+		return nil, err
+	}
+	return &StreamIngestResponse{
+		Tenant: tenant, Refs: res.Refs, Bytes: res.Bytes,
+		Shards: res.Shards, ShardBlocks: shardBlocks,
+		FirstShardNs: res.FirstShardNs, StagedNs: res.StagedNs, TotalNs: res.TotalNs,
+		Result: IngestResult(res.Stats), Stats: res.Stats,
+	}, nil
+}
+
+func (s *Server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if !ValidSessionID(tenant) {
+		httpError(w, http.StatusBadRequest, "bad tenant id (want 1-64 chars of [a-zA-Z0-9._-])")
+		return
+	}
+	var (
+		resp   *StreamIngestResponse
+		runErr error
+	)
+	s.dispatch(w, r, func(ctx context.Context) {
+		resp, runErr = RunStreamIngest(ctx, ingest.RunnerFunc(s.runShard), tenant, r.Body, r.URL.Query())
+		if resp != nil {
+			s.metrics.add("smalld_ingest_stream_jobs_total", 1)
+			s.metrics.add("smalld_ingest_bytes_total", resp.Bytes)
+		}
+	})
+	s.finishJob(w, resp, runErr)
 }
 
 // IngestResult restates merged shard statistics in the /v1/sim result

@@ -125,6 +125,7 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /v1/ingest/{tenant}", s.instrument("/v1/ingest:status", s.handleIngestStatus))
 	mux.Handle("DELETE /v1/ingest/{tenant}", s.instrument("/v1/ingest:drop", s.handleIngestDrop))
 	mux.Handle("POST /v1/ingest/{tenant}/run", s.instrument("/v1/ingest:run", s.handleIngestRun))
+	mux.Handle("POST /v1/ingest/{tenant}/stream", s.instrument("/v1/ingest:stream", s.handleIngestStream))
 	mux.Handle("POST /v1/shard-replay", s.instrument("/v1/shard-replay", s.handleShardReplay))
 	mux.Handle("GET /v1/experiments", s.instrument("/v1/experiments:list", s.handleExperimentList))
 	mux.Handle("POST /v1/experiments/{id}", s.instrument("/v1/experiments:run", s.handleExperimentRun))

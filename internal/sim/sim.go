@@ -23,6 +23,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/cache"
@@ -243,6 +244,42 @@ const cancelCheckMask = 1<<12 - 1
 // so a server request that dies mid-simulation releases its worker
 // promptly instead of replaying the rest of the trace.
 func RunCtx(ctx context.Context, st *trace.Stream, p Params) (*Result, error) {
+	return RunSourceCtx(ctx, &sliceSource{refs: st.Refs}, p)
+}
+
+// RefSource feeds the replay loop one block of refs at a time.
+// NextBlock returns io.EOF after the last block; a returned slice is
+// only guaranteed valid until the next NextBlock call, which lets
+// sources recycle decode buffers (trace.BlockPrefetcher does).
+type RefSource interface {
+	NextBlock() ([]trace.Ref, error)
+}
+
+// sliceSource adapts a fully materialized ref slice to RefSource:
+// one block holding everything, then EOF.
+type sliceSource struct {
+	refs []trace.Ref
+	done bool
+}
+
+func (s *sliceSource) NextBlock() ([]trace.Ref, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	s.done = true
+	return s.refs, nil
+}
+
+// RunSource replays the blocks of src under p.
+func RunSource(src RefSource, p Params) (*Result, error) {
+	return RunSourceCtx(context.Background(), src, p)
+}
+
+// RunSourceCtx replays the blocks of src under p. Event indices in
+// error messages and the context-poll cadence are global across
+// blocks, so a run driven block-by-block behaves identically to the
+// same refs replayed through RunCtx.
+func RunSourceCtx(ctx context.Context, src RefSource, p Params) (*Result, error) {
 	p = p.withDefaults()
 	s := simPool.Get().(*simulator)
 	defer simPool.Put(s)
@@ -258,27 +295,38 @@ func RunCtx(ctx context.Context, st *trace.Stream, p Params) (*Result, error) {
 
 	done := ctx.Done()
 	events := 0
-	for i := range st.Refs {
-		if done != nil && i&cancelCheckMask == 0 {
-			select {
-			case <-done:
-				return nil, ctx.Err()
-			default:
-			}
+	i := 0 // global event index across blocks
+	for {
+		refs, err := src.NextBlock()
+		if err == io.EOF {
+			break
 		}
-		r := &st.Refs[i]
-		switch r.Kind {
-		case trace.RefEnter:
-			if err := s.enter(r.NArgs); err != nil {
-				return nil, fmt.Errorf("sim: event %d: %w", i, err)
+		if err != nil {
+			return nil, err
+		}
+		for j := range refs {
+			if done != nil && i&cancelCheckMask == 0 {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
 			}
-		case trace.RefExit:
-			s.exit()
-		case trace.RefPrim:
-			events++
-			if err := s.prim(r); err != nil {
-				return nil, fmt.Errorf("sim: event %d (%s): %w", i, trace.OpName(r.Op), err)
+			r := &refs[j]
+			switch r.Kind {
+			case trace.RefEnter:
+				if err := s.enter(r.NArgs); err != nil {
+					return nil, fmt.Errorf("sim: event %d: %w", i, err)
+				}
+			case trace.RefExit:
+				s.exit()
+			case trace.RefPrim:
+				events++
+				if err := s.prim(r); err != nil {
+					return nil, fmt.Errorf("sim: event %d (%s): %w", i, trace.OpName(r.Op), err)
+				}
 			}
+			i++
 		}
 	}
 

@@ -99,12 +99,36 @@ func writeTableString(bw *bufio.Writer, scratch []byte, s string) error {
 	return err
 }
 
-// WriteBinary encodes t in the binary trace format. The encoder is
-// strict: events a text Write could not represent (negative depth or
-// nargs, empty or tab-bearing op names) are rejected rather than
-// written, so binary files never smuggle records past the text format's
-// invariants.
+// countingWriter tracks bytes written through it so the encoders can
+// record section and block offsets for the SMTX index footer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteBinary encodes t in the binary trace format with an SMTX index
+// footer. The encoder is strict: events a text Write could not
+// represent (negative depth or nargs, empty or tab-bearing op names)
+// are rejected rather than written, so binary files never smuggle
+// records past the text format's invariants.
 func WriteBinary(w io.Writer, t *Trace) error {
+	return writeBinary(w, t, true)
+}
+
+// WriteBinaryNoIndex encodes t without the SMTX footer — the pre-index
+// v1 layout, byte-for-byte. Kept for compatibility tooling (tracegen
+// -noindex) and for tests of the decode-everything fallback.
+func WriteBinaryNoIndex(w io.Writer, t *Trace) error {
+	return writeBinary(w, t, false)
+}
+
+func writeBinary(w io.Writer, t *Trace, withIndex bool) error {
 	if strings.ContainsAny(t.Name, "\n\r") {
 		return encErrorf("trace name contains a newline")
 	}
@@ -162,7 +186,9 @@ func WriteBinary(w io.Writer, t *Trace) error {
 		}
 	}
 
-	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	off := func() int64 { return cw.n + int64(bw.Buffered()) }
 	scratch := make([]byte, binary.MaxVarintLen64)
 	if _, err := bw.Write(magicTrace[:]); err != nil {
 		return err
@@ -189,9 +215,28 @@ func WriteBinary(w io.Writer, t *Trace) error {
 			return err
 		}
 	}
+	copyEnd := off()
 	if err := writeUvarint(bw, scratch, uint64(len(t.Events))); err != nil {
 		return err
 	}
+
+	// An absurdly large trace cannot be represented in a footer its own
+	// decoders would accept; emit it un-indexed rather than fail.
+	withIndex = withIndex && len(t.Events) <= maxEventCount && len(strs)-1 <= maxTableCount
+	ix := &Index{
+		Total:   len(t.Events),
+		MaxID:   len(strs) - 1,
+		CopyEnd: copyEnd,
+		IDStart: copyEnd,
+	}
+	if withIndex {
+		nb := blockCountOf(len(t.Events))
+		ix.Offs = append(make([]int64, 0, min(nb, maxIndexBlocks)+1), off())
+		ix.Counts = make([]int, 0, min(nb, maxIndexBlocks))
+		ix.Marks = make([]int, 0, min(nb, maxIndexBlocks))
+		ix.IDEnds = make([]int64, 0, min(nb, maxIndexBlocks))
+	}
+	runMax := 0
 
 	for start := 0; start < len(t.Events); start += blockEvents {
 		end := min(start+blockEvents, len(t.Events))
@@ -222,7 +267,9 @@ func WriteBinary(w io.Writer, t *Trace) error {
 			ev := &block[i]
 			switch ev.Kind {
 			case KindPrim:
-				if err := writeUvarint(bw, scratch, strIdx[ev.Result]); err != nil {
+				ri := strIdx[ev.Result]
+				runMax = max(runMax, int(ri))
+				if err := writeUvarint(bw, scratch, ri); err != nil {
 					return err
 				}
 				if n := len(ev.Args); n >= kindNArgsOverflow {
@@ -231,7 +278,9 @@ func WriteBinary(w io.Writer, t *Trace) error {
 					}
 				}
 				for _, a := range ev.Args {
-					if err := writeUvarint(bw, scratch, strIdx[a]); err != nil {
+					ai := strIdx[a]
+					runMax = max(runMax, int(ai))
+					if err := writeUvarint(bw, scratch, ai); err != nil {
 						return err
 					}
 				}
@@ -242,6 +291,19 @@ func WriteBinary(w io.Writer, t *Trace) error {
 					}
 				}
 			}
+		}
+		if withIndex {
+			ix.Offs = append(ix.Offs, off())
+			ix.Counts = append(ix.Counts, end-start)
+			ix.Marks = append(ix.Marks, runMax)
+			// SMTB has no id-text section; the table watermark is
+			// pinned to the end of the header prefix.
+			ix.IDEnds = append(ix.IDEnds, copyEnd)
+		}
+	}
+	if withIndex {
+		if _, err := bw.Write(appendIndexFooterBytes(nil, ix)); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
@@ -272,10 +334,11 @@ type Decoder struct {
 	rerr error // deferred read error; io.EOF at a clean end of input
 	off  int64 // bytes consumed; decode errors carry this offset
 
-	name  string
-	ops   []string
-	strs  []string
-	total int
+	name    string
+	ops     []string
+	strs    []string
+	total   int
+	copyEnd int64 // offset past the last front-loaded table
 
 	remaining int // events not yet handed out, including current block
 	blockN    int // events in the current block
@@ -502,6 +565,7 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	if d.strs, err = d.readTable("string table entry", nstrs, maxStrLen, true); err != nil {
 		return nil, err
 	}
+	d.copyEnd = d.off
 	if d.total, err = d.readCount("event count", maxEventCount); err != nil {
 		return nil, err
 	}
@@ -633,8 +697,19 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	// straight into chunked arena storage instead of through a scratch
 	// slice. Keep the two in sync with any format change.
 	var arena []string // chunked backing storage for event Args
+	// Per-block offsets and watermarks, recorded so an SMTX footer (if
+	// present) can be verified against what the file actually holds.
+	nb := blockCountOf(d.total)
+	offs := append(make([]int64, 0, min(nb+1, preallocCap)), d.off)
+	marks := make([]int, 0, min(nb, preallocCap))
+	runMax := 0
 	for d.event < d.total {
 		if d.blockI >= d.blockN {
+			if d.event > 0 {
+				// Close the previous block.
+				offs = append(offs, d.off)
+				marks = append(marks, runMax)
+			}
 			if err := d.readBlock(); err != nil {
 				return nil, err
 			}
@@ -655,6 +730,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 			if ri >= uint64(len(d.strs)) {
 				return nil, d.errf("result index %d out of range (table has %d)", ri, len(d.strs))
 			}
+			runMax = max(runMax, int(ri))
 			e.Result = d.strs[ri]
 			if nargs == kindNArgsOverflow {
 				if nargs, err = d.readCount("argument count", maxEventArgs); err != nil {
@@ -674,6 +750,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 					if ai >= uint64(len(d.strs)) {
 						return nil, d.errf("argument index %d out of range (table has %d)", ai, len(d.strs))
 					}
+					runMax = max(runMax, int(ai))
 					arena = append(arena, d.strs[ai])
 				}
 				e.Args = arena[start:len(arena):len(arena)]
@@ -690,9 +767,17 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		d.event++
 		d.remaining--
 	}
-	// The event count is authoritative; trailing bytes mean corruption.
-	if _, err := d.readByte(); err != io.EOF {
-		return nil, d.errf("trailing data after %d events", d.Events())
+	if d.total > 0 {
+		offs = append(offs, d.off)
+		marks = append(marks, runMax)
+	}
+	// The event count is authoritative; trailing bytes are either an
+	// SMTX index footer (verified claim by claim against the offsets
+	// and watermarks recorded above) or corruption.
+	err = d.verifyTrailer("events", d.total, len(d.strs)-1, d.copyEnd, d.copyEnd,
+		offs, marks, func(int) int64 { return d.copyEnd })
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

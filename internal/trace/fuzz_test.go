@@ -101,6 +101,9 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add([]byte("SMTB\x01\xff\xff\xff\xff\xff\xff\xff\xff"))            // giant name length
 	huge := append([]byte("SMTB\x01\x00"), 0x80, 0x80, 0x80, 0x80, 0x7f) // huge op count
 	f.Add(huge)
+	for _, s := range fuzzIndexSeeds(f, seed, fuzzSeedBinaryNoIndex(f)) {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {
@@ -139,6 +142,60 @@ func FuzzReadBinary(f *testing.F) {
 	})
 }
 
+// fuzzIndexSeeds derives SMTX-footer-targeting seeds from an indexed
+// encoding and its unindexed twin: footer truncations and corruptions,
+// footer-only tails, and footers grafted where they do not belong.
+func fuzzIndexSeeds(f *testing.F, indexed, plain []byte) [][]byte {
+	if len(indexed) <= len(plain) || !bytes.HasPrefix(indexed, plain) {
+		f.Fatal("indexed seed is not plain seed + footer")
+	}
+	footer := indexed[len(plain):]
+	clone := func(b []byte) []byte { return append([]byte{}, b...) }
+	seeds := [][]byte{
+		plain,                                     // pre-index back-compat input
+		clone(indexed[:len(indexed)-1]),           // trailing magic cut
+		clone(indexed[:len(plain)+1]),             // footer cut after 1 byte
+		clone(indexed[:len(plain)+len(footer)/2]), // footer cut mid-way
+		append(clone(indexed), footer...),         // doubled footer
+		append(clone(plain), "SMTX"...),           // bare magic, no body
+		append(clone(indexed), 0x00),              // byte after footer
+	}
+	// Flip the version byte and a length byte inside the footer.
+	v := clone(indexed)
+	v[len(plain)+4] ^= 0x7f
+	seeds = append(seeds, v)
+	l := clone(indexed)
+	l[len(indexed)-5] ^= 0x01
+	seeds = append(seeds, l)
+	return seeds
+}
+
+// fuzzSeedBinaryNoIndex is fuzzSeedBinary without the SMTX footer.
+func fuzzSeedBinaryNoIndex(f *testing.F) []byte {
+	tr, err := ReadBinary(bytes.NewReader(fuzzSeedBinary(f)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinaryNoIndex(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fuzzSeedStreamNoIndex is fuzzSeedStream without the SMTX footer.
+func fuzzSeedStreamNoIndex(f *testing.F) []byte {
+	st, err := ReadStream(bytes.NewReader(fuzzSeedStream(f)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteStreamNoIndex(&buf, st); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // fuzzSeedStream encodes a small valid reference stream.
 func fuzzSeedStream(f *testing.F) []byte {
 	var buf bytes.Buffer
@@ -170,6 +227,9 @@ func FuzzReadStream(f *testing.F) {
 	f.Add([]byte("SMRS\x63"))
 	f.Add([]byte("SMTB\x01"))
 	f.Add([]byte("SMRS\x01\x00\x00\xff\xff\xff\xff\x0f")) // id out of range territory
+	for _, s := range fuzzIndexSeeds(f, seed, fuzzSeedStreamNoIndex(f)) {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st, err := ReadStream(bytes.NewReader(data))
 		if err != nil {

@@ -1,0 +1,550 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// encodeStream encodes st with the default (indexed) writer.
+func encodeStream(t *testing.T, st *Stream) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, st); err != nil {
+		t.Fatalf("WriteStream: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// randomStream builds a preprocessed stream from a random trace.
+func randomStream(r *rand.Rand, n int) *Stream {
+	return Preprocess(randomTrace(r, n))
+}
+
+// TestIndexFooterRoundTrip: both writers append an SMTX footer by
+// default, ParseIndex recovers it, and the recovered fields describe
+// the encoding exactly — re-serializing the parsed index reproduces
+// the footer bytes, and the per-block offsets tile the event section.
+func TestIndexFooterRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	check := func(name string, enc []byte, total, maxID int) {
+		ix, err := ParseIndex(enc)
+		if err != nil {
+			t.Fatalf("%s: ParseIndex: %v", name, err)
+		}
+		if ix == nil {
+			t.Fatalf("%s: no footer on a default encoding", name)
+		}
+		if ix.Total != total {
+			t.Fatalf("%s: index covers %d events, want %d", name, ix.Total, total)
+		}
+		if maxID >= 0 && ix.MaxID != maxID {
+			t.Fatalf("%s: index max id %d, want %d", name, ix.MaxID, maxID)
+		}
+		if got, want := ix.Blocks(), blockCountOf(total); got != want {
+			t.Fatalf("%s: %d blocks, want %d", name, got, want)
+		}
+		sum := 0
+		for k := 0; k < ix.Blocks(); k++ {
+			if ix.Offs[k] >= ix.Offs[k+1] {
+				t.Fatalf("%s: block %d offsets not increasing: %d..%d", name, k, ix.Offs[k], ix.Offs[k+1])
+			}
+			if got, want := ix.Counts[k], expectBlockCount(total, k); got != want {
+				t.Fatalf("%s: block %d count %d, want %d", name, k, got, want)
+			}
+			sum += ix.Counts[k]
+			if k > 0 && ix.Marks[k] < ix.Marks[k-1] {
+				t.Fatalf("%s: watermarks decrease at block %d: %d < %d", name, k, ix.Marks[k], ix.Marks[k-1])
+			}
+			if ix.Marks[k] > ix.MaxID {
+				t.Fatalf("%s: block %d watermark %d > max id %d", name, k, ix.Marks[k], ix.MaxID)
+			}
+		}
+		if sum != total {
+			t.Fatalf("%s: block counts sum to %d, want %d", name, sum, total)
+		}
+		// The footer is a pure function of the parsed index: rebuilding
+		// it from the Index must reproduce the trailing bytes.
+		footer := appendIndexFooterBytes(nil, ix)
+		if !bytes.Equal(enc[len(enc)-len(footer):], footer) {
+			t.Fatalf("%s: re-serialized footer differs from encoded footer", name)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		tr := randomTrace(r, 10+r.Intn(3000))
+		// SMTB: MaxID is the string-table size, internal to the encoder —
+		// pass -1 to skip the exact-value check and rely on the
+		// watermark bound.
+		check("smtb", encodeBinary(t, tr), len(tr.Events), -1)
+		st := Preprocess(tr)
+		check("smrs", encodeStream(t, st), len(st.Refs), st.MaxID)
+	}
+}
+
+// TestNoIndexBackCompat: pre-index encodings (no SMTX footer) still
+// decode to the same trace, ParseIndex reports their absence without
+// error, and OpenIndexedStream refuses them so callers fall back to
+// the sequential decoder.
+func TestNoIndexBackCompat(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	tr := randomTrace(r, 500)
+	st := Preprocess(tr)
+
+	var plain bytes.Buffer
+	if err := WriteStreamNoIndex(&plain, st); err != nil {
+		t.Fatal(err)
+	}
+	if ix, err := ParseIndex(plain.Bytes()); err != nil || ix != nil {
+		t.Fatalf("ParseIndex on unindexed stream = (%v, %v), want (nil, nil)", ix, err)
+	}
+	back, err := ReadStream(bytes.NewReader(plain.Bytes()))
+	if err != nil {
+		t.Fatalf("unindexed stream does not decode: %v", err)
+	}
+	if !reflect.DeepEqual(normalizeStream(back), normalizeStream(st)) {
+		t.Fatal("unindexed stream decodes to a different stream")
+	}
+	if _, err := OpenIndexedStream(plain.Bytes()); err == nil {
+		t.Fatal("OpenIndexedStream accepted an unindexed stream")
+	}
+
+	var pb bytes.Buffer
+	if err := WriteBinaryNoIndex(&pb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if ix, err := ParseIndex(pb.Bytes()); err != nil || ix != nil {
+		t.Fatalf("ParseIndex on unindexed binary = (%v, %v), want (nil, nil)", ix, err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(pb.Bytes())); err != nil {
+		t.Fatalf("unindexed binary does not decode: %v", err)
+	}
+
+	// Indexed and unindexed encodings decode identically; the indexed
+	// one is the unindexed bytes plus the footer.
+	idx := encodeStream(t, st)
+	if !bytes.HasPrefix(idx, plain.Bytes()) {
+		t.Fatal("indexed encoding is not unindexed bytes + footer")
+	}
+	// Trailing garbage is still rejected either way.
+	for _, enc := range [][]byte{plain.Bytes(), idx} {
+		bad := append(append([]byte{}, enc...), 0x01)
+		if _, err := ReadStream(bytes.NewReader(bad)); err == nil {
+			t.Fatal("trailing garbage accepted")
+		} else if !strings.Contains(err.Error(), "trailing data") && !strings.Contains(err.Error(), "footer") {
+			t.Errorf("trailing-garbage error %v names neither trailing data nor the footer", err)
+		}
+	}
+}
+
+// TestIndexedStreamMatchesReadStream: random-access decoding
+// (DecodeBlock, and the double-buffered BlockPrefetcher on top) yields
+// exactly the refs the sequential decoder does.
+func TestIndexedStreamMatchesReadStream(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for i := 0; i < 6; i++ {
+		st := randomStream(r, 10+r.Intn(3000))
+		enc := encodeStream(t, st)
+		want, err := ReadStream(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		is, err := OpenIndexedStream(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bs BlockScratch
+		var got []Ref
+		for k := 0; k < is.Blocks(); k++ {
+			refs, _, err := is.DecodeBlock(k, &bs, nil, nil)
+			if err != nil {
+				t.Fatalf("block %d: %v", k, err)
+			}
+			got = append(got, refs...)
+		}
+		if !reflect.DeepEqual(normalizeRefs(got), normalizeRefs(want.Refs)) {
+			t.Fatal("DecodeBlock refs differ from ReadStream refs")
+		}
+
+		pf := NewBlockPrefetcher(is)
+		got = got[:0]
+		for {
+			refs, err := pf.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Next's refs (and their arena-backed Args) are recycled on
+			// the following Next — deep-copy before accumulating.
+			for _, ref := range refs {
+				ref.Args = append([]int(nil), ref.Args...)
+				got = append(got, ref)
+			}
+		}
+		pf.Close()
+		if !reflect.DeepEqual(normalizeRefs(got), normalizeRefs(want.Refs)) {
+			t.Fatal("BlockPrefetcher refs differ from ReadStream refs")
+		}
+	}
+}
+
+func normalizeRefs(refs []Ref) []Ref {
+	out := make([]Ref, len(refs))
+	for i, r := range refs {
+		if len(r.Args) == 0 {
+			r.Args = nil
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// TestSlicePayloadProperty is the zero-copy contract: a byte-range
+// sub-slice built by AppendSlicePayload decodes to exactly the
+// parent's refs for those blocks — same absolute identifiers, no
+// renumbering — with the id-text table truncated at the slice's
+// watermark. The sliced payload must itself carry a valid index, so
+// slices of slices keep working.
+func TestSlicePayloadProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		st := randomStream(rr, 10+rr.Intn(4000))
+		enc := encodeStream(t, st)
+		ix, err := ParseIndex(enc)
+		if err != nil || ix == nil {
+			t.Logf("seed %d: no index: %v", seed, err)
+			return false
+		}
+		nb := ix.Blocks()
+		// All ranges when small, a random sample otherwise.
+		var ranges [][2]int
+		for b0 := 0; b0 < nb; b0++ {
+			for b1 := b0 + 1; b1 <= nb; b1++ {
+				ranges = append(ranges, [2]int{b0, b1})
+			}
+		}
+		if len(ranges) > 12 {
+			rr.Shuffle(len(ranges), func(i, j int) { ranges[i], ranges[j] = ranges[j], ranges[i] })
+			ranges = append(ranges[:10], [2]int{0, nb}) // always include the identity slice
+		}
+		for _, br := range ranges {
+			b0, b1 := br[0], br[1]
+			payload, err := AppendSlicePayload(nil, enc, ix, b0, b1)
+			if err != nil {
+				t.Logf("seed %d: slice [%d,%d): %v", seed, b0, b1, err)
+				return false
+			}
+			sub, err := ReadStream(bytes.NewReader(payload))
+			if err != nil {
+				t.Logf("seed %d: slice [%d,%d) does not decode: %v", seed, b0, b1, err)
+				return false
+			}
+			lo, hi := b0*blockEvents, min(b1*blockEvents, len(st.Refs))
+			if !reflect.DeepEqual(normalizeRefs(sub.Refs), normalizeRefs(st.Refs[lo:hi])) {
+				t.Logf("seed %d: slice [%d,%d) refs differ from parent range [%d,%d)", seed, b0, b1, lo, hi)
+				return false
+			}
+			if w := ix.Marks[b1-1]; sub.MaxID != w {
+				t.Logf("seed %d: slice max id %d, want watermark %d", seed, sub.MaxID, w)
+				return false
+			}
+			for id := 0; id <= sub.MaxID; id++ {
+				if sub.Text(id) != st.Text(id) {
+					t.Logf("seed %d: id %d text %q, parent %q", seed, id, sub.Text(id), st.Text(id))
+					return false
+				}
+			}
+			// The slice is itself indexed and seekable.
+			if _, err := OpenIndexedStream(payload); err != nil {
+				t.Logf("seed %d: slice [%d,%d) not seekable: %v", seed, b0, b1, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSlicePayloadBounds: out-of-range block ranges are errors, not
+// empty payloads.
+func TestSlicePayloadBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	st := randomStream(r, 2500)
+	enc := encodeStream(t, st)
+	ix, err := ParseIndex(enc)
+	if err != nil || ix == nil {
+		t.Fatalf("ParseIndex: %v", err)
+	}
+	nb := ix.Blocks()
+	for _, br := range [][2]int{{-1, 1}, {0, 0}, {1, 1}, {0, nb + 1}, {2, 1}} {
+		if _, err := AppendSlicePayload(nil, enc, ix, br[0], br[1]); err == nil {
+			t.Errorf("slice [%d,%d) accepted", br[0], br[1])
+		}
+	}
+}
+
+// hostileEncoding re-emits a valid indexed stream with a doctored
+// footer: the container bytes stay intact, only the index lies.
+func hostileEncoding(t *testing.T, enc []byte, mutate func(*Index)) []byte {
+	t.Helper()
+	ix, err := ParseIndex(enc)
+	if err != nil || ix == nil {
+		t.Fatalf("ParseIndex: %v", err)
+	}
+	base := enc[:ix.Offs[ix.Blocks()]] // everything before the footer
+	cp := &Index{
+		Total:   ix.Total,
+		MaxID:   ix.MaxID,
+		CopyEnd: ix.CopyEnd,
+		IDStart: ix.IDStart,
+		Offs:    append([]int64{}, ix.Offs...),
+		Counts:  append([]int{}, ix.Counts...),
+		Marks:   append([]int{}, ix.Marks...),
+		IDEnds:  append([]int64{}, ix.IDEnds...),
+	}
+	mutate(cp)
+	return appendIndexFooterBytes(append([]byte{}, base...), cp)
+}
+
+// TestHostileIndex: a footer that misdescribes the container —
+// overlapping, out-of-range, or misordered offsets, lying counts or
+// watermarks, wrong table boundaries — must be rejected by the
+// sequential decoder's claim-by-claim verification, never silently
+// trusted. Structural lies are additionally caught by ParseIndex or
+// the indexed decoder itself.
+func TestHostileIndex(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	st := randomStream(r, 2500) // ≥2 blocks
+	enc := encodeStream(t, st)
+	good, err := ParseIndex(enc)
+	if err != nil || good == nil || good.Blocks() < 2 {
+		t.Fatalf("need a valid multi-block index, got %v (%v)", good, err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Index)
+	}{
+		{"total too low", func(ix *Index) { ix.Total-- }},
+		{"total too high", func(ix *Index) { ix.Total++ }},
+		{"count shifted between blocks", func(ix *Index) { ix.Counts[0]--; ix.Counts[1]++ }},
+		{"block length shifted", func(ix *Index) {
+			// Block 0 claims one byte of block 1: overlapping ranges.
+			ix.Offs[1]++
+		}},
+		{"block length short", func(ix *Index) {
+			for k := 1; k < len(ix.Offs); k++ {
+				ix.Offs[k]-- // every block one byte short, footer offset drifts
+			}
+		}},
+		{"misordered offsets", func(ix *Index) { ix.Offs[0], ix.Offs[1] = ix.Offs[1], ix.Offs[0] }},
+		{"watermark below actual", func(ix *Index) {
+			last := len(ix.Marks) - 1
+			ix.Marks[last] = 0
+			ix.IDEnds[last] = ix.IDStart
+		}},
+		{"watermark above max id", func(ix *Index) {
+			last := len(ix.Marks) - 1
+			ix.Marks[last] = ix.MaxID + 1
+		}},
+		{"id table boundary wrong", func(ix *Index) { ix.IDEnds[len(ix.IDEnds)-1]-- }},
+		{"copyend wrong", func(ix *Index) { ix.CopyEnd-- }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			bad := hostileEncoding(t, enc, c.mutate)
+			serr := func() error {
+				_, err := ReadStream(bytes.NewReader(bad))
+				return err
+			}()
+			ierr := func() error {
+				is, err := OpenIndexedStream(bad)
+				if err != nil {
+					return err
+				}
+				var bs BlockScratch
+				for k := 0; k < is.Blocks(); k++ {
+					if _, _, err := is.DecodeBlock(k, &bs, nil, nil); err != nil {
+						return err
+					}
+				}
+				return nil
+			}()
+			if serr == nil {
+				t.Error("sequential decoder accepted a lying index")
+			}
+			if ierr == nil {
+				t.Error("indexed decoder accepted a lying index")
+			}
+			if serr != nil && !strings.Contains(serr.Error(), "offset ") {
+				t.Errorf("sequential error %v does not carry an offset", serr)
+			}
+		})
+	}
+}
+
+// TestMangledFooterBytes: raw byte-level damage to the footer region —
+// truncation, version bumps, length-field lies, magic corruption —
+// either reads as "no footer" (and then the container fails trailer
+// verification) or is an explicit index error; never a clean decode of
+// wrong data.
+func TestMangledFooterBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	st := randomStream(r, 1500)
+	enc := encodeStream(t, st)
+
+	mangle := func(name string, f func([]byte) []byte) {
+		bad := f(append([]byte{}, enc...))
+		if _, err := ReadStream(bytes.NewReader(bad)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	mangle("truncated footer", func(b []byte) []byte { return b[:len(b)-3] })
+	mangle("trailing magic corrupted", func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b })
+	mangle("footer length lies", func(b []byte) []byte { b[len(b)-5]++; return b })
+	mangle("garbage after footer", func(b []byte) []byte { return append(b, "SMTX"...) })
+	mangle("version bumped", func(b []byte) []byte {
+		// The version byte sits right after the leading SMTX magic;
+		// find the footer start via its parsed length field.
+		ix, err := ParseIndex(b)
+		if err != nil || ix == nil {
+			t.Fatalf("ParseIndex: %v", err)
+		}
+		b[ix.Offs[ix.Blocks()]+4]++
+		return b
+	})
+}
+
+// TestIndexHeaderFooterCrossCheck: OpenIndexedStream refuses a footer
+// whose header-level claims (ref count, max id, section offsets)
+// disagree with the decoded header, even when the footer is
+// self-consistent.
+func TestIndexHeaderFooterCrossCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	st := randomStream(r, 1500)
+	enc := encodeStream(t, st)
+	for _, c := range []struct {
+		name   string
+		mutate func(*Index)
+	}{
+		{"max id", func(ix *Index) { ix.MaxID++ }},
+		{"id start", func(ix *Index) {
+			ix.CopyEnd-- // shifts the derived id-text start away from the header's
+		}},
+	} {
+		bad := hostileEncoding(t, enc, c.mutate)
+		if _, err := OpenIndexedStream(bad); err == nil {
+			t.Errorf("%s mismatch accepted", c.name)
+		}
+	}
+}
+
+// TestStreamScannerIndex: the incremental scanner's snapshot agrees
+// with the committed footer once the stream is fully scanned, and its
+// recorded raw bytes slice with AppendSlicePayload exactly like the
+// full encoding does.
+func TestStreamScannerIndex(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	st := randomStream(r, 3000)
+	enc := encodeStream(t, st)
+	want, err := ParseIndex(enc)
+	if err != nil || want == nil {
+		t.Fatalf("ParseIndex: %v", err)
+	}
+
+	sc, err := NewStreamScanner(bytes.NewReader(enc), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := sc.Scan(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		// Mid-scan snapshots must be sliceable: every complete block
+		// scanned so far yields a payload identical to slicing the
+		// final encoding.
+		ix := sc.IndexSnapshot()
+		if b := ix.Blocks(); b > 0 {
+			got, err := AppendSlicePayload(nil, sc.Raw(), &ix, 0, b)
+			if err != nil {
+				t.Fatalf("mid-scan slice at block %d: %v", b, err)
+			}
+			ref, err := AppendSlicePayload(nil, enc, want, 0, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("mid-scan slice at block %d differs from final-encoding slice", b)
+			}
+		}
+	}
+	ix := sc.IndexSnapshot()
+	if ix.Total != want.Total || ix.MaxID != want.MaxID || ix.CopyEnd != want.CopyEnd || ix.IDStart != want.IDStart ||
+		!reflect.DeepEqual(ix.Offs, want.Offs) || !reflect.DeepEqual(ix.Counts, want.Counts) ||
+		!reflect.DeepEqual(ix.Marks, want.Marks) || !reflect.DeepEqual(ix.IDEnds, want.IDEnds) {
+		t.Fatalf("scanner snapshot disagrees with committed footer:\n got %+v\nwant %+v", ix, want)
+	}
+}
+
+// TestSliceOfSlice: slicing a sliced payload again still decodes to
+// the right parent range — the delta-encoded footer is frame-invariant.
+func TestSliceOfSlice(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	st := randomStream(r, 4000)
+	enc := encodeStream(t, st)
+	ix, err := ParseIndex(enc)
+	if err != nil || ix == nil || ix.Blocks() < 3 {
+		t.Fatalf("need ≥3 blocks, got %v (%v)", ix, err)
+	}
+	outer, err := AppendSlicePayload(nil, enc, ix, 1, ix.Blocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oix, err := ParseIndex(outer)
+	if err != nil || oix == nil {
+		t.Fatalf("outer slice has no index: %v", err)
+	}
+	inner, err := AppendSlicePayload(nil, outer, oix, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := ReadStream(bytes.NewReader(inner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 2*blockEvents, min(3*blockEvents, len(st.Refs))
+	if !reflect.DeepEqual(normalizeRefs(sub.Refs), normalizeRefs(st.Refs[lo:hi])) {
+		t.Fatal("slice of slice differs from parent range")
+	}
+}
+
+func TestIndexErrorsNameOffsets(t *testing.T) {
+	// Decode-limit discipline: index errors must carry byte offsets so
+	// hostile uploads are attributable (same contract smallvet enforces
+	// for the rest of the decoders).
+	r := rand.New(rand.NewSource(83))
+	st := randomStream(r, 1500)
+	enc := encodeStream(t, st)
+	bad := hostileEncoding(t, enc, func(ix *Index) { ix.Counts[0]--; ix.Counts[len(ix.Counts)-1]++ })
+	_, err := ReadStream(bytes.NewReader(bad))
+	if err == nil {
+		t.Fatal("lying counts accepted")
+	}
+	if !strings.Contains(err.Error(), "offset ") {
+		t.Errorf("error %v carries no offset", err)
+	}
+	if !strings.Contains(err.Error(), "index") {
+		t.Errorf("error %v does not name the index", err)
+	}
+	t.Log(fmt.Sprintf("index error shape: %v", err))
+}

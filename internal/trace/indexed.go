@@ -1,0 +1,188 @@
+// Seekable decoding of indexed SMRS streams.
+//
+// An IndexedStream wraps a complete in-memory encoding whose SMTX
+// footer has been parsed: the header decodes once, and any block is
+// then decodable directly from its byte range with no sequential scan.
+// BlockPrefetcher layers double buffering on top — a producer
+// goroutine decodes block k+1 while the consumer simulates block k, so
+// replay and decode overlap instead of serializing.
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// IndexedStream is a random-access view over an indexed SMRS encoding.
+// The header (name, ops, id texts) is decoded eagerly and strictly;
+// blocks decode on demand via DecodeBlock.
+type IndexedStream struct {
+	enc []byte
+	ix  *Index
+	st  *Stream // header only: Refs stays empty
+	ops []Opcode
+}
+
+// OpenIndexedStream parses the footer and header of a complete SMRS
+// encoding and cross-checks them against each other. It fails if the
+// bytes carry no footer — callers fall back to ReadStream.
+func OpenIndexedStream(enc []byte) (*IndexedStream, error) {
+	if !bytes.HasPrefix(enc, magicStream[:]) {
+		return nil, fmt.Errorf("trace: index: not a reference stream")
+	}
+	ix, err := ParseIndex(enc)
+	if err != nil {
+		return nil, err
+	}
+	if ix == nil {
+		return nil, fmt.Errorf("trace: index: stream has no SMTX footer")
+	}
+	d := &streamDecoder{*newBytesDecoder(enc, 0)}
+	st, ops, copyEnd, idStart, nrefs, err := readStreamHeader(d)
+	if err != nil {
+		return nil, err
+	}
+	// The header and the footer describe the same bytes; disagreement
+	// means a forged or stale index.
+	if nrefs != ix.Total || st.MaxID != ix.MaxID || copyEnd != ix.CopyEnd || idStart != ix.IDStart {
+		return nil, fmt.Errorf("trace: index: footer disagrees with header (%d/%d refs, %d/%d ids, prefix %d/%d, ids at %d/%d)",
+			ix.Total, nrefs, ix.MaxID, st.MaxID, ix.CopyEnd, copyEnd, ix.IDStart, idStart)
+	}
+	if d.off != ix.Offs[0] {
+		return nil, fmt.Errorf("trace: index: blocks start at %d, header ends at %d", ix.Offs[0], d.off)
+	}
+	return &IndexedStream{enc: enc, ix: ix, st: st, ops: ops}, nil
+}
+
+// Index returns the parsed footer.
+func (is *IndexedStream) Index() *Index { return is.ix }
+
+// Header returns the decoded header as a Stream with no refs: name,
+// MaxID, and id texts are populated.
+func (is *IndexedStream) Header() *Stream { return is.st }
+
+// Blocks is the number of event blocks.
+func (is *IndexedStream) Blocks() int { return is.ix.Blocks() }
+
+// Refs is the total ref count.
+func (is *IndexedStream) Refs() int { return is.ix.Total }
+
+// DecodeBlock decodes block k into refs (appending, typically to a
+// recycled buffer sliced to zero). The block must consume exactly its
+// indexed byte range, carry exactly its indexed count, and reference
+// no id above its indexed watermark — a lying index is an error, not
+// a misread.
+func (is *IndexedStream) DecodeBlock(k int, bs *BlockScratch, refs []Ref, arena []int) ([]Ref, []int, error) {
+	if k < 0 || k >= is.ix.Blocks() {
+		return refs, arena, fmt.Errorf("trace: index: block %d out of range 0..%d", k, is.ix.Blocks())
+	}
+	a, b := is.ix.Offs[k], is.ix.Offs[k+1]
+	d := &streamDecoder{*newBytesDecoder(is.enc[a:b], a)}
+	d.event = k * blockEvents
+	n := is.ix.Counts[k]
+	refs, arena, maxSeen, err := bs.decodeBlock(d, is.ops, is.st.MaxID, n, refs, arena)
+	if err != nil {
+		return refs, arena, err
+	}
+	if maxSeen > is.ix.Marks[k] {
+		return refs, arena, d.errf("block %d references id %d above index watermark %d", k, maxSeen, is.ix.Marks[k])
+	}
+	if _, err := d.readByte(); err != io.EOF {
+		return refs, arena, d.errf("block %d has %d trailing bytes", k, b-d.off)
+	}
+	return refs, arena, nil
+}
+
+// pfBuf is one of the prefetcher's two recycled decode buffers.
+type pfBuf struct {
+	refs  []Ref
+	arena []int
+}
+
+// BlockPrefetcher streams an IndexedStream's blocks through a
+// two-buffer pipeline: a producer goroutine decodes ahead while the
+// consumer works on the previous block. Refs returned by Next are
+// valid until the next Next or Close — the buffer is recycled after
+// that.
+type BlockPrefetcher struct {
+	ready chan pfResult
+	free  chan *pfBuf
+	done  chan struct{}
+	cur   *pfBuf
+	open  bool
+}
+
+type pfResult struct {
+	buf *pfBuf
+	err error
+}
+
+// NewBlockPrefetcher starts decoding is's blocks in order. Callers
+// must Close it when done (including on early exit) to stop the
+// producer goroutine.
+func NewBlockPrefetcher(is *IndexedStream) *BlockPrefetcher {
+	p := &BlockPrefetcher{
+		ready: make(chan pfResult, 2),
+		free:  make(chan *pfBuf, 2),
+		done:  make(chan struct{}),
+		open:  true,
+	}
+	p.free <- &pfBuf{}
+	p.free <- &pfBuf{}
+	go func() {
+		defer close(p.ready)
+		var bs BlockScratch
+		for k := 0; k < is.Blocks(); k++ {
+			var buf *pfBuf
+			select {
+			case buf = <-p.free:
+			case <-p.done:
+				return
+			}
+			refs, arena, err := is.DecodeBlock(k, &bs, buf.refs[:0], buf.arena[:0])
+			buf.refs, buf.arena = refs, arena
+			if err != nil {
+				select {
+				case p.ready <- pfResult{err: err}:
+				case <-p.done:
+				}
+				return
+			}
+			select {
+			case p.ready <- pfResult{buf: buf}:
+			case <-p.done:
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// Next returns the refs of the next block, or io.EOF after the last
+// one, or the first decode error. The returned slice is recycled on
+// the following call.
+func (p *BlockPrefetcher) Next() ([]Ref, error) {
+	if p.cur != nil {
+		p.free <- p.cur // never blocks: only two buffers exist
+		p.cur = nil
+	}
+	res, ok := <-p.ready
+	if !ok {
+		return nil, io.EOF
+	}
+	if res.err != nil {
+		return nil, res.err
+	}
+	p.cur = res.buf
+	return res.buf.refs, nil
+}
+
+// Close stops the producer. Safe to call after EOF; required on early
+// exit.
+func (p *BlockPrefetcher) Close() {
+	if p.open {
+		p.open = false
+		close(p.done)
+	}
+}

@@ -18,6 +18,21 @@ import "fmt"
 // shard cut points.
 const BlockEvents = blockEvents
 
+// SubStream returns a zero-copy view over refs [lo, hi) of st: the
+// refs slice is shared (ids stay absolute) and the id-text table is the
+// parent's. Replaying a SubStream is equivalent to replaying the same
+// range through SliceStream — the simulator reads only kind, op,
+// nargs, chain, and depth, never identifier values — without the
+// O(range) remap copy. Use SliceStream when the slice must travel
+// (self-contained, densely numbered); use SubStream when it stays
+// in-process.
+func SubStream(st *Stream, lo, hi int) (*Stream, error) {
+	if lo < 0 || hi < lo || hi > len(st.Refs) {
+		return nil, fmt.Errorf("trace: slice bounds [%d,%d) out of range 0..%d", lo, hi, len(st.Refs))
+	}
+	return &Stream{Name: st.Name, MaxID: st.MaxID, IDText: st.IDText, Refs: st.Refs[lo:hi:hi]}, nil
+}
+
 // SliceStream returns a new Stream over refs [lo, hi) of st.
 // Identifiers are renumbered densely in order of first use within the
 // range (identifier 0, "not a list", is preserved), and IDText follows

@@ -40,8 +40,19 @@ import (
 
 const streamChainBit = 0x04
 
-// WriteStream encodes a preprocessed stream as a .refs file.
+// WriteStream encodes a preprocessed stream as a .refs file with an
+// SMTX index footer.
 func WriteStream(w io.Writer, st *Stream) error {
+	return writeStream(w, st, true)
+}
+
+// WriteStreamNoIndex encodes st without the SMTX footer — the
+// pre-index v1 layout, byte-for-byte.
+func WriteStreamNoIndex(w io.Writer, st *Stream) error {
+	return writeStream(w, st, false)
+}
+
+func writeStream(w io.Writer, st *Stream, withIndex bool) error {
 	if strings.ContainsAny(st.Name, "\n\r") {
 		return encErrorf("stream name contains a newline")
 	}
@@ -75,7 +86,9 @@ func WriteStream(w io.Writer, st *Stream) error {
 		}
 	}
 
-	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	off := func() int64 { return cw.n + int64(bw.Buffered()) }
 	scratch := make([]byte, binary.MaxVarintLen64)
 	if _, err := bw.Write(magicStream[:]); err != nil {
 		return err
@@ -94,17 +107,38 @@ func WriteStream(w io.Writer, st *Stream) error {
 			return err
 		}
 	}
+	copyEnd := off()
 	if err := writeUvarint(bw, scratch, uint64(st.MaxID)); err != nil {
 		return err
+	}
+	idStart := off()
+	// Streams too large for a decodable footer are emitted un-indexed.
+	withIndex = withIndex && st.MaxID <= maxTableCount && len(st.Refs) <= maxEventCount
+	var idEnd []int64 // idEnd[w]: byte offset just past id-text entry w
+	if withIndex {
+		idEnd = make([]int64, 1, min(st.MaxID, maxTableCount)+1)
+		idEnd[0] = idStart
 	}
 	for id := 1; id <= st.MaxID; id++ {
 		if err := writeTableString(bw, scratch, st.Text(id)); err != nil {
 			return err
 		}
+		if withIndex {
+			idEnd = append(idEnd, off())
+		}
 	}
 	if err := writeUvarint(bw, scratch, uint64(len(st.Refs))); err != nil {
 		return err
 	}
+	ix := &Index{Total: len(st.Refs), MaxID: st.MaxID, CopyEnd: copyEnd, IDStart: idStart}
+	if withIndex {
+		nb := blockCountOf(len(st.Refs))
+		ix.Offs = append(make([]int64, 0, min(nb, maxIndexBlocks)+1), off())
+		ix.Counts = make([]int, 0, min(nb, maxIndexBlocks))
+		ix.Marks = make([]int, 0, min(nb, maxIndexBlocks))
+		ix.IDEnds = make([]int64, 0, min(nb, maxIndexBlocks))
+	}
+	runMax := 0
 
 	for start := 0; start < len(st.Refs); start += blockEvents {
 		end := min(start+blockEvents, len(st.Refs))
@@ -138,6 +172,7 @@ func WriteStream(w io.Writer, st *Stream) error {
 			r := &block[i]
 			switch r.Kind {
 			case RefPrim:
+				runMax = max(runMax, r.Result)
 				if err := writeUvarint(bw, scratch, uint64(r.Result)); err != nil {
 					return err
 				}
@@ -147,6 +182,7 @@ func WriteStream(w io.Writer, st *Stream) error {
 					}
 				}
 				for _, id := range r.Args {
+					runMax = max(runMax, id)
 					if err := writeUvarint(bw, scratch, uint64(id)); err != nil {
 						return err
 					}
@@ -158,6 +194,17 @@ func WriteStream(w io.Writer, st *Stream) error {
 					}
 				}
 			}
+		}
+		if withIndex {
+			ix.Offs = append(ix.Offs, off())
+			ix.Counts = append(ix.Counts, end-start)
+			ix.Marks = append(ix.Marks, runMax)
+			ix.IDEnds = append(ix.IDEnds, idEnd[runMax])
+		}
+	}
+	if withIndex {
+		if _, err := bw.Write(appendIndexFooterBytes(nil, ix)); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
@@ -178,156 +225,335 @@ func refNArgs(r *Ref) int {
 // reuses the Decoder's primitives with the stream's magic and tables.
 type streamDecoder struct{ Decoder }
 
-// ReadStream decodes a .refs file written by WriteStream. Errors carry
-// the byte offset of the failure. The decoder is strict — every id,
-// op index, and kind is range-checked — because smalld accepts
-// user-supplied streams.
-func ReadStream(r io.Reader) (*Stream, error) {
-	d := &streamDecoder{Decoder{r: r, buf: make([]byte, decodeBufSize)}}
+// readStreamHeader decodes the front-loaded header of an SMRS stream —
+// name, op table, maxid, id texts, ref count — and reports the section
+// offsets the SMTX index describes: copyEnd is the end of the verbatim
+// prefix (through the op table), idStart the first id-text byte.
+func readStreamHeader(d *streamDecoder) (st *Stream, ops []Opcode, copyEnd, idStart int64, nrefs int, err error) {
 	var magic [4]byte
 	got, err := d.readFull(magic[:])
 	if err != nil || magic != magicStream {
-		return nil, d.errf("not a reference stream (bad magic %q)", magic[:got])
+		return nil, nil, 0, 0, 0, d.errf("not a reference stream (bad magic %q)", magic[:got])
 	}
 	ver, err := d.readByte()
 	if err != nil {
-		return nil, d.errf("unexpected EOF reading version")
+		return nil, nil, 0, 0, 0, d.errf("unexpected EOF reading version")
 	}
 	if ver != streamVersion {
-		return nil, d.errf("unsupported stream version %d (want %d)", ver, streamVersion)
+		return nil, nil, 0, 0, 0, d.errf("unsupported stream version %d (want %d)", ver, streamVersion)
 	}
-	st := &Stream{}
+	st = &Stream{}
 	if st.Name, err = d.readTableString("stream name", maxNameLen); err != nil {
-		return nil, err
+		return nil, nil, 0, 0, 0, err
 	}
 	nops, err := d.readCount("op table count", maxTableCount)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, 0, 0, err
 	}
 	opNames, err := d.readTable("op name", nops, maxOpLen, true)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, 0, 0, err
 	}
-	ops := make([]Opcode, len(opNames))
+	ops = make([]Opcode, len(opNames))
 	for i, s := range opNames {
 		ops[i] = InternOp(s)
 	}
+	copyEnd = d.off
 	if st.MaxID, err = d.readCount("max identifier", maxTableCount); err != nil {
-		return nil, err
+		return nil, nil, 0, 0, 0, err
 	}
+	idStart = d.off
 	idtext, err := d.readTable("identifier text", st.MaxID, maxStrLen, true)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, 0, 0, err
 	}
 	st.IDText = make([]string, 1, len(idtext)+1)
 	st.IDText = append(st.IDText, idtext...)
-	nrefs, err := d.readCount("ref count", maxEventCount)
-	if err != nil {
-		return nil, err
+	if nrefs, err = d.readCount("ref count", maxEventCount); err != nil {
+		return nil, nil, 0, 0, 0, err
 	}
-	st.Refs = make([]Ref, 0, min(nrefs, preallocCap))
+	return st, ops, copyEnd, idStart, nrefs, nil
+}
 
+// BlockScratch holds the column arrays used while decoding one ref
+// block. Callers that decode block after block (the scanner, the
+// prefetcher) allocate one and reuse it across calls.
+type BlockScratch struct {
+	kinds  [blockEvents]byte
+	depths [blockEvents]int64
+	opix   [blockEvents]uint32
+}
+
+// decodeBlock decodes one n-ref column block from d, appending refs to
+// refs and arg ids to the chunked arena. Every id is range-checked
+// against maxID and every op index against the table — this is the
+// decode loop ReadStream always ran, factored out so seekable block
+// readers share it. maxSeen reports the largest id referenced.
+func (bs *BlockScratch) decodeBlock(d *streamDecoder, ops []Opcode, maxID, n int, refs []Ref, arena []int) (_ []Ref, _ []int, maxSeen int, err error) {
+	got, err := d.readFull(bs.kinds[:n])
+	if err != nil {
+		return refs, arena, 0, d.errf("unexpected EOF reading kind column (%d of %d bytes)", got, n)
+	}
+	for i := 0; i < n; i++ {
+		kb := bs.kinds[i]
+		kind := kb & kindMask
+		if kind > byte(RefExit) ||
+			(kb&streamChainBit != 0 && kind != byte(RefPrim)) ||
+			(kind == byte(RefExit) && kb>>streamNArgsShift != 0) {
+			return refs, arena, 0, d.errf("bad ref kind byte %#x", kb)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, err := d.readUvarint("depth")
+		if err != nil {
+			return refs, arena, 0, err
+		}
+		if v > maxDepth {
+			return refs, arena, 0, d.errf("depth %d exceeds limit %d", v, int64(maxDepth))
+		}
+		bs.depths[i] = int64(v)
+	}
+	for i := 0; i < n; i++ {
+		v, err := d.readUvarint("op index")
+		if err != nil {
+			return refs, arena, 0, err
+		}
+		if v >= uint64(len(ops)) {
+			return refs, arena, 0, d.errf("op index %d out of range (table has %d)", v, len(ops))
+		}
+		bs.opix[i] = uint32(v)
+	}
 	readID := func(what string) (int, error) {
 		v, err := d.readUvarint(what)
 		if err != nil {
 			return 0, err
 		}
-		if v > uint64(st.MaxID) {
-			return 0, d.errf("%s %d out of range 0..%d", what, v, st.MaxID)
+		if v > uint64(maxID) {
+			return 0, d.errf("%s %d out of range 0..%d", what, v, maxID)
 		}
 		return int(v), nil
 	}
+	for i := 0; i < n; i++ {
+		kb := bs.kinds[i]
+		nargs := int(kb >> streamNArgsShift)
+		rf := Ref{
+			Kind:  RefKind(kb & kindMask),
+			Chain: kb&streamChainBit != 0,
+			Op:    ops[bs.opix[i]],
+			Depth: int(bs.depths[i]),
+		}
+		switch rf.Kind {
+		case RefPrim:
+			if rf.Result, err = readID("result id"); err != nil {
+				return refs, arena, 0, err
+			}
+			maxSeen = max(maxSeen, rf.Result)
+			if nargs == streamNArgsOverflow {
+				if nargs, err = d.readCount("argument count", maxEventArgs); err != nil {
+					return refs, arena, 0, err
+				}
+			}
+			if nargs > 0 {
+				if len(arena)+nargs > cap(arena) {
+					arena = make([]int, 0, max(4*blockEvents, nargs))
+				}
+				start := len(arena)
+				for j := 0; j < nargs; j++ {
+					id, err := readID("arg id")
+					if err != nil {
+						return refs, arena, 0, err
+					}
+					maxSeen = max(maxSeen, id)
+					arena = append(arena, id)
+				}
+				rf.Args = arena[start:len(arena):len(arena)]
+			}
+		case RefEnter:
+			if nargs == streamNArgsOverflow {
+				if nargs, err = d.readCount("nargs", maxEventArgs); err != nil {
+					return refs, arena, 0, err
+				}
+			}
+			rf.NArgs = nargs
+		}
+		refs = append(refs, rf)
+		d.event++
+	}
+	return refs, arena, maxSeen, nil
+}
 
-	var arena []int // chunked backing storage for ref Args
-	var kinds [blockEvents]byte
-	var depths [blockEvents]int64
-	var opix [blockEvents]uint32
-	remaining := nrefs
-	for remaining > 0 {
-		n := min(blockEvents, remaining)
-		got, err := d.readFull(kinds[:n])
-		if err != nil {
-			return nil, d.errf("unexpected EOF reading kind column (%d of %d bytes)", got, n)
-		}
-		for i := 0; i < n; i++ {
-			kb := kinds[i]
-			kind := kb & kindMask
-			if kind > byte(RefExit) ||
-				(kb&streamChainBit != 0 && kind != byte(RefPrim)) ||
-				(kind == byte(RefExit) && kb>>streamNArgsShift != 0) {
-				return nil, d.errf("bad ref kind byte %#x", kb)
-			}
-		}
-		for i := 0; i < n; i++ {
-			v, err := d.readUvarint("depth")
-			if err != nil {
-				return nil, err
-			}
-			if v > maxDepth {
-				return nil, d.errf("depth %d exceeds limit %d", v, int64(maxDepth))
-			}
-			depths[i] = int64(v)
-		}
-		for i := 0; i < n; i++ {
-			v, err := d.readUvarint("op index")
-			if err != nil {
-				return nil, err
-			}
-			if v >= uint64(len(ops)) {
-				return nil, d.errf("op index %d out of range (table has %d)", v, len(ops))
-			}
-			opix[i] = uint32(v)
-		}
-		for i := 0; i < n; i++ {
-			kb := kinds[i]
-			nargs := int(kb >> streamNArgsShift)
-			rf := Ref{
-				Kind:  RefKind(kb & kindMask),
-				Chain: kb&streamChainBit != 0,
-				Op:    ops[opix[i]],
-				Depth: int(depths[i]),
-			}
-			switch rf.Kind {
-			case RefPrim:
-				if rf.Result, err = readID("result id"); err != nil {
-					return nil, err
-				}
-				if nargs == streamNArgsOverflow {
-					if nargs, err = d.readCount("argument count", maxEventArgs); err != nil {
-						return nil, err
-					}
-				}
-				if nargs > 0 {
-					if len(arena)+nargs > cap(arena) {
-						arena = make([]int, 0, max(4*blockEvents, nargs))
-					}
-					start := len(arena)
-					for j := 0; j < nargs; j++ {
-						id, err := readID("arg id")
-						if err != nil {
-							return nil, err
-						}
-						arena = append(arena, id)
-					}
-					rf.Args = arena[start:len(arena):len(arena)]
-				}
-			case RefEnter:
-				if nargs == streamNArgsOverflow {
-					if nargs, err = d.readCount("nargs", maxEventArgs); err != nil {
-						return nil, err
-					}
-				}
-				rf.NArgs = nargs
-			}
-			st.Refs = append(st.Refs, rf)
-			d.event++
-		}
-		remaining -= n
+// recordingReader keeps a copy of every byte read through it, so a
+// streaming consumer can hand out byte-range slices of an upload while
+// it is still arriving. Earlier slices of buf stay valid across growth:
+// append may move the backing array but never mutates handed-out
+// prefixes.
+type recordingReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+func (rr *recordingReader) Read(p []byte) (int, error) {
+	n, err := rr.r.Read(p)
+	rr.buf = append(rr.buf, p[:n]...)
+	return n, err
+}
+
+// StreamScanner decodes an SMRS stream one block at a time, building
+// the same per-block bookkeeping an SMTX footer carries (byte offsets,
+// counts, id and table watermarks) as it goes. ReadStream is a Scan
+// loop; the ingest layer scans uploads block by block and dispatches
+// shards while the body is still arriving. If the input ends in an
+// SMTX footer, the final Scan verifies every claim it makes against
+// the recorded actuals.
+type StreamScanner struct {
+	d         streamDecoder
+	bs        BlockScratch
+	st        *Stream
+	ops       []Opcode
+	nrefs     int
+	remaining int
+	copyEnd   int64
+	idStart   int64
+	offs      []int64
+	counts    []int
+	marks     []int
+	idEnds    []int64
+	runMax    int
+	idCum     []int64 // lazy: bytes of id-text entries 1..m, cumulative
+	arena     []int
+	rec       *recordingReader
+	done      bool
+}
+
+// NewStreamScanner reads the stream header and prepares to scan
+// blocks. With keepRaw, every byte read is retained and Raw() exposes
+// the prefix read so far — the basis for zero-copy shard slicing.
+func NewStreamScanner(r io.Reader, keepRaw bool) (*StreamScanner, error) {
+	sc := &StreamScanner{}
+	if keepRaw {
+		sc.rec = &recordingReader{r: r}
+		r = sc.rec
 	}
-	if _, err := d.readByte(); err != io.EOF {
-		return nil, d.errf("trailing data after %d refs", nrefs)
+	sc.d = streamDecoder{Decoder{r: r, buf: make([]byte, decodeBufSize)}}
+	st, ops, copyEnd, idStart, nrefs, err := readStreamHeader(&sc.d)
+	if err != nil {
+		return nil, err
 	}
-	return st, nil
+	sc.st, sc.ops = st, ops
+	sc.copyEnd, sc.idStart, sc.nrefs = copyEnd, idStart, nrefs
+	sc.remaining = nrefs
+	st.Refs = make([]Ref, 0, min(nrefs, preallocCap))
+	nb := blockCountOf(nrefs)
+	sc.offs = append(make([]int64, 0, min(nb+1, preallocCap)), sc.d.off)
+	sc.counts = make([]int, 0, min(nb, preallocCap))
+	sc.marks = make([]int, 0, min(nb, preallocCap))
+	sc.idEnds = make([]int64, 0, min(nb, preallocCap))
+	return sc, nil
+}
+
+// idCumTo is the byte length of id-text entries 1..m as encoded; built
+// once, on first use, from the decoded texts.
+func (sc *StreamScanner) idCumTo(m int) int64 {
+	if sc.idCum == nil {
+		cum := make([]int64, 1, min(sc.st.MaxID, maxTableCount)+1)
+		for id := 1; id <= sc.st.MaxID; id++ {
+			t := sc.st.IDText[id]
+			cum = append(cum, cum[id-1]+int64(uvarintLen(uint64(len(t))))+int64(len(t)))
+		}
+		sc.idCum = cum
+	}
+	return sc.idCum[m]
+}
+
+// Scan decodes the next block, appending its refs to Stream().Refs,
+// and returns the number of refs decoded. After the last block it
+// consumes and verifies the optional SMTX footer, checks for trailing
+// garbage, and returns io.EOF.
+func (sc *StreamScanner) Scan() (int, error) {
+	if sc.done {
+		return 0, io.EOF
+	}
+	if sc.remaining == 0 {
+		sc.done = true
+		if err := sc.d.verifyTrailer("refs", sc.nrefs, sc.st.MaxID, sc.copyEnd, sc.idStart,
+			sc.offs, sc.marks, func(mark int) int64 { return sc.idStart + sc.idCumTo(mark) }); err != nil {
+			return 0, err
+		}
+		return 0, io.EOF
+	}
+	n := min(blockEvents, sc.remaining)
+	refs, arena, maxSeen, err := sc.bs.decodeBlock(&sc.d, sc.ops, sc.st.MaxID, n, sc.st.Refs, sc.arena)
+	sc.st.Refs, sc.arena = refs, arena
+	if err != nil {
+		return 0, err
+	}
+	sc.runMax = max(sc.runMax, maxSeen)
+	sc.remaining -= n
+	sc.offs = append(sc.offs, sc.d.off)
+	sc.counts = append(sc.counts, n)
+	sc.marks = append(sc.marks, sc.runMax)
+	sc.idEnds = append(sc.idEnds, sc.idStart+sc.idCumTo(sc.runMax))
+	return n, nil
+}
+
+// Stream returns the decoded stream: header fields are complete after
+// NewStreamScanner, Refs grows with each Scan. Sub-slices of Refs taken
+// between Scans stay valid as the slice grows.
+func (sc *StreamScanner) Stream() *Stream { return sc.st }
+
+// Refs is the total ref count declared by the header.
+func (sc *StreamScanner) Refs() int { return sc.nrefs }
+
+// Blocks is the number of blocks decoded so far.
+func (sc *StreamScanner) Blocks() int { return len(sc.counts) }
+
+// Offset is the number of input bytes consumed so far.
+func (sc *StreamScanner) Offset() int64 { return sc.d.off }
+
+// Raw returns the bytes read so far (keepRaw scanners only). The
+// prefix covering any decoded block is complete: the decoder never
+// consumes a byte it has not read.
+func (sc *StreamScanner) Raw() []byte {
+	if sc.rec == nil {
+		return nil
+	}
+	return sc.rec.buf
+}
+
+// IndexSnapshot returns an Index over the blocks decoded so far. The
+// slices alias the scanner's growing arrays: entries present at call
+// time are immutable, so a snapshot taken after Scan k stays valid
+// while scanning continues.
+func (sc *StreamScanner) IndexSnapshot() Index {
+	return Index{
+		Total:   len(sc.st.Refs),
+		MaxID:   sc.st.MaxID,
+		CopyEnd: sc.copyEnd,
+		IDStart: sc.idStart,
+		Offs:    sc.offs,
+		Counts:  sc.counts,
+		Marks:   sc.marks,
+		IDEnds:  sc.idEnds,
+	}
+}
+
+// ReadStream decodes a .refs file written by WriteStream. Errors carry
+// the byte offset of the failure. The decoder is strict — every id,
+// op index, and kind is range-checked — because smalld accepts
+// user-supplied streams.
+func ReadStream(r io.Reader) (*Stream, error) {
+	sc, err := NewStreamScanner(r, false)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := sc.Scan(); err != nil {
+			if err == io.EOF {
+				return sc.st, nil
+			}
+			return nil, err
+		}
+	}
 }
 
 // ReadAuto decodes a trace file in any supported format, sniffing the

@@ -7,9 +7,11 @@
 # per-tenant quota: pushes are accepted until staging fills, an
 # over-quota push gets 429 with Retry-After, a sharded run spread over
 # the workers returns a response byte-identical to the standalone
-# replay, consuming the run clears the backpressure, and the merged
-# results land in the gateway's disk cache and /metrics. Exits non-zero
-# on the first failure.
+# replay, a streaming SMRS upload dispatches its first shard before
+# staging completes (and matches the cluster statistics), consuming the
+# run clears the backpressure, and the merged results land in the
+# gateway's disk cache and /metrics. Exits non-zero on the first
+# failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -29,8 +31,10 @@ fail() { echo "smoke-ingest: FAIL: $*"; exit 1; }
 go build -o "$BIN" ./cmd/smalld
 go run ./cmd/tracegen -scale 1 -format binary -bench slang -out "$TMP" >/dev/null
 go run ./cmd/tracegen -scale 1 -format binary -bench pearl -out "$TMP" >/dev/null
+go run ./cmd/tracegen -scale 1 -format refs -bench lyra -out "$TMP" >/dev/null
 SLANG="$TMP/slang.btrace"
 PEARL="$TMP/pearl.btrace"
+LYRA="$TMP/lyra.refs"
 
 # Quota fits both traces once, with no room for a repeat push.
 QUOTA=$(( $(wc -c < "$SLANG") + $(wc -c < "$PEARL") + 16 ))
@@ -94,6 +98,33 @@ cmp -s "$TMP/solo-run.json" "$TMP/gw-run.json" ||
     { diff "$TMP/solo-run.json" "$TMP/gw-run.json" || true; fail "cluster run diverges from standalone"; }
 grep -q '"lpt_hits"' "$TMP/gw-run.json" || fail "run response has no stats: $(cat "$TMP/gw-run.json")"
 
+# Streaming ingest: an indexed SMRS upload replays shard-by-shard
+# while the bytes arrive. The response records when the first shard
+# dispatched and when staging finished — the whole point of the
+# streaming path is that the first precedes the second. The merged
+# statistics must match between standalone and cluster.
+STREAM_Q='shard_blocks=1&params=%7B%22table_size%22%3A256%2C%22seed%22%3A7%7D'
+curl -fsS --data-binary @"$LYRA" "http://$SOLO_ADDR/v1/ingest/t1/stream?$STREAM_Q" \
+    >"$TMP/solo-stream.json" || fail "standalone stream run"
+curl -fsS --data-binary @"$LYRA" "http://$GW_ADDR/v1/ingest/t1/stream?$STREAM_Q" \
+    >"$TMP/gw-stream.json" || fail "gateway stream run"
+for F in "$TMP/solo-stream.json" "$TMP/gw-stream.json"; do
+    FIRST=$(sed -n 's/.*"first_shard_ns": \([0-9]*\).*/\1/p' "$F")
+    STAGED=$(sed -n 's/.*"staged_ns": \([0-9]*\).*/\1/p' "$F")
+    [ -n "$FIRST" ] && [ -n "$STAGED" ] || { cat "$F"; fail "stream response missing latency split"; }
+    [ "$FIRST" -gt 0 ] || fail "first_shard_ns is zero (no shard dispatched?)"
+    [ "$FIRST" -lt "$STAGED" ] || fail "first shard at ${FIRST}ns did not precede staging completion at ${STAGED}ns"
+done
+# Timing differs run to run; the replayed statistics may not.
+sed -n '/"result"/,$p' "$TMP/solo-stream.json" >"$TMP/solo-stream-stats.json"
+sed -n '/"result"/,$p' "$TMP/gw-stream.json" >"$TMP/gw-stream-stats.json"
+cmp -s "$TMP/solo-stream-stats.json" "$TMP/gw-stream-stats.json" ||
+    { diff "$TMP/solo-stream-stats.json" "$TMP/gw-stream-stats.json" || true; fail "streaming stats diverge between standalone and cluster"; }
+grep -q '"shards": 36' "$TMP/solo-stream.json" || fail "expected 36 one-block shards: $(grep '"shards"' "$TMP/solo-stream.json")"
+SOLO_METRICS=$(curl -fsS "http://$SOLO_ADDR/metrics")
+echo "$SOLO_METRICS" | grep -q '^smalld_ingest_stream_jobs_total 1' ||
+    fail "standalone metrics missing smalld_ingest_stream_jobs_total"
+
 # The run consumed staging: the 429 clears and the same push succeeds.
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -H 'Content-Type: application/x-smtb' \
     --data-binary @"$SLANG" "http://$GW_ADDR/v1/ingest/t1")
@@ -106,7 +137,7 @@ ls "$TMP/cache/ingest"/*.json >/dev/null 2>&1 || fail "no cached run landed in -
 METRICS=$(curl -fsS "http://$GW_ADDR/metrics")
 for m in smallcluster_ingest_bytes_total smallcluster_ingest_segments_total \
          smallcluster_ingest_rejected_total smallcluster_ingest_jobs_total \
-         smallcluster_ingest_shards_total; do
+         smallcluster_ingest_shards_total smallcluster_ingest_stream_jobs_total; do
     echo "$METRICS" | grep -q "^$m" || fail "gateway metrics missing $m"
 done
 SHARDS=$(echo "$METRICS" | sed -n 's/^smallcluster_ingest_shards_total //p')
