@@ -9,12 +9,20 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis (see DESIGN.md "Static analysis"):
-# pooled Reset completeness, interned-opcode dispatch, ctx polling,
-# `// guarded by` lock discipline, decoder allocation limits. Kept
-# separate from `vet` so smallvet failures are distinguishable in CI
-# logs; `smallvet -json` emits machine-readable findings.
+# the ten-analyzer smallvet suite — resource close paths, dropped
+# errors, goroutine bounds, WaitGroup balance, `// guarded by` lock
+# discipline, pooled Reset completeness, interned-opcode dispatch, ctx
+# polling, defer-in-loop, decoder allocation limits. Kept separate from
+# `vet` so smallvet failures are distinguishable in CI logs; `smallvet
+# -json` emits machine-readable findings. Wall-clock is reported so a
+# lint slowdown shows up in `make verify` output, not just in CI step
+# durations.
 lint:
-	$(GO) run ./cmd/smallvet ./...
+	@start=$$(date +%s%N); \
+	$(GO) run ./cmd/smallvet ./...; status=$$?; \
+	end=$$(date +%s%N); \
+	echo "lint: smallvet (10 analyzers) took $$(( (end - start) / 1000000 )) ms"; \
+	exit $$status
 
 test:
 	$(GO) test ./...

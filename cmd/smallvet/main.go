@@ -1,8 +1,11 @@
 // Command smallvet is the SMALL codebase's project-specific static
-// analysis suite: a multichecker over five analyzers that enforce the
+// analysis suite: a multichecker over ten analyzers that enforce the
 // invariants the compiler cannot see — complete pooled-object resets,
 // interned-opcode dispatch, cancellation polling, `// guarded by`
-// mutex discipline, and clamped decoder allocations.
+// mutex discipline, clamped decoder allocations, and the
+// flow-sensitive family built on internal/analysis/cfg: resources
+// closed on every path, errors never dropped, goroutines bounded,
+// WaitGroup balance, and defers kept out of loops.
 //
 // Usage:
 //
@@ -10,8 +13,10 @@
 //
 // Packages default to ./... relative to -dir (default "."). Exit code
 // 1 means findings were reported, 2 means the analysis itself failed.
-// With -json, diagnostics are emitted as a JSON array of
-// {file, line, analyzer, message} objects for CI annotation scripts.
+// With -json, output is a single object: a "findings" array of
+// {file, line, col, end_line, end_col, analyzer, message} plus a
+// "summary" block counting findings per analyzer — so CI can diff
+// regressions across runs without parsing messages.
 //
 // Findings are suppressed per line with `// smallvet:ignore [names]`
 // (trailing on the offending line, or alone on the line above).
@@ -25,32 +30,55 @@ import (
 	"path/filepath"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/closepath"
 	"repro/internal/analysis/ctxloop"
 	"repro/internal/analysis/decodelimit"
+	"repro/internal/analysis/deferloop"
+	"repro/internal/analysis/errdrop"
+	"repro/internal/analysis/goroleak"
 	"repro/internal/analysis/lockguard"
 	"repro/internal/analysis/opdispatch"
 	"repro/internal/analysis/resetzero"
+	"repro/internal/analysis/waitgroup"
 )
 
 // Analyzers is the smallvet suite, in stable reporting order.
 var Analyzers = []*analysis.Analyzer{
+	closepath.Analyzer,
 	ctxloop.Analyzer,
 	decodelimit.Analyzer,
+	deferloop.Analyzer,
+	errdrop.Analyzer,
+	goroleak.Analyzer,
 	lockguard.Analyzer,
 	opdispatch.Analyzer,
 	resetzero.Analyzer,
+	waitgroup.Analyzer,
 }
 
-// jsonDiagnostic is the -json wire shape (a stable contract for CI).
+// jsonDiagnostic is one finding in the -json wire shape (a stable
+// contract for CI). end_line/end_col close the source range when the
+// analyzer reported one; otherwise they repeat line/col.
 type jsonDiagnostic struct {
 	File     string `json:"file"`
 	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	EndLine  int    `json:"end_line"`
+	EndCol   int    `json:"end_col"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
 }
 
+// jsonReport is the -json top-level object.
+type jsonReport struct {
+	Findings []jsonDiagnostic `json:"findings"`
+	// Summary counts findings per analyzer (keys sort on encode), the
+	// number CI diffs across PRs.
+	Summary map[string]int `json:"summary"`
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (file, line, analyzer, message)")
+	jsonOut := flag.Bool("json", false, "emit findings and per-analyzer summary as JSON")
 	dir := flag.String("dir", ".", "directory to resolve package patterns from")
 	flag.Parse()
 
@@ -60,18 +88,25 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		out := make([]jsonDiagnostic, 0, len(diags))
+		report := jsonReport{
+			Findings: make([]jsonDiagnostic, 0, len(diags)),
+			Summary:  make(map[string]int),
+		}
 		for _, d := range diags {
-			out = append(out, jsonDiagnostic{
+			report.Findings = append(report.Findings, jsonDiagnostic{
 				File:     d.Position.Filename,
 				Line:     d.Position.Line,
+				Col:      d.Position.Column,
+				EndLine:  d.EndPosition.Line,
+				EndCol:   d.EndPosition.Column,
 				Analyzer: d.Analyzer,
 				Message:  d.Message,
 			})
+			report.Summary[d.Analyzer]++
 		}
-		if err := enc.Encode(out); err != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintf(os.Stderr, "smallvet: %v\n", err)
 			os.Exit(2)
 		}

@@ -54,8 +54,16 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportRangef(pos, pos, format, args...)
+}
+
+// ReportRangef records a diagnostic spanning [pos, end) — the range an
+// editor or CI annotator should highlight. end == pos (or token.NoPos)
+// collapses to a point diagnostic.
+func (p *Pass) ReportRangef(pos, end token.Pos, format string, args ...any) {
 	p.report(Diagnostic{
 		Pos:      pos,
+		End:      end,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -64,13 +72,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Pos      token.Pos
+	End      token.Pos // end of the highlighted range; may equal Pos
 	Analyzer string
 	Message  string
 
 	// Position is the resolved file position, filled in by the runner
 	// (file paths are made relative to the load directory so output is
-	// stable across checkouts).
-	Position token.Position
+	// stable across checkouts). EndPosition resolves End the same way
+	// and equals Position for point diagnostics.
+	Position    token.Position
+	EndPosition token.Position
 }
 
 // String renders the diagnostic in the conventional

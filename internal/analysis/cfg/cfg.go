@@ -1,0 +1,459 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and runs forward dataflow analyses over them.
+//
+// It is the flow-sensitive layer under cmd/smallvet's analyzers: the
+// AST walks of the original five analyzers cannot express properties
+// like "this file is closed on every path" or "this WaitGroup counter
+// balances however the branches fall", so closepath, waitgroup,
+// goroleak, and the rebuilt lockguard all run as dataflow problems
+// over the graphs this package builds. The shape deliberately mirrors
+// golang.org/x/tools/go/cfg — blocks are ordered lists of ast.Node
+// (statements and the expressions that drive branches), a synthetic
+// exit block collects every return — but, like the rest of
+// internal/analysis, it is hermetic: standard library only.
+//
+// Differences from x/tools/go/cfg that the analyzers rely on:
+//
+//   - A block that branches records its condition in Block.Cond, and
+//     Succs[0]/Succs[1] are the true/false edges — so an analysis can
+//     refine state along an `if err != nil` edge (dataflow.go's
+//     Branch hook).
+//   - Deferred calls are kept in Graph.Defers (lexical order) and the
+//     DeferStmt node stays in its block, so an analysis chooses the
+//     defer semantics it needs: effects at the registration site
+//     (closepath, waitgroup — the deferred call runs at exit on
+//     exactly the paths that registered it) or no effect at all
+//     (lockguard — a deferred unlock keeps the mutex held to the end).
+//   - Calls that cannot return — panic, os.Exit, log.Fatal*,
+//     runtime.Goexit — terminate their block with an edge straight to
+//     Exit, so "leaks" on dying paths are visible to analyses that
+//     care and ignorable by those that don't (the call is the block's
+//     last node; see IsNoReturn).
+//
+// Function literals are opaque: the builder does not descend into a
+// FuncLit body (build a separate graph for it), matching the
+// per-function scope of every smallvet analyzer.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks holds every block in creation order. Blocks[0] is the
+	// entry block; Exit is also in the list. Unreachable statements
+	// (code after return, empty labels) still get blocks — they simply
+	// have no predecessors, and dataflow marks them unreached.
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	// Defers lists every defer statement in lexical order. The
+	// DeferStmt nodes also appear in their blocks, so flow-sensitive
+	// analyses see registration in path order.
+	Defers []*ast.DeferStmt
+}
+
+// Block is a maximal straight-line sequence of AST nodes.
+type Block struct {
+	Index int
+	// Kind names the construct that created the block ("entry",
+	// "if.then", "for.body", "select.comm", ...); it exists for tests
+	// and debugging and carries no semantics.
+	Kind string
+	// Nodes holds statements and branch-driving expressions in
+	// execution order. A branching block's condition is its last node.
+	Nodes []ast.Node
+	// Succs are the successor blocks. When Cond is non-nil there are
+	// exactly two: Succs[0] is taken when Cond is true, Succs[1] when
+	// false. A block with no successors terminates the function
+	// (return, panic, `select {}`), flowing to Exit if anywhere.
+	Succs []*Block
+	// Cond is the branch condition evaluated at the end of this block,
+	// or nil for unconditional flow.
+	Cond ast.Expr
+}
+
+// New builds the graph for a function body. body must be non-nil.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: map[string]*lblock{}}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	if last := b.stmtList(body.List, b.g.Entry); last != nil {
+		b.edge(last, b.g.Exit)
+	}
+	return b.g
+}
+
+// lblock tracks the blocks a label can transfer control to.
+type lblock struct {
+	goto_ *Block // the labeled statement itself
+	brk   *Block // break target when the label names a loop/switch/select
+	cont  *Block // continue target when the label names a loop
+}
+
+// targets is the stack of enclosing break/continue destinations.
+type targets struct {
+	outer *targets
+	brk   *Block
+	cont  *Block // nil inside switch/select
+}
+
+type builder struct {
+	g       *Graph
+	labels  map[string]*lblock
+	targets *targets
+	// fallthroughTo is the next case body while building a switch
+	// clause, the target of a `fallthrough` statement.
+	fallthroughTo *Block
+	// pendingLabel carries a label into the loop/switch it names, so
+	// `break L` / `continue L` resolve.
+	pendingLabel *lblock
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// branch ends cur with a two-way conditional edge.
+func (b *builder) branch(cur *Block, cond ast.Expr, t, f *Block) {
+	cur.Nodes = append(cur.Nodes, cond)
+	cur.Cond = cond
+	cur.Succs = append(cur.Succs, t, f)
+}
+
+// stmtList builds list starting in cur; it returns the block control
+// falls out of, or nil when every path terminated.
+func (b *builder) stmtList(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code still gets a graph (labels inside it may
+			// be jumped to); the block just has no predecessors.
+			cur = b.newBlock("unreachable")
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// stmt builds one statement; same contract as stmtList.
+func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, x)
+		b.edge(cur, b.g.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branchStmt(x, cur)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(x.Label.Name)
+		b.edge(cur, lb.goto_)
+		b.pendingLabel = lb
+		return b.stmt(x.Stmt, lb.goto_)
+
+	case *ast.BlockStmt:
+		return b.stmtList(x.List, cur)
+
+	case *ast.IfStmt:
+		return b.ifStmt(x, cur)
+
+	case *ast.ForStmt:
+		return b.forStmt(x, cur)
+
+	case *ast.RangeStmt:
+		return b.rangeStmt(x, cur)
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			cur = b.stmt(x.Init, cur)
+		}
+		if x.Tag != nil {
+			cur.Nodes = append(cur.Nodes, x.Tag)
+		}
+		return b.switchBody(x.Body, cur, "switch")
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			cur = b.stmt(x.Init, cur)
+		}
+		cur.Nodes = append(cur.Nodes, x.Assign)
+		return b.switchBody(x.Body, cur, "typeswitch")
+
+	case *ast.SelectStmt:
+		return b.selectStmt(x, cur)
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, x)
+		cur.Nodes = append(cur.Nodes, x)
+		return cur
+
+	default:
+		// Leaf statements: ExprStmt, AssignStmt, DeclStmt, IncDecStmt,
+		// GoStmt, SendStmt, EmptyStmt.
+		cur.Nodes = append(cur.Nodes, s)
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok && IsNoReturn(call) {
+				b.edge(cur, b.g.Exit)
+				return nil
+			}
+		}
+		return cur
+	}
+}
+
+func (b *builder) branchStmt(x *ast.BranchStmt, cur *Block) *Block {
+	cur.Nodes = append(cur.Nodes, x)
+	var target *Block
+	switch x.Tok {
+	case token.BREAK:
+		if x.Label != nil {
+			if lb := b.labels[x.Label.Name]; lb != nil {
+				target = lb.brk
+			}
+		} else {
+			for t := b.targets; t != nil; t = t.outer {
+				if t.brk != nil {
+					target = t.brk
+					break
+				}
+			}
+		}
+	case token.CONTINUE:
+		if x.Label != nil {
+			if lb := b.labels[x.Label.Name]; lb != nil {
+				target = lb.cont
+			}
+		} else {
+			for t := b.targets; t != nil; t = t.outer {
+				if t.cont != nil {
+					target = t.cont
+					break
+				}
+			}
+		}
+	case token.GOTO:
+		if x.Label != nil {
+			target = b.labelBlock(x.Label.Name).goto_
+		}
+	case token.FALLTHROUGH:
+		target = b.fallthroughTo
+	}
+	if target != nil {
+		b.edge(cur, target)
+	}
+	// Ill-formed jumps (missing label) just terminate the path; the
+	// typechecker reports them, not us.
+	return nil
+}
+
+func (b *builder) labelBlock(name string) *lblock {
+	lb := b.labels[name]
+	if lb == nil {
+		lb = &lblock{goto_: b.newBlock("label." + name)}
+		b.labels[name] = lb
+	}
+	return lb
+}
+
+func (b *builder) ifStmt(x *ast.IfStmt, cur *Block) *Block {
+	if x.Init != nil {
+		cur = b.stmt(x.Init, cur)
+	}
+	then := b.newBlock("if.then")
+	var done *Block
+	ensureDone := func() *Block {
+		if done == nil {
+			done = b.newBlock("if.done")
+		}
+		return done
+	}
+	if x.Else != nil {
+		els := b.newBlock("if.else")
+		b.branch(cur, x.Cond, then, els)
+		if out := b.stmt(x.Else, els); out != nil {
+			b.edge(out, ensureDone())
+		}
+	} else {
+		b.branch(cur, x.Cond, then, ensureDone())
+	}
+	if out := b.stmtList(x.Body.List, then); out != nil {
+		b.edge(out, ensureDone())
+	}
+	return done
+}
+
+// takeLabel consumes a pending label for the loop/switch being built.
+func (b *builder) takeLabel(brk, cont *Block) {
+	if b.pendingLabel != nil {
+		b.pendingLabel.brk = brk
+		b.pendingLabel.cont = cont
+		b.pendingLabel = nil
+	}
+}
+
+func (b *builder) forStmt(x *ast.ForStmt, cur *Block) *Block {
+	if x.Init != nil {
+		cur = b.stmt(x.Init, cur)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	cont := head
+	if x.Post != nil {
+		cont = b.newBlock("for.post")
+	}
+	b.edge(cur, head)
+	if x.Cond != nil {
+		b.branch(head, x.Cond, body, done)
+	} else {
+		// `for {}`: the only exits are break/return inside the body.
+		b.edge(head, body)
+	}
+	b.takeLabel(done, cont)
+	b.targets = &targets{outer: b.targets, brk: done, cont: cont}
+	out := b.stmtList(x.Body.List, body)
+	b.targets = b.targets.outer
+	if out != nil {
+		b.edge(out, cont)
+	}
+	if x.Post != nil {
+		cont.Nodes = append(cont.Nodes, x.Post)
+		b.edge(cont, head)
+	}
+	return done
+}
+
+func (b *builder) rangeStmt(x *ast.RangeStmt, cur *Block) *Block {
+	// The ranged expression is evaluated once, before the loop.
+	cur.Nodes = append(cur.Nodes, x.X)
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	b.edge(cur, head)
+	// head decides: another element (body) or exhausted (done). The
+	// key/value assignment happens on the body edge; analyses that care
+	// about the iteration variables see them via the head's range node.
+	head.Nodes = append(head.Nodes, rangeAssign(x)...)
+	b.edge(head, body)
+	b.edge(head, done)
+	b.takeLabel(done, head)
+	b.targets = &targets{outer: b.targets, brk: done, cont: head}
+	out := b.stmtList(x.Body.List, body)
+	b.targets = b.targets.outer
+	if out != nil {
+		b.edge(out, head)
+	}
+	return done
+}
+
+// rangeAssign returns the iteration-variable expressions of a range
+// statement, so transfers observe the per-iteration assignment.
+func rangeAssign(x *ast.RangeStmt) []ast.Node {
+	var out []ast.Node
+	if x.Key != nil {
+		out = append(out, x.Key)
+	}
+	if x.Value != nil {
+		out = append(out, x.Value)
+	}
+	return out
+}
+
+// switchBody builds the clauses of a switch/type-switch. cur holds the
+// evaluated tag; every clause is a successor of it (clause ordering and
+// case-expression evaluation order are flattened — precise enough for
+// the lattice analyses smallvet runs).
+func (b *builder) switchBody(body *ast.BlockStmt, cur *Block, kind string) *Block {
+	done := b.newBlock(kind + ".done")
+	b.takeLabel(done, nil)
+
+	// Create every clause block first so fallthrough has a target.
+	clauses := make([]*Block, len(body.List))
+	hasDefault := false
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		clauses[i] = b.newBlock(kind + ".case")
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(cur, clauses[i])
+	}
+	if !hasDefault {
+		b.edge(cur, done)
+	}
+
+	b.targets = &targets{outer: b.targets, brk: done}
+	savedFall := b.fallthroughTo
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		blk := clauses[i]
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		b.fallthroughTo = nil
+		if i+1 < len(clauses) {
+			b.fallthroughTo = clauses[i+1]
+		}
+		if out := b.stmtList(cc.Body, blk); out != nil {
+			b.edge(out, done)
+		}
+	}
+	b.fallthroughTo = savedFall
+	b.targets = b.targets.outer
+	return done
+}
+
+func (b *builder) selectStmt(x *ast.SelectStmt, cur *Block) *Block {
+	if len(x.Body.List) == 0 {
+		// `select {}` blocks forever: no successors.
+		cur.Nodes = append(cur.Nodes, x)
+		return nil
+	}
+	done := b.newBlock("select.done")
+	b.takeLabel(done, nil)
+	b.targets = &targets{outer: b.targets, brk: done}
+	for _, c := range x.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock("select.comm")
+		b.edge(cur, blk)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		if out := b.stmtList(cc.Body, blk); out != nil {
+			b.edge(out, done)
+		}
+	}
+	b.targets = b.targets.outer
+	return done
+}
+
+// IsNoReturn reports whether a call can never return normally: the
+// panic builtin, os.Exit, runtime.Goexit, or the log.Fatal family.
+// Matching is by name (this package has no type information); the
+// standard-library names are load-bearing enough in this codebase that
+// shadowing them would fail review long before it confused the CFG.
+func IsNoReturn(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}

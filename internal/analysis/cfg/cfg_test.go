@@ -1,0 +1,527 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses src (one function declaration) and returns its body.
+func parseFunc(t *testing.T, src string) *ast.FuncDecl {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "t.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	t.Fatal("no function in src")
+	return nil
+}
+
+// sketch renders a graph as one line per block: "i:kind -> succs",
+// with * marking blocks that end in a two-way condition.
+func sketch(g *Graph) string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "%d:%s", b.Index, b.Kind)
+		if b.Cond != nil {
+			sb.WriteString("*")
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " %d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func checkSketch(t *testing.T, src, want string) *Graph {
+	t.Helper()
+	g := New(parseFunc(t, src).Body)
+	got := strings.TrimSpace(sketch(g))
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("graph mismatch for:\n%s\ngot:\n%s\nwant:\n%s", src, got, want)
+	}
+	return g
+}
+
+func TestIfElse(t *testing.T) {
+	checkSketch(t, `
+func f(c bool) {
+	if c {
+		a()
+	} else {
+		b()
+	}
+	d()
+}`, `
+0:entry* -> 2 3
+1:exit
+2:if.then -> 4
+3:if.else -> 4
+4:if.done -> 1
+`)
+}
+
+func TestIfReturnBothArms(t *testing.T) {
+	// Both arms return: no if.done block, nothing falls through.
+	checkSketch(t, `
+func f(c bool) int {
+	if c {
+		return 1
+	} else {
+		return 2
+	}
+}`, `
+0:entry* -> 2 3
+1:exit
+2:if.then -> 1
+3:if.else -> 1
+`)
+}
+
+func TestForCondPost(t *testing.T) {
+	checkSketch(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		a(i)
+	}
+	b()
+}`, `
+0:entry -> 2
+1:exit
+2:for.head* -> 3 4
+3:for.body -> 5
+4:for.done -> 1
+5:for.post -> 2
+`)
+}
+
+func TestForeverBreak(t *testing.T) {
+	// `for {}` has no head->done edge; break is the only way out.
+	g := checkSketch(t, `
+func f(c bool) {
+	for {
+		if c {
+			break
+		}
+		a()
+	}
+	b()
+}`, `
+0:entry -> 2
+1:exit
+2:for.head -> 3
+3:for.body* -> 5 6
+4:for.done -> 1
+5:if.then -> 4
+6:if.done -> 2
+`)
+	// The break edge, not the head, must feed for.done.
+	if g.Blocks[4].Kind != "for.done" {
+		t.Fatalf("block 4 is %s", g.Blocks[4].Kind)
+	}
+}
+
+func TestRange(t *testing.T) {
+	checkSketch(t, `
+func f(xs []int) {
+	for _, x := range xs {
+		a(x)
+	}
+	b()
+}`, `
+0:entry -> 2
+1:exit
+2:range.head -> 3 4
+3:range.body -> 2
+4:range.done -> 1
+`)
+}
+
+func TestSwitchFallthroughDefault(t *testing.T) {
+	checkSketch(t, `
+func f(n int) {
+	switch n {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+	d()
+}`, `
+0:entry -> 3 4 5
+1:exit
+2:switch.done -> 1
+3:switch.case -> 4
+4:switch.case -> 2
+5:switch.case -> 2
+`)
+}
+
+func TestSwitchNoDefaultSkips(t *testing.T) {
+	// Without a default the tag block can flow straight to done.
+	checkSketch(t, `
+func f(n int) {
+	switch n {
+	case 1:
+		a()
+	}
+}`, `
+0:entry -> 3 2
+1:exit
+2:switch.done -> 1
+3:switch.case -> 2
+`)
+}
+
+func TestSelect(t *testing.T) {
+	checkSketch(t, `
+func f(ch chan int, done chan struct{}) {
+	select {
+	case v := <-ch:
+		a(v)
+	case <-done:
+		return
+	}
+	b()
+}`, `
+0:entry -> 3 4
+1:exit
+2:select.done -> 1
+3:select.comm -> 2
+4:select.comm -> 1
+`)
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := New(parseFunc(t, `
+func f() {
+	select {}
+}`).Body)
+	if len(g.Entry.Succs) != 0 {
+		t.Errorf("select{} must not fall through, got succs %v", g.Entry.Succs)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	checkSketch(t, `
+func f(m [][]int) {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v < 0 {
+				continue outer
+			}
+			if v == 0 {
+				break outer
+			}
+			a(v)
+		}
+	}
+	b()
+}`, `
+0:entry -> 2
+1:exit
+2:label.outer -> 3
+3:range.head -> 4 5
+4:range.body -> 6
+5:range.done -> 1
+6:range.head -> 7 8
+7:range.body* -> 9 10
+8:range.done -> 3
+9:if.then -> 3
+10:if.done* -> 11 12
+11:if.then -> 5
+12:if.done -> 6
+`)
+}
+
+func TestGotoForward(t *testing.T) {
+	checkSketch(t, `
+func f(c bool) {
+	if c {
+		goto out
+	}
+	a()
+out:
+	b()
+}`, `
+0:entry* -> 2 3
+1:exit
+2:if.then -> 4
+3:if.done -> 4
+4:label.out -> 1
+`)
+}
+
+func TestDefersCollectedAndPanicEdge(t *testing.T) {
+	g := New(parseFunc(t, `
+func f(c bool) {
+	defer a()
+	if c {
+		panic("boom")
+	}
+	defer b()
+}`).Body)
+	if len(g.Defers) != 2 {
+		t.Fatalf("want 2 defers, got %d", len(g.Defers))
+	}
+	// The panic block's sole successor must be exit, and the second
+	// defer must sit on the fall-through path only.
+	var panicBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok && IsNoReturn(call) {
+					panicBlock = b
+				}
+			}
+		}
+	}
+	if panicBlock == nil {
+		t.Fatal("panic call not found in any block")
+	}
+	if len(panicBlock.Succs) != 1 || panicBlock.Succs[0] != g.Exit {
+		t.Errorf("panic block should edge straight to exit, got %v", panicBlock.Succs)
+	}
+}
+
+func TestNoReturnCalls(t *testing.T) {
+	g := New(parseFunc(t, `
+func f() {
+	os.Exit(1)
+}`).Body)
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Errorf("os.Exit should terminate the block with an exit edge")
+	}
+	g = New(parseFunc(t, `
+func f() {
+	log.Fatalf("x")
+	a()
+}`).Body)
+	// a() lands in an unreachable block.
+	var unreached bool
+	for _, b := range g.Blocks {
+		if b.Kind == "unreachable" {
+			unreached = true
+		}
+	}
+	if !unreached {
+		t.Error("statement after log.Fatalf should be in an unreachable block")
+	}
+}
+
+// --- dataflow fixpoint tests -------------------------------------------
+
+// assignedOnAllPaths runs a must-analysis: the set of variable names
+// assigned on every path. Join is set intersection.
+func assignedOnAllPaths(t *testing.T, src string) (map[string]bool, bool) {
+	t.Helper()
+	g := New(parseFunc(t, src).Body)
+	a := Analysis[map[string]bool]{
+		Entry:    func() map[string]bool { return map[string]bool{} },
+		Transfer: transferAssign,
+		Join: func(x, y map[string]bool) map[string]bool {
+			for k := range x {
+				if !y[k] {
+					delete(x, k)
+				}
+			}
+			return x
+		},
+		Clone: cloneSet,
+		Equal: equalSet,
+	}
+	res := Run(g, a)
+	return res.Exit()
+}
+
+func transferAssign(s map[string]bool, n ast.Node) map[string]bool {
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				s[id.Name] = true
+			}
+		}
+	}
+	return s
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func equalSet(x, y map[string]bool) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for k := range x {
+		if !y[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDataflowBranchJoin(t *testing.T) {
+	got, ok := assignedOnAllPaths(t, `
+func f(c bool) {
+	if c {
+		x = 1
+		y = 1
+	} else {
+		x = 2
+	}
+	_ = x
+}`)
+	if !ok {
+		t.Fatal("exit unreached")
+	}
+	if !got["x"] || got["y"] {
+		t.Errorf("want x assigned on all paths and y not; got %v", got)
+	}
+}
+
+func TestDataflowLoopMayNotRun(t *testing.T) {
+	// A conditional loop body is not a must-assign.
+	got, ok := assignedOnAllPaths(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		x = 1
+	}
+}`)
+	if !ok {
+		t.Fatal("exit unreached")
+	}
+	if got["x"] {
+		t.Errorf("x assigned only when the loop runs; got %v", got)
+	}
+}
+
+func TestDataflowForeverLoopMustRun(t *testing.T) {
+	// `for {}` only exits through break, which follows the assignment.
+	got, ok := assignedOnAllPaths(t, `
+func f(c bool) {
+	for {
+		x = 1
+		if c {
+			break
+		}
+	}
+}`)
+	if !ok {
+		t.Fatal("exit unreached")
+	}
+	if !got["x"] {
+		t.Errorf("x assigned before every break; got %v", got)
+	}
+}
+
+func TestDataflowBranchRefinement(t *testing.T) {
+	// A Branch hook sees which edge it flows along.
+	g := New(parseFunc(t, `
+func f(c bool) {
+	if c {
+		a()
+	} else {
+		b()
+	}
+}`).Body)
+	a := Analysis[map[string]bool]{
+		Entry:    func() map[string]bool { return map[string]bool{} },
+		Transfer: func(s map[string]bool, n ast.Node) map[string]bool { return s },
+		Branch: func(s map[string]bool, cond ast.Expr, taken bool) map[string]bool {
+			if id, ok := cond.(*ast.Ident); ok {
+				s[fmt.Sprintf("%s=%v", id.Name, taken)] = true
+			}
+			return s
+		},
+		Join:  func(x, y map[string]bool) map[string]bool { return x },
+		Clone: cloneSet,
+		Equal: equalSet,
+	}
+	res := Run(g, a)
+	var then, els *Block
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case "if.then":
+			then = b
+		case "if.else":
+			els = b
+		}
+	}
+	if !res.In[then.Index]["c=true"] {
+		t.Errorf("then-branch state missing refinement: %v", res.In[then.Index])
+	}
+	if !res.In[els.Index]["c=false"] {
+		t.Errorf("else-branch state missing refinement: %v", res.In[els.Index])
+	}
+}
+
+func TestDataflowDeferAtSite(t *testing.T) {
+	// The Defer hook applies at the registration point, so a path that
+	// returns before the defer never sees its effect.
+	src := `
+func f(c bool) {
+	if c {
+		return
+	}
+	defer done()
+}`
+	g := New(parseFunc(t, src).Body)
+	deferred := 0
+	a := Analysis[map[string]bool]{
+		Entry:    func() map[string]bool { return map[string]bool{} },
+		Transfer: func(s map[string]bool, n ast.Node) map[string]bool { return s },
+		Defer: func(s map[string]bool, d *ast.DeferStmt) map[string]bool {
+			deferred++
+			s["done"] = true
+			return s
+		},
+		// May-join: the defer ran on at least one path.
+		Join: func(x, y map[string]bool) map[string]bool {
+			for k := range y {
+				x[k] = true
+			}
+			return x
+		},
+		Clone: cloneSet,
+		Equal: equalSet,
+	}
+	res := Run(g, a)
+	exit, ok := res.Exit()
+	if !ok || !exit["done"] {
+		t.Errorf("defer effect should reach exit on the fall-through path: %v", exit)
+	}
+	if deferred == 0 {
+		t.Error("Defer hook never invoked")
+	}
+	// Replay over the entry block must not see the defer (it is in the
+	// if.done block), and replay visits states before each node.
+	var visited []string
+	res.Replay(a, g.Entry, func(s map[string]bool, n ast.Node) {
+		visited = append(visited, fmt.Sprintf("%T", n))
+	})
+	if len(visited) == 0 {
+		t.Error("replay visited no nodes")
+	}
+}

@@ -1,0 +1,155 @@
+package cfg
+
+import "go/ast"
+
+// Analysis defines a forward dataflow problem over a Graph. S is the
+// abstract state; the framework owns cloning and joining so a problem
+// only describes its lattice and transfer function.
+//
+// The fixpoint iterates to convergence, so Transfer must be monotone
+// over the lattice (Join must not lose what Transfer adds) and Equal
+// must be a true equivalence — the usual termination contract.
+type Analysis[S any] struct {
+	// Entry produces the state on function entry.
+	Entry func() S
+	// Transfer applies one node's effect. It may mutate and return its
+	// argument: the framework always passes an owned clone.
+	Transfer func(S, ast.Node) S
+	// Defer, when set, is applied at a defer statement's registration
+	// site instead of Transfer. A deferred call runs at function exit
+	// on exactly the paths that registered it, so for "eventually
+	// happens" properties (Close, wg.Done) applying the effect at the
+	// site is the precise choice; leave Defer nil and skip DeferStmt in
+	// Transfer for "happens now" properties (lock transitions).
+	Defer func(S, *ast.DeferStmt) S
+	// Branch, when set, refines the state flowing along the true
+	// (taken=true, Succs[0]) or false edge of a block ending in Cond.
+	// It may mutate and return its argument (an owned clone).
+	Branch func(s S, cond ast.Expr, taken bool) S
+	// Join merges two states at a control-flow merge; it may mutate and
+	// return its first argument.
+	Join func(S, S) S
+	// Clone returns an independent copy of a state.
+	Clone func(S) S
+	// Equal reports whether two states are equivalent (fixpoint test).
+	Equal func(S, S) bool
+}
+
+// Result holds the fixpoint of a forward analysis.
+type Result[S any] struct {
+	Graph *Graph
+	// In[i] is the state on entry to Blocks[i]; valid when Reached[i].
+	In []S
+	// Reached[i] reports whether Blocks[i] is reachable from entry
+	// (unreachable blocks exist for dead code and empty labels).
+	Reached []bool
+}
+
+// Exit returns the joined state on entry to the exit block — the
+// function's "at every return" state — and false when no path reaches
+// it (the function always panics or loops forever).
+func (r *Result[S]) Exit() (S, bool) {
+	i := r.Graph.Exit.Index
+	if !r.Reached[i] {
+		var zero S
+		return zero, false
+	}
+	return r.In[i], true
+}
+
+// Run iterates a to fixpoint over g and returns the per-block states.
+func Run[S any](g *Graph, a Analysis[S]) *Result[S] {
+	r := &Result[S]{
+		Graph:   g,
+		In:      make([]S, len(g.Blocks)),
+		Reached: make([]bool, len(g.Blocks)),
+	}
+	r.In[g.Entry.Index] = a.Entry()
+	r.Reached[g.Entry.Index] = true
+
+	order := postorder(g)
+	// Reverse postorder: propagate along forward edges in one sweep,
+	// re-sweeping only while back edges still change something.
+	for changed := true; changed; {
+		changed = false
+		for i := len(order) - 1; i >= 0; i-- {
+			b := order[i]
+			if !r.Reached[b.Index] {
+				continue
+			}
+			out := flowBlock(a, a.Clone(r.In[b.Index]), b, nil)
+			for si, succ := range b.Succs {
+				edge := a.Clone(out)
+				if b.Cond != nil && a.Branch != nil {
+					edge = a.Branch(edge, b.Cond, si == 0)
+				}
+				if !r.Reached[succ.Index] {
+					r.In[succ.Index] = edge
+					r.Reached[succ.Index] = true
+					changed = true
+					continue
+				}
+				old := a.Clone(r.In[succ.Index])
+				joined := a.Join(r.In[succ.Index], edge)
+				r.In[succ.Index] = joined
+				if !a.Equal(joined, old) {
+					changed = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Replay re-applies the transfer over one reached block from its
+// fixpoint in-state, calling visit with the state in force *before*
+// each node — the hook reporting passes use to check properties at
+// exact program points without re-running the fixpoint.
+func (r *Result[S]) Replay(a Analysis[S], b *Block, visit func(S, ast.Node)) {
+	if !r.Reached[b.Index] {
+		return
+	}
+	flowBlock(a, a.Clone(r.In[b.Index]), b, visit)
+}
+
+func flowBlock[S any](a Analysis[S], s S, b *Block, visit func(S, ast.Node)) S {
+	for _, n := range b.Nodes {
+		if visit != nil {
+			visit(s, n)
+		}
+		if d, ok := n.(*ast.DeferStmt); ok && a.Defer != nil {
+			s = a.Defer(s, d)
+			continue
+		}
+		s = a.Transfer(s, n)
+	}
+	return s
+}
+
+// postorder returns the blocks reachable from entry in DFS postorder.
+// Unreachable blocks are appended at the end so every block gets
+// visited exactly once per sweep.
+func postorder(g *Graph) []*Block {
+	seen := make([]bool, len(g.Blocks))
+	out := make([]*Block, 0, len(g.Blocks))
+	var visit func(*Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+		out = append(out, b)
+	}
+	visit(g.Entry)
+	// Stable tail for unreachable blocks: creation order, reversed so
+	// the reverse-postorder sweep visits them in creation order.
+	for i := len(g.Blocks) - 1; i >= 0; i-- {
+		if !seen[i] {
+			out = append(out, g.Blocks[i])
+		}
+	}
+	return out
+}

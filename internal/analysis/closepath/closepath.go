@@ -1,0 +1,563 @@
+// Package closepath checks that OS-level resources are released on
+// every control-flow path.
+//
+// The serving layers open files, sockets, and HTTP bodies on hot
+// paths; a handle leaked on an error path is invisible to tests (the
+// happy path closes it) but fatal under production load — exactly the
+// access-discipline class of invariant smallvet exists for. For every
+// function in the serving packages (internal/server, internal/cluster,
+// internal/ingest, and every cmd/ binary), a resource assigned to a
+// local variable — *os.File, a net connection or listener, or an
+// *http.Response (whose Body must be closed) — must, on every path
+// from its creation to every return, either:
+//
+//   - be closed: x.Close() / resp.Body.Close(), directly or deferred
+//     (a deferred close counts on exactly the paths that registered
+//     the defer — the dataflow applies it at the defer site);
+//   - escape to the caller: appear in a return statement; or
+//   - escape into longer-lived storage: be stored into a struct field,
+//     map, slice, or composite literal, sent on a channel, handed to a
+//     goroutine, captured by a function literal, or passed to a
+//     function that may take ownership.
+//
+// The analysis runs on the shared CFG/dataflow layer (internal/
+// analysis/cfg) with a may-leak lattice: states join by union, so a
+// resource closed on one arm of a branch but not the other is still
+// open. Error-return paths do not fire spuriously: along an
+// `err != nil` edge, resources created by the same call that produced
+// err are known nil and dropped from the state (cfg's Branch hook).
+// Paths that end in panic/os.Exit/log.Fatal release nothing and are
+// exempt — the process is dying.
+//
+// Passing a resource as a plain call argument is treated as an
+// ownership transfer (the callee may retain or close it) — except for
+// a short list of standard-library readers/writers that provably do
+// not take ownership (io.ReadAll, io.Copy, the fmt.Fprint family,
+// bufio/json constructors): after `data, err := io.ReadAll(f)` the
+// file is still the caller's to close, which is how the classic
+// "early return between ReadAll and Close" leak is caught.
+//
+// Deliberate leaks (process-lifetime listeners and the like) carry
+// `// smallvet:ignore closepath` with a reason.
+package closepath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "closepath",
+	Doc:  "files, conns, listeners, and response bodies must be closed on every path or escape",
+	Run:  run,
+}
+
+// scope is the serving path: the layers that open resources per
+// request or per process and must not leak them.
+var scope = []string{
+	"internal/server", "server",
+	"internal/cluster", "cluster",
+	"internal/cluster/client", "client",
+	"internal/ingest", "ingest",
+}
+
+// nonOwning lists standard-library functions that read from or write
+// to their argument without retaining it: passing a tracked resource
+// to one of these leaves the caller responsible for the Close.
+var nonOwning = map[string]bool{
+	"io.ReadAll": true, "io.Copy": true, "io.CopyN": true, "io.CopyBuffer": true,
+	"io.ReadFull": true, "io.WriteString": true, "io.ReadAtLeast": true,
+	"fmt.Fprintf": true, "fmt.Fprintln": true, "fmt.Fprint": true, "fmt.Fscanf": true,
+	"bufio.NewReader": true, "bufio.NewReaderSize": true, "bufio.NewScanner": true,
+	"bufio.NewWriter": true, "bufio.NewWriterSize": true,
+	"json.NewDecoder": true, "json.NewEncoder": true,
+	"csv.NewReader": true, "csv.NewWriter": true,
+	"gzip.NewReader": true, "gzip.NewWriter": true,
+}
+
+// res describes one tracked open resource.
+type res struct {
+	kind string       // "*os.File", "net.Conn", ...
+	pos  token.Pos    // creation site (the call), for reporting
+	end  token.Pos    // end of the creation call
+	name string       // variable name, for the message
+	err  types.Object // error result of the same call, or nil
+}
+
+// state maps a live local variable to its open resource. Join is
+// union: open on any path means possibly leaked.
+type state map[types.Object]res
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageMatches(pass.Pkg.Path(), scope) && !analysis.PackageInCmd(pass.Pkg.Path()) {
+		return nil
+	}
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkBody(fd.Body)
+			// Function literals are separate functions to the CFG;
+			// resources they open are their own to close.
+			forEachFuncLit(fd.Body, func(fl *ast.FuncLit) {
+				c.checkBody(fl.Body)
+			})
+		}
+	}
+	return nil
+}
+
+// forEachFuncLit visits every function literal in body, including
+// nested ones.
+func forEachFuncLit(body *ast.BlockStmt, fn func(*ast.FuncLit)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			fn(fl)
+		}
+		return true
+	})
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	a := cfg.Analysis[state]{
+		Entry:    func() state { return state{} },
+		Transfer: c.transfer,
+		Defer:    c.transferDefer,
+		Branch:   c.refine,
+		Join:     join,
+		Clone:    clone,
+		Equal:    equal,
+	}
+	result := cfg.Run(g, a)
+	exit, ok := result.Exit()
+	if !ok {
+		return // function never returns normally
+	}
+	// Report each still-open resource once, at its creation site,
+	// ordered by position for determinism.
+	leaks := make([]res, 0, len(exit))
+	for _, r := range exit {
+		leaks = append(leaks, r)
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].pos < leaks[j].pos })
+	for _, r := range leaks {
+		c.pass.ReportRangef(r.pos, r.end,
+			"%s %q opened here is not closed on every path; close it before each return, defer the Close, or let it escape (return/store)",
+			r.kind, r.name)
+	}
+}
+
+// transfer applies one CFG node's effect to the open-resource state.
+func (c *checker) transfer(s state, n ast.Node) state {
+	switch x := n.(type) {
+	case *ast.ReturnStmt:
+		// Anything returned escapes to the caller.
+		c.scan(s, x, true)
+		return s
+	case *ast.GoStmt:
+		// The goroutine inherits whatever it references.
+		c.scan(s, x, true)
+		return s
+	case *ast.SendStmt:
+		c.scan(s, x, true)
+		return s
+	case *ast.AssignStmt:
+		return c.assign(s, x)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					s = c.valueSpec(s, vs)
+				}
+			}
+		}
+		return s
+	}
+	c.scan(s, n, false)
+	return s
+}
+
+// transferDefer handles a deferred call at its registration site: it
+// runs at exit on exactly the paths flowing through here, so a
+// deferred Close (or a deferred closure/cleanup referencing the
+// resource) releases it for the rest of this path.
+func (c *checker) transferDefer(s state, d *ast.DeferStmt) state {
+	// A deferred call owns every tracked resource it mentions.
+	c.scan(s, d.Call, true)
+	return s
+}
+
+// assign processes creations, reassignments, and escaping stores.
+func (c *checker) assign(s state, x *ast.AssignStmt) state {
+	// Escapes and closes anywhere in the statement first (RHS uses of
+	// previously tracked objects; a store `o.f = conn` escapes).
+	escapeAll := false
+	for _, lhs := range x.Lhs {
+		if _, ok := lhs.(*ast.Ident); !ok {
+			escapeAll = true // selector/index target: RHS values land in shared storage
+		}
+	}
+	c.scan(s, x, escapeAll)
+
+	// Reassignment of a tracked variable, or of an associated error
+	// variable, invalidates prior knowledge.
+	for _, lhs := range x.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := c.objOf(id)
+		if obj == nil {
+			continue
+		}
+		delete(s, obj)
+		for k, r := range s {
+			if r.err == obj {
+				r.err = nil
+				s[k] = r
+			}
+		}
+	}
+
+	// Creation: lhs tuple assigned from a resource-returning call.
+	if len(x.Rhs) == 1 {
+		if call, ok := x.Rhs[0].(*ast.CallExpr); ok {
+			s = c.create(s, x.Lhs, call)
+		}
+	}
+	return s
+}
+
+func (c *checker) valueSpec(s state, vs *ast.ValueSpec) state {
+	if len(vs.Values) != 1 {
+		return s
+	}
+	call, ok := vs.Values[0].(*ast.CallExpr)
+	if !ok {
+		return s
+	}
+	lhs := make([]ast.Expr, len(vs.Names))
+	for i, n := range vs.Names {
+		lhs[i] = n
+	}
+	return c.create(s, lhs, call)
+}
+
+// create tracks resource-typed results of call bound to plain locals,
+// associating the error result (if any) for branch refinement.
+func (c *checker) create(s state, lhs []ast.Expr, call *ast.CallExpr) state {
+	tv, ok := c.pass.TypesInfo.Types[call]
+	if !ok {
+		return s
+	}
+	var results []types.Type
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			results = append(results, tuple.At(i).Type())
+		}
+	} else {
+		results = []types.Type{tv.Type}
+	}
+	if len(results) != len(lhs) {
+		return s
+	}
+	var errObj types.Object
+	for i, t := range results {
+		if isErrorType(t) {
+			if id, ok := lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				errObj = c.objOf(id)
+			}
+		}
+	}
+	for i, t := range results {
+		kind := resourceKind(t)
+		if kind == "" {
+			continue
+		}
+		id, ok := lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := c.objOf(id)
+		if obj == nil {
+			continue
+		}
+		s[obj] = res{kind: kind, pos: call.Pos(), end: call.End(), name: id.Name, err: errObj}
+	}
+	return s
+}
+
+// scan walks a subtree applying Close calls and escape rules to the
+// state. With escapeHeld, any reference to a tracked object unmarks it
+// (return statements, goroutines, sends, deferred calls, stores into
+// shared structures).
+func (c *checker) scan(s state, n ast.Node, escapeHeld bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// A closure that references the resource takes it over
+			// (it may close it later; out of intraprocedural reach).
+			c.releaseReferenced(s, x)
+			return false
+		case *ast.CompositeLit:
+			// Stored into longer-lived structure.
+			c.releaseReferenced(s, x)
+			return false
+		case *ast.CallExpr:
+			if cfg.IsNoReturn(x) {
+				// The process is dying; nothing will leak.
+				for k := range s {
+					delete(s, k)
+				}
+				return false
+			}
+			if obj := c.closeReceiver(x); obj != nil {
+				delete(s, obj)
+				return false
+			}
+			// Arguments: ownership transfer unless the callee is a
+			// known non-owning reader/writer.
+			if !c.isNonOwningCall(x) {
+				for _, arg := range x.Args {
+					c.releaseIdent(s, arg)
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			// A selection on a tracked object escapes it only when the
+			// selected value is itself closeable (`return resp.Body`);
+			// reading a plain field (`return resp.StatusCode`) or
+			// invoking a method does not hand off the resource.
+			if root, _, ok := analysis.SelChain(x); ok {
+				if obj := c.objOf(root); obj != nil {
+					if _, tracked := s[obj]; tracked {
+						if tv, ok := c.pass.TypesInfo.Types[x]; ok && escapeHeld && hasCloseMethod(tv.Type) {
+							delete(s, obj)
+						}
+						return false
+					}
+				}
+			}
+			return true
+		case *ast.Ident:
+			if escapeHeld {
+				if obj := c.objOf(x); obj != nil {
+					delete(s, obj)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// releaseReferenced unmarks every tracked object referenced anywhere
+// inside n.
+func (c *checker) releaseReferenced(s state, n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.objOf(id); obj != nil {
+				delete(s, obj)
+			}
+		}
+		return true
+	})
+}
+
+// releaseIdent unmarks e when it is a (possibly &-wrapped) identifier
+// naming a tracked object.
+func (c *checker) releaseIdent(s state, e ast.Expr) {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = u.X
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := c.objOf(id); obj != nil {
+			delete(s, obj)
+		}
+	}
+}
+
+// closeReceiver returns the tracked object a call closes: x.Close()
+// or x.Body.Close() rooted at a plain identifier.
+func (c *checker) closeReceiver(call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return nil
+	}
+	root, names, ok := analysis.SelChain(sel)
+	if !ok {
+		return nil
+	}
+	// names is [Close] for f.Close(), [Body Close] for resp.Body.Close().
+	if len(names) == 1 || (len(names) == 2 && names[0] == "Body") {
+		return c.objOf(root)
+	}
+	return nil
+}
+
+// isNonOwningCall reports whether call invokes one of the whitelisted
+// standard-library functions that never retain their arguments.
+func (c *checker) isNonOwningCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isPkg := c.pass.TypesInfo.Uses[pkg].(*types.PkgName); !isPkg {
+		return false
+	}
+	return nonOwning[pkg.Name+"."+sel.Sel.Name]
+}
+
+// refine drops resources known to be nil along error-check edges:
+// after `f, err := os.Open(p)`, the `err != nil` branch implies f is
+// nil and needs no Close.
+func (c *checker) refine(s state, cond ast.Expr, taken bool) state {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return s
+	}
+	var errSide ast.Expr
+	switch {
+	case isNilIdent(bin.Y):
+		errSide = bin.X
+	case isNilIdent(bin.X):
+		errSide = bin.Y
+	default:
+		return s
+	}
+	id, ok := errSide.(*ast.Ident)
+	if !ok {
+		return s
+	}
+	errObj := c.objOf(id)
+	if errObj == nil {
+		return s
+	}
+	// err != nil taken, or err == nil not taken: the creation failed.
+	failed := (bin.Op == token.NEQ && taken) || (bin.Op == token.EQL && !taken)
+	if !failed {
+		return s
+	}
+	for k, r := range s {
+		if r.err == errObj {
+			delete(s, k)
+		}
+	}
+	return s
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Defs[id]
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// resourceKind classifies t as a tracked resource: *os.File,
+// *http.Response (body), or any net type whose pointer method set has
+// Close (Conn, Listener, PacketConn, and the concrete TCP/UDP/Unix
+// types).
+func resourceKind(t types.Type) string {
+	orig := t
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case "os":
+		if obj.Name() == "File" {
+			return "*os.File"
+		}
+	case "net/http":
+		if obj.Name() == "Response" {
+			return "*http.Response"
+		}
+	case "net":
+		if hasCloseMethod(orig) {
+			return "net." + obj.Name()
+		}
+	}
+	return ""
+}
+
+func hasCloseMethod(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Close")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 0
+}
+
+// join unions two states: a resource open on either path is open. When
+// the same variable carries different creation facts (reassigned in a
+// loop), the error association is kept only when both sides agree.
+func join(a, b state) state {
+	for k, rb := range b {
+		ra, ok := a[k]
+		if !ok {
+			a[k] = rb
+			continue
+		}
+		if ra.err != rb.err {
+			ra.err = nil
+			a[k] = ra
+		}
+	}
+	return a
+}
+
+func clone(s state) state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func equal(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || va.pos != vb.pos || va.err != vb.err {
+			return false
+		}
+	}
+	return true
+}

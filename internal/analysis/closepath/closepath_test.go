@@ -1,0 +1,19 @@
+package closepath_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/closepath"
+)
+
+func TestFiring(t *testing.T) {
+	dir, _ := filepath.Abs("../testdata/src/closepath/server")
+	analysistest.Run(t, dir, closepath.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	dir, _ := filepath.Abs("../testdata/src/closepath/cluster")
+	analysistest.Run(t, dir, closepath.Analyzer)
+}

@@ -1,0 +1,68 @@
+// Package deferloop flags defer statements inside loops.
+//
+// A defer does not run at the end of the loop iteration that
+// registered it — it runs when the *function* returns. The shard-scan
+// and trace-replay loops in this repo open one file or take one lock
+// per iteration; a `defer f.Close()` inside such a loop holds every
+// file open (and every lock taken, and every buffer pinned) until the
+// whole sweep finishes, which on a large trace directory exhausts
+// descriptors long before the function exits.
+//
+// The fix is mechanical and local, so the analyzer is repo-wide:
+// either release inline at the end of the iteration, or wrap the
+// iteration body in a closure so the defer runs per iteration —
+// `for ... { func() { defer f.Close(); ... }() }`. The closure shape
+// is recognized and not flagged: a function literal opens a new defer
+// frame, so only defers whose registering loop belongs to the same
+// function frame are reported.
+package deferloop
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "deferloop",
+	Doc:  "defer inside a loop runs at function exit, not per iteration; release inline or wrap the body in a closure",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				scan(pass, fd.Body, false)
+			}
+		}
+	}
+	return nil
+}
+
+// scan walks one function frame's statements. inLoop is true when the
+// current subtree sits inside a for/range loop of the same frame;
+// function literals start a fresh frame with inLoop reset.
+func scan(pass *analysis.Pass, n ast.Node, inLoop bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			scan(pass, m.Body, false)
+			return false
+		case *ast.ForStmt:
+			scan(pass, m.Body, true)
+			return false
+		case *ast.RangeStmt:
+			scan(pass, m.Body, true)
+			return false
+		case *ast.DeferStmt:
+			if inLoop {
+				pass.ReportRangef(m.Pos(), m.End(),
+					"defer inside a loop runs at function exit, not per iteration; every pass accumulates another pending call — release inline or wrap the loop body in a closure")
+			}
+			// Still descend: the deferred call's arguments may contain
+			// function literals with their own loops.
+		}
+		return true
+	})
+}

@@ -1,0 +1,19 @@
+package deferloop_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/deferloop"
+)
+
+func TestFiring(t *testing.T) {
+	dir, _ := filepath.Abs("../testdata/src/deferloop/trace")
+	analysistest.Run(t, dir, deferloop.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	dir, _ := filepath.Abs("../testdata/src/deferloop/ingest")
+	analysistest.Run(t, dir, deferloop.Analyzer)
+}

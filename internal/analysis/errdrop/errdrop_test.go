@@ -1,0 +1,19 @@
+package errdrop_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errdrop"
+)
+
+func TestFiring(t *testing.T) {
+	dir, _ := filepath.Abs("../testdata/src/errdrop/trace")
+	analysistest.Run(t, dir, errdrop.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	dir, _ := filepath.Abs("../testdata/src/errdrop/ingest")
+	analysistest.Run(t, dir, errdrop.Analyzer)
+}

@@ -1,0 +1,279 @@
+// Package goroleak requires every goroutine launched on the serving
+// path to have a visible bound on its lifetime.
+//
+// smalld's contract is end-to-end cancellation: a cancelled request
+// must stop burning CPU, and a drained server must reach zero
+// goroutines. ctxloop enforces that loops *poll*; this analyzer
+// enforces the launch-site half — a goroutine started inside a
+// function that takes a context.Context must be one of:
+//
+//   - cancellable: its body polls ctx.Err()/ctx.Done(), receives from
+//     a chan struct{} (the hoisted done-channel shape), or calls a
+//     same-package function that does;
+//   - delegated: the `go` call passes the context (or a done channel)
+//     to the callee, which then owns cancellation;
+//   - joined: it is paired with a sync.WaitGroup — wg.Add in the
+//     launching function and wg.Done (usually deferred) in the
+//     goroutine body — so shutdown has something to Wait on. The
+//     waitgroup analyzer separately checks the Add/Done balance.
+//
+// Anything else is a goroutine the server cannot cancel, join, or
+// count — a leak under load even when each instance terminates
+// eventually. Deliberate fire-and-forget work carries
+// `// smallvet:ignore goroleak` with a reason.
+package goroleak
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines launched in ctx-taking serving functions must be cancellable, delegated, or WaitGroup-joined",
+	Run:  run,
+}
+
+// scope is the serving path, same as closepath: the layers whose
+// goroutine count must stay bounded under production load.
+var scope = []string{
+	"internal/server", "server",
+	"internal/cluster", "cluster",
+	"internal/cluster/client", "client",
+	"internal/ingest", "ingest",
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageMatches(pass.Pkg.Path(), scope) && !analysis.PackageInCmd(pass.Pkg.Path()) {
+		return nil
+	}
+
+	// Prepass: same-package functions whose bodies directly poll a
+	// context or a done channel — calling one from a goroutine body
+	// counts as cancellation evidence one level down (ctxloop's rule).
+	polls := make(map[*types.Func]bool)
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if pollsDirectly(pass, fd.Body) {
+				polls[fn] = true
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !takesContext(pass, fd) {
+				continue
+			}
+			adds := wgChains(pass, fd.Body, "Add")
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !bounded(pass, g, polls, adds) {
+					pass.ReportRangef(g.Pos(), g.Call.End(),
+						"goroutine launched in ctx-taking function %s has no visible bound: poll ctx.Done in its body, pass ctx to the callee, or pair it with WaitGroup Add/Done",
+						fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func takesContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !analysis.IsContextType(tv.Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			return true
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bounded reports whether the launched goroutine is cancellable,
+// delegated, or joined.
+func bounded(pass *analysis.Pass, g *ast.GoStmt, polls map[*types.Func]bool, adds map[string]bool) bool {
+	// Delegated: the context (or a done channel) travels with the call.
+	for _, arg := range g.Call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok {
+			if analysis.IsContextType(tv.Type) || isEmptyStructChan(tv.Type) {
+				return true
+			}
+		}
+	}
+
+	if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		// Cancellable: poll evidence anywhere in the body (including
+		// nested closures it may run).
+		if pollsBody(pass, fl.Body, polls) {
+			return true
+		}
+		// Joined: wg.Done in the body paired with wg.Add in the
+		// launching function, on the same mutex-style chain.
+		for chain := range wgChains(pass, fl.Body, "Done") {
+			if adds[chain] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Named callee: if its same-package body polls, the bound is the
+	// callee's (it received the channel/context through other means,
+	// e.g. a receiver field probed by its own select loop).
+	if fn := calleeFunc(pass, g.Call); fn != nil && polls[fn] {
+		return true
+	}
+	return false
+}
+
+// pollsDirectly reports whether body contains a direct cancellation
+// poll: ctx.Err()/ctx.Done() or a struct{}-channel receive.
+func pollsDirectly(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isCtxPoll(pass, x) {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if tv, ok := pass.TypesInfo.Types[x.X]; ok && isEmptyStructChan(tv.Type) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// pollsBody extends pollsDirectly with calls to same-package functions
+// that poll ("one level down").
+func pollsBody(pass *analysis.Pass, body *ast.BlockStmt, polls map[*types.Func]bool) bool {
+	if pollsDirectly(pass, body) {
+		return true
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(pass, call); fn != nil && polls[fn] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isCtxPoll(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && analysis.IsContextType(tv.Type)
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func isEmptyStructChan(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// wgChains collects the identity chains ("obj.path") on which the
+// named sync.WaitGroup method is called anywhere under n.
+func wgChains(pass *analysis.Pass, n ast.Node, method string) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return true
+		}
+		if !isWaitGroup(pass, sel.X) {
+			return true
+		}
+		root, names, ok := analysis.SelChain(sel)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[root]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[root]
+		}
+		out[fmt.Sprintf("%p.%s", obj, strings.Join(names[:len(names)-1], "."))] = true
+		return true
+	})
+	return out
+}
+
+// isWaitGroup reports whether e's type is sync.WaitGroup (possibly
+// behind a pointer).
+func isWaitGroup(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	named := analysis.NamedOf(tv.Type)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

@@ -1,0 +1,19 @@
+package goroleak_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroleak"
+)
+
+func TestFiring(t *testing.T) {
+	dir, _ := filepath.Abs("../testdata/src/goroleak/server")
+	analysistest.Run(t, dir, goroleak.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	dir, _ := filepath.Abs("../testdata/src/goroleak/ingest")
+	analysistest.Run(t, dir, goroleak.Analyzer)
+}

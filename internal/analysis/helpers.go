@@ -22,6 +22,13 @@ func PackageMatches(pkgPath string, entries []string) bool {
 	return false
 }
 
+// PackageInCmd reports whether a package lives under a cmd/ tree — the
+// scope form the resource-safety analyzers use for "every binary's
+// main package", which suffix/base matching cannot express.
+func PackageInCmd(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, "cmd/") || strings.Contains(pkgPath, "/cmd/")
+}
+
 // IsContextType reports whether t is context.Context.
 func IsContextType(t types.Type) bool {
 	named, ok := t.(*types.Named)

@@ -1,20 +1,25 @@
 // Package lockguard checks `// guarded by mu` field annotations.
 //
 // internal/server shares state between HTTP handlers and background
-// workers. The convention introduced with this analyzer: a struct
-// field whose comment says `// guarded by mu` may only be accessed
-// while the named mutex — a sibling field on the same struct — is
-// held in the same function.
+// workers, and internal/trace's StreamScanner is fed by an upload
+// goroutine while a replay goroutine drains it. The convention: a
+// struct field whose comment says `// guarded by mu` may only be
+// accessed while the named mutex — a sibling field on the same
+// struct — is held in the same function.
 //
-// The check is an intra-procedural lockset walk over each function's
-// statements: `x.mu.Lock()` / `x.mu.RLock()` acquires, `x.mu.Unlock()`
-// / `x.mu.RUnlock()` releases (a *deferred* unlock keeps the mutex
-// held to function end), branches are analysed separately and merged
-// (a mutex counts as held after an if/else only when both surviving
-// paths hold it; a branch ending in return does not constrain the
-// fall-through), and every access to a guarded field requires its
-// mutex held at that point. For a chained access like srv.state.m the
-// required mutex is the one on the same owner chain: srv.state.mu.
+// The check is a must-hold lockset dataflow over the shared CFG
+// (internal/analysis/cfg): `x.mu.Lock()` / `x.mu.RLock()` acquires,
+// `x.mu.Unlock()` / `x.mu.RUnlock()` releases, and at every
+// control-flow merge the locksets are intersected (minimum hold
+// count), so a mutex only counts as held after an if/else when both
+// surviving paths hold it — a branch ending in return does not
+// constrain the fall-through, which the CFG gives us for free. A
+// *deferred* unlock keeps the mutex held to function end: defer
+// statements contribute no transitions (the cfg Defer hook is
+// identity), though accesses inside the deferred call's arguments are
+// still checked. Every access to a guarded field requires its mutex
+// held at that program point; for a chained access like srv.state.m
+// the required mutex is the one on the same owner chain: srv.state.mu.
 //
 // Exemptions, matching the conventions callers actually use:
 //
@@ -38,6 +43,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -46,13 +52,15 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// scope limits the check to the serving layers, where the annotation
-// convention lives: smalld's server and the cluster gateway/client.
+// scope limits the check to the layers where the annotation
+// convention lives: smalld's server, the cluster gateway/client, the
+// ingest pipeline, and the trace stream scanner.
 var scope = []string{
 	"internal/server", "server",
 	"internal/cluster", "cluster",
 	"internal/cluster/client", "client",
 	"internal/ingest", "ingest",
+	"internal/trace", "trace",
 }
 
 var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
@@ -114,7 +122,7 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			w := &walker{pass: pass, guards: guards, fresh: freshLocals(pass, fd)}
-			w.stmts(fd.Body.List, lockset{})
+			w.checkFunc(fd.Body)
 		}
 	}
 	return nil
@@ -133,40 +141,8 @@ func guardName(field *ast.Field) string {
 }
 
 // lockset counts how many times each mutex (identified by root object +
-// field path) is currently held.
+// field path) is currently held. Missing key means not held.
 type lockset map[string]int
-
-func (ls lockset) clone() lockset {
-	out := make(lockset, len(ls))
-	for k, v := range ls {
-		out[k] = v
-	}
-	return out
-}
-
-// mergeMin narrows ls to locks held on both paths.
-func (ls lockset) mergeMin(a, b lockset) {
-	for k := range ls {
-		delete(ls, k)
-	}
-	for k, v := range a {
-		if bv := b[k]; bv < v {
-			v = bv
-		}
-		if v > 0 {
-			ls[k] = v
-		}
-	}
-}
-
-func (ls lockset) copyFrom(src lockset) {
-	for k := range ls {
-		delete(ls, k)
-	}
-	for k, v := range src {
-		ls[k] = v
-	}
-}
 
 type walker struct {
 	pass   *analysis.Pass
@@ -174,120 +150,44 @@ type walker struct {
 	fresh  map[types.Object]bool
 }
 
-// stmts walks a statement list, mutating held; reports true when the
-// list cannot fall through (return/branch).
-func (w *walker) stmts(list []ast.Stmt, held lockset) bool {
-	for _, s := range list {
-		if w.stmt(s, held) {
-			return true
-		}
+// checkFunc runs the must-hold fixpoint over one body, then replays
+// each reachable block to check guarded accesses at their exact
+// program points.
+func (w *walker) checkFunc(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	a := cfg.Analysis[lockset]{
+		Entry: func() lockset { return lockset{} },
+		Transfer: func(s lockset, n ast.Node) lockset {
+			w.walk(n, s, false, false)
+			return s
+		},
+		// Deferred unlocks fire at return: no transition now, so the
+		// mutex stays held for the rest of the body.
+		Defer: func(s lockset, d *ast.DeferStmt) lockset { return s },
+		Join:  intersect,
+		Clone: clone,
+		Equal: equal,
 	}
-	return false
+	res := cfg.Run(g, a)
+	for _, b := range g.Blocks {
+		res.Replay(a, b, func(s lockset, n ast.Node) {
+			// Work on a clone: transitions inside the node must be
+			// visible to later accesses in the same node, but the replay
+			// engine re-applies Transfer to s itself afterwards.
+			held := clone(s)
+			if d, ok := n.(*ast.DeferStmt); ok {
+				w.walk(d.Call, held, true, true)
+				return
+			}
+			w.walk(n, held, false, true)
+		})
+	}
 }
 
-func (w *walker) stmt(s ast.Stmt, held lockset) bool {
-	switch x := s.(type) {
-	case *ast.ReturnStmt:
-		w.scan(s, held, false)
-		return true
-	case *ast.BranchStmt:
-		return true // break/continue/goto: leaves this statement list
-	case *ast.DeferStmt:
-		w.scan(x.Call, held, true)
-	case *ast.GoStmt:
-		w.scan(x.Call, held, false) // arguments evaluate now; the closure body is skipped
-	case *ast.BlockStmt:
-		return w.stmts(x.List, held)
-	case *ast.LabeledStmt:
-		return w.stmt(x.Stmt, held)
-	case *ast.IfStmt:
-		if x.Init != nil {
-			w.stmt(x.Init, held)
-		}
-		w.scan(x.Cond, held, false)
-		bodyHeld := held.clone()
-		bTerm := w.stmts(x.Body.List, bodyHeld)
-		if x.Else != nil {
-			elseHeld := held.clone()
-			eTerm := w.stmt(x.Else, elseHeld)
-			switch {
-			case bTerm && eTerm:
-				return true
-			case bTerm:
-				held.copyFrom(elseHeld)
-			case eTerm:
-				held.copyFrom(bodyHeld)
-			default:
-				held.mergeMin(bodyHeld, elseHeld)
-			}
-		} else if !bTerm {
-			held.mergeMin(held.clone(), bodyHeld)
-		}
-		// bTerm without else: the fall-through path skipped the body;
-		// held is unchanged.
-	case *ast.ForStmt:
-		if x.Init != nil {
-			w.stmt(x.Init, held)
-		}
-		if x.Cond != nil {
-			w.scan(x.Cond, held, false)
-		}
-		bodyHeld := held.clone()
-		w.stmts(x.Body.List, bodyHeld)
-		if x.Post != nil {
-			w.stmt(x.Post, bodyHeld)
-		}
-		// Loops are assumed lock-balanced; continuation keeps the entry
-		// state.
-	case *ast.RangeStmt:
-		w.scan(x.X, held, false)
-		bodyHeld := held.clone()
-		w.stmts(x.Body.List, bodyHeld)
-	case *ast.SwitchStmt:
-		if x.Init != nil {
-			w.stmt(x.Init, held)
-		}
-		if x.Tag != nil {
-			w.scan(x.Tag, held, false)
-		}
-		for _, c := range x.Body.List {
-			cc := c.(*ast.CaseClause)
-			for _, e := range cc.List {
-				w.scan(e, held, false)
-			}
-			w.stmts(cc.Body, held.clone())
-		}
-	case *ast.TypeSwitchStmt:
-		if x.Init != nil {
-			w.stmt(x.Init, held)
-		}
-		w.stmt(x.Assign, held)
-		for _, c := range x.Body.List {
-			cc := c.(*ast.CaseClause)
-			w.stmts(cc.Body, held.clone())
-		}
-	case *ast.SelectStmt:
-		for _, c := range x.Body.List {
-			cc := c.(*ast.CommClause)
-			clauseHeld := held.clone()
-			if cc.Comm != nil {
-				w.stmt(cc.Comm, clauseHeld)
-			}
-			w.stmts(cc.Body, clauseHeld)
-		}
-	default:
-		// Leaf statements: ExprStmt, AssignStmt, IncDecStmt, DeclStmt,
-		// SendStmt, EmptyStmt.
-		w.scan(s, held, false)
-	}
-	return false
-}
-
-// scan inspects one expression/leaf-statement subtree in source order,
-// applying Lock/Unlock transitions and checking guarded accesses.
-// Inside a defer, lock transitions are ignored: a deferred unlock
-// fires at return, so the mutex stays held for the rest of the body.
-func (w *walker) scan(n ast.Node, held lockset, inDefer bool) {
+// walk scans one node's subtree in source order, applying Lock/Unlock
+// transitions (unless inDefer) and, when check is set, reporting
+// guarded accesses made without the owning mutex.
+func (w *walker) walk(n ast.Node, held lockset, inDefer, check bool) {
 	ast.Inspect(n, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.FuncLit:
@@ -309,12 +209,16 @@ func (w *walker) scan(n ast.Node, held lockset, inDefer bool) {
 				held[w.chainKey(root, names[:len(names)-1])]++
 			case "Unlock", "RUnlock":
 				k := w.chainKey(root, names[:len(names)-1])
-				if held[k] > 0 {
+				if held[k] > 1 {
 					held[k]--
+				} else {
+					delete(held, k)
 				}
 			}
 		case *ast.SelectorExpr:
-			w.access(x, held)
+			if check {
+				w.access(x, held)
+			}
 		}
 		return true
 	})
@@ -359,6 +263,45 @@ func (w *walker) chainKey(root *ast.Ident, path []string) string {
 		obj = w.pass.TypesInfo.Defs[root]
 	}
 	return fmt.Sprintf("%p.%s", obj, strings.Join(path, "."))
+}
+
+// intersect narrows a to the locks held on both paths (minimum hold
+// count) — the must-hold join.
+func intersect(a, b lockset) lockset {
+	for k, va := range a {
+		vb := b[k]
+		if vb < va {
+			va = vb
+		}
+		if va > 0 {
+			a[k] = va
+		} else {
+			delete(a, k)
+		}
+	}
+	return a
+}
+
+func clone(s lockset) lockset {
+	out := make(lockset, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func equal(a, b lockset) bool {
+	for k, va := range a {
+		if b[k] != va {
+			return false
+		}
+	}
+	for k, vb := range b {
+		if a[k] != vb {
+			return false
+		}
+	}
+	return true
 }
 
 // freshLocals returns local variables initialised from a composite

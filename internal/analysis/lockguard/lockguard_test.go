@@ -9,3 +9,9 @@ import (
 func TestFixtures(t *testing.T) {
 	analysistest.Run(t, "../testdata/src/lockguard/server", Analyzer)
 }
+
+// TestTraceFixtures exercises the CFG-specific shapes: branch merges
+// that drop the lock, loops, double-checked locking, suppression.
+func TestTraceFixtures(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/lockguard/trace", Analyzer)
+}

@@ -6,6 +6,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"repro/internal/parsweep"
 )
 
 // ignoreRe matches suppression comments. `// smallvet:ignore` mutes
@@ -46,6 +48,7 @@ func (ix ignoreIndex) muted(key, analyzer string) bool {
 // buildIgnores scans a package's comments for suppression directives.
 func buildIgnores(pkg *Package, ix ignoreIndex) {
 	for _, f := range pkg.Files {
+		code := codeLines(pkg, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := ignoreRe.FindStringSubmatch(c.Text)
@@ -58,9 +61,11 @@ func buildIgnores(pkg *Package, ix ignoreIndex) {
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				line := pos.Line
-				// A comment alone on its line suppresses the next line
-				// (the directive precedes the code it mutes).
-				if isLineStart(pkg, c) {
+				// A comment alone on its line — whatever its
+				// indentation — suppresses the next line (the directive
+				// precedes the code it mutes); a trailing comment
+				// suppresses its own.
+				if !code[line] {
 					line++
 				}
 				ix.add(ignoreKey(pos.Filename, line), names)
@@ -69,16 +74,22 @@ func buildIgnores(pkg *Package, ix ignoreIndex) {
 	}
 }
 
-// isLineStart reports whether the comment is the first token on its
-// line, by checking the file's line start offset against the comment's.
-func isLineStart(pkg *Package, c *ast.Comment) bool {
-	pos := pkg.Fset.Position(c.Pos())
-	tf := pkg.Fset.File(c.Pos())
-	if tf == nil {
-		return false
-	}
-	lineStart := tf.LineStart(pos.Line)
-	return lineStart == c.Pos()
+// codeLines returns the set of lines in f carrying actual code. Every
+// code-bearing line holds some non-comment node's start or end, so
+// marking both per node is a sound line classifier for telling
+// trailing comments from standalone ones.
+func codeLines(pkg *Package, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[pkg.Fset.Position(n.Pos()).Line] = true
+		lines[pkg.Fset.Position(n.End()-1).Line] = true
+		return true
+	})
+	return lines
 }
 
 func ignoreKey(file string, line int) string {
@@ -103,35 +114,23 @@ func itoa(n int) string {
 // surviving diagnostics sorted by (file, line, column, analyzer,
 // message). File paths in Diagnostic.Position are made relative to
 // relDir when possible, so output is stable across checkouts.
+//
+// Packages are analyzed in parallel (per-package fan-out over the
+// parsweep worker pool — with ten analyzers the suite is the long pole
+// of `make lint`). Determinism is preserved by construction: passes
+// only read the shared FileSet/type info, diagnostics accumulate
+// per-package, and the final total sort makes the output independent
+// of completion order — TestDeterministic pins this byte-for-byte.
 func Run(pkgs []*Package, analyzers []*Analyzer, relDir string) ([]Diagnostic, error) {
+	perPkg, err := parsweep.Map(len(pkgs), func(i int) ([]Diagnostic, error) {
+		return runPackage(pkgs[i], analyzers, relDir)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		ignores := make(ignoreIndex)
-		buildIgnores(pkg, ignores)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-			}
-			pass.report = func(d Diagnostic) {
-				d.Position = pkg.Fset.Position(d.Pos)
-				if ignores.muted(ignoreKey(d.Position.Filename, d.Position.Line), d.Analyzer) {
-					return
-				}
-				if relDir != "" {
-					if rel, err := filepath.Rel(relDir, d.Position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-						d.Position.Filename = rel
-					}
-				}
-				diags = append(diags, d)
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, err
-			}
-		}
+	for _, ds := range perPkg {
+		diags = append(diags, ds...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -149,5 +148,44 @@ func Run(pkgs []*Package, analyzers []*Analyzer, relDir string) ([]Diagnostic, e
 		}
 		return a.Message < b.Message
 	})
+	return diags, nil
+}
+
+// runPackage applies the analyzers to one package, resolving and
+// relativizing positions and dropping suppressed findings.
+func runPackage(pkg *Package, analyzers []*Analyzer, relDir string) ([]Diagnostic, error) {
+	ignores := make(ignoreIndex)
+	buildIgnores(pkg, ignores)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.report = func(d Diagnostic) {
+			d.Position = pkg.Fset.Position(d.Pos)
+			if d.End.IsValid() && d.End > d.Pos {
+				d.EndPosition = pkg.Fset.Position(d.End)
+			} else {
+				d.EndPosition = d.Position
+			}
+			if ignores.muted(ignoreKey(d.Position.Filename, d.Position.Line), d.Analyzer) {
+				return
+			}
+			if relDir != "" {
+				if rel, err := filepath.Rel(relDir, d.Position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+					d.Position.Filename = rel
+					d.EndPosition.Filename = rel
+				}
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
 	return diags, nil
 }

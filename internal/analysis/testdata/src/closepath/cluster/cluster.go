@@ -1,0 +1,100 @@
+// Clean fixtures for closepath: package base name "cluster" is in
+// scope; none of these may produce a diagnostic.
+package cluster
+
+import (
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+)
+
+type holder struct {
+	ln net.Listener
+	f  *os.File
+}
+
+// deferClose is the canonical shape: err-checked open, deferred close.
+func deferClose(p string) ([]byte, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// closedOnEveryArm closes explicitly on both paths.
+func closedOnEveryArm(p string, quick bool) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	if quick {
+		f.Close()
+		return nil
+	}
+	_, rerr := io.ReadAll(f)
+	f.Close()
+	return rerr
+}
+
+// escapesViaReturn hands the listener to the caller.
+func escapesViaReturn(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return ln, nil
+}
+
+// escapesViaStore parks the resource in longer-lived state.
+func escapesViaStore(h *holder, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	h.ln = ln
+	return nil
+}
+
+// escapesToGoroutine: the accept loop handoff.
+func escapesToGoroutine(ln net.Listener, handle func(net.Conn)) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go handle(conn)
+	}
+}
+
+// escapesToClosure: the closure owns the close.
+func escapesToClosure(p string) (func() error, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return f.Close() }, nil
+}
+
+// bodyClosed drains and closes the response body.
+func bodyClosed(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// dyingPathsExempt: log.Fatal/os.Exit paths release nothing.
+func dyingPathsExempt(p string) *os.File {
+	f, err := os.Open(p)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	return f
+}

@@ -1,0 +1,86 @@
+// Firing fixtures for closepath: package base name "server" is in
+// scope. Every want comment pins a leak diagnostic at the creation.
+package server
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+)
+
+// leakOnErrorPath is the classic: the early return between ReadAll and
+// Close leaks the file (io.ReadAll does not take ownership).
+func leakOnErrorPath(p string) ([]byte, error) {
+	f, err := os.Open(p) // want `\*os\.File "f" opened here is not closed on every path`
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	f.Close()
+	return data, nil
+}
+
+// leakBeforeDefer returns on one branch before the defer registers.
+func leakBeforeDefer(p string, skip bool) error {
+	f, err := os.Create(p) // want `\*os\.File "f" opened here is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	defer f.Close()
+	_, err = f.WriteString("x")
+	return err
+}
+
+// leakConnOneArm closes the connection on one switch arm only.
+func leakConnOneArm(addr string, mode int) error {
+	conn, err := net.Dial("tcp", addr) // want `net\.Conn "conn" opened here is not closed on every path`
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case 0:
+		conn.Close()
+		return nil
+	default:
+		return fmt.Errorf("mode %d", mode)
+	}
+}
+
+// leakBody never closes the response body.
+func leakBody(url string) (int, error) {
+	resp, err := http.Get(url) // want `\*http\.Response "resp" opened here is not closed on every path`
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// suppressed demonstrates the per-line opt-out; no want comment.
+func suppressed() (net.Listener, error) {
+	ln, err := net.Listen("tcp", ":0") // smallvet:ignore closepath -- process-lifetime listener kept for the fixture
+	if err != nil {
+		return nil, err
+	}
+	_ = ln.Addr()
+	return nil, nil
+}
+
+// leakInClosure: function literals are analyzed as functions too.
+func leakInClosure(p string) func() error {
+	return func() error {
+		f, err := os.Open(p) // want `\*os\.File "f" opened here is not closed on every path`
+		if err != nil {
+			return err
+		}
+		_, err = io.ReadAll(f)
+		return err
+	}
+}

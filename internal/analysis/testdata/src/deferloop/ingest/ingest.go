@@ -1,0 +1,71 @@
+// Clean fixtures for deferloop: per-iteration closures and
+// function-scope defers.
+package ingest
+
+import (
+	"os"
+	"sync"
+)
+
+func process(f *os.File) {}
+
+// closureWrapped is the recommended rewrite: the closure opens a new
+// defer frame, so each iteration's Close runs before the next open.
+func closureWrapped(paths []string) error {
+	for _, p := range paths {
+		if err := func() error {
+			f, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			process(f)
+			return nil
+		}(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// topLevel defers outside any loop.
+func topLevel(path string, mu *sync.Mutex) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	process(f)
+	return nil
+}
+
+// goroutinePerItem: the launched closure is its own frame.
+func goroutinePerItem(paths []string, wg *sync.WaitGroup) {
+	for _, p := range paths {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := os.Open(p)
+			if err != nil {
+				return
+			}
+			defer f.Close()
+			process(f)
+		}()
+	}
+}
+
+// inlineRelease closes by hand at the end of the iteration.
+func inlineRelease(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		process(f)
+		f.Close()
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Firing fixtures for deferloop: defers registered inside loops of
+// the same function frame.
+package trace
+
+import (
+	"os"
+	"sync"
+)
+
+func process(f *os.File) {}
+
+// perShard holds every shard's file open until the sweep ends.
+func perShard(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close() // want `defer inside a loop runs at function exit`
+		process(f)
+	}
+	return nil
+}
+
+// lockHeld pins the mutex for the rest of the function on the first
+// iteration — the second iteration deadlocks.
+func lockHeld(mu *sync.Mutex, n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		defer mu.Unlock() // want `defer inside a loop runs at function exit`
+	}
+}
+
+// nestedBlock: the defer is still in the loop even inside an if.
+func nestedBlock(paths []string) {
+	for _, p := range paths {
+		if p != "" {
+			f, err := os.Open(p)
+			if err != nil {
+				continue
+			}
+			defer f.Close() // want `defer inside a loop runs at function exit`
+		}
+	}
+}
+
+// suppressed holds all files deliberately (merge needs every shard
+// open at once); no want comment.
+func suppressed(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close() // smallvet:ignore deferloop -- fixture: k-way merge needs all shards open
+		process(f)
+	}
+	return nil
+}

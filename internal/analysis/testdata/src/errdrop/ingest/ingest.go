@@ -1,0 +1,63 @@
+// Clean fixtures for errdrop: package base name "ingest" is in scope;
+// nothing here may fire.
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+)
+
+// exemptSinks: bytes.Buffer, strings.Builder, and hash writes cannot
+// fail; fmt printing to stdout is logging.
+func exemptSinks(data []byte) string {
+	var buf bytes.Buffer
+	buf.Write(data)
+	buf.WriteByte('\n')
+	var sb strings.Builder
+	sb.WriteString("segment")
+	h := crc32.NewIEEE()
+	h.Write(data)
+	fmt.Println("staged", h.Sum32())
+	return sb.String()
+}
+
+// deferredCleanup: a deferred Close may drop its error.
+func deferredCleanup(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var hdr [8]byte
+	_, err = f.Read(hdr[:])
+	return err
+}
+
+// propagated: every error is handled or returned.
+func propagated(p string) error {
+	f, err := os.Create(p)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// noError: calls without error results are out of scope.
+func noError(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,64 @@
+// Firing fixtures for errdrop: package base name "trace" is in scope.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+type decoder struct {
+	off int
+}
+
+func (d *decoder) readHeader() error { return nil }
+
+func (d *decoder) readBlock() (int, error) { return 0, nil }
+
+// bareCall drops the error of a bare statement call.
+func bareCall(d *decoder) {
+	d.readHeader() // want `call returns an error that is silently discarded`
+}
+
+// blankTuple drops the offset-carrying decode error into _.
+func blankTuple(d *decoder) int {
+	n, _ := d.readBlock() // want `error result discarded into _`
+	return n
+}
+
+// blankAssign uses the parallel form.
+func blankAssign(d *decoder) {
+	_ = d.readHeader() // want `error result discarded into _`
+}
+
+// goDrop launches a goroutine nobody listens to.
+func goDrop(d *decoder) {
+	go d.readHeader() // want `goroutine discards the call's error result`
+}
+
+// suppressed documents a deliberate drop; no want comment.
+func suppressed(d *decoder) {
+	_ = d.readHeader() // smallvet:ignore errdrop -- header re-read below with full error handling
+}
+
+// copyDrop: io.Copy's error vanishes.
+func copyDrop(w io.Writer, r io.Reader) {
+	io.Copy(w, r) // want `call returns an error that is silently discarded`
+}
+
+// syncDrop: file sync failure is a data-loss signal.
+func syncDrop(f *os.File) {
+	f.Sync() // want `call returns an error that is silently discarded`
+}
+
+// handled is the control: no diagnostics on this function.
+func handled(d *decoder) error {
+	if err := d.readHeader(); err != nil {
+		return fmt.Errorf("header: %w", err)
+	}
+	n, err := d.readBlock()
+	if err != nil {
+		return fmt.Errorf("block at %d: %w", n, err)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Clean fixtures for goroleak: package base name "ingest" is in
+// scope; every launch here is cancellable, delegated, or joined.
+package ingest
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func consume(ctx context.Context, jobs chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j, ok := <-jobs:
+			if !ok {
+				return
+			}
+			_ = j
+		}
+	}
+}
+
+// delegated passes ctx to the callee.
+func delegated(ctx context.Context, jobs chan int) {
+	go consume(ctx, jobs)
+}
+
+// cancellable polls ctx inside the closure body.
+func cancellable(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// joined pairs wg.Add with a deferred wg.Done.
+func joined(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = i
+		}()
+	}
+	wg.Wait()
+}
+
+// joinedField works across a receiver field too.
+func (p *pool) joinedField(ctx context.Context) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+	}()
+}
+
+// doneChannel: the hoisted done-channel shape counts as polling.
+func doneChannel(ctx context.Context, jobs chan int) {
+	done := ctx.Done()
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// delegatedChan hands the callee a done channel instead of the ctx.
+func delegatedChan(ctx context.Context, p *pool) {
+	go waitClose(p.done)
+}
+
+func waitClose(done chan struct{}) {
+	<-done
+}

@@ -1,0 +1,51 @@
+// Firing fixtures for goroleak: package base name "server" is in
+// scope. Only goroutines launched in ctx-taking functions are checked.
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func workErr() error { return nil }
+
+// unboundedClosure: nothing cancels, joins, or counts it.
+func unboundedClosure(ctx context.Context, jobs chan int) {
+	go func() { // want `goroutine launched in ctx-taking function unboundedClosure has no visible bound`
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// unboundedNamed: the callee gets neither ctx nor a done channel.
+func unboundedNamed(ctx context.Context) {
+	go work() // want `goroutine launched in ctx-taking function unboundedNamed has no visible bound`
+}
+
+// addWithoutDone: an Add in the launcher is not enough — the body
+// must Done on the same WaitGroup.
+func addWithoutDone(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want `goroutine launched in ctx-taking function addWithoutDone has no visible bound`
+		work()
+	}()
+	wg.Wait()
+}
+
+// suppressed is deliberate fire-and-forget; no want comment.
+func suppressed(ctx context.Context) {
+	// smallvet:ignore goroleak -- metrics flush, self-terminating, fixture
+	go workErr()
+}
+
+// noCtx is the control: functions without a context are out of scope.
+func noCtx(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}

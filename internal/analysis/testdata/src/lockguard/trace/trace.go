@@ -1,0 +1,81 @@
+// Package trace is a lockguard fixture for the CFG-rebuilt walk:
+// path-sensitive shapes (branch merges, loops, double-checked locking)
+// and suppression comments.
+package trace
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	// byName maps interned names to ids.
+	// guarded by mu
+	byName map[string]int
+	// names lists interned names by id.
+	// guarded by mu
+	names []string
+}
+
+// doubleChecked is the opTable idiom: read under RLock, upgrade to
+// Lock for the write path. Every access is covered.
+func (t *table) doubleChecked(name string) int {
+	t.mu.RLock()
+	id, ok := t.byName[name]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.byName[name]; ok {
+		return id
+	}
+	id = len(t.names)
+	t.names = append(t.names, name)
+	t.byName[name] = id
+	return id
+}
+
+// oneArmUnlocks releases on one branch only: the merge must drop the
+// lock, so the access after the if is unprotected.
+func (t *table) oneArmUnlocks(flush bool) int {
+	t.mu.Lock()
+	if flush {
+		t.mu.Unlock()
+	}
+	return len(t.names) // want `field table.names is guarded by "mu" but accessed without holding it`
+}
+
+// lockedInLoop holds the lock across each iteration's access.
+func (t *table) lockedInLoop(names []string) {
+	for _, n := range names {
+		t.mu.Lock()
+		t.byName[n] = len(t.names)
+		t.mu.Unlock()
+	}
+}
+
+// staleAfterLoop: the loop body releases, so the tail access is bare.
+func (t *table) staleAfterLoop(names []string) int {
+	t.mu.Lock()
+	for range names {
+		t.mu.Unlock()
+	}
+	return len(t.names) // want `field table.names is guarded by "mu" but accessed without holding it`
+}
+
+// earlyReturnArm: a branch that returns does not constrain the
+// fall-through, which keeps the lock.
+func (t *table) earlyReturnArm(bail bool) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if bail {
+		return 0
+	}
+	return len(t.names)
+}
+
+// suppressed reads racily on purpose (stats are advisory); no want.
+func (t *table) suppressed() int {
+	// smallvet:ignore lockguard -- fixture: advisory stats read, torn reads acceptable
+	return len(t.names)
+}

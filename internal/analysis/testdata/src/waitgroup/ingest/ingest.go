@@ -1,0 +1,82 @@
+// Clean fixtures for waitgroup: every shape here balances Add/Done
+// identically along all paths.
+package ingest
+
+import "sync"
+
+func work() {}
+
+type pool struct{ wg sync.WaitGroup }
+
+// deferred is the canonical fan-out: Add before go, deferred Done.
+func deferred(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// worker Dones exactly once on every path via defer.
+func worker(wg *sync.WaitGroup, ok bool) {
+	defer wg.Done()
+	if ok {
+		return
+	}
+	work()
+}
+
+// workerClosure defers a cleanup closure that Dones.
+func workerClosure(wg *sync.WaitGroup, ok bool) {
+	defer func() {
+		wg.Done()
+	}()
+	if ok {
+		return
+	}
+	work()
+}
+
+// doneOnEveryArm balances with explicit calls on each branch.
+func doneOnEveryArm(wg *sync.WaitGroup, ok bool) {
+	if ok {
+		wg.Done()
+		return
+	}
+	wg.Done()
+}
+
+// fieldChain tracks the WaitGroup through a receiver field.
+func (p *pool) run(jobs int) {
+	for i := 0; i < jobs; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			work()
+		}()
+	}
+	p.wg.Wait()
+}
+
+// launcherAdd: a positive exit delta in the launcher is fine — the
+// goroutine it spawned owns the matching Done.
+func launcherAdd(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// variableAdd: a non-constant Add makes the balance untrackable, so
+// the chain is exempt rather than misreported.
+func variableAdd(wg *sync.WaitGroup, n int, ok bool) {
+	wg.Add(n)
+	if ok {
+		wg.Done()
+	}
+}

@@ -1,0 +1,74 @@
+// Firing fixtures for waitgroup: the analyzer is repo-wide, so the
+// package name carries no scope meaning here.
+package server
+
+import "sync"
+
+func work() {}
+
+// missedOnError skips Done on the early-return path: the shutdown
+// Wait hangs when fail is true.
+func missedOnError(wg *sync.WaitGroup, fail bool) {
+	go func() {
+		if fail {
+			return
+		}
+		wg.Done() // want `wg\.Add/Done balance differs between paths through this goroutine`
+	}()
+}
+
+// doubleDone reaches Done twice on every path: guaranteed panic.
+func doubleDone(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done() // want `wg\.Done is reached 2 times on every path`
+		work()
+		wg.Done()
+	}()
+}
+
+// addInside races the Add against the launcher's Wait.
+func addInside(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want `wg\.Add inside the goroutine races with Wait`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// condDone: a named function handed the WaitGroup must Done
+// consistently too.
+func condDone(wg *sync.WaitGroup, ok bool) {
+	if ok {
+		wg.Done() // want `wg\.Add/Done balance differs between paths through this function condDone`
+	}
+}
+
+// loopDone: the Done count depends on the iteration count — one path
+// through the loop body Dones once, the zero-trip path not at all.
+func loopDone(wg *sync.WaitGroup, jobs []int) {
+	go func() {
+		for range jobs {
+			wg.Done() // want `wg\.Add/Done balance differs between paths through this goroutine`
+		}
+	}()
+}
+
+// suppressed is a deliberate conditional Done; no want comment.
+func suppressed(wg *sync.WaitGroup, ok bool) {
+	if !ok {
+		return
+	}
+	wg.Done() // smallvet:ignore waitgroup -- fixture: caller re-Adds on the !ok path
+}
+
+// localNoCheck is the control: a plain function without a WaitGroup
+// parameter is only checked through its goroutines.
+func localNoCheck(ok bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if ok {
+		wg.Done()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,355 @@
+// Package waitgroup checks sync.WaitGroup Add/Done balance along
+// every control-flow path.
+//
+// The drain paths of smalld, the cluster gateway, and the ingest
+// shard fan-out all hinge on WaitGroup discipline: a Done missed on
+// one error path hangs shutdown forever; a Done reached twice panics
+// in production. Both bugs are invisible to flat AST matching — they
+// are properties of *paths* — so this analyzer runs a delta lattice
+// over the shared CFG (internal/analysis/cfg):
+//
+//   - In a goroutine body (`go func() {...}`) that calls wg.Done, and
+//     in any named function that receives a *sync.WaitGroup
+//     parameter and calls Done on it, the net Add/Done delta must be
+//     identical along every path to every return — a path that skips
+//     the Done (early return, continue past it, loop doubling it)
+//     joins as a conflict and fires. `defer wg.Done()` is the
+//     recommended shape and is recognized: the dataflow applies the
+//     deferred Done at its registration site, covering exactly the
+//     paths that registered it.
+//   - A consistent delta of -2 or below is a guaranteed double-Done
+//     and fires too.
+//   - wg.Add *inside* a go-launched goroutine body fires
+//     unconditionally: Add must happen-before the launching
+//     goroutine's Wait, so it belongs before the `go`, not after the
+//     scheduler got involved (the classic Add/Wait race).
+//
+// The analyzer is repo-wide — WaitGroup discipline is not a
+// serving-layer convention but a correctness invariant everywhere.
+package waitgroup
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "waitgroup",
+	Doc:  "WaitGroup Add/Done must balance identically along every path; Add belongs outside the goroutine",
+	Run:  run,
+}
+
+// conflict marks a chain whose delta differs between two joined paths;
+// unknown marks a chain polluted by a non-constant Add, which makes the
+// balance untrackable and suppresses all reports for that chain.
+const (
+	conflict = math.MinInt
+	unknown  = math.MinInt + 1
+)
+
+// state maps a WaitGroup identity chain to its net Add/Done delta so
+// far (missing key = 0), or conflict.
+type state map[string]int
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, names: map[string]string{}}
+			// Named functions handed a WaitGroup own part of its
+			// protocol: their direct Done calls must balance.
+			if takesWaitGroup(pass, fd) {
+				c.checkBalance(fd.Body, "function "+fd.Name.Name, false)
+			}
+			// Every go-launched closure, at any depth.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+					gc := &checker{pass: pass, names: map[string]string{}}
+					gc.checkBalance(fl.Body, "goroutine", true)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func takesWaitGroup(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if isWaitGroupType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// names maps chain keys to their display form ("p.wg"), and
+	// firstUse records where each chain first appeared, for reporting.
+	names    map[string]string
+	firstUse map[string]token.Pos
+}
+
+// checkBalance runs the delta dataflow over one body and reports
+// inconsistent or impossible exit deltas. inGoroutine additionally
+// forbids Add.
+func (c *checker) checkBalance(body *ast.BlockStmt, where string, inGoroutine bool) {
+	c.firstUse = map[string]token.Pos{}
+	if inGoroutine {
+		// The Add/Wait race check is position-, not path-, sensitive.
+		c.forEachWgCall(body, func(call *ast.CallExpr, method, key, display string) {
+			if method == "Add" {
+				c.pass.ReportRangef(call.Pos(), call.End(),
+					"%s.Add inside the goroutine races with Wait; call Add before the go statement", display)
+			}
+		})
+	}
+
+	g := cfg.New(body)
+	a := cfg.Analysis[state]{
+		Entry:    func() state { return state{} },
+		Transfer: c.transfer,
+		Defer: func(s state, d *ast.DeferStmt) state {
+			// A deferred Done/Add takes effect at exit on exactly the
+			// paths that registered it — applying it at the site keeps
+			// that path-exactness. Closures deferred for cleanup count
+			// too (defer func(){ wg.Done() }()).
+			return c.apply(s, d.Call, true)
+		},
+		Join:  join,
+		Clone: clone,
+		Equal: equal,
+	}
+	result := cfg.Run(g, a)
+	exit, ok := result.Exit()
+	if !ok {
+		return
+	}
+	keys := make([]string, 0, len(exit))
+	for k := range exit {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return c.firstUse[keys[i]] < c.firstUse[keys[j]] })
+	for _, k := range keys {
+		delta, display := exit[k], c.names[k]
+		pos := c.firstUse[k]
+		switch {
+		case delta == unknown:
+			// Non-constant Add: balance is untrackable, stay silent.
+		case delta == conflict:
+			c.pass.Reportf(pos,
+				"%s.Add/Done balance differs between paths through this %s; call Done exactly once on every path (defer %s.Done() is the safe shape)",
+				display, where, display)
+		case delta <= -2:
+			c.pass.Reportf(pos,
+				"%s.Done is reached %d times on every path through this %s; a second Done panics — remove the extra call",
+				display, -delta, where)
+		}
+	}
+}
+
+// transfer applies one CFG node's Add/Done effects. Function literals
+// are separate functions and are skipped — except inside defer, which
+// the Defer hook handles.
+func (c *checker) transfer(s state, n ast.Node) state {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// go wg.Done() runs asynchronously — not a flow effect here.
+			return false
+		case *ast.CallExpr:
+			s = c.apply(s, n, false)
+		}
+		return true
+	})
+	return s
+}
+
+// apply folds one call's effect into the state. Inside deferred calls
+// (deep=true) nested closures are scanned too.
+func (c *checker) apply(s state, call *ast.CallExpr, deep bool) state {
+	c.withWgCall(call, deep, func(inner *ast.CallExpr, method, key, display string) {
+		if _, seen := c.firstUse[key]; !seen {
+			c.firstUse[key] = inner.Pos()
+			c.names[key] = display
+		}
+		cur := s[key]
+		if cur == conflict || cur == unknown {
+			return
+		}
+		switch method {
+		case "Done":
+			s[key] = cur - 1
+		case "Add":
+			n, ok := constIntArg(c.pass, inner)
+			if !ok {
+				s[key] = unknown
+				return
+			}
+			s[key] = cur + n
+		}
+	})
+	return s
+}
+
+// forEachWgCall visits every WaitGroup Add/Done/Wait call under n,
+// skipping nested function literals.
+func (c *checker) forEachWgCall(n ast.Node, fn func(*ast.CallExpr, string, string, string)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			c.withWgCall(call, false, fn)
+		}
+		return true
+	})
+}
+
+// withWgCall invokes fn when call (or, with deep, a call nested in a
+// closure inside it) is a WaitGroup method call on a nameable chain.
+func (c *checker) withWgCall(call *ast.CallExpr, deep bool, fn func(*ast.CallExpr, string, string, string)) {
+	if deep {
+		ast.Inspect(call, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok && inner != call {
+				c.withWgCall(inner, false, fn)
+			}
+			return true
+		})
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	method := sel.Sel.Name
+	if method != "Add" && method != "Done" && method != "Wait" {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[sel.X]
+	if !ok || !isWaitGroupType(tv.Type) {
+		return
+	}
+	root, names, ok := analysis.SelChain(sel)
+	if !ok {
+		return
+	}
+	obj := c.pass.TypesInfo.Uses[root]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[root]
+	}
+	key := fmt.Sprintf("%p.%s", obj, strings.Join(names[:len(names)-1], "."))
+	display := strings.Join(append([]string{root.Name}, names[:len(names)-1]...), ".")
+	fn(call, method, key, display)
+}
+
+func constIntArg(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+	if len(call.Args) != 1 {
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	n, ok := intValue(tv.Value.String())
+	return n, ok
+}
+
+func intValue(s string) (int, bool) {
+	n := 0
+	neg := false
+	for i, r := range s {
+		if i == 0 && r == '-' {
+			neg = true
+			continue
+		}
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		n = n*10 + int(r-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+func isWaitGroupType(t types.Type) bool {
+	named := analysis.NamedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+func join(a, b state) state {
+	for k, vb := range b {
+		va, ok := a[k]
+		if !ok {
+			va = 0
+		}
+		a[k] = joinDelta(va, vb)
+	}
+	for k, va := range a {
+		if _, ok := b[k]; !ok {
+			// Present on one side only: the other path's delta is 0.
+			a[k] = joinDelta(va, 0)
+		}
+	}
+	return a
+}
+
+func joinDelta(a, b int) int {
+	switch {
+	case a == unknown || b == unknown:
+		return unknown
+	case a == b:
+		return a
+	default:
+		return conflict
+	}
+}
+
+func clone(s state) state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func equal(a, b state) bool {
+	for k, va := range a {
+		if vb, ok := b[k]; (ok && va != vb) || (!ok && va != 0) {
+			return false
+		}
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok && vb != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,19 @@
+package waitgroup_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/waitgroup"
+)
+
+func TestFiring(t *testing.T) {
+	dir, _ := filepath.Abs("../testdata/src/waitgroup/server")
+	analysistest.Run(t, dir, waitgroup.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	dir, _ := filepath.Abs("../testdata/src/waitgroup/ingest")
+	analysistest.Run(t, dir, waitgroup.Analyzer)
+}

@@ -64,11 +64,11 @@ func writeAtomic(path string, encode func(f *os.File) error) error {
 	}
 	if err := encode(tmp); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		os.Remove(tmp.Name()) // smallvet:ignore errdrop -- best-effort cleanup; the encode error is the one to surface
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		os.Remove(tmp.Name()) // smallvet:ignore errdrop -- best-effort cleanup; the close error is the one to surface
 		return err
 	}
 	return os.Rename(tmp.Name(), path)

@@ -33,11 +33,20 @@ const (
 // builtin primitives, so this degrades names, not results.
 const opTableCap = 1 << 20
 
-var opTable = struct {
-	sync.RWMutex
+// opTableState is the process-wide opcode intern table. It is hit
+// from every decoder goroutine at once, so its fields carry the
+// `guarded by mu` convention smallvet's lockguard enforces.
+type opTableState struct {
+	mu sync.RWMutex
+	// byName maps interned names to their opcodes.
+	// guarded by mu
 	byName map[string]Opcode
-	names  []string
-}{
+	// names lists interned names indexed by opcode.
+	// guarded by mu
+	names []string
+}
+
+var opTable = opTableState{
 	byName: map[string]Opcode{
 		"car": OpCar, "cdr": OpCdr, "cons": OpCons,
 		"rplaca": OpRplaca, "rplacd": OpRplacd, "read": OpRead,
@@ -51,14 +60,14 @@ func InternOp(name string) Opcode {
 	if name == "" {
 		return OpNone
 	}
-	opTable.RLock()
+	opTable.mu.RLock()
 	c, ok := opTable.byName[name]
-	opTable.RUnlock()
+	opTable.mu.RUnlock()
 	if ok {
 		return c
 	}
-	opTable.Lock()
-	defer opTable.Unlock()
+	opTable.mu.Lock()
+	defer opTable.mu.Unlock()
 	if c, ok := opTable.byName[name]; ok {
 		return c
 	}
@@ -79,8 +88,8 @@ func OpName(c Opcode) string {
 	if c == OpNone {
 		return "?"
 	}
-	opTable.RLock()
-	defer opTable.RUnlock()
+	opTable.mu.RLock()
+	defer opTable.mu.RUnlock()
 	if int(c) < len(opTable.names) {
 		return opTable.names[c]
 	}

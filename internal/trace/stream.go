@@ -405,6 +405,12 @@ func (rr *recordingReader) Read(p []byte) (int, error) {
 // shards while the body is still arriving. If the input ends in an
 // SMTX footer, the final Scan verifies every claim it makes against
 // the recorded actuals.
+//
+// A StreamScanner is confined to one goroutine: no field is mutex
+// guarded, and concurrent shard work must share only the immutable
+// snapshots (Raw prefixes, IndexSnapshot copies, SubStream views) it
+// hands out — the confinement-by-snapshot discipline the ingest
+// dispatcher relies on.
 type StreamScanner struct {
 	d         streamDecoder
 	bs        BlockScratch
