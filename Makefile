@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race smoke-serve smoke-cluster smoke-ingest fuzz-corpus smoke-bench-vm verify bench bench-parsweep bench-trace bench-vm bench-ingest
+.PHONY: build vet lint test race smoke-serve smoke-cluster smoke-ingest smoke-dml fuzz-corpus smoke-bench-vm smoke-bench-dml verify bench bench-parsweep bench-trace bench-vm bench-ingest bench-dml
 
 build:
 	$(GO) build ./...
@@ -59,12 +59,25 @@ smoke-ingest:
 fuzz-corpus:
 	$(GO) test -run 'RoundTrip|^Fuzz' -count 1 ./internal/trace/ ./internal/cluster/wire/
 
+# End-to-end check of distributed Multilisp: gateway + two workers, a
+# dml session whose pcall spawns land on real workers over the binary
+# verbs, zero weight-increment messages, and full weight recovery on
+# session delete.
+smoke-dml:
+	sh scripts/smoke_dml.sh
+
 # One-iteration pass through cmd/vmbench so the BENCH_vm.json
 # regeneration path cannot rot; the numbers go to a scratch file.
 smoke-bench-vm:
 	$(GO) run ./cmd/vmbench -benchtime 1x -reps 1 -out /tmp/bench_vm_smoke.json
 
-verify: build vet lint test race fuzz-corpus smoke-bench-vm smoke-serve smoke-cluster smoke-ingest
+# One-iteration pass through cmd/dmlbench (real TCP workers at 1/2/4)
+# so the BENCH_dml.json regeneration path cannot rot; also asserts the
+# combining ratio stays above 1 and no weight increment is ever sent.
+smoke-bench-dml:
+	$(GO) run ./cmd/dmlbench -benchtime 1x -reps 1 -out /tmp/bench_dml_smoke.json
+
+verify: build vet lint test race fuzz-corpus smoke-bench-vm smoke-bench-dml smoke-serve smoke-cluster smoke-ingest smoke-dml
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
@@ -89,3 +102,10 @@ bench-vm:
 # scaling at 1/2/4/8 shards (recorded in BENCH_ingest.json).
 bench-ingest:
 	$(GO) run ./cmd/ingestbench -out BENCH_ingest.json
+
+# Distributed Multilisp baselines: benchprog evaluation over real SMCR
+# workers at 1/2/4 workers — speedup vs single-node, protocol messages
+# per remote cons, and the combining-queue ratio (recorded in
+# BENCH_dml.json).
+bench-dml:
+	$(GO) run ./cmd/dmlbench -out BENCH_dml.json

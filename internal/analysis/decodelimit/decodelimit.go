@@ -46,11 +46,14 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // scope covers every package that decodes untrusted bytes: the trace
-// codec, the cluster RPC wire protocol, and the ingest staging layer
-// (which buffers uploads against named quota allowances).
+// codec, the cluster RPC wire protocol, the distributed Multilisp
+// runtime (whose spawn/dec requests arrive over that protocol), and
+// the ingest staging layer (which buffers uploads against named quota
+// allowances).
 var scope = []string{
 	"internal/trace", "trace",
 	"internal/cluster/wire", "wire",
+	"internal/dml", "dml",
 	"internal/ingest", "ingest",
 }
 

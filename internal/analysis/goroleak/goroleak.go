@@ -40,11 +40,13 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // scope is the serving path, same as closepath: the layers whose
-// goroutine count must stay bounded under production load.
+// goroutine count must stay bounded under production load (the dml
+// runtime's worker pools and combining-queue flusher included).
 var scope = []string{
 	"internal/server", "server",
 	"internal/cluster", "cluster",
 	"internal/cluster/client", "client",
+	"internal/dml", "dml",
 	"internal/ingest", "ingest",
 }
 

@@ -54,11 +54,13 @@ var Analyzer = &analysis.Analyzer{
 
 // scope limits the check to the layers where the annotation
 // convention lives: smalld's server, the cluster gateway/client, the
-// ingest pipeline, and the trace stream scanner.
+// distributed Multilisp runtime, the ingest pipeline, and the trace
+// stream scanner.
 var scope = []string{
 	"internal/server", "server",
 	"internal/cluster", "cluster",
 	"internal/cluster/client", "client",
+	"internal/dml", "dml",
 	"internal/ingest", "ingest",
 	"internal/trace", "trace",
 }

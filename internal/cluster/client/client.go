@@ -187,6 +187,51 @@ func (c *Client) ShardJob(ctx context.Context, params, payload []byte, index, co
 	return resp, nil
 }
 
+// FutureSpawn sends one future-spawn frame: schedule expr on the worker
+// under the given program token, carrying defs (with wire.SpawnInstall
+// in flags) the first time the token crosses this link. Like Do, a
+// returned error is a transport failure; application-level failures
+// (unknown token, spawn backlog) come back as response frames.
+func (c *Client) FutureSpawn(ctx context.Context, flags uint64, prog, defs, expr, binds string) (*wire.Frame, error) {
+	req := &wire.Frame{
+		Type: wire.TypeFutureSpawn, FutureFlags: flags,
+		Prog: prog, Defs: defs, Expr: expr, Binds: binds,
+	}
+	return c.dmlExchange(ctx, req, true)
+}
+
+// FutureTouch blocks on a previously spawned future until the worker
+// resolves it (or the deadline riding the frame expires worker-side).
+func (c *Client) FutureTouch(ctx context.Context, objID int64) (*wire.Frame, error) {
+	return c.dmlExchange(ctx, &wire.Frame{Type: wire.TypeFutureTouch, ObjID: objID}, true)
+}
+
+// WeightDec delivers one combined weight-decrement batch. The frame
+// carries no deadline: decrements are instant table arithmetic.
+func (c *Client) WeightDec(ctx context.Context, decs []wire.DecEntry) (*wire.Frame, error) {
+	return c.dmlExchange(ctx, &wire.Frame{Type: wire.TypeWeightDec, Decs: decs}, false)
+}
+
+// dmlExchange stamps the context deadline onto a dml verb frame (when
+// the verb carries one) and runs the exchange.
+func (c *Client) dmlExchange(ctx context.Context, req *wire.Frame, deadline bool) (*wire.Frame, error) {
+	if dl, has := ctx.Deadline(); has && deadline {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.DeadlineMS = uint64(min(ms, wire.MaxDeadlineMS))
+		} else {
+			return nil, context.DeadlineExceeded
+		}
+	}
+	resp, err := c.exchange(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.TypeResponse {
+		return nil, fmt.Errorf("cluster: %s: unexpected frame type %#x in reply", c.addr, resp.Type)
+	}
+	return resp, nil
+}
+
 // Ping checks liveness over the wire protocol.
 func (c *Client) Ping(ctx context.Context) error {
 	resp, err := c.exchange(ctx, &wire.Frame{Type: wire.TypePing})

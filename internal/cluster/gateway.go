@@ -99,9 +99,10 @@ type Gateway struct {
 	workers   []*worker          // same order as peerAddrs
 	byAddr    map[string]*worker // immutable after New
 	staging   *ingest.Staging
+	dml       *dmlSessions // gateway-resident distributed-Multilisp sessions
 	metrics   *metrics
 	mux       *http.ServeMux
-	cancel    context.CancelFunc // stops the health loops
+	cancel    context.CancelFunc // stops the health and dml-sweep loops
 }
 
 // NewGateway builds a gateway over the given peers and starts their
@@ -131,6 +132,16 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		g.byAddr[addr] = w
 	}
 	g.metrics = newMetrics(g.workers)
+	g.dml = newDMLSessions(g)
+	g.metrics.addGauge("smallcluster_dml_sessions_active", "live gateway-resident dml sessions", g.dml.active)
+	g.metrics.addGauge("smallcluster_dml_spawns", "futures spawned across the cluster", func() int64 { return g.dml.sp.Stats().Spawns })
+	g.metrics.addGauge("smallcluster_dml_touches", "future touches routed sticky to owning workers", func() int64 { return g.dml.sp.Stats().Touches })
+	g.metrics.addGauge("smallcluster_dml_touch_failures", "touches that failed typed (dead worker or lost object)", func() int64 { return g.dml.sp.Stats().TouchFailures })
+	g.metrics.addGauge("smallcluster_dml_local_copies", "reference copies satisfied by a local weight split (zero messages)", func() int64 { return g.dml.sp.Stats().LocalCopies })
+	g.metrics.addGauge("smallcluster_dml_dec_messages", "weight-dec frames actually sent (after combining)", func() int64 { return g.dml.sp.Stats().Combining.Frames })
+	g.metrics.addGauge("smallcluster_dml_decs_combined", "decrements absorbed into an already-queued entry instead of a frame", func() int64 { return g.dml.sp.Stats().Combining.Combined })
+	g.metrics.addGauge("smallcluster_dml_weight_inc_messages", "weight-increment messages sent (structurally always zero: no such verb exists)", func() int64 { return g.dml.sp.Stats().WeightIncMessages })
+	g.metrics.addGauge("smallcluster_dml_outstanding_weight", "reference weight held by live refs and queued decrements", func() int64 { return g.dml.sp.Stats().OutstandingWeight })
 	g.metrics.addGauge("smallcluster_ingest_staging_bytes",
 		"trace bytes staged for ingest at the gateway edge across tenants",
 		g.staging.StagedBytes)
@@ -161,15 +172,34 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	for _, w := range g.workers {
 		go g.healthLoop(ctx, w)
 	}
+	go g.dmlSweepLoop(ctx)
 	return g, nil
+}
+
+// dmlSweepLoop expires idle dml sessions, the gateway-side sibling of
+// smalld's session janitor.
+func (g *Gateway) dmlSweepLoop(ctx context.Context) {
+	tick := time.NewTicker(g.dml.ttl / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			g.dml.sweepIdle(now)
+		}
+	}
 }
 
 // Handler returns the gateway's HTTP handler.
 func (g *Gateway) Handler() http.Handler { return g.mux }
 
-// Close stops the health loops and discards every pooled connection.
+// Close stops the health loops, releases the dml sessions' futures
+// (flushing the combining queues toward still-reachable workers), and
+// discards every pooled connection.
 func (g *Gateway) Close() {
 	g.cancel()
+	g.dml.close()
 	for _, w := range g.workers {
 		w.client.Close()
 	}
@@ -240,6 +270,11 @@ func (g *Gateway) requestCtx(r *http.Request) (context.Context, context.CancelFu
 // on that worker, so there is nowhere honest to send the request.
 func (g *Gateway) handleSessionForward(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// dml sessions live at the gateway itself — their futures span every
+	// worker, so no single rendezvous owner could serve them.
+	if g.serveDMLSession(w, r, id) {
+		return
+	}
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -305,7 +340,12 @@ func (g *Gateway) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "invalid session id (want 1-64 chars of [a-zA-Z0-9._-])")
 			return
 		}
-	} else {
+	}
+	if req.Backend == server.BackendDML {
+		g.handleDMLSessionCreate(w, &req)
+		return
+	}
+	if req.ID == "" {
 		for i := 0; ; i++ {
 			req.ID = randSessionID()
 			if o := g.owner(req.ID); o != nil && o.healthy.Load() {
@@ -366,6 +406,7 @@ func (g *Gateway) handleSessionList(w http.ResponseWriter, r *http.Request) {
 	for i := range results {
 		merged = append(merged, results[i].Sessions...)
 	}
+	merged = append(merged, g.dml.list()...)
 	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

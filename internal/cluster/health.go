@@ -31,6 +31,9 @@ type worker struct {
 func (g *Gateway) markDown(w *worker) {
 	if w.healthy.Swap(false) {
 		g.metrics.add("smallcluster_worker_down_total", 1)
+		// The worker's future objects died with it: drop the decrements
+		// queued toward it and write their weight off the dml ledger.
+		g.dml.sp.MarkDown(w.addr)
 	}
 	select {
 	case w.probe <- struct{}{}:
@@ -78,6 +81,7 @@ func (g *Gateway) healthLoop(ctx context.Context, w *worker) {
 			fails++
 			if fails >= g.cfg.FailThreshold && w.healthy.Swap(false) {
 				g.metrics.add("smallcluster_worker_down_total", 1)
+				g.dml.sp.MarkDown(w.addr)
 			}
 			// Exponential backoff with jitter, capped.
 			wait = backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))

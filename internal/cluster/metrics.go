@@ -105,21 +105,23 @@ func (m *metrics) get(name string) int64 {
 
 // counterHelp documents the flat counters that may appear.
 var counterHelp = map[string]string{
-	"smallcluster_route_session_total":     "requests routed by session affinity (rendezvous hash)",
-	"smallcluster_route_stateless_total":   "stateless jobs spread least-loaded across workers",
-	"smallcluster_session_unroutable_total": "session requests refused because the owning worker is down",
-	"smallcluster_retries_total":           "stateless attempts re-sent to another worker after a failure",
-	"smallcluster_hedges_total":            "hedge attempts launched for slow stateless calls",
-	"smallcluster_hedge_wins_total":        "stateless calls answered first by a hedge attempt",
-	"smallcluster_worker_down_total":       "circuit-open transitions (worker marked unhealthy)",
-	"smallcluster_worker_up_total":         "circuit-close transitions (worker probed back to healthy)",
-	"smallcluster_probe_failures_total":    "health probes that failed",
-	"smallcluster_fanout_total":            "fan-out requests (session list) sent to all healthy workers",
-	"smallcluster_ingest_bytes_total":      "raw trace bytes accepted into the gateway's ingest staging",
-	"smallcluster_ingest_segments_total":   "trace segments staged by gateway ingest pushes",
-	"smallcluster_ingest_rejected_total":   "gateway ingest pushes rejected (rate limit, quota, or malformed segment)",
-	"smallcluster_ingest_jobs_total":       "sharded ingest replay jobs run through the gateway",
-	"smallcluster_ingest_shards_total":     "ingest shards spread to workers over the shard-job verb",
+	"smallcluster_route_session_total":        "requests routed by session affinity (rendezvous hash)",
+	"smallcluster_route_stateless_total":      "stateless jobs spread least-loaded across workers",
+	"smallcluster_session_unroutable_total":   "session requests refused because the owning worker is down",
+	"smallcluster_retries_total":              "stateless attempts re-sent to another worker after a failure",
+	"smallcluster_hedges_total":               "hedge attempts launched for slow stateless calls",
+	"smallcluster_hedge_wins_total":           "stateless calls answered first by a hedge attempt",
+	"smallcluster_worker_down_total":          "circuit-open transitions (worker marked unhealthy)",
+	"smallcluster_worker_up_total":            "circuit-close transitions (worker probed back to healthy)",
+	"smallcluster_probe_failures_total":       "health probes that failed",
+	"smallcluster_fanout_total":               "fan-out requests (session list) sent to all healthy workers",
+	"smallcluster_ingest_bytes_total":         "raw trace bytes accepted into the gateway's ingest staging",
+	"smallcluster_ingest_segments_total":      "trace segments staged by gateway ingest pushes",
+	"smallcluster_ingest_rejected_total":      "gateway ingest pushes rejected (rate limit, quota, or malformed segment)",
+	"smallcluster_ingest_jobs_total":          "sharded ingest replay jobs run through the gateway",
+	"smallcluster_ingest_shards_total":        "ingest shards spread to workers over the shard-job verb",
+	"smallcluster_dml_sessions_created_total": "gateway-resident dml sessions created",
+	"smallcluster_dml_evals_total":            "evals served by gateway-resident dml sessions",
 }
 
 // render writes the Prometheus text exposition format.

@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/cluster/wire"
+	"repro/internal/dml"
 )
 
 // RPCServer serves the worker side of the cluster protocol: it accepts
@@ -121,6 +123,8 @@ func (s *RPCServer) serveConn(ctx context.Context, nc net.Conn) {
 			resp = s.handle(ctx, &req)
 		case wire.TypeShardJob:
 			resp = s.handleShard(ctx, &req)
+		case wire.TypeFutureSpawn, wire.TypeFutureTouch, wire.TypeWeightDec:
+			resp = s.handleDML(ctx, &req)
 		default:
 			// A response/pong frame from a client is a protocol error.
 			return
@@ -170,6 +174,54 @@ func (s *RPCServer) handleShard(ctx context.Context, req *wire.Frame) *wire.Fram
 		Method: http.MethodPost, Path: ShardReplayPath + "?" + q.Encode(),
 		Header: []wire.Header{{Key: "Content-Type", Value: "application/x-smrs"}},
 		Body:   req.Body,
+	}
+	return s.handle(ctx, &httpReq)
+}
+
+// The distributed-Multilisp verbs replay into the standalone server's
+// dml routes, the same translation trick as shard jobs: the binary
+// frame is the tight encoding, the HTTP route is the single dispatch
+// point with its error mapping and metrics.
+const (
+	DMLSpawnPath = "/v1/dml/spawn"
+	DMLTouchPath = "/v1/dml/touch"
+	DMLDecPath   = "/v1/dml/dec"
+)
+
+// handleDML translates a future-spawn / future-touch / weight-dec frame
+// into a POST against the matching dml route.
+func (s *RPCServer) handleDML(ctx context.Context, req *wire.Frame) *wire.Frame {
+	var (
+		path string
+		body any
+	)
+	switch req.Type {
+	case wire.TypeFutureSpawn:
+		path = DMLSpawnPath
+		body = dml.SpawnRequest{
+			Prog: req.Prog, Flags: req.FutureFlags,
+			Defs: req.Defs, Expr: req.Expr, Binds: req.Binds,
+		}
+	case wire.TypeFutureTouch:
+		path = DMLTouchPath
+		body = map[string]int64{"obj_id": req.ObjID}
+	case wire.TypeWeightDec:
+		path = DMLDecPath
+		body = dml.DecRequest{Decs: req.Decs}
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		return &wire.Frame{
+			Type: wire.TypeResponse, Status: http.StatusBadRequest,
+			Header: []wire.Header{{Key: "Content-Type", Value: "application/json"}},
+			Body:   []byte(fmt.Sprintf(`{"error":%q}`, "bad dml frame: "+err.Error())),
+		}
+	}
+	httpReq := wire.Frame{
+		Type: wire.TypeRequest, DeadlineMS: req.DeadlineMS,
+		Method: http.MethodPost, Path: path,
+		Header: []wire.Header{{Key: "Content-Type", Value: "application/json"}},
+		Body:   b,
 	}
 	return s.handle(ctx, &httpReq)
 }

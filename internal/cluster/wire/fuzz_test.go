@@ -24,6 +24,15 @@ func fuzzSeedFrames(f *testing.F) [][]byte {
 		{Type: TypeShardJob, ShardIndex: 0, ShardCount: 1, Body: []byte("SMRS\x01")},
 		{Type: TypeShardJob, ShardIndex: 2, ShardCount: 7, DeadlineMS: 60_000,
 			Params: []byte(`{"table_size":128}`), Body: []byte("SMRS\x01payload")},
+		{Type: TypeFutureSpawn, Prog: "p-6ff1", Expr: "(fib 10)"},
+		{Type: TypeFutureSpawn, DeadlineMS: 30_000, FutureFlags: SpawnInstall,
+			Prog: "p-6ff1", Defs: "(def fib (lambda (n)\n  (cond ((lessp n 2) n) (t (+ (fib (- n 1)) (fib (- n 2)))))))",
+			Expr: "(fib (car xs))", Binds: "((xs . (10 11)))"},
+		{Type: TypeFutureTouch, ObjID: 0},
+		{Type: TypeFutureTouch, DeadlineMS: 5_000, ObjID: 123456},
+		{Type: TypeWeightDec, Decs: []DecEntry{{ObjID: 7, Weight: 1}}},
+		{Type: TypeWeightDec, Decs: []DecEntry{
+			{ObjID: 0, Weight: MaxRefWeight}, {ObjID: 3, Weight: 1 << 20}, {ObjID: 2, Weight: 2}}},
 	}
 	out := make([][]byte, 0, len(frames))
 	for _, fr := range frames {
@@ -34,6 +43,19 @@ func fuzzSeedFrames(f *testing.F) [][]byte {
 		out = append(out, b)
 	}
 	return out
+}
+
+// slicesEqual compares decrement-entry slices field by field.
+func slicesEqual(a, b []DecEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // FuzzReadRPC hammers the cluster frame decoder with truncated,
@@ -53,8 +75,14 @@ func FuzzReadRPC(f *testing.F) {
 	f.Add([]byte{0x09})                                      // unknown type
 	f.Add([]byte{TypeRequest, 0xff, 0xff, 0xff, 0xff, 0x0f}) // giant deadline varint
 	f.Add([]byte{TypeResponse, 0xc8, 0x01, 0xff, 0xff, 0x03})
-	f.Add([]byte("SMCR\x01"))                         // handshake bytes fed to the frame path
+	f.Add([]byte("SMCR\x01"))                          // handshake bytes fed to the frame path
 	f.Add(append([]byte{TypePing}, []byte("tail")...)) // trailing second frame
+	// Hostile dml verbs: oversized weight, "negative" (beyond-int32)
+	// object ids, zero-entry dec batches, unknown spawn flags.
+	f.Add([]byte{TypeWeightDec, 0x01, 0x07, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{TypeFutureTouch, 0x00, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{TypeWeightDec, 0x00})
+	f.Add([]byte{TypeFutureSpawn, 0x00, 0x7f})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
 		var fr Frame
@@ -81,6 +109,9 @@ func FuzzReadRPC(f *testing.F) {
 			back.Status != fr.Status || back.DeadlineMS != fr.DeadlineMS ||
 			back.ShardIndex != fr.ShardIndex || back.ShardCount != fr.ShardCount ||
 			!bytes.Equal(back.Params, fr.Params) ||
+			back.FutureFlags != fr.FutureFlags || back.Prog != fr.Prog ||
+			back.Defs != fr.Defs || back.Expr != fr.Expr || back.Binds != fr.Binds ||
+			back.ObjID != fr.ObjID || !slicesEqual(back.Decs, fr.Decs) ||
 			len(back.Header) != len(fr.Header) || !bytes.Equal(back.Body, fr.Body) {
 			t.Fatalf("frame changed across cycle: %+v -> %+v", fr, back)
 		}

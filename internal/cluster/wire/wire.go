@@ -63,6 +63,35 @@ const (
 	//	headers (always zero for shard jobs; kept for tail uniformity)
 	//	uvarint body length + bytes
 	TypeShardJob = 0x05
+	// TypeFutureSpawn schedules one distributed-Multilisp future on the
+	// worker (Chapter 6 over the cluster, internal/dml): the worker
+	// registers a weighted object for the eventual value and evaluates
+	// the expression asynchronously. The reply is a normal TypeResponse
+	// whose JSON body carries the object id and initial weight. Layout
+	// after the type byte (no header/body tail — every field is typed):
+	//
+	//	uvarint deadline-ms (0 = none)
+	//	uvarint flags (bit 0 = install: Defs carries the program source)
+	//	uvarint prog length + bytes (program token, <= MaxProgLen)
+	//	uvarint defs length + bytes (<= MaxDefsLen; empty unless installing)
+	//	uvarint expr length + bytes (1..MaxExprLen)
+	//	uvarint binds length + bytes (<= MaxBindsLen; shipped globals)
+	TypeFutureSpawn = 0x06
+	// TypeFutureTouch blocks on a previously spawned future until its
+	// value is ready (Halstead's touch). Reply: TypeResponse with the
+	// value as JSON. Layout:
+	//
+	//	uvarint deadline-ms (0 = none)
+	//	uvarint object id (<= MaxObjID)
+	TypeFutureTouch = 0x07
+	// TypeWeightDec delivers a batch of combined weight decrements to
+	// the owning worker's object table (Fig 6.6's combining queues: many
+	// releases, one frame). Reply: TypeResponse. Layout:
+	//
+	//	uvarint entry count (1..MaxDecEntries)
+	//	count x (uvarint object id <= MaxObjID,
+	//	         uvarint weight 1..MaxRefWeight)
+	TypeWeightDec = 0x08
 )
 
 // Decode limits. Every length or count read from the peer is clamped
@@ -79,31 +108,61 @@ const (
 	MaxDeadlineMS  = 24 * 3600 * 1000 // one day; beyond this is a corrupt frame
 	MaxShardCount  = 4096             // matches the ingest planner's shard cap
 	MaxParamsLen   = 4096             // simulation parameters are small JSON documents
-	minStatus      = 100
-	maxStatus      = 599
+	// Distributed-Multilisp verb limits (internal/dml).
+	MaxProgLen    = 64           // program tokens are short content hashes
+	MaxDefsLen    = 1 << 20      // a program's function definitions, as source
+	MaxExprLen    = 1 << 20      // one spawned expression, as source
+	MaxBindsLen   = 4 << 20      // shipped global bindings (serialized alist)
+	MaxObjID      = 1<<31 - 1    // object ids fit int32; a larger uvarint is a "negative" id
+	MaxRefWeight  = 1 << 48      // dml.InitialWeight: no single reference can carry more
+	MaxDecEntries = 1024         // combined decrements per weight-dec frame
+	maxSpawnFlags = SpawnInstall // only defined flag bits are accepted
+	minStatus     = 100
+	maxStatus     = 599
 )
+
+// SpawnInstall is FutureFlags bit 0: the spawn frame's Defs field
+// carries the program's definitions for the worker to install under the
+// Prog token before evaluating.
+const SpawnInstall = 1
 
 // Header is one response (or request) header pair, ordered.
 type Header struct {
 	Key, Value string
 }
 
+// DecEntry is one combined decrement inside a weight-dec frame: give
+// Weight back to the object's recorded total.
+type DecEntry struct {
+	ObjID  int64
+	Weight int64
+}
+
 // Frame is one protocol message. Type selects which fields are
 // meaningful: requests use DeadlineMS/Method/Path/Header/Body,
 // responses use Status/Header/Body, shard jobs use
-// DeadlineMS/ShardIndex/ShardCount/Params/Body, ping and pong use
-// nothing else.
+// DeadlineMS/ShardIndex/ShardCount/Params/Body, future spawns use
+// DeadlineMS/FutureFlags/Prog/Defs/Expr/Binds, future touches use
+// DeadlineMS/ObjID, weight decs use Decs, ping and pong use nothing
+// else.
 type Frame struct {
-	Type       byte
-	DeadlineMS uint64 // request, shard job: remaining budget in milliseconds, 0 = none
-	Method     string // request
-	Path       string // request
-	Status     int    // response
-	ShardIndex int    // shard job: position in plan order
-	ShardCount int    // shard job: total shards in the job
-	Params     []byte // shard job: opaque simulation parameters (JSON)
-	Header     []Header
-	Body       []byte
+	Type        byte
+	DeadlineMS  uint64 // request, shard job, spawn, touch: remaining budget in ms, 0 = none
+	Method      string // request
+	Path        string // request
+	Status      int    // response
+	ShardIndex  int    // shard job: position in plan order
+	ShardCount  int    // shard job: total shards in the job
+	Params      []byte // shard job: opaque simulation parameters (JSON)
+	FutureFlags uint64 // future spawn: SpawnInstall bit
+	Prog        string // future spawn: program token (content hash of Defs)
+	Defs        string // future spawn: program definitions source (install only)
+	Expr        string // future spawn: expression source to evaluate
+	Binds       string // future spawn: shipped global bindings (serialized alist)
+	ObjID       int64  // future touch: object to wait on
+	Decs        []DecEntry
+	Header      []Header
+	Body        []byte
 }
 
 // encErrorf reports an unencodable frame: AppendFrame is strict so that
@@ -128,10 +187,19 @@ func cleanText(s string) bool {
 // checkFrame holds the invariants shared by the encoder and decoder, so
 // the codec round-trips exactly the set of frames it emits.
 func checkFrame(f *Frame, errf func(format string, args ...any) error) error {
-	// Fields meaningful only for shard jobs must be zero elsewhere, so
-	// the codec round-trips exactly the frames it emits.
+	// Fields meaningful only for one frame type must be zero elsewhere,
+	// so the codec round-trips exactly the frames it emits.
 	if f.Type != TypeShardJob && (f.ShardIndex != 0 || f.ShardCount != 0 || len(f.Params) != 0) {
 		return errf("non-shard frame carries shard fields")
+	}
+	if f.Type != TypeFutureSpawn && (f.FutureFlags != 0 || f.Prog != "" || f.Defs != "" || f.Expr != "" || f.Binds != "") {
+		return errf("non-spawn frame carries future-spawn fields")
+	}
+	if f.Type != TypeFutureTouch && f.ObjID != 0 {
+		return errf("non-touch frame carries an object id")
+	}
+	if f.Type != TypeWeightDec && len(f.Decs) != 0 {
+		return errf("non-dec frame carries decrement entries")
 	}
 	switch f.Type {
 	case TypeRequest:
@@ -167,6 +235,62 @@ func checkFrame(f *Frame, errf func(format string, args ...any) error) error {
 		if len(f.Header) != 0 {
 			return errf("shard job frame carries headers")
 		}
+	case TypeFutureSpawn:
+		if f.Method != "" || f.Path != "" || f.Status != 0 || len(f.Header) != 0 || len(f.Body) != 0 {
+			return errf("future-spawn frame carries request/response fields")
+		}
+		if f.DeadlineMS > MaxDeadlineMS {
+			return errf("deadline %dms exceeds limit %dms", f.DeadlineMS, int64(MaxDeadlineMS))
+		}
+		if f.FutureFlags > maxSpawnFlags {
+			return errf("unknown spawn flags %#x", f.FutureFlags)
+		}
+		if f.Prog == "" || len(f.Prog) > MaxProgLen || !cleanText(f.Prog) {
+			return errf("bad prog token %q", f.Prog)
+		}
+		// Defs, Expr, and Binds are Lisp source: newlines are legal, so
+		// only their lengths are constrained.
+		if f.FutureFlags&SpawnInstall != 0 {
+			if f.Defs == "" || len(f.Defs) > MaxDefsLen {
+				return errf("bad defs (%d bytes, install flag set)", len(f.Defs))
+			}
+		} else if f.Defs != "" {
+			return errf("defs without the install flag")
+		}
+		if f.Expr == "" || len(f.Expr) > MaxExprLen {
+			return errf("bad expr (%d bytes)", len(f.Expr))
+		}
+		if len(f.Binds) > MaxBindsLen {
+			return errf("binds of %d bytes exceed limit %d", len(f.Binds), int(MaxBindsLen))
+		}
+		return nil
+	case TypeFutureTouch:
+		if f.Method != "" || f.Path != "" || f.Status != 0 || len(f.Header) != 0 || len(f.Body) != 0 {
+			return errf("future-touch frame carries request/response fields")
+		}
+		if f.DeadlineMS > MaxDeadlineMS {
+			return errf("deadline %dms exceeds limit %dms", f.DeadlineMS, int64(MaxDeadlineMS))
+		}
+		if f.ObjID < 0 || f.ObjID > MaxObjID {
+			return errf("object id %d out of range [0,%d]", f.ObjID, int64(MaxObjID))
+		}
+		return nil
+	case TypeWeightDec:
+		if f.Method != "" || f.Path != "" || f.Status != 0 || f.DeadlineMS != 0 || len(f.Header) != 0 || len(f.Body) != 0 {
+			return errf("weight-dec frame carries request/response fields")
+		}
+		if len(f.Decs) < 1 || len(f.Decs) > MaxDecEntries {
+			return errf("%d decrement entries out of range [1,%d]", len(f.Decs), int(MaxDecEntries))
+		}
+		for i, e := range f.Decs {
+			if e.ObjID < 0 || e.ObjID > MaxObjID {
+				return errf("decrement %d: object id %d out of range [0,%d]", i, e.ObjID, int64(MaxObjID))
+			}
+			if e.Weight < 1 || e.Weight > MaxRefWeight {
+				return errf("decrement %d: weight %d out of range [1,%d]", i, e.Weight, int64(MaxRefWeight))
+			}
+		}
+		return nil
 	case TypePing, TypePong:
 		if f.Method != "" || f.Path != "" || f.Status != 0 || len(f.Header) != 0 || len(f.Body) != 0 {
 			return errf("ping/pong frame carries a payload")
@@ -203,6 +327,25 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	dst = append(dst, f.Type)
 	switch f.Type {
 	case TypePing, TypePong:
+		return dst, nil
+	case TypeFutureSpawn:
+		dst = binary.AppendUvarint(dst, f.DeadlineMS)
+		dst = binary.AppendUvarint(dst, f.FutureFlags)
+		dst = appendString(dst, f.Prog)
+		dst = appendString(dst, f.Defs)
+		dst = appendString(dst, f.Expr)
+		dst = appendString(dst, f.Binds)
+		return dst, nil
+	case TypeFutureTouch:
+		dst = binary.AppendUvarint(dst, f.DeadlineMS)
+		dst = binary.AppendUvarint(dst, uint64(f.ObjID))
+		return dst, nil
+	case TypeWeightDec:
+		dst = binary.AppendUvarint(dst, uint64(len(f.Decs)))
+		for _, e := range f.Decs {
+			dst = binary.AppendUvarint(dst, uint64(e.ObjID))
+			dst = binary.AppendUvarint(dst, uint64(e.Weight))
+		}
 		return dst, nil
 	case TypeRequest:
 		dst = binary.AppendUvarint(dst, f.DeadlineMS)
@@ -354,6 +497,76 @@ func (r *Reader) ReadFrame(f *Frame) error {
 	switch t {
 	case TypePing, TypePong:
 		return nil
+	case TypeFutureSpawn:
+		if f.DeadlineMS, err = r.readUvarint("deadline"); err != nil {
+			return err
+		}
+		if f.DeadlineMS > MaxDeadlineMS {
+			return r.errf("deadline %dms exceeds limit %dms", f.DeadlineMS, int64(MaxDeadlineMS))
+		}
+		if f.FutureFlags, err = r.readUvarint("spawn flags"); err != nil {
+			return err
+		}
+		if f.FutureFlags > maxSpawnFlags {
+			return r.errf("unknown spawn flags %#x", f.FutureFlags)
+		}
+		if f.Prog, err = r.readString("prog token", MaxProgLen); err != nil {
+			return err
+		}
+		if f.Defs, err = r.readString("defs", MaxDefsLen); err != nil {
+			return err
+		}
+		if f.Expr, err = r.readString("expr", MaxExprLen); err != nil {
+			return err
+		}
+		if f.Binds, err = r.readString("binds", MaxBindsLen); err != nil {
+			return err
+		}
+		return checkFrame(f, r.errf)
+	case TypeFutureTouch:
+		if f.DeadlineMS, err = r.readUvarint("deadline"); err != nil {
+			return err
+		}
+		if f.DeadlineMS > MaxDeadlineMS {
+			return r.errf("deadline %dms exceeds limit %dms", f.DeadlineMS, int64(MaxDeadlineMS))
+		}
+		id, err := r.readUvarint("object id")
+		if err != nil {
+			return err
+		}
+		if id > MaxObjID {
+			// Beyond int32: a negative or corrupt object id.
+			return r.errf("object id %d exceeds limit %d", id, int64(MaxObjID))
+		}
+		f.ObjID = int64(id)
+		return checkFrame(f, r.errf)
+	case TypeWeightDec:
+		n, err := r.readCount("decrement count", MaxDecEntries)
+		if err != nil {
+			return err
+		}
+		if n < 1 {
+			return r.errf("weight-dec frame with no entries")
+		}
+		f.Decs = make([]DecEntry, 0, n)
+		for i := 0; i < n; i++ {
+			id, err := r.readUvarint("decrement object id")
+			if err != nil {
+				return err
+			}
+			if id > MaxObjID {
+				return r.errf("decrement object id %d exceeds limit %d", id, int64(MaxObjID))
+			}
+			w, err := r.readUvarint("decrement weight")
+			if err != nil {
+				return err
+			}
+			if w < 1 || w > MaxRefWeight {
+				return r.errf("decrement weight %d out of range [1,%d]", w, int64(MaxRefWeight))
+			}
+			f.Decs = append(f.Decs, DecEntry{ObjID: int64(id), Weight: int64(w)})
+		}
+		return checkFrame(f, r.errf)
 	case TypeRequest:
 		if f.DeadlineMS, err = r.readUvarint("deadline"); err != nil {
 			return err

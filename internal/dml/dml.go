@@ -1,0 +1,114 @@
+// Package dml implements distributed Multilisp: Chapter 6's futures and
+// weighted references (Fig 6.3) scheduled across real workers over the
+// SMCR protocol instead of the in-process node fabric of
+// internal/multilisp. A coordinator spawns future evaluations on the
+// least-loaded worker (future-spawn), touches block until the owning
+// worker resolves the value (future-touch), and dropped references ride
+// per-link combining queues (Fig 6.6) that coalesce decrements toward
+// the same object — no weight-increment message exists anywhere in the
+// protocol, so copying a reference is always a local weight split.
+package dml
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster/wire"
+)
+
+// InitialWeight is the weight carried by the reference a spawn returns.
+// It equals the wire codec's MaxRefWeight so a full release fits in one
+// decrement entry; being a power of two, splitting halves it evenly.
+const InitialWeight = wire.MaxRefWeight
+
+// Typed failures surfaced to touch/spawn callers. Handlers map these to
+// distinct HTTP statuses, and the chaos smoke asserts ErrWorkerDown
+// (never a hang) when a worker dies mid-future.
+var (
+	// ErrWorkerDown reports that the worker owning a future is
+	// unreachable or was declared dead by health probing.
+	ErrWorkerDown = errors.New("dml: worker down")
+	// ErrUnknownObject reports a touch or decrement against an object id
+	// the worker's table does not hold (already freed, never spawned, or
+	// lost in a restart).
+	ErrUnknownObject = errors.New("dml: unknown object")
+	// ErrSpawnBacklog reports that the worker's evaluation pool backlog
+	// is full; the spawn was not registered.
+	ErrSpawnBacklog = errors.New("dml: spawn backlog full")
+	// ErrUnknownProg reports a spawn naming a program token the worker
+	// has not had installed (the spawn must carry defs + SpawnInstall).
+	ErrUnknownProg = errors.New("dml: unknown program token")
+	// ErrWeightExhausted reports a reference whose weight can no longer
+	// be split (the coordinator holds every ref, so this is a protocol
+	// violation rather than a Fig 6.5 indirection trigger).
+	ErrWeightExhausted = errors.New("dml: reference weight exhausted")
+)
+
+// Ref is a weighted reference to a future object living on a worker.
+// A Ref value is owned by exactly one holder: copying requires
+// Spawner.Copy (which splits the weight locally, sending nothing) and
+// disposal requires Spawner.Release (which queues a decrement).
+type Ref struct {
+	Addr   string // owning worker
+	ID     int64  // object id within that worker's table
+	Weight int64
+}
+
+// SpawnRequest carries one future evaluation to a worker. Defs is only
+// present (with the wire.SpawnInstall flag) the first time a program
+// token crosses a given link; afterwards the token alone names the
+// worker's cached program.
+type SpawnRequest struct {
+	Prog  string `json:"prog"`            // program token (hash of defs)
+	Flags uint64 `json:"flags,omitempty"` // wire.SpawnInstall when defs ride along
+	Defs  string `json:"defs,omitempty"`  // defun/def source, untransformed
+	Expr  string `json:"expr"`            // the expression to evaluate
+	Binds string `json:"binds,omitempty"` // alist of global bindings, parsed not evaluated
+}
+
+// SpawnReply acknowledges a registered spawn. The evaluation itself is
+// asynchronous; the object id is valid for touch immediately.
+type SpawnReply struct {
+	ObjID  int64 `json:"obj_id"`
+	Weight int64 `json:"weight"`
+}
+
+// TouchReply is the resolved value of a future.
+type TouchReply struct {
+	Value  string `json:"value"`            // printed s-expression
+	Output string `json:"output,omitempty"` // (print ...) output, empty for pure spawns
+	Steps  int64  `json:"steps"`
+	Conses int64  `json:"conses"`
+	Error  string `json:"error,omitempty"` // evaluation error, empty on success
+}
+
+// DecRequest carries a batch of combined decrements to a worker.
+type DecRequest struct {
+	Decs []wire.DecEntry `json:"decs"`
+}
+
+// DecReply reports what a decrement batch did.
+type DecReply struct {
+	Applied int `json:"applied"`
+	Freed   int `json:"freed"`
+}
+
+// checkDecs validates a decrement batch against the wire limits; the
+// HTTP path re-checks here because JSON bodies bypass the frame codec.
+func checkDecs(decs []wire.DecEntry) error {
+	if len(decs) == 0 {
+		return errors.New("dml: empty decrement batch")
+	}
+	if len(decs) > wire.MaxDecEntries {
+		return fmt.Errorf("dml: %d decrement entries exceed limit %d", len(decs), wire.MaxDecEntries)
+	}
+	for _, d := range decs {
+		if d.ObjID < 0 || d.ObjID > wire.MaxObjID {
+			return fmt.Errorf("dml: object id %d out of range", d.ObjID)
+		}
+		if d.Weight < 1 || d.Weight > wire.MaxRefWeight {
+			return fmt.Errorf("dml: decrement weight %d out of range", d.Weight)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package dml
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/benchprogs"
+	"repro/internal/lisp"
+	"repro/internal/sexpr"
+)
+
+const testStepLimit = 200_000_000
+
+// newLocalSpawner builds a coordinator over n in-process workers.
+func newLocalSpawner(n int, cfg WorkerConfig) (*Spawner, []*Worker) {
+	links := make([]Link, n)
+	workers := make([]*Worker, n)
+	for i := range links {
+		workers[i] = NewWorker(cfg)
+		links[i] = NewLocalLink(fmt.Sprintf("w%d", i), workers[i])
+	}
+	return NewSpawner(links...), workers
+}
+
+// expectedSpawns is the deterministic spawn count per benchprog under
+// the strict purity basis: slang and pearl are property-list machines
+// (putprop/get everywhere), so the conservative analysis of §6.2.1.1
+// correctly refuses to fork anything; the other three expose their
+// top-level aggregation.
+var expectedSpawns = map[string]int64{
+	"slang":  0,
+	"plagen": 3,
+	"lyra":   3,
+	"editor": 15,
+	"pearl":  0,
+}
+
+// TestDifferentialBenchprogs is the tentpole acceptance check: every
+// benchprog evaluates value- and output-identically under distributed
+// evaluation at 1, 2, and 4 workers, with zero weight-increment
+// messages and all weight recovered after drain.
+func TestDifferentialBenchprogs(t *testing.T) {
+	for _, b := range benchprogs.All() {
+		src := b.Gen(1)
+		var baseOut bytes.Buffer
+		base := lisp.New(lisp.WithOutput(&baseOut), lisp.WithStepLimit(testStepLimit))
+		baseVal, err := base.Run(src)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", b.Name, err)
+		}
+		for _, n := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/%dw", b.Name, n), func(t *testing.T) {
+				sp, workers := newLocalSpawner(n, WorkerConfig{StepLimit: testStepLimit})
+				defer sp.Close()
+				var out bytes.Buffer
+				ev := NewEvaluator(sp, &out, lisp.WithStepLimit(testStepLimit))
+				val, err := ev.Run(context.Background(), src, true)
+				if err != nil {
+					t.Fatalf("distributed run: %v", err)
+				}
+				if got, want := lisp.Format(val), lisp.Format(baseVal); got != want {
+					t.Errorf("value diverged: got %s want %s", got, want)
+				}
+				if got, want := out.String(), baseOut.String(); got != want {
+					t.Errorf("output diverged:\ngot  %q\nwant %q", got, want)
+				}
+				st := sp.Stats()
+				if st.WeightIncMessages != 0 {
+					t.Errorf("weight-increment messages sent: %d", st.WeightIncMessages)
+				}
+				if st.Spawns != expectedSpawns[b.Name] {
+					t.Errorf("spawns = %d, want %d", st.Spawns, expectedSpawns[b.Name])
+				}
+				if st.Touches != st.Spawns {
+					t.Errorf("touches = %d, want %d", st.Touches, st.Spawns)
+				}
+				ev.Close()
+				sp.Flush()
+				for i, w := range workers {
+					if live := w.Table().Live(); live != 0 {
+						t.Errorf("worker %d: %d objects leaked", i, live)
+					}
+				}
+				st = sp.Stats()
+				if st.OutstandingWeight != 0 {
+					t.Errorf("outstanding weight = %d after drain", st.OutstandingWeight)
+				}
+				if st.Combining.Enqueued != st.Combining.EntriesSent+st.Combining.Combined {
+					t.Errorf("combining ledger broken: %+v", st.Combining)
+				}
+			})
+		}
+	}
+}
+
+// TestFutureTouchSpecials exercises explicit (future ...) / (touch ...)
+// as a session user would write them.
+func TestFutureTouchSpecials(t *testing.T) {
+	sp, workers := newLocalSpawner(2, WorkerConfig{})
+	defer sp.Close()
+	ev := NewEvaluator(sp, nil)
+	src := `
+(defun fib (n) (cond ((lessp n 2) n) (t (+ (fib (- n 1)) (fib (- n 2))))))
+(setq f1 (future (fib 14)))
+(setq f2 (future (fib 10)))
+(setq f3 (future 41))
+(list (touch f1) (touch f2) (touch f3) (touch f1))`
+	val, err := ev.Run(context.Background(), src, false)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := lisp.Format(val); got != "(377 55 41 377)" {
+		t.Errorf("value = %s, want (377 55 41 377)", got)
+	}
+	st := sp.Stats()
+	if st.Spawns != 2 {
+		t.Errorf("spawns = %d, want 2 (constant future stays local)", st.Spawns)
+	}
+	ev.Close()
+	sp.Flush()
+	for i, w := range workers {
+		if live := w.Table().Live(); live != 0 {
+			t.Errorf("worker %d: %d objects leaked", i, live)
+		}
+	}
+}
+
+// TestPcallRemoteError propagates a worker-side evaluation failure to
+// the touching caller as an error, not a hang.
+func TestPcallRemoteError(t *testing.T) {
+	sp, _ := newLocalSpawner(1, WorkerConfig{})
+	defer sp.Close()
+	ev := NewEvaluator(sp, nil)
+	src := `
+(defun boom (n) (car nosuchglobal))
+(pcall list (boom 1) (boom 2))`
+	if _, err := ev.Run(context.Background(), src, false); err == nil {
+		t.Fatal("expected remote evaluation error")
+	}
+}
+
+// TestTransformCounts pins the rewrite decisions on a miniature
+// program: mixed pure/impure heads, too-few spawnable args, and the
+// strict (get ...) exclusion.
+func TestTransformCounts(t *testing.T) {
+	src := `
+(defun f (n) (+ n 1))
+(defun g (n) (get n (quote prop)))
+(setq x 1)
+(list (f 1) (f 2))
+(list (f 1) 2)
+(list (g 1) (g 2))
+(print (f 1))`
+	forms, err := sexpr.ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := AnalyzeProgram(forms)
+	if !p.pure["f"] {
+		t.Error("f should be strictly pure")
+	}
+	if p.pure["g"] {
+		t.Error("g reads property lists; must not be strictly pure")
+	}
+	_, rewritten := p.Transform(forms)
+	if rewritten != 1 {
+		t.Errorf("rewritten = %d, want 1 (only (list (f 1) (f 2)))", rewritten)
+	}
+}

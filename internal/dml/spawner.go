@@ -1,0 +1,263 @@
+package dml
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster/wire"
+)
+
+// Link is one reachable worker. The cluster implements it over pooled
+// SMCR connections; LocalLink implements it over an in-process Worker
+// (the single-node baseline for differential tests and the standalone
+// smalld backend).
+type Link interface {
+	Addr() string
+	Healthy() bool
+	// Load is the link's current outstanding spawn count, used for
+	// least-loaded placement.
+	Load() int64
+	Spawn(ctx context.Context, req SpawnRequest) (SpawnReply, error)
+	Touch(ctx context.Context, id int64) (TouchReply, error)
+	SendDecs(decs []wire.DecEntry) error
+}
+
+// SpawnerStats counts coordinator-side activity; every field maps to a
+// smallcluster_dml_* metric. WeightIncMessages exists to make the
+// paper's claim auditable: no code path increments it, and the
+// differential tests assert it stays zero.
+type SpawnerStats struct {
+	Spawns            int64
+	Touches           int64
+	TouchFailures     int64
+	LocalCopies       int64
+	Releases          int64
+	WeightIncMessages int64
+	OutstandingWeight int64
+	Combining         CombinerStats
+}
+
+// Spawner is the coordinator side of distributed Multilisp: it places
+// spawns least-loaded, routes touches sticky to the owning worker,
+// splits reference weights locally on copy, and feeds releases through
+// per-link combining queues.
+type Spawner struct {
+	comb *Combiner
+
+	mu        sync.Mutex
+	links     map[string]Link  // guarded by mu
+	installed map[string]bool  // guarded by mu; addr+"\x00"+prog → defs installed over that link
+	loads     map[string]int64 // guarded by mu; addr → outstanding spawns
+
+	spawns      int64 // guarded by mu
+	touches     int64 // guarded by mu
+	touchFails  int64 // guarded by mu
+	localCopies int64 // guarded by mu
+	releases    int64 // guarded by mu
+	outstanding int64 // guarded by mu; weight held by live refs + queued decs
+}
+
+// NewSpawner builds a coordinator over the given links.
+func NewSpawner(links ...Link) *Spawner {
+	s := &Spawner{
+		links:     make(map[string]Link),
+		installed: make(map[string]bool),
+		loads:     make(map[string]int64),
+	}
+	for _, l := range links {
+		s.links[l.Addr()] = l
+	}
+	s.comb = NewCombiner(s.sendDecs)
+	return s
+}
+
+// sendDecs delivers one combined weight-dec frame; the weight it
+// carried leaves the outstanding ledger whether or not the worker is
+// still there to count it.
+func (s *Spawner) sendDecs(addr string, decs []wire.DecEntry) error {
+	var sum int64
+	for _, d := range decs {
+		sum += d.Weight
+	}
+	s.mu.Lock()
+	link := s.links[addr]
+	s.outstanding -= sum
+	s.mu.Unlock()
+	if link == nil || !link.Healthy() {
+		return ErrWorkerDown
+	}
+	return link.SendDecs(decs)
+}
+
+// pick returns the healthy link with the fewest outstanding spawns,
+// ties broken by address for determinism.
+func (s *Spawner) pick() (Link, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best Link
+	var bestLoad int64
+	for _, l := range s.links {
+		if !l.Healthy() {
+			continue
+		}
+		load := s.loads[l.Addr()] + l.Load()
+		if best == nil || load < bestLoad ||
+			(load == bestLoad && l.Addr() < best.Addr()) {
+			best, bestLoad = l, load
+		}
+	}
+	if best == nil {
+		return nil, ErrWorkerDown
+	}
+	return best, nil
+}
+
+// Spawn places one future evaluation on the least-loaded worker and
+// returns the full-weight reference. The first spawn of a program over
+// a link carries the defs with wire.SpawnInstall; afterwards the token
+// alone names the worker's cached program.
+func (s *Spawner) Spawn(ctx context.Context, prog, defs, expr, binds string) (Ref, error) {
+	link, err := s.pick()
+	if err != nil {
+		return Ref{}, err
+	}
+	addr := link.Addr()
+	key := addr + "\x00" + prog
+	req := SpawnRequest{Prog: prog, Expr: expr, Binds: binds}
+	s.mu.Lock()
+	if !s.installed[key] {
+		req.Flags, req.Defs = wire.SpawnInstall, defs
+	}
+	s.loads[addr]++
+	s.mu.Unlock()
+	rep, err := link.Spawn(ctx, req)
+	if err != nil {
+		s.mu.Lock()
+		s.loads[addr]--
+		s.mu.Unlock()
+		return Ref{}, fmt.Errorf("dml: spawn on %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.installed[key] = true
+	s.spawns++
+	s.outstanding += rep.Weight
+	s.mu.Unlock()
+	return Ref{Addr: addr, ID: rep.ObjID, Weight: rep.Weight}, nil
+}
+
+// Touch routes sticky to the worker owning r and blocks for the value.
+// The reference is not consumed.
+func (s *Spawner) Touch(ctx context.Context, r Ref) (TouchReply, error) {
+	s.mu.Lock()
+	link := s.links[r.Addr]
+	s.touches++
+	s.mu.Unlock()
+	if link == nil || !link.Healthy() {
+		s.mu.Lock()
+		s.touchFails++
+		s.mu.Unlock()
+		return TouchReply{}, fmt.Errorf("dml: touch of %s/%d: %w", r.Addr, r.ID, ErrWorkerDown)
+	}
+	rep, err := link.Touch(ctx, r.ID)
+	if err != nil {
+		s.mu.Lock()
+		s.touchFails++
+		s.mu.Unlock()
+		return TouchReply{}, err
+	}
+	s.mu.Lock()
+	s.loads[r.Addr]--
+	s.mu.Unlock()
+	return rep, nil
+}
+
+// Copy splits r's weight locally — the Fig 6.3 move: duplicating a
+// reference costs zero messages. The coordinator holds every reference
+// it creates, so weight exhaustion (which would need a Fig 6.5
+// indirection object) is a protocol violation here, not a growth path.
+func (s *Spawner) Copy(r Ref) (kept, copied Ref, err error) {
+	if r.Weight < 2 {
+		return r, Ref{}, fmt.Errorf("%w: %s/%d weight %d", ErrWeightExhausted, r.Addr, r.ID, r.Weight)
+	}
+	half := r.Weight / 2
+	kept, copied = r, r
+	kept.Weight = r.Weight - half
+	copied.Weight = half
+	s.mu.Lock()
+	s.localCopies++
+	s.mu.Unlock()
+	return kept, copied, nil
+}
+
+// Release gives up r: its weight rides the combining queue toward the
+// owning worker as a decrement. No reply is waited for.
+func (s *Spawner) Release(r Ref) {
+	if r.Weight <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.releases++
+	s.mu.Unlock()
+	s.comb.Enqueue(r.Addr, r.ID, r.Weight)
+}
+
+// MarkDown discards queued decrements toward a dead worker and removes
+// its weight from the outstanding ledger (its objects died with it).
+// Touches against it keep failing typed via the Healthy check.
+func (s *Spawner) MarkDown(addr string) {
+	dropped := s.comb.DropLink(addr)
+	s.mu.Lock()
+	s.outstanding -= dropped
+	s.mu.Unlock()
+}
+
+// Flush force-sends all queued decrements.
+func (s *Spawner) Flush() { s.comb.Flush() }
+
+// Close flushes the combining queues and stops the flusher; part of
+// graceful drain.
+func (s *Spawner) Close() { s.comb.Close() }
+
+// Stats snapshots coordinator counters, including the always-zero
+// weight-increment message count.
+func (s *Spawner) Stats() SpawnerStats {
+	cs := s.comb.Stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SpawnerStats{
+		Spawns: s.spawns, Touches: s.touches, TouchFailures: s.touchFails,
+		LocalCopies: s.localCopies, Releases: s.releases,
+		WeightIncMessages: 0, OutstandingWeight: s.outstanding,
+		Combining: cs,
+	}
+}
+
+// LocalLink adapts an in-process Worker to the Link interface: the
+// single-node baseline, and the standalone smalld dml backend.
+type LocalLink struct {
+	addr string
+	w    *Worker
+}
+
+// NewLocalLink wraps w under the given address label.
+func NewLocalLink(addr string, w *Worker) *LocalLink {
+	return &LocalLink{addr: addr, w: w}
+}
+
+func (l *LocalLink) Addr() string  { return l.addr }
+func (l *LocalLink) Healthy() bool { return true }
+func (l *LocalLink) Load() int64   { return 0 }
+
+func (l *LocalLink) Spawn(ctx context.Context, req SpawnRequest) (SpawnReply, error) {
+	return l.w.Spawn(req)
+}
+
+func (l *LocalLink) Touch(ctx context.Context, id int64) (TouchReply, error) {
+	return l.w.Touch(ctx, id)
+}
+
+func (l *LocalLink) SendDecs(decs []wire.DecEntry) error {
+	_, err := l.w.ApplyDecs(decs)
+	return err
+}

@@ -1,0 +1,202 @@
+package dml
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+
+	"repro/internal/lisp"
+	"repro/internal/sexpr"
+)
+
+// shipExtraHeads tightens the §6.2.1.1 purity basis for distributed
+// spawning: (get ...) reads the interpreter's property lists, which are
+// global mutable state that cannot be shipped to a remote worker, so a
+// form is only spawnable if it is pure *and* plist-free. Same-heap
+// parallelism (lisp.AnalyzeParallelism) keeps the looser basis.
+var shipExtraHeads = map[sexpr.Symbol]bool{"get": true}
+
+// spawnHeads are the primitive operators whose argument evaluations may
+// be forked even though the operator itself is not a user function.
+var spawnHeads = map[sexpr.Symbol]bool{"list": true, "+": true, "*": true}
+
+// defForms are the top-level heads that define rather than compute.
+var defForms = map[sexpr.Symbol]bool{"defun": true, "def": true}
+
+// Program is the sharable part of a Lisp program: its function
+// definitions plus the strict purity classification used to decide what
+// may be spawned. The token names the defs across links (the first
+// spawn over a link installs them; afterwards the token suffices).
+type Program struct {
+	Token  string
+	Defs   string // defun/def source, printed canonically
+	defuns map[sexpr.Symbol][]sexpr.Value
+	pure   map[sexpr.Symbol]bool
+}
+
+// AnalyzeProgram extracts the definitions from parsed top-level forms
+// and classifies them under the strict (distributed) purity basis.
+func AnalyzeProgram(forms []sexpr.Value) *Program {
+	var defs strings.Builder
+	for _, f := range forms {
+		if c, ok := f.(*sexpr.Cell); ok {
+			if head, ok := c.Car.(sexpr.Symbol); ok && defForms[head] && isFnDef(c) {
+				defs.WriteString(sexpr.String(f))
+				defs.WriteString("\n")
+			}
+		}
+	}
+	p := &Program{
+		Defs:   defs.String(),
+		defuns: lisp.DefunBodies(forms),
+		pure:   lisp.PureDefuns(forms, shipExtraHeads),
+	}
+	sum := sha256.Sum256([]byte(p.Defs))
+	p.Token = "p-" + hex.EncodeToString(sum[:6])
+	return p
+}
+
+// isFnDef reports whether form defines a function: any defun, or a def
+// whose value position is a lambda. (def name <data>) ships as a
+// binding instead.
+func isFnDef(c *sexpr.Cell) bool {
+	if c.Car == sexpr.Symbol("defun") {
+		return true
+	}
+	lam, ok := sexpr.Car(sexpr.Cdr(c.Cdr)).(*sexpr.Cell)
+	return ok && lam.Car == sexpr.Symbol("lambda")
+}
+
+// Spawnable reports whether expr may be evaluated remotely: a compound
+// form, strictly pure, and actually calling a user function (shipping a
+// constant buys nothing).
+func (p *Program) Spawnable(expr sexpr.Value) bool {
+	if _, ok := expr.(*sexpr.Cell); !ok {
+		return false
+	}
+	return lisp.FormPure(expr, p.pure, shipExtraHeads) && p.containsUserCall(expr)
+}
+
+// containsUserCall walks the form for a defined function name in
+// operator position.
+func (p *Program) containsUserCall(form sexpr.Value) bool {
+	c, ok := form.(*sexpr.Cell)
+	if !ok {
+		return false
+	}
+	if c.Car == sexpr.Symbol("quote") {
+		return false
+	}
+	if head, ok := c.Car.(sexpr.Symbol); ok {
+		if _, def := p.defuns[head]; def {
+			return true
+		}
+	}
+	return p.containsUserCall(c.Car) || p.containsUserCall(c.Cdr)
+}
+
+// Transform rewrites the top-level forms of a program for parallel
+// evaluation: a non-defining call form (f a1 ... an) becomes
+// (pcall f a1 ... an) when f is a strictly pure user function or a
+// whitelisted primitive and at least two arguments are independently
+// spawnable — the Evlis condition of §6.2.1.1 applied at the program's
+// top level, where argument evaluations are the benchmark's real work.
+// Function bodies are never rewritten: workers receive the original
+// definitions.
+func (p *Program) Transform(forms []sexpr.Value) (out []sexpr.Value, rewritten int) {
+	out = make([]sexpr.Value, len(forms))
+	for i, f := range forms {
+		out[i] = f
+		c, ok := f.(*sexpr.Cell)
+		if !ok {
+			continue
+		}
+		head, ok := c.Car.(sexpr.Symbol)
+		if !ok || defForms[head] {
+			continue
+		}
+		headOK := spawnHeads[head] || p.pure[head]
+		if !headOK || !lisp.FormPure(c.Cdr, p.pure, shipExtraHeads) {
+			continue
+		}
+		spawnable := 0
+		for a := c.Cdr; ; {
+			ac, ok := a.(*sexpr.Cell)
+			if !ok {
+				break
+			}
+			if p.Spawnable(ac.Car) {
+				spawnable++
+			}
+			a = ac.Cdr
+		}
+		if spawnable < 2 {
+			continue
+		}
+		out[i] = sexpr.Cons(sexpr.Symbol("pcall"), f)
+		rewritten++
+	}
+	return out, rewritten
+}
+
+// NeededGlobals returns the bindings expr depends on, serialized as a
+// canonical alist: every symbol reachable from expr or (transitively)
+// from the body of any user function it calls that is currently bound
+// in the environment. Sorted so the binds string — and therefore the
+// spawn payload — is deterministic.
+func (p *Program) NeededGlobals(expr sexpr.Value, lookup func(sexpr.Symbol) (sexpr.Value, bool)) string {
+	seen := make(map[sexpr.Symbol]bool)
+	visited := make(map[sexpr.Symbol]bool)
+	var walk func(v sexpr.Value)
+	walk = func(v sexpr.Value) {
+		switch x := v.(type) {
+		case sexpr.Symbol:
+			if seen[x] {
+				return
+			}
+			seen[x] = true
+			if body, ok := p.defuns[x]; ok && !visited[x] {
+				visited[x] = true
+				for _, b := range body {
+					walk(b)
+				}
+			}
+		case *sexpr.Cell:
+			walk(x.Car)
+			walk(x.Cdr)
+		}
+	}
+	walk(expr)
+	names := make([]string, 0, len(seen))
+	for s := range seen {
+		if s == "t" || s == "T" {
+			continue
+		}
+		if _, isFn := p.defuns[s]; isFn {
+			continue
+		}
+		if _, ok := lookup(s); ok {
+			names = append(names, string(s))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("(")
+	for i, name := range names {
+		v, _ := lookup(sexpr.Symbol(name))
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString("(")
+		b.WriteString(name)
+		b.WriteString(" . ")
+		b.WriteString(sexpr.String(v))
+		b.WriteString(")")
+	}
+	b.WriteString(")")
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package dml
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sexpr"
+)
+
+func mustParseAll(t *testing.T, src string) []sexpr.Value {
+	t.Helper()
+	forms, err := sexpr.ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return forms
+}
+
+// eventually polls cond until it holds or a deadline passes; the
+// combiner's background flusher makes a few invariants settle rather
+// than hold instantaneously.
+func eventually(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Error(msg)
+}
+
+// TestWeightConservation is the model-check satellite: across random
+// interleavings of Copy / Release / migrate (ownership transfer between
+// goroutines), the weight recorded in the worker tables always equals
+// the weight held in live references plus the decrements still queued —
+// and after releasing everything and flushing, every table is empty.
+// Run under -race this also exercises the combiner and table locking.
+func TestWeightConservation(t *testing.T) {
+	const (
+		nWorkers    = 3
+		nGoroutines = 4
+		nRefs       = 8
+		nOps        = 300
+	)
+	sp, workers := newLocalSpawner(nWorkers, WorkerConfig{})
+	defer sp.Close()
+	addrs := make([]string, nWorkers)
+	for i := range addrs {
+		addrs[i] = links(sp)[i]
+	}
+
+	prog := AnalyzeProgram(mustParseAll(t, "(defun idf (n) n)"))
+	ctx := context.Background()
+	var seed []Ref
+	for i := 0; i < nRefs; i++ {
+		r, err := sp.Spawn(ctx, prog.Token, prog.Defs, "(idf 7)", "")
+		if err != nil {
+			t.Fatalf("spawn %d: %v", i, err)
+		}
+		seed = append(seed, r)
+	}
+
+	// Each goroutine owns an inbox; migration is a send into another's.
+	inboxes := make([]chan Ref, nGoroutines)
+	for i := range inboxes {
+		inboxes[i] = make(chan Ref, nRefs*64)
+	}
+	for i, r := range seed {
+		inboxes[i%nGoroutines] <- r
+	}
+
+	var wg sync.WaitGroup
+	survivors := make([][]Ref, nGoroutines)
+	for g := 0; g < nGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 1))
+			var held []Ref
+			for op := 0; op < nOps; op++ {
+				// Drain anything migrated to us.
+				for {
+					select {
+					case r := <-inboxes[g]:
+						held = append(held, r)
+						continue
+					default:
+					}
+					break
+				}
+				if len(held) == 0 {
+					continue
+				}
+				i := rng.Intn(len(held))
+				switch rng.Intn(3) {
+				case 0: // copy: split weight locally, zero messages
+					kept, copied, err := sp.Copy(held[i])
+					if err == nil {
+						held[i] = kept
+						held = append(held, copied)
+					}
+				case 1: // release: decrement rides the combining queue
+					sp.Release(held[i])
+					held = append(held[:i], held[i+1:]...)
+				case 2: // migrate: hand ownership to another goroutine
+					dst := rng.Intn(nGoroutines)
+					select {
+					case inboxes[dst] <- held[i]:
+						held = append(held[:i], held[i+1:]...)
+					default:
+					}
+				}
+			}
+			survivors[g] = held
+		}(g)
+	}
+	wg.Wait()
+
+	var held []Ref
+	for _, s := range survivors {
+		held = append(held, s...)
+	}
+	for _, inbox := range inboxes {
+		for {
+			select {
+			case r := <-inbox:
+				held = append(held, r)
+				continue
+			default:
+			}
+			break
+		}
+	}
+
+	heldByAddr := make(map[string]int64)
+	for _, r := range held {
+		heldByAddr[r.Addr] += r.Weight
+	}
+
+	// Conservation: once the queues flush, the held references alone
+	// account for every unit of recorded weight, per worker, and the
+	// spawner's outstanding ledger agrees with the tables.
+	sp.Flush()
+	for i, w := range workers {
+		i, w := i, w
+		eventually(t, func() bool {
+			sp.Flush()
+			return w.Table().OutstandingWeight() == heldByAddr[addrs[i]]
+		}, "table weight never converged to held weight on "+addrs[i])
+	}
+	eventually(t, func() bool {
+		var tableTotal int64
+		for _, w := range workers {
+			tableTotal += w.Table().OutstandingWeight()
+		}
+		return sp.Stats().OutstandingWeight == tableTotal
+	}, "spawner ledger never converged to table weight")
+
+	// Release everything: all objects die, all weight returns to zero.
+	for _, r := range held {
+		sp.Release(r)
+	}
+	eventually(t, func() bool {
+		sp.Flush()
+		for _, w := range workers {
+			if w.Table().Live() != 0 {
+				return false
+			}
+		}
+		return sp.Stats().OutstandingWeight == 0
+	}, "weight did not return to zero after full release")
+	if st := sp.Stats(); st.WeightIncMessages != 0 {
+		t.Errorf("weight-increment messages sent: %d", st.WeightIncMessages)
+	}
+}
+
+// links returns the spawner's worker addresses sorted (the
+// newLocalSpawner naming is w0, w1, ...).
+func links(s *Spawner) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.links))
+	for addr := range s.links {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}

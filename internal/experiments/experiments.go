@@ -216,6 +216,7 @@ func All() []Experiment {
 		{"clark", ClarkStudy},
 		{"gc", GCStudy},
 		{"direct", DirectStudy},
+		{"dml", DMLStudy},
 	}
 }
 

@@ -114,6 +114,18 @@ func New(opts ...Option) *Interp {
 // Env exposes the interpreter's environment (for tests and stats).
 func (in *Interp) Env() Env { return in.env }
 
+// SpecialFn is the signature of an externally installed special form.
+// args is the unevaluated cdr of the call form.
+type SpecialFn func(in *Interp, args sexpr.Value) (sexpr.Value, error)
+
+// InstallSpecial registers (or overrides) a special form under name.
+// Special forms shadow primitives and user functions of the same name;
+// the dml layer uses this to graft pcall/future/touch onto a stock
+// interpreter without the core dialect knowing about them.
+func (in *Interp) InstallSpecial(name sexpr.Symbol, fn SpecialFn) {
+	in.specs[name] = specialForm(fn)
+}
+
 // SetStepLimit adjusts the evaluation budget of a live interpreter
 // (n <= 0 means unlimited). Long-lived session hosts combine this with
 // ResetSteps to grant each request its own budget.

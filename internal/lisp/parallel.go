@@ -96,6 +96,14 @@ func (in *Interp) AnalyzeParallelism() ParallelismReport {
 // effect heads (cond tests, clause keywords, plain data) are not
 // condemned — the walk is structural, so nested clause lists are covered.
 func (in *Interp) pureForm(form sexpr.Value, pure map[sexpr.Symbol]bool) bool {
+	return FormPure(form, pure, nil)
+}
+
+// FormPure reports whether form is free of effectful nodes given a
+// purity classification of user functions and an optional set of extra
+// effect heads layered over the built-in ones. Exposed for the dml
+// spawn transform, which needs the same walk under a stricter basis.
+func FormPure(form sexpr.Value, pure, extraHeads map[sexpr.Symbol]bool) bool {
 	c, ok := form.(*sexpr.Cell)
 	if !ok {
 		return true
@@ -104,14 +112,95 @@ func (in *Interp) pureForm(form sexpr.Value, pure map[sexpr.Symbol]bool) bool {
 		return true
 	}
 	if head, ok := c.Car.(sexpr.Symbol); ok {
-		if effectHeads[head] {
+		if effectHeads[head] || extraHeads[head] {
 			return false
 		}
 		if p, known := pure[head]; known && !p {
 			return false
 		}
 	}
-	return in.pureForm(c.Car, pure) && in.pureForm(c.Cdr, pure)
+	return FormPure(c.Car, pure, extraHeads) && FormPure(c.Cdr, pure, extraHeads)
+}
+
+// DefunBodies extracts the function bodies defined by top-level
+// (defun name ...) and (def name (lambda ...)) forms: name → body forms.
+// Structural only — nothing is evaluated.
+func DefunBodies(forms []sexpr.Value) map[sexpr.Symbol][]sexpr.Value {
+	fns := make(map[sexpr.Symbol][]sexpr.Value)
+	for _, form := range forms {
+		c, ok := form.(*sexpr.Cell)
+		if !ok {
+			continue
+		}
+		head, _ := c.Car.(sexpr.Symbol)
+		name, ok := sexpr.Car(c.Cdr).(sexpr.Symbol)
+		if !ok {
+			continue
+		}
+		switch head {
+		case "defun":
+			// (defun name (params) body...) — body is everything past the
+			// parameter list.
+			var body []sexpr.Value
+			for b := sexpr.Cdr(sexpr.Cdr(c.Cdr)); ; {
+				bc, ok := b.(*sexpr.Cell)
+				if !ok {
+					break
+				}
+				body = append(body, bc.Car)
+				b = bc.Cdr
+			}
+			fns[name] = body
+		case "def":
+			// (def name (lambda (params) body...))
+			lam, ok := sexpr.Car(sexpr.Cdr(c.Cdr)).(*sexpr.Cell)
+			if !ok || lam.Car != sexpr.Symbol("lambda") {
+				continue
+			}
+			var body []sexpr.Value
+			for b := sexpr.Cdr(lam.Cdr); ; {
+				bc, ok := b.(*sexpr.Cell)
+				if !ok {
+					break
+				}
+				body = append(body, bc.Car)
+				b = bc.Cdr
+			}
+			fns[name] = body
+		}
+	}
+	return fns
+}
+
+// PureDefuns classifies the user functions defined by forms under the
+// built-in effect heads plus extraHeads, by the same greatest-fixpoint
+// iteration as AnalyzeParallelism. The dml transform passes "get":
+// property-list reads observe mutable interpreter state that cannot be
+// shipped to a remote worker, so distributed spawning needs a stricter
+// notion of pure than same-heap parallel argument evaluation does.
+func PureDefuns(forms []sexpr.Value, extraHeads map[sexpr.Symbol]bool) map[sexpr.Symbol]bool {
+	fns := DefunBodies(forms)
+	pure := make(map[sexpr.Symbol]bool, len(fns))
+	for name := range fns {
+		pure[name] = true // optimistic start; strike out to a fixpoint
+	}
+	changed := true
+	for changed {
+		changed = false
+		for name, body := range fns {
+			if !pure[name] {
+				continue
+			}
+			for _, b := range body {
+				if !FormPure(b, pure, extraHeads) {
+					pure[name] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return pure
 }
 
 // countSites walks a body form counting multi-argument call sites and

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"repro/internal/dml"
+)
+
+// The dml routes are the HTTP face of the distributed-Multilisp verbs:
+// the cluster RPC server translates future-spawn / future-touch /
+// weight-dec frames into these endpoints (mirroring the shard-job
+// path), and a standalone smalld serves them directly. They bypass the
+// admission queue: spawn is asynchronous registration against the
+// worker's own bounded evaluation pool (its backlog is the
+// backpressure), touch is a blocking wait that must not occupy an
+// execution slot, and decrements are instant table arithmetic.
+
+func (s *Server) handleDMLSpawn(w http.ResponseWriter, r *http.Request) {
+	var req dml.SpawnRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	rep, err := s.dmlWorker.Spawn(req)
+	switch {
+	case errors.Is(err, dml.ErrSpawnBacklog):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, dml.ErrUnknownProg):
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleDMLTouch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ObjID int64 `json:"obj_id"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	rep, err := s.dmlWorker.Touch(ctx, req.ObjID)
+	switch {
+	case errors.Is(err, dml.ErrUnknownObject):
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.metrics.add("smalld_requests_canceled_total", 1)
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleDMLDec(w http.ResponseWriter, r *http.Request) {
+	var req dml.DecRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	rep, err := s.dmlWorker.ApplyDecs(req.Decs)
+	switch {
+	case errors.Is(err, dml.ErrUnknownObject):
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

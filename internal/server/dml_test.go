@@ -1,0 +1,140 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster/wire"
+	"repro/internal/dml"
+	"repro/internal/lisp"
+	"repro/internal/sexpr"
+)
+
+// TestDMLSessionBackend: a dml session auto-parallelises eligible
+// top-level calls, keeps state across evals, and leaves no weight
+// behind after delete.
+func TestDMLSessionBackend(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+
+	var info SessionInfo
+	resp := doJSON(t, "POST", hs.URL+"/v1/sessions", SessionCreateRequest{Backend: "dml"}, &info)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	base := hs.URL + "/v1/sessions/" + info.ID
+
+	var res EvalResult
+	doJSON(t, "POST", base+"/eval", SessionEvalRequest{
+		Expr: "(defun fib (n) (cond ((lessp n 2) n) (t (+ (fib (- n 1)) (fib (- n 2))))))"}, &res)
+	if res.Error != "" {
+		t.Fatalf("defun: %s", res.Error)
+	}
+	doJSON(t, "POST", base+"/eval", SessionEvalRequest{Expr: "(list (fib 12) (fib 10) (fib 8))"}, &res)
+	if res.Error != "" || res.Value != "(144 55 21)" {
+		t.Fatalf("parallel call: %+v", res)
+	}
+	if got := s.dmlWorker.Stats().Spawns; got != 3 {
+		t.Errorf("worker spawns = %d, want 3 (one per fib argument)", got)
+	}
+
+	// Explicit futures work too, and an untouched one is released on
+	// session delete.
+	doJSON(t, "POST", base+"/eval", SessionEvalRequest{Expr: "(setq f (future (fib 9)))"}, &res)
+	if res.Error != "" {
+		t.Fatalf("future: %s", res.Error)
+	}
+	if resp := doJSON(t, "DELETE", base, nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	waitFor(t, "weight recovery after session delete", func() bool {
+		s.dmlSpawner.Flush()
+		return s.dmlWorker.Table().Live() == 0 && s.dmlWorker.Table().OutstandingWeight() == 0
+	})
+	if st := s.dmlSpawner.Stats(); st.WeightIncMessages != 0 {
+		t.Errorf("weight-increment messages sent: %d", st.WeightIncMessages)
+	}
+}
+
+// TestDMLHTTPVerbs drives the raw spawn/touch/dec routes the cluster RPC
+// layer translates onto, including the typed failure statuses.
+func TestDMLHTTPVerbs(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+
+	forms, err := sexpr.ParseAll("(defun dbl (n) (+ n n))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := dml.AnalyzeProgram(forms)
+
+	var rep dml.SpawnReply
+	resp := doJSON(t, "POST", hs.URL+"/v1/dml/spawn", dml.SpawnRequest{
+		Prog: prog.Token, Flags: 1, Defs: prog.Defs, Expr: "(dbl x)", Binds: "((x . 21))"}, &rep)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spawn: status %d", resp.StatusCode)
+	}
+	if rep.Weight != dml.InitialWeight {
+		t.Errorf("weight = %d, want %d", rep.Weight, dml.InitialWeight)
+	}
+
+	var tr dml.TouchReply
+	resp = doJSON(t, "POST", hs.URL+"/v1/dml/touch", map[string]int64{"obj_id": rep.ObjID}, &tr)
+	if resp.StatusCode != http.StatusOK || tr.Error != "" || tr.Value != "42" {
+		t.Fatalf("touch: status %d reply %+v", resp.StatusCode, tr)
+	}
+
+	var dr dml.DecReply
+	resp = doJSON(t, "POST", hs.URL+"/v1/dml/dec", dml.DecRequest{
+		Decs: []wire.DecEntry{{ObjID: rep.ObjID, Weight: dml.InitialWeight}}}, &dr)
+	if resp.StatusCode != http.StatusOK || dr.Freed != 1 {
+		t.Fatalf("dec: status %d reply %+v", resp.StatusCode, dr)
+	}
+
+	// Typed failures: unknown prog 404, unknown object 404, bad body 400.
+	var eb errorBody
+	resp = doJSON(t, "POST", hs.URL+"/v1/dml/spawn", dml.SpawnRequest{Prog: "p-none", Expr: "(dbl 1)"}, &eb)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown prog: status %d (%s)", resp.StatusCode, eb.Error)
+	}
+	resp = doJSON(t, "POST", hs.URL+"/v1/dml/touch", map[string]int64{"obj_id": 999999}, &eb)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown object: status %d (%s)", resp.StatusCode, eb.Error)
+	}
+	resp = doJSON(t, "POST", hs.URL+"/v1/dml/spawn", map[string]string{"nope": "x"}, &eb)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", resp.StatusCode)
+	}
+}
+
+// TestDMLMetricsExported: the smalld_dml_* gauges appear on /metrics and
+// move with activity.
+func TestDMLMetricsExported(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	ev := dml.NewEvaluator(s.dmlSpawner, nil, lisp.WithStepLimit(defaultStepBudget))
+	defer ev.Close()
+	if _, err := ev.Run(t.Context(), "(defun sq (n) (* n n)) (pcall list (sq 5) (sq 6))", false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "released weight to drain back to the worker", func() bool {
+		s.dmlSpawner.Flush()
+		return s.dmlWorker.Table().Live() == 0
+	})
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{
+		"smalld_dml_spawns 2",
+		"smalld_dml_touches 2",
+		"smalld_dml_objects_live 0",
+		"smalld_dml_outstanding_weight 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/dml"
 	"repro/internal/ingest"
 	"repro/internal/trace"
 )
@@ -79,14 +80,16 @@ func (c Config) withDefaults() Config {
 
 // Server is the smalld service.
 type Server struct {
-	cfg      Config
-	queue    *queue
-	sessions *sessions
-	staging  *ingest.Staging
-	cacheDir string
-	metrics  *metrics
-	mux      *http.ServeMux
-	janitor  chan struct{} // closed to stop the expiry loop
+	cfg        Config
+	queue      *queue
+	sessions   *sessions
+	staging    *ingest.Staging
+	cacheDir   string
+	metrics    *metrics
+	mux        *http.ServeMux
+	janitor    chan struct{} // closed to stop the expiry loop
+	dmlWorker  *dml.Worker   // serves the distributed-Multilisp verbs
+	dmlSpawner *dml.Spawner  // local coordinator backing dml sessions
 }
 
 // New builds a Server and starts its worker pool and session janitor.
@@ -103,11 +106,20 @@ func New(cfg Config) *Server {
 		janitor:  make(chan struct{}),
 	}
 	s.queue = newQueue(cfg.QueueDepth, cfg.Workers, func() { m.add("smalld_panics_total", 1) })
+	s.dmlWorker = dml.NewWorker(dml.WorkerConfig{Parallel: cfg.Workers})
+	s.dmlSpawner = dml.NewSpawner(dml.NewLocalLink("local", s.dmlWorker))
+	s.sessions.dmlSpawner = s.dmlSpawner
 	m.addGauge("smalld_queue_depth", "tasks admitted and waiting for a worker", s.queue.depth.Load)
 	m.addGauge("smalld_workers_busy", "workers currently executing a task", s.queue.busy.Load)
 	m.addGauge("smalld_sessions_active", "live sessions", s.sessions.active)
 	m.addGauge("smalld_ingest_staging_bytes", "bytes currently staged across ingest tenants", s.staging.StagedBytes)
 	m.addGauge("smalld_ingest_tenants", "ingest tenants with staging state", func() int64 { return int64(s.staging.TenantCount()) })
+	m.addGauge("smalld_dml_objects_live", "future objects registered and not yet freed", func() int64 { return int64(s.dmlWorker.Table().Live()) })
+	m.addGauge("smalld_dml_outstanding_weight", "reference weight recorded across live future objects", s.dmlWorker.Table().OutstandingWeight)
+	m.addGauge("smalld_dml_spawns", "futures spawned on this worker", func() int64 { return s.dmlWorker.Stats().Spawns })
+	m.addGauge("smalld_dml_touches", "future touches served by this worker", func() int64 { return s.dmlWorker.Stats().Touches })
+	m.addGauge("smalld_dml_decs_applied", "weight-decrement entries applied by this worker", func() int64 { return s.dmlWorker.Stats().DecsApplied })
+	m.addGauge("smalld_dml_spawn_rejected", "spawns rejected for a full evaluation backlog", func() int64 { return s.dmlWorker.Stats().SpawnRejected })
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -127,6 +139,9 @@ func New(cfg Config) *Server {
 	mux.Handle("POST /v1/ingest/{tenant}/run", s.instrument("/v1/ingest:run", s.handleIngestRun))
 	mux.Handle("POST /v1/ingest/{tenant}/stream", s.instrument("/v1/ingest:stream", s.handleIngestStream))
 	mux.Handle("POST /v1/shard-replay", s.instrument("/v1/shard-replay", s.handleShardReplay))
+	mux.Handle("POST /v1/dml/spawn", s.instrument("/v1/dml:spawn", s.handleDMLSpawn))
+	mux.Handle("POST /v1/dml/touch", s.instrument("/v1/dml:touch", s.handleDMLTouch))
+	mux.Handle("POST /v1/dml/dec", s.instrument("/v1/dml:dec", s.handleDMLDec))
 	mux.Handle("GET /v1/experiments", s.instrument("/v1/experiments:list", s.handleExperimentList))
 	mux.Handle("POST /v1/experiments/{id}", s.instrument("/v1/experiments:run", s.handleExperimentRun))
 	s.mux = mux
@@ -143,6 +158,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // for shutting the http.Server down *first* so no handler is mid-submit.
 func (s *Server) Shutdown() {
 	s.queue.close()
+	s.dmlSpawner.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	s.dmlWorker.Drain(ctx)
+	cancel()
 	select {
 	case <-s.janitor:
 	default:
@@ -327,7 +346,7 @@ type SessionCreateRequest struct {
 	// empty assigns a server-local ID. The cluster gateway sets this so
 	// the session lands on the worker its ID hashes to.
 	ID        string `json:"id,omitempty"`
-	Backend   string `json:"backend,omitempty"`    // "lisp" (default), "small", or "vm"
+	Backend   string `json:"backend,omitempty"`    // "lisp" (default), "small", "vm", or "dml"
 	StepLimit int64  `json:"step_limit,omitempty"` // per-eval budget
 	TableSize int    `json:"table_size,omitempty"` // small/vm backend LPT entries
 }

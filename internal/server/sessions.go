@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dml"
 	"repro/internal/lisp"
 	"repro/internal/sexpr"
 	"repro/internal/smalllisp"
@@ -28,6 +29,11 @@ const (
 	// runs it on internal/vm — the unboxed fast path; list traffic still
 	// flows through the LP, so LPT counters stay live.
 	BackendVM = "vm"
+	// BackendDML evaluates Multilisp with pcall/future/touch special
+	// forms: spawnable subexpressions run on dml workers behind the
+	// server's spawner, and eligible top-level calls are auto-rewritten
+	// to pcall.
+	BackendDML = "dml"
 )
 
 // defaultStepBudget bounds a single eval request unless the session asked
@@ -46,6 +52,7 @@ type session struct {
 	li  *lisp.Interp      // immutable after create; eval access serialized by mu
 	si  *smalllisp.Interp // immutable after create; eval access serialized by mu
 	vi  *vm.Session       // immutable after create; eval access serialized by mu
+	di  *dml.Evaluator    // immutable after create; eval access serialized by mu
 	out bytes.Buffer      // guarded by mu; captures (print ...) output per eval
 
 	created  time.Time
@@ -90,6 +97,9 @@ type sessions struct {
 	max  int
 
 	metrics *metrics
+	// dmlSpawner backs dml-backend sessions; set by server.New before
+	// any request can arrive.
+	dmlSpawner *dml.Spawner
 }
 
 func newSessions(ttl time.Duration, max int, m *metrics) *sessions {
@@ -162,8 +172,13 @@ func (ss *sessions) create(id, backend string, stepLimit int64, tableSize int) (
 			vm.WithOutput(&s.out),
 			vm.WithStepLimit(stepLimit),
 		)
+	case BackendDML:
+		if ss.dmlSpawner == nil {
+			return nil, fmt.Errorf("dml backend unavailable: no spawner configured")
+		}
+		s.di = dml.NewEvaluator(ss.dmlSpawner, &s.out, lisp.WithStepLimit(stepLimit))
 	default:
-		return nil, fmt.Errorf("unknown backend %q (want %q, %q or %q)", backend, BackendLisp, BackendSmall, BackendVM)
+		return nil, fmt.Errorf("unknown backend %q (want %q, %q, %q or %q)", backend, BackendLisp, BackendSmall, BackendVM, BackendDML)
 	}
 
 	ss.mu.Lock()
@@ -197,13 +212,23 @@ func (ss *sessions) get(id string) (*session, bool) {
 // delete removes a session; reports whether it existed.
 func (ss *sessions) delete(id string) bool {
 	ss.mu.Lock()
-	_, ok := ss.m[id]
+	s, ok := ss.m[id]
 	delete(ss.m, id)
 	ss.mu.Unlock()
 	if ok {
+		s.close()
 		ss.metrics.add("smalld_sessions_closed_total", 1)
 	}
 	return ok
+}
+
+// close releases backend resources a session holds beyond its own heap —
+// for dml, the unresolved futures whose weight must return to the
+// workers.
+func (s *session) close() {
+	if s.di != nil {
+		s.di.Close()
+	}
 }
 
 // list returns session infos sorted by id for stable output.
@@ -243,6 +268,7 @@ func (ss *sessions) sweepIdle(now time.Time) int {
 		}
 	}
 	for _, id := range dead {
+		ss.m[id].close()
 		delete(ss.m, id)
 	}
 	ss.mu.Unlock()
@@ -291,6 +317,10 @@ func (s *session) eval(ctx context.Context, src string) EvalResult {
 		val, err = s.vi.Run(src)
 		s.vi.SetContext(nil)
 		s.steps += s.vi.Steps()
+	case BackendDML:
+		s.di.Interp().ResetSteps()
+		val, err = s.di.Run(ctx, src, true)
+		s.steps += s.di.Interp().Steps()
 	}
 	s.evals++
 	s.lastUsed = time.Now()
@@ -314,6 +344,8 @@ func (s *session) stepsDelta() int64 {
 		return s.si.Steps()
 	case BackendVM:
 		return s.vi.Steps()
+	case BackendDML:
+		return s.di.Interp().Steps()
 	}
 	return 0
 }

@@ -89,6 +89,17 @@ done
 SIM=$(curl -fsS "$BASE/v1/sim" -d '{"trace":"slang","scale":1,"point":{"table_size":128}}')
 echo "$SIM" | grep -q '"lpt_hit_rate"' || fail "sim job: $SIM"
 
+# Park distributed Multilisp futures on both workers before the kill:
+# least-loaded placement spreads consecutive spawns, so worker 1 will
+# take exactly one of them down with it.
+DML=$(curl -fsS "$BASE/v1/sessions" -d '{"backend":"dml"}' |
+    sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$DML" ] || fail "dml session create returned no id"
+OUT=$(curl -fsS "$BASE/v1/sessions/$DML/eval" -d '{"expr":"(defun fib (n) (cond ((lessp n 2) n) (t (+ (fib (- n 1)) (fib (- n 2))))))"}')
+echo "$OUT" | grep -q '"value"' || fail "dml defun: $OUT"
+curl -fsS "$BASE/v1/sessions/$DML/eval" -d '{"expr":"(setq f1 (future (fib 12)))"}' >/dev/null
+curl -fsS "$BASE/v1/sessions/$DML/eval" -d '{"expr":"(setq f2 (future (fib 13)))"}' >/dev/null
+
 # Kill worker 1 hard. Its sessions are lost; everything else keeps working.
 kill -9 "$W1"
 W1=""
@@ -112,11 +123,35 @@ CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/sessions/$DEAD_SID/eval"
 OUT=$(curl -fsS "$BASE/v1/sessions/$LIVE_SID/eval" -d '{"expr":"(keep)"}')
 echo "$OUT" | grep -q 'pinned' || fail "surviving session lost state: $OUT"
 
+# Chaos, distributed Multilisp flavor: one of the parked futures died
+# with worker 1. Touching both must return promptly with an in-band
+# error — no hang, no stuck goroutine — while the survivor's future
+# still resolves on its own.
+OUT=$(curl -fsS --max-time 30 "$BASE/v1/sessions/$DML/eval" -d '{"expr":"(list (touch f1) (touch f2))"}')
+echo "$OUT" | grep -q '"error"' || fail "dml touch of a dead worker's future did not fail: $OUT"
+
+# The failure is counted, no weight-increment message was ever sent,
+# and deleting the session recovers all surviving weight: the dead
+# worker's share is written off the ledger, the survivor's drains back
+# through the combining queues.
+curl -fsS "$BASE/metrics" | grep -q 'smallcluster_dml_touch_failures [1-9]' ||
+    fail "dml touch failure not counted"
+curl -fsS "$BASE/metrics" | grep -q '^smallcluster_dml_weight_inc_messages 0$' ||
+    fail "weight-increment messages were sent"
+curl -fsS -X DELETE -o /dev/null "$BASE/v1/sessions/$DML" || fail "dml session delete"
+for _ in $(seq 1 100); do
+    curl -fsS "$BASE/metrics" | grep -q '^smallcluster_dml_outstanding_weight 0$' && break
+    sleep 0.1
+done
+curl -fsS "$BASE/metrics" | grep -q '^smallcluster_dml_outstanding_weight 0$' ||
+    fail "dml weight not conserved after worker death"
+
 # Failover is visible in the cluster metrics.
 METRICS=$(curl -fsS "$BASE/metrics")
 for m in smallcluster_requests_total smallcluster_request_seconds_bucket \
          smallcluster_route_session_total smallcluster_route_stateless_total \
-         smallcluster_worker_down_total smallcluster_session_unroutable_total; do
+         smallcluster_worker_down_total smallcluster_session_unroutable_total \
+         smallcluster_dml_spawns smallcluster_dml_touch_failures; do
     echo "$METRICS" | grep -q "$m" || fail "metrics missing $m"
 done
 
